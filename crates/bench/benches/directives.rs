@@ -1,0 +1,89 @@
+//! Criterion benchmarks of directive-layer overhead: what one `target
+//! spread` construct costs the host (chunking, task-graph bookkeeping,
+//! mapping tables) — the reproduction's version of the paper's
+//! "negligible overhead" claim for the new directives (Table I, 1 GPU).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spread_core::prelude::*;
+use spread_devices::{DeviceSpec, Topology};
+use spread_rt::kernel::KernelArg;
+use spread_rt::prelude::*;
+
+fn runtime(n_dev: usize) -> Runtime {
+    let topo = Topology::uniform(
+        n_dev,
+        DeviceSpec::v100().with_mem_bytes(1 << 24),
+        1e12,
+        1.6e12,
+    );
+    Runtime::new(
+        RuntimeConfig::new(topo)
+            .with_team_threads(2)
+            .with_trace(false),
+    )
+}
+
+const N: usize = 1 << 14;
+
+fn kernel(a: HostArray) -> KernelSpec {
+    KernelSpec::new("inc", 1.0, |chunk, v| {
+        for i in chunk {
+            let x = v.get(0, i);
+            v.set(0, i, x + 1.0);
+        }
+    })
+    .arg(KernelArg::read_write(a, |r| r))
+}
+
+fn directive_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct_cost");
+    g.sample_size(20);
+    g.bench_function("target_single_device", |b| {
+        b.iter_batched(
+            || {
+                let mut rt = runtime(1);
+                let a = rt.host_array("A", N);
+                (rt, a)
+            },
+            |(mut rt, a)| {
+                rt.run(|s| {
+                    Target::device(0)
+                        .map(tofrom(a, 0..N))
+                        .parallel_for(s, 0..N, kernel(a))?;
+                    Ok(())
+                })
+                .unwrap();
+                rt.elapsed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for n_dev in [1usize, 4] {
+        g.bench_function(format!("target_spread_{n_dev}dev_16chunks"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rt = runtime(n_dev);
+                    let a = rt.host_array("A", N);
+                    (rt, a)
+                },
+                |(mut rt, a)| {
+                    let devices: Vec<u32> = (0..n_dev as u32).collect();
+                    rt.run(|s| {
+                        TargetSpread::devices(devices.clone())
+                            .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+                            .map(spread_tofrom(a, |c| c.range()))
+                            .parallel_for(s, 0..N, kernel(a))?;
+                        Ok(())
+                    })
+                    .unwrap();
+                    rt.elapsed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, directive_overhead);
+criterion_main!(benches);

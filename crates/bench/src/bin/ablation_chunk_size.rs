@@ -1,0 +1,74 @@
+//! Ablation: the `spread_schedule(static, chunk)` chunk-size sweep.
+//!
+//! The paper's One Buffer implementation uses `chunk = buffer /
+//! num_devices` (one chunk per device per buffer). Smaller chunks keep
+//! round-robin balance but multiply DMA operations (12 copies per
+//! mapped chunk, §VI-B), so total time grows as chunks shrink — the
+//! quantitative version of the paper's granularity discussion.
+//!
+//! Usage: `cargo run --release -p spread-bench --bin ablation_chunk_size [--small]`
+
+use spread_bench::markdown_table;
+use spread_core::prelude::*;
+use spread_rt::kernel::KernelArg;
+use spread_rt::prelude::*;
+use spread_somier::SomierConfig;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let cfg = if small {
+        SomierConfig::test_small(48, 2)
+    } else {
+        SomierConfig::paper()
+    };
+    // A single-array stencil pass over the whole grid, spread over 4
+    // devices with varying chunk sizes (all data fits: one shot, no
+    // buffering, to isolate the chunking effect).
+    let n = cfg.n * cfg.plane_elems(); // elements
+    let mut rows = Vec::new();
+    let full_chunk = n.div_ceil(4);
+    for chunk in [full_chunk, full_chunk / 2, full_chunk / 4, full_chunk / 16] {
+        let mut topo = cfg.topology(4);
+        for d in &mut topo.devices {
+            d.mem_bytes = (n as u64 * 8) * 2; // no memory pressure here
+        }
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(topo)
+                .with_team_threads(cfg.team_threads)
+                .with_trace(false),
+        );
+        let a = rt.host_array("A", n + 2);
+        rt.fill_host(a, |i| i as f64);
+        rt.run(|s| {
+            TargetSpread::devices([0, 1, 2, 3])
+                .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                .map(spread_to(a, |c| c.halo(1, 1)))
+                .map(spread_from(a, |c| c.range()))
+                .parallel_for(
+                    s,
+                    1..n + 1,
+                    KernelSpec::new("stencil", 0.7, |chunk, v| {
+                        for i in chunk {
+                            let x = v.get(0, i - 1) + v.get(0, i + 1);
+                            v.set(1, i, x * 0.5);
+                        }
+                    })
+                    .arg(KernelArg::read(a, |r| r.start - 1..r.end + 1))
+                    .arg(KernelArg::write(a, |r| r)),
+                )?;
+            Ok(())
+        })
+        .expect("run");
+        rows.push(vec![
+            chunk.to_string(),
+            n.div_ceil(chunk).to_string(),
+            format!("{:.6}s", rt.elapsed().as_secs_f64()),
+        ]);
+    }
+    println!("\nAblation: chunk-size sweep (4 GPUs, one stencil pass)\n");
+    println!(
+        "{}",
+        markdown_table(&["chunk (elems)", "chunks", "time"], &rows)
+    );
+    println!("Expected: time grows as chunks shrink (per-chunk DMA launch latency, §VI-B).");
+}

@@ -1,0 +1,50 @@
+//! Ablation: the per-`cudaMemcpy` launch latency — §VI-B blames "12
+//! sequential calls to the underlying CUDA memory copy API per mapped
+//! chunk" for the buffered versions' losses. Sweeping the modeled DMA
+//! launch latency shows how much of the Two Buffers penalty it explains.
+//!
+//! Usage: `cargo run --release -p spread-bench --bin ablation_dma_latency [--small]`
+
+use spread_bench::markdown_table;
+use spread_somier::{run_somier, SomierConfig, SomierImpl};
+use spread_trace::SimDuration;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let base = if small {
+        SomierConfig::test_small(100, 2)
+    } else {
+        SomierConfig::paper().with_timesteps(8) // 31 steps × 4 configs is slow
+    };
+    let mut rows = Vec::new();
+    for lat_us in [0u64, 5, 10, 40] {
+        let mut cfg = base.clone();
+        cfg.dma_latency_us = lat_us;
+        let (one, _) = run_somier(&cfg, SomierImpl::OneBufferSpread, 2).expect("one");
+        let (two, _) = run_somier(&cfg, SomierImpl::TwoBuffers, 2).expect("two");
+        rows.push(vec![
+            format!("{lat_us} µs"),
+            one.elapsed.to_string(),
+            two.elapsed.to_string(),
+            format!(
+                "{:+.1}%",
+                100.0 * (two.elapsed.as_secs_f64() / one.elapsed.as_secs_f64() - 1.0)
+            ),
+        ]);
+    }
+    let _ = SimDuration::ZERO;
+    println!("\nAblation: DMA launch latency sweep (2 GPUs, One Buffer vs Two Buffers)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "cudaMemcpy latency",
+                "One Buffer",
+                "Two Buffers",
+                "Two-Buffers penalty"
+            ],
+            &rows
+        )
+    );
+    println!("Expected: the Two Buffers penalty grows with per-operation latency (§VI-B).");
+}

@@ -1,0 +1,63 @@
+//! Reproduces **Table I**: execution times for the One Buffer
+//! implementation — `target` baseline (1 GPU) vs `target spread` on
+//! 1 / 2 / 4 GPUs.
+//!
+//! Paper values: 17m40.231s (B) | 17m38.932s | 13m15.486s | 8m22.019s.
+//!
+//! Usage: `cargo run --release -p spread-bench --bin table1 [--small]`
+
+use spread_bench::{markdown_table, speedup};
+use spread_somier::{run_somier, SomierConfig, SomierImpl};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let cfg = if small {
+        SomierConfig::test_small(48, 4)
+    } else {
+        SomierConfig::paper()
+    };
+    eprintln!(
+        "somier: n={} steps={} buffer(1 GPU)={} planes, device mem {:.1} MB, problem {:.1} MB",
+        cfg.n,
+        cfg.timesteps,
+        cfg.buffer_planes(1),
+        cfg.device_mem_bytes() as f64 / 1e6,
+        cfg.total_bytes() as f64 / 1e6,
+    );
+
+    let (base, _) = run_somier(&cfg, SomierImpl::OneBufferTarget, 1).expect("baseline run");
+    eprintln!("  target (B), 1 GPU done: {}", base.elapsed);
+    let mut rows = vec![vec![
+        "target (B)".to_string(),
+        "1".to_string(),
+        base.elapsed.to_string(),
+        "1.00x".to_string(),
+        format!("{:?}", [base.centers[0]]),
+    ]];
+    for gpus in [1usize, 2, 4] {
+        let (r, _) = run_somier(&cfg, SomierImpl::OneBufferSpread, gpus).expect("spread run");
+        eprintln!("  target spread, {gpus} GPU(s) done: {}", r.elapsed);
+        rows.push(vec![
+            "target spread".to_string(),
+            gpus.to_string(),
+            r.elapsed.to_string(),
+            speedup(base.elapsed, r.elapsed),
+            format!("{:?}", [r.centers[0]]),
+        ]);
+    }
+    println!("\nTable I: Execution times for the One Buffer implementation ((B) = baseline)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Directive",
+                "GPUs",
+                "Time",
+                "Speedup",
+                "centers[0] (correctness witness)"
+            ],
+            &rows
+        )
+    );
+    println!("Paper: 17m40.231s (B) | 17m38.932s | 13m15.486s | 8m22.019s  (1.00x / 1.00x / 1.33x / 2.11x)");
+}

@@ -1,0 +1,107 @@
+//! Reproduces **Table II** (and the data series of **Figure 2**):
+//! execution times for One Buffer vs Two Buffers vs Double Buffering
+//! with `target spread` on 2 and 4 GPUs.
+//!
+//! Paper values:
+//! ```text
+//!                      2 GPUs       4 GPUs
+//! One Buffer (B)       13m15.486s   8m22.019s
+//! Two Buffers          14m29.599s   8m26.674s
+//! Double Buffering     14m4.230s    8m51.176s
+//! ```
+//!
+//! Usage: `cargo run --release -p spread-bench --bin table2 [--small] [--figure]`
+
+use spread_bench::{markdown_table, speedup};
+use spread_somier::{run_somier, SomierConfig, SomierImpl};
+use spread_trace::SimDuration;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let figure = std::env::args().any(|a| a == "--figure");
+    let cfg = if small {
+        // n >= 100 so the half-buffer chunks stay >= 2 planes (the §V-B
+        // gap rule) on the 2-GPU column.
+        SomierConfig::test_small(100, 2)
+    } else {
+        SomierConfig::paper()
+    };
+
+    let impls = [
+        SomierImpl::OneBufferSpread,
+        SomierImpl::TwoBuffers,
+        SomierImpl::DoubleBuffering,
+    ];
+    let gpus = [2usize, 4];
+    let mut times: Vec<Vec<SimDuration>> = Vec::new();
+    for which in impls {
+        let mut row = Vec::new();
+        for &g in &gpus {
+            let (r, _) = run_somier(&cfg, which, g).expect("run");
+            eprintln!(
+                "  {} on {g} GPUs: {} ({} races)",
+                which.label(),
+                r.elapsed,
+                r.races
+            );
+            row.push(r.elapsed);
+        }
+        times.push(row);
+    }
+
+    println!(
+        "\nTable II: Execution times for the different Somier implementations ((B) = baseline)\n"
+    );
+    let rows: Vec<Vec<String>> = impls
+        .iter()
+        .zip(&times)
+        .map(|(which, row)| {
+            let mut cells = vec![format!(
+                "{}{}",
+                which.label(),
+                if *which == SomierImpl::OneBufferSpread {
+                    " (B)"
+                } else {
+                    ""
+                }
+            )];
+            for (i, t) in row.iter().enumerate() {
+                cells.push(format!("{t} ({})", speedup(times[0][i], *t)));
+            }
+            cells
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["Implementation", "2 GPUs", "4 GPUs"], &rows)
+    );
+    println!(
+        "Paper: One Buffer 13m15.486s | 8m22.019s; Two Buffers 14m29.599s | 8m26.674s; \
+         Double Buffering 14m4.230s | 8m51.176s"
+    );
+
+    if figure {
+        println!("\nFigure 2 series (seconds, for the bar chart):");
+        println!("impl,gpus,seconds");
+        for (which, row) in impls.iter().zip(&times) {
+            for (g, t) in gpus.iter().zip(row) {
+                println!("{},{},{:.3}", which.label(), g, t.as_secs_f64());
+            }
+        }
+        // ASCII rendition of the paper's bar chart.
+        println!("\nFigure 2: Time comparison of the Somier implementations\n");
+        let max = times
+            .iter()
+            .flatten()
+            .map(|t| t.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        for (gi, g) in gpus.iter().enumerate() {
+            println!("{g} GPUs:");
+            for (which, row) in impls.iter().zip(&times) {
+                let secs = row[gi].as_secs_f64();
+                let bar = "#".repeat(((secs / max) * 50.0).round() as usize);
+                println!("  {:<18} |{:<50}| {}", which.label(), bar, row[gi]);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # spread-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (see `DESIGN.md` §5 and `EXPERIMENTS.md` for the measured
+//! results), plus Criterion micro-benchmarks of the library itself.
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `cargo run --release -p spread-bench --bin table1` | Table I |
+//! | `cargo run --release -p spread-bench --bin table2` | Table II + Figure 2 |
+//! | `cargo run --release -p spread-bench --bin figure3` | Figure 3 (a–c) |
+//! | `cargo run --release -p spread-bench --bin figure4` | Figure 4 |
+//! | `cargo run --release -p spread-bench --bin kernel_scaling` | §VI-A kernel-scaling claim |
+//! | `cargo run --release -p spread-bench --bin ablation_chunk_size` | chunk-size sweep |
+//! | `cargo run --release -p spread-bench --bin ablation_dma_latency` | §VI-B transfer-granularity effect |
+//! | `cargo run --release -p spread-bench --bin ablation_schedules` | static vs dynamic vs weighted (§IX) |
+//! | `cargo run --release -p spread-bench --bin ablation_depend_data` | Listing 13 `depend` vs `taskgroup` |
+//! | `cargo run --release -p spread-bench --bin ablation_compute_bound` | §IX "does double buffering pay off when compute dominates?" |
+//! | `cargo run --release -p spread-bench --bin repro` | everything above, into `results/` |
+
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::{markdown_table, speedup};

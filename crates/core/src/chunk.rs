@@ -1,0 +1,113 @@
+//! The spread placeholders: `omp_spread_start` and `omp_spread_size`.
+//!
+//! Inside the `map`/`depend`/`to`/`from` clauses of a spread directive,
+//! the paper introduces two special identifiers that resolve per chunk at
+//! execution time. Here they are the two fields of a [`ChunkCtx`] handed
+//! to the clause's section-expression closure:
+//!
+//! ```text
+//! map(to: A[omp_spread_start-1 : omp_spread_size+2])   // paper
+//! .map(spread_to(a, |c| c.start() - 1 .. c.end() + 1)) // this crate
+//! ```
+
+use std::ops::Range;
+
+/// The per-chunk evaluation context of the spread placeholders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkCtx {
+    start: usize,
+    size: usize,
+}
+
+impl ChunkCtx {
+    /// Build from a chunk's start and size.
+    pub fn new(start: usize, size: usize) -> Self {
+        ChunkCtx { start, size }
+    }
+
+    /// `omp_spread_start` — first iteration of the chunk.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// `omp_spread_size` — number of iterations in the chunk.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// One past the last iteration (`start + size`).
+    pub fn end(&self) -> usize {
+        self.start + self.size
+    }
+
+    /// The chunk as a range — the common `map(from: B[start:size])`.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end()
+    }
+
+    /// The chunk extended by `before`/`after` halo elements (saturating
+    /// at zero on the left) — the paper's halo arithmetic.
+    pub fn halo(&self, before: usize, after: usize) -> Range<usize> {
+        self.start.saturating_sub(before)..self.end() + after
+    }
+
+    /// Scale the chunk into another index space (e.g. plane index →
+    /// element index with `factor = n²`).
+    pub fn scaled(&self, factor: usize) -> ChunkCtx {
+        ChunkCtx {
+            start: self.start * factor,
+            size: self.size * factor,
+        }
+    }
+}
+
+impl From<Range<usize>> for ChunkCtx {
+    fn from(r: Range<usize>) -> Self {
+        ChunkCtx::new(r.start, r.end.saturating_sub(r.start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholders() {
+        let c = ChunkCtx::new(5, 4);
+        assert_eq!(c.start(), 5);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.end(), 9);
+        assert_eq!(c.range(), 5..9);
+    }
+
+    #[test]
+    fn listing3_halo_arithmetic() {
+        // map(to: A[omp_spread_start-1 : omp_spread_size+2]) is the range
+        // [start-1, start+size+1).
+        let c = ChunkCtx::new(5, 4);
+        assert_eq!(c.halo(1, 1), 4..10);
+        assert_eq!(c.halo(1, 1).len(), c.size() + 2);
+    }
+
+    #[test]
+    fn halo_saturates_at_zero() {
+        let c = ChunkCtx::new(0, 4);
+        assert_eq!(c.halo(1, 1), 0..5);
+    }
+
+    #[test]
+    fn scaling_to_element_space() {
+        // Plane chunk [2, 5) with n² = 100 elements per plane.
+        let c = ChunkCtx::new(2, 3);
+        let e = c.scaled(100);
+        assert_eq!(e.range(), 200..500);
+    }
+
+    #[test]
+    fn from_range() {
+        let c: ChunkCtx = (7..12).into();
+        assert_eq!(c, ChunkCtx::new(7, 5));
+        let empty: ChunkCtx = (7..7).into();
+        assert_eq!(empty.size(), 0);
+    }
+}

@@ -1,0 +1,513 @@
+//! The spread data-management directives: `target data spread`,
+//! `target enter/exit data spread`, `target update spread`
+//! (paper §III-B.3–5).
+//!
+//! All of them distribute mappings with a *static round-robin* policy
+//! driven by the `range(start:len)` and `chunk_size(c)` clauses — the
+//! paper deliberately omits a `spread_schedule` clause here. The
+//! unstructured directives support `nowait`; the `depend` clause on them
+//! is this reproduction's implementation of the paper's future work
+//! (§IX, Listing 13) and is disabled unless explicitly used.
+
+use std::ops::Range;
+
+use spread_rt::directives::{TargetEnterData, TargetExitData, TargetUpdate};
+use spread_rt::map::MapType;
+use spread_rt::{HostArray, MapClause, RtError, Scope, Section, TaskId};
+
+use crate::chunk::ChunkCtx;
+use crate::schedule::{distribute, Chunk, SpreadSchedule};
+use crate::spread_map::{SectionOf, SpreadMap};
+use crate::target_spread::SpreadDep;
+
+fn spread_chunks(
+    devices: &[u32],
+    range: Option<Range<usize>>,
+    chunk_size: Option<usize>,
+    schedule: Option<&SpreadSchedule>,
+) -> Result<Vec<Chunk>, RtError> {
+    if devices.is_empty() {
+        return Err(RtError::InvalidDirective(
+            "devices(…) must not be empty".into(),
+        ));
+    }
+    let range =
+        range.ok_or_else(|| RtError::InvalidDirective("range clause is required".into()))?;
+    // §IX: "Once [more schedules] are implemented, we will integrate them
+    // into the syntax of the target spread data transfer directives via
+    // the spread_schedule clause." — an explicit static schedule may
+    // replace the default `chunk_size` round-robin. Dynamic schedules
+    // cannot place data (the chunk→device assignment must be known when
+    // the mapping is created).
+    if let Some(s) = schedule {
+        if matches!(s, SpreadSchedule::Dynamic { .. }) {
+            return Err(RtError::InvalidDirective(
+                "data spread directives require a static distribution                  (dynamic placement is undecidable at mapping time)"
+                    .into(),
+            ));
+        }
+        return Ok(distribute(range, devices, s));
+    }
+    let chunk = chunk_size
+        .ok_or_else(|| RtError::InvalidDirective("chunk_size clause is required".into()))?;
+    if chunk == 0 {
+        return Err(RtError::InvalidDirective("chunk_size must be >= 1".into()));
+    }
+    Ok(distribute(
+        range,
+        devices,
+        &SpreadSchedule::Static { chunk },
+    ))
+}
+
+/// `#pragma omp target enter data spread`.
+#[derive(Clone)]
+pub struct TargetEnterDataSpread {
+    devices: Vec<u32>,
+    range: Option<Range<usize>>,
+    chunk_size: Option<usize>,
+    schedule: Option<SpreadSchedule>,
+    maps: Vec<SpreadMap>,
+    nowait: bool,
+    dep_ins: Vec<SpreadDep>,
+    dep_outs: Vec<SpreadDep>,
+}
+
+impl TargetEnterDataSpread {
+    /// Start building with the `devices(…)` clause.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetEnterDataSpread {
+            devices: devices.into_iter().collect(),
+            range: None,
+            chunk_size: None,
+            schedule: None,
+            maps: Vec::new(),
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
+        }
+    }
+
+    /// **Extension** (§IX): an explicit static spread schedule replacing
+    /// the default `chunk_size` round-robin — e.g. weighted chunks for
+    /// heterogeneous devices. Must match the executable directive's
+    /// schedule for coherent placement.
+    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
+        self.schedule = Some(s);
+        self
+    }
+
+    /// `range(start:len)` — the iteration-space range being distributed.
+    pub fn range(mut self, start: usize, len: usize) -> Self {
+        self.range = Some(start..start + len);
+        self
+    }
+
+    /// `chunk_size(c)`.
+    pub fn chunk_size(mut self, c: usize) -> Self {
+        self.chunk_size = Some(c);
+        self
+    }
+
+    /// Add a spread map item (`to`/`alloc`).
+    pub fn map(mut self, m: SpreadMap) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several spread map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait` — asynchronous transfers.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// **Extension** (paper §IX, Listing 13): `depend(out: a[expr])` per
+    /// chunk, letting kernels synchronize with data transfers at chunk
+    /// level instead of through a `taskgroup` barrier.
+    pub fn depend_out(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_outs.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// **Extension**: `depend(in: a[expr])` per chunk.
+    pub fn depend_in(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_ins.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// Issue the directive: one enter-data task per chunk.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        let chunks = spread_chunks(
+            &self.devices,
+            self.range.clone(),
+            self.chunk_size,
+            self.schedule.as_ref(),
+        )?;
+        let mut ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let c = ChunkCtx::new(chunk.start, chunk.len);
+            let device = chunk.device.expect("static chunks are assigned");
+            let mut b = TargetEnterData::device(device)
+                .nowait()
+                .label(format!("enter-spread(dev{device})[{}]", chunk.index));
+            for m in &self.maps {
+                b = b.map(m.at(c));
+            }
+            for d in &self.dep_ins {
+                b = b.depend_in(d.at(c));
+            }
+            for d in &self.dep_outs {
+                b = b.depend_out(d.at(c));
+            }
+            ids.push(b.launch(scope)?);
+        }
+        if !self.nowait {
+            for &id in &ids {
+                scope.drain_task(id)?;
+            }
+        }
+        Ok(ids)
+    }
+}
+
+/// `#pragma omp target exit data spread`.
+#[derive(Clone)]
+pub struct TargetExitDataSpread {
+    devices: Vec<u32>,
+    range: Option<Range<usize>>,
+    chunk_size: Option<usize>,
+    schedule: Option<SpreadSchedule>,
+    maps: Vec<SpreadMap>,
+    nowait: bool,
+    dep_ins: Vec<SpreadDep>,
+    dep_outs: Vec<SpreadDep>,
+}
+
+impl TargetExitDataSpread {
+    /// Start building with the `devices(…)` clause.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetExitDataSpread {
+            devices: devices.into_iter().collect(),
+            range: None,
+            chunk_size: None,
+            schedule: None,
+            maps: Vec::new(),
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
+        }
+    }
+
+    /// **Extension** (§IX): an explicit static spread schedule replacing
+    /// the default `chunk_size` round-robin — e.g. weighted chunks for
+    /// heterogeneous devices. Must match the executable directive's
+    /// schedule for coherent placement.
+    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
+        self.schedule = Some(s);
+        self
+    }
+
+    /// `range(start:len)`.
+    pub fn range(mut self, start: usize, len: usize) -> Self {
+        self.range = Some(start..start + len);
+        self
+    }
+
+    /// `chunk_size(c)`.
+    pub fn chunk_size(mut self, c: usize) -> Self {
+        self.chunk_size = Some(c);
+        self
+    }
+
+    /// Add a spread map item (`from`/`release`/`delete`).
+    pub fn map(mut self, m: SpreadMap) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several spread map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait`.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// **Extension** (paper §IX): `depend(in: a[expr])` per chunk —
+    /// typically "wait for the kernel that produced this chunk".
+    pub fn depend_in(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_ins.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// **Extension**: `depend(out: a[expr])` per chunk.
+    pub fn depend_out(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_outs.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// Issue the directive: one exit-data task per chunk.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        let chunks = spread_chunks(
+            &self.devices,
+            self.range.clone(),
+            self.chunk_size,
+            self.schedule.as_ref(),
+        )?;
+        let mut ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let c = ChunkCtx::new(chunk.start, chunk.len);
+            let device = chunk.device.expect("static chunks are assigned");
+            let mut b = TargetExitData::device(device)
+                .nowait()
+                .label(format!("exit-spread(dev{device})[{}]", chunk.index));
+            for m in &self.maps {
+                b = b.map(m.at(c));
+            }
+            for d in &self.dep_ins {
+                b = b.depend_in(d.at(c));
+            }
+            for d in &self.dep_outs {
+                b = b.depend_out(d.at(c));
+            }
+            ids.push(b.launch(scope)?);
+        }
+        if !self.nowait {
+            for &id in &ids {
+                scope.drain_task(id)?;
+            }
+        }
+        Ok(ids)
+    }
+}
+
+/// `#pragma omp target update spread`.
+#[derive(Clone)]
+pub struct TargetUpdateSpread {
+    devices: Vec<u32>,
+    range: Option<Range<usize>>,
+    chunk_size: Option<usize>,
+    to_items: Vec<(HostArray, SectionOf)>,
+    from_items: Vec<(HostArray, SectionOf)>,
+    nowait: bool,
+}
+
+impl TargetUpdateSpread {
+    /// Start building with the `devices(…)` clause.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetUpdateSpread {
+            devices: devices.into_iter().collect(),
+            range: None,
+            chunk_size: None,
+            to_items: Vec::new(),
+            from_items: Vec::new(),
+            nowait: false,
+        }
+    }
+
+    /// `range(start:len)`.
+    pub fn range(mut self, start: usize, len: usize) -> Self {
+        self.range = Some(start..start + len);
+        self
+    }
+
+    /// `chunk_size(c)`.
+    pub fn chunk_size(mut self, c: usize) -> Self {
+        self.chunk_size = Some(c);
+        self
+    }
+
+    /// `to(a[expr])` — refresh device images from the host.
+    pub fn to(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.to_items.push((array, std::sync::Arc::new(expr)));
+        self
+    }
+
+    /// `from(a[expr])` — refresh the host from device images.
+    pub fn from(
+        mut self,
+        array: HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.from_items.push((array, std::sync::Arc::new(expr)));
+        self
+    }
+
+    /// `nowait`.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// Issue the directive: one update task per chunk.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        let chunks = spread_chunks(&self.devices, self.range.clone(), self.chunk_size, None)?;
+        let mut ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let c = ChunkCtx::new(chunk.start, chunk.len);
+            let device = chunk.device.expect("static chunks are assigned");
+            let mut b = TargetUpdate::device(device).nowait();
+            for (a, expr) in &self.to_items {
+                b = b.to(Section::from_range(a.id(), expr(c)));
+            }
+            for (a, expr) in &self.from_items {
+                b = b.from(Section::from_range(a.id(), expr(c)));
+            }
+            ids.push(b.launch(scope)?);
+        }
+        if !self.nowait {
+            for &id in &ids {
+                scope.drain_task(id)?;
+            }
+        }
+        Ok(ids)
+    }
+}
+
+/// `#pragma omp target data spread { … }` — the structured variant:
+/// distributed mappings valid for the region's duration. As in the
+/// paper, there is no `nowait` and no `depend` (§III-B.3).
+#[derive(Clone)]
+pub struct TargetDataSpread {
+    devices: Vec<u32>,
+    range: Option<Range<usize>>,
+    chunk_size: Option<usize>,
+    maps: Vec<SpreadMap>,
+}
+
+impl TargetDataSpread {
+    /// Start building with the `devices(…)` clause.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetDataSpread {
+            devices: devices.into_iter().collect(),
+            range: None,
+            chunk_size: None,
+            maps: Vec::new(),
+        }
+    }
+
+    /// `range(start:len)`.
+    pub fn range(mut self, start: usize, len: usize) -> Self {
+        self.range = Some(start..start + len);
+        self
+    }
+
+    /// `chunk_size(c)`.
+    pub fn chunk_size(mut self, c: usize) -> Self {
+        self.chunk_size = Some(c);
+        self
+    }
+
+    /// Add a spread map item.
+    pub fn map(mut self, m: SpreadMap) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several spread map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// Run the structured region: blocking distributed enter, body,
+    /// blocking distributed exit.
+    pub fn region<R>(
+        self,
+        scope: &mut Scope<'_>,
+        f: impl FnOnce(&mut Scope<'_>) -> Result<R, RtError>,
+    ) -> Result<R, RtError> {
+        let enter_maps: Vec<SpreadMap> = self
+            .maps
+            .iter()
+            .map(|m| SpreadMap {
+                map_type: match m.map_type {
+                    MapType::From => MapType::Alloc,
+                    t => t,
+                },
+                array: m.array,
+                expr: std::sync::Arc::clone(&m.expr),
+            })
+            .collect();
+        let exit_maps: Vec<SpreadMap> = self
+            .maps
+            .iter()
+            .map(|m| SpreadMap {
+                map_type: match m.map_type {
+                    MapType::From | MapType::ToFrom => MapType::From,
+                    MapType::To | MapType::Alloc => MapType::Release,
+                    t => t,
+                },
+                array: m.array,
+                expr: std::sync::Arc::clone(&m.expr),
+            })
+            .collect();
+        let range = self.range.clone();
+        let chunk_size = self.chunk_size;
+        {
+            let mut b = TargetEnterDataSpread::devices(self.devices.clone());
+            b.range = range.clone();
+            b.chunk_size = chunk_size;
+            b.schedule = None;
+            b.maps = enter_maps;
+            b.launch(scope)?;
+        }
+        let r = f(scope)?;
+        {
+            let mut b = TargetExitDataSpread::devices(self.devices);
+            b.range = range;
+            b.chunk_size = chunk_size;
+            b.schedule = None;
+            b.maps = exit_maps;
+            b.launch(scope)?;
+        }
+        Ok(r)
+    }
+}
+
+/// Evaluate a [`MapClause`] list for a chunk (testing helper).
+pub fn evaluate_maps(maps: &[SpreadMap], c: ChunkCtx) -> Vec<MapClause> {
+    maps.iter().map(|m| m.at(c)).collect()
+}

@@ -1,0 +1,62 @@
+//! Cross-device reductions — the paper's §IX extension ("the support for
+//! reduction clauses among devices would facilitate even more the
+//! implementation of complex algorithms").
+//!
+//! The baseline Somier implementation performs the centers reduction
+//! *manually* (the paper: "We currently do not support a reduction
+//! clause yet, so we implemented a manual reduction for this kernel").
+//! [`ReduceOp`] plus [`crate::TargetSpread::parallel_for_reduce`] provide
+//! the clause: the kernel writes a per-iteration partial; the runtime
+//! maps the partials back per chunk and folds them on the host.
+
+/// A reduction operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `reduction(+: …)`
+    Sum,
+    /// `reduction(max: …)`
+    Max,
+    /// `reduction(min: …)`
+    Min,
+}
+
+impl ReduceOp {
+    /// The operator's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combine two partial values.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(ReduceOp::Sum.identity(), 0.0);
+        assert_eq!(ReduceOp::Max.identity(), f64::NEG_INFINITY);
+        assert_eq!(ReduceOp::Min.identity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn combine_folds() {
+        let xs = [3.0, -1.0, 7.0, 2.0];
+        let fold = |op: ReduceOp| xs.iter().fold(op.identity(), |a, &b| op.combine(a, b));
+        assert_eq!(fold(ReduceOp::Sum), 11.0);
+        assert_eq!(fold(ReduceOp::Max), 7.0);
+        assert_eq!(fold(ReduceOp::Min), -1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The `target spread` executable directive (standalone and combined).
+//!
+//! `target spread` offloads a loop across multiple devices: the
+//! iteration space is split into chunks by the `spread_schedule`, chunks
+//! are distributed round-robin over the `devices(…)` list, and each
+//! chunk becomes one single-device offload whose `map`/`depend` clauses
+//! are evaluated with that chunk's `omp_spread_start`/`omp_spread_size`
+//! (paper §III-B.1, Listing 3).
+//!
+//! Adding `num_teams`/`num_threads` gives the combined
+//! `target spread teams distribute parallel for` (Listing 4): the
+//! intra-device clauses apply *per device*.
+//!
+//! Without `nowait` the directive blocks until every chunk completes
+//! (the "implicit taskgroup" design option of §IX); with `nowait` the
+//! chunk tasks run asynchronously and synchronize through `depend`
+//! clauses and enclosing `taskgroup`s, exactly like the paper's Somier
+//! implementations.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::rc::Rc;
+
+use spread_rt::directives::Target;
+use spread_rt::{KernelSpec, RtError, Scope, Section, TaskId};
+
+use crate::chunk::ChunkCtx;
+use crate::schedule::{distribute, SpreadSchedule};
+use crate::spread_map::{SectionOf, SpreadMap};
+
+/// A `depend` clause item over the spread placeholders.
+#[derive(Clone)]
+pub(crate) struct SpreadDep {
+    pub array: spread_rt::HostArray,
+    pub expr: SectionOf,
+}
+
+impl SpreadDep {
+    pub(crate) fn at(&self, c: ChunkCtx) -> Section {
+        Section::from_range(self.array.id(), (self.expr)(c))
+    }
+}
+
+/// Builder for `#pragma omp target spread [teams distribute parallel
+/// for]`.
+#[derive(Clone)]
+pub struct TargetSpread {
+    devices: Vec<u32>,
+    schedule: SpreadSchedule,
+    maps: Vec<SpreadMap>,
+    nowait: bool,
+    dep_ins: Vec<SpreadDep>,
+    dep_outs: Vec<SpreadDep>,
+    num_teams: Option<u32>,
+    num_threads: Option<u32>,
+    serial: bool,
+}
+
+impl TargetSpread {
+    /// Start building with the `devices(…)` clause. The distribution
+    /// order is the list order, not the device-id order.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetSpread {
+            devices: devices.into_iter().collect(),
+            schedule: SpreadSchedule::static_chunk(1),
+            maps: Vec::new(),
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
+            num_teams: None,
+            num_threads: None,
+            serial: false,
+        }
+    }
+
+    /// The `spread_schedule(…)` clause.
+    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Add a spread map item.
+    pub fn map(mut self, m: SpreadMap) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several spread map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait` — chunk tasks run asynchronously.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// `depend(in: a[expr])` — per-chunk input dependence (the
+    /// data-driven dependence style of §III-B.1).
+    pub fn depend_in(
+        mut self,
+        array: spread_rt::HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_ins.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// `depend(out: a[expr])` — per-chunk output dependence.
+    pub fn depend_out(
+        mut self,
+        array: spread_rt::HostArray,
+        expr: impl Fn(ChunkCtx) -> Range<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.dep_outs.push(SpreadDep {
+            array,
+            expr: std::sync::Arc::new(expr),
+        });
+        self
+    }
+
+    /// `num_teams(n)` — applied per device (combined directive).
+    pub fn num_teams(mut self, n: u32) -> Self {
+        self.num_teams = Some(n);
+        self
+    }
+
+    /// Threads per team — applied per device (combined directive).
+    pub fn num_threads(mut self, n: u32) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Standalone `target spread` (no `teams distribute parallel for`):
+    /// the chunk loop runs on a single device lane.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
+        let mut t = Target::device(device).nowait();
+        if self.serial {
+            t = t.serial();
+        } else {
+            if let Some(n) = self.num_teams {
+                t = t.num_teams(n);
+            }
+            if let Some(n) = self.num_threads {
+                t = t.num_threads(n);
+            }
+        }
+        for m in &self.maps {
+            t = t.map(m.at(c));
+        }
+        for d in &self.dep_ins {
+            t = t.depend_in(d.at(c));
+        }
+        for d in &self.dep_outs {
+            t = t.depend_out(d.at(c));
+        }
+        t
+    }
+
+    /// Offload `kernel` over `range`, distributed across the devices.
+    /// Returns the per-chunk construct task ids (for static schedules) —
+    /// in chunk order.
+    pub fn parallel_for(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<Vec<TaskId>, RtError> {
+        if self.devices.is_empty() {
+            return Err(RtError::InvalidDirective(
+                "target spread: devices(…) must not be empty".into(),
+            ));
+        }
+        match self.schedule {
+            SpreadSchedule::Dynamic { .. } => self.launch_dynamic(scope, range, kernel),
+            _ => self.launch_static(scope, range, kernel),
+        }
+    }
+
+    fn launch_static(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<Vec<TaskId>, RtError> {
+        let chunks = distribute(range, &self.devices, &self.schedule);
+        let mut ids = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let c = ChunkCtx::new(chunk.start, chunk.len);
+            let device = chunk.device.expect("static chunks are assigned");
+            let t = self.build_target(device, c);
+            let id = t.parallel_for(scope, chunk.range(), kernel.clone())?;
+            ids.push(id);
+        }
+        if !self.nowait {
+            for &id in &ids {
+                scope.drain_task(id)?;
+            }
+        }
+        Ok(ids)
+    }
+
+    /// The dynamic-schedule extension: per device, an asynchronous chain
+    /// of claim→offload→claim continuations over a shared chunk queue; a
+    /// device takes the next chunk as soon as its previous one finishes,
+    /// absorbing load imbalance. The returned task ids are per-device
+    /// "drained" markers (one per device, finished when that device's
+    /// chain runs dry).
+    fn launch_dynamic(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<Vec<TaskId>, RtError> {
+        let chunks = distribute(range, &self.devices, &self.schedule);
+        let queue: Rc<RefCell<VecDeque<crate::schedule::Chunk>>> =
+            Rc::new(RefCell::new(chunks.into_iter().collect()));
+        let this = Rc::new(self);
+
+        /// Claim the next chunk for `device`; on completion of its
+        /// offload, claim again. `done_gate` collects the whole chain.
+        fn claim_next(
+            s: &mut Scope<'_>,
+            this: &Rc<TargetSpread>,
+            queue: &Rc<RefCell<VecDeque<crate::schedule::Chunk>>>,
+            kernel: &KernelSpec,
+            device: u32,
+        ) {
+            let next = queue.borrow_mut().pop_front();
+            let Some(chunk) = next else { return };
+            let c = ChunkCtx::new(chunk.start, chunk.len);
+            let t = this.build_target(device, c); // nowait construct
+            match t.parallel_for(s, chunk.range(), kernel.clone()) {
+                Ok(construct_done) => {
+                    let this = Rc::clone(this);
+                    let queue = Rc::clone(queue);
+                    let kernel = kernel.clone();
+                    s.task_chained(
+                        format!("spread-dyn-claim(dev{device})"),
+                        vec![construct_done],
+                        None,
+                        move |s| claim_next(s, &this, &queue, &kernel, device),
+                    );
+                }
+                Err(e) => s.fail(e),
+            }
+        }
+
+        let start_chains = |scope: &mut Scope<'_>| {
+            let mut chain_heads = Vec::with_capacity(this.devices.len());
+            for &device in this.devices.iter() {
+                let this2 = Rc::clone(&this);
+                let queue = Rc::clone(&queue);
+                let kernel = kernel.clone();
+                let id = scope.task(format!("spread-dyn-start(dev{device})"), move |s| {
+                    claim_next(s, &this2, &queue, &kernel, device);
+                });
+                chain_heads.push(id);
+            }
+            chain_heads
+        };
+        if this.nowait {
+            // Chains join the caller's current taskgroup context; the
+            // caller synchronizes with taskgroup/taskwait as usual.
+            Ok(start_chains(scope))
+        } else {
+            // Blocking: a taskgroup waits for the chains and every
+            // descendant claim/offload they spawn.
+            scope.taskgroup(start_chains)
+        }
+    }
+
+    /// Extension (§IX "support for reduction clauses among devices"):
+    /// run the spread loop and reduce a per-iteration partials array
+    /// across all devices on the host.
+    ///
+    /// `kernel` must write `partials[i]` for every iteration `i` (declare
+    /// it as a `Write` arg with the identity section expression); this
+    /// method appends the `map(from: partials[chunk])` clause, blocks
+    /// until all chunks complete, and folds `partials[range]` with `op`.
+    pub fn parallel_for_reduce(
+        mut self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+        partials: spread_rt::HostArray,
+        op: crate::reduction::ReduceOp,
+    ) -> Result<f64, RtError> {
+        self.nowait = false;
+        self.maps
+            .push(crate::spread_map::spread_from(partials, |c| c.range()));
+        let fold_range = range.clone();
+        self.parallel_for(scope, range, kernel)?;
+        let value = scope.with_host(partials, |p| {
+            fold_range
+                .clone()
+                .map(|i| p[i])
+                .fold(op.identity(), |a, b| op.combine(a, b))
+        });
+        Ok(value)
+    }
+}

@@ -1,0 +1,267 @@
+//! The kernel execution engine.
+//!
+//! One FIFO compute queue per device (the common single-stream model:
+//! kernels on the same device serialize; kernels on different devices run
+//! concurrently in virtual time — which is exactly how the paper gets its
+//! near-linear kernel scaling across GPUs).
+//!
+//! A queued kernel carries its *body* — a closure that really executes
+//! the computation over the device's buffers — and the parameters of the
+//! cost model that determine its virtual duration. The body runs eagerly
+//! at kernel start (see the eager-effects discipline in `spread-rt`).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use spread_sim::Simulator;
+use spread_trace::{Lane, SpanKind, TraceRecorder};
+
+use crate::gate::SerialGate;
+use crate::spec::ComputeModel;
+
+/// One queued kernel launch.
+pub struct KernelOp {
+    /// Kernel name (trace label).
+    pub name: String,
+    /// Number of loop iterations in this launch.
+    pub iters: u64,
+    /// Modeled single-lane cost of one iteration, in nanoseconds.
+    pub work_per_iter_ns: f64,
+    /// Requested `num_teams`.
+    pub teams: u32,
+    /// Requested threads per team.
+    pub threads_per_team: u32,
+    /// The real computation; runs when the kernel starts.
+    pub body: Option<Box<dyn FnOnce()>>,
+    /// Fires when the modeled execution completes.
+    pub on_complete: Box<dyn FnOnce(&mut Simulator)>,
+}
+
+struct Inner {
+    device: u32,
+    model: ComputeModel,
+    trace: TraceRecorder,
+    /// Default-stream serialization with the device's copy engines.
+    gate: Option<SerialGate>,
+    busy: bool,
+    queue: VecDeque<KernelOp>,
+    completed: u64,
+}
+
+/// FIFO kernel queue for one device. Clone freely.
+#[derive(Clone)]
+pub struct ComputeEngine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl ComputeEngine {
+    /// An engine for `device` with the given cost model.
+    pub fn new(device: u32, model: ComputeModel, trace: TraceRecorder) -> Self {
+        ComputeEngine {
+            inner: Rc::new(RefCell::new(Inner {
+                device,
+                model,
+                trace,
+                gate: None,
+                busy: false,
+                queue: VecDeque::new(),
+                completed: 0,
+            })),
+        }
+    }
+
+    /// Serialize this engine with the device's copy engines through a
+    /// shared gate (default-stream semantics).
+    pub fn with_gate(self, gate: SerialGate) -> Self {
+        self.inner.borrow_mut().gate = Some(gate);
+        self
+    }
+
+    /// Kernels completed so far.
+    pub fn completed(&self) -> u64 {
+        self.inner.borrow().completed
+    }
+
+    /// Kernels waiting or running.
+    pub fn backlog(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.queue.len() + usize::from(inner.busy)
+    }
+
+    /// Enqueue a kernel; it launches when the engine frees up.
+    pub fn enqueue(&self, sim: &mut Simulator, op: KernelOp) {
+        self.inner.borrow_mut().queue.push_back(op);
+        self.maybe_start(sim);
+    }
+
+    fn maybe_start(&self, sim: &mut Simulator) {
+        let (op, gate) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.busy {
+                return;
+            }
+            let Some(op) = inner.queue.pop_front() else {
+                return;
+            };
+            inner.busy = true;
+            (op, inner.gate.clone())
+        };
+        let this = self.clone();
+        match gate {
+            None => this.start_op(sim, op, None),
+            Some(g) => {
+                let g2 = g.clone();
+                g.acquire(sim, Box::new(move |sim| this.start_op(sim, op, Some(g2))));
+            }
+        }
+    }
+
+    fn start_op(&self, sim: &mut Simulator, mut op: KernelOp, held_gate: Option<SerialGate>) {
+        if let Some(body) = op.body.take() {
+            body();
+        }
+        let duration = {
+            let inner = self.inner.borrow();
+            inner.model.kernel_duration(
+                op.iters,
+                op.work_per_iter_ns,
+                op.teams,
+                op.threads_per_team,
+            )
+        };
+        let start_t = sim.now();
+        let this = self.clone();
+        let name = std::mem::take(&mut op.name);
+        let on_complete = op.on_complete;
+        sim.schedule_after(
+            duration,
+            Box::new(move |sim| {
+                {
+                    let mut inner = this.inner.borrow_mut();
+                    let lane = Lane::compute(inner.device);
+                    inner
+                        .trace
+                        .record(lane, SpanKind::Kernel, name, start_t, sim.now(), 0);
+                    inner.busy = false;
+                    inner.completed += 1;
+                }
+                if let Some(g) = held_gate {
+                    g.release(sim);
+                }
+                on_complete(sim);
+                this.maybe_start(sim);
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spread_trace::{SimDuration, Timeline};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn engine(max_par: u32) -> (Simulator, ComputeEngine, TraceRecorder) {
+        let trace = TraceRecorder::new();
+        let sim = Simulator::new(trace.clone());
+        let model = ComputeModel {
+            launch_latency: SimDuration::from_nanos(100),
+            max_parallelism: max_par,
+            time_scale: 1.0,
+        };
+        let eng = ComputeEngine::new(3, model, trace.clone());
+        (sim, eng, trace)
+    }
+
+    fn kernel(name: &str, iters: u64, done: Rc<RefCell<Vec<(String, u64)>>>) -> KernelOp {
+        let n = name.to_string();
+        KernelOp {
+            name: name.to_string(),
+            iters,
+            work_per_iter_ns: 10.0,
+            teams: 1,
+            threads_per_team: 1,
+            body: None,
+            on_complete: Box::new(move |s| {
+                done.borrow_mut().push((n, s.now().as_nanos()));
+            }),
+        }
+    }
+
+    #[test]
+    fn duration_from_model() {
+        let (mut sim, eng, _) = engine(1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, kernel("k", 50, done.clone()));
+        sim.run_until_idle();
+        // 100 ns launch + 50 iters * 10 ns = 600 ns.
+        assert_eq!(done.borrow()[0].1, 600);
+    }
+
+    #[test]
+    fn kernels_serialize_on_one_device() {
+        let (mut sim, eng, _) = engine(1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, kernel("a", 50, done.clone()));
+        eng.enqueue(&mut sim, kernel("b", 50, done.clone()));
+        sim.run_until_idle();
+        let d = done.borrow();
+        assert_eq!(d[0], ("a".to_string(), 600));
+        assert_eq!(d[1], ("b".to_string(), 1200));
+        assert_eq!(eng.completed(), 2);
+    }
+
+    #[test]
+    fn bodies_execute_for_real() {
+        let (mut sim, eng, _) = engine(4);
+        let data = Rc::new(RefCell::new(vec![0.0f64; 8]));
+        let d2 = data.clone();
+        eng.enqueue(
+            &mut sim,
+            KernelOp {
+                name: "fill".into(),
+                iters: 8,
+                work_per_iter_ns: 1.0,
+                teams: 1,
+                threads_per_team: 4,
+                body: Some(Box::new(move || {
+                    for (i, v) in d2.borrow_mut().iter_mut().enumerate() {
+                        *v = i as f64 * 2.0;
+                    }
+                })),
+                on_complete: Box::new(|_| {}),
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(data.borrow()[3], 6.0);
+    }
+
+    #[test]
+    fn trace_records_kernel_spans() {
+        let (mut sim, eng, trace) = engine(1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, kernel("forces", 10, done.clone()));
+        sim.run_until_idle();
+        let tl = Timeline::from_recorder(&trace);
+        assert_eq!(tl.len(), 1);
+        let s = &tl.spans()[0];
+        assert_eq!(s.kind, SpanKind::Kernel);
+        assert_eq!(s.label, "forces");
+        assert_eq!(s.lane, Lane::compute(3));
+        assert_eq!(s.duration().as_nanos(), 200);
+    }
+
+    #[test]
+    fn parallelism_shortens_kernels_until_saturation() {
+        let (mut sim, eng, _) = engine(8);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let mut op = kernel("wide", 80, done.clone());
+        op.threads_per_team = 8;
+        eng.enqueue(&mut sim, op);
+        sim.run_until_idle();
+        // 100 + 80*10/8 = 200 ns.
+        assert_eq!(done.borrow()[0].1, 200);
+    }
+}

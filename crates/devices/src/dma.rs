@@ -1,0 +1,354 @@
+//! DMA copy engines.
+//!
+//! Each device has one engine per direction (host→device and
+//! device→host), matching real GPUs' dedicated copy engines. An engine is
+//! a FIFO: operations on the same engine **serialize** — this is the
+//! mechanism behind the paper's Figure 4 finding that "transfers from
+//! different buffers did not overlap" on one GPU. Every operation pays a
+//! fixed launch latency (one `cudaMemcpy` call) before its bytes stream
+//! through the flow network, so mapping a chunk of 12 grids costs 12
+//! launch latencies (§VI-B's granularity observation).
+//!
+//! The *data effect* of an operation (the actual memcpy between host and
+//! device `Vec<f64>`s) runs eagerly when the operation starts; the
+//! completion callback fires when the modeled transfer finishes. Task
+//! ordering upstream guarantees observational equivalence (see
+//! `spread-rt`'s race detector).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use spread_sim::{CapacityId, SharedFlowNet, Simulator};
+use spread_trace::{Lane, SimDuration, SpanKind, TraceRecorder};
+
+use crate::gate::SerialGate;
+
+/// Transfer direction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Host to device.
+    In,
+    /// Device to host.
+    Out,
+}
+
+impl Direction {
+    fn lane(self, device: u32) -> Lane {
+        match self {
+            Direction::In => Lane::copy_in(device),
+            Direction::Out => Lane::copy_out(device),
+        }
+    }
+
+    fn span_kind(self) -> SpanKind {
+        match self {
+            Direction::In => SpanKind::TransferIn,
+            Direction::Out => SpanKind::TransferOut,
+        }
+    }
+}
+
+/// One queued copy operation.
+pub struct DmaOp {
+    /// Bytes to move.
+    pub bytes: u64,
+    /// Label recorded in the trace.
+    pub label: String,
+    /// The data effect (the real memcpy); runs when the op starts.
+    pub effect: Option<Box<dyn FnOnce()>>,
+    /// Fires when the modeled transfer completes.
+    pub on_complete: Box<dyn FnOnce(&mut Simulator)>,
+}
+
+struct Inner {
+    device: u32,
+    dir: Direction,
+    latency: SimDuration,
+    caps: Vec<CapacityId>,
+    flownet: SharedFlowNet,
+    trace: TraceRecorder,
+    /// Default-stream serialization with the device's other engines.
+    gate: Option<SerialGate>,
+    busy: bool,
+    queue: VecDeque<DmaOp>,
+    completed_ops: u64,
+    total_bytes: u64,
+}
+
+/// A FIFO DMA engine for one direction of one device. Clone freely.
+#[derive(Clone)]
+pub struct DmaEngine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl DmaEngine {
+    /// Create an engine streaming through `caps` (device link, switch,
+    /// host bus) with the given per-operation launch latency.
+    pub fn new(
+        device: u32,
+        dir: Direction,
+        latency: SimDuration,
+        caps: Vec<CapacityId>,
+        flownet: SharedFlowNet,
+        trace: TraceRecorder,
+    ) -> Self {
+        DmaEngine {
+            inner: Rc::new(RefCell::new(Inner {
+                device,
+                dir,
+                latency,
+                caps,
+                flownet,
+                trace,
+                gate: None,
+                busy: false,
+                queue: VecDeque::new(),
+                completed_ops: 0,
+                total_bytes: 0,
+            })),
+        }
+    }
+
+    /// Serialize this engine with the device's other engines through a
+    /// shared gate (default-stream semantics).
+    pub fn with_gate(self, gate: SerialGate) -> Self {
+        self.inner.borrow_mut().gate = Some(gate);
+        self
+    }
+
+    /// Number of completed operations (for tests/statistics).
+    pub fn completed_ops(&self) -> u64 {
+        self.inner.borrow().completed_ops
+    }
+
+    /// Total bytes moved so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.borrow().total_bytes
+    }
+
+    /// Operations waiting or in flight.
+    pub fn backlog(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.queue.len() + usize::from(inner.busy)
+    }
+
+    /// Enqueue an operation; it starts as soon as the engine frees up.
+    pub fn enqueue(&self, sim: &mut Simulator, op: DmaOp) {
+        self.inner.borrow_mut().queue.push_back(op);
+        self.maybe_start(sim);
+    }
+
+    fn maybe_start(&self, sim: &mut Simulator) {
+        let (op, gate) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.busy {
+                return;
+            }
+            let Some(op) = inner.queue.pop_front() else {
+                return;
+            };
+            inner.busy = true;
+            (op, inner.gate.clone())
+        };
+        let this = self.clone();
+        match gate {
+            None => this.start_op(sim, op, None),
+            Some(g) => {
+                let g2 = g.clone();
+                g.acquire(sim, Box::new(move |sim| this.start_op(sim, op, Some(g2))));
+            }
+        }
+    }
+
+    fn start_op(&self, sim: &mut Simulator, mut op: DmaOp, held_gate: Option<SerialGate>) {
+        // The data effect happens at operation start (eager-effects
+        // discipline; dependents only run after on_complete).
+        if let Some(effect) = op.effect.take() {
+            effect();
+        }
+        let start_t = sim.now();
+        let this = self.clone();
+        let latency = self.inner.borrow().latency;
+        sim.schedule_after(
+            latency,
+            Box::new(move |sim| {
+                let (flownet, caps) = {
+                    let inner = this.inner.borrow();
+                    (inner.flownet.clone(), inner.caps.clone())
+                };
+                let this2 = this.clone();
+                let bytes = op.bytes;
+                let label = std::mem::take(&mut op.label);
+                let on_complete = op.on_complete;
+                flownet.start_flow(
+                    sim,
+                    bytes,
+                    caps,
+                    Box::new(move |sim| {
+                        {
+                            let mut inner = this2.inner.borrow_mut();
+                            let lane = inner.dir.lane(inner.device);
+                            let kind = inner.dir.span_kind();
+                            inner
+                                .trace
+                                .record(lane, kind, label, start_t, sim.now(), bytes);
+                            inner.busy = false;
+                            inner.completed_ops += 1;
+                            inner.total_bytes += bytes;
+                        }
+                        if let Some(g) = held_gate {
+                            g.release(sim);
+                        }
+                        on_complete(sim);
+                        this2.maybe_start(sim);
+                    }),
+                );
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spread_trace::Timeline;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup(latency_us: u64, bw: f64) -> (Simulator, DmaEngine, TraceRecorder) {
+        let trace = TraceRecorder::new();
+        let sim = Simulator::new(trace.clone());
+        let net = SharedFlowNet::new();
+        let link = net.add_capacity("link", bw);
+        let eng = DmaEngine::new(
+            0,
+            Direction::In,
+            SimDuration::from_micros(latency_us),
+            vec![link],
+            net,
+            trace.clone(),
+        );
+        (sim, eng, trace)
+    }
+
+    fn op(bytes: u64, done: Rc<RefCell<Vec<f64>>>) -> DmaOp {
+        DmaOp {
+            bytes,
+            label: format!("{bytes}B"),
+            effect: None,
+            on_complete: Box::new(move |s| done.borrow_mut().push(s.now().as_secs_f64())),
+        }
+    }
+
+    #[test]
+    fn single_op_latency_plus_transfer() {
+        let (mut sim, eng, _) = setup(10, 1000.0); // 10 us latency, 1000 B/s
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(500, done.clone()));
+        sim.run_until_idle();
+        let t = done.borrow()[0];
+        assert!((t - (10e-6 + 0.5)).abs() < 1e-6, "took {t}");
+        assert_eq!(eng.completed_ops(), 1);
+        assert_eq!(eng.total_bytes(), 500);
+    }
+
+    #[test]
+    fn ops_serialize_fifo() {
+        let (mut sim, eng, _) = setup(0, 100.0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(100, done.clone())); // 1 s
+        eng.enqueue(&mut sim, op(200, done.clone())); // 2 s, starts at 1 s
+        sim.run_until_idle();
+        let d = done.borrow();
+        assert!((d[0] - 1.0).abs() < 1e-6);
+        assert!((d[1] - 3.0).abs() < 1e-6, "second op waited: {}", d[1]);
+    }
+
+    #[test]
+    fn per_op_latency_accumulates() {
+        // N small ops pay N latencies — the granularity effect the paper
+        // blames for the Two Buffers slowdown.
+        let (mut sim, eng, _) = setup(100, 1e9);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..10 {
+            eng.enqueue(&mut sim, op(1, done.clone()));
+        }
+        sim.run_until_idle();
+        let last = *done.borrow().last().unwrap();
+        assert!(last >= 10.0 * 100e-6, "ten latencies: {last}");
+    }
+
+    #[test]
+    fn effects_run_at_start_in_fifo_order() {
+        let (mut sim, eng, _) = setup(10, 10.0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let order2 = order.clone();
+            eng.enqueue(
+                &mut sim,
+                DmaOp {
+                    bytes: 10,
+                    label: String::new(),
+                    effect: Some(Box::new(move || order2.borrow_mut().push(i))),
+                    on_complete: Box::new(|_| {}),
+                },
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_spans_recorded() {
+        let (mut sim, eng, trace) = setup(0, 100.0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(100, done.clone()));
+        sim.run_until_idle();
+        let tl = Timeline::from_recorder(&trace);
+        assert_eq!(tl.len(), 1);
+        let s = &tl.spans()[0];
+        assert_eq!(s.kind, SpanKind::TransferIn);
+        assert_eq!(s.bytes, 100);
+        assert_eq!(s.lane, Lane::copy_in(0));
+        assert!((s.duration().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_op_completes() {
+        let (mut sim, eng, _) = setup(5, 100.0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(0, done.clone()));
+        sim.run_until_idle();
+        assert_eq!(done.borrow().len(), 1);
+        assert_eq!(eng.backlog(), 0);
+    }
+
+    #[test]
+    fn two_engines_share_a_bus() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        let net = SharedFlowNet::new();
+        let bus = net.add_capacity("bus", 100.0);
+        let mk = |dev: u32| {
+            let link = net.add_capacity(format!("link{dev}"), 100.0);
+            DmaEngine::new(
+                dev,
+                Direction::In,
+                SimDuration::ZERO,
+                vec![link, bus],
+                net.clone(),
+                trace.clone(),
+            )
+        };
+        let (e0, e1) = (mk(0), mk(1));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        e0.enqueue(&mut sim, op(100, done.clone()));
+        e1.enqueue(&mut sim, op(100, done.clone()));
+        sim.run_until_idle();
+        // Both share the 100 B/s bus → 2 s each instead of 1 s.
+        for &t in done.borrow().iter() {
+            assert!((t - 2.0).abs() < 1e-6, "contended transfer took {t}");
+        }
+    }
+}

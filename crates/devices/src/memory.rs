@@ -1,0 +1,379 @@
+//! Device global memory: a first-fit free-list allocator plus real
+//! backing stores.
+//!
+//! The allocator manages the device's *virtual* address range so capacity
+//! pressure behaves like real hardware — the Somier experiment depends on
+//! the problem being ~10× larger than one device's memory, and the
+//! One-Buffer implementation sizes its buffers to "fully occupy the
+//! device memory" (§V-A). Each allocation is also backed by an actual
+//! `Vec<f64>` holding device-resident data, so every transfer and kernel
+//! manipulates real values that the test suite checks against a CPU
+//! reference.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bytes per array element (everything in the reproduction is `f64`,
+/// matching the paper's double-precision grids).
+pub const ELEM_BYTES: u64 = 8;
+
+/// Handle to one device allocation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AllocId(u64);
+
+/// Allocation failure: the device is out of (contiguous) memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free (possibly fragmented).
+    pub free: u64,
+    /// Largest contiguous free block.
+    pub largest_block: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B, {} B free (largest contiguous block {} B)",
+            self.requested, self.free, self.largest_block
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Best-fit free-list allocator with address-ordered coalescing.
+/// (Best fit keeps large holes intact under the mixed chunk/halo/partial
+/// allocation sizes of buffered workloads, where first fit fragments.)
+pub struct MemoryPool {
+    capacity: u64,
+    /// offset → length of free blocks, address-ordered.
+    free: BTreeMap<u64, u64>,
+    /// live allocations: id → (offset, length).
+    allocs: BTreeMap<u64, (u64, u64)>,
+    next_id: u64,
+    used: u64,
+    high_watermark: u64,
+}
+
+impl MemoryPool {
+    /// A pool over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        MemoryPool {
+            capacity,
+            free,
+            allocs: BTreeMap::new(),
+            next_id: 0,
+            used: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Peak bytes ever allocated simultaneously.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocs(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Largest contiguous free block.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// Allocate `bytes` (best fit: the smallest block that satisfies the
+    /// request, lowest address on ties). Zero-byte allocations are legal
+    /// and occupy no space.
+    pub fn alloc(&mut self, bytes: u64) -> Result<AllocId, OutOfMemory> {
+        let id = AllocId(self.next_id);
+        if bytes == 0 {
+            self.next_id += 1;
+            self.allocs.insert(id.0, (u64::MAX, 0));
+            return Ok(id);
+        }
+        let fit = self
+            .free
+            .iter()
+            .filter(|&(_, &len)| len >= bytes)
+            .min_by_key(|&(&off, &len)| (len, off))
+            .map(|(&off, &len)| (off, len));
+        let Some((off, len)) = fit else {
+            return Err(OutOfMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+                largest_block: self.largest_free_block(),
+            });
+        };
+        self.free.remove(&off);
+        if len > bytes {
+            self.free.insert(off + bytes, len - bytes);
+        }
+        self.next_id += 1;
+        self.allocs.insert(id.0, (off, bytes));
+        self.used += bytes;
+        self.high_watermark = self.high_watermark.max(self.used);
+        Ok(id)
+    }
+
+    /// Release an allocation. Panics on double free / unknown id.
+    pub fn dealloc(&mut self, id: AllocId) {
+        let (off, len) = self
+            .allocs
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("dealloc of unknown allocation {id:?}"));
+        if len == 0 {
+            return;
+        }
+        self.used -= len;
+        // Coalesce with the predecessor and successor blocks.
+        let mut off = off;
+        let mut len = len;
+        if let Some((&prev_off, &prev_len)) = self.free.range(..off).next_back() {
+            if prev_off + prev_len == off {
+                self.free.remove(&prev_off);
+                off = prev_off;
+                len += prev_len;
+            }
+        }
+        if let Some((&next_off, &next_len)) = self.free.range(off + len..).next() {
+            if off + len == next_off {
+                self.free.remove(&next_off);
+                len += next_len;
+            }
+        }
+        let clobbered = self.free.insert(off, len);
+        debug_assert!(clobbered.is_none(), "free-list corruption");
+    }
+
+    /// Size in bytes of a live allocation.
+    pub fn size_of(&self, id: AllocId) -> Option<u64> {
+        self.allocs.get(&id.0).map(|&(_, len)| len)
+    }
+}
+
+/// Device memory: the pool plus real `f64` backing stores, in *element*
+/// units (8 bytes each).
+pub struct DeviceMemory {
+    pool: MemoryPool,
+    buffers: BTreeMap<AllocId, Vec<f64>>,
+}
+
+impl DeviceMemory {
+    /// Memory of `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        DeviceMemory {
+            pool: MemoryPool::new(capacity_bytes),
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying pool (capacity/usage queries).
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Allocate a buffer of `elems` f64 elements, zero-initialized.
+    pub fn alloc_elems(&mut self, elems: usize) -> Result<AllocId, OutOfMemory> {
+        let id = self.pool.alloc(elems as u64 * ELEM_BYTES)?;
+        self.buffers.insert(id, vec![0.0; elems]);
+        Ok(id)
+    }
+
+    /// Free a buffer.
+    pub fn dealloc(&mut self, id: AllocId) {
+        self.pool.dealloc(id);
+        self.buffers.remove(&id);
+    }
+
+    /// Immutable view of a buffer.
+    pub fn buffer(&self, id: AllocId) -> &[f64] {
+        self.buffers
+            .get(&id)
+            .unwrap_or_else(|| panic!("access to unknown device buffer {id:?}"))
+    }
+
+    /// Mutable view of a buffer.
+    pub fn buffer_mut(&mut self, id: AllocId) -> &mut [f64] {
+        self.buffers
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("access to unknown device buffer {id:?}"))
+    }
+
+    /// Mutable views of several *distinct* buffers at once (the kernel
+    /// launcher binds every mapped array of a kernel simultaneously).
+    /// Panics if `ids` contains duplicates or unknown ids.
+    pub fn buffers_mut(&mut self, ids: &[AllocId]) -> Vec<&mut [f64]> {
+        for (i, a) in ids.iter().enumerate() {
+            assert!(
+                !ids[..i].contains(a),
+                "duplicate buffer {a:?} in simultaneous bind"
+            );
+        }
+        let mut out: Vec<Option<&mut [f64]>> = ids.iter().map(|_| None).collect();
+        for (id, buf) in self.buffers.iter_mut() {
+            if let Some(pos) = ids.iter().position(|x| x == id) {
+                out[pos] = Some(buf.as_mut_slice());
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("unknown device buffer {:?}", ids[i])))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut p = MemoryPool::new(1000);
+        let a = p.alloc(400).unwrap();
+        let b = p.alloc(600).unwrap();
+        assert_eq!(p.used(), 1000);
+        assert_eq!(p.free_bytes(), 0);
+        assert!(p.alloc(1).is_err());
+        p.dealloc(a);
+        assert_eq!(p.free_bytes(), 400);
+        let c = p.alloc(400).unwrap();
+        assert_eq!(p.used(), 1000);
+        p.dealloc(b);
+        p.dealloc(c);
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.largest_free_block(), 1000, "coalesced back to one block");
+        assert_eq!(p.high_watermark(), 1000);
+    }
+
+    #[test]
+    fn oom_reports_fragmentation() {
+        let mut p = MemoryPool::new(300);
+        let a = p.alloc(100).unwrap();
+        let _b = p.alloc(100).unwrap();
+        let _c = p.alloc(100).unwrap();
+        p.dealloc(a);
+        // 100 free at offset 0, but a request of 150 cannot fit.
+        let err = p.alloc(150).unwrap_err();
+        assert_eq!(err.requested, 150);
+        assert_eq!(err.free, 100);
+        assert_eq!(err.largest_block, 100);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn coalescing_middle_block() {
+        let mut p = MemoryPool::new(300);
+        let a = p.alloc(100).unwrap();
+        let b = p.alloc(100).unwrap();
+        let c = p.alloc(100).unwrap();
+        p.dealloc(a);
+        p.dealloc(c);
+        assert_eq!(p.largest_free_block(), 100);
+        p.dealloc(b); // merges with both neighbours
+        assert_eq!(p.largest_free_block(), 300);
+        assert_eq!(p.live_allocs(), 0);
+    }
+
+    #[test]
+    fn zero_byte_alloc() {
+        let mut p = MemoryPool::new(10);
+        let z = p.alloc(0).unwrap();
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.size_of(z), Some(0));
+        p.dealloc(z);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown allocation")]
+    fn double_free_panics() {
+        let mut p = MemoryPool::new(10);
+        let a = p.alloc(4).unwrap();
+        p.dealloc(a);
+        p.dealloc(a);
+    }
+
+    #[test]
+    fn zero_capacity_pool() {
+        let mut p = MemoryPool::new(0);
+        assert!(p.alloc(1).is_err());
+        assert!(p.alloc(0).is_ok());
+    }
+
+    #[test]
+    fn device_memory_buffers() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc_elems(10).unwrap();
+        let b = m.alloc_elems(20).unwrap();
+        assert_eq!(m.pool().used(), 30 * 8);
+        m.buffer_mut(a)[3] = 42.0;
+        assert_eq!(m.buffer(a)[3], 42.0);
+        assert!(m.buffer(b).iter().all(|&x| x == 0.0));
+        m.dealloc(a);
+        assert_eq!(m.pool().used(), 160);
+    }
+
+    #[test]
+    fn device_memory_oom_in_elements() {
+        let mut m = DeviceMemory::new(100); // room for 12 elements
+        assert!(m.alloc_elems(12).is_ok());
+        assert!(m.alloc_elems(1).is_err());
+    }
+
+    #[test]
+    fn simultaneous_buffer_bind() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc_elems(4).unwrap();
+        let b = m.alloc_elems(4).unwrap();
+        let c = m.alloc_elems(4).unwrap();
+        let views = m.buffers_mut(&[c, a, b]);
+        assert_eq!(views.len(), 3);
+        // Order matches the request order.
+        views.into_iter().enumerate().for_each(|(i, v)| {
+            v[0] = i as f64 + 1.0;
+        });
+        assert_eq!(m.buffer(c)[0], 1.0);
+        assert_eq!(m.buffer(a)[0], 2.0);
+        assert_eq!(m.buffer(b)[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate buffer")]
+    fn duplicate_bind_panics() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc_elems(4).unwrap();
+        let _ = m.buffers_mut(&[a, a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device buffer")]
+    fn unknown_buffer_access_panics() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc_elems(4).unwrap();
+        m.dealloc(a);
+        let _ = m.buffer(a);
+    }
+}

@@ -1,0 +1,316 @@
+//! An instantiated machine: devices wired to a flow network.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spread_sim::SharedFlowNet;
+use spread_trace::TraceRecorder;
+
+use crate::compute::ComputeEngine;
+use crate::dma::{Direction, DmaEngine};
+use crate::gate::SerialGate;
+use crate::memory::DeviceMemory;
+use crate::spec::DeviceSpec;
+use crate::topology::Topology;
+
+/// A live simulated device: memory, two copy engines, one compute queue.
+/// Cheap to clone (all engines are shared handles).
+#[derive(Clone)]
+pub struct DeviceHandle {
+    /// Physical device id (index in the topology).
+    pub id: u32,
+    /// Static parameters.
+    pub spec: DeviceSpec,
+    /// Global memory (allocator + real buffers).
+    pub mem: Rc<RefCell<DeviceMemory>>,
+    /// Host→device copy engine.
+    pub dma_in: DmaEngine,
+    /// Device→host copy engine.
+    pub dma_out: DmaEngine,
+    /// Kernel queue.
+    pub compute: ComputeEngine,
+}
+
+/// The machine: every device plus the shared interconnect model.
+pub struct Node {
+    devices: Vec<DeviceHandle>,
+    flownet: SharedFlowNet,
+}
+
+impl Node {
+    /// Instantiate a topology. Spans are recorded into `trace`.
+    pub fn new(topo: &Topology, trace: &TraceRecorder) -> Self {
+        assert_eq!(
+            topo.devices.len(),
+            topo.switch_of.len(),
+            "topology: switch_of must cover every device"
+        );
+        let flownet = SharedFlowNet::new();
+        let bus = flownet.add_capacity("host-bus", topo.host_bus_bw);
+        // One capacity per switch, shared by BOTH directions: on the
+        // paper's machine, mixing H2D and D2H traffic bought no extra
+        // aggregate bandwidth ("transfers from different buffers did
+        // not overlap", Figure 4) — the buffered Somier versions would
+        // otherwise win by direction-mixing.
+        let switch_caps: Vec<spread_sim::CapacityId> = (0..topo.n_switches)
+            .map(|s| flownet.add_capacity(format!("switch{s}"), topo.switch_bw))
+            .collect();
+        let devices = topo
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let sw = topo.switch_of[i];
+                assert!(sw < topo.n_switches, "device {i} on unknown switch {sw}");
+                let link_in = flownet.add_capacity(format!("gpu{i}-link-in"), topo.link_bw);
+                let link_out = flownet.add_capacity(format!("gpu{i}-link-out"), topo.link_bw);
+                let id = i as u32;
+                let gate = spec.single_queue.then(SerialGate::new);
+                let with_gate_dma = |e: DmaEngine| match &gate {
+                    Some(g) => e.with_gate(g.clone()),
+                    None => e,
+                };
+                let compute = ComputeEngine::new(id, spec.compute.clone(), trace.clone());
+                let compute = match &gate {
+                    Some(g) => compute.with_gate(g.clone()),
+                    None => compute,
+                };
+                DeviceHandle {
+                    id,
+                    spec: spec.clone(),
+                    mem: Rc::new(RefCell::new(DeviceMemory::new(spec.mem_bytes))),
+                    dma_in: with_gate_dma(DmaEngine::new(
+                        id,
+                        Direction::In,
+                        spec.dma_latency,
+                        vec![link_in, switch_caps[sw], bus],
+                        flownet.clone(),
+                        trace.clone(),
+                    )),
+                    dma_out: with_gate_dma(DmaEngine::new(
+                        id,
+                        Direction::Out,
+                        spec.dma_latency,
+                        vec![link_out, switch_caps[sw], bus],
+                        flownet.clone(),
+                        trace.clone(),
+                    )),
+                    compute,
+                }
+            })
+            .collect();
+        Node { devices, flownet }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[DeviceHandle] {
+        &self.devices
+    }
+
+    /// One device by physical id. Panics on unknown ids (the OpenMP
+    /// runtime would fail a `device()` clause the same way).
+    pub fn device(&self, id: u32) -> &DeviceHandle {
+        self.devices
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("unknown device id {id} (node has {})", self.devices.len()))
+    }
+
+    /// The shared interconnect (for instrumentation and ablations).
+    pub fn flownet(&self) -> &SharedFlowNet {
+        &self.flownet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spread_sim::Simulator;
+    use spread_trace::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn node_instantiates_ctepower() {
+        let trace = TraceRecorder::disabled();
+        let node = Node::new(&Topology::ctepower(4), &trace);
+        assert_eq!(node.n_devices(), 4);
+        assert_eq!(node.device(2).id, 2);
+        assert_eq!(
+            node.device(0).mem.borrow().pool().capacity(),
+            16 * (1 << 30)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device id")]
+    fn unknown_device_panics() {
+        let trace = TraceRecorder::disabled();
+        let node = Node::new(&Topology::ctepower(2), &trace);
+        node.device(2);
+    }
+
+    /// End-to-end through a Node: four concurrent H2D transfers on the
+    /// CTE-POWER topology aggregate to the host-bus cap, not 4 links.
+    #[test]
+    fn four_transfers_bottleneck_on_bus() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        // Unscaled: link 12, switch 14, bus 21 GB/s. 1 GB per device.
+        let topo = Topology::ctepower(4);
+        let node = Node::new(&topo, &trace);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for d in node.devices() {
+            let done = done.clone();
+            let id = d.id;
+            d.dma_in.enqueue(
+                &mut sim,
+                crate::dma::DmaOp {
+                    bytes: 1_000_000_000,
+                    label: "test".into(),
+                    effect: None,
+                    on_complete: Box::new(move |s| {
+                        done.borrow_mut().push((id, s.now().as_secs_f64()));
+                    }),
+                },
+            );
+        }
+        sim.run_until_idle();
+        // 4 GB total over a 21 GB/s bus (each flow gets 5.25 GB/s,
+        // under both the 12 link and 14/2=7 switch share):
+        // 1e9 / 5.25e9 ≈ 0.1905 s (+10 us DMA latency).
+        for &(id, t) in done.borrow().iter() {
+            assert!(
+                (t - (1.0 / 5.25 + 10e-6)).abs() < 1e-4,
+                "device {id} finished at {t}"
+            );
+        }
+    }
+
+    /// A single transfer is limited by its own link (12 GB/s), and two
+    /// same-switch transfers by the switch (14 GB/s aggregate).
+    #[test]
+    fn contention_tiers() {
+        let trace = TraceRecorder::disabled();
+        // One device alone.
+        let mut sim = Simulator::new(trace.clone());
+        let node = Node::new(&Topology::ctepower(1), &trace);
+        let t_solo = Rc::new(RefCell::new(0.0));
+        let t2 = t_solo.clone();
+        node.device(0).dma_in.enqueue(
+            &mut sim,
+            crate::dma::DmaOp {
+                bytes: 12_000_000_000,
+                label: String::new(),
+                effect: None,
+                on_complete: Box::new(move |s| *t2.borrow_mut() = s.now().as_secs_f64()),
+            },
+        );
+        sim.run_until_idle();
+        assert!(
+            (*t_solo.borrow() - 1.0).abs() < 1e-3,
+            "solo: {}",
+            t_solo.borrow()
+        );
+
+        // Two devices on the same switch.
+        let mut sim = Simulator::new(trace.clone());
+        let node = Node::new(&Topology::ctepower(2), &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for d in node.devices() {
+            let times = times.clone();
+            d.dma_in.enqueue(
+                &mut sim,
+                crate::dma::DmaOp {
+                    bytes: 7_000_000_000,
+                    label: String::new(),
+                    effect: None,
+                    on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                },
+            );
+        }
+        sim.run_until_idle();
+        // Each gets 14/2 = 7 GB/s → 1 s for 7 GB.
+        for &t in times.borrow().iter() {
+            assert!((t - 1.0).abs() < 1e-3, "same-switch pair: {t}");
+        }
+    }
+
+    /// With separate streams (dual copy engines), in/out directions have
+    /// separate link and switch capacity but share the host bus.
+    #[test]
+    fn directions_share_only_the_bus() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        // Custom: link 10, switch 10, bus 12 → an H2D + D2H pair on one
+        // device is bus-bound at 6 each.
+        let mut topo = Topology::ctepower(1);
+        topo.link_bw = 10.0;
+        topo.switch_bw = 12.0; // shared by both directions
+        topo.host_bus_bw = 12.0;
+        for d in &mut topo.devices {
+            d.dma_latency = SimDuration::ZERO;
+            d.single_queue = false; // separate streams for this test
+        }
+        let node = Node::new(&topo, &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dev = node.device(0);
+        for eng in [&dev.dma_in, &dev.dma_out] {
+            let times = times.clone();
+            eng.enqueue(
+                &mut sim,
+                crate::dma::DmaOp {
+                    bytes: 60,
+                    label: String::new(),
+                    effect: None,
+                    on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                },
+            );
+        }
+        sim.run_until_idle();
+        for &t in times.borrow().iter() {
+            assert!((t - 10.0).abs() < 1e-6, "bus-bound pair: {t}");
+        }
+    }
+
+    /// With default-stream semantics (single_queue, the ctepower
+    /// default), an H2D + D2H pair on one device serializes completely —
+    /// the paper's Figure 4 behaviour.
+    #[test]
+    fn single_queue_serializes_directions() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        let mut topo = Topology::ctepower(1);
+        topo.link_bw = 10.0;
+        topo.switch_bw = 12.0;
+        topo.host_bus_bw = 12.0;
+        for d in &mut topo.devices {
+            d.dma_latency = SimDuration::ZERO;
+            assert!(d.single_queue, "ctepower defaults to default-stream");
+        }
+        let node = Node::new(&topo, &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dev = node.device(0);
+        for eng in [&dev.dma_in, &dev.dma_out] {
+            let times = times.clone();
+            eng.enqueue(
+                &mut sim,
+                crate::dma::DmaOp {
+                    bytes: 60,
+                    label: String::new(),
+                    effect: None,
+                    on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                },
+            );
+        }
+        sim.run_until_idle();
+        // Each op alone runs at the 10 B/s link: 6 s, then 6 s more.
+        let t = times.borrow();
+        assert!((t[0] - 6.0).abs() < 1e-6, "first: {}", t[0]);
+        assert!((t[1] - 12.0).abs() < 1e-6, "second serialized: {}", t[1]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Node topologies.
+//!
+//! A [`Topology`] describes the machine: the device list, which PCIe/X-bus
+//! switch each device hangs off, and the three tiers of interconnect
+//! bandwidth (per-device link, per-switch aggregate, host-bus aggregate).
+//! The [`Topology::ctepower`] preset is calibrated so the Somier
+//! experiment reproduces the paper's Table I shape; `DESIGN.md` §2
+//! derives the numbers.
+
+use spread_trace::SimDuration;
+
+use crate::spec::DeviceSpec;
+
+/// Gigabytes per second, in bytes per second.
+pub const GBS: f64 = 1e9;
+
+/// A machine description: devices plus interconnect.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Per-device specifications.
+    pub devices: Vec<DeviceSpec>,
+    /// Switch index for each device (same length as `devices`).
+    pub switch_of: Vec<usize>,
+    /// Number of switches.
+    pub n_switches: usize,
+    /// Per-device, per-direction link bandwidth (bytes/s).
+    pub link_bw: f64,
+    /// Per-switch, per-direction aggregate bandwidth (bytes/s).
+    pub switch_bw: f64,
+    /// Host-bus aggregate bandwidth shared by *all* transfers in both
+    /// directions (bytes/s).
+    pub host_bus_bw: f64,
+}
+
+impl Topology {
+    /// A uniform node: `n` identical devices, all on one switch.
+    pub fn uniform(n: usize, spec: DeviceSpec, link_bw: f64, host_bus_bw: f64) -> Self {
+        Topology {
+            devices: vec![spec; n],
+            switch_of: vec![0; n],
+            n_switches: 1,
+            link_bw,
+            switch_bw: host_bus_bw,
+            host_bus_bw,
+        }
+    }
+
+    /// The CTE-POWER-like node of the paper's evaluation: up to four
+    /// V100-class GPUs, two per switch.
+    ///
+    /// Calibration (see DESIGN.md §2): per-device link 12 GB/s, per-switch
+    /// cap 14 GB/s, host bus 21 GB/s. Aggregate transfer bandwidth then
+    /// scales 1× / ~1.17× / ~1.75× for 1/2/4 GPUs — the sub-linear
+    /// transfer speedup that limits Table I's overall speedup to ~2.1× at
+    /// 4 GPUs while kernels scale near-linearly.
+    pub fn ctepower(n_gpus: usize) -> Self {
+        assert!(
+            (1..=4).contains(&n_gpus),
+            "the CTE-POWER node has 1..=4 GPUs"
+        );
+        Topology {
+            devices: vec![DeviceSpec::v100(); n_gpus],
+            // GPUs 0,1 on switch 0; GPUs 2,3 on switch 1.
+            switch_of: (0..n_gpus).map(|d| d / 2).collect(),
+            n_switches: n_gpus.div_ceil(2),
+            link_bw: 12.0 * GBS,
+            switch_bw: 14.0 * GBS,
+            host_bus_bw: 21.0 * GBS,
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Rescale the machine so a problem `scale`× smaller than the paper's
+    /// produces virtual times of the paper's magnitude: divides every
+    /// bandwidth by `scale` and multiplies per-iteration kernel cost and
+    /// DMA latency by `scale`.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite());
+        self.link_bw /= scale;
+        self.switch_bw /= scale;
+        self.host_bus_bw /= scale;
+        for d in &mut self.devices {
+            d.compute.time_scale *= scale;
+            d.dma_latency = SimDuration::from_secs_f64(d.dma_latency.as_secs_f64() * scale);
+        }
+        self
+    }
+
+    /// Replace every device's memory capacity (bytes).
+    pub fn with_device_mem(mut self, bytes: u64) -> Self {
+        for d in &mut self.devices {
+            d.mem_bytes = bytes;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctepower_switch_assignment() {
+        let t = Topology::ctepower(4);
+        assert_eq!(t.switch_of, vec![0, 0, 1, 1]);
+        assert_eq!(t.n_switches, 2);
+        let t2 = Topology::ctepower(2);
+        assert_eq!(t2.switch_of, vec![0, 0]);
+        assert_eq!(t2.n_switches, 1);
+        let t1 = Topology::ctepower(1);
+        assert_eq!(t1.n_switches, 1);
+    }
+
+    #[test]
+    fn ctepower_calibration_shape() {
+        // Aggregate transfer speedups from the calibration: 1 GPU limited
+        // by its link; 2 GPUs (same switch) by the switch; 4 by the bus.
+        let t = Topology::ctepower(4);
+        let s1 = t.link_bw;
+        let s2 = t.switch_bw;
+        let s4 = t.host_bus_bw;
+        assert!((s2 / s1 - 1.1667).abs() < 0.01);
+        assert!((s4 / s1 - 1.75).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn ctepower_bounds() {
+        Topology::ctepower(5);
+    }
+
+    #[test]
+    fn time_scale_rescales_consistently() {
+        let t = Topology::ctepower(2).with_time_scale(1000.0);
+        assert!((t.link_bw - 12.0 * GBS / 1000.0).abs() < 1.0);
+        assert!((t.devices[0].compute.time_scale - 1000.0).abs() < 1e-9);
+        assert_eq!(
+            t.devices[0].dma_latency,
+            SimDuration::from_millis(10) // 10 us * 1000
+        );
+    }
+
+    #[test]
+    fn uniform_node() {
+        let t = Topology::uniform(3, DeviceSpec::v100(), 10.0, 25.0);
+        assert_eq!(t.n_devices(), 3);
+        assert_eq!(t.switch_of, vec![0, 0, 0]);
+        assert_eq!(t.switch_bw, 25.0);
+    }
+
+    #[test]
+    fn with_device_mem() {
+        let t = Topology::ctepower(2).with_device_mem(4096);
+        assert!(t.devices.iter().all(|d| d.mem_bytes == 4096));
+    }
+}

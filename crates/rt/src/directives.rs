@@ -1,0 +1,612 @@
+//! Builder-style directives mirroring the single-device `target` pragma
+//! family — the baseline directive set the paper compares against.
+//!
+//! | Pragma | Builder |
+//! |---|---|
+//! | `#pragma omp target teams distribute parallel for device(d) map(…) nowait depend(…)` | [`Target`] |
+//! | `#pragma omp target data device(d) map(…)` | [`TargetData`] |
+//! | `#pragma omp target enter data device(d) nowait map(to: …)` | [`TargetEnterData`] |
+//! | `#pragma omp target exit data device(d) nowait map(from: …)` | [`TargetExitData`] |
+//! | `#pragma omp target update device(d) nowait to(…) from(…)` | [`TargetUpdate`] |
+//!
+//! Every builder is consumed by a `launch`-style method taking a
+//! [`Scope`]. Without `nowait` the call blocks (drains the simulator)
+//! until the construct completes, like the OpenMP originals.
+
+use std::ops::Range;
+
+use crate::error::RtError;
+use crate::kernel::KernelSpec;
+use crate::map::{MapClause, MapType};
+use crate::runtime::{run_kernel, run_transfers, Action, Completion, Scope};
+use crate::section::Section;
+use crate::task::{FpAccess, TaskId, TaskSpec};
+
+/// Dependence clauses shared by the directive builders.
+#[derive(Clone, Default)]
+struct Depends {
+    ins: Vec<Section>,
+    outs: Vec<Section>,
+}
+
+impl Depends {
+    fn wait_on(&self) -> Vec<(Section, bool)> {
+        self.ins
+            .iter()
+            .map(|&s| (s, false))
+            .chain(self.outs.iter().map(|&s| (s, true)))
+            .collect()
+    }
+}
+
+/// Footprints of the enter half of a map set (for race detection).
+fn enter_footprints(device: u32, maps: &[MapClause]) -> (Vec<FpAccess>, Vec<FpAccess>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for m in maps {
+        if m.map_type.copies_in() {
+            reads.push(FpAccess::host(m.section));
+            writes.push(FpAccess::device(device, m.section));
+        }
+    }
+    (reads, writes)
+}
+
+/// Footprints of the exit half of a map set.
+fn exit_footprints(device: u32, maps: &[MapClause]) -> (Vec<FpAccess>, Vec<FpAccess>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for m in maps {
+        if m.map_type.copies_out() {
+            reads.push(FpAccess::device(device, m.section));
+            writes.push(FpAccess::host(m.section));
+        }
+    }
+    (reads, writes)
+}
+
+/// `#pragma omp target enter data`.
+#[derive(Clone)]
+pub struct TargetEnterData {
+    device: u32,
+    maps: Vec<MapClause>,
+    nowait: bool,
+    deps: Depends,
+    label: Option<String>,
+}
+
+impl TargetEnterData {
+    /// Start building for `device(d)`.
+    pub fn device(device: u32) -> Self {
+        TargetEnterData {
+            device,
+            maps: Vec::new(),
+            nowait: false,
+            deps: Depends::default(),
+            label: None,
+        }
+    }
+
+    /// Add a map item (`to` or `alloc`).
+    pub fn map(mut self, m: MapClause) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = MapClause>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait` — asynchronous.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// `depend(in: s)`.
+    pub fn depend_in(mut self, s: Section) -> Self {
+        self.deps.ins.push(s);
+        self
+    }
+
+    /// `depend(out: s)`.
+    pub fn depend_out(mut self, s: Section) -> Self {
+        self.deps.outs.push(s);
+        self
+    }
+
+    /// Override the task label.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// Issue the directive.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<TaskId, RtError> {
+        for m in &self.maps {
+            if !m.map_type.valid_on_enter() {
+                return Err(RtError::InvalidDirective(format!(
+                    "target enter data: map type {:?} not allowed (use to/alloc)",
+                    m.map_type
+                )));
+            }
+        }
+        let device = self.device;
+        let maps = self.maps;
+        let (fp_reads, fp_writes) = enter_footprints(device, &maps);
+        let mut spec = TaskSpec::new(
+            self.label
+                .unwrap_or_else(|| format!("enter-data(dev{device})")),
+        );
+        spec.wait_on = self.deps.wait_on();
+        spec.publish = spec.wait_on.clone();
+        spec.fp_reads = fp_reads;
+        spec.fp_writes = fp_writes;
+        let action: Action = Box::new(move |sim, inner_rc, id| {
+            crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+            Ok(Completion::Async)
+        });
+        let id = scope.submit(spec, action);
+        if !self.nowait {
+            scope.drain_task(id)?;
+        }
+        Ok(id)
+    }
+}
+
+/// `#pragma omp target exit data`.
+#[derive(Clone)]
+pub struct TargetExitData {
+    device: u32,
+    maps: Vec<MapClause>,
+    nowait: bool,
+    deps: Depends,
+    label: Option<String>,
+}
+
+impl TargetExitData {
+    /// Start building for `device(d)`.
+    pub fn device(device: u32) -> Self {
+        TargetExitData {
+            device,
+            maps: Vec::new(),
+            nowait: false,
+            deps: Depends::default(),
+            label: None,
+        }
+    }
+
+    /// Add a map item (`from`, `release` or `delete`).
+    pub fn map(mut self, m: MapClause) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = MapClause>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait` — asynchronous.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// `depend(in: s)`.
+    pub fn depend_in(mut self, s: Section) -> Self {
+        self.deps.ins.push(s);
+        self
+    }
+
+    /// `depend(out: s)`.
+    pub fn depend_out(mut self, s: Section) -> Self {
+        self.deps.outs.push(s);
+        self
+    }
+
+    /// Override the task label.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// Issue the directive.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<TaskId, RtError> {
+        for m in &self.maps {
+            if !m.map_type.valid_on_exit() {
+                return Err(RtError::InvalidDirective(format!(
+                    "target exit data: map type {:?} not allowed (use from/release/delete)",
+                    m.map_type
+                )));
+            }
+        }
+        let device = self.device;
+        let maps = self.maps;
+        let (fp_reads, fp_writes) = exit_footprints(device, &maps);
+        let mut spec = TaskSpec::new(
+            self.label
+                .unwrap_or_else(|| format!("exit-data(dev{device})")),
+        );
+        spec.wait_on = self.deps.wait_on();
+        spec.publish = spec.wait_on.clone();
+        spec.fp_reads = fp_reads;
+        spec.fp_writes = fp_writes;
+        let action: Action = Box::new(move |sim, inner_rc, id| {
+            let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
+            run_transfers(
+                sim,
+                inner_rc,
+                id,
+                device,
+                Vec::new(),
+                plan.copies,
+                plan.to_free,
+            );
+            Ok(Completion::Async)
+        });
+        let id = scope.submit(spec, action);
+        if !self.nowait {
+            scope.drain_task(id)?;
+        }
+        Ok(id)
+    }
+}
+
+/// `#pragma omp target update`.
+#[derive(Clone)]
+pub struct TargetUpdate {
+    device: u32,
+    to_items: Vec<Section>,
+    from_items: Vec<Section>,
+    nowait: bool,
+    deps: Depends,
+}
+
+impl TargetUpdate {
+    /// Start building for `device(d)`.
+    pub fn device(device: u32) -> Self {
+        TargetUpdate {
+            device,
+            to_items: Vec::new(),
+            from_items: Vec::new(),
+            nowait: false,
+            deps: Depends::default(),
+        }
+    }
+
+    /// `to(section)` — refresh the device image from the host.
+    pub fn to(mut self, s: Section) -> Self {
+        self.to_items.push(s);
+        self
+    }
+
+    /// `from(section)` — refresh the host from the device image.
+    pub fn from(mut self, s: Section) -> Self {
+        self.from_items.push(s);
+        self
+    }
+
+    /// `nowait` — asynchronous.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// `depend(in: s)`.
+    pub fn depend_in(mut self, s: Section) -> Self {
+        self.deps.ins.push(s);
+        self
+    }
+
+    /// `depend(out: s)`.
+    pub fn depend_out(mut self, s: Section) -> Self {
+        self.deps.outs.push(s);
+        self
+    }
+
+    /// Issue the directive.
+    pub fn launch(self, scope: &mut Scope<'_>) -> Result<TaskId, RtError> {
+        let device = self.device;
+        let (to_items, from_items) = (self.to_items, self.from_items);
+        let mut spec = TaskSpec::new(format!("update(dev{device})"));
+        spec.wait_on = self.deps.wait_on();
+        spec.publish = spec.wait_on.clone();
+        for &s in &to_items {
+            spec.fp_reads.push(FpAccess::host(s));
+            spec.fp_writes.push(FpAccess::device(device, s));
+        }
+        for &s in &from_items {
+            spec.fp_reads.push(FpAccess::device(device, s));
+            spec.fp_writes.push(FpAccess::host(s));
+        }
+        let action: Action = Box::new(move |sim, inner_rc, id| {
+            let (to_copies, from_copies) =
+                inner_rc
+                    .borrow_mut()
+                    .plan_update(device, &to_items, &from_items)?;
+            run_transfers(
+                sim,
+                inner_rc,
+                id,
+                device,
+                to_copies,
+                from_copies,
+                Vec::new(),
+            );
+            Ok(Completion::Async)
+        });
+        let id = scope.submit(spec, action);
+        if !self.nowait {
+            scope.drain_task(id)?;
+        }
+        Ok(id)
+    }
+}
+
+/// `#pragma omp target data { … }` — structured mapping scope.
+#[derive(Clone)]
+pub struct TargetData {
+    device: u32,
+    maps: Vec<MapClause>,
+}
+
+impl TargetData {
+    /// Start building for `device(d)`.
+    pub fn device(device: u32) -> Self {
+        TargetData {
+            device,
+            maps: Vec::new(),
+        }
+    }
+
+    /// Add a map item.
+    pub fn map(mut self, m: MapClause) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = MapClause>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// Run the structured region: blocking enter, body, blocking exit —
+    /// the original supports neither `nowait` nor `depend` (§III-B.3).
+    pub fn region<R>(
+        self,
+        scope: &mut Scope<'_>,
+        f: impl FnOnce(&mut Scope<'_>) -> Result<R, RtError>,
+    ) -> Result<R, RtError> {
+        let enter_maps: Vec<MapClause> = self
+            .maps
+            .iter()
+            .map(|m| MapClause {
+                // `from` allocates on entry without copying.
+                map_type: match m.map_type {
+                    MapType::From => MapType::Alloc,
+                    t => t,
+                },
+                section: m.section,
+            })
+            .collect();
+        let exit_maps: Vec<MapClause> = self
+            .maps
+            .iter()
+            .map(|m| MapClause {
+                map_type: exit_equivalent(m.map_type),
+                section: m.section,
+            })
+            .collect();
+        let device = self.device;
+        {
+            let mut b = TargetEnterData::device(device).label(format!("data-enter(dev{device})"));
+            b.maps = enter_maps;
+            b.launch(scope)?;
+        }
+        let r = f(scope)?;
+        {
+            let mut b = TargetExitData::device(device).label(format!("data-exit(dev{device})"));
+            b.maps = exit_maps;
+            b.launch(scope)?;
+        }
+        Ok(r)
+    }
+}
+
+/// The exit-phase equivalent of a structured/`target` map type.
+fn exit_equivalent(t: MapType) -> MapType {
+    match t {
+        MapType::From | MapType::ToFrom => MapType::From,
+        MapType::To | MapType::Alloc => MapType::Release,
+        MapType::Release | MapType::Delete => t,
+    }
+}
+
+/// `#pragma omp target [teams distribute parallel for]` — the executable
+/// directive. Offloads a kernel over a loop range to one device.
+#[derive(Clone)]
+pub struct Target {
+    device: u32,
+    maps: Vec<MapClause>,
+    nowait: bool,
+    deps: Depends,
+    num_teams: Option<u32>,
+    threads_per_team: Option<u32>,
+}
+
+impl Target {
+    /// Start building for `device(d)`.
+    pub fn device(device: u32) -> Self {
+        Target {
+            device,
+            maps: Vec::new(),
+            nowait: false,
+            deps: Depends::default(),
+            num_teams: None,
+            threads_per_team: None,
+        }
+    }
+
+    /// Add a map item.
+    pub fn map(mut self, m: MapClause) -> Self {
+        self.maps.push(m);
+        self
+    }
+
+    /// Add several map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = MapClause>) -> Self {
+        self.maps.extend(items);
+        self
+    }
+
+    /// `nowait` — asynchronous.
+    pub fn nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// Cancel a previously set `nowait` (the construct blocks again).
+    pub fn blocking(mut self) -> Self {
+        self.nowait = false;
+        self
+    }
+
+    /// `depend(in: s)`.
+    pub fn depend_in(mut self, s: Section) -> Self {
+        self.deps.ins.push(s);
+        self
+    }
+
+    /// `depend(out: s)`.
+    pub fn depend_out(mut self, s: Section) -> Self {
+        self.deps.outs.push(s);
+        self
+    }
+
+    /// `num_teams(n)`.
+    pub fn num_teams(mut self, n: u32) -> Self {
+        self.num_teams = Some(n);
+        self
+    }
+
+    /// `thread_limit`/threads per team.
+    pub fn num_threads(mut self, n: u32) -> Self {
+        self.threads_per_team = Some(n);
+        self
+    }
+
+    /// Plain `target` (no `teams distribute parallel for`): the loop runs
+    /// on a single device lane.
+    pub fn serial(mut self) -> Self {
+        self.num_teams = Some(1);
+        self.threads_per_team = Some(1);
+        self
+    }
+
+    /// Offload `kernel` over `range`. Creates the construct's three
+    /// phases (enter mappings → kernel → exit mappings) as chained tasks;
+    /// downstream `depend` matching sees the construct as one unit.
+    pub fn parallel_for(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<TaskId, RtError> {
+        for m in &self.maps {
+            if matches!(m.map_type, MapType::Release | MapType::Delete) {
+                return Err(RtError::InvalidDirective(format!(
+                    "target: map type {:?} not allowed",
+                    m.map_type
+                )));
+            }
+        }
+        let device = self.device;
+        let name = kernel.name.clone();
+        let (teams, threads) = {
+            let inner = scope.inner.borrow();
+            (
+                self.num_teams.unwrap_or(inner.default_num_teams),
+                self.threads_per_team
+                    .unwrap_or(inner.default_threads_per_team),
+            )
+        };
+
+        // Phase 1: enter mappings. Waits on the user's depends.
+        let enter_id = {
+            let maps = self.maps.clone();
+            let (fp_reads, fp_writes) = enter_footprints(device, &maps);
+            let mut spec = TaskSpec::new(format!("{name}-enter(dev{device})"));
+            spec.wait_on = self.deps.wait_on();
+            spec.fp_reads = fp_reads;
+            spec.fp_writes = fp_writes;
+            let action: Action = Box::new(move |sim, inner_rc, id| {
+                crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+                Ok(Completion::Async)
+            });
+            scope.submit(spec, action)
+        };
+
+        // Phase 2: the kernel.
+        let kernel_id = {
+            let mut spec = TaskSpec::new(format!("{name}(dev{device})"));
+            spec.extra_preds = vec![enter_id];
+            for arg in &kernel.args {
+                let sec = Section::from_range(arg.array.id(), (arg.section_of)(range.clone()));
+                let fp = FpAccess::device(device, sec);
+                if arg.access.writes() {
+                    spec.fp_writes.push(fp);
+                } else {
+                    spec.fp_reads.push(fp);
+                }
+            }
+            let krange = range.clone();
+            let action: Action = Box::new(move |sim, inner_rc, id| {
+                run_kernel(sim, inner_rc, id, device, krange, &kernel, teams, threads)?;
+                Ok(Completion::Async)
+            });
+            scope.submit(spec, action)
+        };
+
+        // Phase 3: exit mappings. Publishes the user's depends.
+        let exit_id = {
+            let maps: Vec<MapClause> = self
+                .maps
+                .iter()
+                .map(|m| MapClause {
+                    map_type: exit_equivalent(m.map_type),
+                    section: m.section,
+                })
+                .collect();
+            let (fp_reads, fp_writes) = exit_footprints(device, &maps);
+            let mut spec = TaskSpec::new(format!("{name}-exit(dev{device})"));
+            spec.extra_preds = vec![kernel_id];
+            spec.publish = self.deps.wait_on();
+            spec.fp_reads = fp_reads;
+            spec.fp_writes = fp_writes;
+            let action: Action = Box::new(move |sim, inner_rc, id| {
+                let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
+                run_transfers(
+                    sim,
+                    inner_rc,
+                    id,
+                    device,
+                    Vec::new(),
+                    plan.copies,
+                    plan.to_free,
+                );
+                Ok(Completion::Async)
+            });
+            scope.submit(spec, action)
+        };
+
+        if !self.nowait {
+            scope.drain_task(exit_id)?;
+        }
+        Ok(exit_id)
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime error types.
+
+use std::fmt;
+
+use crate::section::Section;
+
+/// Errors surfaced by the offloading runtime.
+///
+/// Errors are recorded when the failing task *starts* in virtual time (a
+/// `nowait` directive cannot fail at the point of its pragma); blocking
+/// drains return the first recorded error, after which the runtime is
+/// poisoned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    /// A new mapping overlaps, but does not fit inside, a section already
+    /// present on the device — OpenMP forbids extending a mapped array.
+    /// This is the rule that makes the Two Buffers / Double Buffering
+    /// Somier versions impossible on a single GPU (paper §V-B).
+    OverlapExtension {
+        /// Device on which the conflict occurred.
+        device: u32,
+        /// The requested section.
+        requested: Section,
+        /// The already-present conflicting section.
+        present: Section,
+    },
+    /// A `from`/`release`/`delete`/`update` referenced data that is not
+    /// mapped on the device.
+    NotMapped {
+        /// Device looked up.
+        device: u32,
+        /// The missing section.
+        requested: Section,
+    },
+    /// The device allocator could not satisfy a mapping.
+    OutOfMemory {
+        /// Device that ran out.
+        device: u32,
+        /// The section being mapped.
+        requested: Section,
+        /// Bytes requested.
+        bytes: u64,
+        /// Bytes free (possibly fragmented).
+        free: u64,
+    },
+    /// A kernel argument's section was not present on the launch device.
+    KernelSectionMissing {
+        /// Launch device.
+        device: u32,
+        /// Kernel name.
+        kernel: String,
+        /// The section the kernel needs.
+        requested: Section,
+    },
+    /// The simulator went idle while a blocking construct still waited —
+    /// a dependency cycle or a lost completion.
+    Deadlock {
+        /// Description of what was being waited for.
+        waiting_for: String,
+    },
+    /// A directive was mis-specified (empty device list, zero chunk, …).
+    InvalidDirective(
+        /// Explanation.
+        String,
+    ),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::OverlapExtension {
+                device,
+                requested,
+                present,
+            } => write!(
+                f,
+                "illegal extension of mapped array on device {device}: requested {requested} \
+                 overlaps present {present} without being contained in it"
+            ),
+            RtError::NotMapped { device, requested } => {
+                write!(f, "section {requested} is not mapped on device {device}")
+            }
+            RtError::OutOfMemory {
+                device,
+                requested,
+                bytes,
+                free,
+            } => write!(
+                f,
+                "device {device} out of memory mapping {requested}: need {bytes} B, {free} B free"
+            ),
+            RtError::KernelSectionMissing {
+                device,
+                kernel,
+                requested,
+            } => write!(
+                f,
+                "kernel `{kernel}` on device {device} requires unmapped section {requested}"
+            ),
+            RtError::Deadlock { waiting_for } => {
+                write!(
+                    f,
+                    "deadlock: simulator idle while waiting for {waiting_for}"
+                )
+            }
+            RtError::InvalidDirective(msg) => write!(f, "invalid directive: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::{ArrayId, Section};
+
+    #[test]
+    fn display_messages() {
+        let s = Section::new(ArrayId(0), 10, 5);
+        let e = RtError::OverlapExtension {
+            device: 2,
+            requested: s,
+            present: Section::new(ArrayId(0), 12, 8),
+        };
+        assert!(e.to_string().contains("illegal extension"));
+        assert!(e.to_string().contains("device 2"));
+        let e = RtError::NotMapped {
+            device: 0,
+            requested: s,
+        };
+        assert!(e.to_string().contains("not mapped"));
+        let e = RtError::Deadlock {
+            waiting_for: "taskgroup 3".into(),
+        };
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

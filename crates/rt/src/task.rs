@@ -1,0 +1,704 @@
+//! The task graph: OpenMP-style deferred tasks with `depend` matching on
+//! array sections, taskgroups, and a concurrency race detector.
+//!
+//! Dependence semantics follow OpenMP: a task's `depend(in: s)` orders it
+//! after previously created **sibling** tasks (same parent task context)
+//! with an overlapping `out` section; `depend(out: s)` orders after
+//! overlapping `in` *and* `out` records. Tasks created in different
+//! parent contexts (e.g. two `taskloop` bodies) do *not* synchronize via
+//! `depend` — exactly the OpenMP rule that makes the paper's Two Buffers
+//! version rely on `taskgroup` barriers instead.
+//!
+//! The graph also keeps per-task *footprints* (everything the task reads
+//! and writes: declared depends plus map sections). Footprints never
+//! create edges; they feed the race detector, which flags any two tasks
+//! that run concurrently in virtual time with conflicting footprints —
+//! the honest version of "the coherence between the mappings of the
+//! different directives is the programmer's responsibility" (§V-A.2).
+
+use std::collections::HashMap;
+
+use crate::section::{ArrayId, Section};
+
+/// Identifier of a task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+/// Identifier of a taskgroup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// One footprint item: an access to `section`, either on the host
+/// (`device == None`) or to its device image (`device == Some(d)`).
+/// Accesses in different spaces never conflict (two devices may hold
+/// copies of the same section; only same-space overlap is a race).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FpAccess {
+    /// None = host memory; Some(d) = device d's image.
+    pub device: Option<u32>,
+    /// The section touched.
+    pub section: Section,
+}
+
+impl FpAccess {
+    /// A host-space access.
+    pub fn host(section: Section) -> Self {
+        FpAccess {
+            device: None,
+            section,
+        }
+    }
+
+    /// A device-space access.
+    pub fn device(device: u32, section: Section) -> Self {
+        FpAccess {
+            device: Some(device),
+            section,
+        }
+    }
+
+    /// Conflicting overlap with another access, if in the same space.
+    pub fn conflict(&self, other: &FpAccess) -> Option<Section> {
+        if self.device != other.device {
+            return None;
+        }
+        self.section.intersection(&other.section)
+    }
+}
+
+/// Task lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Created; waiting on predecessors or a group gate.
+    Waiting,
+    /// Eligible to start (start event scheduled).
+    Ready,
+    /// Action running (virtual time advancing).
+    Running,
+    /// Done.
+    Finished,
+}
+
+/// Everything needed to create a task.
+pub struct TaskSpec {
+    /// Human-readable label (traces, diagnostics).
+    pub label: String,
+    /// Sections whose previous writers/readers this task must wait for:
+    /// `(section, is_write)`.
+    pub wait_on: Vec<(Section, bool)>,
+    /// Sections this task publishes for *future* siblings to match
+    /// against: `(section, is_write)`. Usually identical to `wait_on`;
+    /// split so composite constructs can wait at their first internal
+    /// task and publish at their last.
+    pub publish: Vec<(Section, bool)>,
+    /// Read footprint for race detection.
+    pub fp_reads: Vec<FpAccess>,
+    /// Write footprint for race detection.
+    pub fp_writes: Vec<FpAccess>,
+    /// Parent task context (None = the main program).
+    pub parent: Option<TaskId>,
+    /// Taskgroup this task belongs to.
+    pub group: Option<GroupId>,
+    /// Additional readiness gate: do not start until this group is empty.
+    pub gate_group: Option<GroupId>,
+    /// Explicit predecessor tasks (internal chaining of composite
+    /// constructs).
+    pub extra_preds: Vec<TaskId>,
+}
+
+impl TaskSpec {
+    /// A minimal spec with just a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TaskSpec {
+            label: label.into(),
+            wait_on: Vec::new(),
+            publish: Vec::new(),
+            fp_reads: Vec::new(),
+            fp_writes: Vec::new(),
+            parent: None,
+            group: None,
+            gate_group: None,
+            extra_preds: Vec::new(),
+        }
+    }
+}
+
+pub(crate) struct Task {
+    pub label: String,
+    pub state: TaskState,
+    pub unfinished_preds: usize,
+    pub succs: Vec<TaskId>,
+    pub group: Option<GroupId>,
+    pub gate_group: Option<GroupId>,
+    pub parent: Option<TaskId>,
+    pub fp_reads: Vec<FpAccess>,
+    pub fp_writes: Vec<FpAccess>,
+}
+
+struct GroupState {
+    unfinished: usize,
+    gated: Vec<TaskId>,
+}
+
+#[derive(Clone, Copy)]
+struct DepRecord {
+    task: TaskId,
+    section: Section,
+    write: bool,
+}
+
+/// A detected footprint race between two concurrently running tasks.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// First task (started earlier).
+    pub first: TaskId,
+    /// Label of the first task.
+    pub first_label: String,
+    /// Second task (whose start detected the race).
+    pub second: TaskId,
+    /// Label of the second task.
+    pub second_label: String,
+    /// The conflicting overlap.
+    pub section: Section,
+}
+
+/// The task graph.
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: HashMap<u64, Task>,
+    next_task: u64,
+    groups: Vec<GroupState>,
+    /// Dependence records, scoped by (parent context, array).
+    records: HashMap<(Option<TaskId>, ArrayId), Vec<DepRecord>>,
+    running: Vec<TaskId>,
+    races: Vec<RaceReport>,
+    unfinished: usize,
+    /// Unfinished children per parent context (None = main program).
+    children: HashMap<Option<TaskId>, usize>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total unfinished tasks.
+    pub fn unfinished(&self) -> usize {
+        self.unfinished
+    }
+
+    /// Unfinished children of a parent context.
+    pub fn unfinished_children(&self, parent: Option<TaskId>) -> usize {
+        self.children.get(&parent).copied().unwrap_or(0)
+    }
+
+    /// Create a taskgroup.
+    pub fn group_create(&mut self) -> GroupId {
+        self.groups.push(GroupState {
+            unfinished: 0,
+            gated: Vec::new(),
+        });
+        GroupId((self.groups.len() - 1) as u32)
+    }
+
+    /// True if all the group's tasks have finished.
+    pub fn group_is_empty(&self, g: GroupId) -> bool {
+        self.groups[g.0 as usize].unfinished == 0
+    }
+
+    /// Task state.
+    pub fn state(&self, id: TaskId) -> TaskState {
+        self.tasks[&id.0].state
+    }
+
+    /// True once the task has finished.
+    pub fn is_finished(&self, id: TaskId) -> bool {
+        self.state(id) == TaskState::Finished
+    }
+
+    /// Task label.
+    pub fn label(&self, id: TaskId) -> &str {
+        &self.tasks[&id.0].label
+    }
+
+    /// Group the task belongs to.
+    pub fn group_of(&self, id: TaskId) -> Option<GroupId> {
+        self.tasks[&id.0].group
+    }
+
+    /// Recorded races.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Create a task. Returns its id and whether it is immediately ready
+    /// (the caller schedules the start event; the graph marks it Ready).
+    pub fn create(&mut self, spec: TaskSpec) -> (TaskId, bool) {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+
+        // Dependence matching against sibling records.
+        let mut preds: Vec<TaskId> = Vec::new();
+        for &(sec, is_write) in &spec.wait_on {
+            let key = (spec.parent, sec.array);
+            if let Some(records) = self.records.get_mut(&key) {
+                // Prune finished tasks while scanning.
+                records.retain(|r| {
+                    self.tasks
+                        .get(&r.task.0)
+                        .map(|t| t.state != TaskState::Finished)
+                        .unwrap_or(false)
+                });
+                for r in records.iter() {
+                    let conflict = if is_write {
+                        // out waits on previous in and out.
+                        r.section.overlaps(&sec)
+                    } else {
+                        // in waits on previous out only.
+                        r.write && r.section.overlaps(&sec)
+                    };
+                    if conflict && !preds.contains(&r.task) {
+                        preds.push(r.task);
+                    }
+                }
+            }
+        }
+        for &p in &spec.extra_preds {
+            if !self.is_finished(p) && !preds.contains(&p) {
+                preds.push(p);
+            }
+        }
+
+        // Publish this task's records for future siblings.
+        for &(section, write) in &spec.publish {
+            self.records
+                .entry((spec.parent, section.array))
+                .or_default()
+                .push(DepRecord {
+                    task: id,
+                    section,
+                    write,
+                });
+        }
+
+        if let Some(g) = spec.group {
+            self.groups[g.0 as usize].unfinished += 1;
+        }
+        *self.children.entry(spec.parent).or_insert(0) += 1;
+        self.unfinished += 1;
+
+        let n_preds = preds.len();
+        for p in preds {
+            self.tasks
+                .get_mut(&p.0)
+                .expect("predecessor exists")
+                .succs
+                .push(id);
+        }
+
+        let gate_open = spec
+            .gate_group
+            .map(|g| self.group_is_empty(g))
+            .unwrap_or(true);
+        let ready = n_preds == 0 && gate_open;
+
+        let mut task = Task {
+            label: spec.label,
+            state: if ready {
+                TaskState::Ready
+            } else {
+                TaskState::Waiting
+            },
+            unfinished_preds: n_preds,
+            succs: Vec::new(),
+            group: spec.group,
+            gate_group: spec.gate_group,
+            parent: spec.parent,
+            fp_reads: spec.fp_reads,
+            fp_writes: spec.fp_writes,
+        };
+        if ready {
+            task.gate_group = None; // consumed
+        } else if let Some(g) = spec.gate_group {
+            if n_preds == 0 {
+                self.groups[g.0 as usize].gated.push(id);
+            }
+            // If it has preds too, the gate is re-checked when the last
+            // pred finishes.
+        }
+        self.tasks.insert(id.0, task);
+        (id, ready)
+    }
+
+    /// Mark a task as running and record any footprint races against the
+    /// currently running set.
+    pub fn start(&mut self, id: TaskId) {
+        // Race detection against every running task.
+        let me = &self.tasks[&id.0];
+        debug_assert!(
+            matches!(me.state, TaskState::Ready),
+            "start of task {id:?} in state {:?}",
+            me.state
+        );
+        let mut found: Vec<RaceReport> = Vec::new();
+        for &other_id in &self.running {
+            let other = &self.tasks[&other_id.0];
+            let conflict = footprint_conflict(
+                (&me.fp_reads, &me.fp_writes),
+                (&other.fp_reads, &other.fp_writes),
+            );
+            if let Some(section) = conflict {
+                found.push(RaceReport {
+                    first: other_id,
+                    first_label: other.label.clone(),
+                    second: id,
+                    second_label: me.label.clone(),
+                    section,
+                });
+            }
+        }
+        self.races.extend(found);
+        self.tasks.get_mut(&id.0).expect("exists").state = TaskState::Running;
+        self.running.push(id);
+    }
+
+    /// Mark a task finished. Returns the tasks that became ready.
+    pub fn finish(&mut self, id: TaskId) -> Vec<TaskId> {
+        let (succs, group, parent) = {
+            let t = self.tasks.get_mut(&id.0).expect("finish of unknown task");
+            debug_assert!(
+                matches!(t.state, TaskState::Running),
+                "finish of task {id:?} in state {:?}",
+                t.state
+            );
+            t.state = TaskState::Finished;
+            (std::mem::take(&mut t.succs), t.group, t.parent)
+        };
+        self.running.retain(|&r| r != id);
+        self.unfinished -= 1;
+        *self.children.get_mut(&parent).expect("counted at create") -= 1;
+
+        let mut ready = Vec::new();
+        for s in succs {
+            let t = self.tasks.get_mut(&s.0).expect("successor exists");
+            t.unfinished_preds -= 1;
+            if t.unfinished_preds == 0 {
+                match t.gate_group {
+                    Some(g) => {
+                        if self.groups[g.0 as usize].unfinished == 0 {
+                            self.mark_ready(s, &mut ready);
+                        } else {
+                            self.groups[g.0 as usize].gated.push(s);
+                        }
+                    }
+                    None => self.mark_ready(s, &mut ready),
+                }
+            }
+        }
+        if let Some(g) = group {
+            let gs = &mut self.groups[g.0 as usize];
+            gs.unfinished -= 1;
+            if gs.unfinished == 0 {
+                for gated in std::mem::take(&mut gs.gated) {
+                    let t = &self.tasks[&gated.0];
+                    if t.state == TaskState::Waiting && t.unfinished_preds == 0 {
+                        self.mark_ready(gated, &mut ready);
+                    }
+                }
+            }
+        }
+        ready
+    }
+
+    fn mark_ready(&mut self, id: TaskId, out: &mut Vec<TaskId>) {
+        let t = self.tasks.get_mut(&id.0).expect("exists");
+        if t.state == TaskState::Waiting {
+            t.state = TaskState::Ready;
+            t.gate_group = None;
+            out.push(id);
+        }
+    }
+}
+
+/// First conflicting overlap between two footprints (W∩W, W∩R, R∩W),
+/// considering only same-space accesses.
+fn footprint_conflict(
+    a: (&[FpAccess], &[FpAccess]),
+    b: (&[FpAccess], &[FpAccess]),
+) -> Option<Section> {
+    let (a_reads, a_writes) = a;
+    let (b_reads, b_writes) = b;
+    for aw in a_writes {
+        for bs in b_writes.iter().chain(b_reads.iter()) {
+            if let Some(ov) = aw.conflict(bs) {
+                return Some(ov);
+            }
+        }
+    }
+    for ar in a_reads {
+        for bw in b_writes {
+            if let Some(ov) = ar.conflict(bw) {
+                return Some(ov);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::ArrayId;
+
+    const A: ArrayId = ArrayId(0);
+
+    fn sec(start: usize, len: usize) -> Section {
+        Section::new(A, start, len)
+    }
+
+    fn spec(label: &str) -> TaskSpec {
+        TaskSpec::new(label)
+    }
+
+    /// Drive a task through its lifecycle manually.
+    fn run(g: &mut TaskGraph, id: TaskId) -> Vec<TaskId> {
+        g.start(id);
+        g.finish(id)
+    }
+
+    #[test]
+    fn independent_tasks_are_ready() {
+        let mut g = TaskGraph::new();
+        let (t1, r1) = g.create(spec("a"));
+        let (t2, r2) = g.create(spec("b"));
+        assert!(r1 && r2);
+        assert_eq!(g.unfinished(), 2);
+        run(&mut g, t1);
+        run(&mut g, t2);
+        assert_eq!(g.unfinished(), 0);
+    }
+
+    #[test]
+    fn out_then_in_creates_edge() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("writer");
+        s1.wait_on = vec![(sec(0, 10), true)];
+        s1.publish = vec![(sec(0, 10), true)];
+        let (w, ready) = g.create(s1);
+        assert!(ready);
+        let mut s2 = spec("reader");
+        s2.wait_on = vec![(sec(5, 10), false)];
+        s2.publish = vec![(sec(5, 10), false)];
+        let (r, ready) = g.create(s2);
+        assert!(!ready, "reader must wait for overlapping writer");
+        let now_ready = run(&mut g, w);
+        assert_eq!(now_ready, vec![r]);
+    }
+
+    #[test]
+    fn in_then_in_no_edge() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("r1");
+        s1.wait_on = vec![(sec(0, 10), false)];
+        s1.publish = vec![(sec(0, 10), false)];
+        g.create(s1);
+        let mut s2 = spec("r2");
+        s2.wait_on = vec![(sec(0, 10), false)];
+        s2.publish = vec![(sec(0, 10), false)];
+        let (_, ready) = g.create(s2);
+        assert!(ready, "readers don't serialize");
+    }
+
+    #[test]
+    fn in_then_out_creates_edge() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("reader");
+        s1.wait_on = vec![(sec(0, 10), false)];
+        s1.publish = vec![(sec(0, 10), false)];
+        let (r, _) = g.create(s1);
+        let mut s2 = spec("writer");
+        s2.wait_on = vec![(sec(0, 10), true)];
+        s2.publish = vec![(sec(0, 10), true)];
+        let (_, ready) = g.create(s2);
+        assert!(!ready, "writer waits for previous reader");
+        run(&mut g, r);
+    }
+
+    #[test]
+    fn disjoint_sections_no_edge() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("w1");
+        s1.publish = vec![(sec(0, 10), true)];
+        g.create(s1);
+        let mut s2 = spec("w2");
+        s2.wait_on = vec![(sec(10, 10), true)];
+        let (_, ready) = g.create(s2);
+        assert!(ready, "disjoint chunks run concurrently");
+    }
+
+    #[test]
+    fn different_parents_do_not_match() {
+        let mut g = TaskGraph::new();
+        let (p1, _) = g.create(spec("parent1"));
+        let (p2, _) = g.create(spec("parent2"));
+        let mut s1 = spec("w-in-p1");
+        s1.parent = Some(p1);
+        s1.publish = vec![(sec(0, 10), true)];
+        g.create(s1);
+        let mut s2 = spec("r-in-p2");
+        s2.parent = Some(p2);
+        s2.wait_on = vec![(sec(0, 10), false)];
+        let (_, ready) = g.create(s2);
+        assert!(ready, "depend only matches siblings");
+    }
+
+    #[test]
+    fn chain_of_kernels() {
+        // forces(out F) → accel(in F, out Acc) → velocity(in Acc, out V).
+        let f = |s: usize| sec(s * 100, 100);
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("forces");
+        s1.publish = vec![(f(0), true)];
+        let (t1, _) = g.create(s1);
+        let mut s2 = spec("accel");
+        s2.wait_on = vec![(f(0), false), (f(1), true)];
+        s2.publish = vec![(f(1), true)];
+        let (t2, r2) = g.create(s2);
+        assert!(!r2);
+        let mut s3 = spec("velocity");
+        s3.wait_on = vec![(f(1), false), (f(2), true)];
+        s3.publish = vec![(f(2), true)];
+        let (t3, r3) = g.create(s3);
+        assert!(!r3);
+        assert_eq!(run(&mut g, t1), vec![t2]);
+        assert_eq!(run(&mut g, t2), vec![t3]);
+        assert_eq!(run(&mut g, t3), vec![]);
+    }
+
+    #[test]
+    fn groups_count_and_gate() {
+        let mut g = TaskGraph::new();
+        let grp = g.group_create();
+        assert!(g.group_is_empty(grp));
+        let mut s1 = spec("member");
+        s1.group = Some(grp);
+        let (m, _) = g.create(s1);
+        assert!(!g.group_is_empty(grp));
+        // A gated task is not ready while the group is non-empty.
+        let mut s2 = spec("continuation");
+        s2.gate_group = Some(grp);
+        let (c, ready) = g.create(s2);
+        assert!(!ready);
+        let ready_after = run(&mut g, m);
+        assert_eq!(ready_after, vec![c]);
+        assert!(g.group_is_empty(grp));
+    }
+
+    #[test]
+    fn gate_on_already_empty_group() {
+        let mut g = TaskGraph::new();
+        let grp = g.group_create();
+        let mut s = spec("c");
+        s.gate_group = Some(grp);
+        let (_, ready) = g.create(s);
+        assert!(ready);
+    }
+
+    #[test]
+    fn gate_plus_preds() {
+        let mut g = TaskGraph::new();
+        let grp = g.group_create();
+        let mut member = spec("member");
+        member.group = Some(grp);
+        let (m, _) = g.create(member);
+        let (p, _) = g.create(spec("pred"));
+        let mut s = spec("both");
+        s.gate_group = Some(grp);
+        s.extra_preds = vec![p];
+        let (b, ready) = g.create(s);
+        assert!(!ready);
+        // Finish the group first: still waiting on pred.
+        let r1 = run(&mut g, m);
+        assert!(r1.is_empty());
+        // Finish pred: now ready.
+        let r2 = run(&mut g, p);
+        assert_eq!(r2, vec![b]);
+    }
+
+    #[test]
+    fn extra_preds_of_finished_tasks_ignored() {
+        let mut g = TaskGraph::new();
+        let (p, _) = g.create(spec("p"));
+        run(&mut g, p);
+        let mut s = spec("after");
+        s.extra_preds = vec![p];
+        let (_, ready) = g.create(s);
+        assert!(ready);
+    }
+
+    #[test]
+    fn race_detection_on_concurrent_conflict() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("writer");
+        s1.fp_writes = vec![FpAccess::host(sec(0, 10))];
+        let (w, _) = g.create(s1);
+        let mut s2 = spec("reader");
+        s2.fp_reads = vec![FpAccess::host(sec(5, 10))];
+        let (r, _) = g.create(s2);
+        g.start(w);
+        g.start(r); // concurrent with writer → race
+        assert_eq!(g.races().len(), 1);
+        let race = &g.races()[0];
+        assert_eq!(race.first, w);
+        assert_eq!(race.second, r);
+        assert_eq!(race.section, sec(5, 5));
+        g.finish(w);
+        g.finish(r);
+    }
+
+    #[test]
+    fn no_race_when_serialized() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("writer");
+        s1.fp_writes = vec![FpAccess::host(sec(0, 10))];
+        let (w, _) = g.create(s1);
+        let mut s2 = spec("reader");
+        s2.fp_reads = vec![FpAccess::host(sec(0, 10))];
+        let (r, _) = g.create(s2);
+        run(&mut g, w); // finished before reader starts
+        run(&mut g, r);
+        assert!(g.races().is_empty());
+    }
+
+    #[test]
+    fn no_race_on_read_read() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("r1");
+        s1.fp_reads = vec![FpAccess::host(sec(0, 10))];
+        let (a, _) = g.create(s1);
+        let mut s2 = spec("r2");
+        s2.fp_reads = vec![FpAccess::host(sec(0, 10))];
+        let (b, _) = g.create(s2);
+        g.start(a);
+        g.start(b);
+        assert!(g.races().is_empty());
+        g.finish(a);
+        g.finish(b);
+    }
+
+    #[test]
+    fn children_counting() {
+        let mut g = TaskGraph::new();
+        let (p, _) = g.create(spec("parent"));
+        assert_eq!(g.unfinished_children(None), 1);
+        let mut c1 = spec("child");
+        c1.parent = Some(p);
+        let (c, _) = g.create(c1);
+        assert_eq!(g.unfinished_children(Some(p)), 1);
+        run(&mut g, c);
+        assert_eq!(g.unfinished_children(Some(p)), 0);
+        run(&mut g, p);
+        assert_eq!(g.unfinished_children(None), 0);
+    }
+}

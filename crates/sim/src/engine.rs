@@ -1,0 +1,310 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Simulator`] owns a virtual clock and a priority queue of events.
+//! Each event is an `FnOnce(&mut Simulator)` callback fired at a specific
+//! virtual instant; callbacks schedule further events, so arbitrary
+//! protocols (DMA engines, task graphs, …) are built on top by capturing
+//! shared state (`Rc<RefCell<…>>`) in the closures.
+//!
+//! Determinism: ties at the same instant fire in scheduling order (a
+//! monotonically increasing sequence number breaks ties), and the engine
+//! is single-threaded, so a given program produces an identical event
+//! history on every run — which the tests rely on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use spread_trace::{SimDuration, SimTime, TraceRecorder};
+
+/// Handle to a scheduled event; used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// An event callback.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// The discrete-event simulator: virtual clock + cancellable event queue.
+pub struct Simulator {
+    now: SimTime,
+    /// Min-heap of (time, seq); payloads live in `payloads` so cancellation
+    /// is O(1) (lazy deletion on pop).
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: HashMap<u64, EventFn>,
+    next_seq: u64,
+    executed: u64,
+    trace: TraceRecorder,
+}
+
+impl Simulator {
+    /// A simulator at t = 0 recording into `trace`.
+    pub fn new(trace: TraceRecorder) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_seq: 0,
+            executed: 0,
+            trace,
+        }
+    }
+
+    /// A simulator with trace recording disabled.
+    pub fn without_trace() -> Self {
+        Self::new(TraceRecorder::disabled())
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The recorder this simulator (and its subsystems) write spans to.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past is
+    /// clamped to "now" (the event fires at the current instant, after
+    /// events already queued for it).
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.payloads.insert(seq, f);
+        EventId(seq)
+    }
+
+    /// Schedule `f` after a delay from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, f: EventFn) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule `f` at the current instant (after already-queued events
+    /// for this instant).
+    pub fn schedule_now(&mut self, f: EventFn) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancel a pending event. Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.payloads.remove(&id.0).is_some()
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_next(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn skim_cancelled(&mut self) {
+        while let Some(Reverse((_, seq))) = self.heap.peek() {
+            if self.payloads.contains_key(seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Execute the next event. Returns false if the queue is empty.
+    ///
+    /// The clock never runs backwards; it jumps to the event's timestamp.
+    pub fn step(&mut self) -> bool {
+        self.skim_cancelled();
+        let Some(Reverse((t, seq))) = self.heap.pop() else {
+            return false;
+        };
+        let f = self
+            .payloads
+            .remove(&seq)
+            .expect("skim_cancelled guarantees a live payload");
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        self.executed += 1;
+        f(self);
+        true
+    }
+
+    /// Run until no events remain. Returns the number of events executed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let before = self.executed;
+        while self.step() {}
+        self.executed - before
+    }
+
+    /// Run every event with timestamp `<= t`, then advance the clock to
+    /// exactly `t` (even if idle before then).
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            match self.peek_next() {
+                Some(next) if next <= t => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(t);
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::without_trace();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (at, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            sim.schedule_at(
+                t(at),
+                Box::new(move |s| {
+                    log.borrow_mut().push((s.now().as_nanos(), tag));
+                }),
+            );
+        }
+        assert_eq!(sim.run_until_idle(), 3);
+        assert_eq!(*log.borrow(), vec![(10, 'a'), (20, 'b'), (30, 'c')]);
+        assert_eq!(sim.now(), t(30));
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Simulator::without_trace();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = log.clone();
+            sim.schedule_at(t(5), Box::new(move |_| log.borrow_mut().push(tag)));
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn events_schedule_events() {
+        let mut sim = Simulator::without_trace();
+        let hits = Rc::new(RefCell::new(0u32));
+        let hits2 = hits.clone();
+        sim.schedule_at(
+            t(1),
+            Box::new(move |s| {
+                *hits2.borrow_mut() += 1;
+                let hits3 = hits2.clone();
+                s.schedule_after(
+                    SimDuration::from_nanos(9),
+                    Box::new(move |_| {
+                        *hits3.borrow_mut() += 1;
+                    }),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), t(10));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut sim = Simulator::without_trace();
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        let id = sim.schedule_at(t(10), Box::new(move |_| *f2.borrow_mut() = true));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id)); // double-cancel is a no-op
+        sim.run_until_idle();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Simulator::without_trace();
+        sim.schedule_at(
+            t(100),
+            Box::new(|s| {
+                // This callback schedules "in the past"; it must fire at now.
+                s.schedule_at(
+                    t(1),
+                    Box::new(|s2| {
+                        assert_eq!(s2.now().as_nanos(), 100);
+                    }),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.executed(), 2);
+    }
+
+    #[test]
+    fn run_until_partial() {
+        let mut sim = Simulator::without_trace();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for at in [10u64, 20, 30] {
+            let log = log.clone();
+            sim.schedule_at(t(at), Box::new(move |_| log.borrow_mut().push(at)));
+        }
+        sim.run_until(t(20));
+        assert_eq!(*log.borrow(), vec![10, 20]);
+        assert_eq!(sim.now(), t(20));
+        assert_eq!(sim.pending(), 1);
+        // Advances clock even when idle.
+        sim.run_until(t(25));
+        assert_eq!(sim.now(), t(25));
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn peek_next_skips_cancelled() {
+        let mut sim = Simulator::without_trace();
+        let id = sim.schedule_at(t(5), Box::new(|_| {}));
+        sim.schedule_at(t(9), Box::new(|_| {}));
+        sim.cancel(id);
+        assert_eq!(sim.peek_next(), Some(t(9)));
+    }
+
+    #[test]
+    fn determinism_two_runs_identical() {
+        let run = || {
+            let mut sim = Simulator::without_trace();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..100u64 {
+                let log = log.clone();
+                // Deliberately colliding timestamps.
+                sim.schedule_at(t(i % 7), Box::new(move |_| log.borrow_mut().push(i)));
+            }
+            sim.run_until_idle();
+            let out = log.borrow().clone();
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the max–min fair allocator and the flow network.
+
+use proptest::prelude::*;
+use spread_sim::flow::maxmin_rates;
+use spread_sim::{SharedFlowNet, Simulator};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Strategy: up to 6 constraints with capacities in [1, 1000], up to 12
+/// flows each traversing a non-empty subset of the constraints.
+fn scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+    (1usize..=6).prop_flat_map(|n_caps| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, n_caps);
+        let flows = proptest::collection::vec(
+            proptest::collection::btree_set(0usize..n_caps, 1..=n_caps),
+            0..12,
+        )
+        .prop_map(|sets| {
+            sets.into_iter()
+                .map(|s| s.into_iter().collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        });
+        (caps, flows)
+    })
+}
+
+proptest! {
+    /// No constraint is ever oversubscribed.
+    #[test]
+    fn rates_respect_all_capacities((caps, flows) in scenario()) {
+        let flow_refs: Vec<&[usize]> = flows.iter().map(|f| f.as_slice()).collect();
+        let rates = maxmin_rates(&caps, &flow_refs);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (c, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.contains(&c))
+                .map(|(_, &r)| r)
+                .sum();
+            prop_assert!(used <= cap * (1.0 + 1e-9), "cap {c}: {used} > {cap}");
+        }
+    }
+
+    /// Every flow gets a strictly positive rate.
+    #[test]
+    fn rates_are_positive((caps, flows) in scenario()) {
+        let flow_refs: Vec<&[usize]> = flows.iter().map(|f| f.as_slice()).collect();
+        let rates = maxmin_rates(&caps, &flow_refs);
+        for (f, &r) in rates.iter().enumerate() {
+            prop_assert!(r > 0.0, "flow {f} rate {r}");
+        }
+    }
+
+    /// Work conservation: every flow is bottlenecked by at least one
+    /// constraint that is (nearly) saturated — no one could be raised
+    /// without violating a constraint.
+    #[test]
+    fn allocation_is_work_conserving((caps, flows) in scenario()) {
+        let flow_refs: Vec<&[usize]> = flows.iter().map(|f| f.as_slice()).collect();
+        let rates = maxmin_rates(&caps, &flow_refs);
+        let usage: Vec<f64> = (0..caps.len())
+            .map(|c| {
+                flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(f, _)| f.contains(&c))
+                    .map(|(_, &r)| r)
+                    .sum()
+            })
+            .collect();
+        for (f, fc) in flows.iter().enumerate() {
+            let bottlenecked = fc
+                .iter()
+                .any(|&c| usage[c] >= caps[c] * (1.0 - 1e-9));
+            prop_assert!(bottlenecked, "flow {f} has slack everywhere");
+        }
+    }
+
+    /// Max–min dominance: no flow's rate can exceed the fair share of any
+    /// of its saturated constraints by more than the share of another
+    /// flow bottlenecked elsewhere — checked via the standard criterion:
+    /// increasing one flow's rate requires decreasing a flow with a rate
+    /// <= its own. We verify the weaker, exact property that equal-route
+    /// flows get equal rates.
+    #[test]
+    fn identical_routes_get_identical_rates((caps, flows) in scenario()) {
+        let flow_refs: Vec<&[usize]> = flows.iter().map(|f| f.as_slice()).collect();
+        let rates = maxmin_rates(&caps, &flow_refs);
+        for i in 0..flows.len() {
+            for j in (i + 1)..flows.len() {
+                if flows[i] == flows[j] {
+                    let (a, b) = (rates[i], rates[j]);
+                    prop_assert!((a - b).abs() <= 1e-9 * a.max(b).max(1.0));
+                }
+            }
+        }
+    }
+
+    /// End-to-end: random flows through a random network all complete,
+    /// and each flow's completion time is at least bytes / (its fastest
+    /// constraint) — you cannot beat the physics.
+    #[test]
+    fn flows_complete_and_respect_physics(
+        (caps, flows) in scenario(),
+        sizes in proptest::collection::vec(1u64..100_000, 0..12),
+    ) {
+        let mut sim = Simulator::without_trace();
+        let net = SharedFlowNet::new();
+        let cap_ids: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_capacity(format!("c{i}"), c))
+            .collect();
+        let done: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let n = flows.len().min(sizes.len());
+        for i in 0..n {
+            let use_caps: Vec<_> = flows[i].iter().map(|&c| cap_ids[c]).collect();
+            let done = done.clone();
+            net.start_flow(&mut sim, sizes[i], use_caps, Box::new(move |s| {
+                done.borrow_mut().push((i, s.now().as_secs_f64()));
+            }));
+        }
+        sim.run_until_idle();
+        let done = done.borrow();
+        prop_assert_eq!(done.len(), n);
+        for &(i, t) in done.iter() {
+            let best_cap = flows[i].iter().map(|&c| caps[c]).fold(f64::MAX, f64::min);
+            let lower_bound = sizes[i] as f64 / best_cap;
+            prop_assert!(
+                t >= lower_bound * (1.0 - 1e-6),
+                "flow {i}: {t}s < physical minimum {lower_bound}s"
+            );
+        }
+    }
+}

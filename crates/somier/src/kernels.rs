@@ -1,0 +1,223 @@
+//! The five Somier device kernels as [`KernelSpec`]s.
+//!
+//! A kernel *iteration* is one plane (`n²` nodes) of the outermost
+//! dimension — the same granularity the directives chunk and map, so the
+//! `section_of` expressions below are exactly the paper's
+//! `omp_spread_start`/`omp_spread_size` arithmetic, scaled from plane
+//! index to element index by `n²`.
+//!
+//! Argument layout conventions (positions in the arg list):
+//!
+//! | kernel | args 0–2 | args 3–5 |
+//! |---|---|---|
+//! | forces | X (read, ±1-plane halo) | F (write) |
+//! | accelerations | F (read) | A (write) |
+//! | velocities | A (read) | V (read-write) |
+//! | positions | V (read) | X (read-write) |
+//! | centers | X (read) | per-plane partials (write) |
+
+use std::ops::Range;
+
+use spread_rt::kernel::{KernelArg, KernelSpec};
+
+use crate::arrays::SomierArrays;
+use crate::config::SomierConfig;
+use crate::physics::{idx, plane_sum, spring_force};
+
+/// Plane range → element range.
+fn elems(n2: usize) -> impl Fn(Range<usize>) -> Range<usize> + Clone + Send + Sync {
+    move |r: Range<usize>| r.start * n2..r.end * n2
+}
+
+/// Plane range → element range with a ±1-plane halo clamped to `[0, n]`.
+fn elems_halo(n: usize, n2: usize) -> impl Fn(Range<usize>) -> Range<usize> + Clone + Send + Sync {
+    move |r: Range<usize>| r.start.saturating_sub(1) * n2..(r.end + 1).min(n) * n2
+}
+
+/// The forces kernel: the 6-neighbour spring stencil.
+pub fn forces(cfg: &SomierConfig, arr: &SomierArrays) -> KernelSpec {
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let phys = cfg.physics;
+    let mut spec = KernelSpec::new(
+        "forces",
+        cfg.plane_cost(cfg.costs.forces),
+        move |planes, v| {
+            for p in planes {
+                for y in 0..n {
+                    for z in 0..n {
+                        let i = idx(n, p, y, z);
+                        match spring_force(&phys, n, p, y, z, |c, j| v.get(c, j)) {
+                            Some(f) => {
+                                for c in 0..3 {
+                                    v.set(3 + c, i, f[c]);
+                                }
+                            }
+                            None => {
+                                for c in 0..3 {
+                                    v.set(3 + c, i, 0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read(arr.x[c], elems_halo(n, n2)));
+    }
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::write(arr.f[c], elems(n2)));
+    }
+    spec
+}
+
+/// The accelerations kernel: `A = F / m`.
+pub fn accelerations(cfg: &SomierConfig, arr: &SomierArrays) -> KernelSpec {
+    let n2 = cfg.plane_elems();
+    let inv_m = 1.0 / cfg.physics.mass;
+    let mut spec = KernelSpec::new(
+        "accelerations",
+        cfg.plane_cost(cfg.costs.accel),
+        move |planes, v| {
+            for c in 0..3 {
+                let range = planes.start * n2..planes.end * n2;
+                let f = v.row(c, range.clone());
+                let a = v.row_mut(3 + c, range);
+                for (ai, &fi) in a.iter_mut().zip(f) {
+                    *ai = fi * inv_m;
+                }
+            }
+        },
+    );
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read(arr.f[c], elems(n2)));
+    }
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::write(arr.a[c], elems(n2)));
+    }
+    spec
+}
+
+/// The velocities kernel: `V += A · dt`.
+pub fn velocities(cfg: &SomierConfig, arr: &SomierArrays) -> KernelSpec {
+    let n2 = cfg.plane_elems();
+    let dt = cfg.physics.dt;
+    let mut spec = KernelSpec::new(
+        "velocities",
+        cfg.plane_cost(cfg.costs.velocity),
+        move |planes, v| {
+            for c in 0..3 {
+                let range = planes.start * n2..planes.end * n2;
+                let a = v.row(c, range.clone());
+                let vel = v.row_mut(3 + c, range);
+                for (vi, &ai) in vel.iter_mut().zip(a) {
+                    *vi += ai * dt;
+                }
+            }
+        },
+    );
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read(arr.a[c], elems(n2)));
+    }
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read_write(arr.v[c], elems(n2)));
+    }
+    spec
+}
+
+/// The positions kernel: `X += V · dt`, interior nodes only (the grid
+/// boundary is clamped).
+pub fn positions(cfg: &SomierConfig, arr: &SomierArrays) -> KernelSpec {
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let dt = cfg.physics.dt;
+    let mut spec = KernelSpec::new(
+        "positions",
+        cfg.plane_cost(cfg.costs.position),
+        move |planes, v| {
+            for p in planes {
+                if p == 0 || p == n - 1 {
+                    continue; // whole plane is fixed boundary
+                }
+                for y in 1..n - 1 {
+                    for z in 1..n - 1 {
+                        let i = idx(n, p, y, z);
+                        for c in 0..3 {
+                            let x = v.get(3 + c, i);
+                            v.set(3 + c, i, x + v.get(c, i) * dt);
+                        }
+                    }
+                }
+            }
+        },
+    );
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read(arr.v[c], elems(n2)));
+    }
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read_write(arr.x[c], elems(n2)));
+    }
+    spec
+}
+
+/// The centers kernel: per-plane position sums into the partials arrays
+/// — the paper's *manual* reduction (§V: "we implemented a manual
+/// reduction for this kernel").
+pub fn centers(cfg: &SomierConfig, arr: &SomierArrays) -> KernelSpec {
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let mut spec = KernelSpec::new(
+        "centers",
+        cfg.plane_cost(cfg.costs.centers),
+        move |planes, v| {
+            for p in planes {
+                for c in 0..3 {
+                    let s = plane_sum(n, p, |i| v.get(c, i));
+                    v.set(3 + c, p, s);
+                }
+            }
+        },
+    );
+    let _ = n2;
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::read(arr.x[c], elems(cfg.plane_elems())));
+    }
+    for c in 0..3 {
+        spec = spec.arg(KernelArg::write(arr.partials[c], |r| r));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_exprs() {
+        let e = elems(100);
+        assert_eq!(e(2..5), 200..500);
+        let h = elems_halo(10, 100);
+        assert_eq!(h(2..5), 100..600);
+        assert_eq!(h(0..3), 0..400, "left clamp");
+        assert_eq!(h(7..10), 600..1000, "right clamp");
+    }
+
+    #[test]
+    fn kernels_have_six_args() {
+        let cfg = SomierConfig::test_small(8, 1);
+        let mut rt = cfg.runtime(1);
+        let arr = SomierArrays::create(&mut rt, &cfg);
+        for k in [
+            forces(&cfg, &arr),
+            accelerations(&cfg, &arr),
+            velocities(&cfg, &arr),
+            positions(&cfg, &arr),
+            centers(&cfg, &arr),
+        ] {
+            assert_eq!(k.args.len(), 6, "{}", k.name);
+            assert!(k.work_per_iter_ns > 0.0);
+        }
+    }
+}

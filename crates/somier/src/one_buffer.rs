@@ -1,0 +1,433 @@
+//! Implementation 1: *One Buffer at a time* (§V-A).
+//!
+//! The grid is split along the outermost dimension into buffers sized to
+//! the devices' combined memory. Each time step processes buffers
+//! sequentially: map in → five kernels → map out.
+//!
+//! Two variants:
+//! * [`run_target_baseline`] — paper Listing 9: existing `target`
+//!   directive set, one GPU, blocking constructs.
+//! * [`run_spread`] — paper Listing 10: `target spread` directive set;
+//!   each buffer is divided into per-device chunks
+//!   (`chunk = buffer_size / num_devices`), transfers and kernels are
+//!   `nowait` with chunk-level `depend` chains, and `taskgroup` barriers
+//!   separate the mapping and compute phases.
+//!
+//! The shared machinery, [`build_range_pipeline`], expresses one range's
+//! processing as an *asynchronous* three-stage pipeline (map-in group →
+//! kernel group → map-out group, chained through group gates), so the
+//! Two Buffers and Double Buffering implementations can run several
+//! pipelines concurrently — the whole point of those variants.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spread_core::prelude::*;
+use spread_rt::directives::{Target, TargetEnterData, TargetExitData};
+use spread_rt::map::{from, to};
+use spread_rt::{HostArray, RtError, Runtime, Scope, TaskId};
+
+use crate::arrays::SomierArrays;
+use crate::config::SomierConfig;
+use crate::kernels;
+use crate::report::SomierReport;
+
+/// A continuation hook passed through the pipeline builder.
+pub(crate) type Hook = Box<dyn FnOnce(&mut Scope<'_>)>;
+
+/// Element range of planes `[p0, p1)`.
+fn plane_elems(n2: usize, p0: usize, p1: usize) -> std::ops::Range<usize> {
+    p0 * n2..p1 * n2
+}
+
+/// Element range of planes `[p0, p1)` with a clamped ±1-plane halo.
+fn plane_elems_halo(n: usize, n2: usize, p0: usize, p1: usize) -> std::ops::Range<usize> {
+    p0.saturating_sub(1) * n2..(p1 + 1).min(n) * n2
+}
+
+/// Paper Listing 9: baseline with `target` directives on device 0.
+pub fn run_target_baseline(rt: &mut Runtime, cfg: &SomierConfig) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(1);
+    let mut centers = [0.0f64; 3];
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let halo = plane_elems_halo(n, n2, b0, b1);
+                let body = plane_elems(n2, b0, b1);
+
+                // Map data from host to the device (all 12 grids; X with
+                // halos for the stencil).
+                let mut enter = TargetEnterData::device(0);
+                for c in 0..3 {
+                    enter = enter.map(to(arr.x[c], halo.clone()));
+                }
+                for g in [arr.v, arr.a, arr.f] {
+                    for c in 0..3 {
+                        enter = enter.map(to(g[c], body.clone()));
+                    }
+                }
+                enter.launch(s)?;
+
+                // The five kernels, blocking, in order (Listing 9 uses
+                // no nowait). Map clauses reuse the held mappings.
+                let with_maps = |mut t: Target, xs: bool, grids: &[[HostArray; 3]]| {
+                    if xs {
+                        for c in 0..3 {
+                            t = t.map(to(arr.x[c], halo.clone()));
+                        }
+                    }
+                    for g in grids {
+                        for c in 0..3 {
+                            t = t.map(to(g[c], body.clone()));
+                        }
+                    }
+                    t
+                };
+                with_maps(Target::device(0), true, &[arr.f]).parallel_for(
+                    s,
+                    b0..b1,
+                    kernels::forces(cfg, &arr),
+                )?;
+                with_maps(Target::device(0), false, &[arr.f, arr.a]).parallel_for(
+                    s,
+                    b0..b1,
+                    kernels::accelerations(cfg, &arr),
+                )?;
+                with_maps(Target::device(0), false, &[arr.a, arr.v]).parallel_for(
+                    s,
+                    b0..b1,
+                    kernels::velocities(cfg, &arr),
+                )?;
+                {
+                    let mut t = Target::device(0);
+                    for c in 0..3 {
+                        t = t.map(to(arr.v[c], body.clone()));
+                        t = t.map(to(arr.x[c], halo.clone()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                {
+                    // Centers: the manual reduction — per-plane partials
+                    // come home with a from-map.
+                    let mut t = Target::device(0);
+                    for c in 0..3 {
+                        t = t.map(to(arr.x[c], halo.clone()));
+                        t = t.map(from(arr.partials[c], b0..b1));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+
+                // Map results back and release.
+                let mut exit = TargetExitData::device(0);
+                for g in [arr.x, arr.v, arr.a, arr.f] {
+                    for c in 0..3 {
+                        exit = exit.map(from(g[c], body.clone()));
+                    }
+                }
+                exit.launch(s)?;
+
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        crate::SomierImpl::OneBufferTarget.label(),
+        1,
+        rt,
+        centers,
+    ))
+}
+
+/// Launch the five spread kernels (`nowait`, chunk-level `depend`
+/// chains) over planes `[b0, b1)`.
+fn launch_kernels(
+    s: &mut Scope<'_>,
+    cfg: &SomierConfig,
+    arr: &SomierArrays,
+    devices: &[u32],
+    b0: usize,
+    b1: usize,
+    chunk: usize,
+) -> Result<(), RtError> {
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+    let spread = || {
+        TargetSpread::devices(devices.to_vec())
+            .spread_schedule(SpreadSchedule::static_chunk(chunk))
+            .nowait()
+    };
+    // forces: in X (halo), out F.
+    {
+        let mut t = spread();
+        for c in 0..3 {
+            t = t
+                .map(spread_to(arr.x[c], x_halo))
+                .depend_in(arr.x[c], x_halo);
+        }
+        for c in 0..3 {
+            t = t.map(spread_to(arr.f[c], body)).depend_out(arr.f[c], body);
+        }
+        t.parallel_for(s, b0..b1, kernels::forces(cfg, arr))?;
+    }
+    // accelerations: in F, out A.
+    {
+        let mut t = spread();
+        for c in 0..3 {
+            t = t.map(spread_to(arr.f[c], body)).depend_in(arr.f[c], body);
+        }
+        for c in 0..3 {
+            t = t.map(spread_to(arr.a[c], body)).depend_out(arr.a[c], body);
+        }
+        t.parallel_for(s, b0..b1, kernels::accelerations(cfg, arr))?;
+    }
+    // velocities: in A, inout V.
+    {
+        let mut t = spread();
+        for c in 0..3 {
+            t = t.map(spread_to(arr.a[c], body)).depend_in(arr.a[c], body);
+        }
+        for c in 0..3 {
+            t = t
+                .map(spread_to(arr.v[c], body))
+                .depend_in(arr.v[c], body)
+                .depend_out(arr.v[c], body);
+        }
+        t.parallel_for(s, b0..b1, kernels::velocities(cfg, arr))?;
+    }
+    // positions: in V, inout X.
+    {
+        let mut t = spread();
+        for c in 0..3 {
+            t = t.map(spread_to(arr.v[c], body)).depend_in(arr.v[c], body);
+        }
+        for c in 0..3 {
+            t = t
+                .map(spread_to(arr.x[c], body))
+                .depend_in(arr.x[c], body)
+                .depend_out(arr.x[c], body);
+        }
+        t.parallel_for(s, b0..b1, kernels::positions(cfg, arr))?;
+    }
+    // centers: in X, out partials (the manual reduction).
+    {
+        let mut t = spread();
+        for c in 0..3 {
+            t = t.map(spread_to(arr.x[c], body)).depend_in(arr.x[c], body);
+        }
+        for c in 0..3 {
+            t = t
+                .map(spread_from(arr.partials[c], |ch| ch.range()))
+                .depend_out(arr.partials[c], |ch| ch.range());
+        }
+        t.parallel_for(s, b0..b1, kernels::centers(cfg, arr))?;
+    }
+    Ok(())
+}
+
+/// Build the asynchronous processing pipeline for planes `[b0, b1)`:
+///
+/// ```text
+/// [enter-data-spread chunks]        — group 1 ("taskgroup { enter }")
+///        ▼ gate                       (after_map_in hook fires here)
+/// [5 spread kernels w/ depends]     — group 2 ("taskgroup { kernels }")
+///        ▼ gate
+/// [exit-data-spread chunks]         — group 3 ("taskgroup { exit }")
+///        ▼ gate
+/// [accumulate centers partials; on_done continuation]
+/// ```
+///
+/// Returns the final stage's task id (drain it for blocking semantics).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_range_pipeline(
+    s: &mut Scope<'_>,
+    cfg: &SomierConfig,
+    arr: &SomierArrays,
+    devices: &[u32],
+    b0: usize,
+    b1: usize,
+    chunk: usize,
+    sums: Rc<RefCell<[f64; 3]>>,
+    after_map_in: Option<Hook>,
+    on_done: Option<Hook>,
+) -> Result<TaskId, RtError> {
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let len = b1 - b0;
+    let devices: Rc<Vec<u32>> = Rc::new(devices.to_vec());
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+
+    let g_enter = s.group_create();
+    let g_kernels = s.group_create();
+    let g_exit = s.group_create();
+
+    // Phase 1: map data from host to devices asynchronously.
+    s.with_group(g_enter, |s| -> Result<(), RtError> {
+        let mut enter = TargetEnterDataSpread::devices(devices.iter().copied())
+            .range(b0, len)
+            .chunk_size(chunk)
+            .nowait();
+        for c in 0..3 {
+            enter = enter.map(spread_to(arr.x[c], x_halo));
+        }
+        for g in [arr.v, arr.a, arr.f] {
+            for c in 0..3 {
+                enter = enter.map(spread_to(g[c], body));
+            }
+        }
+        enter.launch(s)?;
+        Ok(())
+    })?;
+
+    // Phase 2: kernels, gated on the map-in group.
+    let stage2 = {
+        let cfg = cfg.clone();
+        let arr = *arr;
+        let devices = Rc::clone(&devices);
+        s.task_chained(
+            format!("kernels[{b0}..{b1}]"),
+            Vec::new(),
+            Some(g_enter),
+            move |s| {
+                if let Some(hook) = after_map_in {
+                    hook(s);
+                }
+                let r = s.with_group(g_kernels, |s| {
+                    launch_kernels(s, &cfg, &arr, &devices, b0, b1, chunk)
+                });
+                if let Err(e) = r {
+                    s.fail(e);
+                }
+            },
+        )
+    };
+
+    // Phase 3: map results back, gated on the kernel group.
+    let stage3 = {
+        let arr = *arr;
+        let devices = Rc::clone(&devices);
+        s.task_chained(
+            format!("exit[{b0}..{b1}]"),
+            vec![stage2],
+            Some(g_kernels),
+            move |s| {
+                let r = s.with_group(g_exit, |s| -> Result<(), RtError> {
+                    let mut exit = TargetExitDataSpread::devices(devices.iter().copied())
+                        .range(b0, len)
+                        .chunk_size(chunk)
+                        .nowait();
+                    for g in [arr.x, arr.v, arr.a, arr.f] {
+                        for c in 0..3 {
+                            exit = exit.map(spread_from(g[c], body));
+                        }
+                    }
+                    exit.launch(s)?;
+                    Ok(())
+                });
+                if let Err(e) = r {
+                    s.fail(e);
+                }
+            },
+        )
+    };
+
+    // Phase 4: fold this range's centers partials; run the continuation.
+    let partials = arr.partials;
+    let stage4 = s.task_chained(
+        format!("accumulate[{b0}..{b1}]"),
+        vec![stage3],
+        Some(g_exit),
+        move |s| {
+            {
+                let mut sums = sums.borrow_mut();
+                for c in 0..3 {
+                    // Element-sequential: matches the reference's
+                    // rounding order for bit-exact comparisons.
+                    s.with_host(partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+            }
+            if let Some(f) = on_done {
+                f(s);
+            }
+        },
+    );
+    Ok(stage4)
+}
+
+/// Paper Listing 10: One Buffer with `target spread` on `n_gpus`
+/// devices.
+pub fn run_spread(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let sums = Rc::new(RefCell::new([0.0f64; 3]));
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                // "each device gets a chunk from a buffer" (Listing 10).
+                let chunk = (b1 - b0).div_ceil(n_gpus);
+                let done = build_range_pipeline(
+                    s,
+                    cfg,
+                    &arr,
+                    &devices,
+                    b0,
+                    b1,
+                    chunk,
+                    Rc::clone(&sums),
+                    None,
+                    None,
+                )?;
+                // One buffer at a time: block before the next buffer.
+                s.drain_task(done)?;
+                b0 = b1;
+            }
+            let sums = sums.borrow();
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * cfg.plane_elems()) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        crate::SomierImpl::OneBufferSpread.label(),
+        n_gpus,
+        rt,
+        centers,
+    ))
+}

@@ -1,0 +1,64 @@
+//! Run statistics: what the paper's tables and figures report.
+
+use spread_rt::Runtime;
+use spread_trace::{SimDuration, SpanKind};
+
+/// The outcome of one Somier run.
+#[derive(Clone, Debug)]
+pub struct SomierReport {
+    /// Implementation label (Table II row).
+    pub label: String,
+    /// Devices used (Table I/II column).
+    pub n_gpus: usize,
+    /// Total virtual execution time (the tables' `time` cells).
+    pub elapsed: SimDuration,
+    /// Final center of mass (correctness witness).
+    pub centers: [f64; 3],
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Number of DMA operations (the §VI-B granularity discussion).
+    pub transfer_ops: usize,
+    /// Number of kernel launches.
+    pub kernel_launches: usize,
+    /// Footprint races observed (expected 0 for One Buffer; non-zero
+    /// halo races for the concurrent-halves versions).
+    pub races: usize,
+}
+
+impl SomierReport {
+    /// Collect statistics from a finished runtime.
+    pub fn collect(label: &str, n_gpus: usize, rt: &Runtime, centers: [f64; 3]) -> Self {
+        let tl = rt.timeline();
+        let mut h2d = 0u64;
+        let mut d2h = 0u64;
+        let mut ops = 0usize;
+        let mut kernels = 0usize;
+        for s in tl.spans() {
+            match s.kind {
+                SpanKind::TransferIn => {
+                    h2d += s.bytes;
+                    ops += 1;
+                }
+                SpanKind::TransferOut => {
+                    d2h += s.bytes;
+                    ops += 1;
+                }
+                SpanKind::Kernel => kernels += 1,
+                _ => {}
+            }
+        }
+        SomierReport {
+            label: label.to_string(),
+            n_gpus,
+            elapsed: rt.elapsed(),
+            centers,
+            h2d_bytes: h2d,
+            d2h_bytes: d2h,
+            transfer_ops: ops,
+            kernel_launches: kernels,
+            races: rt.races().len(),
+        }
+    }
+}

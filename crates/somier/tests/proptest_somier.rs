@@ -1,0 +1,43 @@
+//! Property test: random small Somier configurations are bit-exact
+//! against the buffered CPU reference for the One Buffer
+//! implementations, on any device count.
+
+use proptest::prelude::*;
+use spread_somier::reference::run_reference;
+use spread_somier::{run_somier, SomierConfig, SomierImpl};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn one_buffer_spread_bit_exact(
+        n in 8usize..24,
+        steps in 1usize..3,
+        n_gpus in 1usize..5,
+        k_scale in 1u32..4,
+    ) {
+        let mut cfg = SomierConfig::test_small(n, steps);
+        cfg.physics.k = k_scale as f64 * 5.0;
+        cfg.trace = false;
+        let (report, rt) = run_somier(&cfg, SomierImpl::OneBufferSpread, n_gpus).unwrap();
+        let reference = run_reference(&cfg, cfg.buffer_planes(n_gpus));
+        prop_assert_eq!(report.centers, reference.centers);
+        prop_assert_eq!(report.races, 0);
+        for d in 0..n_gpus as u32 {
+            prop_assert_eq!(rt.device_mem_used(d), 0);
+        }
+    }
+
+    #[test]
+    fn baseline_equals_spread_on_one_gpu(
+        n in 8usize..20,
+        steps in 1usize..3,
+    ) {
+        let cfg = SomierConfig::test_small(n, steps);
+        let (base, _) = run_somier(&cfg, SomierImpl::OneBufferTarget, 1).unwrap();
+        let (spread, _) = run_somier(&cfg, SomierImpl::OneBufferSpread, 1).unwrap();
+        prop_assert_eq!(base.centers, spread.centers);
+        prop_assert_eq!(base.h2d_bytes, spread.h2d_bytes);
+        prop_assert_eq!(base.d2h_bytes, spread.d2h_bytes);
+    }
+}

@@ -1,0 +1,376 @@
+//! The persistent worker-thread team.
+//!
+//! A [`TeamPool`] of size `T` owns `T - 1` parked worker threads; the
+//! calling thread participates as team member 0, exactly like the OpenMP
+//! encountering thread in a `parallel` region. [`TeamPool::broadcast`]
+//! runs one closure on every member and returns when all are done.
+//!
+//! The broadcast payload is a borrowed closure (`&F`), erased to a raw
+//! pointer for the workers — the pool guarantees the closure outlives the
+//! round because `broadcast` does not return until every worker has
+//! finished (a panicking worker is counted as finished and the panic is
+//! re-raised on the leader after the round).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::schedule::{ChunkDispenser, LoopSchedule};
+
+/// Type-erased borrowed job: pointer + monomorphized trampoline.
+#[derive(Clone, Copy)]
+struct RawJob {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is a `&F where F: Sync` that the leader keeps alive
+// for the whole round; sending the pointer to workers is exactly the
+// `&F: Send` obtained from `F: Sync`.
+unsafe impl Send for RawJob {}
+
+unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), tid: usize) {
+    // SAFETY: `data` was created from `&F` in `broadcast` and is live.
+    let f = unsafe { &*(data as *const F) };
+    f(tid);
+}
+
+struct State {
+    epoch: u64,
+    job: Option<RawJob>,
+    /// Workers still running the current round.
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    start: Condvar,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A fixed-size team of threads with OpenMP-parallel-region semantics.
+///
+/// ```
+/// use spread_teams::{LoopSchedule, TeamPool};
+///
+/// let pool = TeamPool::new(4);
+/// let total = pool.parallel_reduce(
+///     0..1_000,
+///     LoopSchedule::Dynamic { chunk: 64 },
+///     0u64,
+///     |chunk, acc| acc + chunk.map(|i| i as u64).sum::<u64>(),
+///     |a, b| a + b,
+/// );
+/// assert_eq!(total, 499_500);
+/// ```
+pub struct TeamPool {
+    shared: Arc<Shared>,
+    n_threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl TeamPool {
+    /// A team of `n_threads` members (the caller counts as member 0, so
+    /// `n_threads - 1` OS threads are spawned). `n_threads` ≥ 1.
+    pub fn new(n_threads: usize) -> Self {
+        assert!(n_threads >= 1, "a team needs at least one member");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (1..n_threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("team-worker-{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("failed to spawn team worker")
+            })
+            .collect();
+        TeamPool {
+            shared,
+            n_threads,
+            handles,
+        }
+    }
+
+    /// Team size (including the calling thread).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run `f(tid)` on every team member (tids `0..n_threads`); member 0
+    /// is the calling thread. Returns when all members finish. If any
+    /// member panicked, the panic is re-raised here.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, f: &F) {
+        let raw = RawJob {
+            data: f as *const F as *const (),
+            call: trampoline::<F>,
+        };
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert_eq!(st.running, 0, "overlapping broadcast rounds");
+            st.job = Some(raw);
+            st.epoch += 1;
+            st.running = self.n_threads - 1;
+            self.shared.start.notify_all();
+        }
+        // Leader participates as tid 0 (catching panics so workers can
+        // still be drained before re-raising).
+        let leader_result = std::panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        {
+            let mut st = self.shared.state.lock();
+            while st.running > 0 {
+                self.shared.done.wait(&mut st);
+            }
+            st.job = None;
+        }
+        if let Err(payload) = leader_result {
+            std::panic::resume_unwind(payload);
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("a team worker panicked during broadcast");
+        }
+    }
+
+    /// Work-share `range` over the team with the given schedule; `body`
+    /// receives each chunk plus the executing member's id.
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, schedule: LoopSchedule, body: F)
+    where
+        F: Fn(std::ops::Range<usize>, usize) + Sync,
+    {
+        let disp = ChunkDispenser::new(range, schedule, self.n_threads);
+        self.broadcast(&|tid| {
+            disp.drive(tid, |chunk| body(chunk, tid));
+        });
+    }
+
+    /// Work-shared reduction: `map` folds each chunk into a partial value
+    /// starting from `identity`; partials are combined (in member order,
+    /// deterministically for static schedules) with `combine`.
+    pub fn parallel_reduce<T, M, C>(
+        &self,
+        range: std::ops::Range<usize>,
+        schedule: LoopSchedule,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        M: Fn(std::ops::Range<usize>, T) -> T + Sync,
+        C: Fn(T, T) -> T,
+    {
+        let disp = ChunkDispenser::new(range, schedule, self.n_threads);
+        let partials: Vec<Mutex<T>> = (0..self.n_threads)
+            .map(|_| Mutex::new(identity.clone()))
+            .collect();
+        self.broadcast(&|tid| {
+            let mut acc = identity.clone();
+            disp.drive(tid, |chunk| {
+                acc = map(chunk, std::mem::replace(&mut acc, identity.clone()));
+            });
+            *partials[tid].lock() = acc;
+        });
+        partials
+            .into_iter()
+            .map(|m| m.into_inner())
+            .fold(identity.clone(), combine)
+    }
+}
+
+impl Drop for TeamPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, tid: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    if let Some(job) = st.job {
+                        last_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                shared.start.wait(&mut st);
+            }
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the leader keeps the closure alive until `running`
+            // reaches 0, which only happens after this call returns.
+            unsafe { (job.call)(job.data, tid) }
+        }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut st = shared.state.lock();
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_member_once() {
+        let pool = TeamPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(&|tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_rounds_are_serialized() {
+        let pool = TeamPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for round in 0..50 {
+            pool.broadcast(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn single_member_team() {
+        let pool = TeamPool::new(1);
+        let mut hit = AtomicUsize::new(0);
+        pool.broadcast(&|tid| {
+            assert_eq!(tid, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(*hit.get_mut(), 1);
+    }
+
+    #[test]
+    fn parallel_for_writes_disjoint_output() {
+        let pool = TeamPool::new(4);
+        let mut out = vec![0usize; 1003];
+        let cells = crate::split::SliceCells::new(&mut out);
+        pool.parallel_for(
+            0..1003,
+            LoopSchedule::Dynamic { chunk: 17 },
+            |chunk, _tid| {
+                // SAFETY: dispenser chunks are disjoint.
+                let part = unsafe { cells.slice_mut(chunk.clone()) };
+                for (k, v) in part.iter_mut().enumerate() {
+                    *v = chunk.start + k + 1;
+                }
+            },
+        );
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let pool = TeamPool::new(4);
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        for sched in [
+            LoopSchedule::StaticBlocked,
+            LoopSchedule::StaticChunked { chunk: 13 },
+            LoopSchedule::Dynamic { chunk: 101 },
+            LoopSchedule::Guided { min_chunk: 8 },
+        ] {
+            let total = pool.parallel_reduce(
+                0..data.len(),
+                sched,
+                0.0f64,
+                |chunk, acc| acc + data[chunk].iter().sum::<f64>(),
+                |a, b| a + b,
+            );
+            let seq: f64 = data.iter().sum();
+            assert!(
+                (total - seq).abs() < 1e-9 * seq.abs().max(1.0),
+                "{sched:?}: {total} vs {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_leader() {
+        let pool = TeamPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|tid| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let c = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn leader_panic_propagates_and_pool_survives() {
+        let pool = TeamPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|tid| {
+                if tid == 0 {
+                    panic!("leader boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let c = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn borrowed_state_visible_after_round() {
+        // A broadcast can mutate borrowed local state through SliceCells
+        // and the effects are visible after (the release/acquire pair is
+        // the pool's own synchronization).
+        let pool = TeamPool::new(4);
+        let mut flags = vec![false; 4];
+        let cells = crate::split::SliceCells::new(&mut flags);
+        pool.broadcast(&|tid| {
+            // SAFETY: each member writes only its own index.
+            unsafe { cells.slice_mut(tid..tid + 1)[0] = true };
+        });
+        assert!(flags.iter().all(|&b| b));
+    }
+}

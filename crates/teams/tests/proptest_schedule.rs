@@ -1,0 +1,82 @@
+//! Property tests: every schedule partitions the iteration space exactly.
+
+use proptest::prelude::*;
+use spread_teams::{ChunkDispenser, LoopSchedule, TeamPool};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn schedules() -> impl Strategy<Value = LoopSchedule> {
+    prop_oneof![
+        Just(LoopSchedule::StaticBlocked),
+        (1usize..32).prop_map(|chunk| LoopSchedule::StaticChunked { chunk }),
+        (1usize..32).prop_map(|chunk| LoopSchedule::Dynamic { chunk }),
+        (1usize..32).prop_map(|min_chunk| LoopSchedule::Guided { min_chunk }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded drive of the dispenser touches every iteration
+    /// exactly once, for every schedule.
+    #[test]
+    fn dispenser_partitions_range(
+        start in 0usize..1000,
+        len in 0usize..2000,
+        n_threads in 1usize..9,
+        sched in schedules(),
+    ) {
+        let disp = ChunkDispenser::new(start..start + len, sched, n_threads);
+        let mut seen = vec![0u32; len];
+        let mut out_of_bounds = false;
+        for tid in 0..n_threads {
+            disp.drive(tid, |r| {
+                if r.start < start || r.end > start + len {
+                    out_of_bounds = true;
+                    return;
+                }
+                for i in r {
+                    seen[i - start] += 1;
+                }
+            });
+        }
+        prop_assert!(!out_of_bounds);
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Concurrent execution on a real pool also touches every iteration
+    /// exactly once (dynamic schedules race for chunks).
+    #[test]
+    fn pool_parallel_for_covers_exactly_once(
+        len in 0usize..3000,
+        n_threads in 1usize..6,
+        sched in schedules(),
+    ) {
+        let pool = TeamPool::new(n_threads);
+        let seen: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        pool.parallel_for(0..len, sched, |chunk, _tid| {
+            for i in chunk {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Reduction equals the sequential fold for every schedule.
+    #[test]
+    fn pool_reduce_matches_sequential(
+        len in 0usize..2000,
+        n_threads in 1usize..6,
+        sched in schedules(),
+    ) {
+        let pool = TeamPool::new(n_threads);
+        let total = pool.parallel_reduce(
+            0..len,
+            sched,
+            0u64,
+            |chunk, acc| acc + chunk.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        let seq: u64 = (0..len as u64).sum();
+        prop_assert_eq!(total, seq);
+    }
+}

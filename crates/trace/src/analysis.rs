@@ -1,0 +1,496 @@
+//! Quantitative trace analyses.
+//!
+//! These compute the observations the paper draws from its nsys traces:
+//!
+//! * §VI-B / Figure 3: "execution time was mainly dominated by memory
+//!   transfers and not by kernel computations" → [`LaneStats`] /
+//!   [`OverlapReport::transfer_fraction`].
+//! * Figure 4: "kernel computations were interleaved with data transfers
+//!   from a different buffer", "overlap of computation and transfers
+//!   happened in very rare occasions", "transfers from different buffers
+//!   did not overlap" → [`InterleaveStats`] and
+//!   [`ConcurrencyProfile`].
+
+use std::collections::BTreeMap;
+
+use crate::interval::IntervalSet;
+use crate::span::{Lane, SpanKind};
+use crate::time::{SimDuration, SimTime};
+use crate::timeline::Timeline;
+
+/// Busy/idle accounting for one lane.
+#[derive(Clone, Debug)]
+pub struct LaneStats {
+    /// The lane.
+    pub lane: Lane,
+    /// Number of spans.
+    pub spans: usize,
+    /// Total busy time (union of spans).
+    pub busy: SimDuration,
+    /// Idle time within `[timeline.start(), timeline.end())`.
+    pub idle: SimDuration,
+    /// Bytes moved (transfers only).
+    pub bytes: u64,
+}
+
+/// Compute [`LaneStats`] for every lane in the timeline.
+pub fn lane_stats(tl: &Timeline) -> Vec<LaneStats> {
+    let (t0, t1) = (tl.start(), tl.end());
+    tl.lanes()
+        .into_iter()
+        .map(|lane| {
+            let busy_set = tl.lane_busy(lane);
+            let busy = busy_set.total();
+            let idle = busy_set.complement_within(t0, t1).total();
+            let spans = tl.lane_spans(lane);
+            LaneStats {
+                lane,
+                spans: spans.len(),
+                busy,
+                idle,
+                bytes: spans.iter().map(|s| s.bytes).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Per-device transfer/compute overlap accounting.
+#[derive(Clone, Debug)]
+pub struct OverlapReport {
+    /// Device id.
+    pub device: u32,
+    /// Time the device spent computing (union of kernel spans).
+    pub compute: SimDuration,
+    /// Time the device spent transferring (union of both copy engines).
+    pub transfer: SimDuration,
+    /// Time where compute and transfer were simultaneously active on this
+    /// device — the "overlap" the Two Buffers / Double Buffering versions
+    /// hope to create.
+    pub overlap: SimDuration,
+    /// Time where the device did *something* (compute ∪ transfer).
+    pub active: SimDuration,
+}
+
+impl OverlapReport {
+    /// Fraction of active time spent in transfers: the paper's
+    /// "transfers dominate" observation is `transfer_fraction > 0.5`.
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.active.is_zero() {
+            return 0.0;
+        }
+        self.transfer.as_secs_f64() / self.active.as_secs_f64()
+    }
+
+    /// Fraction of compute time that overlapped a transfer
+    /// ("overlap happened in very rare occasions" → small value).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.compute.is_zero() {
+            return 0.0;
+        }
+        self.overlap.as_secs_f64() / self.compute.as_secs_f64()
+    }
+}
+
+/// Compute an [`OverlapReport`] per device.
+pub fn overlap_report(tl: &Timeline) -> Vec<OverlapReport> {
+    tl.devices()
+        .into_iter()
+        .map(|device| {
+            let compute_set = tl.device_kind_busy(device, |k| k == SpanKind::Kernel);
+            let transfer_set = tl.device_kind_busy(device, SpanKind::is_transfer);
+            let overlap = compute_set.intersect(&transfer_set).total();
+            let active = compute_set.union(&transfer_set).total();
+            OverlapReport {
+                device,
+                compute: compute_set.total(),
+                transfer: transfer_set.total(),
+                overlap,
+                active,
+            }
+        })
+        .collect()
+}
+
+/// Interleaving statistics for one device: how kernel executions and
+/// transfers alternate in time (Figure 4's single-GPU zoom).
+#[derive(Clone, Debug)]
+pub struct InterleaveStats {
+    /// Device id.
+    pub device: u32,
+    /// Number of kernel spans.
+    pub kernels: usize,
+    /// Number of transfer spans.
+    pub transfers: usize,
+    /// Number of kind changes in the start-ordered activity sequence
+    /// (kernel→transfer or transfer→kernel). High alternation with low
+    /// overlap = the paper's "interleaved, not overlapped".
+    pub alternations: usize,
+    /// Longest run of consecutive kernel spans. The paper notes the five
+    /// Somier kernels were *not* executed back-to-back in the buffered
+    /// versions (runs shorter than 5).
+    pub longest_kernel_run: usize,
+}
+
+/// Compute interleave statistics per device.
+pub fn interleave_stats(tl: &Timeline) -> Vec<InterleaveStats> {
+    tl.devices()
+        .into_iter()
+        .map(|device| {
+            // Start-ordered sequence of activity kinds on this device.
+            let mut seq: Vec<(SimTime, bool)> = tl
+                .spans()
+                .iter()
+                .filter(|s| s.lane.device() == Some(device))
+                .filter(|s| s.kind == SpanKind::Kernel || s.kind.is_transfer())
+                .map(|s| (s.start, s.kind == SpanKind::Kernel))
+                .collect();
+            seq.sort();
+            let kernels = seq.iter().filter(|&&(_, k)| k).count();
+            let transfers = seq.len() - kernels;
+            let mut alternations = 0usize;
+            let mut longest_kernel_run = 0usize;
+            let mut run = 0usize;
+            for w in 0..seq.len() {
+                let is_kernel = seq[w].1;
+                if w > 0 && seq[w - 1].1 != is_kernel {
+                    alternations += 1;
+                }
+                if is_kernel {
+                    run += 1;
+                    longest_kernel_run = longest_kernel_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            InterleaveStats {
+                device,
+                kernels,
+                transfers,
+                alternations,
+                longest_kernel_run,
+            }
+        })
+        .collect()
+}
+
+/// Time-weighted distribution of how many spans of a given class were
+/// active simultaneously.
+///
+/// `concurrency_profile(tl, is_transfer)` answers "for how long were k
+/// transfers in flight at once?" — the paper's "transfers from different
+/// buffers did not overlap" means the per-device H2D profile puts ~all
+/// mass at k ≤ 1.
+#[derive(Clone, Debug, Default)]
+pub struct ConcurrencyProfile {
+    /// `time_at[k]` = total virtual time with exactly `k` spans active.
+    pub time_at: BTreeMap<usize, SimDuration>,
+}
+
+impl ConcurrencyProfile {
+    /// Longest-observed concurrency level.
+    pub fn max_level(&self) -> usize {
+        self.time_at.keys().copied().max().unwrap_or(0)
+    }
+
+    /// Total time with at least `k` spans active.
+    pub fn time_at_least(&self, k: usize) -> SimDuration {
+        self.time_at
+            .iter()
+            .filter(|&(&level, _)| level >= k)
+            .map(|(_, &d)| d)
+            .sum()
+    }
+}
+
+/// Build a concurrency profile over the spans selected by `pred`,
+/// measured across the whole timeline extent.
+pub fn concurrency_profile(
+    tl: &Timeline,
+    pred: impl Fn(&crate::span::Span) -> bool,
+) -> ConcurrencyProfile {
+    // Sweep line over span starts (+1) and ends (-1).
+    let mut events: Vec<(SimTime, i32)> = Vec::new();
+    for s in tl.spans().iter().filter(|s| pred(s)) {
+        if s.end > s.start {
+            events.push((s.start, 1));
+            events.push((s.end, -1));
+        }
+    }
+    if events.is_empty() {
+        return ConcurrencyProfile::default();
+    }
+    events.sort();
+    let mut profile: BTreeMap<usize, SimDuration> = BTreeMap::new();
+    let mut level: i32 = 0;
+    let mut cursor = events[0].0;
+    let mut i = 0usize;
+    while i < events.len() {
+        let t = events[i].0;
+        if t > cursor {
+            *profile.entry(level as usize).or_default() += t - cursor;
+            cursor = t;
+        }
+        // Apply every event at this instant before measuring again.
+        while i < events.len() && events[i].0 == t {
+            level += events[i].1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(level, 0);
+    ConcurrencyProfile { time_at: profile }
+}
+
+/// Union of idle intervals across all engines of a device — the "gaps in
+/// time where some of the devices remain idle" the paper's future-work
+/// section wants to eliminate with `depend` on data-spread directives.
+pub fn device_idle(tl: &Timeline, device: u32) -> IntervalSet {
+    let active = tl.device_kind_busy(device, |_| true);
+    active.complement_within(tl.start(), tl.end())
+}
+
+/// One bucket of the achieved-bandwidth timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthSample {
+    /// Bucket start.
+    pub t: SimTime,
+    /// Aggregate host→device bandwidth achieved in the bucket (bytes/s).
+    pub h2d: f64,
+    /// Aggregate device→host bandwidth (bytes/s).
+    pub d2h: f64,
+}
+
+/// The achieved aggregate transfer bandwidth over time, in fixed-width
+/// buckets. Each transfer's bytes are attributed uniformly across its
+/// lifetime, so the series integrates back to the total bytes moved —
+/// this is the saturation plot behind the paper's "communication
+/// bottleneck" claim (§VI-A).
+pub fn bandwidth_timeline(tl: &Timeline, bucket: SimDuration) -> Vec<BandwidthSample> {
+    assert!(!bucket.is_zero(), "bucket width must be positive");
+    let (t0, t1) = (tl.start(), tl.end());
+    if t1 <= t0 {
+        return Vec::new();
+    }
+    let width = bucket.as_secs_f64();
+    let n_buckets = ((t1 - t0).as_secs_f64() / width).ceil() as usize;
+    let mut h2d = vec![0.0f64; n_buckets];
+    let mut d2h = vec![0.0f64; n_buckets];
+    for s in tl.spans() {
+        let sink = match s.kind {
+            SpanKind::TransferIn => &mut h2d,
+            SpanKind::TransferOut => &mut d2h,
+            _ => continue,
+        };
+        let dur = s.duration().as_secs_f64();
+        if dur <= 0.0 {
+            continue;
+        }
+        let rate = s.bytes as f64 / dur;
+        let s0 = (s.start - t0).as_secs_f64();
+        let s1 = (s.end - t0).as_secs_f64();
+        let first = (s0 / width) as usize;
+        let last = ((s1 / width) as usize).min(n_buckets - 1);
+        for (b, slot) in sink.iter_mut().enumerate().take(last + 1).skip(first) {
+            let b0 = b as f64 * width;
+            let b1 = b0 + width;
+            let overlap = (s1.min(b1) - s0.max(b0)).max(0.0);
+            *slot += rate * overlap;
+        }
+    }
+    (0..n_buckets)
+        .map(|b| BandwidthSample {
+            t: t0 + SimDuration::from_secs_f64(b as f64 * width),
+            h2d: h2d[b] / width,
+            d2h: d2h[b] / width,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, SpanKind, TraceRecorder};
+    use crate::timeline::Timeline;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    /// Build the "interleaved, not overlapped" picture from Figure 4:
+    /// transfer, kernel, transfer, kernel with no overlap on GPU0.
+    fn interleaved() -> Timeline {
+        let rec = TraceRecorder::new();
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "b1",
+            t(0),
+            t(10),
+            80,
+        );
+        rec.record(
+            Lane::compute(0),
+            SpanKind::Kernel,
+            "forces",
+            t(10),
+            t(12),
+            0,
+        );
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "b2",
+            t(12),
+            t(22),
+            80,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "accel", t(22), t(24), 0);
+        Timeline::from_recorder(&rec)
+    }
+
+    #[test]
+    fn overlap_report_no_overlap() {
+        let tl = interleaved();
+        let reps = overlap_report(&tl);
+        assert_eq!(reps.len(), 1);
+        let r = &reps[0];
+        assert_eq!(r.compute.as_nanos(), 4);
+        assert_eq!(r.transfer.as_nanos(), 20);
+        assert_eq!(r.overlap.as_nanos(), 0);
+        assert!(r.transfer_fraction() > 0.5, "transfers dominate");
+        assert_eq!(r.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlap_report_with_overlap() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::copy_in(0), SpanKind::TransferIn, "x", t(0), t(10), 0);
+        rec.record(Lane::compute(0), SpanKind::Kernel, "k", t(5), t(15), 0);
+        let tl = Timeline::from_recorder(&rec);
+        let r = &overlap_report(&tl)[0];
+        assert_eq!(r.overlap.as_nanos(), 5);
+        assert_eq!(r.active.as_nanos(), 15);
+        assert!((r.overlap_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleave_alternations() {
+        let tl = interleaved();
+        let st = &interleave_stats(&tl)[0];
+        assert_eq!(st.kernels, 2);
+        assert_eq!(st.transfers, 2);
+        assert_eq!(st.alternations, 3); // T K T K
+        assert_eq!(st.longest_kernel_run, 1);
+    }
+
+    #[test]
+    fn kernel_runs_back_to_back() {
+        let rec = TraceRecorder::new();
+        for i in 0..5 {
+            rec.record(
+                Lane::compute(0),
+                SpanKind::Kernel,
+                format!("k{i}"),
+                t(i * 10),
+                t(i * 10 + 5),
+                0,
+            );
+        }
+        let tl = Timeline::from_recorder(&rec);
+        let st = &interleave_stats(&tl)[0];
+        assert_eq!(st.longest_kernel_run, 5);
+        assert_eq!(st.alternations, 0);
+    }
+
+    #[test]
+    fn concurrency_profile_counts() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::copy_in(0), SpanKind::TransferIn, "a", t(0), t(10), 0);
+        rec.record(Lane::copy_in(1), SpanKind::TransferIn, "b", t(5), t(15), 0);
+        let tl = Timeline::from_recorder(&rec);
+        let prof = concurrency_profile(&tl, |s| s.kind.is_transfer());
+        assert_eq!(prof.time_at[&1].as_nanos(), 10); // [0,5) and [10,15)
+        assert_eq!(prof.time_at[&2].as_nanos(), 5); // [5,10)
+        assert_eq!(prof.max_level(), 2);
+        assert_eq!(prof.time_at_least(2).as_nanos(), 5);
+        assert_eq!(prof.time_at_least(1).as_nanos(), 15);
+    }
+
+    #[test]
+    fn concurrency_profile_empty() {
+        let tl = Timeline::from_spans(vec![]);
+        let prof = concurrency_profile(&tl, |_| true);
+        assert_eq!(prof.max_level(), 0);
+        assert_eq!(prof.time_at_least(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lane_stats_accounting() {
+        let tl = interleaved();
+        let stats = lane_stats(&tl);
+        let copy_in = stats.iter().find(|s| s.lane == Lane::copy_in(0)).unwrap();
+        assert_eq!(copy_in.spans, 2);
+        assert_eq!(copy_in.busy.as_nanos(), 20);
+        assert_eq!(copy_in.idle.as_nanos(), 4); // [10,12) and [22,24)
+        assert_eq!(copy_in.bytes, 160);
+    }
+
+    #[test]
+    fn bandwidth_timeline_integrates_to_total_bytes() {
+        let rec = TraceRecorder::new();
+        // 1000 B over [0, 10 ns), 500 B over [5, 15 ns).
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "a",
+            t(0),
+            t(10),
+            1000,
+        );
+        rec.record(
+            Lane::copy_in(1),
+            SpanKind::TransferIn,
+            "b",
+            t(5),
+            t(15),
+            500,
+        );
+        rec.record(
+            Lane::copy_out(0),
+            SpanKind::TransferOut,
+            "c",
+            t(10),
+            t(15),
+            250,
+        );
+        let tl = Timeline::from_recorder(&rec);
+        let series = bandwidth_timeline(&tl, SimDuration::from_nanos(5));
+        assert_eq!(series.len(), 3);
+        // Integrate back: Σ rate × width == total bytes per direction.
+        let width = 5e-9;
+        let h2d_total: f64 = series.iter().map(|s| s.h2d * width).sum();
+        let d2h_total: f64 = series.iter().map(|s| s.d2h * width).sum();
+        assert!((h2d_total - 1500.0).abs() < 1e-6, "{h2d_total}");
+        assert!((d2h_total - 250.0).abs() < 1e-6, "{d2h_total}");
+        // Peak bucket [5,10): 100 B/ns from a + 50 B/ns from b.
+        assert!((series[1].h2d - 150e9).abs() < 1.0);
+        assert!((series[2].h2d - 50e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_timeline_empty() {
+        let tl = Timeline::from_spans(vec![]);
+        assert!(bandwidth_timeline(&tl, SimDuration::from_nanos(5)).is_empty());
+    }
+
+    #[test]
+    fn device_idle_gaps() {
+        let tl = interleaved();
+        // GPU0 is continuously active in this trace.
+        assert!(device_idle(&tl, 0).is_empty());
+        let rec = TraceRecorder::new();
+        rec.record(Lane::compute(0), SpanKind::Kernel, "a", t(0), t(5), 0);
+        rec.record(Lane::compute(0), SpanKind::Kernel, "b", t(10), t(15), 0);
+        let tl2 = Timeline::from_recorder(&rec);
+        assert_eq!(device_idle(&tl2, 0).total().as_nanos(), 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Interval-set algebra over virtual time.
+//!
+//! The analyses in this crate ("how much kernel time overlapped transfer
+//! time?", "when was the device idle?") reduce to set operations on unions
+//! of half-open intervals `[start, end)`. [`IntervalSet`] keeps a sorted,
+//! disjoint, coalesced representation and offers union, intersection,
+//! complement-within-a-window, and total length.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A normalized set of half-open intervals `[start, end)`:
+/// sorted by start, pairwise disjoint, no empty or adjacent intervals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ivs: Vec<(SimTime, SimTime)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Build from arbitrary (possibly overlapping, unsorted, empty)
+    /// intervals.
+    pub fn from_intervals<I>(intervals: I) -> Self
+    where
+        I: IntoIterator<Item = (SimTime, SimTime)>,
+    {
+        let mut ivs: Vec<_> = intervals.into_iter().filter(|(s, e)| e > s).collect();
+        ivs.sort();
+        let mut out: Vec<(SimTime, SimTime)> = Vec::with_capacity(ivs.len());
+        for (s, e) in ivs {
+            match out.last_mut() {
+                Some((_, last_e)) if s <= *last_e => {
+                    *last_e = (*last_e).max(e);
+                }
+                _ => out.push((s, e)),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Insert one interval (normalizing as needed).
+    pub fn insert(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        // Cheap fast path: appending past the current end.
+        if let Some((_, last_e)) = self.ivs.last_mut() {
+            if start > *last_e {
+                self.ivs.push((start, end));
+                return;
+            }
+            if start == *last_e {
+                *last_e = (*last_e).max(end);
+                return;
+            }
+        } else {
+            self.ivs.push((start, end));
+            return;
+        }
+        let mut all = std::mem::take(&mut self.ivs);
+        all.push((start, end));
+        *self = IntervalSet::from_intervals(all);
+    }
+
+    /// The normalized intervals.
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.ivs
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Sum of interval lengths.
+    pub fn total(&self) -> SimDuration {
+        self.ivs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.ivs.iter().chain(other.ivs.iter()).copied())
+    }
+
+    /// Set intersection (linear merge over both sorted lists).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (a_s, a_e) = self.ivs[i];
+            let (b_s, b_e) = other.ivs[j];
+            let s = a_s.max(b_s);
+            let e = a_e.min(b_e);
+            if e > s {
+                out.push((s, e));
+            }
+            if a_e <= b_e {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The parts of `[t0, t1)` *not* covered by this set (i.e. idle time).
+    pub fn complement_within(&self, t0: SimTime, t1: SimTime) -> IntervalSet {
+        if t1 <= t0 {
+            return IntervalSet::new();
+        }
+        let mut out = Vec::new();
+        let mut cursor = t0;
+        for &(s, e) in &self.ivs {
+            if e <= t0 {
+                continue;
+            }
+            if s >= t1 {
+                break;
+            }
+            let s = s.max(t0);
+            if s > cursor {
+                out.push((cursor, s));
+            }
+            cursor = cursor.max(e.min(t1));
+        }
+        if cursor < t1 {
+            out.push((cursor, t1));
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Restrict the set to the window `[t0, t1)`.
+    pub fn clip(&self, t0: SimTime, t1: SimTime) -> IntervalSet {
+        let window = IntervalSet::from_intervals([(t0, t1)]);
+        self.intersect(&window)
+    }
+
+    /// True if instant `t` is covered.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.ivs
+            .binary_search_by(|&(s, e)| {
+                if t < s {
+                    std::cmp::Ordering::Greater
+                } else if t >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn set(ivs: &[(u64, u64)]) -> IntervalSet {
+        IntervalSet::from_intervals(ivs.iter().map(|&(s, e)| (t(s), t(e))))
+    }
+
+    #[test]
+    fn normalization_merges_overlaps_and_adjacency() {
+        let s = set(&[(5, 10), (0, 3), (3, 5), (20, 25), (24, 30), (7, 7)]);
+        assert_eq!(s.intervals(), &[(t(0), t(10)), (t(20), t(30))]);
+        assert_eq!(s.total().as_nanos(), 20);
+    }
+
+    #[test]
+    fn empty_intervals_dropped() {
+        let s = set(&[(5, 5), (10, 3)]);
+        assert!(s.is_empty());
+        assert_eq!(s.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn insert_fast_path_and_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(t(0), t(10));
+        s.insert(t(20), t(30)); // append
+        s.insert(t(30), t(35)); // adjacent extend
+        s.insert(t(5), t(22)); // forces renormalization
+        assert_eq!(s.intervals(), &[(t(0), t(35))]);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.intersect(&b), set(&[(5, 10), (20, 25)]));
+        assert_eq!(b.intersect(&a), set(&[(5, 10), (20, 25)]));
+        assert!(a.intersect(&IntervalSet::new()).is_empty());
+    }
+
+    #[test]
+    fn union_and_total() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(5, 15), (20, 21)]);
+        let u = a.union(&b);
+        assert_eq!(u, set(&[(0, 15), (20, 21)]));
+        assert_eq!(u.total().as_nanos(), 16);
+    }
+
+    #[test]
+    fn complement_within_window() {
+        let a = set(&[(5, 10), (20, 30)]);
+        let c = a.complement_within(t(0), t(25));
+        assert_eq!(c, set(&[(0, 5), (10, 20)]));
+        // Window fully covered
+        let c2 = a.complement_within(t(6), t(9));
+        assert!(c2.is_empty());
+        // Empty window
+        assert!(a.complement_within(t(9), t(9)).is_empty());
+        // Window past everything
+        assert_eq!(a.complement_within(t(40), t(50)), set(&[(40, 50)]));
+    }
+
+    #[test]
+    fn clip() {
+        let a = set(&[(0, 10), (20, 30)]);
+        assert_eq!(a.clip(t(5), t(25)), set(&[(5, 10), (20, 25)]));
+    }
+
+    #[test]
+    fn contains() {
+        let a = set(&[(5, 10), (20, 30)]);
+        assert!(!a.contains(t(4)));
+        assert!(a.contains(t(5)));
+        assert!(a.contains(t(9)));
+        assert!(!a.contains(t(10))); // half-open
+        assert!(a.contains(t(29)));
+        assert!(!a.contains(t(30)));
+    }
+}

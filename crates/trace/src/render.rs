@@ -1,0 +1,272 @@
+//! Trace rendering: ASCII Gantt charts and CSV export.
+//!
+//! `render_gantt` produces the reproduction's version of the paper's
+//! Figure 3 — a fixed-width window of the timeline with one row per lane,
+//! `>`/`<` for H2D/D2H transfers and `#` for kernels.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanKind;
+use crate::time::SimTime;
+use crate::timeline::Timeline;
+
+/// Options for [`render_gantt`].
+#[derive(Clone, Debug)]
+pub struct GanttOptions {
+    /// Window start.
+    pub t0: SimTime,
+    /// Window end (exclusive).
+    pub t1: SimTime,
+    /// Number of character columns for the time axis.
+    pub width: usize,
+}
+
+impl GanttOptions {
+    /// A window `[t0, t1)` rendered at the default width (100 columns).
+    pub fn window(t0: SimTime, t1: SimTime) -> Self {
+        GanttOptions { t0, t1, width: 100 }
+    }
+
+    /// The whole timeline extent.
+    pub fn full(tl: &Timeline) -> Self {
+        Self::window(tl.start(), tl.end())
+    }
+
+    /// Override the column count.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width.max(1);
+        self
+    }
+}
+
+/// Render an ASCII Gantt chart of the window.
+///
+/// Each lane becomes one row; a column is marked with the glyph of the
+/// span kind covering the largest share of that column's time slice
+/// (`>` H2D transfer, `<` D2H, `#` kernel, `~` host task, `.` idle).
+pub fn render_gantt(tl: &Timeline, opts: &GanttOptions) -> String {
+    let mut out = String::new();
+    let span_ns = opts.t1.as_nanos().saturating_sub(opts.t0.as_nanos());
+    if span_ns == 0 {
+        return out;
+    }
+    let header_width = tl
+        .lanes()
+        .iter()
+        .map(|l| l.header().len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(
+        out,
+        "{:header_width$} |window {} .. {} ({} cols, {:.3}s/col)|",
+        "lane",
+        opts.t0,
+        opts.t1,
+        opts.width,
+        span_ns as f64 / 1e9 / opts.width as f64,
+    );
+    for lane in tl.lanes() {
+        let mut row = vec![' '; opts.width];
+        // For each column pick the dominant span kind by covered time.
+        let col_ns = span_ns as f64 / opts.width as f64;
+        let spans = tl.lane_spans(lane);
+        for (c, cell) in row.iter_mut().enumerate() {
+            let c0 = opts.t0.as_nanos() as f64 + c as f64 * col_ns;
+            let c1 = c0 + col_ns;
+            let mut best: Option<(f64, SpanKind)> = None;
+            for s in &spans {
+                let s0 = s.start.as_nanos() as f64;
+                let s1 = s.end.as_nanos() as f64;
+                let cover = (s1.min(c1) - s0.max(c0)).max(0.0);
+                if cover > 0.0 {
+                    match best {
+                        Some((b, _)) if b >= cover => {}
+                        _ => best = Some((cover, s.kind)),
+                    }
+                }
+            }
+            *cell = match best {
+                Some((_, kind)) => kind.glyph(),
+                None => '.',
+            };
+        }
+        let row: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:header_width$} |{row}|", lane.header());
+    }
+    out
+}
+
+/// Export the timeline (or a window of it) as CSV with the columns
+/// `lane,kind,label,start_ns,end_ns,duration_ns,bytes`.
+pub fn render_csv(tl: &Timeline, window: Option<(SimTime, SimTime)>) -> String {
+    let mut out = String::from("lane,kind,label,start_ns,end_ns,duration_ns,bytes\n");
+    let spans: Vec<_> = match window {
+        Some((t0, t1)) => tl.window(t0, t1),
+        None => tl.spans().iter().collect(),
+    };
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{},{:?},{},{},{},{},{}",
+            s.lane.header(),
+            s.kind,
+            s.label.replace(',', ";"),
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            s.duration().as_nanos(),
+            s.bytes,
+        );
+    }
+    out
+}
+
+/// Export the timeline in the Chrome Trace Event format (the JSON
+/// array flavour) — load the output into `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev) for an interactive version of
+/// the paper's Figure 3.
+///
+/// Lanes map to (pid, tid): all rows share one process; each lane is a
+/// thread whose name is the lane header. Timestamps are microseconds of
+/// *virtual* time.
+pub fn render_chrome_trace(tl: &Timeline) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[\n");
+    // Thread-name metadata records, one per lane.
+    for (tid, lane) in tl.lanes().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}},",
+            tid,
+            escape(&lane.header()),
+        );
+    }
+    let lanes = tl.lanes();
+    let tid_of = |lane: &crate::span::Lane| lanes.iter().position(|l| l == lane).unwrap_or(0);
+    let mut first = true;
+    for s in tl.spans() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\":\"{}\",\"cat\":\"{:?}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"bytes\":{}}}}}",
+            escape(&s.label),
+            s.kind,
+            tid_of(&s.lane),
+            s.start.as_nanos() as f64 / 1000.0,
+            s.duration().as_nanos() as f64 / 1000.0,
+            s.bytes,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, SpanKind, TraceRecorder};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample() -> Timeline {
+        let rec = TraceRecorder::new();
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "in",
+            t(0),
+            t(50),
+            10,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "k", t(50), t(80), 0);
+        rec.record(
+            Lane::copy_out(0),
+            SpanKind::TransferOut,
+            "out",
+            t(80),
+            t(100),
+            10,
+        );
+        Timeline::from_recorder(&rec)
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let tl = sample();
+        let g = render_gantt(&tl, &GanttOptions::full(&tl).with_width(10));
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 lanes
+                                    // H2D row: first 5 cols '>', rest '.'
+        let h2d = lines.iter().find(|l| l.contains("GPU0 H2D")).unwrap();
+        let cells: String = h2d.chars().filter(|&c| c == '>' || c == '.').collect();
+        assert_eq!(cells, ">>>>>.....");
+        let krn = lines.iter().find(|l| l.contains("GPU0 KRN")).unwrap();
+        assert!(krn.contains("#"));
+    }
+
+    #[test]
+    fn gantt_empty_window() {
+        let tl = sample();
+        let g = render_gantt(&tl, &GanttOptions::window(t(5), t(5)));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn csv_export() {
+        let tl = sample();
+        let csv = render_csv(&tl, None);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("lane,kind"));
+        assert!(lines[1].contains("GPU0 H2D,TransferIn,in,0,50,50,10"));
+    }
+
+    #[test]
+    fn csv_window_filters() {
+        let tl = sample();
+        let csv = render_csv(&tl, Some((t(0), t(50))));
+        // Only the H2D span intersects [0, 50).
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::Host, SpanKind::Other, "a,b", t(0), t(1), 0);
+        let tl = Timeline::from_recorder(&rec);
+        let csv = render_csv(&tl, None);
+        assert!(csv.contains("a;b"));
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let tl = sample();
+        let json = render_chrome_trace(&tl);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // One metadata record per lane + one event per span.
+        assert_eq!(json.matches("thread_name").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"dur\":0.050"), "ns → µs conversion");
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_trace_escapes_quotes() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::Host, SpanKind::Other, "say \"hi\"", t(0), t(1), 0);
+        let tl = Timeline::from_recorder(&rec);
+        let json = render_chrome_trace(&tl);
+        assert!(json.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,347 @@
+//! Spans and the trace recorder.
+//!
+//! Every timed activity in the simulation (a DMA copy, a kernel execution,
+//! a host task, …) is recorded as a [`Span`]: an interval of virtual time on
+//! a [`Lane`]. Lanes mirror the rows of an `nsys` timeline — one row per
+//! device engine plus a host row.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Identifier of a recorded span (dense, in recording order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+/// Which hardware engine of a device a span occupies.
+///
+/// Real GPUs expose separate copy engines for each direction plus compute
+/// queues; the paper's Figure 3 legends ("green and red" transfers, "blue"
+/// kernels) correspond to exactly these three.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EngineKind {
+    /// Host-to-device copy engine.
+    CopyIn,
+    /// Device-to-host copy engine.
+    CopyOut,
+    /// Kernel execution engine.
+    Compute,
+}
+
+impl EngineKind {
+    /// Short label used by the renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::CopyIn => "H2D",
+            EngineKind::CopyOut => "D2H",
+            EngineKind::Compute => "KRN",
+        }
+    }
+}
+
+/// A timeline row.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Lane {
+    /// The host CPU (task scheduling, host tasks).
+    Host,
+    /// An engine of a particular device.
+    Device {
+        /// Physical device id.
+        device: u32,
+        /// Engine within the device.
+        engine: EngineKind,
+    },
+}
+
+impl Lane {
+    /// Convenience constructor for a device compute lane.
+    pub fn compute(device: u32) -> Lane {
+        Lane::Device {
+            device,
+            engine: EngineKind::Compute,
+        }
+    }
+
+    /// Convenience constructor for a device host-to-device copy lane.
+    pub fn copy_in(device: u32) -> Lane {
+        Lane::Device {
+            device,
+            engine: EngineKind::CopyIn,
+        }
+    }
+
+    /// Convenience constructor for a device device-to-host copy lane.
+    pub fn copy_out(device: u32) -> Lane {
+        Lane::Device {
+            device,
+            engine: EngineKind::CopyOut,
+        }
+    }
+
+    /// The device id, if this is a device lane.
+    pub fn device(self) -> Option<u32> {
+        match self {
+            Lane::Host => None,
+            Lane::Device { device, .. } => Some(device),
+        }
+    }
+
+    /// The engine kind, if this is a device lane.
+    pub fn engine(self) -> Option<EngineKind> {
+        match self {
+            Lane::Host => None,
+            Lane::Device { engine, .. } => Some(engine),
+        }
+    }
+
+    /// Human-readable row header, e.g. `GPU2 H2D` or `host`.
+    pub fn header(self) -> String {
+        match self {
+            Lane::Host => "host".to_string(),
+            Lane::Device { device, engine } => format!("GPU{} {}", device, engine.label()),
+        }
+    }
+}
+
+/// Semantic category of a span.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SpanKind {
+    /// Host-to-device memory transfer.
+    TransferIn,
+    /// Device-to-host memory transfer.
+    TransferOut,
+    /// Kernel execution.
+    Kernel,
+    /// Host-side task body.
+    HostTask,
+    /// Synchronization wait (taskgroup/taskwait drain).
+    Sync,
+    /// Anything else (allocation bookkeeping, …).
+    Other,
+}
+
+impl SpanKind {
+    /// Single-character glyph used by the ASCII Gantt renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::TransferIn => '>',
+            SpanKind::TransferOut => '<',
+            SpanKind::Kernel => '#',
+            SpanKind::HostTask => '~',
+            SpanKind::Sync => '|',
+            SpanKind::Other => '.',
+        }
+    }
+
+    /// True for either transfer direction.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, SpanKind::TransferIn | SpanKind::TransferOut)
+    }
+}
+
+/// One recorded activity: `[start, end)` on a lane.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Identifier (dense, recording order).
+    pub id: SpanId,
+    /// Timeline row.
+    pub lane: Lane,
+    /// Semantic category.
+    pub kind: SpanKind,
+    /// Free-form label ("forces", "enter A[0:100]", …).
+    pub label: String,
+    /// Start instant (inclusive).
+    pub start: SimTime,
+    /// End instant (exclusive).
+    pub end: SimTime,
+    /// Bytes moved, for transfers.
+    pub bytes: u64,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> crate::time::SimDuration {
+        self.end - self.start
+    }
+
+    /// True if the span intersects the half-open window `[t0, t1)`.
+    pub fn overlaps_window(&self, t0: SimTime, t1: SimTime) -> bool {
+        self.start < t1 && self.end > t0
+    }
+}
+
+/// Thread-safe collector of spans.
+///
+/// Cheap to clone (it is an `Arc` underneath); the simulator and every
+/// subsystem hold clones and push completed spans. Recording can be
+/// disabled wholesale so benchmark runs that do not need traces pay only
+/// an atomic load.
+#[derive(Clone)]
+pub struct TraceRecorder {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    spans: Mutex<Vec<Span>>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A new, enabled recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            inner: Arc::new(Inner {
+                spans: Mutex::new(Vec::new()),
+                enabled: std::sync::atomic::AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// A recorder that discards everything.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner
+            .enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner
+            .enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Record a completed span. Returns its id (or a dummy id when
+    /// disabled).
+    pub fn record(
+        &self,
+        lane: Lane,
+        kind: SpanKind,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+    ) -> SpanId {
+        if !self.is_enabled() {
+            return SpanId(u64::MAX);
+        }
+        debug_assert!(end >= start, "span ends before it starts");
+        let mut spans = self.inner.spans.lock();
+        let id = SpanId(spans.len() as u64);
+        spans.push(Span {
+            id,
+            lane,
+            kind,
+            label: label.into(),
+            start,
+            end,
+            bytes,
+        });
+        id
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.spans.lock().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the recorded spans (sorted by start time, then id).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut spans = self.inner.spans.lock().clone();
+        spans.sort_by_key(|s| (s.start, s.id));
+        spans
+    }
+
+    /// Drop all recorded spans.
+    pub fn clear(&self) {
+        self.inner.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn record_and_snapshot_sorted() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::Host, SpanKind::HostTask, "b", t(10), t(20), 0);
+        rec.record(Lane::Host, SpanKind::HostTask, "a", t(0), t(5), 0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label, "a");
+        assert_eq!(snap[1].label, "b");
+    }
+
+    #[test]
+    fn disabled_recorder_discards() {
+        let rec = TraceRecorder::disabled();
+        rec.record(Lane::Host, SpanKind::Other, "x", t(0), t(1), 0);
+        assert!(rec.is_empty());
+        rec.set_enabled(true);
+        rec.record(Lane::Host, SpanKind::Other, "y", t(0), t(1), 0);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let rec = TraceRecorder::new();
+        let rec2 = rec.clone();
+        rec2.record(Lane::compute(0), SpanKind::Kernel, "k", t(0), t(1), 0);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn window_overlap() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::Host, SpanKind::Other, "x", t(10), t(20), 0);
+        let s = &rec.snapshot()[0];
+        assert!(s.overlaps_window(t(0), t(11)));
+        assert!(s.overlaps_window(t(19), t(100)));
+        assert!(!s.overlaps_window(t(0), t(10))); // half-open: ends at start
+        assert!(!s.overlaps_window(t(20), t(30)));
+    }
+
+    #[test]
+    fn lane_headers() {
+        assert_eq!(Lane::Host.header(), "host");
+        assert_eq!(Lane::copy_in(2).header(), "GPU2 H2D");
+        assert_eq!(Lane::copy_out(0).header(), "GPU0 D2H");
+        assert_eq!(Lane::compute(3).header(), "GPU3 KRN");
+    }
+
+    #[test]
+    fn lane_accessors() {
+        assert_eq!(Lane::Host.device(), None);
+        assert_eq!(Lane::compute(1).device(), Some(1));
+        assert_eq!(Lane::compute(1).engine(), Some(EngineKind::Compute));
+        assert!(SpanKind::TransferIn.is_transfer());
+        assert!(SpanKind::TransferOut.is_transfer());
+        assert!(!SpanKind::Kernel.is_transfer());
+    }
+}

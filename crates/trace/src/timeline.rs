@@ -1,0 +1,206 @@
+//! An immutable, query-friendly view over recorded spans.
+
+use std::collections::BTreeMap;
+
+use crate::interval::IntervalSet;
+use crate::span::{Lane, Span, SpanKind, TraceRecorder};
+use crate::time::SimTime;
+
+/// A finished trace: spans sorted by `(start, id)`, with per-lane indexes.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    by_lane: BTreeMap<Lane, Vec<usize>>,
+}
+
+impl Timeline {
+    /// Build from a recorder snapshot.
+    pub fn from_recorder(rec: &TraceRecorder) -> Self {
+        Self::from_spans(rec.snapshot())
+    }
+
+    /// Build from an explicit span list.
+    pub fn from_spans(mut spans: Vec<Span>) -> Self {
+        spans.sort_by_key(|s| (s.start, s.id));
+        let mut by_lane: BTreeMap<Lane, Vec<usize>> = BTreeMap::new();
+        for (idx, s) in spans.iter().enumerate() {
+            by_lane.entry(s.lane).or_default().push(idx);
+        }
+        Timeline { spans, by_lane }
+    }
+
+    /// All spans, sorted by start.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if there are no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The lanes present, in a stable order (host first, then devices).
+    pub fn lanes(&self) -> Vec<Lane> {
+        self.by_lane.keys().copied().collect()
+    }
+
+    /// Spans on one lane, sorted by start.
+    pub fn lane_spans(&self, lane: Lane) -> Vec<&Span> {
+        self.by_lane
+            .get(&lane)
+            .map(|idxs| idxs.iter().map(|&i| &self.spans[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Spans intersecting the half-open window `[t0, t1)`.
+    pub fn window(&self, t0: SimTime, t1: SimTime) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.overlaps_window(t0, t1))
+            .collect()
+    }
+
+    /// End of the last span (simulation makespan), or `SimTime::ZERO`.
+    pub fn end(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Start of the first span, or `SimTime::ZERO`.
+    pub fn start(&self) -> SimTime {
+        self.spans.first().map(|s| s.start).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Busy intervals of a lane (union of its spans).
+    pub fn lane_busy(&self, lane: Lane) -> IntervalSet {
+        IntervalSet::from_intervals(self.lane_spans(lane).iter().map(|s| (s.start, s.end)))
+    }
+
+    /// Busy intervals of every lane of one device, restricted to one kind.
+    pub fn device_kind_busy(&self, device: u32, pred: impl Fn(SpanKind) -> bool) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.spans
+                .iter()
+                .filter(|s| s.lane.device() == Some(device) && pred(s.kind))
+                .map(|s| (s.start, s.end)),
+        )
+    }
+
+    /// Device ids present in the trace, ascending.
+    pub fn devices(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.by_lane.keys().filter_map(|l| l.device()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total bytes moved in the given transfer direction.
+    pub fn total_bytes(&self, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, SpanKind, TraceRecorder};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample() -> Timeline {
+        let rec = TraceRecorder::new();
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "A",
+            t(0),
+            t(10),
+            100,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "k1", t(10), t(14), 0);
+        rec.record(
+            Lane::copy_in(1),
+            SpanKind::TransferIn,
+            "B",
+            t(2),
+            t(12),
+            200,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "k2", t(14), t(20), 0);
+        rec.record(
+            Lane::copy_out(0),
+            SpanKind::TransferOut,
+            "A",
+            t(20),
+            t(28),
+            100,
+        );
+        Timeline::from_recorder(&rec)
+    }
+
+    #[test]
+    fn spans_sorted_and_indexed() {
+        let tl = sample();
+        assert_eq!(tl.len(), 5);
+        assert!(tl.spans().windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(tl.lane_spans(Lane::compute(0)).len(), 2);
+        assert_eq!(tl.lane_spans(Lane::compute(7)).len(), 0);
+    }
+
+    #[test]
+    fn window_query() {
+        let tl = sample();
+        let w = tl.window(t(11), t(15));
+        let labels: Vec<_> = w.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"k1"));
+        assert!(labels.contains(&"B"));
+        assert!(labels.contains(&"k2"));
+        assert!(!labels.contains(&"A")); // the H2D A ends at 10
+    }
+
+    #[test]
+    fn devices_and_extent() {
+        let tl = sample();
+        assert_eq!(tl.devices(), vec![0, 1]);
+        assert_eq!(tl.start(), t(0));
+        assert_eq!(tl.end(), t(28));
+    }
+
+    #[test]
+    fn busy_sets() {
+        let tl = sample();
+        let compute = tl.device_kind_busy(0, |k| k == SpanKind::Kernel);
+        assert_eq!(compute.total().as_nanos(), 10);
+        let xfer = tl.device_kind_busy(0, SpanKind::is_transfer);
+        assert_eq!(xfer.total().as_nanos(), 18);
+    }
+
+    #[test]
+    fn byte_totals() {
+        let tl = sample();
+        assert_eq!(tl.total_bytes(SpanKind::TransferIn), 300);
+        assert_eq!(tl.total_bytes(SpanKind::TransferOut), 100);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::from_spans(vec![]);
+        assert!(tl.is_empty());
+        assert_eq!(tl.end(), SimTime::ZERO);
+        assert!(tl.devices().is_empty());
+    }
+}

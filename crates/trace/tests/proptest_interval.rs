@@ -1,0 +1,103 @@
+//! Property tests for the interval-set algebra.
+
+use proptest::prelude::*;
+use spread_trace::{IntervalSet, SimTime};
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+fn raw_intervals() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..1000, 0u64..1000), 0..20)
+}
+
+fn make(ivs: &[(u64, u64)]) -> IntervalSet {
+    IntervalSet::from_intervals(ivs.iter().map(|&(a, b)| (t(a.min(b)), t(a.max(b)))))
+}
+
+proptest! {
+    /// Normalization invariant: sorted, disjoint, non-adjacent, non-empty.
+    #[test]
+    fn normalized_form(ivs in raw_intervals()) {
+        let s = make(&ivs);
+        let v = s.intervals();
+        for w in v.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "not disjoint/sorted: {:?}", v);
+        }
+        for &(a, b) in v {
+            prop_assert!(a < b, "empty interval survived");
+        }
+    }
+
+    /// Membership agrees with the raw input.
+    #[test]
+    fn contains_matches_raw(ivs in raw_intervals(), probe in 0u64..1000) {
+        let s = make(&ivs);
+        let raw_hit = ivs.iter().any(|&(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            probe >= lo && probe < hi
+        });
+        prop_assert_eq!(s.contains(t(probe)), raw_hit);
+    }
+
+    /// |A ∪ B| + |A ∩ B| = |A| + |B| (inclusion–exclusion on measures).
+    #[test]
+    fn inclusion_exclusion(a in raw_intervals(), b in raw_intervals()) {
+        let sa = make(&a);
+        let sb = make(&b);
+        let union = sa.union(&sb).total().as_nanos();
+        let inter = sa.intersect(&sb).total().as_nanos();
+        prop_assert_eq!(
+            union + inter,
+            sa.total().as_nanos() + sb.total().as_nanos()
+        );
+    }
+
+    /// Intersection commutes.
+    #[test]
+    fn intersection_commutes(a in raw_intervals(), b in raw_intervals()) {
+        let sa = make(&a);
+        let sb = make(&b);
+        prop_assert_eq!(sa.intersect(&sb), sb.intersect(&sa));
+    }
+
+    /// Complement within a window partitions the window.
+    #[test]
+    fn complement_partitions_window(
+        ivs in raw_intervals(),
+        w0 in 0u64..1000,
+        len in 0u64..1000,
+    ) {
+        let s = make(&ivs);
+        let (t0, t1) = (t(w0), t(w0 + len));
+        let inside = s.clip(t0, t1);
+        let outside = s.complement_within(t0, t1);
+        prop_assert_eq!(
+            inside.total().as_nanos() + outside.total().as_nanos(),
+            len
+        );
+        prop_assert!(inside.intersect(&outside).is_empty());
+    }
+
+    /// Incremental insert equals batch construction.
+    #[test]
+    fn insert_equals_batch(ivs in raw_intervals()) {
+        let batch = make(&ivs);
+        let mut inc = IntervalSet::new();
+        for &(a, b) in &ivs {
+            inc.insert(t(a.min(b)), t(a.max(b)));
+        }
+        prop_assert_eq!(batch, inc);
+    }
+
+    /// Union is idempotent and monotone in measure.
+    #[test]
+    fn union_properties(a in raw_intervals(), b in raw_intervals()) {
+        let sa = make(&a);
+        let sb = make(&b);
+        let u = sa.union(&sb);
+        prop_assert_eq!(u.union(&sa), u.clone());
+        prop_assert!(u.total() >= sa.total());
+        prop_assert!(u.total() >= sb.total());
+    }
+}

@@ -1,0 +1,64 @@
+//! The Somier spring-grid mini-app (the paper's evaluation workload) at
+//! a laptop-friendly size: runs the `target` baseline and all three
+//! `target spread` implementations, verifies them against the CPU
+//! reference, and prints a miniature Table I/II.
+//!
+//! Run with: `cargo run --release --example somier_mini`
+
+use target_spread::somier::reference::run_reference;
+use target_spread::somier::{run_somier, SomierConfig, SomierImpl};
+
+fn main() {
+    let cfg = SomierConfig::test_small(48, 3);
+    println!(
+        "Somier: {}³ grid, {} steps, device memory {:.2} MB (problem/device ≈ {:.1}×)",
+        cfg.n,
+        cfg.timesteps,
+        cfg.device_mem_bytes() as f64 / 1e6,
+        cfg.total_bytes() as f64 / cfg.device_mem_bytes() as f64,
+    );
+
+    // Baseline: existing target directives, one device.
+    let (base, _) = run_somier(&cfg, SomierImpl::OneBufferTarget, 1).expect("baseline");
+    let reference = run_reference(&cfg, cfg.buffer_planes(1));
+    assert_eq!(base.centers, reference.centers, "baseline is bit-exact");
+    println!(
+        "\n{:<28} {:>4}  {:>12}  {:>9}",
+        "implementation", "GPUs", "time", "speedup"
+    );
+    println!(
+        "{:<28} {:>4}  {:>12}  {:>9}",
+        base.label,
+        1,
+        base.elapsed.to_string(),
+        "1.00x"
+    );
+
+    // target spread on 1, 2, 4 GPUs (Table I).
+    for gpus in [1usize, 2, 4] {
+        let (r, _) = run_somier(&cfg, SomierImpl::OneBufferSpread, gpus).expect("spread");
+        let ref_g = run_reference(&cfg, cfg.buffer_planes(gpus));
+        assert_eq!(r.centers, ref_g.centers, "{gpus}-GPU spread is bit-exact");
+        println!(
+            "{:<28} {:>4}  {:>12}  {:>8.2}x",
+            r.label,
+            gpus,
+            r.elapsed.to_string(),
+            base.elapsed.as_secs_f64() / r.elapsed.as_secs_f64()
+        );
+    }
+
+    // The buffered strategies (Table II) on 4 GPUs.
+    for which in [SomierImpl::TwoBuffers, SomierImpl::DoubleBuffering] {
+        let (r, _) = run_somier(&cfg, which, 4).expect("buffered");
+        println!(
+            "{:<28} {:>4}  {:>12}  {:>8.2}x   ({} halo races flagged)",
+            r.label,
+            4,
+            r.elapsed.to_string(),
+            base.elapsed.as_secs_f64() / r.elapsed.as_secs_f64(),
+            r.races,
+        );
+    }
+    println!("\nAll implementations verified against the sequential CPU reference.");
+}

@@ -1,0 +1,46 @@
+//! # target-spread
+//!
+//! A Rust reproduction of *"A Novel Set of Directives for Multi-device
+//! Programming with OpenMP"* (Torres, Ferrer, Teruel — IPPS 2022): the
+//! **`target spread`** directive set for distributing data and workload
+//! across multiple accelerator devices, implemented on top of a
+//! deterministic discrete-event simulation of a multi-GPU node.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`trace`] — span recording, timeline analysis, Gantt/CSV rendering
+//!   (the reproduction's `nsys`).
+//! * [`sim`] — the discrete-event engine with processor-sharing links and
+//!   a max–min fair shared host bus.
+//! * [`devices`] — simulated accelerators: memory pools, DMA engines,
+//!   kernel cost models, node topologies (including the CTE-POWER preset
+//!   used in the paper's evaluation).
+//! * [`teams`] — the intra-device `teams distribute parallel for` level: a
+//!   work-sharing thread-team executor.
+//! * [`rt`] — the OpenMP-like offloading runtime: presence tables, array
+//!   sections, task graph with `depend`, and the baseline single-device
+//!   `target` directive set.
+//! * [`core`] — **the paper's contribution**: `target spread`,
+//!   `target data spread`, `target enter/exit data spread`,
+//!   `target update spread`, spread schedules and placeholders.
+//! * [`somier`] — the Somier spring-grid mini-app and its One Buffer /
+//!   Two Buffers / Double Buffering implementations.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use spread_core as core;
+pub use spread_devices as devices;
+pub use spread_rt as rt;
+pub use spread_sim as sim;
+pub use spread_somier as somier;
+pub use spread_teams as teams;
+pub use spread_trace as trace;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use spread_core::prelude::*;
+    pub use spread_devices::topology::Topology;
+    pub use spread_rt::prelude::*;
+    pub use spread_trace::{SimDuration, SimTime};
+}

@@ -1,0 +1,125 @@
+//! Cross-crate determinism: the whole stack is a deterministic DES, so
+//! identical programs must produce identical virtual histories —
+//! timings, traces, task orders, results — run after run.
+
+use target_spread::core::prelude::*;
+use target_spread::devices::Topology;
+use target_spread::rt::kernel::KernelArg;
+use target_spread::rt::prelude::*;
+use target_spread::somier::{run_somier, SomierConfig, SomierImpl};
+
+/// A non-trivial pipelined program; returns a full fingerprint of the
+/// run: elapsed, result checksum, and the ordered trace signature.
+fn fingerprint() -> (u64, f64, Vec<(String, u64, u64)>) {
+    let mut rt = Runtime::new(RuntimeConfig::new(Topology::ctepower(4)).with_team_threads(3));
+    let n = 1 << 14;
+    let a = rt.host_array("A", n);
+    let b = rt.host_array("B", n);
+    rt.fill_host(a, |i| ((i * 31) % 911) as f64);
+    rt.run(|s| {
+        s.taskgroup(|s| {
+            TargetEnterDataSpread::devices([3, 1, 2, 0])
+                .range(0, n)
+                .chunk_size(n / 16)
+                .nowait()
+                .map(spread_to(a, |c| c.range()))
+                .depend_out(a, |c| c.range())
+                .launch(s)
+                .unwrap();
+            for round in 0..3 {
+                TargetSpread::devices([3, 1, 2, 0])
+                    .spread_schedule(SpreadSchedule::static_chunk(n / 16))
+                    .nowait()
+                    .map(spread_alloc(a, |c| c.range()))
+                    .map(spread_tofrom(b, |c| c.range()))
+                    .depend_in(a, |c| c.range())
+                    .depend_out(a, |c| c.range())
+                    .parallel_for(
+                        s,
+                        0..n,
+                        KernelSpec::new(format!("r{round}"), 3.0, |chunk, v| {
+                            for i in chunk {
+                                let x = v.get(0, i);
+                                v.set(1, i, v.get(1, i) + x * 0.5);
+                            }
+                        })
+                        .arg(KernelArg::read_write(a, |r| r))
+                        .arg(KernelArg::read_write(b, |r| r)),
+                    )
+                    .unwrap();
+            }
+            TargetExitDataSpread::devices([3, 1, 2, 0])
+                .range(0, n)
+                .chunk_size(n / 16)
+                .nowait()
+                .map(spread_from(a, |c| c.range()))
+                .depend_in(a, |c| c.range())
+                .launch(s)
+                .unwrap();
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    let checksum: f64 = rt.snapshot_host(b).iter().sum();
+    let trace: Vec<(String, u64, u64)> = rt
+        .timeline()
+        .spans()
+        .iter()
+        .map(|s| (s.label.clone(), s.start.as_nanos(), s.end.as_nanos()))
+        .collect();
+    (rt.elapsed().as_nanos(), checksum, trace)
+}
+
+#[test]
+fn pipelined_program_is_fully_deterministic() {
+    let (t1, c1, tr1) = fingerprint();
+    let (t2, c2, tr2) = fingerprint();
+    assert_eq!(t1, t2, "virtual time");
+    assert_eq!(c1, c2, "results");
+    assert_eq!(tr1.len(), tr2.len(), "span count");
+    assert_eq!(tr1, tr2, "full trace history");
+    assert!(!tr1.is_empty());
+}
+
+/// Somier is deterministic for every implementation, including the
+/// pipelined ones (concurrent halves resolve identically in virtual
+/// time) — and independent of the host team size (real threads never
+/// influence the virtual schedule).
+#[test]
+fn somier_deterministic_across_team_sizes() {
+    for which in [
+        SomierImpl::OneBufferSpread,
+        SomierImpl::TwoBuffers,
+        SomierImpl::DoubleBuffering,
+    ] {
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let mut cfg = SomierConfig::test_small(100, 1);
+            cfg.team_threads = threads;
+            let (r, _) = run_somier(&cfg, which, 2).unwrap();
+            runs.push((r.elapsed, r.centers, r.transfer_ops));
+        }
+        assert_eq!(runs[0], runs[1], "{which:?}: team size changed the run");
+    }
+}
+
+/// Host-task `depend` ordering is honoured and deterministic.
+#[test]
+fn host_task_depend_orders_siblings() {
+    let mut rt = Runtime::new(RuntimeConfig::new(Topology::ctepower(1)));
+    let a = rt.host_array("A", 4);
+    let log: std::rc::Rc<std::cell::RefCell<Vec<u32>>> = Default::default();
+    rt.run(|s| {
+        let sec = a.full();
+        for i in 0..4u32 {
+            let log = log.clone();
+            // Each task has an inout dependence on A: strict chain.
+            s.task_depend(format!("t{i}"), vec![sec], vec![sec], move |_| {
+                log.borrow_mut().push(i);
+            });
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+}

@@ -1,0 +1,341 @@
+//! The paper's listings, executable end to end through the umbrella
+//! crate — one test per listing that defines observable behaviour.
+#![allow(clippy::needless_range_loop)]
+
+use target_spread::core::prelude::*;
+use target_spread::devices::{DeviceSpec, Topology};
+use target_spread::rt::kernel::KernelArg;
+use target_spread::rt::prelude::*;
+
+fn rt(n_dev: usize) -> Runtime {
+    let topo = Topology::uniform(
+        n_dev,
+        DeviceSpec::v100().with_mem_bytes(1 << 22),
+        1e9,
+        1.6e9,
+    );
+    Runtime::new(RuntimeConfig::new(topo).with_team_threads(2))
+}
+
+fn stencil(a: HostArray, b: HostArray) -> KernelSpec {
+    KernelSpec::new("stencil", 2.0, |chunk, v| {
+        for i in chunk {
+            let s = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
+            v.set(1, i, s);
+        }
+    })
+    .arg(KernelArg::read(a, |r| r.start - 1..r.end + 1))
+    .arg(KernelArg::write(b, |r| r))
+}
+
+/// Listing 1/2: single-device `target` with the combined directive.
+#[test]
+fn listing_1_2_target_combined() {
+    let mut rt = rt(1);
+    let n = 100;
+    let a = rt.host_array("A", n);
+    let b = rt.host_array("B", n);
+    rt.fill_host(a, |i| 1.0 + i as f64);
+    rt.run(|s| {
+        Target::device(0)
+            .num_teams(2)
+            .map(to(a, 0..n))
+            .map(from(b, 1..n - 1))
+            .parallel_for(s, 1..n - 1, stencil(a, b))?;
+        Ok(())
+    })
+    .unwrap();
+    let out = rt.snapshot_host(b);
+    for i in 1..n - 1 {
+        assert_eq!(out[i], (3 * (i + 1)) as f64);
+    }
+}
+
+/// Listing 3: standalone `target spread` — serial per-chunk loop.
+#[test]
+fn listing_3_target_spread_standalone() {
+    let mut rt = rt(3);
+    let n = 14;
+    let a = rt.host_array("A", n);
+    let b = rt.host_array("B", n);
+    rt.fill_host(a, |i| i as f64);
+    rt.run(|s| {
+        TargetSpread::devices([2, 0, 1])
+            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .serial()
+            .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
+            .map(spread_from(b, |c| c.range()))
+            .parallel_for(s, 1..n - 1, stencil(a, b))?;
+        Ok(())
+    })
+    .unwrap();
+    for i in 1..n - 1 {
+        assert_eq!(rt.snapshot_host(b)[i], (3 * i) as f64);
+    }
+}
+
+/// Listing 4: the combined spread directive with per-device teams.
+#[test]
+fn listing_4_combined_spread() {
+    let mut rt = rt(3);
+    let n = 200;
+    let a = rt.host_array("A", n);
+    let b = rt.host_array("B", n);
+    rt.fill_host(a, |i| (i * i % 97) as f64);
+    let expect: Vec<f64> = {
+        let av = rt.snapshot_host(a);
+        (0..n)
+            .map(|i| {
+                if i == 0 || i == n - 1 {
+                    0.0
+                } else {
+                    av[i - 1] + av[i] + av[i + 1]
+                }
+            })
+            .collect()
+    };
+    rt.run(|s| {
+        TargetSpread::devices([2, 0, 1])
+            .spread_schedule(SpreadSchedule::static_chunk(17))
+            .num_teams(2)
+            .num_threads(64)
+            .map(spread_to(a, move |c| {
+                c.start().saturating_sub(1)..(c.end() + 1).min(n)
+            }))
+            .map(spread_from(b, |c| c.range()))
+            .parallel_for(
+                s,
+                1..n - 1,
+                KernelSpec::new("stencil", 2.0, |chunk, v| {
+                    for i in chunk {
+                        let s = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
+                        v.set(1, i, s);
+                    }
+                })
+                .arg(KernelArg::read(a, move |r| {
+                    r.start.saturating_sub(1)..(r.end + 1).min(n)
+                }))
+                .arg(KernelArg::write(b, |r| r)),
+            )?;
+        Ok(())
+    })
+    .unwrap();
+    let out = rt.snapshot_host(b);
+    for i in 1..n - 1 {
+        assert_eq!(out[i], expect[i], "B[{i}]");
+    }
+}
+
+/// Listing 5: `target data spread` structured region.
+#[test]
+fn listing_5_target_data_spread() {
+    let mut rt = rt(3);
+    let n = 120;
+    let a = rt.host_array("A", n + 2);
+    let b = rt.host_array("B", n + 2);
+    rt.fill_host(a, |i| i as f64);
+    rt.run(|s| {
+        TargetDataSpread::devices([2, 0, 1])
+            .range(1, n)
+            .chunk_size(4)
+            .map(spread_tofrom(a, |c| c.halo(1, 1)))
+            .map(spread_tofrom(b, |c| c.range()))
+            .region(s, |s| {
+                TargetSpread::devices([2, 0, 1])
+                    .spread_schedule(SpreadSchedule::static_chunk(4))
+                    .map(spread_to(a, |c| c.halo(1, 1)))
+                    .map(spread_to(b, |c| c.range()))
+                    .parallel_for(s, 1..n + 1, stencil(a, b))?;
+                Ok(())
+            })
+    })
+    .unwrap();
+    for i in 1..n + 1 {
+        assert_eq!(rt.snapshot_host(b)[i], (3 * i) as f64);
+    }
+    assert_eq!(rt.device_mem_used(0), 0);
+}
+
+/// Listing 6: `target enter/exit data spread` roundtrip with `nowait`.
+#[test]
+fn listing_6_enter_exit_data_spread() {
+    let mut rt = rt(3);
+    let n = 60;
+    let a = rt.host_array("A", n + 2);
+    let b = rt.host_array("B", n + 2);
+    rt.fill_host(a, |i| 2.0 * i as f64);
+    rt.run(|s| {
+        s.taskgroup(|s| {
+            TargetEnterDataSpread::devices([2, 0, 1])
+                .range(1, n)
+                .chunk_size(4)
+                .nowait()
+                .map(spread_to(a, |c| c.halo(1, 1)))
+                .map(spread_to(b, |c| c.range()))
+                .launch(s)
+                .unwrap();
+        })?;
+        TargetSpread::devices([2, 0, 1])
+            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .map(spread_to(a, |c| c.halo(1, 1)))
+            .map(spread_to(b, |c| c.range()))
+            .parallel_for(s, 1..n + 1, stencil(a, b))?;
+        s.taskgroup(|s| {
+            TargetExitDataSpread::devices([2, 0, 1])
+                .range(1, n)
+                .chunk_size(4)
+                .nowait()
+                .map(spread_from(a, |c| c.range()))
+                .map(spread_from(b, |c| c.range()))
+                .launch(s)
+                .unwrap();
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    for i in 1..n + 1 {
+        assert_eq!(rt.snapshot_host(b)[i], (6 * i) as f64);
+    }
+}
+
+/// Listing 7: `target update spread` both directions.
+#[test]
+fn listing_7_update_spread() {
+    let mut rt = rt(3);
+    let n = 36;
+    let a = rt.host_array("A", n);
+    rt.run(|s| {
+        TargetEnterDataSpread::devices([0, 1, 2])
+            .range(0, n)
+            .chunk_size(3)
+            .map(spread_to(a, |c| c.range()))
+            .launch(s)?;
+        s.fill_host(a, |i| 100.0 + i as f64);
+        TargetUpdateSpread::devices([0, 1, 2])
+            .range(0, n)
+            .chunk_size(3)
+            .to(a, |c| c.range())
+            .launch(s)?;
+        TargetSpread::devices([0, 1, 2])
+            .spread_schedule(SpreadSchedule::static_chunk(3))
+            .map(spread_alloc(a, |c| c.range()))
+            .parallel_for(
+                s,
+                0..n,
+                KernelSpec::new("neg", 1.0, |chunk, v| {
+                    for i in chunk {
+                        let x = v.get(0, i);
+                        v.set(0, i, -x);
+                    }
+                })
+                .arg(KernelArg::read_write(a, |r| r)),
+            )?;
+        s.fill_host(a, |_| 0.0);
+        TargetUpdateSpread::devices([0, 1, 2])
+            .range(0, n)
+            .chunk_size(3)
+            .from(a, |c| c.range())
+            .launch(s)?;
+        Ok(())
+    })
+    .unwrap();
+    for i in 0..n {
+        assert_eq!(rt.snapshot_host(a)[i], -(100.0 + i as f64));
+    }
+}
+
+/// Listing 8: different device lists and chunkings per data directive.
+#[test]
+fn listing_8_independent_device_lists() {
+    let mut rt = rt(4);
+    let a = rt.host_array("A", 100);
+    let b = rt.host_array("B", 400);
+    rt.run(|s| {
+        s.taskgroup(|s| {
+            TargetEnterDataSpread::devices([2, 0])
+                .range(1, 60)
+                .chunk_size(4)
+                .nowait()
+                .map(spread_to(a, |c| c.halo(1, 1)))
+                .launch(s)
+                .unwrap();
+            TargetEnterDataSpread::devices([1, 3])
+                .range(100, 200)
+                .chunk_size(10)
+                .nowait()
+                .map(spread_to(b, |c| c.range()))
+                .launch(s)
+                .unwrap();
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    // A only on {0, 2}; B only on {1, 3}.
+    for d in [0u32, 2] {
+        assert!(rt
+            .mapped_sections(d)
+            .iter()
+            .all(|(sec, _, _)| sec.array == a.id()));
+    }
+    for d in [1u32, 3] {
+        assert!(rt
+            .mapped_sections(d)
+            .iter()
+            .all(|(sec, _, _)| sec.array == b.id()));
+    }
+}
+
+/// Listing 13 (future work, implemented): depend on data-spread
+/// directives pipelines chunk transfers with chunk kernels.
+#[test]
+fn listing_13_depend_on_data_spread() {
+    let mut rt = rt(2);
+    let m = 200;
+    let b = rt.host_array("B", m + 100);
+    rt.fill_host(b, |i| i as f64);
+    rt.run(|s| {
+        s.taskgroup(|s| {
+            TargetEnterDataSpread::devices([1, 0])
+                .range(100, m)
+                .chunk_size(10)
+                .nowait()
+                .map(spread_to(b, |c| c.range()))
+                .depend_out(b, |c| c.range())
+                .launch(s)
+                .unwrap();
+            TargetSpread::devices([1, 0])
+                .spread_schedule(SpreadSchedule::static_chunk(10))
+                .nowait()
+                .map(spread_alloc(b, |c| c.range()))
+                .depend_in(b, |c| c.range())
+                .depend_out(b, |c| c.range())
+                .parallel_for(
+                    s,
+                    100..100 + m,
+                    KernelSpec::new("x10", 1.0, |chunk, v| {
+                        for i in chunk {
+                            let x = v.get(0, i);
+                            v.set(0, i, 10.0 * x);
+                        }
+                    })
+                    .arg(KernelArg::read_write(b, |r| r)),
+                )
+                .unwrap();
+            TargetExitDataSpread::devices([1, 0])
+                .range(100, m)
+                .chunk_size(10)
+                .nowait()
+                .map(spread_from(b, |c| c.range()))
+                .depend_in(b, |c| c.range())
+                .launch(s)
+                .unwrap();
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    let out = rt.snapshot_host(b);
+    for i in 100..100 + m {
+        assert_eq!(out[i], 10.0 * i as f64);
+    }
+    assert!(rt.races().is_empty());
+}

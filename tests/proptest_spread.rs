@@ -1,0 +1,190 @@
+//! Property tests across the whole stack: random spread configurations
+//! must always compute the same result as the sequential loop.
+
+use proptest::prelude::*;
+use target_spread::core::prelude::*;
+use target_spread::devices::{DeviceSpec, Topology};
+use target_spread::rt::kernel::KernelArg;
+use target_spread::rt::prelude::*;
+
+fn runtime(n_dev: usize) -> Runtime {
+    let topo = Topology::uniform(
+        n_dev,
+        DeviceSpec::v100().with_mem_bytes(1 << 22),
+        1e9,
+        1.6e9,
+    );
+    Runtime::new(
+        RuntimeConfig::new(topo)
+            .with_team_threads(2)
+            .with_trace(false),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random sizes, chunkings, device lists and values: the spread
+    /// stencil equals the sequential stencil exactly.
+    #[test]
+    fn spread_stencil_equals_sequential(
+        n in 8usize..300,
+        chunk in 1usize..64,
+        n_dev in 1usize..5,
+        perm_seed in 0u64..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Device list: a permutation of 0..n_dev (distribution order is
+        // list order, so exercise different orders).
+        let mut devices: Vec<u32> = (0..n_dev as u32).collect();
+        let k = (perm_seed as usize) % n_dev.max(1);
+        devices.rotate_left(k);
+
+        // The §V-B gap rule: a device's next halo'd chunk must leave a
+        // gap, i.e. (n_dev − 1) · chunk ≥ 2. One device ⇒ one chunk for
+        // the whole loop; two devices ⇒ chunks of ≥ 2.
+        let iters = n.saturating_sub(2);
+        let chunk = match n_dev {
+            1 => iters.max(1),
+            2 => chunk.max(2),
+            _ => chunk,
+        };
+
+        let mut rt = runtime(n_dev);
+        let a = rt.host_array("A", n);
+        let b = rt.host_array("B", n);
+        let x = seed | 1;
+        rt.fill_host(a, move |i| {
+            let mut v = x ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            v ^= v >> 33;
+            (v % 1000) as f64
+        });
+        let av = rt.snapshot_host(a);
+        let expect: Vec<f64> = (0..n)
+            .map(|i| {
+                if i == 0 || i == n - 1 {
+                    0.0
+                } else {
+                    av[i - 1] + av[i] + av[i + 1]
+                }
+            })
+            .collect();
+
+        rt.run(|s| {
+            TargetSpread::devices(devices.clone())
+                .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
+                .map(spread_from(b, |c| c.range()))
+                .parallel_for(
+                    s,
+                    1..n - 1,
+                    KernelSpec::new("stencil", 2.0, |chunk, v| {
+                        for i in chunk {
+                            let sum = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
+                            v.set(1, i, sum);
+                        }
+                    })
+                    .arg(KernelArg::read(a, |r| r.start - 1..r.end + 1))
+                    .arg(KernelArg::write(b, |r| r)),
+                )?;
+            Ok(())
+        })
+        .unwrap();
+        let out = rt.snapshot_host(b);
+        for i in 1..n - 1 {
+            prop_assert_eq!(out[i], expect[i], "i={}", i);
+        }
+        // Memory hygiene on every device.
+        for d in 0..n_dev as u32 {
+            prop_assert_eq!(rt.device_mem_used(d), 0);
+        }
+        prop_assert!(rt.races().is_empty());
+    }
+
+    /// The reduction extension equals the sequential fold for random
+    /// configurations and operators.
+    #[test]
+    fn spread_reduce_equals_sequential(
+        n in 4usize..500,
+        chunk in 1usize..64,
+        n_dev in 1usize..5,
+        op_pick in 0usize..3,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_pick];
+        let mut rt = runtime(n_dev);
+        let a = rt.host_array("A", n);
+        let partials = rt.host_array("P", n);
+        rt.fill_host(a, |i| ((i * 37) % 101) as f64 - 50.0);
+        let av = rt.snapshot_host(a);
+        let expect = av
+            .iter()
+            .map(|&x| x * 2.0)
+            .fold(op.identity(), |acc, v| op.combine(acc, v));
+
+        let devices: Vec<u32> = (0..n_dev as u32).collect();
+        let got = rt
+            .run(|s| {
+                TargetSpread::devices(devices.clone())
+                    .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                    .map(spread_to(a, |c| c.range()))
+                    .parallel_for_reduce(
+                        s,
+                        0..n,
+                        KernelSpec::new("x2", 1.0, |chunk, v| {
+                            for i in chunk {
+                                v.set(1, i, 2.0 * v.get(0, i));
+                            }
+                        })
+                        .arg(KernelArg::read(a, |r| r))
+                        .arg(KernelArg::write(partials, |r| r)),
+                        partials,
+                        op,
+                    )
+            })
+            .unwrap();
+        match op {
+            // Sum order matches the sequential fold exactly (host fold
+            // over the partials array in index order).
+            ReduceOp::Sum => prop_assert_eq!(got, expect),
+            _ => prop_assert_eq!(got, expect),
+        }
+    }
+
+    /// Enter/exit data spread with random range+chunk_size keeps the
+    /// presence tables balanced (everything released, nothing leaks).
+    #[test]
+    fn data_spread_roundtrip_is_balanced(
+        start in 0usize..50,
+        len in 1usize..200,
+        chunk in 1usize..32,
+        n_dev in 2usize..5,
+    ) {
+        let mut rt = runtime(n_dev);
+        let a = rt.host_array("A", start + len);
+        rt.fill_host(a, |i| i as f64);
+        let devices: Vec<u32> = (0..n_dev as u32).collect();
+        rt.run(|s| {
+            TargetEnterDataSpread::devices(devices.clone())
+                .range(start, len)
+                .chunk_size(chunk)
+                .map(spread_to(a, |c| c.range()))
+                .launch(s)?;
+            TargetExitDataSpread::devices(devices.clone())
+                .range(start, len)
+                .chunk_size(chunk)
+                .map(spread_from(a, |c| c.range()))
+                .launch(s)?;
+            Ok(())
+        })
+        .unwrap();
+        for d in 0..n_dev as u32 {
+            prop_assert_eq!(rt.device_mem_used(d), 0, "device {} leaked", d);
+            prop_assert!(rt.mapped_sections(d).is_empty());
+        }
+        // Data survived the roundtrip.
+        let out = rt.snapshot_host(a);
+        for (i, &v) in out.iter().enumerate() {
+            prop_assert_eq!(v, i as f64);
+        }
+    }
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of directive-layer overhead: what one `target
+//! Micro-benchmarks of directive-layer overhead: what one `target
 //! spread` construct costs the host (chunking, task-graph bookkeeping,
 //! mapping tables) — the reproduction's version of the paper's
 //! "negligible overhead" claim for the new directives (Table I, 1 GPU).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spread_bench::micro::{bench, black_box};
 use spread_core::prelude::*;
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
@@ -35,55 +35,38 @@ fn kernel(a: HostArray) -> KernelSpec {
     .arg(KernelArg::read_write(a, |r| r))
 }
 
-fn directive_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("construct_cost");
-    g.sample_size(20);
-    g.bench_function("target_single_device", |b| {
-        b.iter_batched(
+fn main() {
+    bench("construct_cost/target_single_device", 2, 20, || {
+        let mut rt = runtime(1);
+        let a = rt.host_array("A", N);
+        rt.run(|s| {
+            Target::device(0)
+                .map(tofrom(a, 0..N))
+                .parallel_for(s, 0..N, kernel(a))?;
+            Ok(())
+        })
+        .unwrap();
+        black_box(rt.elapsed());
+    });
+    for n_dev in [1usize, 4] {
+        bench(
+            &format!("construct_cost/target_spread_{n_dev}dev_16chunks"),
+            2,
+            20,
             || {
-                let mut rt = runtime(1);
+                let mut rt = runtime(n_dev);
                 let a = rt.host_array("A", N);
-                (rt, a)
-            },
-            |(mut rt, a)| {
+                let devices: Vec<u32> = (0..n_dev as u32).collect();
                 rt.run(|s| {
-                    Target::device(0)
-                        .map(tofrom(a, 0..N))
+                    TargetSpread::devices(devices.clone())
+                        .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+                        .map(spread_tofrom(a, |c| c.range()))
                         .parallel_for(s, 0..N, kernel(a))?;
                     Ok(())
                 })
                 .unwrap();
-                rt.elapsed()
+                black_box(rt.elapsed());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    for n_dev in [1usize, 4] {
-        g.bench_function(format!("target_spread_{n_dev}dev_16chunks"), |b| {
-            b.iter_batched(
-                || {
-                    let mut rt = runtime(n_dev);
-                    let a = rt.host_array("A", N);
-                    (rt, a)
-                },
-                |(mut rt, a)| {
-                    let devices: Vec<u32> = (0..n_dev as u32).collect();
-                    rt.run(|s| {
-                        TargetSpread::devices(devices.clone())
-                            .spread_schedule(SpreadSchedule::static_chunk(N / 16))
-                            .map(spread_tofrom(a, |c| c.range()))
-                            .parallel_for(s, 0..N, kernel(a))?;
-                        Ok(())
-                    })
-                    .unwrap();
-                    rt.elapsed()
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, directive_overhead);
-criterion_main!(benches);

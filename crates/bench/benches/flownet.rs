@@ -1,13 +1,12 @@
-//! Criterion benchmarks of the max–min fair flow network — the hot path
-//! of the interconnect model (every transfer arrival/departure
-//! re-allocates all rates).
+//! Micro-benchmarks of the max–min fair flow network — the hot path of
+//! the interconnect model (every transfer arrival/departure re-allocates
+//! all rates).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spread_bench::micro::{bench, black_box};
 use spread_sim::flow::maxmin_rates;
 use spread_sim::{SharedFlowNet, Simulator};
 
-fn maxmin(c: &mut Criterion) {
-    let mut g = c.benchmark_group("maxmin_rates");
+fn main() {
     for n_flows in [4usize, 16, 64] {
         // CTE-POWER-shaped constraint sets: bus + switch + per-flow link.
         let caps: Vec<f64> = std::iter::once(21e9)
@@ -16,38 +15,24 @@ fn maxmin(c: &mut Criterion) {
             .collect();
         let flow_caps: Vec<Vec<usize>> =
             (0..n_flows).map(|f| vec![0, 1 + (f % 2), 3 + f]).collect();
-        g.bench_function(format!("{n_flows}_flows"), |b| {
-            let refs: Vec<&[usize]> = flow_caps.iter().map(|v| v.as_slice()).collect();
-            b.iter(|| maxmin_rates(std::hint::black_box(&caps), std::hint::black_box(&refs)))
+        let refs: Vec<&[usize]> = flow_caps.iter().map(|v| v.as_slice()).collect();
+        bench(&format!("maxmin_rates/{n_flows}_flows"), 10, 100, || {
+            black_box(maxmin_rates(black_box(&caps), black_box(&refs)));
         });
     }
-    g.finish();
-}
 
-fn flow_lifecycle(c: &mut Criterion) {
-    c.bench_function("flownet_100_flows_end_to_end", |b| {
-        b.iter_batched(
-            || {
-                let sim = Simulator::without_trace();
-                let net = SharedFlowNet::new();
-                let bus = net.add_capacity("bus", 21e9);
-                let links: Vec<_> = (0..4)
-                    .map(|i| net.add_capacity(format!("l{i}"), 12e9))
-                    .collect();
-                (sim, net, bus, links)
-            },
-            |(mut sim, net, bus, links)| {
-                for i in 0..100u64 {
-                    let link = links[(i % 4) as usize];
-                    net.start_flow(&mut sim, 1_000_000 + i, vec![link, bus], Box::new(|_| {}));
-                }
-                sim.run_until_idle();
-                sim.now()
-            },
-            BatchSize::SmallInput,
-        )
+    bench("flownet_100_flows_end_to_end", 2, 20, || {
+        let mut sim = Simulator::without_trace();
+        let net = SharedFlowNet::new();
+        let bus = net.add_capacity("bus", 21e9);
+        let links: Vec<_> = (0..4)
+            .map(|i| net.add_capacity(format!("l{i}"), 12e9))
+            .collect();
+        for i in 0..100u64 {
+            let link = links[(i % 4) as usize];
+            net.start_flow(&mut sim, 1_000_000 + i, vec![link, bus], Box::new(|_| {}));
+        }
+        sim.run_until_idle();
+        black_box(sim.now());
     });
 }
-
-criterion_group!(benches, maxmin, flow_lifecycle);
-criterion_main!(benches);

@@ -1,56 +1,50 @@
-//! Criterion wall-clock benchmarks of the Somier reproduction at a
-//! reduced size — one benchmark group per paper table, measuring how
-//! fast the *library* (simulator + runtime + kernels) executes each
-//! configuration. The virtual-time results themselves are produced by
-//! the `table1`/`table2` binaries.
+//! Wall-clock micro-benchmarks of the Somier reproduction at a reduced
+//! size — one group per paper table, measuring how fast the *library*
+//! (simulator + runtime + kernels) executes each configuration. The
+//! virtual-time results themselves are produced by the
+//! `table1`/`table2` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spread_bench::micro::{bench, black_box};
 use spread_somier::{run_somier, SomierConfig, SomierImpl};
 
 fn cfg() -> SomierConfig {
     SomierConfig::test_small(32, 2).with_trace(false)
 }
 
-fn table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_one_buffer");
-    g.sample_size(10);
-    g.bench_function("target_1gpu", |b| {
-        b.iter(|| {
+fn main() {
+    bench("table1_one_buffer/target_1gpu", 1, 10, || {
+        black_box(
             run_somier(&cfg(), SomierImpl::OneBufferTarget, 1)
                 .unwrap()
                 .0
-                .elapsed
-        })
+                .elapsed,
+        );
     });
     for gpus in [1usize, 2, 4] {
-        g.bench_function(format!("spread_{gpus}gpu"), |b| {
-            b.iter(|| {
-                run_somier(&cfg(), SomierImpl::OneBufferSpread, gpus)
-                    .unwrap()
-                    .0
-                    .elapsed
-            })
-        });
+        bench(
+            &format!("table1_one_buffer/spread_{gpus}gpu"),
+            1,
+            10,
+            || {
+                black_box(
+                    run_somier(&cfg(), SomierImpl::OneBufferSpread, gpus)
+                        .unwrap()
+                        .0
+                        .elapsed,
+                );
+            },
+        );
     }
-    g.finish();
-}
 
-fn table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_buffering");
-    g.sample_size(10);
     // Two Buffers / Double Buffering need half-chunks of >= 2 planes.
-    let cfg = SomierConfig::test_small(100, 1).with_trace(false);
+    let cfg2 = SomierConfig::test_small(100, 1).with_trace(false);
     for (name, which) in [
         ("one_buffer", SomierImpl::OneBufferSpread),
         ("two_buffers", SomierImpl::TwoBuffers),
         ("double_buffering", SomierImpl::DoubleBuffering),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| run_somier(&cfg, which, 2).unwrap().0.elapsed)
+        bench(&format!("table2_buffering/{name}"), 1, 10, || {
+            black_box(run_somier(&cfg2, which, 2).unwrap().0.elapsed);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, table1, table2);
-criterion_main!(benches);

@@ -1,23 +1,18 @@
-//! Criterion benchmarks of the team executor: broadcast overhead and
+//! Micro-benchmarks of the team executor: broadcast overhead and
 //! work-shared loop throughput per schedule.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spread_bench::micro::{bench, black_box};
 use spread_teams::{LoopSchedule, TeamPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-fn broadcast_overhead(c: &mut Criterion) {
+fn main() {
     let pool = TeamPool::new(4);
-    c.bench_function("broadcast_noop_4_threads", |b| {
-        b.iter(|| pool.broadcast(&|_tid| {}))
+    bench("broadcast_noop_4_threads", 100, 1000, || {
+        pool.broadcast(&|_tid| {});
     });
-}
 
-fn parallel_for_throughput(c: &mut Criterion) {
-    let pool = TeamPool::new(4);
     const N: usize = 1 << 20;
     let data: Vec<f64> = (0..N).map(|i| i as f64).collect();
-    let mut g = c.benchmark_group("parallel_for_sum");
-    g.throughput(Throughput::Elements(N as u64));
     for (name, sched) in [
         ("static_blocked", LoopSchedule::StaticBlocked),
         (
@@ -27,19 +22,13 @@ fn parallel_for_throughput(c: &mut Criterion) {
         ("dynamic_4k", LoopSchedule::Dynamic { chunk: 4096 }),
         ("guided", LoopSchedule::Guided { min_chunk: 1024 }),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let acc = AtomicU64::new(0);
-                pool.parallel_for(0..N, sched, |chunk, _| {
-                    let s: f64 = data[chunk].iter().sum();
-                    acc.fetch_add(s as u64, Ordering::Relaxed);
-                });
-                acc.into_inner()
-            })
+        bench(&format!("parallel_for_sum/{name}"), 3, 30, || {
+            let acc = AtomicU64::new(0);
+            pool.parallel_for(0..N, sched, |chunk, _| {
+                let s: f64 = data[chunk].iter().sum();
+                acc.fetch_add(s as u64, Ordering::Relaxed);
+            });
+            black_box(acc.into_inner());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, broadcast_overhead, parallel_for_throughput);
-criterion_main!(benches);

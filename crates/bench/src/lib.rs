@@ -2,7 +2,8 @@
 //!
 //! The benchmark harness: one binary per table/figure of the paper's
 //! evaluation (see `DESIGN.md` §5 and `EXPERIMENTS.md` for the measured
-//! results), plus Criterion micro-benchmarks of the library itself.
+//! results), plus wall-clock micro-benchmarks of the library itself
+//! (`cargo bench -p spread-bench`).
 //!
 //! | Target | Reproduces |
 //! |---|---|
@@ -20,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
 pub mod table;
 
 pub use table::{markdown_table, speedup};

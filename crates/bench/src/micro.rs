@@ -1,0 +1,38 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the micro-benchmarks cannot use
+//! Criterion; this module provides the small subset the bench targets
+//! need: warmup, a fixed sample count, and a median/min/max report. Run
+//! with `cargo bench -p spread-bench` — each bench target is a plain
+//! `fn main()` (`harness = false`).
+
+use std::time::Instant;
+
+/// Measure `f` (including its setup cost) `samples` times after
+/// `warmup` discarded runs, and print one report line.
+pub fn bench(name: &str, warmup: usize, samples: usize, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut ns: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    println!(
+        "{name:<44} median {:>12} ns   min {:>12} ns   max {:>12} ns   ({} samples)",
+        median,
+        ns[0],
+        ns[ns.len() - 1],
+        ns.len()
+    );
+}
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,0 +1,318 @@
+//! The conformance harness's program representation.
+//!
+//! A [`Program`] is a small directive program over the spread builder
+//! surface: a set of host arrays (all the same length, filled by a fixed
+//! deterministic rule) and a sequence of *phases*. Statements inside one
+//! phase touch pairwise disjoint arrays, so `nowait` statements may
+//! interleave freely without racing and the sequential oracle stays
+//! exact; a `drain_all` barrier separates phases.
+//!
+//! The final phase may consist of *raw* data-mapping statements
+//! (unpaired enter/exit/update, possibly illegal). Those exercise the
+//! presence-table rules directly: the oracle predicts either the leaked
+//! mapping state or the exact [`spread_rt::RtError`] they must produce.
+
+use spread_core::reduction::ReduceOp;
+use spread_core::schedule::SpreadSchedule;
+
+/// A complete directive program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Number of devices in the machine.
+    pub n_devices: usize,
+    /// Common length of every host array.
+    pub n: usize,
+    /// Number of host arrays (`A0 … A{n_arrays-1}`).
+    pub n_arrays: usize,
+    /// Phases; statements within a phase touch disjoint arrays.
+    pub phases: Vec<Vec<Stmt>>,
+}
+
+impl Program {
+    /// The deterministic initial value of element `i` of array `k` —
+    /// shared by the executor's `fill_host` and the oracle.
+    pub fn initial(k: usize, i: usize) -> f64 {
+        ((i * 7 + k * 13) % 23) as f64 - 11.0
+    }
+}
+
+/// A `spread_schedule(…)` clause (mirror of
+/// [`spread_core::schedule::SpreadSchedule`] with integer weights so it
+/// can be generated, printed and shrunk losslessly).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sched {
+    /// `spread_schedule(static, chunk)`.
+    Static {
+        /// Chunk size.
+        chunk: usize,
+    },
+    /// `spread_schedule(weighted, round)` with per-device weights.
+    Weighted {
+        /// Iterations per round.
+        round: usize,
+        /// One positive weight per device in the list.
+        weights: Vec<u32>,
+    },
+    /// `spread_schedule(dynamic, chunk)` (§IX extension).
+    Dynamic {
+        /// Chunk size.
+        chunk: usize,
+    },
+}
+
+impl Sched {
+    /// Convert into the runtime's schedule type.
+    pub fn to_schedule(&self) -> SpreadSchedule {
+        match self {
+            Sched::Static { chunk } => SpreadSchedule::Static { chunk: *chunk },
+            Sched::Weighted { round, weights } => SpreadSchedule::StaticWeighted {
+                round: *round,
+                weights: weights.iter().map(|&w| w as f64).collect(),
+            },
+            Sched::Dynamic { chunk } => SpreadSchedule::Dynamic { chunk: *chunk },
+        }
+    }
+}
+
+/// The kernel run by a [`Stmt::Spread`] statement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelOp {
+    /// `a[i] += c` over `0..n` (`map(spread_tofrom: a[chunk])`).
+    AddConst {
+        /// Target array.
+        a: usize,
+        /// Constant.
+        c: f64,
+    },
+    /// `a[i] *= c` over `0..n` (`map(spread_tofrom: a[chunk])`).
+    Scale {
+        /// Target array.
+        a: usize,
+        /// Factor.
+        c: f64,
+    },
+    /// `y[i] += alpha * x[i]` over `0..n`
+    /// (`map(spread_to: x[chunk]) map(spread_tofrom: y[chunk])`).
+    Saxpy {
+        /// Read-only input.
+        x: usize,
+        /// In/out array.
+        y: usize,
+        /// Factor.
+        alpha: f64,
+    },
+    /// `dst[i] = src[i-1] + src[i] + src[i+1]` over `1..n-1` with the
+    /// paper's halo maps (`map(spread_to: src[ss-1:sz+2])
+    /// map(spread_from: dst[chunk])`). Static schedules only, subject to
+    /// the §V-B gap rule.
+    Stencil3 {
+        /// Read-only input.
+        src: usize,
+        /// Write-only output.
+        dst: usize,
+    },
+}
+
+impl KernelOp {
+    /// Arrays this kernel touches.
+    pub fn arrays(&self) -> Vec<usize> {
+        match *self {
+            KernelOp::AddConst { a, .. } | KernelOp::Scale { a, .. } => vec![a],
+            KernelOp::Saxpy { x, y, .. } => vec![x, y],
+            KernelOp::Stencil3 { src, dst } => vec![src, dst],
+        }
+    }
+
+    /// The iteration range for arrays of length `n`.
+    pub fn range(&self, n: usize) -> std::ops::Range<usize> {
+        match self {
+            KernelOp::Stencil3 { .. } => 1..n - 1,
+            _ => 0..n,
+        }
+    }
+}
+
+/// An intentionally malformed directive (each maps to a specific
+/// [`spread_rt::RtError::InvalidDirective`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BadKind {
+    /// `target enter data spread` with a `dynamic` schedule — data
+    /// directives require a static distribution.
+    DynamicDataSchedule,
+    /// `target enter data spread` without the `chunk_size` clause.
+    MissingChunkSize,
+    /// `target spread` with an empty `devices(…)` list.
+    EmptyDevices,
+}
+
+/// One statement of a phase.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `#pragma omp target spread … [nowait]` + kernel.
+    Spread {
+        /// `devices(…)`, in distribution order.
+        devices: Vec<u32>,
+        /// `spread_schedule(…)`.
+        sched: Sched,
+        /// `nowait`.
+        nowait: bool,
+        /// The kernel.
+        op: KernelOp,
+    },
+    /// The §IX cross-device reduction: `partials[i] = alpha * a[i]`
+    /// spread over the devices, folded on the host with `op`.
+    Reduce {
+        /// `devices(…)`.
+        devices: Vec<u32>,
+        /// `spread_schedule(…)`.
+        sched: Sched,
+        /// Input array.
+        a: usize,
+        /// Per-iteration partials array (`map(spread_from: …)`).
+        partials: usize,
+        /// Kernel factor.
+        alpha: f64,
+        /// Host-side combiner.
+        op: ReduceOp,
+    },
+    /// An unstructured data region over one array: enter-spread `to`,
+    /// optional `tofrom` kernel body (reuse path: refcount 2, no
+    /// copies), optional `update from`, then exit-spread `from` or
+    /// `release`.
+    DataRegion {
+        /// `devices(…)`.
+        devices: Vec<u32>,
+        /// `chunk_size(…)` used by every leg.
+        chunk: usize,
+        /// The array.
+        a: usize,
+        /// Body kernel: `a[i] += c` with the same chunking.
+        body_add: Option<f64>,
+        /// `target update spread from(a[chunk])` after the body.
+        update_from: bool,
+        /// Exit with `from` (copy-out) instead of `release` (discard).
+        exit_from: bool,
+    },
+    /// Raw single-chunk `target enter data spread devices(d)
+    /// map(spread_to: a[start:len])` — may legally leak a mapping or
+    /// produce an `OverlapExtension`/`OutOfMemory` error.
+    RawEnter {
+        /// Device.
+        device: u32,
+        /// Array.
+        a: usize,
+        /// Section start.
+        start: usize,
+        /// Section length.
+        len: usize,
+    },
+    /// Raw single-chunk `target exit data spread` with `from` (or
+    /// `delete`) — `NotMapped` when nothing contains the section.
+    RawExit {
+        /// Device.
+        device: u32,
+        /// Array.
+        a: usize,
+        /// Section start.
+        start: usize,
+        /// Section length.
+        len: usize,
+        /// `map(delete: …)` instead of `map(from: …)`.
+        delete: bool,
+    },
+    /// Raw single-chunk `target update spread` — `NotMapped` when the
+    /// section is absent.
+    RawUpdate {
+        /// Device.
+        device: u32,
+        /// Array.
+        a: usize,
+        /// Section start.
+        start: usize,
+        /// Section length.
+        len: usize,
+        /// `from(…)` (device→host) instead of `to(…)`.
+        from: bool,
+    },
+    /// A malformed directive with a predictable `InvalidDirective`.
+    Bad {
+        /// The array it names.
+        a: usize,
+        /// What is wrong with it.
+        kind: BadKind,
+    },
+}
+
+impl Stmt {
+    /// Arrays this statement touches (used for the per-phase
+    /// disjointness discipline).
+    pub fn arrays(&self) -> Vec<usize> {
+        match self {
+            Stmt::Spread { op, .. } => op.arrays(),
+            Stmt::Reduce { a, partials, .. } => vec![*a, *partials],
+            Stmt::DataRegion { a, .. } => vec![*a],
+            Stmt::RawEnter { a, .. }
+            | Stmt::RawExit { a, .. }
+            | Stmt::RawUpdate { a, .. }
+            | Stmt::Bad { a, .. } => vec![*a],
+        }
+    }
+
+    /// True for the raw / malformed statements that only appear in the
+    /// final phase.
+    pub fn is_raw(&self) -> bool {
+        matches!(
+            self,
+            Stmt::RawEnter { .. }
+                | Stmt::RawExit { .. }
+                | Stmt::RawUpdate { .. }
+                | Stmt::Bad { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_fill_is_deterministic_and_varied() {
+        assert_eq!(Program::initial(0, 0), Program::initial(0, 0));
+        let distinct: std::collections::BTreeSet<i64> =
+            (0..64).map(|i| Program::initial(1, i) as i64).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn sched_converts() {
+        assert_eq!(
+            Sched::Static { chunk: 4 }.to_schedule(),
+            SpreadSchedule::Static { chunk: 4 }
+        );
+        let weighted = Sched::Weighted {
+            round: 8,
+            weights: vec![1, 3],
+        };
+        match weighted.to_schedule() {
+            SpreadSchedule::StaticWeighted { round, weights } => {
+                assert_eq!(round, 8);
+                assert_eq!(weights, vec![1.0, 3.0]);
+            }
+            other => panic!("wrong schedule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_ranges_and_arrays() {
+        let st = KernelOp::Stencil3 { src: 0, dst: 1 };
+        assert_eq!(st.range(10), 1..9);
+        assert_eq!(st.arrays(), vec![0, 1]);
+        let sx = KernelOp::Saxpy {
+            x: 2,
+            y: 0,
+            alpha: 0.5,
+        };
+        assert_eq!(sx.range(10), 0..10);
+        assert_eq!(sx.arrays(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic conformance fuzzer.
+//!
+//! ```text
+//! cargo run --release -p spread-check --bin fuzz -- \
+//!     [--programs N] [--interleavings K] [--seed S] [--inject stencil|reduce]
+//! ```
+//!
+//! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
+//! FIFO policy plus `K − 1` seeded tie-break permutations, against the
+//! sequential oracle. Exits non-zero on any disagreement or race report,
+//! printing the failing seed so `replay -- <seed>` reproduces it.
+
+use std::process::ExitCode;
+
+use spread_check::{fuzz, pretty, CheckConfig, Fault};
+
+struct Args {
+    programs: usize,
+    interleavings: usize,
+    seed: u64,
+    fault: Option<Fault>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        programs: 200,
+        interleavings: 4,
+        seed: 1,
+        fault: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--programs" => {
+                args.programs = value("--programs")?
+                    .parse()
+                    .map_err(|e| format!("--programs: {e}"))?
+            }
+            "--interleavings" => {
+                args.interleavings = value("--interleavings")?
+                    .parse()
+                    .map_err(|e| format!("--interleavings: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--inject" => {
+                let f = value("--inject")?;
+                args.fault = Some(Fault::parse(&f).ok_or_else(|| format!("unknown fault `{f}`"))?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            eprintln!(
+                "usage: fuzz [--programs N] [--interleavings K] [--seed S] \
+                 [--inject stencil|reduce]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = CheckConfig {
+        interleavings: args.interleavings,
+        fault: args.fault,
+    };
+    println!(
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}",
+        args.programs,
+        cfg.interleavings,
+        args.seed,
+        match cfg.fault {
+            Some(f) => format!(", injected fault {f:?}"),
+            None => String::new(),
+        }
+    );
+    let step = (args.programs / 10).max(1);
+    let report = fuzz(args.seed, args.programs, &cfg, |done, failed| {
+        if done % step == 0 || done == args.programs {
+            println!("  {done}/{} checked, {failed} failure(s)", args.programs);
+        }
+    });
+    if report.failures.is_empty() {
+        println!(
+            "OK: {} program(s), {} execution(s), oracle agreement everywhere, 0 races",
+            report.programs, report.executions
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        println!("\nFAIL seed {}: {}", f.seed, f.failure);
+        println!(
+            "{}",
+            pretty::listing(&spread_check::gen::gen_program(f.seed))
+        );
+        println!(
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}",
+            f.seed,
+            match cfg.fault {
+                Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
+                Some(Fault::ReduceSkipsLast) => " --inject reduce",
+                None => "",
+            }
+        );
+    }
+    println!(
+        "\n{} of {} program(s) FAILED",
+        report.failures.len(),
+        report.programs
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,289 @@
+//! The seeded program generator.
+//!
+//! `gen_program(seed)` derives a [`Program`] from a single `u64` — the
+//! same seed always yields the same program, so every fuzzer failure is
+//! reproducible from its printed seed alone
+//! (`cargo run -p spread-check --bin replay -- <seed>`).
+//!
+//! Invariants the generator maintains (and `mod tests` checks):
+//!
+//! * statements inside one phase touch pairwise disjoint arrays, so
+//!   `nowait` statements commute and the program is race-free;
+//! * `Stencil3` uses only static schedules satisfying the §V-B gap rule
+//!   `(n_dev − 1) · chunk ≥ 2` (one device ⇒ one chunk);
+//! * raw (possibly illegal / unbalanced) statements appear only in the
+//!   final phase, each on a single device with a single chunk, so the
+//!   first error is the same under every legal interleaving.
+
+use spread_core::reduction::ReduceOp;
+use spread_prng::Prng;
+
+use crate::ast::{BadKind, KernelOp, Program, Sched, Stmt};
+
+const CONSTS: [f64; 6] = [-2.0, -1.0, 0.5, 1.0, 2.0, 3.0];
+
+fn gen_devices(r: &mut Prng, n_devices: usize) -> Vec<u32> {
+    let k = r.range(1, n_devices + 1);
+    let mut all: Vec<u32> = (0..n_devices as u32).collect();
+    r.shuffle(&mut all);
+    all.truncate(k);
+    all
+}
+
+fn gen_sched(r: &mut Prng, n: usize, k: usize) -> Sched {
+    match r.below(3) {
+        0 => Sched::Static {
+            chunk: r.range(1, n + 1),
+        },
+        1 => Sched::Weighted {
+            round: r.range(k.max(2), n + 1),
+            weights: (0..k).map(|_| r.range(1, 5) as u32).collect(),
+        },
+        _ => Sched::Dynamic {
+            chunk: r.range(1, n / 2 + 2),
+        },
+    }
+}
+
+/// Widen a stencil chunk until the §V-B gap rule holds for `k` devices.
+fn stencil_chunk(r: &mut Prng, n: usize, k: usize) -> usize {
+    let chunk = r.range(1, n / 2 + 2);
+    match k {
+        1 => n, // single chunk covers the whole loop
+        2 => chunk.max(2),
+        _ => chunk,
+    }
+}
+
+fn gen_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    let devices = gen_devices(r, n_devices);
+    let k = devices.len();
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 35 || (roll < 65 && !two) {
+        // In-place elementwise op: any schedule, any chunking.
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched: gen_sched(r, n, k),
+            nowait: r.chance(0.5),
+            devices,
+            op,
+        }
+    } else if roll < 50 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: gen_sched(r, n, k),
+            nowait: r.chance(0.5),
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else if roll < 65 {
+        let src = avail.pop().unwrap();
+        let dst = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: Sched::Static {
+                chunk: stencil_chunk(r, n, k),
+            },
+            nowait: r.chance(0.5),
+            devices,
+            op: KernelOp::Stencil3 { src, dst },
+        }
+    } else if roll < 80 && two {
+        let a = avail.pop().unwrap();
+        let partials = avail.pop().unwrap();
+        Stmt::Reduce {
+            sched: gen_sched(r, n, k),
+            devices,
+            a,
+            partials,
+            alpha: *r.pick(&CONSTS),
+            op: *r.pick(&[ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min]),
+        }
+    } else {
+        let a = avail.pop().unwrap();
+        Stmt::DataRegion {
+            chunk: r.range(1, n + 1),
+            a,
+            body_add: if r.chance(0.7) {
+                Some(*r.pick(&CONSTS))
+            } else {
+                None
+            },
+            update_from: r.chance(0.3),
+            exit_from: r.chance(0.6),
+            devices,
+        }
+    }
+}
+
+fn gen_raw_phase(r: &mut Prng, n_arrays: usize, n: usize, n_devices: usize) -> Vec<Stmt> {
+    let count = r.range(2, 5);
+    (0..count)
+        .map(|_| {
+            let a = r.below(n_arrays as u64) as usize;
+            let device = r.below(n_devices as u64) as u32;
+            let start = r.range(0, n - 1);
+            let len = r.range(1, n - start + 1);
+            let roll = r.below(100);
+            if roll < 40 {
+                Stmt::RawEnter {
+                    device,
+                    a,
+                    start,
+                    len,
+                }
+            } else if roll < 65 {
+                Stmt::RawExit {
+                    device,
+                    a,
+                    start,
+                    len,
+                    delete: r.chance(0.2),
+                }
+            } else if roll < 85 {
+                Stmt::RawUpdate {
+                    device,
+                    a,
+                    start,
+                    len,
+                    from: r.chance(0.5),
+                }
+            } else {
+                Stmt::Bad {
+                    a,
+                    kind: *r.pick(&[
+                        BadKind::DynamicDataSchedule,
+                        BadKind::MissingChunkSize,
+                        BadKind::EmptyDevices,
+                    ]),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Derive the program for `seed`.
+pub fn gen_program(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    let n_devices = r.range(1, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases + 1);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_stmt(&mut r, &mut avail, n, n_devices));
+        }
+        phases.push(phase);
+    }
+    if r.chance(0.3) {
+        phases.push(gen_raw_phase(&mut r, n_arrays, n, n_devices));
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stencil_gap_ok(devices: &[u32], sched: &Sched, n: usize) -> bool {
+        match sched {
+            Sched::Static { chunk } => match devices.len() {
+                1 => *chunk >= n.saturating_sub(2),
+                k => (k - 1) * chunk >= 2,
+            },
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn generated_programs_respect_the_invariants() {
+        for seed in 0..300u64 {
+            let p = gen_program(seed);
+            assert!((1..=4).contains(&p.n_devices));
+            assert!(p.n >= 10);
+            let last = p.phases.len().saturating_sub(1);
+            for (pi, phase) in p.phases.iter().enumerate() {
+                let mut seen = std::collections::BTreeSet::new();
+                for stmt in phase {
+                    // Raw statements only in the final phase.
+                    if stmt.is_raw() {
+                        assert_eq!(pi, last, "seed {seed}");
+                    } else {
+                        // Disjoint arrays within a phase.
+                        for a in stmt.arrays() {
+                            assert!(seen.insert(a), "seed {seed}: array {a} reused");
+                            assert!(a < p.n_arrays);
+                        }
+                    }
+                    if let Stmt::Spread {
+                        devices,
+                        sched,
+                        op: KernelOp::Stencil3 { .. },
+                        ..
+                    } = stmt
+                    {
+                        assert!(stencil_gap_ok(devices, sched, p.n), "seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_program() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = format!("{:?}", gen_program(seed));
+            let b = format!("{:?}", gen_program(seed));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_statement_kind() {
+        let mut spread = 0;
+        let mut reduce = 0;
+        let mut region = 0;
+        let mut raw = 0;
+        let mut bad = 0;
+        for seed in 0..400u64 {
+            for stmt in gen_program(seed).phases.iter().flatten() {
+                match stmt {
+                    Stmt::Spread { .. } => spread += 1,
+                    Stmt::Reduce { .. } => reduce += 1,
+                    Stmt::DataRegion { .. } => region += 1,
+                    Stmt::Bad { .. } => bad += 1,
+                    _ => raw += 1,
+                }
+            }
+        }
+        assert!(spread > 50, "{spread}");
+        assert!(reduce > 10, "{reduce}");
+        assert!(region > 10, "{region}");
+        assert!(raw > 10, "{raw}");
+        assert!(bad > 3, "{bad}");
+    }
+}

@@ -1,0 +1,264 @@
+//! # spread-check
+//!
+//! Model-based conformance harness for the `target spread` directive
+//! set, with a semantic oracle and deterministic schedule fuzzing.
+//!
+//! The pieces:
+//!
+//! * [`ast`] — a small directive-program AST over the spread builder
+//!   surface (spread kernels with static/weighted/dynamic schedules and
+//!   `nowait`, halo'd stencils, cross-device reductions, data regions,
+//!   raw enter/exit/update statements — including illegal ones);
+//! * [`gen`] — a seeded generator: one `u64` ⇒ one program, forever;
+//! * [`oracle`] — a pure sequential interpreter that predicts the final
+//!   host state (or the exact `RtError`) from the paper's mapping rules;
+//! * [`run`] — the executor lowering a program onto the real
+//!   [`spread_rt::Runtime`] under a chosen [`TieBreak`] policy;
+//! * [`shrink`] — deterministic greedy minimization of failures;
+//! * [`pretty`] — paper-listing pseudocode rendering.
+//!
+//! [`check_seed`] is the heart: generate the program for a seed, predict
+//! with the oracle, then execute it under FIFO *plus* several seeded
+//! tie-break permutations of the simulator's event queue — every legal
+//! interleaving of same-instant events must reproduce the oracle's
+//! host arrays, reduction values and mapping tables bit-for-bit, with
+//! zero race reports.
+//!
+//! ```
+//! use spread_check::{check_seed, CheckConfig};
+//! assert!(check_seed(1, &CheckConfig::default()).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod gen;
+pub mod oracle;
+pub mod pretty;
+pub mod run;
+pub mod shrink;
+
+pub use ast::Program;
+pub use spread_sim::TieBreak;
+
+use spread_rt::RtError;
+
+/// A deliberate perturbation of the oracle, used to prove the harness
+/// catches disagreements (and to exercise replay + shrinking on a
+/// reproducible failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The oracle "forgets" the left halo element of the stencil.
+    StencilDropsLeftHalo,
+    /// The oracle's host-side reduction fold skips the last element.
+    ReduceSkipsLast,
+}
+
+impl Fault {
+    /// Parse a `--inject` argument.
+    pub fn parse(s: &str) -> Option<Fault> {
+        match s {
+            "stencil" => Some(Fault::StencilDropsLeftHalo),
+            "reduce" => Some(Fault::ReduceSkipsLast),
+            _ => None,
+        }
+    }
+}
+
+/// How to check a program.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Number of interleavings per program: FIFO plus
+    /// `interleavings − 1` seeded tie-break permutations.
+    pub interleavings: usize,
+    /// Optional oracle perturbation.
+    pub fault: Option<Fault>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            interleavings: 4,
+            fault: None,
+        }
+    }
+}
+
+/// A conformance violation: which interleaving disagreed, and how.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// The tie-break policy that exposed it.
+    pub tie: TieBreak,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?}] {}", self.tie, self.detail)
+    }
+}
+
+/// The tie-break policies checked for a program seed: FIFO first, then
+/// seeded permutations derived from the seed (so the whole run is
+/// reproducible from the program seed alone).
+pub fn tie_breaks(seed: u64, interleavings: usize) -> Vec<TieBreak> {
+    let mut v = vec![TieBreak::Fifo];
+    for k in 1..interleavings.max(1) as u64 {
+        v.push(TieBreak::Seeded(spread_prng::mix(seed, k)));
+    }
+    v
+}
+
+/// `InvalidDirective` carries a free-form message the oracle does not
+/// reproduce; every other error must match exactly.
+fn errors_match(want: &RtError, got: &RtError) -> bool {
+    match (want, got) {
+        (RtError::InvalidDirective(_), RtError::InvalidDirective(_)) => true,
+        _ => want == got,
+    }
+}
+
+fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
+    match (&want.error, &got.error) {
+        (Some(w), Some(g)) => {
+            if !errors_match(w, g) {
+                return Some(format!("predicted error `{w}`, runtime raised `{g}`"));
+            }
+            // Poisoned program: intermediate state is unspecified.
+            return None;
+        }
+        (Some(w), None) => return Some(format!("predicted error `{w}`, runtime succeeded")),
+        (None, Some(g)) => return Some(format!("runtime raised unpredicted error `{g}`")),
+        (None, None) => {}
+    }
+    if got.races != 0 {
+        return Some(format!(
+            "{} race report(s) on a race-free program",
+            got.races
+        ));
+    }
+    for (k, (w, g)) in want.arrays.iter().zip(&got.arrays).enumerate() {
+        if let Some(i) = (0..w.len()).find(|&i| w[i].to_bits() != g[i].to_bits()) {
+            return Some(format!(
+                "array A{k}[{i}]: oracle {} vs runtime {}",
+                w[i], g[i]
+            ));
+        }
+    }
+    if want.reduces.len() != got.reduces.len() {
+        return Some(format!(
+            "oracle predicted {} reduction(s), runtime produced {}",
+            want.reduces.len(),
+            got.reduces.len()
+        ));
+    }
+    for (i, (w, g)) in want.reduces.iter().zip(&got.reduces).enumerate() {
+        if w.to_bits() != g.to_bits() {
+            return Some(format!("reduction #{i}: oracle {w} vs runtime {g}"));
+        }
+    }
+    if want.mappings != got.mappings {
+        return Some(format!(
+            "mapping tables at quiescence: oracle {:?} vs runtime {:?}",
+            want.mappings, got.mappings
+        ));
+    }
+    None
+}
+
+/// Check one program under every tie-break policy for `seed`.
+pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
+    let want = oracle::predict(p, cfg.fault);
+    for tie in tie_breaks(seed, cfg.interleavings) {
+        let got = run::execute(p, tie);
+        if let Some(detail) = compare(&want, &got) {
+            return Err(CheckFailure { tie, detail });
+        }
+    }
+    Ok(())
+}
+
+/// Generate and check the program for `seed`.
+pub fn check_seed(seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
+    check_program(&gen::gen_program(seed), seed, cfg)
+}
+
+/// One failing seed of a fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The program seed.
+    pub seed: u64,
+    /// What went wrong.
+    pub failure: CheckFailure,
+}
+
+/// Summary of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Programs checked.
+    pub programs: usize,
+    /// Total runtime executions (programs × interleavings).
+    pub executions: usize,
+    /// Failing seeds (empty on a healthy runtime).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Check `programs` seeds derived from `seed0` (`mix(seed0, i)`), each
+/// under `cfg.interleavings` interleavings. `progress` is called after
+/// every program with `(done, failures_so_far)`.
+pub fn fuzz(
+    seed0: u64,
+    programs: usize,
+    cfg: &CheckConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..programs {
+        let seed = spread_prng::mix(seed0, i as u64);
+        if let Err(failure) = check_seed(seed, cfg) {
+            report.failures.push(FuzzFailure { seed, failure });
+        }
+        report.programs += 1;
+        report.executions += cfg.interleavings.max(1);
+        progress(report.programs, report.failures.len());
+    }
+    report
+}
+
+/// Re-check a failing seed and shrink its program to a minimal
+/// counterexample (deterministically).
+pub fn shrink_seed(seed: u64, cfg: &CheckConfig) -> Option<(Program, CheckFailure)> {
+    let p = gen::gen_program(seed);
+    check_program(&p, seed, cfg).err()?;
+    let mut fails = |q: &Program| check_program(q, seed, cfg).is_err();
+    let minimal = shrink::shrink(&p, &mut fails);
+    let failure = check_program(&minimal, seed, cfg).expect_err("shrink keeps the program failing");
+    Some((minimal, failure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_breaks_are_reproducible_and_start_with_fifo() {
+        let a = tie_breaks(7, 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], TieBreak::Fifo);
+        assert_eq!(a, tie_breaks(7, 4));
+        assert_ne!(tie_breaks(7, 4)[1], tie_breaks(8, 4)[1]);
+    }
+
+    #[test]
+    fn a_legal_seed_checks_clean() {
+        check_seed(0, &CheckConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn fault_parsing() {
+        assert_eq!(Fault::parse("stencil"), Some(Fault::StencilDropsLeftHalo));
+        assert_eq!(Fault::parse("reduce"), Some(Fault::ReduceSkipsLast));
+        assert_eq!(Fault::parse("nope"), None);
+    }
+}

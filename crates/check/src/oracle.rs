@@ -1,0 +1,620 @@
+//! The sequential oracle: a pure interpreter that predicts what the
+//! runtime must produce for a [`Program`] — final host arrays, reduction
+//! values, leaked mappings — or the exact [`RtError`] it must raise.
+//!
+//! The oracle re-implements the paper's mapping rules over plain `Vec`s,
+//! independently of the runtime's task graph, DMA engines and simulator:
+//!
+//! * enter of a section **contained** in a live entry reuses it
+//!   (refcount + 1, **no copy** — OpenMP copies only on the
+//!   absent→present transition);
+//! * enter of a section that overlaps without containment is the §V-B
+//!   *array extension* error;
+//! * exit decrements (or, for `delete`, zeroes) the refcount; only the
+//!   last release copies out (`from`/`tofrom`) and frees;
+//! * `update` requires a containing live entry and copies through it;
+//! * the first error poisons the program: nothing after it is
+//!   interpreted.
+//!
+//! Statements are interpreted in program order, chunks in chunk order.
+//! That is sound because the generator guarantees statements inside one
+//! phase touch disjoint arrays and each statement's chunks commute (the
+//! fuzzer then *checks* that claim against the runtime under permuted
+//! schedules).
+
+use std::ops::Range;
+
+use spread_core::schedule::distribute;
+use spread_rt::map::MapType;
+use spread_rt::section::ArrayId;
+use spread_rt::{RtError, Section};
+
+use crate::ast::{KernelOp, Program, Sched, Stmt};
+use crate::Fault;
+
+/// What the runtime must observe at the end of the program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expectation {
+    /// Final host arrays (index = array number).
+    pub arrays: Vec<Vec<f64>>,
+    /// Reduction results in statement order.
+    pub reduces: Vec<f64>,
+    /// Per-device mapped sections at quiescence:
+    /// `(array, start, len, refcount)` sorted — the shape of
+    /// [`spread_rt::Runtime::mapping_snapshot`].
+    pub mappings: Vec<Vec<(u32, usize, usize, u32)>>,
+    /// The first error, if the program is illegal.
+    pub error: Option<RtError>,
+}
+
+/// One modeled device-side buffer.
+struct Entry {
+    array: usize,
+    start: usize,
+    len: usize,
+    refcount: u32,
+    data: Vec<f64>,
+}
+
+impl Entry {
+    fn contains(&self, a: usize, start: usize, len: usize) -> bool {
+        self.array == a && start >= self.start && start + len <= self.start + self.len
+    }
+
+    fn overlaps(&self, a: usize, start: usize, len: usize) -> bool {
+        self.array == a
+            && len > 0
+            && self.len > 0
+            && start < self.start + self.len
+            && self.start < start + len
+    }
+
+    fn section(&self) -> Section {
+        Section::new(ArrayId(self.array as u32), self.start, self.len)
+    }
+}
+
+/// The oracle's machine state.
+struct Model {
+    host: Vec<Vec<f64>>,
+    /// Per-device entries in insertion order (mirrors the runtime's
+    /// monotonically keyed `BTreeMap`, whose iteration order is
+    /// insertion order).
+    dev: Vec<Vec<Entry>>,
+    reduces: Vec<f64>,
+    fault: Option<Fault>,
+}
+
+fn section(a: usize, r: &Range<usize>) -> Section {
+    Section::new(ArrayId(a as u32), r.start, r.end - r.start)
+}
+
+impl Model {
+    fn new(p: &Program, fault: Option<Fault>) -> Self {
+        Model {
+            host: (0..p.n_arrays)
+                .map(|k| (0..p.n).map(|i| Program::initial(k, i)).collect())
+                .collect(),
+            dev: (0..p.n_devices).map(|_| Vec::new()).collect(),
+            reduces: Vec::new(),
+            fault,
+        }
+    }
+
+    /// Enter one map item on `device`. Mirrors `plan_enter` for a single
+    /// clause (the per-clause transactionality is irrelevant to the
+    /// predicted error value).
+    fn enter(
+        &mut self,
+        device: u32,
+        mt: MapType,
+        a: usize,
+        r: Range<usize>,
+    ) -> Result<(), RtError> {
+        if r.is_empty() {
+            return Ok(());
+        }
+        let d = device as usize;
+        if let Some(e) = self.dev[d]
+            .iter_mut()
+            .find(|e| e.contains(a, r.start, r.end - r.start))
+        {
+            e.refcount += 1;
+            return Ok(());
+        }
+        if let Some(e) = self.dev[d]
+            .iter()
+            .find(|e| e.overlaps(a, r.start, r.end - r.start))
+        {
+            return Err(RtError::OverlapExtension {
+                device,
+                requested: section(a, &r),
+                present: e.section(),
+            });
+        }
+        let data = if mt.copies_in() {
+            self.host[a][r.clone()].to_vec()
+        } else {
+            vec![0.0; r.len()]
+        };
+        self.dev[d].push(Entry {
+            array: a,
+            start: r.start,
+            len: r.len(),
+            refcount: 1,
+            data,
+        });
+        Ok(())
+    }
+
+    /// Exit one map item on `device`. Mirrors `plan_exit` for a single
+    /// clause.
+    fn exit(&mut self, device: u32, mt: MapType, a: usize, r: Range<usize>) -> Result<(), RtError> {
+        if r.is_empty() {
+            return Ok(());
+        }
+        let d = device as usize;
+        let Some(pos) = self.dev[d]
+            .iter()
+            .position(|e| e.contains(a, r.start, r.end - r.start))
+        else {
+            return Err(RtError::NotMapped {
+                device,
+                requested: section(a, &r),
+            });
+        };
+        let e = &mut self.dev[d][pos];
+        if mt == MapType::Delete {
+            e.refcount = 0;
+        } else {
+            e.refcount -= 1;
+        }
+        if e.refcount == 0 {
+            if mt.copies_out() {
+                let off = r.start - e.start;
+                let vals = e.data[off..off + r.len()].to_vec();
+                self.host[a][r].copy_from_slice(&vals);
+            }
+            self.dev[d].remove(pos);
+        }
+        Ok(())
+    }
+
+    /// `target update` one direction. Mirrors `plan_update`.
+    fn update(
+        &mut self,
+        device: u32,
+        from: bool,
+        a: usize,
+        r: Range<usize>,
+    ) -> Result<(), RtError> {
+        if r.is_empty() {
+            return Ok(());
+        }
+        let d = device as usize;
+        let Some(e) = self.dev[d]
+            .iter_mut()
+            .find(|e| e.contains(a, r.start, r.end - r.start))
+        else {
+            return Err(RtError::NotMapped {
+                device,
+                requested: section(a, &r),
+            });
+        };
+        let off = r.start - e.start;
+        if from {
+            let vals = e.data[off..off + r.len()].to_vec();
+            self.host[a][r].copy_from_slice(&vals);
+        } else {
+            e.data[off..off + r.len()].copy_from_slice(&self.host[a][r]);
+        }
+        Ok(())
+    }
+
+    /// Read a device-resident slice (kernel argument resolution).
+    fn read_dev(&self, device: u32, a: usize, r: Range<usize>) -> Vec<f64> {
+        let e = self.dev[device as usize]
+            .iter()
+            .find(|e| e.contains(a, r.start, r.end - r.start))
+            .expect("oracle kernel reads an unmapped section");
+        let off = r.start - e.start;
+        e.data[off..off + r.len()].to_vec()
+    }
+
+    /// Mutate a device-resident slice.
+    fn write_dev(&mut self, device: u32, a: usize, r: Range<usize>, f: impl Fn(usize, f64) -> f64) {
+        let e = self.dev[device as usize]
+            .iter_mut()
+            .find(|e| e.contains(a, r.start, r.end - r.start))
+            .expect("oracle kernel writes an unmapped section");
+        let off = r.start - e.start;
+        for (j, i) in r.clone().enumerate() {
+            e.data[off + j] = f(i, e.data[off + j]);
+        }
+    }
+
+    /// Run `op`'s kernel for one chunk on `device` — against the mapped
+    /// device buffers, exactly like `run_kernel`.
+    fn kernel(&mut self, device: u32, op: &KernelOp, r: Range<usize>) {
+        match *op {
+            KernelOp::AddConst { a, c } => self.write_dev(device, a, r, |_, v| v + c),
+            KernelOp::Scale { a, c } => self.write_dev(device, a, r, |_, v| v * c),
+            KernelOp::Saxpy { x, y, alpha } => {
+                let xs = self.read_dev(device, x, r.clone());
+                let base = r.start;
+                self.write_dev(device, y, r, |i, v| v + alpha * xs[i - base]);
+            }
+            KernelOp::Stencil3 { src, dst } => {
+                let halo = r.start - 1..r.end + 1;
+                let xs = self.read_dev(device, src, halo.clone());
+                let base = halo.start;
+                let drop_left = self.fault == Some(Fault::StencilDropsLeftHalo);
+                self.write_dev(device, dst, r, |i, _| {
+                    let left = if drop_left { 0.0 } else { xs[i - 1 - base] };
+                    left + xs[i - base] + xs[i + 1 - base]
+                });
+            }
+        }
+    }
+
+    /// The three phases of one `target` construct chunk: enter maps in
+    /// clause order, kernel, exit with each map's exit-equivalent type.
+    fn construct(
+        &mut self,
+        device: u32,
+        maps: &[(MapType, usize, Range<usize>)],
+        op: &KernelOp,
+        r: Range<usize>,
+    ) -> Result<(), RtError> {
+        for (mt, a, mr) in maps {
+            self.enter(device, *mt, *a, mr.clone())?;
+        }
+        self.kernel(device, op, r);
+        for (mt, a, mr) in maps {
+            let emt = match mt {
+                MapType::From | MapType::ToFrom => MapType::From,
+                MapType::To | MapType::Alloc => MapType::Release,
+                t => *t,
+            };
+            self.exit(device, emt, *a, mr.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// The map clauses of a spread kernel for one chunk range.
+fn op_maps(op: &KernelOp, r: &Range<usize>) -> Vec<(MapType, usize, Range<usize>)> {
+    match *op {
+        KernelOp::AddConst { a, .. } | KernelOp::Scale { a, .. } => {
+            vec![(MapType::ToFrom, a, r.clone())]
+        }
+        KernelOp::Saxpy { x, y, .. } => {
+            vec![(MapType::To, x, r.clone()), (MapType::ToFrom, y, r.clone())]
+        }
+        KernelOp::Stencil3 { src, dst } => vec![
+            (MapType::To, src, r.start - 1..r.end + 1),
+            (MapType::From, dst, r.clone()),
+        ],
+    }
+}
+
+fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError> {
+    match stmt {
+        Stmt::Spread {
+            devices, sched, op, ..
+        } => {
+            let range = op.range(p.n);
+            for chunk in distribute(range, devices, &sched.to_schedule()) {
+                // Dynamic chunks carry no device; any placement yields
+                // the same host state (fresh-in, fresh-out, disjoint
+                // sections), so model them on the list head.
+                let device = chunk.device.unwrap_or(devices[0]);
+                m.construct(device, &op_maps(op, &chunk.range()), op, chunk.range())?;
+            }
+            Ok(())
+        }
+        Stmt::Reduce {
+            devices,
+            sched,
+            a,
+            partials,
+            alpha,
+            op,
+        } => {
+            let range = 0..p.n;
+            let alpha = *alpha;
+            let a = *a;
+            let partials_ix = *partials;
+            for chunk in distribute(range.clone(), devices, &sched.to_schedule()) {
+                let device = chunk.device.unwrap_or(devices[0]);
+                let r = chunk.range();
+                let maps = vec![
+                    (MapType::To, a, r.clone()),
+                    (MapType::From, partials_ix, r.clone()),
+                ];
+                for (mt, arr, mr) in &maps {
+                    m.enter(device, *mt, *arr, mr.clone())?;
+                }
+                let xs = m.read_dev(device, a, r.clone());
+                let base = r.start;
+                m.write_dev(device, partials_ix, r.clone(), |i, _| alpha * xs[i - base]);
+                for (mt, arr, mr) in &maps {
+                    let emt = match mt {
+                        MapType::From => MapType::From,
+                        _ => MapType::Release,
+                    };
+                    m.exit(device, emt, *arr, mr.clone())?;
+                }
+            }
+            let mut fold = range.clone();
+            if m.fault == Some(Fault::ReduceSkipsLast) {
+                fold.end -= 1;
+            }
+            let value = fold
+                .map(|i| m.host[partials_ix][i])
+                .fold(op.identity(), |acc, v| op.combine(acc, v));
+            m.reduces.push(value);
+            Ok(())
+        }
+        Stmt::DataRegion {
+            devices,
+            chunk,
+            a,
+            body_add,
+            update_from,
+            exit_from,
+        } => {
+            let sched = Sched::Static { chunk: *chunk };
+            let chunks = distribute(0..p.n, devices, &sched.to_schedule());
+            for c in &chunks {
+                m.enter(c.device.unwrap(), MapType::To, *a, c.range())?;
+            }
+            if let Some(cv) = body_add {
+                let op = KernelOp::AddConst { a: *a, c: *cv };
+                for c in &chunks {
+                    let r = c.range();
+                    m.construct(c.device.unwrap(), &op_maps(&op, &r), &op, r)?;
+                }
+            }
+            if *update_from {
+                for c in &chunks {
+                    m.update(c.device.unwrap(), true, *a, c.range())?;
+                }
+            }
+            let emt = if *exit_from {
+                MapType::From
+            } else {
+                MapType::Release
+            };
+            for c in &chunks {
+                m.exit(c.device.unwrap(), emt, *a, c.range())?;
+            }
+            Ok(())
+        }
+        Stmt::RawEnter {
+            device,
+            a,
+            start,
+            len,
+        } => m.enter(*device, MapType::To, *a, *start..start + len),
+        Stmt::RawExit {
+            device,
+            a,
+            start,
+            len,
+            delete,
+        } => {
+            let mt = if *delete {
+                MapType::Delete
+            } else {
+                MapType::From
+            };
+            m.exit(*device, mt, *a, *start..start + len)
+        }
+        Stmt::RawUpdate {
+            device,
+            a,
+            start,
+            len,
+            from,
+        } => m.update(*device, *from, *a, *start..start + len),
+        // The executor compares `InvalidDirective` by variant only, so
+        // the oracle does not reproduce the message.
+        Stmt::Bad { .. } => Err(RtError::InvalidDirective(String::new())),
+    }
+}
+
+/// Interpret `p` sequentially and predict the runtime-observable
+/// outcome. `fault` perturbs the model deliberately (see [`Fault`]) so
+/// the harness can prove to itself that disagreements are detected,
+/// shrunk and replayed.
+pub fn predict(p: &Program, fault: Option<Fault>) -> Expectation {
+    let mut m = Model::new(p, fault);
+    let mut error = None;
+    'outer: for phase in &p.phases {
+        for stmt in phase {
+            if let Err(e) = interpret_stmt(&mut m, p, stmt) {
+                error = Some(e);
+                break 'outer;
+            }
+        }
+    }
+    let mappings = m
+        .dev
+        .iter()
+        .map(|entries| {
+            let mut v: Vec<(u32, usize, usize, u32)> = entries
+                .iter()
+                .map(|e| (e.array as u32, e.start, e.len, e.refcount))
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    Expectation {
+        arrays: m.host,
+        reduces: m.reduces,
+        mappings,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spread_core::reduction::ReduceOp;
+
+    fn simple(n_devices: usize, phases: Vec<Vec<Stmt>>) -> Program {
+        Program {
+            n_devices,
+            n: 16,
+            n_arrays: 2,
+            phases,
+        }
+    }
+
+    #[test]
+    fn addconst_adds_everywhere() {
+        let p = simple(
+            2,
+            vec![vec![Stmt::Spread {
+                devices: vec![0, 1],
+                sched: Sched::Static { chunk: 4 },
+                nowait: false,
+                op: KernelOp::AddConst { a: 0, c: 2.0 },
+            }]],
+        );
+        let e = predict(&p, None);
+        assert!(e.error.is_none());
+        for i in 0..16 {
+            assert_eq!(e.arrays[0][i], Program::initial(0, i) + 2.0);
+            assert_eq!(e.arrays[1][i], Program::initial(1, i));
+        }
+        assert!(e.mappings.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn stencil_matches_reference() {
+        let p = simple(
+            2,
+            vec![vec![Stmt::Spread {
+                devices: vec![0, 1],
+                sched: Sched::Static { chunk: 4 },
+                nowait: false,
+                op: KernelOp::Stencil3 { src: 0, dst: 1 },
+            }]],
+        );
+        let e = predict(&p, None);
+        for i in 1..15 {
+            let want =
+                Program::initial(0, i - 1) + Program::initial(0, i) + Program::initial(0, i + 1);
+            assert_eq!(e.arrays[1][i], want);
+        }
+        // Boundary elements keep their initial values.
+        assert_eq!(e.arrays[1][0], Program::initial(1, 0));
+    }
+
+    #[test]
+    fn region_release_discards_and_update_preserves() {
+        // Body adds 5, exit releases: host unchanged…
+        let discard = simple(
+            1,
+            vec![vec![Stmt::DataRegion {
+                devices: vec![0],
+                chunk: 16,
+                a: 0,
+                body_add: Some(5.0),
+                update_from: false,
+                exit_from: false,
+            }]],
+        );
+        let e = predict(&discard, None);
+        assert_eq!(e.arrays[0][3], Program::initial(0, 3));
+        // …but an update-from before the release captures the result.
+        let update = simple(
+            1,
+            vec![vec![Stmt::DataRegion {
+                devices: vec![0],
+                chunk: 16,
+                a: 0,
+                body_add: Some(5.0),
+                update_from: true,
+                exit_from: false,
+            }]],
+        );
+        let e = predict(&update, None);
+        assert_eq!(e.arrays[0][3], Program::initial(0, 3) + 5.0);
+    }
+
+    #[test]
+    fn raw_overlap_is_extension_error() {
+        let p = simple(
+            1,
+            vec![vec![
+                Stmt::RawEnter {
+                    device: 0,
+                    a: 0,
+                    start: 0,
+                    len: 8,
+                },
+                Stmt::RawEnter {
+                    device: 0,
+                    a: 0,
+                    start: 4,
+                    len: 8,
+                },
+            ]],
+        );
+        let e = predict(&p, None);
+        match e.error {
+            Some(RtError::OverlapExtension {
+                device, requested, ..
+            }) => {
+                assert_eq!(device, 0);
+                assert_eq!(requested.start, 4);
+            }
+            other => panic!("expected extension error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_leak_predicts_mapping_snapshot() {
+        let p = simple(
+            2,
+            vec![vec![
+                Stmt::RawEnter {
+                    device: 1,
+                    a: 0,
+                    start: 2,
+                    len: 6,
+                },
+                Stmt::RawEnter {
+                    device: 1,
+                    a: 0,
+                    start: 2,
+                    len: 6,
+                },
+            ]],
+        );
+        let e = predict(&p, None);
+        assert!(e.error.is_none());
+        assert_eq!(e.mappings[0], vec![]);
+        assert_eq!(e.mappings[1], vec![(0, 2, 6, 2)]);
+    }
+
+    #[test]
+    fn reduce_fault_changes_prediction() {
+        let stmt = Stmt::Reduce {
+            devices: vec![0],
+            sched: Sched::Static { chunk: 8 },
+            a: 0,
+            partials: 1,
+            alpha: 2.0,
+            op: ReduceOp::Sum,
+        };
+        let p = simple(1, vec![vec![stmt]]);
+        let honest = predict(&p, None);
+        let faulty = predict(&p, Some(Fault::ReduceSkipsLast));
+        assert_ne!(honest.reduces, faulty.reduces);
+    }
+}

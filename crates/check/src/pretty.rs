@@ -1,0 +1,210 @@
+//! Paper-listing-style pretty printer: renders a [`Program`] as the
+//! pragmas of the source paper so a shrunk counterexample reads like one
+//! of its listings.
+
+use std::fmt::Write;
+
+use crate::ast::{BadKind, KernelOp, Program, Sched, Stmt};
+
+fn devices(d: &[u32]) -> String {
+    let items: Vec<String> = d.iter().map(|x| x.to_string()).collect();
+    format!("devices({})", items.join(","))
+}
+
+fn sched(s: &Sched) -> String {
+    match s {
+        Sched::Static { chunk } => format!("spread_schedule(static, {chunk})"),
+        Sched::Weighted { round, weights } => {
+            let ws: Vec<String> = weights.iter().map(|w| w.to_string()).collect();
+            format!("spread_schedule(weighted, {round}; w=[{}])", ws.join(","))
+        }
+        Sched::Dynamic { chunk } => format!("spread_schedule(dynamic, {chunk})"),
+    }
+}
+
+fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
+    let n = p.n;
+    match stmt {
+        Stmt::Spread {
+            devices: d,
+            sched: sc,
+            nowait,
+            op,
+        } => {
+            let nw = if *nowait { " nowait" } else { "" };
+            let (maps, body) = match *op {
+                KernelOp::AddConst { a, c } => (
+                    format!("map(spread_tofrom: A{a}[ss:sz])"),
+                    format!("for (i in 0..{n}) A{a}[i] += {c};"),
+                ),
+                KernelOp::Scale { a, c } => (
+                    format!("map(spread_tofrom: A{a}[ss:sz])"),
+                    format!("for (i in 0..{n}) A{a}[i] *= {c};"),
+                ),
+                KernelOp::Saxpy { x, y, alpha } => (
+                    format!("map(spread_to: A{x}[ss:sz]) map(spread_tofrom: A{y}[ss:sz])"),
+                    format!("for (i in 0..{n}) A{y}[i] += {alpha} * A{x}[i];"),
+                ),
+                KernelOp::Stencil3 { src, dst } => (
+                    format!("map(spread_to: A{src}[ss-1:sz+2]) map(spread_from: A{dst}[ss:sz])"),
+                    format!(
+                        "for (i in 1..{}) A{dst}[i] = A{src}[i-1] + A{src}[i] + A{src}[i+1];",
+                        n - 1
+                    ),
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "#pragma omp target spread {} {} {maps}{nw}\n    {body}",
+                devices(d),
+                sched(sc)
+            );
+        }
+        Stmt::Reduce {
+            devices: d,
+            sched: sc,
+            a,
+            partials,
+            alpha,
+            op,
+        } => {
+            let _ = writeln!(
+                out,
+                "#pragma omp target spread {} {} map(spread_to: A{a}[ss:sz]) \
+                 map(spread_from: A{partials}[ss:sz]) reduction({op:?})\n    \
+                 for (i in 0..{n}) A{partials}[i] = {alpha} * A{a}[i];  // fold on host",
+                devices(d),
+                sched(sc)
+            );
+        }
+        Stmt::DataRegion {
+            devices: d,
+            chunk,
+            a,
+            body_add,
+            update_from,
+            exit_from,
+        } => {
+            let _ = writeln!(
+                out,
+                "#pragma omp target enter data spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                 map(spread_to: A{a}[ss:sz])",
+                devices(d)
+            );
+            if let Some(c) = body_add {
+                let _ = writeln!(
+                    out,
+                    "#pragma omp target spread {} spread_schedule(static, {chunk}) \
+                     map(spread_tofrom: A{a}[ss:sz])\n    for (i in 0..{n}) A{a}[i] += {c};",
+                    devices(d)
+                );
+            }
+            if *update_from {
+                let _ = writeln!(
+                    out,
+                    "#pragma omp target update spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                     from(A{a}[ss:sz])",
+                    devices(d)
+                );
+            }
+            let mt = if *exit_from { "spread_from" } else { "release" };
+            let _ = writeln!(
+                out,
+                "#pragma omp target exit data spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                 map({mt}: A{a}[ss:sz])",
+                devices(d)
+            );
+        }
+        Stmt::RawEnter {
+            device,
+            a,
+            start,
+            len,
+        } => {
+            let _ = writeln!(
+                out,
+                "#pragma omp target enter data spread devices({device}) range(A{a}[{start}:{len}]) \
+                 chunk_size({len}) map(spread_to: A{a}[ss:sz])"
+            );
+        }
+        Stmt::RawExit {
+            device,
+            a,
+            start,
+            len,
+            delete,
+        } => {
+            let mt = if *delete { "delete" } else { "spread_from" };
+            let _ = writeln!(
+                out,
+                "#pragma omp target exit data spread devices({device}) range(A{a}[{start}:{len}]) \
+                 chunk_size({len}) map({mt}: A{a}[ss:sz])"
+            );
+        }
+        Stmt::RawUpdate {
+            device,
+            a,
+            start,
+            len,
+            from,
+        } => {
+            let dir = if *from { "from" } else { "to" };
+            let _ = writeln!(
+                out,
+                "#pragma omp target update spread devices({device}) range(A{a}[{start}:{len}]) \
+                 chunk_size({len}) {dir}(A{a}[ss:sz])"
+            );
+        }
+        Stmt::Bad { a, kind } => {
+            let what = match kind {
+                BadKind::DynamicDataSchedule => format!(
+                    "#pragma omp target enter data spread devices(0) \
+                     spread_schedule(dynamic, 4) range(A{a}[0:{n}]) chunk_size(4)  // illegal"
+                ),
+                BadKind::MissingChunkSize => format!(
+                    "#pragma omp target enter data spread devices(0) range(A{a}[0:{n}])  \
+                     // illegal: no chunk_size"
+                ),
+                BadKind::EmptyDevices => {
+                    format!("#pragma omp target spread devices() … A{a} …  // illegal: no devices")
+                }
+            };
+            let _ = writeln!(out, "{what}");
+        }
+    }
+}
+
+/// Render `p` as a paper-style listing (`ss`/`sz` abbreviate
+/// `omp_spread_start`/`omp_spread_size`).
+pub fn listing(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {} device(s), {} array(s) of {} doubles (A_k[i] = ((7i+13k) mod 23) - 11)",
+        p.n_devices, p.n_arrays, p.n
+    );
+    for (i, phase) in p.phases.iter().enumerate() {
+        let _ = writeln!(out, "// ---- phase {i} ----");
+        for stmt in phase {
+            push_stmt(&mut out, p, stmt);
+        }
+        let _ = writeln!(out, "#pragma omp taskwait");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_program;
+
+    #[test]
+    fn listings_render_and_are_deterministic() {
+        for seed in 0..50u64 {
+            let p = gen_program(seed);
+            let a = listing(&p);
+            assert!(a.contains("#pragma omp"), "seed {seed}:\n{a}");
+            assert_eq!(a, listing(&p));
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The executor: lowers a [`Program`] onto the real runtime and runs it
+//! under a chosen event-queue tie-break policy, collecting everything
+//! the oracle predicts — final host arrays, reduction values, the
+//! mapping-table snapshot, race reports, and the first error.
+
+use spread_core::spread_map::SpreadMap;
+use spread_core::{
+    spread_from, spread_to, spread_tofrom, SpreadSchedule, TargetEnterDataSpread,
+    TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
+};
+use spread_devices::{DeviceSpec, Topology};
+use spread_rt::kernel::KernelArg;
+use spread_rt::{HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope};
+use spread_sim::TieBreak;
+
+use crate::ast::{BadKind, KernelOp, Program, Stmt};
+
+/// Everything observed from one execution.
+#[derive(Clone, Debug)]
+pub struct Observed {
+    /// Final host arrays.
+    pub arrays: Vec<Vec<f64>>,
+    /// Reduction results in statement order.
+    pub reduces: Vec<f64>,
+    /// `(array, start, len, refcount)` per device, sorted — from
+    /// [`Runtime::mapping_snapshot`].
+    pub mappings: Vec<Vec<(u32, usize, usize, u32)>>,
+    /// Number of race reports.
+    pub races: usize,
+    /// The first error, if any.
+    pub error: Option<RtError>,
+}
+
+/// Build the harness's machine: uniform devices with ample memory, two
+/// team threads, tracing off (the conformance assertions do not need
+/// span records; `tests/determinism.rs` covers the timeline).
+fn runtime(n_devices: usize, tie: TieBreak) -> Runtime {
+    let topo = Topology::uniform(
+        n_devices,
+        DeviceSpec::v100().with_mem_bytes(1 << 22),
+        1e9,
+        1.6e9,
+    );
+    Runtime::new(
+        RuntimeConfig::new(topo)
+            .with_team_threads(2)
+            .with_trace(false)
+            .with_tie_break(tie),
+    )
+}
+
+fn issue_spread(
+    s: &mut Scope<'_>,
+    handles: &[HostArray],
+    n: usize,
+    devices: &[u32],
+    sched: SpreadSchedule,
+    nowait: bool,
+    op: &KernelOp,
+) -> Result<(), RtError> {
+    let range = op.range(n);
+    let mut b = TargetSpread::devices(devices.iter().copied()).spread_schedule(sched);
+    if nowait {
+        b = b.nowait();
+    }
+    match *op {
+        KernelOp::AddConst { a, c } => {
+            let h = handles[a];
+            b.map(spread_tofrom(h, |c| c.range())).parallel_for(
+                s,
+                range,
+                KernelSpec::new("addc", 1.0, move |r, v| {
+                    for i in r {
+                        v.set(0, i, v.get(0, i) + c);
+                    }
+                })
+                .arg(KernelArg::read_write(h, |r| r)),
+            )?;
+        }
+        KernelOp::Scale { a, c } => {
+            let h = handles[a];
+            b.map(spread_tofrom(h, |c| c.range())).parallel_for(
+                s,
+                range,
+                KernelSpec::new("scale", 1.0, move |r, v| {
+                    for i in r {
+                        v.set(0, i, v.get(0, i) * c);
+                    }
+                })
+                .arg(KernelArg::read_write(h, |r| r)),
+            )?;
+        }
+        KernelOp::Saxpy { x, y, alpha } => {
+            let hx = handles[x];
+            let hy = handles[y];
+            b.map(spread_to(hx, |c| c.range()))
+                .map(spread_tofrom(hy, |c| c.range()))
+                .parallel_for(
+                    s,
+                    range,
+                    KernelSpec::new("saxpy", 1.0, move |r, v| {
+                        for i in r {
+                            v.set(1, i, v.get(1, i) + alpha * v.get(0, i));
+                        }
+                    })
+                    .arg(KernelArg::read(hx, |r| r))
+                    .arg(KernelArg::read_write(hy, |r| r)),
+                )?;
+        }
+        KernelOp::Stencil3 { src, dst } => {
+            let hs = handles[src];
+            let hd = handles[dst];
+            b.map(spread_to(hs, |c| c.start() - 1..c.end() + 1))
+                .map(spread_from(hd, |c| c.range()))
+                .parallel_for(
+                    s,
+                    range,
+                    KernelSpec::new("stencil", 2.0, move |r, v| {
+                        for i in r {
+                            let sum = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
+                            v.set(1, i, sum);
+                        }
+                    })
+                    .arg(KernelArg::read(hs, |r| r.start - 1..r.end + 1))
+                    .arg(KernelArg::write(hd, |r| r)),
+                )?;
+        }
+    }
+    Ok(())
+}
+
+fn issue(
+    s: &mut Scope<'_>,
+    p: &Program,
+    handles: &[HostArray],
+    reduces: &mut Vec<f64>,
+    stmt: &Stmt,
+) -> Result<(), RtError> {
+    match stmt {
+        Stmt::Spread {
+            devices,
+            sched,
+            nowait,
+            op,
+        } => issue_spread(s, handles, p.n, devices, sched.to_schedule(), *nowait, op),
+        Stmt::Reduce {
+            devices,
+            sched,
+            a,
+            partials,
+            alpha,
+            op,
+        } => {
+            let ha = handles[*a];
+            let hp = handles[*partials];
+            let alpha = *alpha;
+            let value = TargetSpread::devices(devices.iter().copied())
+                .spread_schedule(sched.to_schedule())
+                .map(spread_to(ha, |c| c.range()))
+                .parallel_for_reduce(
+                    s,
+                    0..p.n,
+                    KernelSpec::new("partials", 1.0, move |r, v| {
+                        for i in r {
+                            v.set(1, i, alpha * v.get(0, i));
+                        }
+                    })
+                    .arg(KernelArg::read(ha, |r| r))
+                    .arg(KernelArg::write(hp, |r| r)),
+                    hp,
+                    *op,
+                )?;
+            reduces.push(value);
+            Ok(())
+        }
+        Stmt::DataRegion {
+            devices,
+            chunk,
+            a,
+            body_add,
+            update_from,
+            exit_from,
+        } => {
+            let h = handles[*a];
+            TargetEnterDataSpread::devices(devices.iter().copied())
+                .range(0, p.n)
+                .chunk_size(*chunk)
+                .map(spread_to(h, |c| c.range()))
+                .launch(s)?;
+            if let Some(cv) = *body_add {
+                issue_spread(
+                    s,
+                    handles,
+                    p.n,
+                    devices,
+                    SpreadSchedule::static_chunk(*chunk),
+                    false,
+                    &KernelOp::AddConst { a: *a, c: cv },
+                )?;
+            }
+            if *update_from {
+                TargetUpdateSpread::devices(devices.iter().copied())
+                    .range(0, p.n)
+                    .chunk_size(*chunk)
+                    .from(h, |c| c.range())
+                    .launch(s)?;
+            }
+            let exit_map = if *exit_from {
+                spread_from(h, |c| c.range())
+            } else {
+                SpreadMap::new(MapType::Release, h, |c| c.range())
+            };
+            TargetExitDataSpread::devices(devices.iter().copied())
+                .range(0, p.n)
+                .chunk_size(*chunk)
+                .map(exit_map)
+                .launch(s)?;
+            Ok(())
+        }
+        Stmt::RawEnter {
+            device,
+            a,
+            start,
+            len,
+        } => {
+            TargetEnterDataSpread::devices([*device])
+                .range(*start, *len)
+                .chunk_size(*len)
+                .map(spread_to(handles[*a], |c| c.range()))
+                .launch(s)?;
+            Ok(())
+        }
+        Stmt::RawExit {
+            device,
+            a,
+            start,
+            len,
+            delete,
+        } => {
+            let mt = if *delete {
+                MapType::Delete
+            } else {
+                MapType::From
+            };
+            TargetExitDataSpread::devices([*device])
+                .range(*start, *len)
+                .chunk_size(*len)
+                .map(SpreadMap::new(mt, handles[*a], |c| c.range()))
+                .launch(s)?;
+            Ok(())
+        }
+        Stmt::RawUpdate {
+            device,
+            a,
+            start,
+            len,
+            from,
+        } => {
+            let mut b = TargetUpdateSpread::devices([*device])
+                .range(*start, *len)
+                .chunk_size(*len);
+            if *from {
+                b = b.from(handles[*a], |c| c.range());
+            } else {
+                b = b.to(handles[*a], |c| c.range());
+            }
+            b.launch(s)?;
+            Ok(())
+        }
+        Stmt::Bad { a, kind } => {
+            let h = handles[*a];
+            match kind {
+                BadKind::DynamicDataSchedule => {
+                    TargetEnterDataSpread::devices([0])
+                        .spread_schedule(SpreadSchedule::dynamic(4))
+                        .range(0, p.n)
+                        .chunk_size(4)
+                        .map(spread_to(h, |c| c.range()))
+                        .launch(s)?;
+                }
+                BadKind::MissingChunkSize => {
+                    TargetEnterDataSpread::devices([0])
+                        .range(0, p.n)
+                        .map(spread_to(h, |c| c.range()))
+                        .launch(s)?;
+                }
+                BadKind::EmptyDevices => {
+                    TargetSpread::devices([]).parallel_for(
+                        s,
+                        0..p.n,
+                        KernelSpec::new("noop", 1.0, |_, _| {}),
+                    )?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Execute `p` under `tie` and report what the runtime observed.
+pub fn execute(p: &Program, tie: TieBreak) -> Observed {
+    let mut rt = runtime(p.n_devices, tie);
+    let handles: Vec<HostArray> = (0..p.n_arrays)
+        .map(|k| rt.host_array(format!("A{k}"), p.n))
+        .collect();
+    for (k, &h) in handles.iter().enumerate() {
+        rt.fill_host(h, move |i| Program::initial(k, i));
+    }
+    let mut reduces = Vec::new();
+    let result = rt.run(|s| {
+        for phase in &p.phases {
+            for stmt in phase {
+                issue(s, p, &handles, &mut reduces, stmt)?;
+            }
+            // Phase barrier: everything `nowait` drains here.
+            s.drain_all()?;
+        }
+        Ok(())
+    });
+    let mappings = rt
+        .mapping_snapshot()
+        .into_iter()
+        .map(|per_dev| {
+            per_dev
+                .into_iter()
+                .map(|(sec, rc)| (sec.array.0, sec.start, sec.len, rc))
+                .collect()
+        })
+        .collect();
+    Observed {
+        arrays: handles.iter().map(|&h| rt.snapshot_host(h)).collect(),
+        reduces,
+        mappings,
+        races: rt.races().len(),
+        error: result.err(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Sched;
+
+    #[test]
+    fn executor_matches_a_hand_prediction() {
+        let p = Program {
+            n_devices: 2,
+            n: 12,
+            n_arrays: 1,
+            phases: vec![vec![Stmt::Spread {
+                devices: vec![1, 0],
+                sched: Sched::Static { chunk: 3 },
+                nowait: false,
+                op: KernelOp::AddConst { a: 0, c: 1.5 },
+            }]],
+        };
+        let o = execute(&p, TieBreak::Fifo);
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_eq!(o.races, 0);
+        for i in 0..12 {
+            assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
+        }
+        assert!(o.mappings.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn raw_leak_shows_in_snapshot() {
+        let p = Program {
+            n_devices: 1,
+            n: 12,
+            n_arrays: 1,
+            phases: vec![vec![Stmt::RawEnter {
+                device: 0,
+                a: 0,
+                start: 2,
+                len: 5,
+            }]],
+        };
+        let o = execute(&p, TieBreak::Fifo);
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_eq!(o.mappings[0], vec![(0, 2, 5, 1)]);
+    }
+}

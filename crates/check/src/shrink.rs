@@ -1,0 +1,286 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a failing [`Program`] and a predicate that re-checks a
+//! candidate, repeatedly apply the first simplification that still
+//! fails, until none applies (or a fixed budget of predicate calls is
+//! spent). All candidate orders are deterministic, so shrinking the same
+//! failure always yields the same minimal program.
+
+use crate::ast::{KernelOp, Program, Sched, Stmt};
+
+/// Candidate simplifications of `p`, most aggressive first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // 1. Drop a whole phase.
+    for i in 0..p.phases.len() {
+        if p.phases.len() > 1 {
+            let mut q = p.clone();
+            q.phases.remove(i);
+            out.push(q);
+        }
+    }
+    // 2. Drop a single statement.
+    for i in 0..p.phases.len() {
+        for j in 0..p.phases[i].len() {
+            if p.phases.iter().map(Vec::len).sum::<usize>() > 1 {
+                let mut q = p.clone();
+                q.phases[i].remove(j);
+                q.phases.retain(|ph| !ph.is_empty());
+                out.push(q);
+            }
+        }
+    }
+    // 3. Halve the array length (raw sections clamped back in bounds).
+    if p.n > 10 {
+        let mut q = p.clone();
+        q.n = (p.n / 2).max(10);
+        for stmt in q.phases.iter_mut().flatten() {
+            clamp_stmt(stmt, q.n);
+        }
+        out.push(q);
+    }
+    // 4. Per-statement simplifications.
+    for i in 0..p.phases.len() {
+        for j in 0..p.phases[i].len() {
+            for s in simplify_stmt(&p.phases[i][j], p.n) {
+                let mut q = p.clone();
+                q.phases[i][j] = s;
+                out.push(q);
+            }
+        }
+    }
+    // 5. Drop the machine down to the devices actually named.
+    let used = p
+        .phases
+        .iter()
+        .flatten()
+        .flat_map(stmt_devices)
+        .max()
+        .map(|d| d as usize + 1)
+        .unwrap_or(1);
+    if used < p.n_devices {
+        let mut q = p.clone();
+        q.n_devices = used;
+        out.push(q);
+    }
+    // 6. Drop trailing unused arrays.
+    let touched: std::collections::BTreeSet<usize> =
+        p.phases.iter().flatten().flat_map(|s| s.arrays()).collect();
+    let needed = touched.iter().max().map(|&a| a + 1).unwrap_or(1);
+    if needed < p.n_arrays {
+        let mut q = p.clone();
+        q.n_arrays = needed;
+        out.push(q);
+    }
+    out
+}
+
+fn stmt_devices(s: &Stmt) -> Vec<u32> {
+    match s {
+        Stmt::Spread { devices, .. }
+        | Stmt::Reduce { devices, .. }
+        | Stmt::DataRegion { devices, .. } => devices.clone(),
+        Stmt::RawEnter { device, .. }
+        | Stmt::RawExit { device, .. }
+        | Stmt::RawUpdate { device, .. } => vec![*device],
+        Stmt::Bad { .. } => vec![0],
+    }
+}
+
+fn clamp_stmt(s: &mut Stmt, n: usize) {
+    if let Stmt::RawEnter { start, len, .. }
+    | Stmt::RawExit { start, len, .. }
+    | Stmt::RawUpdate { start, len, .. } = s
+    {
+        *start = (*start).min(n - 2);
+        *len = (*len).min(n - *start).max(1);
+    }
+    // Stencil single-device chunks must still cover the loop.
+    if let Stmt::Spread {
+        devices,
+        sched: Sched::Static { chunk },
+        op: KernelOp::Stencil3 { .. },
+        ..
+    } = s
+    {
+        if devices.len() == 1 {
+            *chunk = n;
+        }
+    }
+}
+
+/// Simpler variants of one statement (legality-preserving for the
+/// stencil gap rule).
+fn simplify_stmt(s: &Stmt, n: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Spread {
+            devices,
+            sched,
+            nowait,
+            op,
+        } => {
+            if *nowait {
+                out.push(Stmt::Spread {
+                    devices: devices.clone(),
+                    sched: sched.clone(),
+                    nowait: false,
+                    op: *op,
+                });
+            }
+            if !matches!(sched, Sched::Static { .. }) {
+                // Replace exotic schedules with a plain static one.
+                let chunk = match sched {
+                    Sched::Weighted { round, .. } => *round,
+                    Sched::Dynamic { chunk } => *chunk,
+                    Sched::Static { chunk } => *chunk,
+                };
+                out.push(Stmt::Spread {
+                    devices: devices.clone(),
+                    sched: Sched::Static { chunk },
+                    nowait: *nowait,
+                    op: *op,
+                });
+            }
+            if devices.len() > 1 {
+                let sched = match (op, sched) {
+                    // One device: a stencil needs one whole-loop chunk.
+                    (KernelOp::Stencil3 { .. }, _) => Sched::Static { chunk: n },
+                    _ => sched.clone(),
+                };
+                out.push(Stmt::Spread {
+                    devices: vec![devices[0]],
+                    sched,
+                    nowait: *nowait,
+                    op: *op,
+                });
+            }
+        }
+        Stmt::Reduce {
+            devices,
+            sched,
+            a,
+            partials,
+            alpha,
+            op,
+        } if devices.len() > 1 || !matches!(sched, Sched::Static { .. }) => {
+            out.push(Stmt::Reduce {
+                devices: vec![devices[0]],
+                sched: Sched::Static { chunk: n },
+                a: *a,
+                partials: *partials,
+                alpha: *alpha,
+                op: *op,
+            });
+        }
+        Stmt::DataRegion {
+            devices,
+            chunk,
+            a,
+            body_add,
+            update_from,
+            exit_from,
+        } => {
+            for (b, u) in [(None, false), (*body_add, false), (None, *update_from)] {
+                if b != *body_add || u != *update_from {
+                    out.push(Stmt::DataRegion {
+                        devices: devices.clone(),
+                        chunk: *chunk,
+                        a: *a,
+                        body_add: b,
+                        update_from: u,
+                        exit_from: *exit_from,
+                    });
+                }
+            }
+            if devices.len() > 1 {
+                out.push(Stmt::DataRegion {
+                    devices: vec![devices[0]],
+                    chunk: *chunk,
+                    a: *a,
+                    body_add: *body_add,
+                    update_from: *update_from,
+                    exit_from: *exit_from,
+                });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Shrink `p` while `fails` keeps returning `true`. `p` itself must
+/// fail. Deterministic for a deterministic predicate.
+pub fn shrink(p: &Program, fails: &mut dyn FnMut(&Program) -> bool) -> Program {
+    let mut cur = p.clone();
+    let mut budget = 600usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if budget == 0 {
+                return cur;
+            }
+            budget -= 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::KernelOp;
+
+    fn program_with_stencil() -> Program {
+        Program {
+            n_devices: 3,
+            n: 40,
+            n_arrays: 4,
+            phases: vec![
+                vec![Stmt::Spread {
+                    devices: vec![0, 1, 2],
+                    sched: Sched::Dynamic { chunk: 5 },
+                    nowait: true,
+                    op: KernelOp::AddConst { a: 2, c: 1.0 },
+                }],
+                vec![Stmt::Spread {
+                    devices: vec![2, 0],
+                    sched: Sched::Static { chunk: 4 },
+                    nowait: false,
+                    op: KernelOp::Stencil3 { src: 0, dst: 1 },
+                }],
+            ],
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_statement() {
+        let p = program_with_stencil();
+        // Predicate: "fails whenever a stencil statement is present".
+        let mut fails = |q: &Program| {
+            q.phases.iter().flatten().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Spread {
+                        op: KernelOp::Stencil3 { .. },
+                        ..
+                    }
+                )
+            })
+        };
+        let m = shrink(&p, &mut fails);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].len(), 1);
+        assert!(m.n <= 10 + 10); // length halved down toward the floor
+                                 // Deterministic: same input, same minimum.
+        let m2 = shrink(&p, &mut fails);
+        assert_eq!(format!("{m:?}"), format!("{m2:?}"));
+    }
+}

@@ -144,6 +144,31 @@ impl TargetSpread {
         self
     }
 
+    /// The `devices(…)` list, in distribution order (introspection for
+    /// tooling such as the `spread-check` conformance harness).
+    pub fn device_list(&self) -> &[u32] {
+        &self.devices
+    }
+
+    /// The active `spread_schedule(…)` clause.
+    pub fn schedule(&self) -> &SpreadSchedule {
+        &self.schedule
+    }
+
+    /// Whether `nowait` was requested.
+    pub fn is_nowait(&self) -> bool {
+        self.nowait
+    }
+
+    /// The chunks this construct would create for `range` — the exact
+    /// `distribute` call `parallel_for` makes for static schedules, so a
+    /// model (or a pretty-printer) can predict chunk → device placement
+    /// without launching anything. Dynamic schedules return chunks with
+    /// `device == None` (assignment happens at claim time).
+    pub fn plan_chunks(&self, range: Range<usize>) -> Vec<crate::schedule::Chunk> {
+        distribute(range, &self.devices, &self.schedule)
+    }
+
     fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
         let mut t = Target::device(device).nowait();
         if self.serial {

@@ -1,6 +1,9 @@
 //! End-to-end tests of the `target spread` directive set — the paper's
 //! listings as executable programs on the simulated node.
 
+// Sequential reference loops mirror the paper's C listings index-for-index.
+#![allow(clippy::needless_range_loop)]
+
 use spread_core::prelude::*;
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;

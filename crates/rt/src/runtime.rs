@@ -26,7 +26,7 @@ use spread_devices::dma::{Direction, DmaOp};
 use spread_devices::node::{DeviceHandle, Node};
 use spread_devices::topology::Topology;
 use spread_devices::AllocId;
-use spread_sim::{SharedFlowNet, Simulator};
+use spread_sim::{SharedFlowNet, Simulator, TieBreak};
 use spread_teams::TeamPool;
 use spread_trace::{SimDuration, SimTime, Timeline, TraceRecorder};
 
@@ -57,6 +57,10 @@ pub struct RuntimeConfig {
     /// failing (a pooled-allocator runtime). When false (default), it
     /// fails with [`RtError::OutOfMemory`] like a raw `cudaMalloc`.
     pub alloc_backpressure: bool,
+    /// How the simulator orders events that share a timestamp. The
+    /// default is FIFO; `spread-check` injects seeded policies to fuzz
+    /// over legal schedules.
+    pub tie_break: TieBreak,
 }
 
 impl RuntimeConfig {
@@ -69,6 +73,7 @@ impl RuntimeConfig {
             default_threads_per_team: 64,
             trace: true,
             alloc_backpressure: false,
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -87,6 +92,12 @@ impl RuntimeConfig {
     /// Enable/disable trace recording.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Set the simulator's equal-time event ordering policy.
+    pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
         self
     }
 }
@@ -605,7 +616,7 @@ impl Runtime {
         } else {
             TraceRecorder::disabled()
         };
-        let sim = Simulator::new(trace.clone());
+        let sim = Simulator::with_tie_break(trace.clone(), cfg.tie_break);
         let node = Node::new(&cfg.topology, &trace);
         let n = node.n_devices();
         let flownet = node.flownet().clone();
@@ -761,6 +772,28 @@ impl Runtime {
         self.inner.borrow().presence[device as usize]
             .iter()
             .map(|(_, e)| (e.section, e.refcount, e.dying))
+            .collect()
+    }
+
+    /// A canonical snapshot of every device's mapping table: per device,
+    /// the live `(section, refcount)` pairs sorted by `(array, start)`.
+    /// Dying entries are excluded — they are already released from the
+    /// program's point of view. `spread-check` compares this against the
+    /// oracle's presence model after every program.
+    pub fn mapping_snapshot(&self) -> Vec<Vec<(Section, u32)>> {
+        let inner = self.inner.borrow();
+        inner
+            .presence
+            .iter()
+            .map(|table| {
+                let mut v: Vec<(Section, u32)> = table
+                    .iter()
+                    .filter(|(_, e)| !e.dying)
+                    .map(|(_, e)| (e.section, e.refcount))
+                    .collect();
+                v.sort_by_key(|(s, _)| (s.array.0, s.start, s.len));
+                v
+            })
             .collect()
     }
 }

@@ -108,6 +108,8 @@ mod tests {
     }
 
     #[test]
+    // A reversed range is deliberately passed to check it clamps to empty.
+    #[allow(clippy::reversed_empty_ranges)]
     fn basic_accessors() {
         let x = s(10, 5);
         assert_eq!(x.end(), 15);

@@ -1,6 +1,9 @@
 //! End-to-end tests of the baseline `target` directive family: real data
 //! moves through simulated devices and kernels really execute.
 
+// Sequential reference loops mirror the offloaded kernels index-for-index.
+#![allow(clippy::needless_range_loop)]
+
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
 use spread_rt::prelude::*;

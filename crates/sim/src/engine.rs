@@ -6,10 +6,11 @@
 //! protocols (DMA engines, task graphs, …) are built on top by capturing
 //! shared state (`Rc<RefCell<…>>`) in the closures.
 //!
-//! Determinism: ties at the same instant fire in scheduling order (a
-//! monotonically increasing sequence number breaks ties), and the engine
-//! is single-threaded, so a given program produces an identical event
-//! history on every run — which the tests rely on.
+//! Determinism: ties at the same instant fire in a reproducible order
+//! governed by the [`TieBreak`] policy — scheduling order by default, or
+//! a seeded pseudo-random permutation for schedule fuzzing — and the
+//! engine is single-threaded, so a given (program, policy) pair produces
+//! an identical event history on every run — which the tests rely on.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -23,29 +24,72 @@ pub struct EventId(u64);
 /// An event callback.
 pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
 
+/// Policy for ordering events that share a timestamp.
+///
+/// Any order among same-instant events is a *legal* schedule (causality
+/// is preserved structurally: an event scheduled by a firing callback
+/// enters the queue only after its parent ran). `Fifo` is the historical
+/// default; `Seeded` drives the `spread-check` conformance fuzzer, which
+/// asserts that every legal interleaving of a directive program produces
+/// the same result. Both are fully deterministic given the variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreak {
+    /// Ties fire in scheduling order.
+    #[default]
+    Fifo,
+    /// Ties fire in a pseudo-random order derived from the seed: each
+    /// event's heap key is a SplitMix64 hash of (seed, sequence number),
+    /// so the permutation is reproducible from the seed alone.
+    Seeded(u64),
+}
+
+impl TieBreak {
+    /// The heap tie key for the event with sequence number `seq`.
+    fn key(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Seeded(seed) => spread_prng::mix(seed, seq),
+        }
+    }
+}
+
 /// The discrete-event simulator: virtual clock + cancellable event queue.
 pub struct Simulator {
     now: SimTime,
-    /// Min-heap of (time, seq); payloads live in `payloads` so cancellation
-    /// is O(1) (lazy deletion on pop).
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Min-heap of (time, tie key, seq); payloads live in `payloads` so
+    /// cancellation is O(1) (lazy deletion on pop). The tie key is the
+    /// sequence number under [`TieBreak::Fifo`], a seeded hash under
+    /// [`TieBreak::Seeded`]; the trailing seq keeps keys unique.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     payloads: HashMap<u64, EventFn>,
     next_seq: u64,
     executed: u64,
+    tie_break: TieBreak,
     trace: TraceRecorder,
 }
 
 impl Simulator {
-    /// A simulator at t = 0 recording into `trace`.
+    /// A simulator at t = 0 recording into `trace`, with FIFO ties.
     pub fn new(trace: TraceRecorder) -> Self {
+        Self::with_tie_break(trace, TieBreak::Fifo)
+    }
+
+    /// A simulator at t = 0 with an explicit tie-break policy.
+    pub fn with_tie_break(trace: TraceRecorder, tie_break: TieBreak) -> Self {
         Simulator {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             payloads: HashMap::new(),
             next_seq: 0,
             executed: 0,
+            tie_break,
             trace,
         }
+    }
+
+    /// The active tie-break policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
     }
 
     /// A simulator with trace recording disabled.
@@ -81,7 +125,7 @@ impl Simulator {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse((at, seq)));
+        self.heap.push(Reverse((at, self.tie_break.key(seq), seq)));
         self.payloads.insert(seq, f);
         EventId(seq)
     }
@@ -105,11 +149,11 @@ impl Simulator {
     /// Time of the next pending event, if any.
     pub fn peek_next(&mut self) -> Option<SimTime> {
         self.skim_cancelled();
-        self.heap.peek().map(|Reverse((t, _))| *t)
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
     fn skim_cancelled(&mut self) {
-        while let Some(Reverse((_, seq))) = self.heap.peek() {
+        while let Some(Reverse((_, _, seq))) = self.heap.peek() {
             if self.payloads.contains_key(seq) {
                 break;
             }
@@ -122,7 +166,7 @@ impl Simulator {
     /// The clock never runs backwards; it jumps to the event's timestamp.
     pub fn step(&mut self) -> bool {
         self.skim_cancelled();
-        let Some(Reverse((t, seq))) = self.heap.pop() else {
+        let Some(Reverse((t, _, seq))) = self.heap.pop() else {
             return false;
         };
         let f = self
@@ -289,6 +333,52 @@ mod tests {
         sim.schedule_at(t(9), Box::new(|_| {}));
         sim.cancel(id);
         assert_eq!(sim.peek_next(), Some(t(9)));
+    }
+
+    #[test]
+    fn seeded_ties_permute_but_reproduce() {
+        let run = |tie: TieBreak| {
+            let mut sim = Simulator::with_tie_break(TraceRecorder::disabled(), tie);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..32u64 {
+                let log = log.clone();
+                sim.schedule_at(t(5), Box::new(move |_| log.borrow_mut().push(i)));
+            }
+            sim.run_until_idle();
+            let out = log.borrow().clone();
+            out
+        };
+        let fifo = run(TieBreak::Fifo);
+        assert_eq!(fifo, (0..32).collect::<Vec<_>>());
+        // Same seed → same permutation; different seeds differ from FIFO
+        // (and each other) for at least one of a handful of seeds.
+        let mut distinct = vec![fifo];
+        for seed in 0..4 {
+            let a = run(TieBreak::Seeded(seed));
+            assert_eq!(
+                a,
+                run(TieBreak::Seeded(seed)),
+                "seed {seed} not reproducible"
+            );
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "events lost");
+            distinct.push(a);
+        }
+        distinct.dedup();
+        assert!(distinct.len() > 1, "seeded tie-break never permuted");
+    }
+
+    #[test]
+    fn seeded_ties_preserve_time_order() {
+        let mut sim = Simulator::with_tie_break(TraceRecorder::disabled(), TieBreak::Seeded(9));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (at, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            sim.schedule_at(t(at), Box::new(move |_| log.borrow_mut().push(tag)));
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
     }
 
     #[test]

@@ -24,6 +24,6 @@
 pub mod engine;
 pub mod flow;
 
-pub use engine::{EventId, Simulator};
+pub use engine::{EventId, Simulator, TieBreak};
 pub use flow::{CapacityId, FlowId, FlowNet, SharedFlowNet};
 pub use spread_trace::{SimDuration, SimTime};

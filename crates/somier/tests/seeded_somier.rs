@@ -1,0 +1,48 @@
+//! Seeded property test: random small Somier configurations are
+//! bit-exact against the buffered CPU reference for the One Buffer
+//! implementations, on any device count (deterministic `spread_prng`
+//! loops; offline-friendly).
+
+use spread_prng::Prng;
+use spread_somier::reference::run_reference;
+use spread_somier::{run_somier, SomierConfig, SomierImpl};
+
+#[test]
+fn one_buffer_spread_bit_exact() {
+    let mut r = Prng::new(0x5031_4e47);
+    for _ in 0..12 {
+        let n = r.range(8, 24);
+        let steps = r.range(1, 3);
+        let n_gpus = r.range(1, 5);
+        let k_scale = r.range(1, 4) as u32;
+        let ctx = format!("n={n} steps={steps} n_gpus={n_gpus} k_scale={k_scale}");
+
+        let mut cfg = SomierConfig::test_small(n, steps);
+        cfg.physics.k = k_scale as f64 * 5.0;
+        cfg.trace = false;
+        let (report, rt) = run_somier(&cfg, SomierImpl::OneBufferSpread, n_gpus).unwrap();
+        let reference = run_reference(&cfg, cfg.buffer_planes(n_gpus));
+        assert_eq!(report.centers, reference.centers, "{ctx}");
+        assert_eq!(report.races, 0, "{ctx}");
+        for d in 0..n_gpus as u32 {
+            assert_eq!(rt.device_mem_used(d), 0, "device {d} leaked ({ctx})");
+        }
+    }
+}
+
+#[test]
+fn baseline_equals_spread_on_one_gpu() {
+    let mut r = Prng::new(0x5031_4e48);
+    for _ in 0..8 {
+        let n = r.range(8, 20);
+        let steps = r.range(1, 3);
+        let ctx = format!("n={n} steps={steps}");
+
+        let cfg = SomierConfig::test_small(n, steps);
+        let (base, _) = run_somier(&cfg, SomierImpl::OneBufferTarget, 1).unwrap();
+        let (spread, _) = run_somier(&cfg, SomierImpl::OneBufferSpread, 1).unwrap();
+        assert_eq!(base.centers, spread.centers, "{ctx}");
+        assert_eq!(base.h2d_bytes, spread.h2d_bytes, "{ctx}");
+        assert_eq!(base.d2h_bytes, spread.d2h_bytes, "{ctx}");
+    }
+}

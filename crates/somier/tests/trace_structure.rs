@@ -3,7 +3,6 @@
 
 use spread_somier::{run_somier, SomierConfig, SomierImpl};
 use spread_trace::analysis::{concurrency_profile, interleave_stats, overlap_report};
-use spread_trace::SpanKind;
 
 /// Under default-stream semantics, nothing on one device ever overlaps:
 /// compute∩transfer = 0 and per-device transfer concurrency ≤ 1 — for

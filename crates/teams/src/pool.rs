@@ -13,10 +13,8 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
-use parking_lot::{Condvar, Mutex};
 
 use crate::schedule::{ChunkDispenser, LoopSchedule};
 
@@ -120,7 +118,7 @@ impl TeamPool {
             call: trampoline::<F>,
         };
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             debug_assert_eq!(st.running, 0, "overlapping broadcast rounds");
             st.job = Some(raw);
             st.epoch += 1;
@@ -131,9 +129,9 @@ impl TeamPool {
         // still be drained before re-raising).
         let leader_result = std::panic::catch_unwind(AssertUnwindSafe(|| f(0)));
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             while st.running > 0 {
-                self.shared.done.wait(&mut st);
+                st = self.shared.done.wait(st).unwrap();
             }
             st.job = None;
         }
@@ -182,11 +180,11 @@ impl TeamPool {
             disp.drive(tid, |chunk| {
                 acc = map(chunk, std::mem::replace(&mut acc, identity.clone()));
             });
-            *partials[tid].lock() = acc;
+            *partials[tid].lock().unwrap() = acc;
         });
         partials
             .into_iter()
-            .map(|m| m.into_inner())
+            .map(|m| m.into_inner().unwrap())
             .fold(identity.clone(), combine)
     }
 }
@@ -194,7 +192,7 @@ impl TeamPool {
 impl Drop for TeamPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
             self.shared.start.notify_all();
         }
@@ -208,7 +206,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock();
+            let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
                     return;
@@ -219,7 +217,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
                         break job;
                     }
                 }
-                shared.start.wait(&mut st);
+                st = shared.start.wait(st).unwrap();
             }
         };
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -230,7 +228,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         if result.is_err() {
             shared.panicked.store(true, Ordering::Relaxed);
         }
-        let mut st = shared.state.lock();
+        let mut st = shared.state.lock().unwrap();
         st.running -= 1;
         if st.running == 0 {
             shared.done.notify_all();

@@ -113,7 +113,7 @@ mod tests {
             assert!(seen.iter().all(|&c| c == 1), "n={n}: {seen:?}");
         }
         // Sub-range.
-        let mut seen = vec![0u32; 30];
+        let mut seen = [0u32; 30];
         simd_for_each::<4>(5..27, |i| seen[i] += 1);
         assert!(seen[5..27].iter().all(|&c| c == 1));
         assert!(seen[..5].iter().chain(&seen[27..]).all(|&c| c == 0));
@@ -135,8 +135,8 @@ mod tests {
         let b: Vec<f64> = (0..77).map(|i| (i * 3) as f64).collect();
         let mut out = vec![0.0; 77];
         simd_zip::<4>(&a, &b, &mut out, |x, y| x * y);
-        for i in 0..77 {
-            assert_eq!(out[i], (i * i * 3) as f64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i * 3) as f64);
         }
     }
 

@@ -5,9 +5,7 @@
 //! a [`Lane`]. Lanes mirror the rows of an `nsys` timeline — one row per
 //! device engine plus a host row.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::time::SimTime;
 
@@ -241,7 +239,7 @@ impl TraceRecorder {
             return SpanId(u64::MAX);
         }
         debug_assert!(end >= start, "span ends before it starts");
-        let mut spans = self.inner.spans.lock();
+        let mut spans = self.inner.spans.lock().unwrap();
         let id = SpanId(spans.len() as u64);
         spans.push(Span {
             id,
@@ -257,7 +255,7 @@ impl TraceRecorder {
 
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.spans.lock().len()
+        self.inner.spans.lock().unwrap().len()
     }
 
     /// True if nothing has been recorded.
@@ -267,14 +265,14 @@ impl TraceRecorder {
 
     /// Snapshot the recorded spans (sorted by start time, then id).
     pub fn snapshot(&self) -> Vec<Span> {
-        let mut spans = self.inner.spans.lock().clone();
+        let mut spans = self.inner.spans.lock().unwrap().clone();
         spans.sort_by_key(|s| (s.start, s.id));
         spans
     }
 
     /// Drop all recorded spans.
     pub fn clear(&self) {
-        self.inner.spans.lock().clear();
+        self.inner.spans.lock().unwrap().clear();
     }
 }
 

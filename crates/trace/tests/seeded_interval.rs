@@ -1,0 +1,135 @@
+//! Seeded property tests for the interval-set algebra (deterministic
+//! `spread_prng` loops; offline-friendly).
+
+use spread_prng::Prng;
+use spread_trace::{IntervalSet, SimTime};
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+fn raw_intervals(r: &mut Prng) -> Vec<(u64, u64)> {
+    let n = r.range(0, 20);
+    (0..n).map(|_| (r.below(1000), r.below(1000))).collect()
+}
+
+fn make(ivs: &[(u64, u64)]) -> IntervalSet {
+    IntervalSet::from_intervals(ivs.iter().map(|&(a, b)| (t(a.min(b)), t(a.max(b)))))
+}
+
+/// Normalization invariant: sorted, disjoint, non-adjacent, non-empty.
+#[test]
+fn normalized_form() {
+    let mut r = Prng::new(0x1u64);
+    for _ in 0..256 {
+        let ivs = raw_intervals(&mut r);
+        let s = make(&ivs);
+        let v = s.intervals();
+        for w in v.windows(2) {
+            assert!(w[0].1 < w[1].0, "not disjoint/sorted: {v:?}");
+        }
+        for &(a, b) in v {
+            assert!(a < b, "empty interval survived");
+        }
+    }
+}
+
+/// Membership agrees with the raw input.
+#[test]
+fn contains_matches_raw() {
+    let mut r = Prng::new(0x2u64);
+    for _ in 0..256 {
+        let ivs = raw_intervals(&mut r);
+        let probe = r.below(1000);
+        let s = make(&ivs);
+        let raw_hit = ivs.iter().any(|&(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            probe >= lo && probe < hi
+        });
+        assert_eq!(s.contains(t(probe)), raw_hit, "ivs={ivs:?} probe={probe}");
+    }
+}
+
+/// |A ∪ B| + |A ∩ B| = |A| + |B| (inclusion–exclusion on measures).
+#[test]
+fn inclusion_exclusion() {
+    let mut r = Prng::new(0x3u64);
+    for _ in 0..256 {
+        let a = raw_intervals(&mut r);
+        let b = raw_intervals(&mut r);
+        let sa = make(&a);
+        let sb = make(&b);
+        let union = sa.union(&sb).total().as_nanos();
+        let inter = sa.intersect(&sb).total().as_nanos();
+        assert_eq!(
+            union + inter,
+            sa.total().as_nanos() + sb.total().as_nanos(),
+            "a={a:?} b={b:?}"
+        );
+    }
+}
+
+/// Intersection commutes.
+#[test]
+fn intersection_commutes() {
+    let mut r = Prng::new(0x4u64);
+    for _ in 0..256 {
+        let a = raw_intervals(&mut r);
+        let b = raw_intervals(&mut r);
+        let sa = make(&a);
+        let sb = make(&b);
+        assert_eq!(sa.intersect(&sb), sb.intersect(&sa), "a={a:?} b={b:?}");
+    }
+}
+
+/// Complement within a window partitions the window.
+#[test]
+fn complement_partitions_window() {
+    let mut r = Prng::new(0x5u64);
+    for _ in 0..256 {
+        let ivs = raw_intervals(&mut r);
+        let w0 = r.below(1000);
+        let len = r.below(1000);
+        let s = make(&ivs);
+        let (t0, t1) = (t(w0), t(w0 + len));
+        let inside = s.clip(t0, t1);
+        let outside = s.complement_within(t0, t1);
+        assert_eq!(
+            inside.total().as_nanos() + outside.total().as_nanos(),
+            len,
+            "ivs={ivs:?} w0={w0} len={len}"
+        );
+        assert!(inside.intersect(&outside).is_empty());
+    }
+}
+
+/// Incremental insert equals batch construction.
+#[test]
+fn insert_equals_batch() {
+    let mut r = Prng::new(0x6u64);
+    for _ in 0..256 {
+        let ivs = raw_intervals(&mut r);
+        let batch = make(&ivs);
+        let mut inc = IntervalSet::new();
+        for &(a, b) in &ivs {
+            inc.insert(t(a.min(b)), t(a.max(b)));
+        }
+        assert_eq!(batch, inc, "ivs={ivs:?}");
+    }
+}
+
+/// Union is idempotent and monotone in measure.
+#[test]
+fn union_properties() {
+    let mut r = Prng::new(0x7u64);
+    for _ in 0..256 {
+        let a = raw_intervals(&mut r);
+        let b = raw_intervals(&mut r);
+        let sa = make(&a);
+        let sb = make(&b);
+        let u = sa.union(&sb);
+        assert_eq!(u.union(&sa), u.clone(), "a={a:?} b={b:?}");
+        assert!(u.total() >= sa.total());
+        assert!(u.total() >= sb.total());
+    }
+}

@@ -1,0 +1,167 @@
+//! Tier-1 conformance: the model-based harness in `spread-check` run at
+//! a small in-tree budget (CI runs the full 200 × 4 budget via the
+//! `fuzz` binary). Every generated program must agree with the
+//! sequential oracle under several deterministic interleavings, the
+//! harness must *catch* injected semantic faults, and shrinking must be
+//! deterministic.
+
+use spread_check::{
+    ast::{KernelOp, Program, Sched, Stmt},
+    check_program, check_seed, fuzz, gen, oracle, pretty, shrink_seed, CheckConfig, Fault,
+};
+use spread_rt::RtError;
+
+#[test]
+fn fuzz_small_budget_agrees_with_oracle() {
+    let cfg = CheckConfig {
+        interleavings: 3,
+        fault: None,
+    };
+    let report = fuzz(0xC0FFEE, 40, &cfg, |_, _| {});
+    assert_eq!(report.programs, 40);
+    assert_eq!(report.executions, 120);
+    let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
+    assert!(seeds.is_empty(), "failing seeds: {seeds:?}");
+}
+
+/// A handcrafted program where the injected faults are observable, so a
+/// perturbed oracle must disagree with the (correct) runtime — proving
+/// the harness actually detects semantic divergence.
+fn fault_sensitive_program() -> Program {
+    Program {
+        n_devices: 2,
+        n: 16,
+        n_arrays: 4,
+        phases: vec![vec![
+            Stmt::Spread {
+                devices: vec![0, 1],
+                sched: Sched::Static { chunk: 4 },
+                nowait: false,
+                op: KernelOp::Stencil3 { src: 0, dst: 1 },
+            },
+            Stmt::Reduce {
+                devices: vec![1, 0],
+                sched: Sched::Static { chunk: 5 },
+                a: 2,
+                partials: 3,
+                alpha: 2.0,
+                op: spread_core::reduction::ReduceOp::Sum,
+            },
+        ]],
+    }
+}
+
+#[test]
+fn injected_faults_are_caught() {
+    let p = fault_sensitive_program();
+    let clean = CheckConfig {
+        interleavings: 2,
+        fault: None,
+    };
+    check_program(&p, 7, &clean).expect("program is legal and conformant");
+    for fault in [Fault::StencilDropsLeftHalo, Fault::ReduceSkipsLast] {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            fault: Some(fault),
+        };
+        let failure = check_program(&p, 7, &cfg)
+            .expect_err("perturbed oracle must disagree with the runtime");
+        assert!(!failure.detail.is_empty(), "{fault:?}");
+    }
+}
+
+#[test]
+fn shrinking_is_deterministic_and_minimal() {
+    // Find a generated seed whose program contains a stencil, so the
+    // injected stencil fault fires.
+    let cfg = CheckConfig {
+        interleavings: 2,
+        fault: Some(Fault::StencilDropsLeftHalo),
+    };
+    let seed = (0..500u64)
+        .find(|&s| check_seed(s, &cfg).is_err())
+        .expect("some seed within 500 trips the injected fault");
+    let (m1, f1) = shrink_seed(seed, &cfg).unwrap();
+    let (m2, f2) = shrink_seed(seed, &cfg).unwrap();
+    assert_eq!(pretty::listing(&m1), pretty::listing(&m2));
+    assert_eq!(f1.detail, f2.detail);
+    // Minimal: a single phase with a single statement.
+    assert_eq!(m1.phases.len(), 1, "{}", pretty::listing(&m1));
+    assert_eq!(m1.phases[0].len(), 1, "{}", pretty::listing(&m1));
+}
+
+#[test]
+fn oracle_predicts_exact_mapping_errors() {
+    // Extending a live mapping [2,8) with the overlapping [6,10) is the
+    // paper's forbidden "array extension" — exact error fields predicted.
+    let extension = Program {
+        n_devices: 1,
+        n: 12,
+        n_arrays: 1,
+        phases: vec![vec![
+            Stmt::RawEnter {
+                device: 0,
+                a: 0,
+                start: 2,
+                len: 6,
+            },
+            Stmt::RawEnter {
+                device: 0,
+                a: 0,
+                start: 6,
+                len: 4,
+            },
+        ]],
+    };
+    let want = oracle::predict(&extension, None);
+    match &want.error {
+        Some(RtError::OverlapExtension {
+            device,
+            requested,
+            present,
+        }) => {
+            assert_eq!(*device, 0);
+            assert_eq!((requested.start, requested.len), (6, 4));
+            assert_eq!((present.start, present.len), (2, 6));
+        }
+        other => panic!("expected OverlapExtension, oracle said {other:?}"),
+    }
+    check_program(&extension, 3, &CheckConfig::default())
+        .expect("runtime raises exactly the predicted error");
+
+    // Updating a section that was never mapped is NotMapped.
+    let not_mapped = Program {
+        n_devices: 2,
+        n: 12,
+        n_arrays: 1,
+        phases: vec![vec![Stmt::RawUpdate {
+            device: 1,
+            a: 0,
+            start: 3,
+            len: 4,
+            from: true,
+        }]],
+    };
+    let want = oracle::predict(&not_mapped, None);
+    assert!(
+        matches!(
+            &want.error,
+            Some(RtError::NotMapped { device: 1, requested })
+                if requested.start == 3 && requested.len == 4
+        ),
+        "oracle said {:?}",
+        want.error
+    );
+    check_program(&not_mapped, 3, &CheckConfig::default())
+        .expect("runtime raises exactly the predicted error");
+}
+
+#[test]
+fn replay_seed_regenerates_the_same_program() {
+    for seed in [0u64, 1, 99, 0xDEAD] {
+        let a = pretty::listing(&gen::gen_program(seed));
+        let b = pretty::listing(&gen::gen_program(seed));
+        assert_eq!(a, b);
+        assert!(a.contains("#pragma omp"));
+    }
+}

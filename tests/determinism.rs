@@ -6,12 +6,17 @@ use target_spread::core::prelude::*;
 use target_spread::devices::Topology;
 use target_spread::rt::kernel::KernelArg;
 use target_spread::rt::prelude::*;
+use target_spread::sim::TieBreak;
 use target_spread::somier::{run_somier, SomierConfig, SomierImpl};
 
 /// A non-trivial pipelined program; returns a full fingerprint of the
 /// run: elapsed, result checksum, and the ordered trace signature.
-fn fingerprint() -> (u64, f64, Vec<(String, u64, u64)>) {
-    let mut rt = Runtime::new(RuntimeConfig::new(Topology::ctepower(4)).with_team_threads(3));
+fn fingerprint_with(tie: TieBreak) -> (u64, f64, Vec<(String, u64, u64)>) {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(Topology::ctepower(4))
+            .with_team_threads(3)
+            .with_tie_break(tie),
+    );
     let n = 1 << 14;
     let a = rt.host_array("A", n);
     let b = rt.host_array("B", n);
@@ -72,13 +77,40 @@ fn fingerprint() -> (u64, f64, Vec<(String, u64, u64)>) {
 
 #[test]
 fn pipelined_program_is_fully_deterministic() {
-    let (t1, c1, tr1) = fingerprint();
-    let (t2, c2, tr2) = fingerprint();
+    let (t1, c1, tr1) = fingerprint_with(TieBreak::Fifo);
+    let (t2, c2, tr2) = fingerprint_with(TieBreak::Fifo);
     assert_eq!(t1, t2, "virtual time");
     assert_eq!(c1, c2, "results");
     assert_eq!(tr1.len(), tr2.len(), "span count");
     assert_eq!(tr1, tr2, "full trace history");
     assert!(!tr1.is_empty());
+}
+
+/// Seeded tie-break policies are just as deterministic as FIFO: two
+/// runs with the same seed must produce byte-identical Timeline span
+/// sequences (labels *and* timestamps).
+#[test]
+fn seeded_tie_break_reproduces_the_exact_timeline() {
+    for seed in [1u64, 42, 0xFEED_FACE] {
+        let (t1, c1, tr1) = fingerprint_with(TieBreak::Seeded(seed));
+        let (t2, c2, tr2) = fingerprint_with(TieBreak::Seeded(seed));
+        assert_eq!(t1, t2, "seed {seed}: virtual time");
+        assert_eq!(c1, c2, "seed {seed}: results");
+        assert_eq!(tr1, tr2, "seed {seed}: full trace history");
+        assert!(!tr1.is_empty());
+    }
+}
+
+/// Different tie-break seeds may permute same-instant events, but the
+/// program's *results* (and total virtual time: same work, same
+/// resources) must not change — only the event ordering may.
+#[test]
+fn tie_break_seed_never_changes_the_results() {
+    let (_, c0, _) = fingerprint_with(TieBreak::Fifo);
+    for seed in [1u64, 2, 3, 99] {
+        let (_, c, _) = fingerprint_with(TieBreak::Seeded(seed));
+        assert_eq!(c0.to_bits(), c.to_bits(), "seed {seed} changed the result");
+    }
 }
 
 /// Somier is deterministic for every implementation, including the

@@ -1,0 +1,219 @@
+//! Seeded property tests across the whole stack: random spread
+//! configurations must always compute the same result as the sequential
+//! loop.
+//!
+//! These were proptest properties in the seed; they are now plain seeded
+//! loops over `spread_prng::Prng` so the workspace builds offline and
+//! every failure is reproducible from the printed case description
+//! alone. Shrunken historical regressions are promoted to named unit
+//! tests at the bottom.
+
+use spread_prng::Prng;
+use target_spread::core::prelude::*;
+use target_spread::devices::{DeviceSpec, Topology};
+use target_spread::rt::kernel::KernelArg;
+use target_spread::rt::prelude::*;
+
+fn runtime(n_dev: usize) -> Runtime {
+    let topo = Topology::uniform(
+        n_dev,
+        DeviceSpec::v100().with_mem_bytes(1 << 22),
+        1e9,
+        1.6e9,
+    );
+    Runtime::new(
+        RuntimeConfig::new(topo)
+            .with_team_threads(2)
+            .with_trace(false),
+    )
+}
+
+/// One random stencil case. The parameters mirror the seed's proptest
+/// strategy; `rotation` permutes the device list (distribution order is
+/// list order, so different orders must agree too).
+fn check_stencil(n: usize, chunk: usize, n_dev: usize, rotation: usize, seed: u64) {
+    let ctx = format!("n={n} chunk={chunk} n_dev={n_dev} rotation={rotation} seed={seed}");
+    let mut devices: Vec<u32> = (0..n_dev as u32).collect();
+    devices.rotate_left(rotation % n_dev.max(1));
+
+    // The §V-B gap rule: a device's next halo'd chunk must leave a gap,
+    // i.e. (n_dev − 1) · chunk ≥ 2. One device ⇒ one chunk for the whole
+    // loop; two devices ⇒ chunks of ≥ 2.
+    let iters = n.saturating_sub(2);
+    let chunk = match n_dev {
+        1 => iters.max(1),
+        2 => chunk.max(2),
+        _ => chunk,
+    };
+
+    let mut rt = runtime(n_dev);
+    let a = rt.host_array("A", n);
+    let b = rt.host_array("B", n);
+    let x = seed | 1;
+    rt.fill_host(a, move |i| {
+        let mut v = x ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        v ^= v >> 33;
+        (v % 1000) as f64
+    });
+    let av = rt.snapshot_host(a);
+    let expect: Vec<f64> = (0..n)
+        .map(|i| {
+            if i == 0 || i == n - 1 {
+                0.0
+            } else {
+                av[i - 1] + av[i] + av[i + 1]
+            }
+        })
+        .collect();
+
+    rt.run(|s| {
+        TargetSpread::devices(devices.clone())
+            .spread_schedule(SpreadSchedule::static_chunk(chunk))
+            .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
+            .map(spread_from(b, |c| c.range()))
+            .parallel_for(
+                s,
+                1..n - 1,
+                KernelSpec::new("stencil", 2.0, |chunk, v| {
+                    for i in chunk {
+                        let sum = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
+                        v.set(1, i, sum);
+                    }
+                })
+                .arg(KernelArg::read(a, |r| r.start - 1..r.end + 1))
+                .arg(KernelArg::write(b, |r| r)),
+            )?;
+        Ok(())
+    })
+    .unwrap();
+    let out = rt.snapshot_host(b);
+    for i in 1..n - 1 {
+        assert_eq!(out[i], expect[i], "i={i} ({ctx})");
+    }
+    // Memory hygiene on every device.
+    for d in 0..n_dev as u32 {
+        assert_eq!(rt.device_mem_used(d), 0, "device {d} leaked ({ctx})");
+    }
+    assert!(rt.races().is_empty(), "races reported ({ctx})");
+}
+
+/// Random sizes, chunkings, device lists and values: the spread stencil
+/// equals the sequential stencil exactly.
+#[test]
+fn spread_stencil_equals_sequential() {
+    let mut r = Prng::new(0x573_7072_6561_6431);
+    for _ in 0..48 {
+        let n = r.range(8, 300);
+        let chunk = r.range(1, 64);
+        let n_dev = r.range(1, 5);
+        let rotation = r.range(0, 24);
+        let seed = r.next_u64();
+        check_stencil(n, chunk, n_dev, rotation, seed);
+    }
+}
+
+/// The reduction extension equals the sequential fold for random
+/// configurations and operators.
+#[test]
+fn spread_reduce_equals_sequential() {
+    let mut r = Prng::new(0x5265_6475_6365);
+    for _ in 0..32 {
+        let n = r.range(4, 500);
+        let chunk = r.range(1, 64);
+        let n_dev = r.range(1, 5);
+        let op = *r.pick(&[ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min]);
+        let ctx = format!("n={n} chunk={chunk} n_dev={n_dev} op={op:?}");
+
+        let mut rt = runtime(n_dev);
+        let a = rt.host_array("A", n);
+        let partials = rt.host_array("P", n);
+        rt.fill_host(a, |i| ((i * 37) % 101) as f64 - 50.0);
+        let av = rt.snapshot_host(a);
+        let expect = av
+            .iter()
+            .map(|&x| x * 2.0)
+            .fold(op.identity(), |acc, v| op.combine(acc, v));
+
+        let devices: Vec<u32> = (0..n_dev as u32).collect();
+        let got = rt
+            .run(|s| {
+                TargetSpread::devices(devices.clone())
+                    .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                    .map(spread_to(a, |c| c.range()))
+                    .parallel_for_reduce(
+                        s,
+                        0..n,
+                        KernelSpec::new("x2", 1.0, |chunk, v| {
+                            for i in chunk {
+                                v.set(1, i, 2.0 * v.get(0, i));
+                            }
+                        })
+                        .arg(KernelArg::read(a, |r| r))
+                        .arg(KernelArg::write(partials, |r| r)),
+                        partials,
+                        op,
+                    )
+            })
+            .unwrap();
+        // Sum order matches the sequential fold exactly (host fold over
+        // the partials array in index order).
+        assert_eq!(got, expect, "{ctx}");
+    }
+}
+
+/// Enter/exit data spread with random range+chunk_size keeps the
+/// presence tables balanced (everything released, nothing leaks).
+#[test]
+fn data_spread_roundtrip_is_balanced() {
+    let mut r = Prng::new(0x526f_756e_6474_7269);
+    for _ in 0..32 {
+        let start = r.range(0, 50);
+        let len = r.range(1, 200);
+        let chunk = r.range(1, 32);
+        let n_dev = r.range(2, 5);
+        let ctx = format!("start={start} len={len} chunk={chunk} n_dev={n_dev}");
+
+        let mut rt = runtime(n_dev);
+        let a = rt.host_array("A", start + len);
+        rt.fill_host(a, |i| i as f64);
+        let devices: Vec<u32> = (0..n_dev as u32).collect();
+        rt.run(|s| {
+            TargetEnterDataSpread::devices(devices.clone())
+                .range(start, len)
+                .chunk_size(chunk)
+                .map(spread_to(a, |c| c.range()))
+                .launch(s)?;
+            TargetExitDataSpread::devices(devices.clone())
+                .range(start, len)
+                .chunk_size(chunk)
+                .map(spread_from(a, |c| c.range()))
+                .launch(s)?;
+            Ok(())
+        })
+        .unwrap();
+        for d in 0..n_dev as u32 {
+            assert_eq!(rt.device_mem_used(d), 0, "device {d} leaked ({ctx})");
+            assert!(rt.mapped_sections(d).is_empty(), "{ctx}");
+        }
+        // Data survived the roundtrip.
+        let out = rt.snapshot_host(a);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f64, "{ctx}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Promoted regressions: shrunken proptest failures from the seed's
+// `proptest-regressions` file, kept as named deterministic cases so they
+// are readable and survive any change to the random strategy.
+// ---------------------------------------------------------------------
+
+/// Shrunk case `n = 8, chunk = 1, n_dev = 2, perm_seed = 0, seed = 0`:
+/// two devices with unit chunks violate the §V-B gap rule unless the
+/// runner widens the chunk, and the halo'd first chunk starts at
+/// `c.start() - 1 = 0`.
+#[test]
+fn regression_two_device_unit_chunk_stencil() {
+    check_stencil(8, 1, 2, 0, 0);
+}

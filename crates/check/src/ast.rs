@@ -11,6 +11,13 @@
 //! (unpaired enter/exit/update, possibly illegal). Those exercise the
 //! presence-table rules directly: the oracle predicts either the leaked
 //! mapping state or the exact [`spread_rt::RtError`] they must produce.
+//!
+//! A program may also carry a [`FaultSpec`]: a device lost at virtual
+//! time zero plus retry-absorbable transient copy bursts. Under
+//! [`FaultMode::Resilient`] every spread construct runs with
+//! `spread_resilience(redistribute)` and must still match the
+//! fault-free prediction bit-for-bit; under [`FaultMode::FailStop`] the
+//! oracle predicts the exact `DeviceLost` poisoning.
 
 use spread_core::reduction::ReduceOp;
 use spread_core::schedule::SpreadSchedule;
@@ -26,6 +33,8 @@ pub struct Program {
     pub n_arrays: usize,
     /// Phases; statements within a phase touch disjoint arrays.
     pub phases: Vec<Vec<Stmt>>,
+    /// Seeded fault plan injected into the machine, if any.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Program {
@@ -34,6 +43,53 @@ impl Program {
     pub fn initial(k: usize, i: usize) -> f64 {
         ((i * 7 + k * 13) % 23) as f64 - 11.0
     }
+
+    /// The permanently lost device, if the fault plan names one.
+    pub fn lost_device(&self) -> Option<u32> {
+        self.fault.as_ref().and_then(|f| f.lost)
+    }
+
+    /// True when spread constructs run under
+    /// `spread_resilience(redistribute)`.
+    pub fn resilient(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.mode == FaultMode::Resilient)
+    }
+}
+
+/// How the program's spread constructs respond to permanent device
+/// loss.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The default: the loss poisons the program with
+    /// [`spread_rt::RtError::DeviceLost`].
+    #[default]
+    FailStop,
+    /// Every `target spread` carries `spread_resilience(redistribute)`:
+    /// the lost device's chunks are rebuilt on the survivors and the
+    /// final host state is bit-identical to the fault-free run.
+    Resilient,
+}
+
+/// The fault plan attached to a [`Program`].
+///
+/// The lost device dies at virtual time **zero** — dead on arrival — so
+/// the outcome is independent of schedule timing: every task targeting
+/// it faults, under every interleaving. (The runtime's own tests cover
+/// mid-run losses; the conformance oracle needs a prediction that does
+/// not depend on when work lands.) Transient copy bursts are sized
+/// under the default retry budget, so retry + backoff absorbs them and
+/// the final state is unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Device permanently lost at time zero, if any.
+    pub lost: Option<u32>,
+    /// Fail-stop or redistribute.
+    pub mode: FaultMode,
+    /// Transient copy-fault bursts `(device, count)`, `count ≤ 3`
+    /// (the default `RetryPolicy` budget).
+    pub transients: Vec<(u32, u32)>,
 }
 
 /// A `spread_schedule(…)` clause (mirror of

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
-//!     [--programs N] [--interleavings K] [--seed S] [--inject stencil|reduce]
+//!     [--programs N] [--interleavings K] [--seed S] [--faults] \
+//!     [--inject stencil|reduce|recovery]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
 //! FIFO policy plus `K − 1` seeded tie-break permutations, against the
-//! sequential oracle. Exits non-zero on any disagreement or race report,
-//! printing the failing seed so `replay -- <seed>` reproduces it.
+//! sequential oracle. `--faults` attaches seeded fault plans (device
+//! loss at time zero under fail-stop or redistribute, transient copy
+//! bursts). Exits non-zero on any disagreement or race report, printing
+//! the failing seed so `replay -- <seed>` reproduces it.
 
 use std::process::ExitCode;
 
@@ -19,6 +22,7 @@ struct Args {
     interleavings: usize,
     seed: u64,
     fault: Option<Fault>,
+    faults: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         interleavings: 4,
         seed: 1,
         fault: None,
+        faults: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
                 let f = value("--inject")?;
                 args.fault = Some(Fault::parse(&f).ok_or_else(|| format!("unknown fault `{f}`"))?);
             }
+            "--faults" => args.faults = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -63,8 +69,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("fuzz: {e}");
             eprintln!(
-                "usage: fuzz [--programs N] [--interleavings K] [--seed S] \
-                 [--inject stencil|reduce]"
+                "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
+                 [--inject stencil|reduce|recovery]"
             );
             return ExitCode::from(2);
         }
@@ -72,12 +78,14 @@ fn main() -> ExitCode {
     let cfg = CheckConfig {
         interleavings: args.interleavings,
         fault: args.fault,
+        faults: args.faults,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
+        if cfg.faults { ", with fault plans" } else { "" },
         match cfg.fault {
             Some(f) => format!(", injected fault {f:?}"),
             None => String::new(),
@@ -100,14 +108,16 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!(
             "{}",
-            pretty::listing(&spread_check::gen::gen_program(f.seed))
+            pretty::listing(&spread_check::gen::gen_program_cfg(f.seed, cfg.faults))
         );
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}",
             f.seed,
+            if cfg.faults { " --faults" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
+                Some(Fault::RecoveryDropsLostChunk) => " --inject recovery",
                 None => "",
             }
         );

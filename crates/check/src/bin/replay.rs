@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
-//!     [--interleavings K] [--inject stencil|reduce]
+//!     [--interleavings K] [--faults] [--inject stencil|reduce|recovery]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -30,6 +30,7 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
                 let f = it.next().ok_or("--inject needs a value")?;
                 cfg.fault = Some(Fault::parse(&f).ok_or_else(|| format!("unknown fault `{f}`"))?);
             }
+            "--faults" => cfg.faults = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
@@ -44,11 +45,14 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("replay: {e}");
-            eprintln!("usage: replay <seed> [--interleavings K] [--inject stencil|reduce]");
+            eprintln!(
+                "usage: replay <seed> [--interleavings K] [--faults] \
+                 [--inject stencil|reduce|recovery]"
+            );
             return ExitCode::from(2);
         }
     };
-    let p = gen::gen_program(seed);
+    let p = gen::gen_program_cfg(seed, cfg.faults);
     println!("seed {seed} generates:\n");
     println!("{}", pretty::listing(&p));
     match check_seed(seed, &cfg) {

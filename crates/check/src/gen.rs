@@ -18,7 +18,7 @@
 use spread_core::reduction::ReduceOp;
 use spread_prng::Prng;
 
-use crate::ast::{BadKind, KernelOp, Program, Sched, Stmt};
+use crate::ast::{BadKind, FaultMode, FaultSpec, KernelOp, Program, Sched, Stmt};
 
 const CONSTS: [f64; 6] = [-2.0, -1.0, 0.5, 1.0, 2.0, 3.0];
 
@@ -30,8 +30,12 @@ fn gen_devices(r: &mut Prng, n_devices: usize) -> Vec<u32> {
     all
 }
 
-fn gen_sched(r: &mut Prng, n: usize, k: usize) -> Sched {
-    match r.below(3) {
+/// `no_dynamic` is set for faulted programs: `dynamic` is illegal under
+/// `spread_resilience(redistribute)`, and under fail-stop its chunk
+/// placement depends on the interleaving, so "does the lost device get
+/// work" would not be a function of the program alone.
+fn gen_sched(r: &mut Prng, n: usize, k: usize, no_dynamic: bool) -> Sched {
+    match r.below(if no_dynamic { 2 } else { 3 }) {
         0 => Sched::Static {
             chunk: r.range(1, n + 1),
         },
@@ -55,7 +59,13 @@ fn stencil_chunk(r: &mut Prng, n: usize, k: usize) -> usize {
     }
 }
 
-fn gen_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+fn gen_stmt(
+    r: &mut Prng,
+    avail: &mut Vec<usize>,
+    n: usize,
+    n_devices: usize,
+    faulted: bool,
+) -> Stmt {
     let devices = gen_devices(r, n_devices);
     let k = devices.len();
     let roll = r.below(100);
@@ -70,7 +80,7 @@ fn gen_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) ->
             KernelOp::Scale { a, c }
         };
         Stmt::Spread {
-            sched: gen_sched(r, n, k),
+            sched: gen_sched(r, n, k, faulted),
             nowait: r.chance(0.5),
             devices,
             op,
@@ -79,7 +89,7 @@ fn gen_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) ->
         let x = avail.pop().unwrap();
         let y = avail.pop().unwrap();
         Stmt::Spread {
-            sched: gen_sched(r, n, k),
+            sched: gen_sched(r, n, k, faulted),
             nowait: r.chance(0.5),
             devices,
             op: KernelOp::Saxpy {
@@ -103,7 +113,7 @@ fn gen_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) ->
         let a = avail.pop().unwrap();
         let partials = avail.pop().unwrap();
         Stmt::Reduce {
-            sched: gen_sched(r, n, k),
+            sched: gen_sched(r, n, k, faulted),
             devices,
             a,
             partials,
@@ -173,12 +183,52 @@ fn gen_raw_phase(r: &mut Prng, n_arrays: usize, n: usize, n_devices: usize) -> V
         .collect()
 }
 
+/// The fault plan of a faulted program: usually a device lost at time
+/// zero (fail-stop or resilient, evenly), sometimes only transient
+/// copy bursts sized under the default retry budget.
+fn gen_fault(r: &mut Prng, n_devices: usize) -> FaultSpec {
+    let mode = if r.chance(0.5) {
+        FaultMode::Resilient
+    } else {
+        FaultMode::FailStop
+    };
+    let lost = if r.chance(0.85) {
+        Some(r.below(n_devices as u64) as u32)
+    } else {
+        None
+    };
+    let mut transients = Vec::new();
+    if r.chance(0.4) {
+        transients.push((r.below(n_devices as u64) as u32, r.range(1, 4) as u32));
+    }
+    FaultSpec {
+        lost,
+        mode,
+        transients,
+    }
+}
+
 /// Derive the program for `seed`.
 pub fn gen_program(seed: u64) -> Program {
+    gen_program_cfg(seed, false)
+}
+
+/// Derive the program for `seed`; with `faults` set, attach a seeded
+/// [`FaultSpec`] and restrict generation so the outcome stays exactly
+/// predictable (no dynamic schedules, no raw final phase — the only
+/// admissible error is the loss itself, identical under every
+/// interleaving because the device is dead on arrival).
+pub fn gen_program_cfg(seed: u64, faults: bool) -> Program {
     let mut r = Prng::new(seed);
-    let n_devices = r.range(1, 5);
+    // A loss needs a potential survivor to be interesting.
+    let n_devices = if faults { r.range(2, 5) } else { r.range(1, 5) };
     let n = r.range(10, 49);
     let n_arrays = r.range(2, 5);
+    let fault = if faults {
+        Some(gen_fault(&mut r, n_devices))
+    } else {
+        None
+    };
     let n_phases = r.range(1, 4);
     let mut phases = Vec::with_capacity(n_phases + 1);
     for _ in 0..n_phases {
@@ -190,11 +240,11 @@ pub fn gen_program(seed: u64) -> Program {
             if avail.is_empty() {
                 break;
             }
-            phase.push(gen_stmt(&mut r, &mut avail, n, n_devices));
+            phase.push(gen_stmt(&mut r, &mut avail, n, n_devices, faults));
         }
         phases.push(phase);
     }
-    if r.chance(0.3) {
+    if !faults && r.chance(0.3) {
         phases.push(gen_raw_phase(&mut r, n_arrays, n, n_devices));
     }
     Program {
@@ -202,6 +252,7 @@ pub fn gen_program(seed: u64) -> Program {
         n,
         n_arrays,
         phases,
+        fault,
     }
 }
 
@@ -260,6 +311,42 @@ mod tests {
             let b = format!("{:?}", gen_program(seed));
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn faulted_programs_respect_the_fault_invariants() {
+        let mut lost = 0;
+        let mut resilient = 0;
+        let mut transient = 0;
+        for seed in 0..300u64 {
+            let p = gen_program_cfg(seed, true);
+            assert!(p.n_devices >= 2, "seed {seed}: a loss needs a survivor");
+            let f = p.fault.as_ref().expect("faulted mode attaches a plan");
+            if let Some(d) = f.lost {
+                assert!((d as usize) < p.n_devices, "seed {seed}");
+                lost += 1;
+            }
+            if f.mode == FaultMode::Resilient {
+                resilient += 1;
+            }
+            for &(d, count) in &f.transients {
+                assert!((d as usize) < p.n_devices, "seed {seed}");
+                assert!((1..=3).contains(&count), "seed {seed}: retry budget");
+                transient += 1;
+            }
+            for stmt in p.phases.iter().flatten() {
+                assert!(!stmt.is_raw(), "seed {seed}: raw stmt in faulted program");
+                if let Stmt::Spread { sched, .. } | Stmt::Reduce { sched, .. } = stmt {
+                    assert!(
+                        !matches!(sched, Sched::Dynamic { .. }),
+                        "seed {seed}: dynamic schedule in faulted program"
+                    );
+                }
+            }
+        }
+        assert!(lost > 100, "{lost}");
+        assert!(resilient > 50, "{resilient}");
+        assert!(transient > 30, "{transient}");
     }
 
     #[test]

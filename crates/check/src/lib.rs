@@ -9,7 +9,10 @@
 //!   surface (spread kernels with static/weighted/dynamic schedules and
 //!   `nowait`, halo'd stencils, cross-device reductions, data regions,
 //!   raw enter/exit/update statements — including illegal ones);
-//! * [`gen`] — a seeded generator: one `u64` ⇒ one program, forever;
+//! * [`gen`] — a seeded generator: one `u64` ⇒ one program, forever
+//!   (optionally with a seeded fault plan: a device dead on arrival
+//!   under fail-stop or `spread_resilience(redistribute)`, plus
+//!   retry-absorbable transient copy bursts);
 //! * [`oracle`] — a pure sequential interpreter that predicts the final
 //!   host state (or the exact `RtError`) from the paper's mapping rules;
 //! * [`run`] — the executor lowering a program onto the real
@@ -52,6 +55,10 @@ pub enum Fault {
     StencilDropsLeftHalo,
     /// The oracle's host-side reduction fold skips the last element.
     ReduceSkipsLast,
+    /// The oracle pretends `spread_resilience(redistribute)` silently
+    /// drops the lost device's chunks instead of replaying them — the
+    /// canary proving the harness catches recovery divergence.
+    RecoveryDropsLostChunk,
 }
 
 impl Fault {
@@ -60,6 +67,7 @@ impl Fault {
         match s {
             "stencil" => Some(Fault::StencilDropsLeftHalo),
             "reduce" => Some(Fault::ReduceSkipsLast),
+            "recovery" => Some(Fault::RecoveryDropsLostChunk),
             _ => None,
         }
     }
@@ -73,6 +81,10 @@ pub struct CheckConfig {
     pub interleavings: usize,
     /// Optional oracle perturbation.
     pub fault: Option<Fault>,
+    /// Generate programs with seeded fault plans (device loss at time
+    /// zero, retry-absorbable transient bursts) — see
+    /// [`ast::FaultSpec`].
+    pub faults: bool,
 }
 
 impl Default for CheckConfig {
@@ -80,6 +92,7 @@ impl Default for CheckConfig {
         CheckConfig {
             interleavings: 4,
             fault: None,
+            faults: false,
         }
     }
 }
@@ -111,10 +124,13 @@ pub fn tie_breaks(seed: u64, interleavings: usize) -> Vec<TieBreak> {
 }
 
 /// `InvalidDirective` carries a free-form message the oracle does not
-/// reproduce; every other error must match exactly.
+/// reproduce, and `DeviceLost`'s `what` names whichever task happened
+/// to surface the loss first (interleaving-dependent) — both compare
+/// structurally. Every other error must match exactly.
 fn errors_match(want: &RtError, got: &RtError) -> bool {
     match (want, got) {
         (RtError::InvalidDirective(_), RtError::InvalidDirective(_)) => true,
+        (RtError::DeviceLost { device: w, .. }, RtError::DeviceLost { device: g, .. }) => w == g,
         _ => want == got,
     }
 }
@@ -179,9 +195,10 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
     Ok(())
 }
 
-/// Generate and check the program for `seed`.
+/// Generate and check the program for `seed` (with a fault plan when
+/// `cfg.faults` is set).
 pub fn check_seed(seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
-    check_program(&gen::gen_program(seed), seed, cfg)
+    check_program(&gen::gen_program_cfg(seed, cfg.faults), seed, cfg)
 }
 
 /// One failing seed of a fuzzing run.
@@ -229,7 +246,7 @@ pub fn fuzz(
 /// Re-check a failing seed and shrink its program to a minimal
 /// counterexample (deterministically).
 pub fn shrink_seed(seed: u64, cfg: &CheckConfig) -> Option<(Program, CheckFailure)> {
-    let p = gen::gen_program(seed);
+    let p = gen::gen_program_cfg(seed, cfg.faults);
     check_program(&p, seed, cfg).err()?;
     let mut fails = |q: &Program| check_program(q, seed, cfg).is_err();
     let minimal = shrink::shrink(&p, &mut fails);
@@ -259,6 +276,20 @@ mod tests {
     fn fault_parsing() {
         assert_eq!(Fault::parse("stencil"), Some(Fault::StencilDropsLeftHalo));
         assert_eq!(Fault::parse("reduce"), Some(Fault::ReduceSkipsLast));
+        assert_eq!(
+            Fault::parse("recovery"),
+            Some(Fault::RecoveryDropsLostChunk)
+        );
         assert_eq!(Fault::parse("nope"), None);
+    }
+
+    #[test]
+    fn a_faulted_seed_checks_clean() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            faults: true,
+            ..CheckConfig::default()
+        };
+        check_seed(0, &cfg).unwrap();
     }
 }

@@ -16,6 +16,16 @@
 //! * the first error poisons the program: nothing after it is
 //!   interpreted.
 //!
+//! When the program carries a [`crate::ast::FaultSpec`], the lost
+//! device is dead on arrival, which keeps the prediction closed-form:
+//! a resilient spread construct with a survivor redistributes and
+//! yields exactly the fault-free state (so the oracle interprets it as
+//! if nothing happened); any other work landing on the corpse — a
+//! fail-stop chunk, a data directive, a construct whose device list
+//! holds no survivor — poisons the program with `DeviceLost` naming
+//! that device. Transient copy bursts are absorbed by retry and
+//! ignored entirely.
+//!
 //! Statements are interpreted in program order, chunks in chunk order.
 //! That is sound because the generator guarantees statements inside one
 //! phase touch disjoint arrays and each statement's chunks commute (the
@@ -83,10 +93,23 @@ struct Model {
     dev: Vec<Vec<Entry>>,
     reduces: Vec<f64>,
     fault: Option<Fault>,
+    /// Device dead on arrival, from the program's `FaultSpec`.
+    lost: Option<u32>,
+    /// Spread constructs carry `spread_resilience(redistribute)`.
+    resilient: bool,
 }
 
 fn section(a: usize, r: &Range<usize>) -> Section {
     Section::new(ArrayId(a as u32), r.start, r.end - r.start)
+}
+
+/// The loss error, compared by `device` only (`what` names whichever
+/// task happened to surface the loss first).
+fn lost_err(device: u32) -> RtError {
+    RtError::DeviceLost {
+        device,
+        what: String::new(),
+    }
 }
 
 impl Model {
@@ -98,7 +121,40 @@ impl Model {
             dev: (0..p.n_devices).map(|_| Vec::new()).collect(),
             reduces: Vec::new(),
             fault,
+            lost: p.lost_device(),
+            resilient: p.resilient(),
         }
+    }
+
+    /// A spread/reduce chunk lands on `device`: poison when the
+    /// construct cannot route around the corpse — fail-stop mode, or no
+    /// survivor in its `devices(…)` list.
+    fn spread_chunk_on(&self, device: u32, devices: &[u32]) -> Result<(), RtError> {
+        match self.lost {
+            Some(l) if l == device && (!self.resilient || devices.iter().all(|&d| d == l)) => {
+                Err(lost_err(l))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Data directives have no resilience clause: any leg on the corpse
+    /// poisons the program, resilient or not.
+    fn data_on(&self, device: u32) -> Result<(), RtError> {
+        match self.lost {
+            Some(l) if l == device => Err(lost_err(l)),
+            _ => Ok(()),
+        }
+    }
+
+    /// The `--inject recovery` canary: pretend recovery silently drops
+    /// the lost device's chunks instead of replaying them, so the
+    /// harness must flag the (correct) runtime's recovered values as a
+    /// disagreement.
+    fn drops_chunk(&self, device: u32) -> bool {
+        self.fault == Some(Fault::RecoveryDropsLostChunk)
+            && self.resilient
+            && self.lost == Some(device)
     }
 
     /// Enter one map item on `device`. Mirrors `plan_enter` for a single
@@ -309,6 +365,10 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
                 // the same host state (fresh-in, fresh-out, disjoint
                 // sections), so model them on the list head.
                 let device = chunk.device.unwrap_or(devices[0]);
+                m.spread_chunk_on(device, devices)?;
+                if m.drops_chunk(device) {
+                    continue;
+                }
                 m.construct(device, &op_maps(op, &chunk.range()), op, chunk.range())?;
             }
             Ok(())
@@ -327,6 +387,10 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             let partials_ix = *partials;
             for chunk in distribute(range.clone(), devices, &sched.to_schedule()) {
                 let device = chunk.device.unwrap_or(devices[0]);
+                m.spread_chunk_on(device, devices)?;
+                if m.drops_chunk(device) {
+                    continue;
+                }
                 let r = chunk.range();
                 let maps = vec![
                     (MapType::To, a, r.clone()),
@@ -367,6 +431,7 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             let sched = Sched::Static { chunk: *chunk };
             let chunks = distribute(0..p.n, devices, &sched.to_schedule());
             for c in &chunks {
+                m.data_on(c.device.unwrap())?;
                 m.enter(c.device.unwrap(), MapType::To, *a, c.range())?;
             }
             if let Some(cv) = body_add {
@@ -396,7 +461,10 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             a,
             start,
             len,
-        } => m.enter(*device, MapType::To, *a, *start..start + len),
+        } => {
+            m.data_on(*device)?;
+            m.enter(*device, MapType::To, *a, *start..start + len)
+        }
         Stmt::RawExit {
             device,
             a,
@@ -404,6 +472,7 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             len,
             delete,
         } => {
+            m.data_on(*device)?;
             let mt = if *delete {
                 MapType::Delete
             } else {
@@ -417,7 +486,10 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             start,
             len,
             from,
-        } => m.update(*device, *from, *a, *start..start + len),
+        } => {
+            m.data_on(*device)?;
+            m.update(*device, *from, *a, *start..start + len)
+        }
         // The executor compares `InvalidDirective` by variant only, so
         // the oracle does not reproduce the message.
         Stmt::Bad { .. } => Err(RtError::InvalidDirective(String::new())),
@@ -470,6 +542,7 @@ mod tests {
             n: 16,
             n_arrays: 2,
             phases,
+            fault: None,
         }
     }
 
@@ -600,6 +673,81 @@ mod tests {
         assert!(e.error.is_none());
         assert_eq!(e.mappings[0], vec![]);
         assert_eq!(e.mappings[1], vec![(0, 2, 6, 2)]);
+    }
+
+    #[test]
+    fn resilient_loss_predicts_the_fault_free_state() {
+        use crate::ast::{FaultMode, FaultSpec};
+        let spread = Stmt::Spread {
+            devices: vec![0, 1],
+            sched: Sched::Static { chunk: 4 },
+            nowait: false,
+            op: KernelOp::AddConst { a: 0, c: 2.0 },
+        };
+        let clean = simple(2, vec![vec![spread.clone()]]);
+        let mut faulted = clean.clone();
+        faulted.fault = Some(FaultSpec {
+            lost: Some(1),
+            mode: FaultMode::Resilient,
+            transients: vec![(0, 2)],
+        });
+        let a = predict(&clean, None);
+        let b = predict(&faulted, None);
+        assert!(b.error.is_none(), "{:?}", b.error);
+        assert_eq!(a.arrays, b.arrays, "redistribution is bit-invisible");
+        // …but the recovery canary diverges.
+        let c = predict(&faulted, Some(Fault::RecoveryDropsLostChunk));
+        assert_ne!(a.arrays, c.arrays, "canary must perturb the prediction");
+        // The canary is inert without a resilient loss.
+        let d = predict(&clean, Some(Fault::RecoveryDropsLostChunk));
+        assert_eq!(a.arrays, d.arrays);
+    }
+
+    #[test]
+    fn fail_stop_loss_predicts_device_lost() {
+        use crate::ast::{FaultMode, FaultSpec};
+        let mut p = simple(
+            2,
+            vec![vec![Stmt::Spread {
+                devices: vec![1, 0],
+                sched: Sched::Static { chunk: 4 },
+                nowait: false,
+                op: KernelOp::Scale { a: 0, c: 2.0 },
+            }]],
+        );
+        p.fault = Some(FaultSpec {
+            lost: Some(1),
+            mode: FaultMode::FailStop,
+            transients: vec![],
+        });
+        let e = predict(&p, None);
+        assert!(
+            matches!(e.error, Some(RtError::DeviceLost { device: 1, .. })),
+            "{:?}",
+            e.error
+        );
+        // A resilient construct with no survivor in its list also dies.
+        p.fault.as_mut().unwrap().mode = FaultMode::Resilient;
+        p.phases[0][0] = Stmt::Spread {
+            devices: vec![1],
+            sched: Sched::Static { chunk: 16 },
+            nowait: false,
+            op: KernelOp::Scale { a: 0, c: 2.0 },
+        };
+        let e = predict(&p, None);
+        assert!(
+            matches!(e.error, Some(RtError::DeviceLost { device: 1, .. })),
+            "{:?}",
+            e.error
+        );
+        // A loss nothing lands on is invisible.
+        p.phases[0][0] = Stmt::Spread {
+            devices: vec![0],
+            sched: Sched::Static { chunk: 16 },
+            nowait: false,
+            op: KernelOp::Scale { a: 0, c: 2.0 },
+        };
+        assert!(predict(&p, None).error.is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::fmt::Write;
 
-use crate::ast::{BadKind, KernelOp, Program, Sched, Stmt};
+use crate::ast::{BadKind, FaultMode, KernelOp, Program, Sched, Stmt};
 
 fn devices(d: &[u32]) -> String {
     let items: Vec<String> = d.iter().map(|x| x.to_string()).collect();
@@ -22,6 +22,16 @@ fn sched(s: &Sched) -> String {
     }
 }
 
+/// The `spread_resilience(…)` clause every spread construct carries
+/// when the program runs in resilient mode.
+fn resilience(p: &Program) -> &'static str {
+    if p.resilient() {
+        " spread_resilience(redistribute)"
+    } else {
+        ""
+    }
+}
+
 fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
     let n = p.n;
     match stmt {
@@ -32,6 +42,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             op,
         } => {
             let nw = if *nowait { " nowait" } else { "" };
+            let res = resilience(p);
             let (maps, body) = match *op {
                 KernelOp::AddConst { a, c } => (
                     format!("map(spread_tofrom: A{a}[ss:sz])"),
@@ -55,7 +66,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             };
             let _ = writeln!(
                 out,
-                "#pragma omp target spread {} {} {maps}{nw}\n    {body}",
+                "#pragma omp target spread {} {}{res} {maps}{nw}\n    {body}",
                 devices(d),
                 sched(sc)
             );
@@ -68,9 +79,10 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             alpha,
             op,
         } => {
+            let res = resilience(p);
             let _ = writeln!(
                 out,
-                "#pragma omp target spread {} {} map(spread_to: A{a}[ss:sz]) \
+                "#pragma omp target spread {} {}{res} map(spread_to: A{a}[ss:sz]) \
                  map(spread_from: A{partials}[ss:sz]) reduction({op:?})\n    \
                  for (i in 0..{n}) A{partials}[i] = {alpha} * A{a}[i];  // fold on host",
                 devices(d),
@@ -183,6 +195,26 @@ pub fn listing(p: &Program) -> String {
         "// {} device(s), {} array(s) of {} doubles (A_k[i] = ((7i+13k) mod 23) - 11)",
         p.n_devices, p.n_arrays, p.n
     );
+    if let Some(f) = &p.fault {
+        let mode = match f.mode {
+            FaultMode::FailStop => "fail-stop",
+            FaultMode::Resilient => "resilient",
+        };
+        match f.lost {
+            Some(d) => {
+                let _ = writeln!(out, "// fault plan: device {d} lost at t=0 ({mode})");
+            }
+            None => {
+                let _ = writeln!(out, "// fault plan: no loss ({mode})");
+            }
+        }
+        for (d, count) in &f.transients {
+            let _ = writeln!(
+                out,
+                "// fault plan: {count} transient copy failure(s) on device {d} (retried)"
+            );
+        }
+    }
     for (i, phase) in p.phases.iter().enumerate() {
         let _ = writeln!(out, "// ---- phase {i} ----");
         for stmt in phase {

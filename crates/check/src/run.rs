@@ -5,15 +5,15 @@
 
 use spread_core::spread_map::SpreadMap;
 use spread_core::{
-    spread_from, spread_to, spread_tofrom, SpreadSchedule, TargetEnterDataSpread,
+    spread_from, spread_to, spread_tofrom, ResiliencePolicy, SpreadSchedule, TargetEnterDataSpread,
     TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
 };
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
 use spread_rt::{HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope};
-use spread_sim::TieBreak;
+use spread_sim::{FaultPlan, SimTime, TieBreak};
 
-use crate::ast::{BadKind, KernelOp, Program, Stmt};
+use crate::ast::{BadKind, FaultSpec, KernelOp, Program, Stmt};
 
 /// Everything observed from one execution.
 #[derive(Clone, Debug)]
@@ -33,22 +33,39 @@ pub struct Observed {
 
 /// Build the harness's machine: uniform devices with ample memory, two
 /// team threads, tracing off (the conformance assertions do not need
-/// span records; `tests/determinism.rs` covers the timeline).
-fn runtime(n_devices: usize, tie: TieBreak) -> Runtime {
+/// span records; `tests/determinism.rs` covers the timeline). The
+/// program's [`FaultSpec`], if any, is lowered to a [`FaultPlan`]: the
+/// loss fires at time zero and transient bursts start failing copies
+/// immediately, so the outcome is the same under every tie-break.
+fn runtime(n_devices: usize, tie: TieBreak, fault: Option<&FaultSpec>) -> Runtime {
     let topo = Topology::uniform(
         n_devices,
         DeviceSpec::v100().with_mem_bytes(1 << 22),
         1e9,
         1.6e9,
     );
-    Runtime::new(
-        RuntimeConfig::new(topo)
-            .with_team_threads(2)
-            .with_trace(false)
-            .with_tie_break(tie),
-    )
+    let mut cfg = RuntimeConfig::new(topo)
+        .with_team_threads(2)
+        .with_trace(false)
+        .with_tie_break(tie);
+    if let Some(f) = fault {
+        // A fixed plan seed: it only feeds retry-backoff jitter, which
+        // shifts virtual timing, never results.
+        let mut plan = FaultPlan::new(0xFA17);
+        if let Some(d) = f.lost {
+            plan = plan.lose_device(d, SimTime::ZERO);
+        }
+        for &(d, count) in &f.transients {
+            plan = plan.transient_copies(d, SimTime::ZERO, count);
+        }
+        if !plan.is_empty() {
+            cfg = cfg.with_fault_plan(plan);
+        }
+    }
+    Runtime::new(cfg)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn issue_spread(
     s: &mut Scope<'_>,
     handles: &[HostArray],
@@ -56,10 +73,13 @@ fn issue_spread(
     devices: &[u32],
     sched: SpreadSchedule,
     nowait: bool,
+    resilience: ResiliencePolicy,
     op: &KernelOp,
 ) -> Result<(), RtError> {
     let range = op.range(n);
-    let mut b = TargetSpread::devices(devices.iter().copied()).spread_schedule(sched);
+    let mut b = TargetSpread::devices(devices.iter().copied())
+        .spread_schedule(sched)
+        .spread_resilience(resilience);
     if nowait {
         b = b.nowait();
     }
@@ -136,13 +156,27 @@ fn issue(
     reduces: &mut Vec<f64>,
     stmt: &Stmt,
 ) -> Result<(), RtError> {
+    let resilience = if p.resilient() {
+        ResiliencePolicy::Redistribute
+    } else {
+        ResiliencePolicy::FailStop
+    };
     match stmt {
         Stmt::Spread {
             devices,
             sched,
             nowait,
             op,
-        } => issue_spread(s, handles, p.n, devices, sched.to_schedule(), *nowait, op),
+        } => issue_spread(
+            s,
+            handles,
+            p.n,
+            devices,
+            sched.to_schedule(),
+            *nowait,
+            resilience,
+            op,
+        ),
         Stmt::Reduce {
             devices,
             sched,
@@ -156,6 +190,7 @@ fn issue(
             let alpha = *alpha;
             let value = TargetSpread::devices(devices.iter().copied())
                 .spread_schedule(sched.to_schedule())
+                .spread_resilience(resilience)
                 .map(spread_to(ha, |c| c.range()))
                 .parallel_for_reduce(
                     s,
@@ -195,6 +230,7 @@ fn issue(
                     devices,
                     SpreadSchedule::static_chunk(*chunk),
                     false,
+                    resilience,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -299,7 +335,7 @@ fn issue(
 
 /// Execute `p` under `tie` and report what the runtime observed.
 pub fn execute(p: &Program, tie: TieBreak) -> Observed {
-    let mut rt = runtime(p.n_devices, tie);
+    let mut rt = runtime(p.n_devices, tie, p.fault.as_ref());
     let handles: Vec<HostArray> = (0..p.n_arrays)
         .map(|k| rt.host_array(format!("A{k}"), p.n))
         .collect();
@@ -353,6 +389,7 @@ mod tests {
                 nowait: false,
                 op: KernelOp::AddConst { a: 0, c: 1.5 },
             }]],
+            fault: None,
         };
         let o = execute(&p, TieBreak::Fifo);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -375,9 +412,44 @@ mod tests {
                 start: 2,
                 len: 5,
             }]],
+            fault: None,
         };
         let o = execute(&p, TieBreak::Fifo);
         assert!(o.error.is_none(), "{:?}", o.error);
         assert_eq!(o.mappings[0], vec![(0, 2, 5, 1)]);
+    }
+
+    #[test]
+    fn lowered_fault_plan_kills_and_recovers() {
+        use crate::ast::{FaultMode, FaultSpec};
+        let mut p = Program {
+            n_devices: 2,
+            n: 12,
+            n_arrays: 1,
+            phases: vec![vec![Stmt::Spread {
+                devices: vec![0, 1],
+                sched: Sched::Static { chunk: 3 },
+                nowait: false,
+                op: KernelOp::AddConst { a: 0, c: 1.5 },
+            }]],
+            fault: Some(FaultSpec {
+                lost: Some(1),
+                mode: FaultMode::FailStop,
+                transients: vec![],
+            }),
+        };
+        let o = execute(&p, TieBreak::Fifo);
+        assert!(
+            matches!(o.error, Some(RtError::DeviceLost { device: 1, .. })),
+            "{:?}",
+            o.error
+        );
+        // The same loss under redistribute completes with the right values.
+        p.fault.as_mut().unwrap().mode = FaultMode::Resilient;
+        let o = execute(&p, TieBreak::Fifo);
+        assert!(o.error.is_none(), "{:?}", o.error);
+        for i in 0..12 {
+            assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
+        }
     }
 }

@@ -11,6 +11,17 @@ use crate::ast::{KernelOp, Program, Sched, Stmt};
 /// Candidate simplifications of `p`, most aggressive first.
 fn candidates(p: &Program) -> Vec<Program> {
     let mut out = Vec::new();
+    // 0. Drop the fault plan, or just its transient bursts.
+    if p.fault.is_some() {
+        let mut q = p.clone();
+        q.fault = None;
+        out.push(q);
+    }
+    if p.fault.as_ref().is_some_and(|f| !f.transients.is_empty()) {
+        let mut q = p.clone();
+        q.fault.as_mut().expect("checked above").transients.clear();
+        out.push(q);
+    }
     // 1. Drop a whole phase.
     for i in 0..p.phases.len() {
         if p.phases.len() > 1 {
@@ -49,12 +60,19 @@ fn candidates(p: &Program) -> Vec<Program> {
             }
         }
     }
-    // 5. Drop the machine down to the devices actually named.
+    // 5. Drop the machine down to the devices actually named (the
+    // fault plan's devices count as named).
+    let fault_devices = p.fault.iter().flat_map(|f| {
+        f.lost
+            .into_iter()
+            .chain(f.transients.iter().map(|&(d, _)| d))
+    });
     let used = p
         .phases
         .iter()
         .flatten()
         .flat_map(stmt_devices)
+        .chain(fault_devices)
         .max()
         .map(|d| d as usize + 1)
         .unwrap_or(1);
@@ -257,6 +275,7 @@ mod tests {
                     op: KernelOp::Stencil3 { src: 0, dst: 1 },
                 }],
             ],
+            fault: None,
         }
     }
 

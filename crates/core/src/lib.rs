@@ -30,7 +30,9 @@
 //! Extensions implemented from the paper's future-work section (§IX):
 //! `depend` on the data-spread directives (Listing 13), a `dynamic`
 //! spread schedule, weighted static chunking, and a cross-device
-//! reduction helper.
+//! reduction helper. Beyond §IX, the robustness extension
+//! [`TargetSpread::spread_resilience`] ([`ResiliencePolicy`]) rebuilds
+//! a permanently lost device's chunks on the surviving devices.
 //!
 //! # Example
 //!
@@ -71,6 +73,7 @@
 pub mod chunk;
 pub mod data_spread;
 pub mod reduction;
+pub mod resilience;
 pub mod schedule;
 pub mod spread_map;
 pub mod target_spread;
@@ -80,6 +83,7 @@ pub use data_spread::{
     TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
 };
 pub use reduction::ReduceOp;
+pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};
 pub use spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom, SectionOf, SpreadMap};
 pub use target_spread::TargetSpread;
@@ -91,6 +95,7 @@ pub mod prelude {
         TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
     };
     pub use crate::reduction::ReduceOp;
+    pub use crate::resilience::ResiliencePolicy;
     pub use crate::schedule::SpreadSchedule;
     pub use crate::spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom};
     pub use crate::target_spread::TargetSpread;

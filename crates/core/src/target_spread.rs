@@ -26,6 +26,7 @@ use spread_rt::directives::Target;
 use spread_rt::{KernelSpec, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
+use crate::resilience::{Coordinator, ResiliencePolicy};
 use crate::schedule::{distribute, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
 
@@ -55,6 +56,7 @@ pub struct TargetSpread {
     num_teams: Option<u32>,
     num_threads: Option<u32>,
     serial: bool,
+    resilience: ResiliencePolicy,
 }
 
 impl TargetSpread {
@@ -71,6 +73,7 @@ impl TargetSpread {
             num_teams: None,
             num_threads: None,
             serial: false,
+            resilience: ResiliencePolicy::FailStop,
         }
     }
 
@@ -144,6 +147,19 @@ impl TargetSpread {
         self
     }
 
+    /// The `spread_resilience(…)` clause: what the construct does when
+    /// one of its devices is permanently lost mid-run (default:
+    /// [`ResiliencePolicy::FailStop`]).
+    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
+    }
+
     /// The `devices(…)` list, in distribution order (introspection for
     /// tooling such as the `spread-check` conformance harness).
     pub fn device_list(&self) -> &[u32] {
@@ -169,7 +185,7 @@ impl TargetSpread {
         distribute(range, &self.devices, &self.schedule)
     }
 
-    fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
+    pub(crate) fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
         let mut t = Target::device(device).nowait();
         if self.serial {
             t = t.serial();
@@ -207,6 +223,15 @@ impl TargetSpread {
                 "target spread: devices(…) must not be empty".into(),
             ));
         }
+        if self.resilience == ResiliencePolicy::Redistribute
+            && matches!(self.schedule, SpreadSchedule::Dynamic { .. })
+        {
+            // Dynamic chunks have no pre-assigned device to route off;
+            // the claim chains already absorb loss-shaped imbalance.
+            return Err(RtError::InvalidDirective(
+                "target spread: spread_resilience(redistribute) requires a static schedule".into(),
+            ));
+        }
         match self.schedule {
             SpreadSchedule::Dynamic { .. } => self.launch_dynamic(scope, range, kernel),
             _ => self.launch_static(scope, range, kernel),
@@ -219,16 +244,26 @@ impl TargetSpread {
         range: Range<usize>,
         kernel: KernelSpec,
     ) -> Result<Vec<TaskId>, RtError> {
+        let nowait = self.nowait;
+        let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let chunks = distribute(range, &self.devices, &self.schedule);
+        let this = Rc::new(self);
+        let coord = resilient.then(|| Coordinator::new(Rc::clone(&this), kernel.clone()));
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
             let device = chunk.device.expect("static chunks are assigned");
-            let t = self.build_target(device, c);
-            let id = t.parallel_for(scope, chunk.range(), kernel.clone())?;
-            ids.push(id);
+            let t = this.build_target(device, c);
+            match &coord {
+                Some(coord) => {
+                    let phases = t.parallel_for_phases(scope, chunk.range(), kernel.clone())?;
+                    crate::resilience::guard(scope, coord, device, chunk.start, chunk.len, phases);
+                    ids.push(phases.exit);
+                }
+                None => ids.push(t.parallel_for(scope, chunk.range(), kernel.clone())?),
+            }
         }
-        if !self.nowait {
+        if !nowait {
             for &id in &ids {
                 scope.drain_task(id)?;
             }

@@ -14,10 +14,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use spread_sim::fault::{FaultEvent, FaultEventKind};
 use spread_sim::Simulator;
 use spread_trace::{Lane, SpanKind, TraceRecorder};
 
 use crate::gate::SerialGate;
+use crate::health::FaultCtx;
 use crate::spec::ComputeModel;
 
 /// One queued kernel launch.
@@ -36,6 +38,10 @@ pub struct KernelOp {
     pub body: Option<Box<dyn FnOnce()>>,
     /// Fires when the modeled execution completes.
     pub on_complete: Box<dyn FnOnce(&mut Simulator)>,
+    /// Fires instead of `on_complete` when the kernel cannot run because
+    /// its device is lost. Required whenever a fault context is attached
+    /// to the engine; without one a surfaced fault panics.
+    pub on_fault: Option<crate::health::OnFault>,
 }
 
 struct Inner {
@@ -44,6 +50,8 @@ struct Inner {
     trace: TraceRecorder,
     /// Default-stream serialization with the device's copy engines.
     gate: Option<SerialGate>,
+    /// Shared fault arbitration; `None` means the engine never faults.
+    fault: Option<FaultCtx>,
     busy: bool,
     queue: VecDeque<KernelOp>,
     completed: u64,
@@ -64,11 +72,25 @@ impl ComputeEngine {
                 model,
                 trace,
                 gate: None,
+                fault: None,
                 busy: false,
                 queue: VecDeque::new(),
                 completed: 0,
             })),
         }
+    }
+
+    /// Attach the run's shared fault context (the same clone every other
+    /// engine of the runtime holds).
+    pub fn set_fault_ctx(&self, ctx: FaultCtx) {
+        self.inner.borrow_mut().fault = Some(ctx);
+    }
+
+    /// Identity of the attached fault context, if any. Debug builds
+    /// assert every engine of a runtime shares one context (a second
+    /// context would mean a second PRNG stream and broken determinism).
+    pub fn fault_ctx_ptr(&self) -> Option<usize> {
+        self.inner.borrow().fault.as_ref().map(|c| c.ptr_id())
     }
 
     /// Serialize this engine with the device's copy engines through a
@@ -118,6 +140,47 @@ impl ComputeEngine {
     }
 
     fn start_op(&self, sim: &mut Simulator, mut op: KernelOp, held_gate: Option<SerialGate>) {
+        // A kernel on a lost device never launches; check BEFORE the body
+        // so no computation happens on a dead device.
+        let fault = self.inner.borrow().fault.clone();
+        if let Some(ctx) = fault {
+            let device = self.inner.borrow().device;
+            if ctx.is_lost(device) {
+                let at = sim.now();
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    let lane = Lane::compute(inner.device);
+                    inner.trace.record(
+                        lane,
+                        SpanKind::Fault,
+                        format!("{}: failed", op.name),
+                        at,
+                        at,
+                        0,
+                    );
+                    inner.busy = false;
+                }
+                if let Some(g) = held_gate {
+                    g.release(sim);
+                }
+                let on_fault = op.on_fault.take().unwrap_or_else(|| {
+                    panic!(
+                        "fault on kernel '{}' with no fault handler installed",
+                        op.name
+                    )
+                });
+                on_fault(
+                    sim,
+                    FaultEvent {
+                        device,
+                        at,
+                        kind: FaultEventKind::DeviceLost,
+                    },
+                );
+                self.maybe_start(sim);
+                return;
+            }
+        }
         if let Some(body) = op.body.take() {
             body();
         }
@@ -187,6 +250,7 @@ mod tests {
             on_complete: Box::new(move |s| {
                 done.borrow_mut().push((n, s.now().as_nanos()));
             }),
+            on_fault: None,
         }
     }
 
@@ -232,6 +296,7 @@ mod tests {
                     }
                 })),
                 on_complete: Box::new(|_| {}),
+                on_fault: None,
             },
         );
         sim.run_until_idle();
@@ -251,6 +316,43 @@ mod tests {
         assert_eq!(s.label, "forces");
         assert_eq!(s.lane, Lane::compute(3));
         assert_eq!(s.duration().as_nanos(), 200);
+    }
+
+    #[test]
+    fn kernel_on_lost_device_faults_without_running_its_body() {
+        let (mut sim, eng, trace) = engine(1);
+        let ctx = crate::health::FaultCtx::new(
+            &spread_sim::FaultPlan::new(0),
+            4,
+            spread_sim::RetryPolicy::default(),
+            8,
+            trace.clone(),
+        );
+        eng.set_fault_ctx(ctx.clone());
+        ctx.mark_lost(&mut sim, 3);
+        let ran = Rc::new(RefCell::new(false));
+        let ran2 = ran.clone();
+        let faults = Rc::new(RefCell::new(Vec::new()));
+        let f2 = faults.clone();
+        eng.enqueue(
+            &mut sim,
+            KernelOp {
+                name: "dead".into(),
+                iters: 10,
+                work_per_iter_ns: 1.0,
+                teams: 1,
+                threads_per_team: 1,
+                body: Some(Box::new(move || *ran2.borrow_mut() = true)),
+                on_complete: Box::new(|_| panic!("must not complete")),
+                on_fault: Some(Box::new(move |_, ev| f2.borrow_mut().push(ev))),
+            },
+        );
+        sim.run_until_idle();
+        assert!(!*ran.borrow(), "body must not run on a lost device");
+        assert_eq!(faults.borrow().len(), 1);
+        assert_eq!(faults.borrow()[0].device, 3);
+        assert_eq!(eng.backlog(), 0);
+        assert_eq!(eng.completed(), 0);
     }
 
     #[test]

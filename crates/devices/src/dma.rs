@@ -19,10 +19,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use spread_sim::fault::{FaultEvent, FaultEventKind};
 use spread_sim::{CapacityId, SharedFlowNet, Simulator};
 use spread_trace::{Lane, SimDuration, SpanKind, TraceRecorder};
 
 use crate::gate::SerialGate;
+use crate::health::{Attempt, FaultCtx};
 
 /// Transfer direction.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -59,6 +61,11 @@ pub struct DmaOp {
     pub effect: Option<Box<dyn FnOnce()>>,
     /// Fires when the modeled transfer completes.
     pub on_complete: Box<dyn FnOnce(&mut Simulator)>,
+    /// Fires instead of `on_complete` when the operation fails fatally
+    /// (retries exhausted or the device is lost). Required whenever a
+    /// fault context is attached to the engine; without one a surfaced
+    /// fault panics rather than being silently dropped.
+    pub on_fault: Option<crate::health::OnFault>,
 }
 
 struct Inner {
@@ -70,6 +77,8 @@ struct Inner {
     trace: TraceRecorder,
     /// Default-stream serialization with the device's other engines.
     gate: Option<SerialGate>,
+    /// Shared fault arbitration; `None` means the engine never faults.
+    fault: Option<FaultCtx>,
     busy: bool,
     queue: VecDeque<DmaOp>,
     completed_ops: u64,
@@ -102,12 +111,27 @@ impl DmaEngine {
                 flownet,
                 trace,
                 gate: None,
+                fault: None,
                 busy: false,
                 queue: VecDeque::new(),
                 completed_ops: 0,
                 total_bytes: 0,
             })),
         }
+    }
+
+    /// Attach the run's shared fault context. Every engine of a runtime
+    /// must receive a clone of the *same* context so fault decisions and
+    /// backoff jitter draw from one run-scoped PRNG.
+    pub fn set_fault_ctx(&self, ctx: FaultCtx) {
+        self.inner.borrow_mut().fault = Some(ctx);
+    }
+
+    /// Identity of the attached fault context, if any. Debug builds
+    /// assert every engine of a runtime shares one context (a second
+    /// context would mean a second PRNG stream and broken determinism).
+    pub fn fault_ctx_ptr(&self) -> Option<usize> {
+        self.inner.borrow().fault.as_ref().map(|c| c.ptr_id())
     }
 
     /// Serialize this engine with the device's other engines through a
@@ -153,15 +177,96 @@ impl DmaEngine {
         };
         let this = self.clone();
         match gate {
-            None => this.start_op(sim, op, None),
+            None => this.start_op(sim, op, None, 0),
             Some(g) => {
                 let g2 = g.clone();
-                g.acquire(sim, Box::new(move |sim| this.start_op(sim, op, Some(g2))));
+                g.acquire(
+                    sim,
+                    Box::new(move |sim| this.start_op(sim, op, Some(g2), 0)),
+                );
             }
         }
     }
 
-    fn start_op(&self, sim: &mut Simulator, mut op: DmaOp, held_gate: Option<SerialGate>) {
+    fn start_op(
+        &self,
+        sim: &mut Simulator,
+        mut op: DmaOp,
+        held_gate: Option<SerialGate>,
+        attempt: u32,
+    ) {
+        // Consult the fault context BEFORE the data effect: a faulted
+        // attempt must not move any data, or retries/recovery would
+        // observe a half-applied copy.
+        let fault = self.inner.borrow().fault.clone();
+        if let Some(ctx) = fault.as_ref() {
+            let (device, dir) = {
+                let inner = self.inner.borrow();
+                (inner.device, inner.dir)
+            };
+            let now = sim.now();
+            match ctx.attempt(device, now) {
+                Attempt::Ok => {}
+                Attempt::Transient => {
+                    let lane = dir.lane(device);
+                    self.inner.borrow().trace.record(
+                        lane,
+                        SpanKind::Fault,
+                        format!("{}: transient", op.label),
+                        now,
+                        now,
+                        0,
+                    );
+                    if attempt < ctx.retry().max_retries {
+                        let delay = ctx.backoff(attempt);
+                        self.inner.borrow().trace.record(
+                            lane,
+                            SpanKind::Retry,
+                            format!("{}: retry {}", op.label, attempt + 1),
+                            now,
+                            now + delay,
+                            0,
+                        );
+                        let this = self.clone();
+                        sim.schedule_after(
+                            delay,
+                            Box::new(move |sim| this.start_op(sim, op, held_gate, attempt + 1)),
+                        );
+                        return;
+                    }
+                    self.fail_op(
+                        sim,
+                        op,
+                        held_gate,
+                        FaultEvent {
+                            device,
+                            at: now,
+                            kind: FaultEventKind::TransientExhausted {
+                                attempts: attempt + 1,
+                            },
+                        },
+                    );
+                    return;
+                }
+                Attempt::Lost => {
+                    // Either the device was already lost or the breaker
+                    // just tripped; mark_lost is idempotent.
+                    ctx.mark_lost(sim, device);
+                    let at = sim.now();
+                    self.fail_op(
+                        sim,
+                        op,
+                        held_gate,
+                        FaultEvent {
+                            device,
+                            at,
+                            kind: FaultEventKind::DeviceLost,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         // The data effect happens at operation start (eager-effects
         // discipline; dependents only run after on_complete).
         if let Some(effect) = op.effect.take() {
@@ -173,17 +278,32 @@ impl DmaEngine {
         sim.schedule_after(
             latency,
             Box::new(move |sim| {
-                let (flownet, caps) = {
+                let (flownet, caps, device, fault) = {
                     let inner = this.inner.borrow();
-                    (inner.flownet.clone(), inner.caps.clone())
+                    (
+                        inner.flownet.clone(),
+                        inner.caps.clone(),
+                        inner.device,
+                        inner.fault.clone(),
+                    )
                 };
                 let this2 = this.clone();
                 let bytes = op.bytes;
+                // Link degradation inflates the *modeled* bytes (a pure
+                // slowdown); the trace keeps the real payload size.
+                let factor = fault
+                    .map(|c| c.link_factor(device, sim.now()))
+                    .unwrap_or(1.0);
+                let modeled = if factor > 1.0 {
+                    (bytes as f64 * factor).ceil() as u64
+                } else {
+                    bytes
+                };
                 let label = std::mem::take(&mut op.label);
                 let on_complete = op.on_complete;
                 flownet.start_flow(
                     sim,
-                    bytes,
+                    modeled,
                     caps,
                     Box::new(move |sim| {
                         {
@@ -206,6 +326,40 @@ impl DmaEngine {
                 );
             }),
         );
+    }
+
+    /// Surface a fatal fault on `op`: free the engine, release the gate,
+    /// hand the event to the op's fault handler, and let the queue drain
+    /// (queued ops behind a lost device fail through their own handlers).
+    fn fail_op(
+        &self,
+        sim: &mut Simulator,
+        mut op: DmaOp,
+        held_gate: Option<SerialGate>,
+        ev: FaultEvent,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let lane = inner.dir.lane(inner.device);
+            inner.trace.record(
+                lane,
+                SpanKind::Fault,
+                format!("{}: failed", op.label),
+                ev.at,
+                ev.at,
+                0,
+            );
+            inner.busy = false;
+        }
+        if let Some(g) = held_gate {
+            g.release(sim);
+        }
+        let on_fault = op
+            .on_fault
+            .take()
+            .unwrap_or_else(|| panic!("fault on '{}' with no fault handler installed", op.label));
+        on_fault(sim, ev);
+        self.maybe_start(sim);
     }
 }
 
@@ -238,6 +392,7 @@ mod tests {
             label: format!("{bytes}B"),
             effect: None,
             on_complete: Box::new(move |s| done.borrow_mut().push(s.now().as_secs_f64())),
+            on_fault: None,
         }
     }
 
@@ -292,6 +447,7 @@ mod tests {
                     label: String::new(),
                     effect: Some(Box::new(move || order2.borrow_mut().push(i))),
                     on_complete: Box::new(|_| {}),
+                    on_fault: None,
                 },
             );
         }
@@ -322,6 +478,133 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(done.borrow().len(), 1);
         assert_eq!(eng.backlog(), 0);
+    }
+
+    fn fault_op(
+        bytes: u64,
+        done: Rc<RefCell<Vec<f64>>>,
+        faults: Rc<RefCell<Vec<FaultEvent>>>,
+    ) -> DmaOp {
+        let mut op = op(bytes, done);
+        op.on_fault = Some(Box::new(move |_, ev| faults.borrow_mut().push(ev)));
+        op
+    }
+
+    fn ctx_for(
+        plan: spread_sim::FaultPlan,
+        retry: spread_sim::RetryPolicy,
+        breaker: u32,
+        trace: &TraceRecorder,
+    ) -> FaultCtx {
+        FaultCtx::new(&plan, 1, retry, breaker, trace.clone())
+    }
+
+    #[test]
+    fn transients_are_absorbed_by_retry() {
+        let (mut sim, eng, trace) = setup(10, 1000.0);
+        let plan =
+            spread_sim::FaultPlan::new(3).transient_copies(0, spread_trace::SimTime::ZERO, 2);
+        eng.set_fault_ctx(ctx_for(
+            plan,
+            spread_sim::RetryPolicy::default(),
+            100,
+            &trace,
+        ));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let faults = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, fault_op(500, done.clone(), faults.clone()));
+        sim.run_until_idle();
+        assert_eq!(done.borrow().len(), 1, "op completed after retries");
+        assert!(faults.borrow().is_empty());
+        assert_eq!(eng.completed_ops(), 1);
+        let spans = trace.snapshot();
+        let n_fault = spans.iter().filter(|s| s.kind == SpanKind::Fault).count();
+        let n_retry = spans.iter().filter(|s| s.kind == SpanKind::Retry).count();
+        assert_eq!(n_fault, 2);
+        assert_eq!(n_retry, 2);
+        // The completion is delayed past the fault-free case by backoff.
+        assert!(done.borrow()[0] > 10e-6 + 0.5);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_fault() {
+        let (mut sim, eng, trace) = setup(10, 1000.0);
+        let plan =
+            spread_sim::FaultPlan::new(3).transient_copies(0, spread_trace::SimTime::ZERO, 5);
+        eng.set_fault_ctx(ctx_for(plan, spread_sim::RetryPolicy::none(), 100, &trace));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let faults = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, fault_op(500, done.clone(), faults.clone()));
+        sim.run_until_idle();
+        assert!(done.borrow().is_empty());
+        let f = faults.borrow();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].device, 0);
+        assert_eq!(
+            f[0].kind,
+            spread_sim::FaultEventKind::TransientExhausted { attempts: 1 }
+        );
+        assert_eq!(eng.backlog(), 0, "engine freed after the fault");
+    }
+
+    #[test]
+    fn lost_device_fails_queued_ops_and_frees_the_engine() {
+        let (mut sim, eng, trace) = setup(10, 1000.0);
+        let ctx = ctx_for(
+            spread_sim::FaultPlan::new(0),
+            spread_sim::RetryPolicy::default(),
+            8,
+            &trace,
+        );
+        eng.set_fault_ctx(ctx.clone());
+        ctx.mark_lost(&mut sim, 0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let faults = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, fault_op(100, done.clone(), faults.clone()));
+        eng.enqueue(&mut sim, fault_op(200, done.clone(), faults.clone()));
+        sim.run_until_idle();
+        assert!(done.borrow().is_empty());
+        assert_eq!(faults.borrow().len(), 2, "both queued ops failed");
+        for ev in faults.borrow().iter() {
+            assert_eq!(ev.kind, spread_sim::FaultEventKind::DeviceLost);
+        }
+        assert_eq!(eng.backlog(), 0);
+    }
+
+    #[test]
+    fn degraded_link_slows_the_transfer_but_moves_real_bytes() {
+        let (mut sim, eng, trace) = setup(0, 100.0);
+        let plan = spread_sim::FaultPlan::new(0).degrade_link(
+            0,
+            spread_trace::SimTime::ZERO,
+            spread_trace::SimTime::from_secs_f64(100.0),
+            2.0,
+        );
+        eng.set_fault_ctx(ctx_for(plan, spread_sim::RetryPolicy::default(), 8, &trace));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(100, done.clone()));
+        sim.run_until_idle();
+        // 100 B at 100 B/s degraded 2× → 2 s instead of 1 s.
+        assert!((done.borrow()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(eng.total_bytes(), 100, "accounting keeps real bytes");
+        assert_eq!(trace.snapshot()[0].bytes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no fault handler installed")]
+    fn fault_without_handler_panics() {
+        let (mut sim, eng, trace) = setup(0, 100.0);
+        let ctx = ctx_for(
+            spread_sim::FaultPlan::new(0),
+            spread_sim::RetryPolicy::default(),
+            8,
+            &trace,
+        );
+        eng.set_fault_ctx(ctx.clone());
+        ctx.mark_lost(&mut sim, 0);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        eng.enqueue(&mut sim, op(1, done));
+        sim.run_until_idle();
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Per-device health tracking and fault arbitration.
+//!
+//! A [`FaultCtx`] is the single shared authority on *what fails when*:
+//! engines consult it before starting every operation, it owns the one
+//! run-scoped PRNG that feeds backoff jitter, and it runs the
+//! circuit-breaker that converts a streak of transient faults into a
+//! permanent device loss. One `FaultCtx` is built per runtime from the
+//! run's [`FaultPlan`] and attached to every engine — sharing the same
+//! context (and therefore the same PRNG) is what keeps faulted runs
+//! byte-identical across replays; [`FaultCtx::ptr_id`] lets the runtime
+//! `debug_assert` that no engine was wired to a stray context.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use spread_prng::Prng;
+use spread_sim::fault::{FaultPlan, PlannedFault, RetryPolicy};
+use spread_sim::{SimDuration, SimTime, Simulator};
+use spread_trace::{Lane, SpanKind, TraceRecorder};
+
+/// Outcome of asking the context whether an attempt may proceed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attempt {
+    /// No fault: run the operation.
+    Ok,
+    /// A transient fault token fired; the engine may back off and retry.
+    Transient,
+    /// The device is (or just became, via the breaker) permanently lost.
+    Lost,
+}
+
+/// Callback fired when a device is marked lost.
+pub type LostHook = Rc<dyn Fn(&mut Simulator, u32)>;
+
+/// Fatal-fault callback carried by DMA and kernel operations: fires
+/// instead of `on_complete` with the surfaced fault.
+pub type OnFault = Box<dyn FnOnce(&mut Simulator, spread_sim::fault::FaultEvent)>;
+
+struct DeviceState {
+    /// Armed transient-fault windows: `(armed_from, remaining_tokens)`.
+    transients: Vec<(SimTime, u32)>,
+    /// Link-degradation windows: `(from, until, factor)`.
+    degrades: Vec<(SimTime, SimTime, f64)>,
+    lost: bool,
+    /// Streak of transient faults with no intervening success.
+    consecutive: u32,
+}
+
+struct Inner {
+    devices: Vec<DeviceState>,
+    retry: RetryPolicy,
+    /// Consecutive transient faults on one device that trip the breaker.
+    breaker: u32,
+    /// The run-scoped PRNG — the only legal source of fault randomness.
+    prng: Prng,
+    on_lost: Vec<LostHook>,
+    trace: TraceRecorder,
+}
+
+/// Shared fault-arbitration context (cheap to clone).
+#[derive(Clone)]
+pub struct FaultCtx {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl FaultCtx {
+    /// Build the context for an `n_devices` machine from a plan.
+    /// Permanent losses in the plan are *not* applied here — the runtime
+    /// schedules them at their virtual instants via
+    /// [`FaultCtx::mark_lost`].
+    pub fn new(
+        plan: &FaultPlan,
+        n_devices: usize,
+        retry: RetryPolicy,
+        breaker: u32,
+        trace: TraceRecorder,
+    ) -> Self {
+        let mut devices: Vec<DeviceState> = (0..n_devices)
+            .map(|_| DeviceState {
+                transients: Vec::new(),
+                degrades: Vec::new(),
+                lost: false,
+                consecutive: 0,
+            })
+            .collect();
+        for f in &plan.faults {
+            match *f {
+                PlannedFault::TransientCopies {
+                    device,
+                    after,
+                    count,
+                } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.transients.push((after, count));
+                    }
+                }
+                PlannedFault::LinkDegrade {
+                    device,
+                    from,
+                    until,
+                    factor,
+                } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.degrades.push((from, until, factor));
+                    }
+                }
+                // Scheduled by the runtime at their virtual instants.
+                PlannedFault::OomSpike { .. } | PlannedFault::DeviceLoss { .. } => {}
+            }
+        }
+        FaultCtx {
+            inner: Rc::new(RefCell::new(Inner {
+                devices,
+                retry,
+                breaker: breaker.max(1),
+                prng: Prng::new(plan.seed),
+                on_lost: Vec::new(),
+                trace,
+            })),
+        }
+    }
+
+    /// A context with no planned faults (engines run clean).
+    pub fn clean(n_devices: usize, trace: TraceRecorder) -> Self {
+        Self::new(
+            &FaultPlan::default(),
+            n_devices,
+            RetryPolicy::default(),
+            u32::MAX,
+            trace,
+        )
+    }
+
+    /// Identity of the underlying shared state — used by the runtime to
+    /// assert (debug builds) that every engine draws fault decisions and
+    /// jitter from the *same* run-scoped context/PRNG.
+    pub fn ptr_id(&self) -> usize {
+        Rc::as_ptr(&self.inner) as usize
+    }
+
+    /// The retry policy in force.
+    pub fn retry(&self) -> RetryPolicy {
+        self.inner.borrow().retry
+    }
+
+    /// Register a hook fired (once) when a device is marked lost.
+    pub fn on_device_lost(&self, hook: LostHook) {
+        self.inner.borrow_mut().on_lost.push(hook);
+    }
+
+    /// True if `device` is permanently lost.
+    pub fn is_lost(&self, device: u32) -> bool {
+        self.inner
+            .borrow()
+            .devices
+            .get(device as usize)
+            .is_some_and(|d| d.lost)
+    }
+
+    /// All currently-lost devices.
+    pub fn lost_devices(&self) -> Vec<u32> {
+        self.inner
+            .borrow()
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.lost)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Arbitrate one copy/kernel attempt on `device` at `now`: consume a
+    /// transient token if one is armed, run the circuit-breaker, reset
+    /// the streak on success.
+    pub fn attempt(&self, device: u32, now: SimTime) -> Attempt {
+        let mut inner = self.inner.borrow_mut();
+        let breaker = inner.breaker;
+        let Some(d) = inner.devices.get_mut(device as usize) else {
+            return Attempt::Ok;
+        };
+        if d.lost {
+            return Attempt::Lost;
+        }
+        let armed = d
+            .transients
+            .iter_mut()
+            .find(|(after, remaining)| *after <= now && *remaining > 0);
+        if let Some((_, remaining)) = armed {
+            *remaining -= 1;
+            d.consecutive += 1;
+            if d.consecutive >= breaker {
+                drop(inner);
+                return Attempt::Lost; // caller must mark_lost
+            }
+            return Attempt::Transient;
+        }
+        d.consecutive = 0;
+        Attempt::Ok
+    }
+
+    /// True if the transient streak on `device` has reached the breaker
+    /// threshold (the device should be marked lost).
+    pub fn breaker_tripped(&self, device: u32) -> bool {
+        let inner = self.inner.borrow();
+        inner
+            .devices
+            .get(device as usize)
+            .is_some_and(|d| !d.lost && d.consecutive >= inner.breaker)
+    }
+
+    /// The backoff before retry `attempt`, jittered from the run-scoped
+    /// PRNG (the only randomness source the fault machinery may use).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let mut inner = self.inner.borrow_mut();
+        let retry = inner.retry;
+        retry.backoff(attempt, &mut inner.prng)
+    }
+
+    /// The link slowdown factor for `device` at `now` (product of all
+    /// active degradation windows; 1.0 when healthy).
+    pub fn link_factor(&self, device: u32, now: SimTime) -> f64 {
+        self.inner
+            .borrow()
+            .devices
+            .get(device as usize)
+            .map(|d| {
+                d.degrades
+                    .iter()
+                    .filter(|(from, until, _)| *from <= now && now < *until)
+                    .map(|(_, _, f)| *f)
+                    .product()
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Mark `device` permanently lost: record a fault span, then fire
+    /// the registered hooks (runtime-side cleanup: presence-table wipe,
+    /// waiter fail-over, construct recovery). Idempotent.
+    pub fn mark_lost(&self, sim: &mut Simulator, device: u32) {
+        let hooks: Vec<LostHook> = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(d) = inner.devices.get_mut(device as usize) else {
+                return;
+            };
+            if d.lost {
+                return;
+            }
+            d.lost = true;
+            let now = sim.now();
+            inner.trace.record(
+                Lane::compute(device),
+                SpanKind::Fault,
+                format!("GPU{device} lost"),
+                now,
+                now,
+                0,
+            );
+            inner.on_lost.clone()
+        };
+        for hook in hooks {
+            hook(sim, device);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn ctx(plan: &FaultPlan, breaker: u32) -> FaultCtx {
+        FaultCtx::new(
+            plan,
+            4,
+            RetryPolicy::default(),
+            breaker,
+            TraceRecorder::disabled(),
+        )
+    }
+
+    #[test]
+    fn tokens_consume_in_window_only() {
+        let c = ctx(&FaultPlan::new(0).transient_copies(1, t(10), 2), 100);
+        // Before the window: clean.
+        assert_eq!(c.attempt(1, t(5)), Attempt::Ok);
+        // Inside: two tokens, then clean again.
+        assert_eq!(c.attempt(1, t(10)), Attempt::Transient);
+        assert_eq!(c.attempt(1, t(11)), Attempt::Transient);
+        assert_eq!(c.attempt(1, t(12)), Attempt::Ok);
+        // Other devices unaffected.
+        assert_eq!(c.attempt(0, t(11)), Attempt::Ok);
+    }
+
+    #[test]
+    fn breaker_trips_after_streak() {
+        let c = ctx(&FaultPlan::new(0).transient_copies(2, t(0), 10), 3);
+        assert_eq!(c.attempt(2, t(0)), Attempt::Transient);
+        assert_eq!(c.attempt(2, t(1)), Attempt::Transient);
+        assert_eq!(c.attempt(2, t(2)), Attempt::Lost);
+        assert!(c.breaker_tripped(2));
+        let mut sim = Simulator::without_trace();
+        c.mark_lost(&mut sim, 2);
+        assert!(c.is_lost(2));
+        assert_eq!(c.lost_devices(), vec![2]);
+        assert_eq!(c.attempt(2, t(3)), Attempt::Lost);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let c = ctx(&FaultPlan::new(0).transient_copies(0, t(0), 2), 3);
+        assert_eq!(c.attempt(0, t(0)), Attempt::Transient);
+        assert_eq!(c.attempt(0, t(1)), Attempt::Transient);
+        // Tokens spent: this succeeds and resets the streak.
+        assert_eq!(c.attempt(0, t(2)), Attempt::Ok);
+        assert!(!c.breaker_tripped(0));
+    }
+
+    #[test]
+    fn degradation_windows_multiply() {
+        let plan = FaultPlan::new(0)
+            .degrade_link(0, t(10), t(20), 2.0)
+            .degrade_link(0, t(15), t(30), 3.0);
+        let c = ctx(&plan, 100);
+        assert_eq!(c.link_factor(0, t(5)), 1.0);
+        assert_eq!(c.link_factor(0, t(12)), 2.0);
+        assert_eq!(c.link_factor(0, t(17)), 6.0);
+        assert_eq!(c.link_factor(0, t(25)), 3.0);
+        assert_eq!(c.link_factor(1, t(17)), 1.0);
+    }
+
+    #[test]
+    fn lost_hooks_fire_once() {
+        let c = ctx(&FaultPlan::new(0), 100);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        c.on_device_lost(Rc::new(move |_, d| h.borrow_mut().push(d)));
+        let mut sim = Simulator::without_trace();
+        c.mark_lost(&mut sim, 3);
+        c.mark_lost(&mut sim, 3);
+        assert_eq!(*hits.borrow(), vec![3]);
+    }
+
+    #[test]
+    fn loss_records_a_fault_span() {
+        let trace = TraceRecorder::new();
+        let c = FaultCtx::new(
+            &FaultPlan::new(0),
+            2,
+            RetryPolicy::default(),
+            8,
+            trace.clone(),
+        );
+        let mut sim = Simulator::new(trace.clone());
+        c.mark_lost(&mut sim, 1);
+        let spans = trace.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Fault);
+        assert_eq!(spans[0].lane, Lane::compute(1));
+    }
+
+    #[test]
+    fn backoff_draws_from_the_shared_prng() {
+        // Two contexts with the same seed produce the same jitter
+        // stream; interleaving draws from one context does not disturb
+        // determinism of the pair.
+        let a = ctx(&FaultPlan::new(9), 8);
+        let b = ctx(&FaultPlan::new(9), 8);
+        let da: Vec<_> = (0..8).map(|i| a.backoff(i)).collect();
+        let db: Vec<_> = (0..8).map(|i| b.backoff(i)).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.ptr_id(), a.clone().ptr_id());
+        assert_ne!(a.ptr_id(), b.ptr_id());
+    }
+}

@@ -23,6 +23,10 @@
 //!   *really execute* at launch (on the host, optionally via a
 //!   [`spread_teams::TeamPool`] upstream) while the modeled duration
 //!   determines virtual time.
+//! * [`health`] — [`FaultCtx`]: the shared fault-arbitration context
+//!   built from a `FaultPlan`; engines consult it before every operation
+//!   and it runs the transient-streak circuit-breaker that converts
+//!   repeated faults into a permanent device loss.
 //! * [`topology`] — [`Topology`]: node descriptions, including the
 //!   calibrated [`Topology::ctepower`] preset that reproduces the
 //!   paper's transfer-bound contention shape.
@@ -34,6 +38,7 @@
 pub mod compute;
 pub mod dma;
 pub mod gate;
+pub mod health;
 pub mod memory;
 pub mod node;
 pub mod spec;
@@ -42,6 +47,7 @@ pub mod topology;
 pub use compute::ComputeEngine;
 pub use dma::{Direction, DmaEngine};
 pub use gate::SerialGate;
+pub use health::{Attempt, FaultCtx, OnFault};
 pub use memory::{AllocId, DeviceMemory, MemoryPool, OutOfMemory};
 pub use node::{DeviceHandle, Node};
 pub use spec::{ComputeModel, DeviceSpec};

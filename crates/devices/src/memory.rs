@@ -139,14 +139,16 @@ impl MemoryPool {
         Ok(id)
     }
 
-    /// Release an allocation. Panics on double free / unknown id.
-    pub fn dealloc(&mut self, id: AllocId) {
-        let (off, len) = self
-            .allocs
-            .remove(&id.0)
-            .unwrap_or_else(|| panic!("dealloc of unknown allocation {id:?}"));
+    /// Release an allocation. Returns `false` on double free / unknown
+    /// id instead of panicking: after a device-loss wipe, in-flight
+    /// constructs legitimately release ids the replacement pool never
+    /// issued.
+    pub fn dealloc(&mut self, id: AllocId) -> bool {
+        let Some((off, len)) = self.allocs.remove(&id.0) else {
+            return false;
+        };
         if len == 0 {
-            return;
+            return true;
         }
         self.used -= len;
         // Coalesce with the predecessor and successor blocks.
@@ -167,6 +169,7 @@ impl MemoryPool {
         }
         let clobbered = self.free.insert(off, len);
         debug_assert!(clobbered.is_none(), "free-list corruption");
+        true
     }
 
     /// Size in bytes of a live allocation.
@@ -203,10 +206,12 @@ impl DeviceMemory {
         Ok(id)
     }
 
-    /// Free a buffer.
-    pub fn dealloc(&mut self, id: AllocId) {
-        self.pool.dealloc(id);
+    /// Free a buffer. Returns `false` if the id is unknown (double free,
+    /// or an id issued before a device-loss wipe).
+    pub fn dealloc(&mut self, id: AllocId) -> bool {
+        let known = self.pool.dealloc(id);
         self.buffers.remove(&id);
+        known
     }
 
     /// Immutable view of a buffer.
@@ -308,12 +313,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown allocation")]
-    fn double_free_panics() {
+    fn double_free_is_reported_not_fatal() {
         let mut p = MemoryPool::new(10);
         let a = p.alloc(4).unwrap();
-        p.dealloc(a);
-        p.dealloc(a);
+        assert!(p.dealloc(a));
+        assert!(!p.dealloc(a), "second free reports the unknown id");
+        assert_eq!(p.used(), 0);
     }
 
     #[test]

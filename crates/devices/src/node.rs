@@ -124,6 +124,17 @@ impl Node {
     pub fn flownet(&self) -> &SharedFlowNet {
         &self.flownet
     }
+
+    /// Attach one shared fault context to every engine of every device.
+    /// All engines must consult the same context so fault decisions and
+    /// backoff jitter draw from a single run-scoped PRNG.
+    pub fn attach_fault_ctx(&self, ctx: &crate::health::FaultCtx) {
+        for d in &self.devices {
+            d.dma_in.set_fault_ctx(ctx.clone());
+            d.dma_out.set_fault_ctx(ctx.clone());
+            d.compute.set_fault_ctx(ctx.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +187,7 @@ mod tests {
                     on_complete: Box::new(move |s| {
                         done.borrow_mut().push((id, s.now().as_secs_f64()));
                     }),
+                    on_fault: None,
                 },
             );
         }
@@ -208,6 +220,7 @@ mod tests {
                 label: String::new(),
                 effect: None,
                 on_complete: Box::new(move |s| *t2.borrow_mut() = s.now().as_secs_f64()),
+                on_fault: None,
             },
         );
         sim.run_until_idle();
@@ -230,6 +243,7 @@ mod tests {
                     label: String::new(),
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                    on_fault: None,
                 },
             );
         }
@@ -268,6 +282,7 @@ mod tests {
                     label: String::new(),
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                    on_fault: None,
                 },
             );
         }
@@ -304,6 +319,7 @@ mod tests {
                     label: String::new(),
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+                    on_fault: None,
                 },
             );
         }

@@ -427,6 +427,27 @@ fn exit_equivalent(t: MapType) -> MapType {
     }
 }
 
+/// The three chained tasks making up one executable `target` construct:
+/// enter mappings → kernel → exit mappings. Returned by
+/// [`Target::parallel_for_phases`] so resilience layers can register
+/// fault handlers for every phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstructIds {
+    /// Phase 1: enter mappings.
+    pub enter: TaskId,
+    /// Phase 2: the kernel.
+    pub kernel: TaskId,
+    /// Phase 3: exit mappings (the id downstream `depend`s see).
+    pub exit: TaskId,
+}
+
+impl ConstructIds {
+    /// All three ids, in phase order.
+    pub fn all(&self) -> [TaskId; 3] {
+        [self.enter, self.kernel, self.exit]
+    }
+}
+
 /// `#pragma omp target [teams distribute parallel for]` — the executable
 /// directive. Offloads a kernel over a loop range to one device.
 #[derive(Clone)]
@@ -437,6 +458,7 @@ pub struct Target {
     deps: Depends,
     num_teams: Option<u32>,
     threads_per_team: Option<u32>,
+    extra_preds: Vec<TaskId>,
 }
 
 impl Target {
@@ -449,6 +471,7 @@ impl Target {
             deps: Depends::default(),
             num_teams: None,
             threads_per_team: None,
+            extra_preds: Vec::new(),
         }
     }
 
@@ -488,6 +511,16 @@ impl Target {
         self
     }
 
+    /// Serialize this construct after arbitrary tasks (beyond `depend`
+    /// matching). Used by the resilient spread layer to order a
+    /// replacement construct after the survivor's own work, which keeps
+    /// the §V-B gap condition satisfied on the survivor's presence
+    /// table.
+    pub fn after(mut self, preds: impl IntoIterator<Item = TaskId>) -> Self {
+        self.extra_preds.extend(preds);
+        self
+    }
+
     /// `num_teams(n)`.
     pub fn num_teams(mut self, n: u32) -> Self {
         self.num_teams = Some(n);
@@ -517,6 +550,24 @@ impl Target {
         range: Range<usize>,
         kernel: KernelSpec,
     ) -> Result<TaskId, RtError> {
+        let nowait = self.nowait;
+        let ids = self.parallel_for_phases(scope, range, kernel)?;
+        if !nowait {
+            scope.drain_task(ids.exit)?;
+        }
+        Ok(ids.exit)
+    }
+
+    /// Like [`Target::parallel_for`], but never blocks (regardless of
+    /// `nowait`) and returns the ids of all three phase tasks, so a
+    /// resilience layer can register a fault handler covering each
+    /// phase and rebuild the construct elsewhere if its device dies.
+    pub fn parallel_for_phases(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<ConstructIds, RtError> {
         for m in &self.maps {
             if matches!(m.map_type, MapType::Release | MapType::Delete) {
                 return Err(RtError::InvalidDirective(format!(
@@ -542,6 +593,7 @@ impl Target {
             let (fp_reads, fp_writes) = enter_footprints(device, &maps);
             let mut spec = TaskSpec::new(format!("{name}-enter(dev{device})"));
             spec.wait_on = self.deps.wait_on();
+            spec.extra_preds = self.extra_preds.clone();
             spec.fp_reads = fp_reads;
             spec.fp_writes = fp_writes;
             let action: Action = Box::new(move |sim, inner_rc, id| {
@@ -604,9 +656,10 @@ impl Target {
             scope.submit(spec, action)
         };
 
-        if !self.nowait {
-            scope.drain_task(exit_id)?;
-        }
-        Ok(exit_id)
+        Ok(ConstructIds {
+            enter: enter_id,
+            kernel: kernel_id,
+            exit: exit_id,
+        })
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use spread_trace::SimDuration;
+
 use crate::section::Section;
 
 /// Errors surfaced by the offloading runtime.
@@ -63,6 +65,45 @@ pub enum RtError {
         /// Explanation.
         String,
     ),
+    /// A transfer kept failing transiently until the retry budget ran
+    /// out. Fatal: the runtime no longer trusts the link.
+    TransientCopy {
+        /// Device the copy targeted.
+        device: u32,
+        /// What was being copied (the transfer label).
+        what: String,
+        /// Attempts made (first try + retries).
+        attempts: u32,
+    },
+    /// The device is permanently lost; the operation (and everything
+    /// mapped on the device) went with it.
+    DeviceLost {
+        /// The lost device.
+        device: u32,
+        /// What was running or requested when the loss surfaced.
+        what: String,
+    },
+    /// A watchdog expired while a blocking construct still waited —
+    /// progress stalled without the simulator going idle.
+    Timeout {
+        /// Description of what was being waited for.
+        waiting_for: String,
+        /// Virtual time spent waiting before the watchdog fired.
+        waited: SimDuration,
+    },
+}
+
+impl RtError {
+    /// True for faults a resilient runtime may retry or route around
+    /// (memory pressure can clear; a transient link error can heal).
+    /// Fatal errors — lost devices, poisoned mappings, malformed
+    /// directives, deadlocks — return false.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RtError::OutOfMemory { .. } | RtError::TransientCopy { .. }
+        )
+    }
 }
 
 impl fmt::Display for RtError {
@@ -104,6 +145,26 @@ impl fmt::Display for RtError {
                 )
             }
             RtError::InvalidDirective(msg) => write!(f, "invalid directive: {msg}"),
+            RtError::TransientCopy {
+                device,
+                what,
+                attempts,
+            } => write!(
+                f,
+                "transient copy errors on device {device} exhausted {attempts} attempts \
+                 transferring {what}"
+            ),
+            RtError::DeviceLost { device, what } => {
+                write!(f, "device {device} lost during {what}")
+            }
+            RtError::Timeout {
+                waiting_for,
+                waited,
+            } => write!(
+                f,
+                "timeout: no progress on {waiting_for} after {:.3} ms",
+                waited.as_secs_f64() * 1e3
+            ),
         }
     }
 }
@@ -115,6 +176,8 @@ mod tests {
     use super::*;
     use crate::section::{ArrayId, Section};
 
+    /// Every variant's message must name the device (where one exists)
+    /// and the thing that failed — operators debug from these strings.
     #[test]
     fn display_messages() {
         let s = Section::new(ArrayId(0), 10, 5);
@@ -125,14 +188,102 @@ mod tests {
         };
         assert!(e.to_string().contains("illegal extension"));
         assert!(e.to_string().contains("device 2"));
+        assert!(e.to_string().contains(&s.to_string()));
         let e = RtError::NotMapped {
             device: 0,
             requested: s,
         };
         assert!(e.to_string().contains("not mapped"));
+        assert!(e.to_string().contains("device 0"));
+        assert!(e.to_string().contains(&s.to_string()));
+        let e = RtError::OutOfMemory {
+            device: 1,
+            requested: s,
+            bytes: 40,
+            free: 16,
+        };
+        assert!(e.to_string().contains("device 1 out of memory"));
+        assert!(e.to_string().contains("40 B"));
+        assert!(e.to_string().contains("16 B free"));
+        let e = RtError::KernelSectionMissing {
+            device: 3,
+            kernel: "forces".into(),
+            requested: s,
+        };
+        assert!(e.to_string().contains("`forces`"));
+        assert!(e.to_string().contains("device 3"));
+        assert!(e.to_string().contains(&s.to_string()));
         let e = RtError::Deadlock {
             waiting_for: "taskgroup 3".into(),
         };
         assert!(e.to_string().contains("deadlock"));
+        assert!(e.to_string().contains("taskgroup 3"));
+        let e = RtError::InvalidDirective("empty device list".into());
+        assert!(e.to_string().contains("invalid directive"));
+        assert!(e.to_string().contains("empty device list"));
+    }
+
+    #[test]
+    fn display_fault_messages() {
+        let e = RtError::TransientCopy {
+            device: 2,
+            what: "u H2D a[0:64)".into(),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("device 2"));
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(e.to_string().contains("u H2D a[0:64)"));
+        let e = RtError::DeviceLost {
+            device: 1,
+            what: "kernel `forces`".into(),
+        };
+        assert!(e.to_string().contains("device 1 lost"));
+        assert!(e.to_string().contains("kernel `forces`"));
+        let e = RtError::Timeout {
+            waiting_for: "task `spread`".into(),
+            waited: SimDuration::from_millis(250),
+        };
+        assert!(e.to_string().contains("timeout"));
+        assert!(e.to_string().contains("task `spread`"));
+        assert!(e.to_string().contains("250.000 ms"));
+    }
+
+    /// Only faults a resilient run can absorb are transient.
+    #[test]
+    fn transient_classification() {
+        let s = Section::new(ArrayId(0), 0, 8);
+        assert!(RtError::OutOfMemory {
+            device: 0,
+            requested: s,
+            bytes: 64,
+            free: 0,
+        }
+        .is_transient());
+        assert!(RtError::TransientCopy {
+            device: 0,
+            what: "x".into(),
+            attempts: 1,
+        }
+        .is_transient());
+        for fatal in [
+            RtError::DeviceLost {
+                device: 0,
+                what: "x".into(),
+            },
+            RtError::Timeout {
+                waiting_for: "x".into(),
+                waited: SimDuration::from_micros(1),
+            },
+            RtError::Deadlock {
+                waiting_for: "x".into(),
+            },
+            RtError::NotMapped {
+                device: 0,
+                requested: s,
+            },
+            RtError::InvalidDirective("x".into()),
+        ] {
+            assert!(!fatal.is_transient(), "{fatal}");
+        }
     }
 }

@@ -28,6 +28,13 @@
 //!   [`TargetEnterData`](directives::TargetEnterData),
 //!   [`TargetExitData`](directives::TargetExitData),
 //!   [`TargetUpdate`](directives::TargetUpdate).
+//! * [`error`] — [`RtError`], including the fault family
+//!   ([`RtError::TransientCopy`], [`RtError::DeviceLost`],
+//!   [`RtError::Timeout`]) surfaced when a
+//!   [`FaultPlan`](spread_sim::FaultPlan) is injected through
+//!   [`RuntimeConfig::with_fault_plan`](runtime::RuntimeConfig::with_fault_plan);
+//!   recovery layers hook task failures with
+//!   [`Scope::on_task_fault`](runtime::Scope::on_task_fault).
 //!
 //! The execution model is *eager effects over a deterministic DES*: a
 //! task's data effects (memcpy, kernel body) run when the task starts in
@@ -48,6 +55,7 @@ pub mod runtime;
 pub mod section;
 pub mod task;
 
+pub use directives::ConstructIds;
 pub use error::RtError;
 pub use host::HostArray;
 pub use kernel::{Access, KernelArg, KernelSpec};

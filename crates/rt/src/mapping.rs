@@ -175,13 +175,20 @@ impl PresenceTable {
     }
 
     /// Remove a dying entry, returning its allocation for deallocation.
-    pub fn finish_exit(&mut self, key: EntryKey) -> AllocId {
-        let e = self
-            .entries
-            .remove(&key)
-            .expect("finish_exit of unknown entry");
+    /// Returns `None` when the entry is already gone — a device-loss
+    /// wipe may race with an in-flight release transfer, and the late
+    /// completion must not be fatal.
+    pub fn finish_exit(&mut self, key: EntryKey) -> Option<AllocId> {
+        let e = self.entries.remove(&key)?;
         debug_assert!(e.dying, "finish_exit of a live entry");
-        e.alloc
+        Some(e.alloc)
+    }
+
+    /// Drop every entry (live and dying) without returning allocations —
+    /// the wipe after a permanent device loss, where the backing memory
+    /// is gone wholesale anyway.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Total elements currently mapped (incl. dying).
@@ -224,8 +231,27 @@ mod tests {
         assert_eq!(t.begin_exit(&sec, false), Ok(ExitDecision::LastRef(key)));
         assert!(t.entry(key).unwrap().dying);
         let freed = t.finish_exit(key);
-        assert_eq!(freed, a);
+        assert_eq!(freed, Some(a));
         assert!(t.is_empty());
+        // A second finish (post-wipe race) reports the entry gone.
+        assert_eq!(t.finish_exit(key), None);
+    }
+
+    #[test]
+    fn clear_wipes_live_and_dying_entries() {
+        let mut t = PresenceTable::new();
+        let mut pool = MemoryPool::new(1 << 20);
+        for sec in [s(0, 10), s(20, 5)] {
+            t.begin_enter(sec).unwrap();
+            let a = alloc_for(&mut pool, &sec);
+            t.insert_fresh(sec, a);
+        }
+        t.begin_exit(&s(0, 10), false).unwrap(); // one dying
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.mapped_elems(), 0);
+        // Freed space is mappable again.
+        assert_eq!(t.begin_enter(s(5, 20)), Ok(EnterDecision::Fresh));
     }
 
     #[test]

@@ -25,8 +25,10 @@ use std::rc::Rc;
 use spread_devices::dma::{Direction, DmaOp};
 use spread_devices::node::{DeviceHandle, Node};
 use spread_devices::topology::Topology;
-use spread_devices::AllocId;
-use spread_sim::{SharedFlowNet, Simulator, TieBreak};
+use spread_devices::{AllocId, DeviceMemory, FaultCtx};
+use spread_sim::{
+    FaultEventKind, FaultPlan, PlannedFault, RetryPolicy, SharedFlowNet, Simulator, TieBreak,
+};
 use spread_teams::TeamPool;
 use spread_trace::{SimDuration, SimTime, Timeline, TraceRecorder};
 
@@ -61,6 +63,19 @@ pub struct RuntimeConfig {
     /// default is FIFO; `spread-check` injects seeded policies to fuzz
     /// over legal schedules.
     pub tie_break: TieBreak,
+    /// Injected faults (`None` = the machine never fails). The plan's
+    /// seed also drives retry-backoff jitter, so a `(program, config)`
+    /// pair replays byte-identically.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy for transient copy errors.
+    pub retry: RetryPolicy,
+    /// Circuit breaker: this many *consecutive* transient faults on one
+    /// device escalate to a permanent loss.
+    pub breaker: u32,
+    /// Watchdog on blocking drains: if a wait makes no progress past
+    /// this much virtual time, it fails with [`RtError::Timeout`]
+    /// instead of spinning (`None` = wait forever).
+    pub watchdog: Option<SimDuration>,
 }
 
 impl RuntimeConfig {
@@ -74,6 +89,10 @@ impl RuntimeConfig {
             trace: true,
             alloc_backpressure: false,
             tie_break: TieBreak::Fifo,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            breaker: 8,
+            watchdog: None,
         }
     }
 
@@ -100,6 +119,30 @@ impl RuntimeConfig {
         self.tie_break = tie_break;
         self
     }
+
+    /// Inject a fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the transient-copy retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the consecutive-fault circuit-breaker threshold.
+    pub fn with_breaker(mut self, n: u32) -> Self {
+        self.breaker = n.max(1);
+        self
+    }
+
+    /// Arm the blocking-drain watchdog.
+    pub fn with_watchdog(mut self, limit: SimDuration) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
 }
 
 /// What an action reports back to the scheduler.
@@ -113,6 +156,21 @@ pub(crate) enum Completion {
 /// A task's action: runs when the task starts in virtual time.
 pub(crate) type Action =
     Box<dyn FnOnce(&mut Simulator, &Rc<RefCell<Inner>>, TaskId) -> Result<Completion, RtError>>;
+
+/// A fault handler shared by the tasks of one construct: fires at most
+/// once (the `Option` is taken), receiving the faulted task and its
+/// error in a fresh [`Scope`].
+pub(crate) type RecoveryHandler =
+    Rc<RefCell<Option<Box<dyn FnOnce(&mut Scope<'_>, TaskId, RtError)>>>>;
+
+/// Registration of a recovery handler for one task.
+pub(crate) struct Recoverer {
+    /// The device whose permanent loss this handler covers. Errors on a
+    /// task whose device is *not* lost still poison the runtime — the
+    /// handler only routes around dead hardware, never around bugs.
+    pub(crate) device: u32,
+    pub(crate) handler: RecoveryHandler,
+}
 
 /// Shared mutable state of the runtime.
 pub(crate) struct Inner {
@@ -132,19 +190,36 @@ pub(crate) struct Inner {
     pub(crate) trace: TraceRecorder,
     pub(crate) default_num_teams: u32,
     pub(crate) default_threads_per_team: u32,
+    /// Shared fault arbitration (`None` = fault-free machine).
+    pub(crate) fault: Option<FaultCtx>,
+    /// Registered recovery handlers, keyed by task.
+    pub(crate) recoverers: std::collections::HashMap<TaskId, Recoverer>,
+    /// Watchdog limit for blocking drains.
+    pub(crate) watchdog: Option<SimDuration>,
 }
 
 impl Inner {
-    /// Validate a device id.
+    /// Validate a device id: it must exist and still be alive. The
+    /// liveness check is the central fail-stop interception point —
+    /// every planner (`plan_enter`, `plan_exit`, `plan_update`,
+    /// `run_kernel`) goes through here, so a directive issued against a
+    /// dead device fails with [`RtError::DeviceLost`] at task start.
     pub(crate) fn check_device(&self, device: u32) -> Result<(), RtError> {
-        if (device as usize) < self.devices.len() {
-            Ok(())
-        } else {
-            Err(RtError::InvalidDirective(format!(
+        if (device as usize) >= self.devices.len() {
+            return Err(RtError::InvalidDirective(format!(
                 "device {device} does not exist (node has {})",
                 self.devices.len()
-            )))
+            )));
         }
+        if let Some(ctx) = &self.fault {
+            if ctx.is_lost(device) {
+                return Err(RtError::DeviceLost {
+                    device,
+                    what: "a directive targeting it".into(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -261,8 +336,9 @@ impl Inner {
             match self.presence[d].begin_exit(&s, false) {
                 Ok(ExitDecision::Keep(_)) => {}
                 Ok(ExitDecision::LastRef(key)) => {
-                    let alloc = self.presence[d].finish_exit(key);
-                    self.devices[d].mem.borrow_mut().dealloc(alloc);
+                    if let Some(alloc) = self.presence[d].finish_exit(key) {
+                        self.devices[d].mem.borrow_mut().dealloc(alloc);
+                    }
                 }
                 Err(_) => unreachable!("undoing a reuse we just made"),
             }
@@ -274,8 +350,9 @@ impl Inner {
                 .section;
             match self.presence[d].begin_exit(&sec, true) {
                 Ok(ExitDecision::LastRef(k)) => {
-                    let a = self.presence[d].finish_exit(k);
-                    self.devices[d].mem.borrow_mut().dealloc(a);
+                    if let Some(a) = self.presence[d].finish_exit(k) {
+                        self.devices[d].mem.borrow_mut().dealloc(a);
+                    }
                 }
                 _ => unreachable!("undoing a fresh insert we just made"),
             }
@@ -438,11 +515,81 @@ pub(crate) fn start_task(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, id:
         Some(action) => match action(sim, inner_rc, id) {
             Ok(Completion::Done) => complete_task(sim, inner_rc, id),
             Ok(Completion::Async) => {}
-            Err(e) => {
-                let mut inner = inner_rc.borrow_mut();
-                inner.error.get_or_insert(e);
-            }
+            Err(e) => task_failed(sim, inner_rc, id, e),
         },
+    }
+}
+
+/// Route a task failure: if the task has a registered recovery handler
+/// *and* the handler's device really is lost, the handler runs (once)
+/// with a fresh [`Scope`] — it is responsible for eventually completing
+/// the faulted task. Every other failure poisons the runtime
+/// (fail-stop, the default).
+pub(crate) fn task_failed(
+    sim: &mut Simulator,
+    inner_rc: &Rc<RefCell<Inner>>,
+    id: TaskId,
+    err: RtError,
+) {
+    let handler = {
+        let inner = inner_rc.borrow();
+        match inner.recoverers.get(&id) {
+            Some(r)
+                if inner
+                    .fault
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.is_lost(r.device)) =>
+            {
+                r.handler.borrow_mut().take()
+            }
+            _ => None,
+        }
+    };
+    match handler {
+        Some(h) => {
+            let mut scope = Scope {
+                sim,
+                inner: inner_rc,
+            };
+            h(&mut scope, id, err);
+        }
+        None => {
+            inner_rc.borrow_mut().error.get_or_insert(err);
+        }
+    }
+}
+
+/// Cleanup after a permanent device loss (runs as a [`FaultCtx`] hook):
+/// the device's memory contents are gone, so every mapping on it is
+/// wiped and its allocator reset; enter tasks parked on its memory can
+/// never be satisfied and fail with [`RtError::DeviceLost`].
+pub(crate) fn device_lost_cleanup(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, device: u32) {
+    let stranded = {
+        let mut inner = inner_rc.borrow_mut();
+        let d = device as usize;
+        inner.presence[d].clear();
+        let capacity = inner.devices[d].mem.borrow().pool().capacity();
+        *inner.devices[d].mem.borrow_mut() = DeviceMemory::new(capacity);
+        let mut stranded = Vec::new();
+        inner.mem_waiters.retain(|(dd, id, _)| {
+            let mine = *dd == device;
+            if mine {
+                stranded.push(*id);
+            }
+            !mine
+        });
+        stranded
+    };
+    for id in stranded {
+        task_failed(
+            sim,
+            inner_rc,
+            id,
+            RtError::DeviceLost {
+                device,
+                what: "a mapping parked for device memory".into(),
+            },
+        );
     }
 }
 
@@ -454,9 +601,22 @@ pub(crate) fn complete_task(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, 
     }
 }
 
+/// A device→host copy captured at its virtual start, committed to host
+/// memory only when the whole transfer set succeeds.
+type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>);
+
 /// Enqueue a set of planned copies as DMA operations; when all complete,
 /// run the cleanup (presence removal + dealloc for exits) and complete
 /// the task.
+///
+/// D2H copies are *staged*: their effect snapshots the device buffer at
+/// the copy's virtual start, but host memory is only written when every
+/// copy of the set has succeeded. If any copy faults (a device dying
+/// mid-exit), the host keeps its old data wholesale — a recovery
+/// handler can then replay the construct from an unharmed host image
+/// instead of one with a half-written mix. For race-free programs this
+/// is observationally equivalent to eager host writes, because
+/// dependent tasks only start after the transfer task completes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_transfers(
     sim: &mut Simulator,
@@ -468,15 +628,30 @@ pub(crate) fn run_transfers(
     to_free: Vec<EntryKey>,
 ) {
     let total = in_copies.len() + out_copies.len();
+    let staged: Rc<RefCell<Vec<StagedWrite>>> = Rc::new(RefCell::new(Vec::new()));
+    let failed: Rc<RefCell<Option<RtError>>> = Rc::new(RefCell::new(None));
     let finish = {
         let inner_rc = Rc::clone(inner_rc);
+        let staged = Rc::clone(&staged);
+        let failed = Rc::clone(&failed);
         move |sim: &mut Simulator| {
+            if let Some(err) = failed.borrow_mut().take() {
+                // No host writes, no presence cleanup: the dying entries
+                // (if any) were wiped by the device-loss hook, and a
+                // poisoned runtime never reuses them.
+                task_failed(sim, &inner_rc, task, err);
+                return;
+            }
+            for (store, sec, data) in staged.borrow_mut().drain(..) {
+                store.borrow_mut()[sec.range()].copy_from_slice(&data);
+            }
             let freed = {
                 let mut inner = inner_rc.borrow_mut();
                 let d = device as usize;
                 for key in &to_free {
-                    let alloc = inner.presence[d].finish_exit(*key);
-                    inner.devices[d].mem.borrow_mut().dealloc(alloc);
+                    if let Some(alloc) = inner.presence[d].finish_exit(*key) {
+                        inner.devices[d].mem.borrow_mut().dealloc(alloc);
+                    }
                 }
                 !to_free.is_empty()
             };
@@ -508,15 +683,22 @@ pub(crate) fn run_transfers(
                     let buf = mem.buffer_mut(alloc);
                     buf[off..off + sec.len].copy_from_slice(&host[sec.range()]);
                 }),
-                Direction::Out => Box::new(move || {
-                    let mut host = host_store.borrow_mut();
-                    let mem = mem.borrow();
-                    let buf = mem.buffer(alloc);
-                    host[sec.range()].copy_from_slice(&buf[off..off + sec.len]);
-                }),
+                Direction::Out => {
+                    let staged = Rc::clone(&staged);
+                    Box::new(move || {
+                        let mem = mem.borrow();
+                        let buf = mem.buffer(alloc);
+                        let data = buf[off..off + sec.len].to_vec();
+                        staged.borrow_mut().push((host_store, sec, data));
+                    })
+                }
             };
             let remaining = Rc::clone(&remaining);
             let finish = Rc::clone(&finish);
+            let fin2 = Rc::clone(&finish);
+            let rem2 = Rc::clone(&remaining);
+            let failed = Rc::clone(&failed);
+            let what = c.label.clone();
             let engine = match dir {
                 Direction::In => dev.dma_in.clone(),
                 Direction::Out => dev.dma_out.clone(),
@@ -534,6 +716,27 @@ pub(crate) fn run_transfers(
                             f(sim);
                         }
                     }),
+                    on_fault: Some(Box::new(move |sim, ev| {
+                        let err = match ev.kind {
+                            FaultEventKind::TransientExhausted { attempts } => {
+                                RtError::TransientCopy {
+                                    device: ev.device,
+                                    what,
+                                    attempts,
+                                }
+                            }
+                            FaultEventKind::DeviceLost => RtError::DeviceLost {
+                                device: ev.device,
+                                what,
+                            },
+                        };
+                        failed.borrow_mut().get_or_insert(err);
+                        rem2.set(rem2.get() - 1);
+                        if rem2.get() == 0 {
+                            let f = fin2.borrow_mut().take().expect("finish once");
+                            f(sim);
+                        }
+                    })),
                 },
             );
         }
@@ -587,6 +790,8 @@ pub(crate) fn run_kernel(
         kernel::execute_on_device(&mut mem, &pool, schedule, exec_range, &body, &resolved);
     });
     let inner_rc2 = Rc::clone(inner_rc);
+    let inner_rc3 = Rc::clone(inner_rc);
+    let kname = spec.name.clone();
     dev.compute.enqueue(
         sim,
         spread_devices::compute::KernelOp {
@@ -597,6 +802,17 @@ pub(crate) fn run_kernel(
             threads_per_team,
             body: Some(exec),
             on_complete: Box::new(move |sim| complete_task(sim, &inner_rc2, task)),
+            on_fault: Some(Box::new(move |sim, ev| {
+                task_failed(
+                    sim,
+                    &inner_rc3,
+                    task,
+                    RtError::DeviceLost {
+                        device: ev.device,
+                        what: format!("kernel `{kname}`"),
+                    },
+                );
+            })),
         },
     );
     Ok(())
@@ -616,10 +832,26 @@ impl Runtime {
         } else {
             TraceRecorder::disabled()
         };
-        let sim = Simulator::with_tie_break(trace.clone(), cfg.tie_break);
+        let mut sim = Simulator::with_tie_break(trace.clone(), cfg.tie_break);
         let node = Node::new(&cfg.topology, &trace);
         let n = node.n_devices();
         let flownet = node.flownet().clone();
+        let fault = cfg.fault_plan.as_ref().map(|plan| {
+            let ctx = FaultCtx::new(plan, n, cfg.retry, cfg.breaker, trace.clone());
+            node.attach_fault_ctx(&ctx);
+            ctx
+        });
+        // Determinism guard: every engine must consult the ONE run-scoped
+        // context — backoff jitter and fault sampling draw from its
+        // single seeded PRNG, never from a second stream.
+        #[cfg(debug_assertions)]
+        if let Some(ctx) = &fault {
+            for d in node.devices() {
+                debug_assert_eq!(d.dma_in.fault_ctx_ptr(), Some(ctx.ptr_id()));
+                debug_assert_eq!(d.dma_out.fault_ctx_ptr(), Some(ctx.ptr_id()));
+                debug_assert_eq!(d.compute.fault_ctx_ptr(), Some(ctx.ptr_id()));
+            }
+        }
         let inner = Inner {
             host: HostRegistry::new(),
             devices: node.devices().to_vec(),
@@ -636,11 +868,67 @@ impl Runtime {
             trace,
             default_num_teams: cfg.default_num_teams,
             default_threads_per_team: cfg.default_threads_per_team,
+            fault: fault.clone(),
+            recoverers: std::collections::HashMap::new(),
+            watchdog: cfg.watchdog,
         };
-        Runtime {
-            sim,
-            inner: Rc::new(RefCell::new(inner)),
+        let inner = Rc::new(RefCell::new(inner));
+        if let (Some(ctx), Some(plan)) = (&fault, cfg.fault_plan.as_ref()) {
+            // The loss hook closes over a Weak handle: the context lives
+            // inside `inner` (via the engines), so a strong Rc here would
+            // leak the whole runtime — device buffers included — every
+            // time the fuzzer builds one.
+            let weak = Rc::downgrade(&inner);
+            ctx.on_device_lost(Rc::new(move |sim, d| {
+                if let Some(rc) = weak.upgrade() {
+                    device_lost_cleanup(sim, &rc, d);
+                }
+            }));
+            for (d, at) in plan.losses() {
+                if (d as usize) < n {
+                    let ctx = ctx.clone();
+                    sim.schedule_at(at, Box::new(move |sim| ctx.mark_lost(sim, d)));
+                }
+            }
+            for f in &plan.faults {
+                let PlannedFault::OomSpike {
+                    device,
+                    at,
+                    bytes,
+                    duration,
+                } = *f
+                else {
+                    continue;
+                };
+                if device as usize >= n {
+                    continue;
+                }
+                let mem = inner.borrow().devices[device as usize].mem.clone();
+                let held: Rc<std::cell::Cell<Option<AllocId>>> =
+                    Rc::new(std::cell::Cell::new(None));
+                let (mem2, held2) = (mem.clone(), Rc::clone(&held));
+                sim.schedule_at(
+                    at,
+                    Box::new(move |_| {
+                        let elems = (bytes as usize).div_ceil(8).max(1);
+                        held2.set(mem2.borrow_mut().alloc_elems(elems).ok());
+                    }),
+                );
+                let weak = Rc::downgrade(&inner);
+                sim.schedule_at(
+                    at + duration,
+                    Box::new(move |sim| {
+                        if let Some(id) = held.take() {
+                            mem.borrow_mut().dealloc(id);
+                            if let Some(rc) = weak.upgrade() {
+                                retry_mem_waiters(sim, &rc, device);
+                            }
+                        }
+                    }),
+                );
+            }
         }
+        Runtime { sim, inner }
     }
 
     /// Open a scope for issuing directives.
@@ -855,12 +1143,17 @@ impl Scope<'_> {
         id
     }
 
-    /// Drain until `cond` holds on the runtime state.
+    /// Drain until `cond` holds on the runtime state. Fails with
+    /// [`RtError::Deadlock`] if the simulator goes idle first, or with
+    /// [`RtError::Timeout`] if a configured watchdog expires in virtual
+    /// time before the condition holds.
     pub(crate) fn drain_until(
         &mut self,
         cond: impl Fn(&Inner) -> bool,
         what: &str,
     ) -> Result<(), RtError> {
+        let started = self.sim.now();
+        let watchdog = self.inner.borrow().watchdog;
         loop {
             {
                 let inner = self.inner.borrow();
@@ -869,6 +1162,17 @@ impl Scope<'_> {
                 }
                 if cond(&inner) {
                     return Ok(());
+                }
+            }
+            if let Some(limit) = watchdog {
+                let waited = self.sim.now() - started;
+                if waited > limit {
+                    let err = RtError::Timeout {
+                        waiting_for: what.to_string(),
+                        waited,
+                    };
+                    self.inner.borrow_mut().error.get_or_insert(err.clone());
+                    return Err(err);
                 }
             }
             if !self.sim.step() {
@@ -1024,6 +1328,90 @@ impl Scope<'_> {
     /// error wins; subsequent drains return it.
     pub fn fail(&mut self, err: RtError) {
         self.inner.borrow_mut().error.get_or_insert(err);
+    }
+
+    /// Devices permanently lost so far (empty without a fault plan).
+    pub fn lost_devices(&self) -> Vec<u32> {
+        self.inner
+            .borrow()
+            .fault
+            .as_ref()
+            .map(|c| c.lost_devices())
+            .unwrap_or_default()
+    }
+
+    /// True if `device` is permanently lost.
+    pub fn is_device_lost(&self, device: u32) -> bool {
+        self.inner
+            .borrow()
+            .fault
+            .as_ref()
+            .is_some_and(|c| c.is_lost(device))
+    }
+
+    /// The trace recorder (recovery layers record redistribution spans).
+    pub fn trace(&self) -> TraceRecorder {
+        self.inner.borrow().trace.clone()
+    }
+
+    /// Register `handler` as the recovery handler of every task in
+    /// `ids` (the phases of one construct). If any of them fails while
+    /// `device` is permanently lost, the handler runs once with a fresh
+    /// scope, the faulted task id, and the error; the other registered
+    /// tasks are left to the handler (typically
+    /// [`Scope::neutralize_task`]). The handler — or a completion chain
+    /// it builds — must eventually [`Scope::force_complete`] the
+    /// faulted task, or the program deadlocks.
+    ///
+    /// Failures unrelated to the registered device loss still poison
+    /// the runtime: resilience routes around dead hardware, not bugs.
+    pub fn on_task_fault(
+        &mut self,
+        ids: &[TaskId],
+        device: u32,
+        handler: impl FnOnce(&mut Scope<'_>, TaskId, RtError) + 'static,
+    ) {
+        let handler: RecoveryHandler = Rc::new(RefCell::new(Some(Box::new(handler))));
+        let mut inner = self.inner.borrow_mut();
+        for &id in ids {
+            inner.recoverers.insert(
+                id,
+                Recoverer {
+                    device,
+                    handler: Rc::clone(&handler),
+                },
+            );
+        }
+    }
+
+    /// Turn a not-yet-started task into a no-op: its action is replaced
+    /// (it will touch nothing when its turn comes) and its footprints
+    /// are erased so replacement work does not race against it. Its
+    /// dependence edges survive, so the construct's completion still
+    /// cascades in order.
+    pub fn neutralize_task(&mut self, id: TaskId) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.graph.is_finished(id) {
+            return;
+        }
+        inner
+            .actions
+            .insert(id, Box::new(|_, _, _| Ok(Completion::Done)));
+        inner.graph.clear_footprints(id);
+    }
+
+    /// Erase a faulted *running* task's footprints: its operation was
+    /// aborted by the fault, so replacement work covering the same
+    /// sections is not a race.
+    pub fn forgive_task_footprints(&mut self, id: TaskId) {
+        self.inner.borrow_mut().graph.clear_footprints(id);
+    }
+
+    /// Complete a faulted task from a recovery handler, releasing its
+    /// successors. Only valid for a task that is running and will never
+    /// complete on its own (its device died under it).
+    pub fn force_complete(&mut self, id: TaskId) {
+        complete_task(self.sim, self.inner, id);
     }
 }
 

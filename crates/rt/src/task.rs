@@ -419,6 +419,20 @@ impl TaskGraph {
             out.push(id);
         }
     }
+
+    /// Erase a task's footprints. Used when a fault handler *neutralizes*
+    /// a not-yet-started task (its action becomes a no-op, so it touches
+    /// nothing) or *forgives* a faulted running task (its operation was
+    /// aborted mid-flight; replacement work covering the same sections
+    /// must not be flagged as racing with a corpse).
+    pub fn clear_footprints(&mut self, id: TaskId) {
+        let t = self
+            .tasks
+            .get_mut(&id.0)
+            .expect("clear_footprints of unknown task");
+        t.fp_reads.clear();
+        t.fp_writes.clear();
+    }
 }
 
 /// First conflicting overlap between two footprints (W∩W, W∩R, R∩W),
@@ -685,6 +699,25 @@ mod tests {
         assert!(g.races().is_empty());
         g.finish(a);
         g.finish(b);
+    }
+
+    #[test]
+    fn cleared_footprints_do_not_race() {
+        let mut g = TaskGraph::new();
+        let mut s1 = spec("faulted-writer");
+        s1.fp_writes = vec![FpAccess::host(sec(0, 10))];
+        let (w, _) = g.create(s1);
+        let mut s2 = spec("replacement");
+        s2.fp_writes = vec![FpAccess::host(sec(0, 10))];
+        let (r, _) = g.create(s2);
+        g.start(w);
+        // The writer faulted: its in-flight work is aborted, so the
+        // replacement covering the same section is not a race.
+        g.clear_footprints(w);
+        g.start(r);
+        assert!(g.races().is_empty());
+        g.finish(w);
+        g.finish(r);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Deterministic fault plans and retry policies.
+//!
+//! A [`FaultPlan`] describes *what goes wrong* during a run, pinned to
+//! virtual time so the same plan replayed under the same seed produces a
+//! byte-identical event history. Four fault classes model the failure
+//! modes of a real multi-GPU node:
+//!
+//! * **transient copy errors** — a DMA operation fails (ECC hiccup,
+//!   retryable driver error) but the engine may try again;
+//! * **link degradation** — a device's interconnect runs at a fraction
+//!   of its bandwidth for a window (a straggler);
+//! * **device-OOM spikes** — a slab of device memory disappears for a
+//!   while (another tenant, fragmentation), pressuring the allocator;
+//! * **permanent device loss** — the device falls off the bus and never
+//!   comes back.
+//!
+//! Transient faults are *token-based*, not per-operation-probabilistic:
+//! the plan grants a device a budget of `count` copy failures armed from
+//! a virtual instant onward, and the device's engines consume the tokens
+//! on their next attempts. A probabilistic per-op coin flip would make
+//! the fault pattern depend on the event interleaving and break the
+//! conformance oracle; tokens keep the *semantic* outcome
+//! schedule-independent while the *timing* still varies.
+//!
+//! All randomness (plan generation, backoff jitter) flows through
+//! [`spread_prng::Prng`] seeded from the plan, never from ambient
+//! entropy — see [`RetryPolicy::backoff`].
+
+use spread_prng::Prng;
+use spread_trace::{SimDuration, SimTime};
+
+/// One planned fault, pinned to virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlannedFault {
+    /// Arm `count` transient copy failures on `device` from `after`
+    /// onward: the next `count` DMA attempts on that device (in either
+    /// direction) fail with a retryable error.
+    TransientCopies {
+        /// Target device.
+        device: u32,
+        /// Tokens are armed from this instant.
+        after: SimTime,
+        /// Number of attempts that will fail.
+        count: u32,
+    },
+    /// Between `from` and `until`, `device`'s transfers move `factor`×
+    /// as many modeled bytes (factor ≥ 1: a slowdown). Data still
+    /// arrives intact — this is a timing-only fault.
+    LinkDegrade {
+        /// Target device.
+        device: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// Slowdown factor (≥ 1).
+        factor: f64,
+    },
+    /// At `at`, `bytes` of `device`'s memory vanish (reserved by the
+    /// fault injector) and come back after `duration`.
+    OomSpike {
+        /// Target device.
+        device: u32,
+        /// Spike start.
+        at: SimTime,
+        /// Bytes reserved.
+        bytes: u64,
+        /// Spike length.
+        duration: SimDuration,
+    },
+    /// At `at`, `device` is permanently lost: every subsequent operation
+    /// on it fails fatally and its memory contents are gone.
+    DeviceLoss {
+        /// Target device.
+        device: u32,
+        /// Instant of death.
+        at: SimTime,
+    },
+}
+
+impl PlannedFault {
+    /// The device this fault targets.
+    pub fn device(&self) -> u32 {
+        match *self {
+            PlannedFault::TransientCopies { device, .. }
+            | PlannedFault::LinkDegrade { device, .. }
+            | PlannedFault::OomSpike { device, .. }
+            | PlannedFault::DeviceLoss { device, .. } => device,
+        }
+    }
+}
+
+/// A seeded, fully deterministic fault schedule.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every random draw the fault machinery makes (backoff
+    /// jitter, generated plans). Two runs with the same plan are
+    /// byte-identical.
+    pub seed: u64,
+    /// The planned faults, in no particular order.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing fails) with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Add armed transient copy failures.
+    pub fn transient_copies(mut self, device: u32, after: SimTime, count: u32) -> Self {
+        self.faults.push(PlannedFault::TransientCopies {
+            device,
+            after,
+            count,
+        });
+        self
+    }
+
+    /// Add a link-degradation window.
+    pub fn degrade_link(mut self, device: u32, from: SimTime, until: SimTime, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.faults.push(PlannedFault::LinkDegrade {
+            device,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Add a device-OOM spike.
+    pub fn oom_spike(
+        mut self,
+        device: u32,
+        at: SimTime,
+        bytes: u64,
+        duration: SimDuration,
+    ) -> Self {
+        self.faults.push(PlannedFault::OomSpike {
+            device,
+            at,
+            bytes,
+            duration,
+        });
+        self
+    }
+
+    /// Add a permanent device loss.
+    pub fn lose_device(mut self, device: u32, at: SimTime) -> Self {
+        self.faults.push(PlannedFault::DeviceLoss { device, at });
+        self
+    }
+
+    /// True if the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Devices permanently lost by this plan, with their loss instants.
+    pub fn losses(&self) -> Vec<(u32, SimTime)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                PlannedFault::DeviceLoss { device, at } => Some((device, at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Derive a random plan for an `n_devices` machine from a seed: a
+    /// few transient bursts and degradation windows inside `horizon`,
+    /// and (with probability ½) one device lost mid-run. Fully
+    /// deterministic in `seed`.
+    pub fn generate(seed: u64, n_devices: usize, horizon: SimDuration) -> Self {
+        assert!(n_devices > 0, "generate needs at least one device");
+        let mut r = Prng::new(seed);
+        let mut plan = FaultPlan::new(seed);
+        let ns = horizon.as_nanos().max(1);
+        let instant = |r: &mut Prng| SimTime::from_nanos(r.below(ns));
+        for _ in 0..r.range(0, 3) {
+            let d = r.below(n_devices as u64) as u32;
+            let at = instant(&mut r);
+            plan = plan.transient_copies(d, at, r.range(1, 4) as u32);
+        }
+        for _ in 0..r.range(0, 2) {
+            let d = r.below(n_devices as u64) as u32;
+            let from = instant(&mut r);
+            let until = from + SimDuration::from_nanos(r.below(ns));
+            plan = plan.degrade_link(d, from, until, 1.0 + 3.0 * r.f64());
+        }
+        if n_devices > 1 && r.chance(0.5) {
+            let d = r.below(n_devices as u64) as u32;
+            plan = plan.lose_device(d, instant(&mut r));
+        }
+        plan
+    }
+}
+
+/// Bounded-retry policy with deterministic exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Backoff ceiling.
+    pub cap: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor
+    /// drawn uniformly from `[1 − jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: SimDuration::from_micros(20),
+            cap: SimDuration::from_millis(10),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// in `attempt`, capped, jittered. The jitter draw comes from the
+    /// caller's run-scoped PRNG — the *only* legal randomness source, so
+    /// two runs with the same plan seed back off identically.
+    pub fn backoff(&self, attempt: u32, prng: &mut Prng) -> SimDuration {
+        let exp = self.base * 2u64.saturating_pow(attempt.min(32));
+        let capped = exp.min(self.cap);
+        let j = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - j / 2.0 + j * prng.f64();
+        capped * scale
+    }
+}
+
+/// What finally went wrong with an operation, reported to its `on_fault`
+/// handler after the engine's internal retries are spent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// The device the operation targeted.
+    pub device: u32,
+    /// Virtual instant the fault surfaced.
+    pub at: SimTime,
+    /// Fault classification.
+    pub kind: FaultEventKind,
+}
+
+/// Classification of a surfaced fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEventKind {
+    /// Transient copy errors persisted through every allowed retry.
+    TransientExhausted {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+    },
+    /// The device is permanently lost.
+    DeviceLost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000)
+    }
+
+    #[test]
+    fn builder_accumulates_faults() {
+        let p = FaultPlan::new(7)
+            .transient_copies(1, us(10), 2)
+            .degrade_link(0, us(0), us(50), 2.0)
+            .oom_spike(2, us(5), 1 << 20, SimDuration::from_micros(30))
+            .lose_device(3, us(40));
+        assert_eq!(p.faults.len(), 4);
+        assert_eq!(p.losses(), vec![(3, us(40))]);
+        assert!(!p.is_empty());
+        assert_eq!(p.faults[0].device(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn speedup_degradation_rejected() {
+        let _ = FaultPlan::new(0).degrade_link(0, us(0), us(1), 0.5);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = FaultPlan::generate(11, 4, SimDuration::from_millis(5));
+        let b = FaultPlan::generate(11, 4, SimDuration::from_millis(5));
+        assert_eq!(a, b);
+        // Some seed in a small range must produce a loss and a transient.
+        let plans: Vec<FaultPlan> = (0..32)
+            .map(|s| FaultPlan::generate(s, 4, SimDuration::from_millis(5)))
+            .collect();
+        assert!(plans.iter().any(|p| !p.losses().is_empty()));
+        assert!(plans.iter().any(|p| p
+            .faults
+            .iter()
+            .any(|f| matches!(f, PlannedFault::TransientCopies { .. }))));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let pol = RetryPolicy {
+            max_retries: 8,
+            base: SimDuration::from_micros(10),
+            cap: SimDuration::from_micros(100),
+            jitter: 0.0,
+        };
+        let mut r = Prng::new(1);
+        assert_eq!(pol.backoff(0, &mut r), SimDuration::from_micros(10));
+        assert_eq!(pol.backoff(1, &mut r), SimDuration::from_micros(20));
+        assert_eq!(pol.backoff(2, &mut r), SimDuration::from_micros(40));
+        // Capped from attempt 4 onward.
+        assert_eq!(pol.backoff(5, &mut r), SimDuration::from_micros(100));
+        assert_eq!(pol.backoff(31, &mut r), SimDuration::from_micros(100));
+
+        // With jitter: same PRNG stream → same delays; the spread stays
+        // inside [1 - j/2, 1 + j/2] × base.
+        let pol = RetryPolicy { jitter: 0.5, ..pol };
+        let seq = |seed| {
+            let mut r = Prng::new(seed);
+            (0..16).map(|_| pol.backoff(0, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        for d in seq(42) {
+            let f = d.as_secs_f64() / SimDuration::from_micros(10).as_secs_f64();
+            assert!((0.75..=1.25).contains(&f), "jitter factor {f}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_none_fails_fast() {
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+}

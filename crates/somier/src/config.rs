@@ -271,6 +271,18 @@ impl SomierConfig {
         )
     }
 
+    /// Like [`SomierConfig::runtime`], with a fault plan injected — the
+    /// machine for the resilience experiments.
+    pub fn runtime_with_faults(&self, n_gpus: usize, plan: spread_sim::FaultPlan) -> Runtime {
+        Runtime::new(
+            RuntimeConfig::new(self.topology(n_gpus))
+                .with_team_threads(self.team_threads)
+                .with_trace(self.trace)
+                .with_alloc_backpressure(true)
+                .with_fault_plan(plan),
+        )
+    }
+
     /// Per-plane modeled kernel cost (the `work_per_iter_ns` of a kernel
     /// whose iteration is one plane).
     pub fn plane_cost(&self, per_elem_ns: f64) -> f64 {

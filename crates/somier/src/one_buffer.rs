@@ -380,6 +380,127 @@ pub(crate) fn build_range_pipeline(
     Ok(stage4)
 }
 
+/// One Buffer with self-contained per-construct maps and a
+/// `spread_resilience(…)` clause: the robustness variant for
+/// fault-injected machines.
+///
+/// Unlike [`run_spread`], which holds mappings across the five kernels
+/// through enter/exit data-spread directives, every construct here maps
+/// its own inputs in and results out and blocks before the next stage.
+/// That makes each per-chunk construct a self-contained unit of
+/// recovery: when a device dies mid-run, the runtime replays the whole
+/// construct — enter mappings included — on a survivor from the
+/// unharmed host image (device→host writes commit only on construct
+/// completion), so the recovered run is bit-identical to a fault-free
+/// one. Under [`ResiliencePolicy::FailStop`] the same program instead
+/// reports the loss deterministically.
+pub fn run_spread_resilient(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+    policy: ResiliencePolicy,
+) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let chunk = (b1 - b0).div_ceil(n_gpus);
+                let spread = || {
+                    TargetSpread::devices(devices.clone())
+                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                        .spread_resilience(policy)
+                };
+                // forces: in X (halo), out F.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], x_halo));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.f[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::forces(cfg, &arr))?;
+                }
+                // accelerations: in F, out A.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.f[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.a[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::accelerations(cfg, &arr))?;
+                }
+                // velocities: in A, inout V.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.a[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.v[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::velocities(cfg, &arr))?;
+                }
+                // positions: in V, inout X (interior writes only).
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.v[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.x[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                // centers: in X, out the per-plane partials.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.partials[c], |ch| ch.range()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        "One Buffer (resilient)",
+        n_gpus,
+        rt,
+        centers,
+    ))
+}
+
 /// Paper Listing 10: One Buffer with `target spread` on `n_gpus`
 /// devices.
 pub fn run_spread(

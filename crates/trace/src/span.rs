@@ -116,6 +116,12 @@ pub enum SpanKind {
     HostTask,
     /// Synchronization wait (taskgroup/taskwait drain).
     Sync,
+    /// An injected fault surfacing on an engine (zero-length marker).
+    Fault,
+    /// A retry backoff window after a transient fault.
+    Retry,
+    /// Recovery work: a lost device's chunk replayed on a survivor.
+    Redistribute,
     /// Anything else (allocation bookkeeping, …).
     Other,
 }
@@ -129,6 +135,9 @@ impl SpanKind {
             SpanKind::Kernel => '#',
             SpanKind::HostTask => '~',
             SpanKind::Sync => '|',
+            SpanKind::Fault => 'X',
+            SpanKind::Retry => 'r',
+            SpanKind::Redistribute => 'R',
             SpanKind::Other => '.',
         }
     }
@@ -341,5 +350,18 @@ mod tests {
         assert!(SpanKind::TransferIn.is_transfer());
         assert!(SpanKind::TransferOut.is_transfer());
         assert!(!SpanKind::Kernel.is_transfer());
+        assert!(!SpanKind::Fault.is_transfer());
+    }
+
+    #[test]
+    fn fault_glyphs_are_distinct() {
+        let glyphs = [
+            SpanKind::Fault.glyph(),
+            SpanKind::Retry.glyph(),
+            SpanKind::Redistribute.glyph(),
+            SpanKind::Kernel.glyph(),
+        ];
+        let set: std::collections::BTreeSet<char> = glyphs.into_iter().collect();
+        assert_eq!(set.len(), glyphs.len());
     }
 }

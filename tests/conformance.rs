@@ -6,7 +6,7 @@
 //! deterministic.
 
 use spread_check::{
-    ast::{KernelOp, Program, Sched, Stmt},
+    ast::{FaultMode, FaultSpec, KernelOp, Program, Sched, Stmt},
     check_program, check_seed, fuzz, gen, oracle, pretty, shrink_seed, CheckConfig, Fault,
 };
 use spread_rt::RtError;
@@ -15,11 +15,27 @@ use spread_rt::RtError;
 fn fuzz_small_budget_agrees_with_oracle() {
     let cfg = CheckConfig {
         interleavings: 3,
-        fault: None,
+        ..CheckConfig::default()
     };
     let report = fuzz(0xC0FFEE, 40, &cfg, |_, _| {});
     assert_eq!(report.programs, 40);
     assert_eq!(report.executions, 120);
+    let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
+    assert!(seeds.is_empty(), "failing seeds: {seeds:?}");
+}
+
+#[test]
+fn fuzz_with_fault_plans_agrees_with_oracle() {
+    // Every generated fault plan — dead-on-arrival devices under both
+    // fail-stop and redistribute, transient copy bursts — must land on
+    // the oracle's prediction under every interleaving.
+    let cfg = CheckConfig {
+        interleavings: 2,
+        faults: true,
+        ..CheckConfig::default()
+    };
+    let report = fuzz(0xFA17, 30, &cfg, |_, _| {});
+    assert_eq!(report.programs, 30);
     let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
     assert!(seeds.is_empty(), "failing seeds: {seeds:?}");
 }
@@ -48,6 +64,7 @@ fn fault_sensitive_program() -> Program {
                 op: spread_core::reduction::ReduceOp::Sum,
             },
         ]],
+        fault: None,
     }
 }
 
@@ -56,18 +73,98 @@ fn injected_faults_are_caught() {
     let p = fault_sensitive_program();
     let clean = CheckConfig {
         interleavings: 2,
-        fault: None,
+        ..CheckConfig::default()
     };
     check_program(&p, 7, &clean).expect("program is legal and conformant");
     for fault in [Fault::StencilDropsLeftHalo, Fault::ReduceSkipsLast] {
         let cfg = CheckConfig {
             interleavings: 2,
             fault: Some(fault),
+            ..CheckConfig::default()
         };
         let failure = check_program(&p, 7, &cfg)
             .expect_err("perturbed oracle must disagree with the runtime");
         assert!(!failure.detail.is_empty(), "{fault:?}");
     }
+}
+
+/// A resilient program whose lost device owns real chunks: the runtime
+/// recovers them bit-identically, and the `--inject recovery` canary —
+/// an oracle that pretends recovery dropped those chunks — must be
+/// caught. This is the proof that a runtime which silently lost work
+/// during redistribution would not slip past the harness.
+#[test]
+fn recovery_canary_is_caught() {
+    let p = Program {
+        n_devices: 2,
+        n: 16,
+        n_arrays: 2,
+        phases: vec![vec![Stmt::Spread {
+            devices: vec![0, 1],
+            sched: Sched::Static { chunk: 4 },
+            nowait: false,
+            op: KernelOp::AddConst { a: 0, c: 1.0 },
+        }]],
+        fault: Some(FaultSpec {
+            lost: Some(1),
+            mode: FaultMode::Resilient,
+            transients: vec![],
+        }),
+    };
+    let clean = CheckConfig {
+        interleavings: 2,
+        ..CheckConfig::default()
+    };
+    check_program(&p, 11, &clean).expect("recovery reproduces the fault-free state");
+    let canary = CheckConfig {
+        interleavings: 2,
+        fault: Some(Fault::RecoveryDropsLostChunk),
+        ..CheckConfig::default()
+    };
+    let failure =
+        check_program(&p, 11, &canary).expect_err("a recovery that dropped chunks must be flagged");
+    assert!(
+        failure.detail.contains("array"),
+        "divergence shows in host arrays: {failure}"
+    );
+}
+
+#[test]
+fn fail_stop_loss_is_predicted_and_matched() {
+    let mut p = Program {
+        n_devices: 2,
+        n: 16,
+        n_arrays: 2,
+        phases: vec![vec![Stmt::Spread {
+            devices: vec![0, 1],
+            sched: Sched::Static { chunk: 4 },
+            nowait: false,
+            op: KernelOp::Scale { a: 1, c: 2.0 },
+        }]],
+        fault: Some(FaultSpec {
+            lost: Some(0),
+            mode: FaultMode::FailStop,
+            transients: vec![],
+        }),
+    };
+    let want = oracle::predict(&p, None);
+    assert!(
+        matches!(want.error, Some(RtError::DeviceLost { device: 0, .. })),
+        "oracle said {:?}",
+        want.error
+    );
+    check_program(&p, 5, &CheckConfig::default())
+        .expect("runtime raises the predicted DeviceLost under every interleaving");
+
+    // Transient copy bursts alone are absorbed by retry + backoff: the
+    // program completes with unchanged results.
+    p.fault = Some(FaultSpec {
+        lost: None,
+        mode: FaultMode::FailStop,
+        transients: vec![(0, 2), (1, 3)],
+    });
+    check_program(&p, 5, &CheckConfig::default())
+        .expect("retried transients are invisible in the final state");
 }
 
 #[test]
@@ -77,6 +174,7 @@ fn shrinking_is_deterministic_and_minimal() {
     let cfg = CheckConfig {
         interleavings: 2,
         fault: Some(Fault::StencilDropsLeftHalo),
+        ..CheckConfig::default()
     };
     let seed = (0..500u64)
         .find(|&s| check_seed(s, &cfg).is_err())
@@ -112,6 +210,7 @@ fn oracle_predicts_exact_mapping_errors() {
                 len: 4,
             },
         ]],
+        fault: None,
     };
     let want = oracle::predict(&extension, None);
     match &want.error {
@@ -141,6 +240,7 @@ fn oracle_predicts_exact_mapping_errors() {
             len: 4,
             from: true,
         }]],
+        fault: None,
     };
     let want = oracle::predict(&not_mapped, None);
     assert!(

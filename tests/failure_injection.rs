@@ -75,6 +75,45 @@ fn backpressure_deadlock_detected() {
     assert!(matches!(err, RtError::Deadlock { .. }), "got {err}");
 }
 
+/// A mapping parked on backpressure whose device then dies must surface
+/// `DeviceLost` — never hang waiting for a release that can no longer
+/// happen. The lost-device cleanup fails stranded memory waiters.
+#[test]
+fn backpressure_park_on_lost_device_fails_not_hangs() {
+    use target_spread::sim::{FaultPlan, SimTime};
+    let run_once = || {
+        let topo = Topology::uniform(1, DeviceSpec::v100().with_mem_bytes(1600), 1e9, 1.6e9);
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(topo)
+                .with_team_threads(2)
+                .with_alloc_backpressure(true)
+                // The copies finish within microseconds; by 1 ms the
+                // only thing left alive is B's parked allocation.
+                .with_fault_plan(FaultPlan::new(3).lose_device(0, SimTime::from_secs_f64(1e-3))),
+        );
+        let a = rt.host_array("A", 150);
+        let b = rt.host_array("B", 150);
+        rt.run(|s| {
+            // A fills 150 of 200 elements and is never released.
+            TargetEnterData::device(0).map(to(a, 0..150)).launch(s)?;
+            // B cannot fit: parks forever on device 0's memory.
+            TargetEnterData::device(0)
+                .map(to(b, 0..150))
+                .nowait()
+                .launch(s)?;
+            Ok(())
+        })
+        .unwrap_err()
+    };
+    let err = run_once();
+    assert!(
+        matches!(err, RtError::DeviceLost { device: 0, .. }),
+        "got {err}"
+    );
+    // Deterministic: the same loss surfaces the same error.
+    assert_eq!(err, run_once());
+}
+
 /// Kernel argument section not mapped on the device.
 #[test]
 fn kernel_section_missing() {

@@ -21,6 +21,7 @@
 
 use spread_core::reduction::ReduceOp;
 use spread_core::schedule::SpreadSchedule;
+use spread_core::PressurePolicy;
 
 /// A complete directive program.
 #[derive(Clone, Debug)]
@@ -35,6 +36,8 @@ pub struct Program {
     pub phases: Vec<Vec<Stmt>>,
     /// Seeded fault plan injected into the machine, if any.
     pub fault: Option<FaultSpec>,
+    /// Memory-pressure scenario, if the program runs in pressure mode.
+    pub pressure: Option<PressureSpec>,
 }
 
 impl Program {
@@ -55,6 +58,52 @@ impl Program {
         self.fault
             .as_ref()
             .is_some_and(|f| f.mode == FaultMode::Resilient)
+    }
+
+    /// The `spread_pressure(…)` policy every spread construct carries,
+    /// when the program runs in pressure mode.
+    pub fn pressure_policy(&self) -> Option<PressurePolicy> {
+        self.pressure.as_ref().map(|ps| ps.policy)
+    }
+}
+
+/// The memory-pressure scenario attached to a [`Program`].
+///
+/// Every device's capacity is capped at `cap_bytes`, and the fault plan
+/// opens a *sustained* OOM-pressure window (never released) on each
+/// device in `sustained` at virtual time **zero** — so the headroom the
+/// admission planner sees at every construct launch is exactly
+/// `cap_bytes − sustained(d)`, independent of timing. That closed form
+/// is what lets the oracle predict the exact
+/// [`spread_rt::DegradationEvent`] sequence (or the exact
+/// [`spread_rt::RtError::Degraded`]) for static schedules.
+///
+/// Caps and window sizes are multiples of 8 (one pool element), so the
+/// advisory headroom equals the physical contiguous hole and the
+/// runtime's reactive OOM-recovery rung never fires — every degradation
+/// is an admission-time decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PressureSpec {
+    /// `spread_pressure(split)` or `spread_pressure(spill)`.
+    pub policy: PressurePolicy,
+    /// Per-device memory capacity in bytes (multiple of 8).
+    pub cap_bytes: u64,
+    /// Sustained pressure windows `(device, bytes)`, opened at time
+    /// zero and never released (bytes are multiples of 8).
+    pub sustained: Vec<(u32, u64)>,
+}
+
+impl PressureSpec {
+    /// The admission headroom of `device`: capacity minus every
+    /// sustained window held against it.
+    pub fn headroom(&self, device: u32) -> u64 {
+        let held: u64 = self
+            .sustained
+            .iter()
+            .filter(|&&(d, _)| d == device)
+            .map(|&(_, b)| b)
+            .sum();
+        self.cap_bytes.saturating_sub(held)
     }
 }
 

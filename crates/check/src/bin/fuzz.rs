@@ -3,14 +3,17 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--inject stencil|reduce|recovery]
+//!     [--pressure] [--inject stencil|reduce|recovery|spill]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
 //! FIFO policy plus `K − 1` seeded tie-break permutations, against the
 //! sequential oracle. `--faults` attaches seeded fault plans (device
 //! loss at time zero under fail-stop or redistribute, transient copy
-//! bursts). Exits non-zero on any disagreement or race report, printing
+//! bursts). `--pressure` generates memory-pressure programs instead —
+//! tiny device capacities plus sustained OOM windows — and checks the
+//! exact degradation-event sequence against the oracle's admission
+//! plan. Exits non-zero on any disagreement or race report, printing
 //! the failing seed so `replay -- <seed>` reproduces it.
 
 use std::process::ExitCode;
@@ -23,6 +26,7 @@ struct Args {
     seed: u64,
     fault: Option<Fault>,
     faults: bool,
+    pressure: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         fault: None,
         faults: false,
+        pressure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,8 +62,12 @@ fn parse_args() -> Result<Args, String> {
                 args.fault = Some(Fault::parse(&f).ok_or_else(|| format!("unknown fault `{f}`"))?);
             }
             "--faults" => args.faults = true,
+            "--pressure" => args.pressure = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.faults && args.pressure {
+        return Err("--faults and --pressure are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -70,7 +79,7 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--inject stencil|reduce|recovery]"
+                 [--pressure] [--inject stencil|reduce|recovery|spill]"
             );
             return ExitCode::from(2);
         }
@@ -79,13 +88,19 @@ fn main() -> ExitCode {
         interleavings: args.interleavings,
         fault: args.fault,
         faults: args.faults,
+        pressure: args.pressure,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
         if cfg.faults { ", with fault plans" } else { "" },
+        if cfg.pressure {
+            ", with memory-pressure scenarios"
+        } else {
+            ""
+        },
         match cfg.fault {
             Some(f) => format!(", injected fault {f:?}"),
             None => String::new(),
@@ -106,18 +121,17 @@ fn main() -> ExitCode {
     }
     for f in &report.failures {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
+        println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "{}",
-            pretty::listing(&spread_check::gen::gen_program_cfg(f.seed, cfg.faults))
-        );
-        println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
+            if cfg.pressure { " --pressure" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
                 Some(Fault::RecoveryDropsLostChunk) => " --inject recovery",
+                Some(Fault::SpillDropsSlice) => " --inject spill",
                 None => "",
             }
         );

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
-//!     [--interleavings K] [--faults] [--inject stencil|reduce|recovery]
+//!     [--interleavings K] [--faults] [--pressure] \
+//!     [--inject stencil|reduce|recovery|spill]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -11,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use spread_check::{check_seed, gen, pretty, shrink_seed, CheckConfig, Fault};
+use spread_check::{check_seed, pretty, shrink_seed, CheckConfig, Fault};
 
 fn parse_args() -> Result<(u64, CheckConfig), String> {
     let mut seed = None;
@@ -31,11 +32,15 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
                 cfg.fault = Some(Fault::parse(&f).ok_or_else(|| format!("unknown fault `{f}`"))?);
             }
             "--faults" => cfg.faults = true,
+            "--pressure" => cfg.pressure = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if cfg.faults && cfg.pressure {
+        return Err("--faults and --pressure are mutually exclusive".into());
     }
     Ok((seed.ok_or("missing <seed>")?, cfg))
 }
@@ -46,13 +51,13 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("replay: {e}");
             eprintln!(
-                "usage: replay <seed> [--interleavings K] [--faults] \
-                 [--inject stencil|reduce|recovery]"
+                "usage: replay <seed> [--interleavings K] [--faults] [--pressure] \
+                 [--inject stencil|reduce|recovery|spill]"
             );
             return ExitCode::from(2);
         }
     };
-    let p = gen::gen_program_cfg(seed, cfg.faults);
+    let p = spread_check::gen_for(seed, &cfg);
     println!("seed {seed} generates:\n");
     println!("{}", pretty::listing(&p));
     match check_seed(seed, &cfg) {

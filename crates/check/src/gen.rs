@@ -16,9 +16,10 @@
 //!   first error is the same under every legal interleaving.
 
 use spread_core::reduction::ReduceOp;
+use spread_core::PressurePolicy;
 use spread_prng::Prng;
 
-use crate::ast::{BadKind, FaultMode, FaultSpec, KernelOp, Program, Sched, Stmt};
+use crate::ast::{BadKind, FaultMode, FaultSpec, KernelOp, PressureSpec, Program, Sched, Stmt};
 
 const CONSTS: [f64; 6] = [-2.0, -1.0, 0.5, 1.0, 2.0, 3.0];
 
@@ -253,6 +254,114 @@ pub fn gen_program_cfg(seed: u64, faults: bool) -> Program {
         n_arrays,
         phases,
         fault,
+        pressure: None,
+    }
+}
+
+/// One blocking spread statement for a pressure program. Pressure mode
+/// restricts generation to what [`crate::oracle`] can predict in closed
+/// form: spread kernels only (no reductions, data regions or raw
+/// statements), static or weighted schedules, no `nowait` — the
+/// [`spread_core::plan_admission`] planner requires a static
+/// distribution and a blocking construct, and blocking constructs keep
+/// the headroom at every launch equal to the spec's closed form.
+fn gen_pressure_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    let devices = gen_devices(r, n_devices);
+    let k = devices.len();
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 45 || !two {
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched: gen_sched(r, n, k, true),
+            nowait: false,
+            devices,
+            op,
+        }
+    } else if roll < 75 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: gen_sched(r, n, k, true),
+            nowait: false,
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else {
+        let src = avail.pop().unwrap();
+        let dst = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: Sched::Static {
+                chunk: stencil_chunk(r, n, k),
+            },
+            nowait: false,
+            devices,
+            op: KernelOp::Stencil3 { src, dst },
+        }
+    }
+}
+
+/// Derive the pressure program for `seed`: spread-only phases plus a
+/// seeded [`PressureSpec`] — tiny device capacities (sized against the
+/// largest single-chunk footprint, so every outcome band occurs: fits
+/// untouched, shrinks onto a neighbour, splits recursively, spills or
+/// fails `Degraded`) and sustained OOM-pressure windows at time zero.
+pub fn gen_program_pressure(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    let n_devices = r.range(1, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    let policy = if r.chance(0.5) {
+        PressurePolicy::Split
+    } else {
+        PressurePolicy::Spill
+    };
+    // The largest chunk footprint is a whole-loop Saxpy / halo'd
+    // stencil: ~2(n+2) elements. Caps range from starvation (4 elems)
+    // to comfortable, always in whole pool elements.
+    let cap_bytes = r.range(4, 2 * (n + 2) + 1) as u64 * 8;
+    let mut sustained = Vec::new();
+    for d in 0..n_devices as u32 {
+        if r.chance(0.4) {
+            sustained.push((d, r.range(1, (cap_bytes / 8) as usize + 1) as u64 * 8));
+        }
+    }
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_pressure_stmt(&mut r, &mut avail, n, n_devices));
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: Some(PressureSpec {
+            policy,
+            cap_bytes,
+            sustained,
+        }),
     }
 }
 
@@ -347,6 +456,65 @@ mod tests {
         assert!(lost > 100, "{lost}");
         assert!(resilient > 50, "{resilient}");
         assert!(transient > 30, "{transient}");
+    }
+
+    #[test]
+    fn pressure_programs_respect_the_pressure_invariants() {
+        let mut split = 0;
+        let mut spill = 0;
+        let mut windows = 0;
+        for seed in 0..300u64 {
+            let p = gen_program_pressure(seed);
+            let ps = p.pressure.as_ref().expect("pressure mode attaches a spec");
+            assert!(
+                p.fault.is_none(),
+                "seed {seed}: pressure excludes loss plans"
+            );
+            assert_eq!(ps.cap_bytes % 8, 0, "seed {seed}: whole pool elements");
+            assert!(ps.cap_bytes >= 32, "seed {seed}");
+            match ps.policy {
+                PressurePolicy::Split => split += 1,
+                PressurePolicy::Spill => spill += 1,
+                PressurePolicy::Fail => panic!("seed {seed}: Fail is not a pressure mode"),
+            }
+            for &(d, b) in &ps.sustained {
+                assert!((d as usize) < p.n_devices, "seed {seed}");
+                assert!(b % 8 == 0 && b > 0 && b <= ps.cap_bytes, "seed {seed}");
+                windows += 1;
+            }
+            for stmt in p.phases.iter().flatten() {
+                let Stmt::Spread {
+                    sched,
+                    nowait,
+                    devices,
+                    ..
+                } = stmt
+                else {
+                    panic!("seed {seed}: pressure programs are spread-only");
+                };
+                assert!(
+                    !nowait,
+                    "seed {seed}: pressure requires blocking constructs"
+                );
+                assert!(
+                    !matches!(sched, Sched::Dynamic { .. }),
+                    "seed {seed}: pressure requires a static distribution"
+                );
+                if let Stmt::Spread {
+                    devices: d,
+                    sched,
+                    op: KernelOp::Stencil3 { .. },
+                    ..
+                } = stmt
+                {
+                    assert!(stencil_gap_ok(d, sched, p.n), "seed {seed}");
+                }
+                assert!(!devices.is_empty(), "seed {seed}");
+            }
+        }
+        assert!(split > 100, "{split}");
+        assert!(spill > 100, "{spill}");
+        assert!(windows > 100, "{windows}");
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! host arrays, reduction values and mapping tables bit-for-bit, with
 //! zero race reports.
 //!
+//! Pressure mode ([`CheckConfig::pressure`]) swaps the fault plans for
+//! seeded memory-pressure scenarios — tiny device capacities plus
+//! sustained OOM windows — and additionally requires the runtime's
+//! recorded [`spread_rt::DegradationEvent`] sequence (admission
+//! shrinks, chunk splits, host spills) to equal the oracle's exact
+//! prediction, while results stay bit-identical.
+//!
 //! ```
 //! use spread_check::{check_seed, CheckConfig};
 //! assert!(check_seed(1, &CheckConfig::default()).is_ok());
@@ -46,9 +53,12 @@ pub use spread_sim::TieBreak;
 
 use spread_rt::RtError;
 
-/// A deliberate perturbation of the oracle, used to prove the harness
-/// catches disagreements (and to exercise replay + shrinking on a
-/// reproducible failure).
+/// A deliberate perturbation injected into one side of the comparison,
+/// used to prove the harness catches disagreements (and to exercise
+/// replay + shrinking on a reproducible failure). The first three
+/// perturb the *oracle*; the spill canary perturbs the *runtime*, so it
+/// doubles as proof that a real silent-truncation bug in the spill
+/// executor would be flagged.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// The oracle "forgets" the left halo element of the stencil.
@@ -59,6 +69,10 @@ pub enum Fault {
     /// drops the lost device's chunks instead of replaying them — the
     /// canary proving the harness catches recovery divergence.
     RecoveryDropsLostChunk,
+    /// The *runtime* silently drops the writes of the last slice of
+    /// every host-spilled piece — the canary proving the harness
+    /// catches a truncated spill (pressure mode).
+    SpillDropsSlice,
 }
 
 impl Fault {
@@ -68,6 +82,7 @@ impl Fault {
             "stencil" => Some(Fault::StencilDropsLeftHalo),
             "reduce" => Some(Fault::ReduceSkipsLast),
             "recovery" => Some(Fault::RecoveryDropsLostChunk),
+            "spill" => Some(Fault::SpillDropsSlice),
             _ => None,
         }
     }
@@ -85,6 +100,13 @@ pub struct CheckConfig {
     /// zero, retry-absorbable transient bursts) — see
     /// [`ast::FaultSpec`].
     pub faults: bool,
+    /// Generate memory-pressure programs (spread-only, blocking, static
+    /// distributions) with seeded [`ast::PressureSpec`]s: tiny device
+    /// capacities plus sustained OOM windows. The oracle then predicts
+    /// the exact degradation-event sequence (admission shrinks, chunk
+    /// splits, host spills) or the exact `Degraded` error, alongside
+    /// bit-identical results. Mutually exclusive with `faults`.
+    pub pressure: bool,
 }
 
 impl Default for CheckConfig {
@@ -93,6 +115,7 @@ impl Default for CheckConfig {
             interleavings: 4,
             fault: None,
             faults: false,
+            pressure: false,
         }
     }
 }
@@ -154,6 +177,12 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
             got.races
         ));
     }
+    if want.degradations != got.degradations {
+        return Some(format!(
+            "degradation events: oracle predicted {:?}, runtime recorded {:?}",
+            want.degradations, got.degradations
+        ));
+    }
     for (k, (w, g)) in want.arrays.iter().zip(&got.arrays).enumerate() {
         if let Some(i) = (0..w.len()).find(|&i| w[i].to_bits() != g[i].to_bits()) {
             return Some(format!(
@@ -187,7 +216,7 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
 pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
     let want = oracle::predict(p, cfg.fault);
     for tie in tie_breaks(seed, cfg.interleavings) {
-        let got = run::execute(p, tie);
+        let got = run::execute(p, tie, cfg.fault);
         if let Some(detail) = compare(&want, &got) {
             return Err(CheckFailure { tie, detail });
         }
@@ -195,10 +224,21 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
     Ok(())
 }
 
+/// The program a configuration generates for `seed`: a pressure
+/// program under `cfg.pressure`, a faulted program under `cfg.faults`,
+/// a plain program otherwise.
+pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
+    if cfg.pressure {
+        gen::gen_program_pressure(seed)
+    } else {
+        gen::gen_program_cfg(seed, cfg.faults)
+    }
+}
+
 /// Generate and check the program for `seed` (with a fault plan when
-/// `cfg.faults` is set).
+/// `cfg.faults` is set, or a pressure scenario when `cfg.pressure`).
 pub fn check_seed(seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
-    check_program(&gen::gen_program_cfg(seed, cfg.faults), seed, cfg)
+    check_program(&gen_for(seed, cfg), seed, cfg)
 }
 
 /// One failing seed of a fuzzing run.
@@ -246,7 +286,7 @@ pub fn fuzz(
 /// Re-check a failing seed and shrink its program to a minimal
 /// counterexample (deterministically).
 pub fn shrink_seed(seed: u64, cfg: &CheckConfig) -> Option<(Program, CheckFailure)> {
-    let p = gen::gen_program_cfg(seed, cfg.faults);
+    let p = gen_for(seed, cfg);
     check_program(&p, seed, cfg).err()?;
     let mut fails = |q: &Program| check_program(q, seed, cfg).is_err();
     let minimal = shrink::shrink(&p, &mut fails);
@@ -280,6 +320,7 @@ mod tests {
             Fault::parse("recovery"),
             Some(Fault::RecoveryDropsLostChunk)
         );
+        assert_eq!(Fault::parse("spill"), Some(Fault::SpillDropsSlice));
         assert_eq!(Fault::parse("nope"), None);
     }
 
@@ -291,5 +332,41 @@ mod tests {
             ..CheckConfig::default()
         };
         check_seed(0, &cfg).unwrap();
+    }
+
+    #[test]
+    fn pressure_seeds_check_clean() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            pressure: true,
+            ..CheckConfig::default()
+        };
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("pressure seed {seed}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_canary_is_caught_and_shrinks() {
+        let cfg = CheckConfig {
+            interleavings: 1,
+            fault: Some(Fault::SpillDropsSlice),
+            pressure: true,
+            ..CheckConfig::default()
+        };
+        // Find a seed whose program actually spills (Spill policy with a
+        // visibly-perturbed kernel), then require the harness to flag it
+        // and keep it failing through shrinking.
+        let spilled = (0..200u64).find(|&seed| check_seed(seed, &cfg).is_err());
+        let seed = spilled.expect("some pressure seed must spill and diverge");
+        let (minimal, failure) = shrink_seed(seed, &cfg).expect("canary failure shrinks");
+        assert!(failure.detail.contains("array"), "{failure}");
+        assert!(
+            minimal.pressure.is_some(),
+            "the pressure spec is load-bearing for the spill divergence"
+        );
+        assert!(!minimal.phases.is_empty());
     }
 }

@@ -32,14 +32,16 @@
 //! fuzzer then *checks* that claim against the runtime under permuted
 //! schedules).
 
+use std::collections::HashMap;
 use std::ops::Range;
 
 use spread_core::schedule::distribute;
+use spread_core::{degradation_events, plan_admission};
 use spread_rt::map::MapType;
 use spread_rt::section::ArrayId;
-use spread_rt::{RtError, Section};
+use spread_rt::{DegradationEvent, RtError, Section};
 
-use crate::ast::{KernelOp, Program, Sched, Stmt};
+use crate::ast::{KernelOp, PressureSpec, Program, Sched, Stmt};
 use crate::Fault;
 
 /// What the runtime must observe at the end of the program.
@@ -53,6 +55,9 @@ pub struct Expectation {
     /// `(array, start, len, refcount)` sorted — the shape of
     /// [`spread_rt::Runtime::mapping_snapshot`].
     pub mappings: Vec<Vec<(u32, usize, usize, u32)>>,
+    /// The exact degradation-event sequence the runtime must record,
+    /// in program order (pressure programs; empty otherwise).
+    pub degradations: Vec<DegradationEvent>,
     /// The first error, if the program is illegal.
     pub error: Option<RtError>,
 }
@@ -97,6 +102,10 @@ struct Model {
     lost: Option<u32>,
     /// Spread constructs carry `spread_resilience(redistribute)`.
     resilient: bool,
+    /// The memory-pressure scenario, when the program carries one.
+    pressure: Option<PressureSpec>,
+    /// Predicted degradation events, in program order.
+    degradations: Vec<DegradationEvent>,
 }
 
 fn section(a: usize, r: &Range<usize>) -> Section {
@@ -123,6 +132,8 @@ impl Model {
             fault,
             lost: p.lost_device(),
             resilient: p.resilient(),
+            pressure: p.pressure.clone(),
+            degradations: Vec::new(),
         }
     }
 
@@ -338,6 +349,39 @@ impl Model {
     }
 }
 
+/// The device-footprint of one piece of a spread kernel: the mapped
+/// section lengths (halo arithmetic included) in bytes — exactly what
+/// `TargetSpread::footprint_bytes` computes from its map clauses, so
+/// the oracle's [`plan_admission`] call sees the same numbers as the
+/// runtime's.
+fn op_footprint(op: &KernelOp, start: usize, len: usize) -> u64 {
+    op_maps(op, &(start..start + len))
+        .iter()
+        .map(|(_, _, mr)| (mr.end - mr.start) as u64 * 8)
+        .sum()
+}
+
+/// Replay the runtime's launch-time admission planning for one spread
+/// statement: same planner ([`plan_admission`]), same headroom (the
+/// [`PressureSpec`]'s closed form — blocking constructs release every
+/// mapping before the next launch, so program-used memory is zero and
+/// headroom is `cap − sustained` at every construct), same footprint
+/// arithmetic. Returns the predicted degradation events, or the exact
+/// [`RtError::Degraded`] the construct must raise.
+fn plan_pressure(
+    m: &mut Model,
+    ps: &PressureSpec,
+    devices: &[u32],
+    chunks: &[spread_core::schedule::Chunk],
+    op: &KernelOp,
+) -> Result<(), RtError> {
+    let headroom: HashMap<u32, u64> = devices.iter().map(|&d| (d, ps.headroom(d))).collect();
+    let footprint = |start: usize, len: usize| op_footprint(op, start, len);
+    let pieces = plan_admission(chunks, devices, &headroom, &footprint, ps.policy)?;
+    m.degradations.extend(degradation_events(&pieces));
+    Ok(())
+}
+
 /// The map clauses of a spread kernel for one chunk range.
 fn op_maps(op: &KernelOp, r: &Range<usize>) -> Vec<(MapType, usize, Range<usize>)> {
     match *op {
@@ -360,7 +404,15 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             devices, sched, op, ..
         } => {
             let range = op.range(p.n);
-            for chunk in distribute(range, devices, &sched.to_schedule()) {
+            let chunks = distribute(range, devices, &sched.to_schedule());
+            if let Some(ps) = m.pressure.clone() {
+                // The admission plan decides *where* degradation lands;
+                // the values stay bit-identical to the scheduled
+                // placement (fresh-in, fresh-out, disjoint sections),
+                // so the interpretation below is unchanged.
+                plan_pressure(m, &ps, devices, &chunks, op)?;
+            }
+            for chunk in chunks {
                 // Dynamic chunks carry no device; any placement yields
                 // the same host state (fresh-in, fresh-out, disjoint
                 // sections), so model them on the list head.
@@ -527,6 +579,7 @@ pub fn predict(p: &Program, fault: Option<Fault>) -> Expectation {
         arrays: m.host,
         reduces: m.reduces,
         mappings,
+        degradations: m.degradations,
         error,
     }
 }
@@ -543,6 +596,7 @@ mod tests {
             n_arrays: 2,
             phases,
             fault: None,
+            pressure: None,
         }
     }
 
@@ -748,6 +802,65 @@ mod tests {
             op: KernelOp::Scale { a: 0, c: 2.0 },
         };
         assert!(predict(&p, None).error.is_none());
+    }
+
+    #[test]
+    fn pressure_prediction_names_the_degradations() {
+        use spread_core::PressurePolicy;
+        use spread_rt::DegradationKind;
+        // Two devices, chunk 8 ⇒ chunks [0,8) on d0 and [8,16) on d1,
+        // 64 bytes each. Device 0 keeps 64 bytes of headroom, device 1
+        // is squeezed to 24 — its chunk must move to device 0.
+        let mk = |policy, sustained: Vec<(u32, u64)>| {
+            let mut p = simple(
+                2,
+                vec![vec![Stmt::Spread {
+                    devices: vec![0, 1],
+                    sched: Sched::Static { chunk: 8 },
+                    nowait: false,
+                    op: KernelOp::AddConst { a: 0, c: 2.0 },
+                }]],
+            );
+            p.pressure = Some(crate::ast::PressureSpec {
+                policy,
+                cap_bytes: 64,
+                sustained,
+            });
+            p
+        };
+        let healthy = mk(PressurePolicy::Split, vec![]);
+        let e = predict(&healthy, None);
+        assert!(e.error.is_none());
+        assert!(e.degradations.is_empty(), "{:?}", e.degradations);
+
+        let shrunk = mk(PressurePolicy::Split, vec![(1, 40)]);
+        let e = predict(&shrunk, None);
+        assert!(e.error.is_none());
+        assert_eq!(e.degradations.len(), 1, "{:?}", e.degradations);
+        assert_eq!(e.degradations[0].kind, DegradationKind::AdmissionShrunk);
+        assert_eq!(e.degradations[0].device, Some(0));
+        assert_eq!(e.degradations[0].start, 8);
+        assert_eq!(e.degradations[0].bytes, 64);
+        // Values are placement-independent.
+        assert_eq!(e.arrays, predict(&healthy, None).arrays);
+
+        // Both devices hopeless: split fails Degraded, spill completes
+        // through the host with the same values.
+        let hopeless = vec![(0u32, 64u64), (1, 64)];
+        let e = predict(&mk(PressurePolicy::Split, hopeless.clone()), None);
+        assert!(
+            matches!(e.error, Some(RtError::Degraded { .. })),
+            "{:?}",
+            e.error
+        );
+        let e = predict(&mk(PressurePolicy::Spill, hopeless), None);
+        assert!(e.error.is_none(), "{:?}", e.error);
+        assert_eq!(e.degradations.len(), 2);
+        assert!(e
+            .degradations
+            .iter()
+            .all(|d| d.kind == DegradationKind::Spilled && d.device.is_none() && d.bytes == 64));
+        assert_eq!(e.arrays, predict(&healthy, None).arrays);
     }
 
     #[test]

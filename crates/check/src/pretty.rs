@@ -32,6 +32,16 @@ fn resilience(p: &Program) -> &'static str {
     }
 }
 
+/// The `spread_pressure(…)` clause every spread construct carries when
+/// the program runs in pressure mode.
+fn pressure(p: &Program) -> &'static str {
+    match p.pressure_policy() {
+        Some(spread_core::PressurePolicy::Split) => " spread_pressure(split)",
+        Some(spread_core::PressurePolicy::Spill) => " spread_pressure(spill)",
+        _ => "",
+    }
+}
+
 fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
     let n = p.n;
     match stmt {
@@ -43,6 +53,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
         } => {
             let nw = if *nowait { " nowait" } else { "" };
             let res = resilience(p);
+            let pres = pressure(p);
             let (maps, body) = match *op {
                 KernelOp::AddConst { a, c } => (
                     format!("map(spread_tofrom: A{a}[ss:sz])"),
@@ -66,7 +77,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             };
             let _ = writeln!(
                 out,
-                "#pragma omp target spread {} {}{res} {maps}{nw}\n    {body}",
+                "#pragma omp target spread {} {}{res}{pres} {maps}{nw}\n    {body}",
                 devices(d),
                 sched(sc)
             );
@@ -212,6 +223,19 @@ pub fn listing(p: &Program) -> String {
             let _ = writeln!(
                 out,
                 "// fault plan: {count} transient copy failure(s) on device {d} (retried)"
+            );
+        }
+    }
+    if let Some(ps) = &p.pressure {
+        let _ = writeln!(
+            out,
+            "// pressure: {:?} mode, every device capped at {} bytes",
+            ps.policy, ps.cap_bytes
+        );
+        for (d, bytes) in &ps.sustained {
+            let _ = writeln!(
+                out,
+                "// pressure: {bytes} bytes of sustained OOM pressure on device {d} from t=0"
             );
         }
     }

@@ -5,15 +5,23 @@
 
 use spread_core::spread_map::SpreadMap;
 use spread_core::{
-    spread_from, spread_to, spread_tofrom, ResiliencePolicy, SpreadSchedule, TargetEnterDataSpread,
-    TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
+    spread_from, spread_to, spread_tofrom, PressurePolicy, ResiliencePolicy, SpreadSchedule,
+    TargetEnterDataSpread, TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
 };
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
-use spread_rt::{HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope};
+use spread_rt::{
+    DegradationEvent, HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope,
+};
 use spread_sim::{FaultPlan, SimTime, TieBreak};
 
-use crate::ast::{BadKind, FaultSpec, KernelOp, Program, Stmt};
+use crate::ast::{BadKind, FaultSpec, KernelOp, PressureSpec, Program, Stmt};
+use crate::Fault;
+
+/// The host staging-buffer bound the executor configures for pressure
+/// programs: 8 pool elements, small enough that most spilled pieces
+/// stream through in several map→compute→unmap slices.
+pub const SPILL_STAGING_BYTES: u64 = 64;
 
 /// Everything observed from one execution.
 #[derive(Clone, Debug)]
@@ -25,6 +33,9 @@ pub struct Observed {
     /// `(array, start, len, refcount)` per device, sorted — from
     /// [`Runtime::mapping_snapshot`].
     pub mappings: Vec<Vec<(u32, usize, usize, u32)>>,
+    /// Degradation events in program order, from
+    /// [`Runtime::degradations`].
+    pub degradations: Vec<DegradationEvent>,
     /// Number of race reports.
     pub races: usize,
     /// The first error, if any.
@@ -37,10 +48,18 @@ pub struct Observed {
 /// program's [`FaultSpec`], if any, is lowered to a [`FaultPlan`]: the
 /// loss fires at time zero and transient bursts start failing copies
 /// immediately, so the outcome is the same under every tie-break.
-fn runtime(n_devices: usize, tie: TieBreak, fault: Option<&FaultSpec>) -> Runtime {
+fn runtime(
+    n_devices: usize,
+    tie: TieBreak,
+    fault: Option<&FaultSpec>,
+    pressure: Option<&PressureSpec>,
+) -> Runtime {
+    // Pressure programs run on their spec's tiny capacity; everything
+    // else gets ample memory so admission never interferes.
+    let mem_bytes = pressure.map_or(1 << 22, |ps| ps.cap_bytes);
     let topo = Topology::uniform(
         n_devices,
-        DeviceSpec::v100().with_mem_bytes(1 << 22),
+        DeviceSpec::v100().with_mem_bytes(mem_bytes),
         1e9,
         1.6e9,
     );
@@ -48,19 +67,25 @@ fn runtime(n_devices: usize, tie: TieBreak, fault: Option<&FaultSpec>) -> Runtim
         .with_team_threads(2)
         .with_trace(false)
         .with_tie_break(tie);
+    // A fixed plan seed: it only feeds retry-backoff jitter, which
+    // shifts virtual timing, never results.
+    let mut plan = FaultPlan::new(0xFA17);
     if let Some(f) = fault {
-        // A fixed plan seed: it only feeds retry-backoff jitter, which
-        // shifts virtual timing, never results.
-        let mut plan = FaultPlan::new(0xFA17);
         if let Some(d) = f.lost {
             plan = plan.lose_device(d, SimTime::ZERO);
         }
         for &(d, count) in &f.transients {
             plan = plan.transient_copies(d, SimTime::ZERO, count);
         }
-        if !plan.is_empty() {
-            cfg = cfg.with_fault_plan(plan);
+    }
+    if let Some(ps) = pressure {
+        cfg = cfg.with_spill_staging_bytes(SPILL_STAGING_BYTES);
+        for &(d, bytes) in &ps.sustained {
+            plan = plan.sustain_pressure(d, SimTime::ZERO, bytes);
         }
+    }
+    if !plan.is_empty() {
+        cfg = cfg.with_fault_plan(plan);
     }
     Runtime::new(cfg)
 }
@@ -74,12 +99,23 @@ fn issue_spread(
     sched: SpreadSchedule,
     nowait: bool,
     resilience: ResiliencePolicy,
+    pressure: Option<PressurePolicy>,
+    drop_spill: bool,
     op: &KernelOp,
 ) -> Result<(), RtError> {
     let range = op.range(n);
     let mut b = TargetSpread::devices(devices.iter().copied())
         .spread_schedule(sched)
         .spread_resilience(resilience);
+    if let Some(policy) = pressure {
+        b = b.spread_pressure(policy);
+        if drop_spill {
+            // The `--inject spill` canary: the *runtime* silently drops
+            // the last slice of every spilled piece, and the harness
+            // must catch the divergence from the (correct) oracle.
+            b = b.inject_drop_last_spill_slice();
+        }
+    }
     if nowait {
         b = b.nowait();
     }
@@ -154,6 +190,7 @@ fn issue(
     p: &Program,
     handles: &[HostArray],
     reduces: &mut Vec<f64>,
+    drop_spill: bool,
     stmt: &Stmt,
 ) -> Result<(), RtError> {
     let resilience = if p.resilient() {
@@ -175,6 +212,8 @@ fn issue(
             sched.to_schedule(),
             *nowait,
             resilience,
+            p.pressure_policy(),
+            drop_spill,
             op,
         ),
         Stmt::Reduce {
@@ -231,6 +270,8 @@ fn issue(
                     SpreadSchedule::static_chunk(*chunk),
                     false,
                     resilience,
+                    None,
+                    false,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -334,8 +375,12 @@ fn issue(
 }
 
 /// Execute `p` under `tie` and report what the runtime observed.
-pub fn execute(p: &Program, tie: TieBreak) -> Observed {
-    let mut rt = runtime(p.n_devices, tie, p.fault.as_ref());
+/// `inject` perturbs the *runtime* when it is the spill canary
+/// ([`Fault::SpillDropsSlice`]); every other fault perturbs the oracle
+/// instead and is ignored here.
+pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
+    let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
+    let mut rt = runtime(p.n_devices, tie, p.fault.as_ref(), p.pressure.as_ref());
     let handles: Vec<HostArray> = (0..p.n_arrays)
         .map(|k| rt.host_array(format!("A{k}"), p.n))
         .collect();
@@ -346,7 +391,7 @@ pub fn execute(p: &Program, tie: TieBreak) -> Observed {
     let result = rt.run(|s| {
         for phase in &p.phases {
             for stmt in phase {
-                issue(s, p, &handles, &mut reduces, stmt)?;
+                issue(s, p, &handles, &mut reduces, drop_spill, stmt)?;
             }
             // Phase barrier: everything `nowait` drains here.
             s.drain_all()?;
@@ -367,6 +412,7 @@ pub fn execute(p: &Program, tie: TieBreak) -> Observed {
         arrays: handles.iter().map(|&h| rt.snapshot_host(h)).collect(),
         reduces,
         mappings,
+        degradations: rt.degradations(),
         races: rt.races().len(),
         error: result.err(),
     }
@@ -390,14 +436,16 @@ mod tests {
                 op: KernelOp::AddConst { a: 0, c: 1.5 },
             }]],
             fault: None,
+            pressure: None,
         };
-        let o = execute(&p, TieBreak::Fifo);
+        let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
         assert_eq!(o.races, 0);
         for i in 0..12 {
             assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
         }
         assert!(o.mappings.iter().all(|d| d.is_empty()));
+        assert!(o.degradations.is_empty());
     }
 
     #[test]
@@ -413,8 +461,9 @@ mod tests {
                 len: 5,
             }]],
             fault: None,
+            pressure: None,
         };
-        let o = execute(&p, TieBreak::Fifo);
+        let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
         assert_eq!(o.mappings[0], vec![(0, 2, 5, 1)]);
     }
@@ -437,8 +486,9 @@ mod tests {
                 mode: FaultMode::FailStop,
                 transients: vec![],
             }),
+            pressure: None,
         };
-        let o = execute(&p, TieBreak::Fifo);
+        let o = execute(&p, TieBreak::Fifo, None);
         assert!(
             matches!(o.error, Some(RtError::DeviceLost { device: 1, .. })),
             "{:?}",
@@ -446,10 +496,51 @@ mod tests {
         );
         // The same loss under redistribute completes with the right values.
         p.fault.as_mut().unwrap().mode = FaultMode::Resilient;
-        let o = execute(&p, TieBreak::Fifo);
+        let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
         for i in 0..12 {
             assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
         }
+    }
+
+    #[test]
+    fn lowered_pressure_spec_degrades_and_the_canary_truncates() {
+        // One device whose 64 bytes are fully held by a sustained
+        // window: the single 12-iteration chunk (96 B) is hopeless on
+        // every device and spills through the host staging buffer in
+        // two 64-byte slices.
+        let p = Program {
+            n_devices: 1,
+            n: 12,
+            n_arrays: 1,
+            phases: vec![vec![Stmt::Spread {
+                devices: vec![0],
+                sched: Sched::Static { chunk: 12 },
+                nowait: false,
+                op: KernelOp::AddConst { a: 0, c: 1.5 },
+            }]],
+            fault: None,
+            pressure: Some(PressureSpec {
+                policy: PressurePolicy::Spill,
+                cap_bytes: 64,
+                sustained: vec![(0, 64)],
+            }),
+        };
+        let o = execute(&p, TieBreak::Fifo, None);
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_eq!(o.races, 0);
+        assert_eq!(o.degradations.len(), 1, "{:?}", o.degradations);
+        assert!(o.degradations[0].device.is_none(), "spilled to the host");
+        for i in 0..12 {
+            assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
+        }
+        // The spill canary silently drops the last slice's writes.
+        let o = execute(&p, TieBreak::Fifo, Some(Fault::SpillDropsSlice));
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_ne!(
+            o.arrays[0][11],
+            Program::initial(0, 11) + 1.5,
+            "the dropped slice must be observable"
+        );
     }
 }

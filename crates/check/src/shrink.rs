@@ -22,6 +22,24 @@ fn candidates(p: &Program) -> Vec<Program> {
         q.fault.as_mut().expect("checked above").transients.clear();
         out.push(q);
     }
+    // 0b. Drop the pressure scenario, or just its sustained windows.
+    if p.pressure.is_some() {
+        let mut q = p.clone();
+        q.pressure = None;
+        out.push(q);
+    }
+    if p.pressure
+        .as_ref()
+        .is_some_and(|ps| !ps.sustained.is_empty())
+    {
+        let mut q = p.clone();
+        q.pressure
+            .as_mut()
+            .expect("checked above")
+            .sustained
+            .clear();
+        out.push(q);
+    }
     // 1. Drop a whole phase.
     for i in 0..p.phases.len() {
         if p.phases.len() > 1 {
@@ -276,6 +294,7 @@ mod tests {
                 }],
             ],
             fault: None,
+            pressure: None,
         }
     }
 

@@ -30,9 +30,12 @@
 //! Extensions implemented from the paper's future-work section (§IX):
 //! `depend` on the data-spread directives (Listing 13), a `dynamic`
 //! spread schedule, weighted static chunking, and a cross-device
-//! reduction helper. Beyond §IX, the robustness extension
+//! reduction helper. Beyond §IX, two robustness extensions:
 //! [`TargetSpread::spread_resilience`] ([`ResiliencePolicy`]) rebuilds
-//! a permanently lost device's chunks on the surviving devices.
+//! a permanently lost device's chunks on the surviving devices, and
+//! [`TargetSpread::spread_pressure`] ([`PressurePolicy`]) degrades
+//! gracefully under device memory pressure — capacity-aware admission,
+//! adaptive chunk splitting, and host spill (see [`pressure`]).
 //!
 //! # Example
 //!
@@ -72,6 +75,7 @@
 
 pub mod chunk;
 pub mod data_spread;
+pub mod pressure;
 pub mod reduction;
 pub mod resilience;
 pub mod schedule;
@@ -82,6 +86,7 @@ pub use chunk::ChunkCtx;
 pub use data_spread::{
     TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
 };
+pub use pressure::{degradation_events, plan_admission, Placement, PlannedPiece, PressurePolicy};
 pub use reduction::ReduceOp;
 pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};
@@ -94,6 +99,7 @@ pub mod prelude {
     pub use crate::data_spread::{
         TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
     };
+    pub use crate::pressure::PressurePolicy;
     pub use crate::reduction::ReduceOp;
     pub use crate::resilience::ResiliencePolicy;
     pub use crate::schedule::SpreadSchedule;

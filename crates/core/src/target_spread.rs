@@ -18,7 +18,7 @@
 //! implementations.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::rc::Rc;
 
@@ -26,6 +26,7 @@ use spread_rt::directives::Target;
 use spread_rt::{KernelSpec, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
+use crate::pressure::{self, Placement, PressureCoordinator, PressurePolicy};
 use crate::resilience::{Coordinator, ResiliencePolicy};
 use crate::schedule::{distribute, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
@@ -57,6 +58,8 @@ pub struct TargetSpread {
     num_threads: Option<u32>,
     serial: bool,
     resilience: ResiliencePolicy,
+    pressure: PressurePolicy,
+    drop_last_spill_slice: bool,
 }
 
 impl TargetSpread {
@@ -74,6 +77,8 @@ impl TargetSpread {
             num_threads: None,
             serial: false,
             resilience: ResiliencePolicy::FailStop,
+            pressure: PressurePolicy::Fail,
+            drop_last_spill_slice: false,
         }
     }
 
@@ -160,6 +165,40 @@ impl TargetSpread {
         self.resilience
     }
 
+    /// The `spread_pressure(…)` clause: what the construct does when a
+    /// chunk's mapped footprint exceeds the available device memory
+    /// (default: [`PressurePolicy::Fail`] — the pre-existing behavior).
+    /// See the [`pressure`](crate::pressure) module for the degradation
+    /// ladder.
+    pub fn spread_pressure(mut self, policy: PressurePolicy) -> Self {
+        self.pressure = policy;
+        self
+    }
+
+    /// The active pressure policy.
+    pub fn pressure(&self) -> PressurePolicy {
+        self.pressure
+    }
+
+    /// Failure-injection hook for the `spread-check` conformance
+    /// harness: silently drop the staged writes of the last slice of
+    /// every spilled piece. Never use outside the harness.
+    #[doc(hidden)]
+    pub fn inject_drop_last_spill_slice(mut self) -> Self {
+        self.drop_last_spill_slice = true;
+        self
+    }
+
+    /// The mapped-footprint bytes of the piece `[start, start + len)` —
+    /// the sum over the construct's map clauses of their section lengths
+    /// × 8 (halo arithmetic included). This is the figure the pressure
+    /// planner budgets against device headroom; tooling (the
+    /// `spread-check` oracle) calls it to predict admission exactly.
+    pub fn footprint_bytes(&self, start: usize, len: usize) -> u64 {
+        let c = ChunkCtx::new(start, len);
+        self.maps.iter().map(|m| (m.expr)(c).len() as u64 * 8).sum()
+    }
+
     /// The `devices(…)` list, in distribution order (introspection for
     /// tooling such as the `spread-check` conformance harness).
     pub fn device_list(&self) -> &[u32] {
@@ -232,10 +271,103 @@ impl TargetSpread {
                 "target spread: spread_resilience(redistribute) requires a static schedule".into(),
             ));
         }
+        if self.pressure != PressurePolicy::Fail {
+            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+                // Admission plans against the static chunk → device
+                // assignment; dynamic chunks have none until claim time.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_pressure(split|spill) requires a static schedule".into(),
+                ));
+            }
+            if self.resilience == ResiliencePolicy::Redistribute {
+                // Both clauses re-place chunks through their own
+                // recovery coordinators; composing them is future work.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_pressure(split|spill) is incompatible with \
+                     spread_resilience(redistribute)"
+                        .into(),
+                ));
+            }
+            if self.nowait {
+                // The admission plan budgets the whole construct against
+                // headroom sampled at launch; letting the caller race
+                // more constructs in underneath would invalidate it.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_pressure(split|spill) requires a blocking construct"
+                        .into(),
+                ));
+            }
+            return self.launch_pressure(scope, range, kernel);
+        }
         match self.schedule {
             SpreadSchedule::Dynamic { .. } => self.launch_dynamic(scope, range, kernel),
             _ => self.launch_static(scope, range, kernel),
         }
+    }
+
+    /// The pressure-managed launch path: plan admission against live
+    /// per-device headroom, record the degradation events the plan
+    /// implies, then launch each piece — same-device pieces serialized
+    /// enter-after-exit (which both bounds the real memory peak by one
+    /// piece per device and re-establishes the §V-B gap ordering for
+    /// halo-overlapping neighbors), host pieces through the spill
+    /// executor. Each device piece is guarded for reactive splitting on
+    /// post-retry [`RtError::OutOfMemory`].
+    fn launch_pressure(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<Vec<TaskId>, RtError> {
+        let policy = self.pressure;
+        let chunks = distribute(range, &self.devices, &self.schedule);
+        let headroom: HashMap<u32, u64> = self
+            .devices
+            .iter()
+            .map(|&d| (d, scope.device_headroom(d)))
+            .collect();
+        let pieces = {
+            let footprint = |start: usize, len: usize| self.footprint_bytes(start, len);
+            pressure::plan_admission(&chunks, &self.devices, &headroom, &footprint, policy)?
+        };
+        for ev in pressure::degradation_events(&pieces) {
+            scope.record_degradation(ev);
+        }
+        let drop_last = self.drop_last_spill_slice;
+        let this = Rc::new(self);
+        let coord = PressureCoordinator::new(Rc::clone(&this), kernel.clone(), policy, drop_last);
+        let mut tail: HashMap<u32, TaskId> = HashMap::new();
+        let mut ids = Vec::with_capacity(pieces.len());
+        for piece in &pieces {
+            match piece.placement {
+                Placement::Device(d) => {
+                    let c = ChunkCtx::new(piece.start, piece.len);
+                    let t = this
+                        .build_target(d, c)
+                        .pressure_managed()
+                        .after(tail.get(&d).copied());
+                    let phases = t.parallel_for_phases(scope, piece.range(), kernel.clone())?;
+                    pressure::guard(scope, &coord, d, piece.start, piece.len, phases);
+                    tail.insert(d, phases.exit);
+                    ids.push(phases.exit);
+                }
+                Placement::Host => {
+                    let id = spread_rt::spill_chunk(
+                        scope,
+                        format!("spread-spill[{}..{})", piece.start, piece.start + piece.len),
+                        piece.range(),
+                        kernel.clone(),
+                        Vec::new(),
+                        drop_last,
+                    );
+                    ids.push(id);
+                }
+            }
+        }
+        for &id in &ids {
+            scope.drain_task(id)?;
+        }
+        Ok(ids)
     }
 
     fn launch_static(

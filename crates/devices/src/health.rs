@@ -41,6 +41,9 @@ struct DeviceState {
     transients: Vec<(SimTime, u32)>,
     /// Link-degradation windows: `(from, until, factor)`.
     degrades: Vec<(SimTime, SimTime, f64)>,
+    /// Memory-pressure windows: `(from, until, bytes)`, `until = None`
+    /// for sustained pressure (never released).
+    pressure: Vec<(SimTime, Option<SimTime>, u64)>,
     lost: bool,
     /// Streak of transient faults with no intervening success.
     consecutive: u32,
@@ -79,6 +82,7 @@ impl FaultCtx {
             .map(|_| DeviceState {
                 transients: Vec::new(),
                 degrades: Vec::new(),
+                pressure: Vec::new(),
                 lost: false,
                 consecutive: 0,
             })
@@ -104,8 +108,26 @@ impl FaultCtx {
                         d.degrades.push((from, until, factor));
                     }
                 }
+                // The injector allocations are scheduled by the runtime
+                // at their virtual instants; the windows are recorded
+                // here as the forecast admission control consults.
+                PlannedFault::OomSpike {
+                    device,
+                    at,
+                    bytes,
+                    duration,
+                } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.pressure.push((at, Some(at + duration), bytes));
+                    }
+                }
+                PlannedFault::OomSustained { device, at, bytes } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.pressure.push((at, None, bytes));
+                    }
+                }
                 // Scheduled by the runtime at their virtual instants.
-                PlannedFault::OomSpike { .. } | PlannedFault::DeviceLoss { .. } => {}
+                PlannedFault::DeviceLoss { .. } => {}
             }
         }
         FaultCtx {
@@ -214,6 +236,29 @@ impl FaultCtx {
         let mut inner = self.inner.borrow_mut();
         let retry = inner.retry;
         retry.backoff(attempt, &mut inner.prng)
+    }
+
+    /// Injector-reserved memory still outstanding on `device` at `now`:
+    /// the sum of every pressure window that has not yet ended
+    /// (sustained windows never end). Windows that have not *started*
+    /// are included — this is a forecast for admission control, which
+    /// must assume planned pressure will materialize mid-construct.
+    /// Bytes of windows already active are counted here *and* appear in
+    /// the pool's `used`; callers subtract the injector-live figure the
+    /// runtime tracks to avoid double counting.
+    pub fn oom_outstanding(&self, device: u32, now: SimTime) -> u64 {
+        self.inner
+            .borrow()
+            .devices
+            .get(device as usize)
+            .map(|d| {
+                d.pressure
+                    .iter()
+                    .filter(|(_, until, _)| until.is_none_or(|u| u > now))
+                    .map(|(_, _, b)| *b)
+                    .sum()
+            })
+            .unwrap_or(0)
     }
 
     /// The link slowdown factor for `device` at `now` (product of all
@@ -329,6 +374,28 @@ mod tests {
         assert_eq!(c.link_factor(0, t(17)), 6.0);
         assert_eq!(c.link_factor(0, t(25)), 3.0);
         assert_eq!(c.link_factor(1, t(17)), 1.0);
+    }
+
+    #[test]
+    fn oom_outstanding_forecasts_windows() {
+        use spread_sim::SimDuration;
+        let plan = FaultPlan::new(0)
+            .oom_spike(1, t(10), 100, SimDuration::from_micros(20))
+            .sustain_pressure(1, t(50), 40)
+            .sustain_pressure(2, t(0), 7);
+        let c = ctx(&plan, 100);
+        // Before the spike starts it is still forecast.
+        assert_eq!(c.oom_outstanding(1, t(0)), 140);
+        // Inside the spike window both count.
+        assert_eq!(c.oom_outstanding(1, t(15)), 140);
+        // After the spike ends only the sustained pressure remains —
+        // even though it has not started yet (forecast), and forever
+        // after it does.
+        assert_eq!(c.oom_outstanding(1, t(30)), 40);
+        assert_eq!(c.oom_outstanding(1, t(1_000_000)), 40);
+        assert_eq!(c.oom_outstanding(2, t(0)), 7);
+        assert_eq!(c.oom_outstanding(0, t(0)), 0);
+        assert_eq!(c.oom_outstanding(99, t(0)), 0);
     }
 
     #[test]

@@ -95,6 +95,13 @@ impl MemoryPool {
         self.high_watermark
     }
 
+    /// Reset the peak-usage statistic to the *current* usage. A fresh
+    /// `Runtime` calls this on every device so peak numbers describe one
+    /// runtime instance, not the whole life of a shared node spec.
+    pub fn reset_high_watermark(&mut self) {
+        self.high_watermark = self.used;
+    }
+
     /// Number of live allocations.
     pub fn live_allocs(&self) -> usize {
         self.allocs.len()
@@ -199,6 +206,11 @@ impl DeviceMemory {
         &self.pool
     }
 
+    /// The underlying pool, mutably (statistics resets).
+    pub fn pool_mut(&mut self) -> &mut MemoryPool {
+        &mut self.pool
+    }
+
     /// Allocate a buffer of `elems` f64 elements, zero-initialized.
     pub fn alloc_elems(&mut self, elems: usize) -> Result<AllocId, OutOfMemory> {
         let id = self.pool.alloc(elems as u64 * ELEM_BYTES)?;
@@ -301,6 +313,70 @@ mod tests {
         p.dealloc(b); // merges with both neighbours
         assert_eq!(p.largest_free_block(), 300);
         assert_eq!(p.live_allocs(), 0);
+    }
+
+    #[test]
+    fn watermark_reset_drops_to_current_usage() {
+        let mut p = MemoryPool::new(1000);
+        let a = p.alloc(700).unwrap();
+        let _b = p.alloc(100).unwrap();
+        p.dealloc(a);
+        assert_eq!(p.high_watermark(), 800, "peak of a previous run");
+        // A new runtime instance resets the statistic: the peak now
+        // describes only what is still resident, not history.
+        p.reset_high_watermark();
+        assert_eq!(p.high_watermark(), 100);
+        let _c = p.alloc(300).unwrap();
+        assert_eq!(p.high_watermark(), 400, "peak grows from the reset");
+    }
+
+    #[test]
+    fn fragmentation_free_bytes_vs_largest_hole() {
+        // Interleaved alloc/dealloc forcing best-fit splitting: admission
+        // control must be able to trust both accountings.
+        let mut p = MemoryPool::new(1024);
+        let ids: Vec<AllocId> = (0..8).map(|_| p.alloc(128).unwrap()).collect();
+        assert_eq!(p.free_bytes(), 0);
+        // Free every other block: 512 B free, but no hole above 128 B.
+        for &id in ids.iter().step_by(2) {
+            assert!(p.dealloc(id));
+        }
+        assert_eq!(p.free_bytes(), 512);
+        assert_eq!(p.largest_free_block(), 128);
+        assert_eq!(p.live_allocs(), 4);
+        // A 256 B request fails despite 512 B free — and the error
+        // carries both numbers so callers can tell scarcity from
+        // fragmentation.
+        let err = p.alloc(256).unwrap_err();
+        assert_eq!(err.free, 512);
+        assert_eq!(err.largest_block, 128);
+        // Best fit packs exact-size requests into the holes.
+        for _ in 0..4 {
+            p.alloc(128).unwrap();
+        }
+        assert_eq!(p.free_bytes(), 0);
+    }
+
+    #[test]
+    fn best_fit_splits_smallest_sufficient_hole() {
+        let mut p = MemoryPool::new(1000);
+        let a = p.alloc(100).unwrap(); // [0, 100)
+        let _b = p.alloc(200).unwrap(); // [100, 300)
+        let c = p.alloc(300).unwrap(); // [300, 600)
+        let _d = p.alloc(400).unwrap(); // [600, 1000)
+        p.dealloc(a); // hole 100 at offset 0
+        p.dealloc(c); // hole 300 at offset 300
+                      // 80 B goes into the 100-B hole (best fit), not the 300-B one.
+        let _e = p.alloc(80).unwrap();
+        assert_eq!(p.largest_free_block(), 300, "large hole left intact");
+        assert_eq!(p.free_bytes(), 320);
+        // 280 B splits the 300-B hole, leaving a 20-B sliver.
+        let _f = p.alloc(280).unwrap();
+        assert_eq!(p.free_bytes(), 40);
+        assert_eq!(p.largest_free_block(), 20);
+        // free_bytes is the sum of the surviving slivers.
+        let holes: u64 = p.free.values().sum();
+        assert_eq!(holes, p.free_bytes());
     }
 
     #[test]

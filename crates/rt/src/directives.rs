@@ -459,6 +459,7 @@ pub struct Target {
     num_teams: Option<u32>,
     threads_per_team: Option<u32>,
     extra_preds: Vec<TaskId>,
+    pressure_managed: bool,
 }
 
 impl Target {
@@ -472,7 +473,18 @@ impl Target {
             num_teams: None,
             threads_per_team: None,
             extra_preds: Vec::new(),
+            pressure_managed: false,
         }
+    }
+
+    /// Mark this construct as pressure-managed: its enter phase retries
+    /// an out-of-memory with bounded sim-time backoff (bypassing the
+    /// indefinite backpressure parking) and, once retries are
+    /// exhausted, *fails the enter task* with the OOM so a registered
+    /// [`Scope::on_task_oom`] handler can split or spill the chunk.
+    pub fn pressure_managed(mut self) -> Self {
+        self.pressure_managed = true;
+        self
     }
 
     /// Add a map item.
@@ -596,8 +608,13 @@ impl Target {
             spec.extra_preds = self.extra_preds.clone();
             spec.fp_reads = fp_reads;
             spec.fp_writes = fp_writes;
+            let pressure = self.pressure_managed;
             let action: Action = Box::new(move |sim, inner_rc, id| {
-                crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+                if pressure {
+                    crate::runtime::pressure_enter(sim, inner_rc, id, device, maps, 0);
+                } else {
+                    crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+                }
                 Ok(Completion::Async)
             });
             scope.submit(spec, action)

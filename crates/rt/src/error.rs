@@ -91,6 +91,19 @@ pub enum RtError {
         /// Virtual time spent waiting before the watchdog fired.
         waited: SimDuration,
     },
+    /// Memory-pressure degradation was exhausted: even after splitting
+    /// to the minimum chunk size no device could hold a piece and the
+    /// construct's `spread_pressure(…)` policy forbade the next rung of
+    /// the ladder (host spill). Carries the terminal allocation failure
+    /// for telemetry.
+    Degraded {
+        /// Device of the final failed placement attempt.
+        device: u32,
+        /// What was being placed (the piece label).
+        what: String,
+        /// Bytes the smallest piece still needed.
+        bytes: u64,
+    },
 }
 
 impl RtError {
@@ -98,11 +111,34 @@ impl RtError {
     /// (memory pressure can clear; a transient link error can heal).
     /// Fatal errors — lost devices, poisoned mappings, malformed
     /// directives, deadlocks — return false.
+    ///
+    /// Every variant is classified explicitly (no `_` arm): a new
+    /// variant must document its choice here, and
+    /// `transient_classification_is_exhaustive` pins each decision.
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            RtError::OutOfMemory { .. } | RtError::TransientCopy { .. }
-        )
+        match self {
+            // Memory pressure can clear: deallocation, splitting or
+            // spilling may let a retry succeed.
+            RtError::OutOfMemory { .. } => true,
+            // The link may heal; retry with backoff is meaningful.
+            RtError::TransientCopy { .. } => true,
+            // Mapping-rule violations are deterministic program errors:
+            // retrying replays the same violation.
+            RtError::OverlapExtension { .. } => false,
+            RtError::NotMapped { .. } => false,
+            RtError::KernelSectionMissing { .. } => false,
+            // Malformed directives never become well-formed.
+            RtError::InvalidDirective(_) => false,
+            // Scheduling failures describe a wedged run, not a fault
+            // that clears.
+            RtError::Deadlock { .. } => false,
+            RtError::Timeout { .. } => false,
+            // The device never comes back.
+            RtError::DeviceLost { .. } => false,
+            // Degradation already *was* the retry ladder: by
+            // construction every transient avenue has been exhausted.
+            RtError::Degraded { .. } => false,
+        }
     }
 }
 
@@ -164,6 +200,15 @@ impl fmt::Display for RtError {
                 f,
                 "timeout: no progress on {waiting_for} after {:.3} ms",
                 waited.as_secs_f64() * 1e3
+            ),
+            RtError::Degraded {
+                device,
+                what,
+                bytes,
+            } => write!(
+                f,
+                "degradation exhausted placing {what}: no device can hold {bytes} B \
+                 (last tried device {device})"
             ),
         }
     }
@@ -285,5 +330,132 @@ mod tests {
         ] {
             assert!(!fatal.is_transient(), "{fatal}");
         }
+    }
+
+    /// Exhaustive: one value of *every* variant with its expected
+    /// classification. The `match` below has no `_` arm, so adding a
+    /// variant breaks this test (and `is_transient` itself) until the
+    /// new variant is classified explicitly.
+    #[test]
+    fn transient_classification_is_exhaustive() {
+        let s = Section::new(ArrayId(0), 0, 8);
+        let every: Vec<(RtError, bool)> = vec![
+            (
+                RtError::OverlapExtension {
+                    device: 0,
+                    requested: s,
+                    present: s,
+                },
+                false,
+            ),
+            (
+                RtError::NotMapped {
+                    device: 0,
+                    requested: s,
+                },
+                false,
+            ),
+            (
+                RtError::OutOfMemory {
+                    device: 0,
+                    requested: s,
+                    bytes: 64,
+                    free: 0,
+                },
+                true,
+            ),
+            (
+                RtError::KernelSectionMissing {
+                    device: 0,
+                    kernel: "k".into(),
+                    requested: s,
+                },
+                false,
+            ),
+            (
+                RtError::Deadlock {
+                    waiting_for: "x".into(),
+                },
+                false,
+            ),
+            (RtError::InvalidDirective("x".into()), false),
+            (
+                RtError::TransientCopy {
+                    device: 0,
+                    what: "x".into(),
+                    attempts: 1,
+                },
+                true,
+            ),
+            (
+                RtError::DeviceLost {
+                    device: 0,
+                    what: "x".into(),
+                },
+                false,
+            ),
+            (
+                RtError::Timeout {
+                    waiting_for: "x".into(),
+                    waited: SimDuration::from_micros(1),
+                },
+                false,
+            ),
+            (
+                RtError::Degraded {
+                    device: 0,
+                    what: "x".into(),
+                    bytes: 64,
+                },
+                false,
+            ),
+        ];
+        for (err, want) in &every {
+            assert_eq!(err.is_transient(), *want, "{err}");
+            // Coverage check: every variant must appear in the list
+            // above exactly once. No `_` arm — extending `RtError`
+            // fails compilation here until the new variant is added.
+            match err {
+                RtError::OverlapExtension { .. }
+                | RtError::NotMapped { .. }
+                | RtError::OutOfMemory { .. }
+                | RtError::KernelSectionMissing { .. }
+                | RtError::Deadlock { .. }
+                | RtError::InvalidDirective(_)
+                | RtError::TransientCopy { .. }
+                | RtError::DeviceLost { .. }
+                | RtError::Timeout { .. }
+                | RtError::Degraded { .. } => {}
+            }
+        }
+        let variants: std::collections::BTreeSet<&'static str> = every
+            .iter()
+            .map(|(e, _)| match e {
+                RtError::OverlapExtension { .. } => "OverlapExtension",
+                RtError::NotMapped { .. } => "NotMapped",
+                RtError::OutOfMemory { .. } => "OutOfMemory",
+                RtError::KernelSectionMissing { .. } => "KernelSectionMissing",
+                RtError::Deadlock { .. } => "Deadlock",
+                RtError::InvalidDirective(_) => "InvalidDirective",
+                RtError::TransientCopy { .. } => "TransientCopy",
+                RtError::DeviceLost { .. } => "DeviceLost",
+                RtError::Timeout { .. } => "Timeout",
+                RtError::Degraded { .. } => "Degraded",
+            })
+            .collect();
+        assert_eq!(variants.len(), every.len(), "a variant is listed twice");
+    }
+
+    #[test]
+    fn degraded_display() {
+        let e = RtError::Degraded {
+            device: 2,
+            what: "piece [4..6)".into(),
+            bytes: 96,
+        };
+        assert!(e.to_string().contains("degradation exhausted"));
+        assert!(e.to_string().contains("piece [4..6)"));
+        assert!(e.to_string().contains("96 B"));
+        assert!(e.to_string().contains("device 2"));
     }
 }

@@ -53,6 +53,7 @@ pub mod map;
 pub mod mapping;
 pub mod runtime;
 pub mod section;
+pub mod spill;
 pub mod task;
 
 pub use directives::ConstructIds;
@@ -60,8 +61,9 @@ pub use error::RtError;
 pub use host::HostArray;
 pub use kernel::{Access, KernelArg, KernelSpec};
 pub use map::{MapClause, MapType};
-pub use runtime::{Runtime, RuntimeConfig, Scope};
+pub use runtime::{DegradationEvent, DegradationKind, Runtime, RuntimeConfig, Scope};
 pub use section::{ArrayId, Section};
+pub use spill::{kernel_footprint_bytes, spill_chunk, spill_slices};
 pub use task::{GroupId, TaskId};
 
 /// Convenience re-exports for building runtime programs.

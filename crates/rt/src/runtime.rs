@@ -76,6 +76,11 @@ pub struct RuntimeConfig {
     /// this much virtual time, it fails with [`RtError::Timeout`]
     /// instead of spinning (`None` = wait forever).
     pub watchdog: Option<SimDuration>,
+    /// Size of the bounded host staging buffer used by the spill
+    /// executor (the last rung of the memory-pressure ladder). A chunk
+    /// whose device footprint exceeds this executes in multiple
+    /// map→compute→unmap slices.
+    pub spill_staging_bytes: u64,
 }
 
 impl RuntimeConfig {
@@ -93,6 +98,7 @@ impl RuntimeConfig {
             retry: RetryPolicy::default(),
             breaker: 8,
             watchdog: None,
+            spill_staging_bytes: 1 << 20,
         }
     }
 
@@ -143,6 +149,44 @@ impl RuntimeConfig {
         self.watchdog = Some(limit);
         self
     }
+
+    /// Set the host spill staging-buffer size.
+    pub fn with_spill_staging_bytes(mut self, bytes: u64) -> Self {
+        self.spill_staging_bytes = bytes.max(8);
+        self
+    }
+}
+
+/// Which rung of the memory-pressure degradation ladder fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradationKind {
+    /// Admission control moved a chunk off its preferred device
+    /// before launch (`admission_shrunk`).
+    AdmissionShrunk,
+    /// A chunk was split because no single device could hold it
+    /// (`chunk_split`).
+    ChunkSplit,
+    /// A chunk (or piece) executed through the bounded host staging
+    /// buffer (`spilled_bytes`).
+    Spilled,
+}
+
+/// One degradation decision, recorded in program order. `spread-check`
+/// compares the exact sequence against its oracle's prediction; the
+/// events are deterministic because they are derived from admission
+/// decisions taken at construct-launch time, never from event races.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// Which rung fired.
+    pub kind: DegradationKind,
+    /// The device the piece landed on (`None` for a host spill).
+    pub device: Option<u32>,
+    /// First loop iteration of the affected piece.
+    pub start: usize,
+    /// Iteration count of the affected piece.
+    pub len: usize,
+    /// Device-footprint bytes of the piece.
+    pub bytes: u64,
 }
 
 /// What an action reports back to the scheduler.
@@ -169,6 +213,13 @@ pub(crate) struct Recoverer {
     /// task whose device is *not* lost still poison the runtime — the
     /// handler only routes around dead hardware, never around bugs.
     pub(crate) device: u32,
+    /// When true, the handler additionally covers
+    /// [`RtError::OutOfMemory`] on the registered tasks (the
+    /// memory-pressure ladder: a persistent OOM after retries hands the
+    /// chunk to the split/spill coordinator instead of poisoning the
+    /// runtime). Unlike the loss arm, this does not require a fault
+    /// context — fragmentation can exhaust a healthy device.
+    pub(crate) on_oom: bool,
     pub(crate) handler: RecoveryHandler,
 }
 
@@ -196,6 +247,18 @@ pub(crate) struct Inner {
     pub(crate) recoverers: std::collections::HashMap<TaskId, Recoverer>,
     /// Watchdog limit for blocking drains.
     pub(crate) watchdog: Option<SimDuration>,
+    /// Bytes currently held on each device by the fault injector's
+    /// pressure allocations (OOM spikes and sustained windows). These
+    /// bytes sit inside the pool's `used` figure, but
+    /// [`FaultCtx::oom_outstanding`] already forecasts them — headroom
+    /// queries subtract this to avoid double counting.
+    pub(crate) injector_live: Vec<u64>,
+    /// Degradation decisions in program order (see [`DegradationEvent`]).
+    pub(crate) degradations: Vec<DegradationEvent>,
+    /// Retry policy reused for pressure-managed enter backoff.
+    pub(crate) retry: RetryPolicy,
+    /// Host staging-buffer bound for the spill executor.
+    pub(crate) spill_staging_bytes: u64,
 }
 
 impl Inner {
@@ -494,6 +557,70 @@ pub(crate) fn retry_mem_waiters(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner
     }
 }
 
+/// Run a pressure-managed enter-mapping task: like
+/// [`enter_with_backpressure`], but an [`RtError::OutOfMemory`] is
+/// retried a bounded number of times (sim-scheduled backoff, so an
+/// expiring OOM spike can clear) instead of parking indefinitely on
+/// `mem_waiters`. When retries are exhausted the task *fails* with the
+/// OOM, which routes it to the construct's registered pressure
+/// recoverer (split or spill). Never returns an error: every outcome is
+/// delivered through the task graph.
+pub(crate) fn pressure_enter(
+    sim: &mut Simulator,
+    inner_rc: &Rc<RefCell<Inner>>,
+    id: TaskId,
+    device: u32,
+    maps: Vec<MapClause>,
+    attempt: u32,
+) {
+    if inner_rc.borrow().error.is_some() {
+        return;
+    }
+    let planned = inner_rc.borrow_mut().plan_enter(device, &maps);
+    match planned {
+        Ok(plan) => run_transfers(
+            sim,
+            inner_rc,
+            id,
+            device,
+            plan.copies,
+            Vec::new(),
+            Vec::new(),
+        ),
+        Err(e @ RtError::OutOfMemory { .. }) => {
+            let (max_retries, backoff) = {
+                let inner = inner_rc.borrow();
+                let retry = inner.retry;
+                let backoff = match &inner.fault {
+                    // With a fault context, draw from the run's single
+                    // seeded PRNG (same stream as transient-copy
+                    // backoff) so replays stay byte-identical.
+                    Some(ctx) => ctx.backoff(attempt),
+                    // Without one there is nothing to race against:
+                    // a jitter-free exponential is fully deterministic.
+                    None => (retry.base * 2u64.saturating_pow(attempt.min(32))).min(retry.cap),
+                };
+                (retry.max_retries, backoff)
+            };
+            if attempt >= max_retries {
+                task_failed(sim, inner_rc, id, e);
+                return;
+            }
+            let weak = Rc::downgrade(inner_rc);
+            let at = sim.now() + backoff;
+            sim.schedule_at(
+                at,
+                Box::new(move |sim| {
+                    if let Some(rc) = weak.upgrade() {
+                        pressure_enter(sim, &rc, id, device, maps, attempt + 1);
+                    }
+                }),
+            );
+        }
+        Err(e) => task_failed(sim, inner_rc, id, e),
+    }
+}
+
 /// Schedule a task's start event at the current instant.
 pub(crate) fn schedule_start(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, id: TaskId) {
     let rc = Rc::clone(inner_rc);
@@ -521,10 +648,11 @@ pub(crate) fn start_task(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, id:
 }
 
 /// Route a task failure: if the task has a registered recovery handler
-/// *and* the handler's device really is lost, the handler runs (once)
-/// with a fresh [`Scope`] — it is responsible for eventually completing
-/// the faulted task. Every other failure poisons the runtime
-/// (fail-stop, the default).
+/// *and* either the handler's device really is lost or the handler
+/// opted into out-of-memory recovery and the error is an OOM, the
+/// handler runs (once) with a fresh [`Scope`] — it is responsible for
+/// eventually completing the faulted task. Every other failure poisons
+/// the runtime (fail-stop, the default).
 pub(crate) fn task_failed(
     sim: &mut Simulator,
     inner_rc: &Rc<RefCell<Inner>>,
@@ -534,15 +662,22 @@ pub(crate) fn task_failed(
     let handler = {
         let inner = inner_rc.borrow();
         match inner.recoverers.get(&id) {
-            Some(r)
-                if inner
+            Some(r) => {
+                let lost = inner
                     .fault
                     .as_ref()
-                    .is_some_and(|ctx| ctx.is_lost(r.device)) =>
-            {
-                r.handler.borrow_mut().take()
+                    .is_some_and(|ctx| ctx.is_lost(r.device));
+                // The OOM arm deliberately does not require a fault
+                // context: a healthy device can still run out of
+                // contiguous memory (fragmentation).
+                let oom = r.on_oom && matches!(err, RtError::OutOfMemory { .. });
+                if lost || oom {
+                    r.handler.borrow_mut().take()
+                } else {
+                    None
+                }
             }
-            _ => None,
+            None => None,
         }
     };
     match handler {
@@ -871,7 +1006,17 @@ impl Runtime {
             fault: fault.clone(),
             recoverers: std::collections::HashMap::new(),
             watchdog: cfg.watchdog,
+            injector_live: vec![0; n],
+            degradations: Vec::new(),
+            retry: cfg.retry,
+            spill_staging_bytes: cfg.spill_staging_bytes,
         };
+        // A fresh runtime starts its peak-memory statistics from zero:
+        // `device_mem_peak` must describe *this* instance, even if the
+        // underlying pools were ever handed over pre-warmed.
+        for d in &inner.devices {
+            d.mem.borrow_mut().pool_mut().reset_high_watermark();
+        }
         let inner = Rc::new(RefCell::new(inner));
         if let (Some(ctx), Some(plan)) = (&fault, cfg.fault_plan.as_ref()) {
             // The loss hook closes over a Weak handle: the context lives
@@ -891,14 +1036,15 @@ impl Runtime {
                 }
             }
             for f in &plan.faults {
-                let PlannedFault::OomSpike {
-                    device,
-                    at,
-                    bytes,
-                    duration,
-                } = *f
-                else {
-                    continue;
+                let (device, at, bytes, release) = match *f {
+                    PlannedFault::OomSpike {
+                        device,
+                        at,
+                        bytes,
+                        duration,
+                    } => (device, at, bytes, Some(at + duration)),
+                    PlannedFault::OomSustained { device, at, bytes } => (device, at, bytes, None),
+                    _ => continue,
                 };
                 if device as usize >= n {
                     continue;
@@ -906,21 +1052,49 @@ impl Runtime {
                 let mem = inner.borrow().devices[device as usize].mem.clone();
                 let held: Rc<std::cell::Cell<Option<AllocId>>> =
                     Rc::new(std::cell::Cell::new(None));
-                let (mem2, held2) = (mem.clone(), Rc::clone(&held));
-                sim.schedule_at(
-                    at,
-                    Box::new(move |_| {
+                let grab = {
+                    let (mem, held) = (mem.clone(), Rc::clone(&held));
+                    let weak = Rc::downgrade(&inner);
+                    move || {
                         let elems = (bytes as usize).div_ceil(8).max(1);
-                        held2.set(mem2.borrow_mut().alloc_elems(elems).ok());
-                    }),
-                );
+                        let got = mem.borrow_mut().alloc_elems(elems).ok();
+                        if got.is_some() {
+                            if let Some(rc) = weak.upgrade() {
+                                rc.borrow_mut().injector_live[device as usize] += elems as u64 * 8;
+                            }
+                        }
+                        held.set(got);
+                    }
+                };
+                if at == SimTime::ZERO {
+                    // Time-zero pressure exists *before* the program
+                    // starts: grab the block now, while the pool is
+                    // empty, so it sits at the base of the address
+                    // space under every same-instant tie-break. Racing
+                    // it against the first construct's enter would let
+                    // the block land mid-pool and fragment the free
+                    // hole, turning advisory headroom into a lie.
+                    grab();
+                } else {
+                    sim.schedule_at(at, Box::new(move |_| grab()));
+                }
+                let Some(until) = release else {
+                    // Sustained pressure: the bytes never come back.
+                    continue;
+                };
                 let weak = Rc::downgrade(&inner);
                 sim.schedule_at(
-                    at + duration,
+                    until,
                     Box::new(move |sim| {
                         if let Some(id) = held.take() {
+                            let elems = (bytes as usize).div_ceil(8).max(1);
                             mem.borrow_mut().dealloc(id);
                             if let Some(rc) = weak.upgrade() {
+                                {
+                                    let mut inner = rc.borrow_mut();
+                                    let live = &mut inner.injector_live[device as usize];
+                                    *live = live.saturating_sub(elems as u64 * 8);
+                                }
                                 retry_mem_waiters(sim, &rc, device);
                             }
                         }
@@ -1037,6 +1211,11 @@ impl Runtime {
             .borrow()
             .pool()
             .high_watermark()
+    }
+
+    /// The degradation decisions taken so far, in program order.
+    pub fn degradations(&self) -> Vec<DegradationEvent> {
+        self.inner.borrow().degradations.clone()
     }
 
     /// Largest contiguous free block on a device (fragmentation probe).
@@ -1354,6 +1533,54 @@ impl Scope<'_> {
         self.inner.borrow().trace.clone()
     }
 
+    /// Bytes of device memory an admission planner may count on for
+    /// `device` *now*: capacity, minus live program allocations, minus
+    /// every OOM-pressure window that is still outstanding (active or
+    /// forecast). Injector-held bytes inside the pool's `used` figure
+    /// are subtracted back out so active windows are not counted twice.
+    /// Returns 0 for a lost device.
+    pub fn device_headroom(&self, device: u32) -> u64 {
+        let now = self.sim.now();
+        let inner = self.inner.borrow();
+        let d = device as usize;
+        if d >= inner.devices.len() {
+            return 0;
+        }
+        if let Some(ctx) = &inner.fault {
+            if ctx.is_lost(device) {
+                return 0;
+            }
+        }
+        let pool = inner.devices[d].mem.borrow();
+        let capacity = pool.pool().capacity();
+        let used = pool.pool().used();
+        let program_used = used.saturating_sub(inner.injector_live[d]);
+        let outstanding = inner
+            .fault
+            .as_ref()
+            .map_or(0, |ctx| ctx.oom_outstanding(device, now));
+        capacity
+            .saturating_sub(program_used)
+            .saturating_sub(outstanding)
+    }
+
+    /// The configured spill staging-buffer size.
+    pub fn spill_staging_bytes(&self) -> u64 {
+        self.inner.borrow().spill_staging_bytes
+    }
+
+    /// Record a degradation decision: appended to the runtime's event
+    /// log and mirrored as a zero-length marker span on the trace (the
+    /// device's compute lane, or the host lane for a spill).
+    pub fn record_degradation(&mut self, ev: DegradationEvent) {
+        record_degradation_inner(self.sim.now(), &mut self.inner.borrow_mut(), ev);
+    }
+
+    /// The degradation decisions taken so far, in program order.
+    pub fn degradations(&self) -> Vec<DegradationEvent> {
+        self.inner.borrow().degradations.clone()
+    }
+
     /// Register `handler` as the recovery handler of every task in
     /// `ids` (the phases of one construct). If any of them fails while
     /// `device` is permanently lost, the handler runs once with a fresh
@@ -1378,6 +1605,32 @@ impl Scope<'_> {
                 id,
                 Recoverer {
                     device,
+                    on_oom: false,
+                    handler: Rc::clone(&handler),
+                },
+            );
+        }
+    }
+
+    /// Like [`Scope::on_task_fault`], but the handler additionally
+    /// fires if a registered task fails with [`RtError::OutOfMemory`]
+    /// — the hook of the memory-pressure ladder: after the pressure
+    /// enter path exhausts its retries, the chunk is handed to the
+    /// split/spill coordinator instead of poisoning the runtime.
+    pub fn on_task_oom(
+        &mut self,
+        ids: &[TaskId],
+        device: u32,
+        handler: impl FnOnce(&mut Scope<'_>, TaskId, RtError) + 'static,
+    ) {
+        let handler: RecoveryHandler = Rc::new(RefCell::new(Some(Box::new(handler))));
+        let mut inner = self.inner.borrow_mut();
+        for &id in ids {
+            inner.recoverers.insert(
+                id,
+                Recoverer {
+                    device,
+                    on_oom: true,
                     handler: Rc::clone(&handler),
                 },
             );
@@ -1413,6 +1666,34 @@ impl Scope<'_> {
     pub fn force_complete(&mut self, id: TaskId) {
         complete_task(self.sim, self.inner, id);
     }
+}
+
+/// Append a degradation event and mirror it as a zero-length marker
+/// span (like fault markers): split/shrink on the device's compute
+/// lane, spill on the host lane with the spilled byte count.
+pub(crate) fn record_degradation_inner(now: SimTime, inner: &mut Inner, ev: DegradationEvent) {
+    let (lane, kind, bytes) = match ev.kind {
+        DegradationKind::AdmissionShrunk => (
+            ev.device
+                .map_or(spread_trace::Lane::Host, spread_trace::Lane::compute),
+            spread_trace::SpanKind::AdmissionShrink,
+            0,
+        ),
+        DegradationKind::ChunkSplit => (
+            ev.device
+                .map_or(spread_trace::Lane::Host, spread_trace::Lane::compute),
+            spread_trace::SpanKind::ChunkSplit,
+            0,
+        ),
+        DegradationKind::Spilled => (
+            spread_trace::Lane::Host,
+            spread_trace::SpanKind::Spill,
+            ev.bytes,
+        ),
+    };
+    let label = format!("{:?} [{}..{})", ev.kind, ev.start, ev.start + ev.len);
+    inner.trace.record(lane, kind, label, now, now, bytes);
+    inner.degradations.push(ev);
 }
 
 /// Build the action of a host task: swaps the parent/group context, runs

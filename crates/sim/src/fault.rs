@@ -76,6 +76,18 @@ pub enum PlannedFault {
         /// Instant of death.
         at: SimTime,
     },
+    /// From `at` onward, `bytes` of `device`'s memory are reserved by
+    /// the fault injector and never come back: sustained memory pressure
+    /// (a co-tenant that stays), as opposed to the bounded
+    /// [`PlannedFault::OomSpike`].
+    OomSustained {
+        /// Target device.
+        device: u32,
+        /// Pressure start.
+        at: SimTime,
+        /// Bytes reserved for the rest of the run.
+        bytes: u64,
+    },
 }
 
 impl PlannedFault {
@@ -85,7 +97,8 @@ impl PlannedFault {
             PlannedFault::TransientCopies { device, .. }
             | PlannedFault::LinkDegrade { device, .. }
             | PlannedFault::OomSpike { device, .. }
-            | PlannedFault::DeviceLoss { device, .. } => device,
+            | PlannedFault::DeviceLoss { device, .. }
+            | PlannedFault::OomSustained { device, .. } => device,
         }
     }
 }
@@ -153,6 +166,33 @@ impl FaultPlan {
     pub fn lose_device(mut self, device: u32, at: SimTime) -> Self {
         self.faults.push(PlannedFault::DeviceLoss { device, at });
         self
+    }
+
+    /// Add sustained memory pressure: `bytes` of `device`'s memory
+    /// vanish at `at` and never return.
+    pub fn sustain_pressure(mut self, device: u32, at: SimTime, bytes: u64) -> Self {
+        self.faults
+            .push(PlannedFault::OomSustained { device, at, bytes });
+        self
+    }
+
+    /// The memory-pressure windows of this plan as
+    /// `(device, start, end, bytes)`, with `end = None` for sustained
+    /// pressure. This is the forecast admission control consults.
+    pub fn pressure_windows(&self) -> Vec<(u32, SimTime, Option<SimTime>, u64)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                PlannedFault::OomSpike {
+                    device,
+                    at,
+                    bytes,
+                    duration,
+                } => Some((device, at, Some(at + duration), bytes)),
+                PlannedFault::OomSustained { device, at, bytes } => Some((device, at, None, bytes)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// True if the plan contains no faults.
@@ -285,11 +325,26 @@ mod tests {
             .transient_copies(1, us(10), 2)
             .degrade_link(0, us(0), us(50), 2.0)
             .oom_spike(2, us(5), 1 << 20, SimDuration::from_micros(30))
-            .lose_device(3, us(40));
-        assert_eq!(p.faults.len(), 4);
+            .lose_device(3, us(40))
+            .sustain_pressure(1, us(0), 4096);
+        assert_eq!(p.faults.len(), 5);
         assert_eq!(p.losses(), vec![(3, us(40))]);
         assert!(!p.is_empty());
         assert_eq!(p.faults[0].device(), 1);
+        assert_eq!(p.faults[4].device(), 1);
+    }
+
+    #[test]
+    fn pressure_windows_cover_spikes_and_sustained() {
+        let p = FaultPlan::new(0)
+            .oom_spike(2, us(5), 1 << 20, SimDuration::from_micros(30))
+            .sustain_pressure(1, us(0), 4096)
+            .lose_device(3, us(40));
+        let w = p.pressure_windows();
+        assert_eq!(
+            w,
+            vec![(2, us(5), Some(us(35)), 1 << 20), (1, us(0), None, 4096),]
+        );
     }
 
     #[test]

@@ -106,6 +106,13 @@ pub struct SomierConfig {
     /// Per-`cudaMemcpy` launch latency in microseconds (before time
     /// scaling). 10 µs is a typical synchronous-copy call overhead.
     pub dma_latency_us: u64,
+    /// Fraction of [`SomierConfig::device_mem_bytes`] the devices really
+    /// get (default 1.0). The oversubscribed-memory run mode: buffer
+    /// planning ([`SomierConfig::buffer_planes`]) still assumes the full
+    /// figure, so below 1.0 the planned chunks genuinely exceed device
+    /// capacity and only a `spread_pressure(…)` policy lets the run
+    /// complete.
+    pub mem_cap_frac: f64,
 }
 
 impl SomierConfig {
@@ -127,6 +134,7 @@ impl SomierConfig {
             trace: false,
             single_queue: true,
             dma_latency_us: 10,
+            mem_cap_frac: 1.0,
         }
     }
 
@@ -143,6 +151,7 @@ impl SomierConfig {
             trace: true,
             single_queue: true,
             dma_latency_us: 10,
+            mem_cap_frac: 1.0,
         }
     }
 
@@ -168,6 +177,14 @@ impl SomierConfig {
     /// separate-streams (`false`, ablation) device semantics.
     pub fn with_single_queue(mut self, on: bool) -> Self {
         self.single_queue = on;
+        self
+    }
+
+    /// Cap every device's memory at `frac` of what the buffer planning
+    /// assumes (see the field docs): the oversubscribed-memory mode for
+    /// the `spread_pressure(…)` experiments.
+    pub fn with_mem_cap_frac(mut self, frac: f64) -> Self {
+        self.mem_cap_frac = frac.clamp(0.0, 1.0);
         self
     }
 
@@ -197,6 +214,14 @@ impl SomierConfig {
     pub fn device_mem_bytes(&self) -> u64 {
         let raw = (self.total_bytes() as f64 / self.mem_ratio) as u64;
         raw.max(3 * self.plane_bytes() + self.overhead_bytes())
+    }
+
+    /// What a device *actually* gets: [`SomierConfig::device_mem_bytes`]
+    /// times [`SomierConfig::mem_cap_frac`]. Everything that plans
+    /// buffers keeps using the uncapped figure, so a fraction below 1.0
+    /// oversubscribes the devices for real.
+    pub fn capped_device_mem_bytes(&self) -> u64 {
+        (self.device_mem_bytes() as f64 * self.mem_cap_frac) as u64
     }
 
     /// Planes a single device chunk can hold: the device must fit 12
@@ -239,7 +264,7 @@ impl SomierConfig {
         let mut topo = Topology::ctepower(n_gpus);
         let spec = DeviceSpec {
             name: "V100-sim".into(),
-            mem_bytes: self.device_mem_bytes(),
+            mem_bytes: self.capped_device_mem_bytes(),
             dma_latency: SimDuration::from_micros(self.dma_latency_us),
             compute: ComputeModel {
                 launch_latency: SimDuration::from_micros(8),

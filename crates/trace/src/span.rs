@@ -122,6 +122,15 @@ pub enum SpanKind {
     Retry,
     /// Recovery work: a lost device's chunk replayed on a survivor.
     Redistribute,
+    /// Admission control modified a chunk's placement before launch
+    /// (`admission_shrunk`).
+    AdmissionShrink,
+    /// A chunk piece produced by memory-pressure splitting
+    /// (`chunk_split`).
+    ChunkSplit,
+    /// A chunk executed through the host staging path (`spilled_bytes`
+    /// in the span's `bytes` field).
+    Spill,
     /// Anything else (allocation bookkeeping, …).
     Other,
 }
@@ -138,6 +147,9 @@ impl SpanKind {
             SpanKind::Fault => 'X',
             SpanKind::Retry => 'r',
             SpanKind::Redistribute => 'R',
+            SpanKind::AdmissionShrink => 'a',
+            SpanKind::ChunkSplit => '/',
+            SpanKind::Spill => 's',
             SpanKind::Other => '.',
         }
     }
@@ -359,6 +371,9 @@ mod tests {
             SpanKind::Fault.glyph(),
             SpanKind::Retry.glyph(),
             SpanKind::Redistribute.glyph(),
+            SpanKind::AdmissionShrink.glyph(),
+            SpanKind::ChunkSplit.glyph(),
+            SpanKind::Spill.glyph(),
             SpanKind::Kernel.glyph(),
         ];
         let set: std::collections::BTreeSet<char> = glyphs.into_iter().collect();

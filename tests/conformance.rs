@@ -6,9 +6,10 @@
 //! deterministic.
 
 use spread_check::{
-    ast::{FaultMode, FaultSpec, KernelOp, Program, Sched, Stmt},
+    ast::{FaultMode, FaultSpec, KernelOp, PressureSpec, Program, Sched, Stmt},
     check_program, check_seed, fuzz, gen, oracle, pretty, shrink_seed, CheckConfig, Fault,
 };
+use spread_core::PressurePolicy;
 use spread_rt::RtError;
 
 #[test]
@@ -65,6 +66,7 @@ fn fault_sensitive_program() -> Program {
             },
         ]],
         fault: None,
+        pressure: None,
     }
 }
 
@@ -110,6 +112,7 @@ fn recovery_canary_is_caught() {
             mode: FaultMode::Resilient,
             transients: vec![],
         }),
+        pressure: None,
     };
     let clean = CheckConfig {
         interleavings: 2,
@@ -146,6 +149,7 @@ fn fail_stop_loss_is_predicted_and_matched() {
             mode: FaultMode::FailStop,
             transients: vec![],
         }),
+        pressure: None,
     };
     let want = oracle::predict(&p, None);
     assert!(
@@ -165,6 +169,68 @@ fn fail_stop_loss_is_predicted_and_matched() {
     });
     check_program(&p, 5, &CheckConfig::default())
         .expect("retried transients are invisible in the final state");
+}
+
+#[test]
+fn fuzz_with_pressure_agrees_with_oracle() {
+    // Memory-pressure programs — tiny device caps plus sustained OOM
+    // windows — must degrade exactly as the oracle's admission plan
+    // predicts, under every interleaving.
+    let cfg = CheckConfig {
+        interleavings: 2,
+        pressure: true,
+        ..CheckConfig::default()
+    };
+    let report = fuzz(0x9E55, 30, &cfg, |_, _| {});
+    assert_eq!(report.programs, 30);
+    let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
+    assert!(seeds.is_empty(), "failing seeds: {seeds:?}");
+}
+
+/// A pressure program whose only chunk fits no device: the runtime must
+/// stream it through the host staging buffer, and the `--inject spill`
+/// canary — a runtime ordered to drop the last spill slice's writes —
+/// must be caught as value divergence. This is the proof that a runtime
+/// which silently truncated a spill would not slip past the harness.
+#[test]
+fn spill_canary_is_caught() {
+    let p = Program {
+        n_devices: 1,
+        n: 12,
+        n_arrays: 1,
+        phases: vec![vec![Stmt::Spread {
+            devices: vec![0],
+            sched: Sched::Static { chunk: 12 },
+            nowait: false,
+            op: KernelOp::AddConst { a: 0, c: 1.5 },
+        }]],
+        fault: None,
+        // Sustained pressure equal to the cap: zero headroom, the whole
+        // 96-byte chunk is hopeless on-device and spills.
+        pressure: Some(PressureSpec {
+            policy: PressurePolicy::Spill,
+            cap_bytes: 64,
+            sustained: vec![(0, 64)],
+        }),
+    };
+    let clean = CheckConfig {
+        interleavings: 2,
+        pressure: true,
+        ..CheckConfig::default()
+    };
+    check_program(&p, 17, &clean).expect("the spilled run matches the oracle bit-for-bit");
+    let canary = CheckConfig {
+        interleavings: 2,
+        fault: Some(Fault::SpillDropsSlice),
+        pressure: true,
+        ..CheckConfig::default()
+    };
+    let failure = check_program(&p, 17, &canary)
+        .expect_err("a spill that truncated its last slice must be flagged");
+    assert!(
+        failure.detail.contains("array"),
+        "divergence shows in host arrays: {failure}"
+    );
 }
 
 #[test]
@@ -211,6 +277,7 @@ fn oracle_predicts_exact_mapping_errors() {
             },
         ]],
         fault: None,
+        pressure: None,
     };
     let want = oracle::predict(&extension, None);
     match &want.error {
@@ -241,6 +308,7 @@ fn oracle_predicts_exact_mapping_errors() {
             from: true,
         }]],
         fault: None,
+        pressure: None,
     };
     let want = oracle::predict(&not_mapped, None);
     assert!(

@@ -65,6 +65,24 @@ impl Program {
     pub fn pressure_policy(&self) -> Option<PressurePolicy> {
         self.pressure.as_ref().map(|ps| ps.policy)
     }
+
+    /// True when any statement uses `spread_schedule(auto)` — the
+    /// executor then runs with tracing on, so the runtime's profile
+    /// layer has spans to learn from.
+    pub fn uses_auto(&self) -> bool {
+        self.phases.iter().flatten().any(|s| {
+            matches!(
+                s,
+                Stmt::Spread {
+                    sched: Sched::Auto { .. },
+                    ..
+                } | Stmt::Reduce {
+                    sched: Sched::Auto { .. },
+                    ..
+                }
+            )
+        })
+    }
 }
 
 /// The memory-pressure scenario attached to a [`Program`].
@@ -163,6 +181,14 @@ pub enum Sched {
         /// Chunk size.
         chunk: usize,
     },
+    /// `spread_schedule(auto)` (§IX extension): profile-guided. The
+    /// runtime resolves it per launch into a `StaticWeighted` plan from
+    /// the weights learned under `key`; statements sharing a key share
+    /// a learned weight vector.
+    Auto {
+        /// Construct key (lowered to the runtime key `auto-{key}`).
+        key: u32,
+    },
 }
 
 impl Sched {
@@ -175,6 +201,23 @@ impl Sched {
                 weights: weights.iter().map(|&w| w as f64).collect(),
             },
             Sched::Dynamic { chunk } => SpreadSchedule::Dynamic { chunk: *chunk },
+            Sched::Auto { key } => SpreadSchedule::auto(format!("auto-{key}")),
+        }
+    }
+
+    /// The schedule the *oracle* interprets. `Auto` becomes an
+    /// equal-weight `StaticWeighted` stand-in: auto programs restrict
+    /// themselves to placement-independent kernels (no stencils, no
+    /// pressure), so the predicted host state is the same for every
+    /// valid static split — including whatever adapted split the
+    /// runtime actually realizes.
+    pub fn oracle_schedule(&self, n: usize, k: usize) -> SpreadSchedule {
+        match self {
+            Sched::Auto { .. } => SpreadSchedule::StaticWeighted {
+                round: n.max(1),
+                weights: vec![1.0; k.max(1)],
+            },
+            other => other.to_schedule(),
         }
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--pressure] [--inject stencil|reduce|recovery|spill]
+//!     [--pressure] [--auto] [--inject stencil|reduce|recovery|spill]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
@@ -13,8 +13,11 @@
 //! bursts). `--pressure` generates memory-pressure programs instead —
 //! tiny device capacities plus sustained OOM windows — and checks the
 //! exact degradation-event sequence against the oracle's admission
-//! plan. Exits non-zero on any disagreement or race report, printing
-//! the failing seed so `replay -- <seed>` reproduces it.
+//! plan. `--auto` generates `spread_schedule(auto)` programs with
+//! repeated construct keys and additionally requires every realized
+//! adaptive split to be a valid `StaticWeighted` plan. Exits non-zero
+//! on any disagreement or race report, printing the failing seed so
+//! `replay -- <seed>` reproduces it.
 
 use std::process::ExitCode;
 
@@ -27,6 +30,7 @@ struct Args {
     fault: Option<Fault>,
     faults: bool,
     pressure: bool,
+    auto: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         fault: None,
         faults: false,
         pressure: false,
+        auto: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,11 +68,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--faults" => args.faults = true,
             "--pressure" => args.pressure = true,
+            "--auto" => args.auto = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.faults && args.pressure {
-        return Err("--faults and --pressure are mutually exclusive".into());
+    if (args.faults as u8) + (args.pressure as u8) + (args.auto as u8) > 1 {
+        return Err("--faults, --pressure and --auto are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -79,7 +85,7 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--pressure] [--inject stencil|reduce|recovery|spill]"
+                 [--pressure] [--auto] [--inject stencil|reduce|recovery|spill]"
             );
             return ExitCode::from(2);
         }
@@ -89,15 +95,21 @@ fn main() -> ExitCode {
         fault: args.fault,
         faults: args.faults,
         pressure: args.pressure,
+        auto: args.auto,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
         if cfg.faults { ", with fault plans" } else { "" },
         if cfg.pressure {
             ", with memory-pressure scenarios"
+        } else {
+            ""
+        },
+        if cfg.auto {
+            ", with adaptive (auto) schedules"
         } else {
             ""
         },
@@ -123,10 +135,11 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
             if cfg.pressure { " --pressure" } else { "" },
+            if cfg.auto { " --auto" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",

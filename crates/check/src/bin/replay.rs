@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
-//!     [--interleavings K] [--faults] [--pressure] \
+//!     [--interleavings K] [--faults] [--pressure] [--auto] \
 //!     [--inject stencil|reduce|recovery|spill]
 //! ```
 //!
@@ -33,14 +33,15 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
             }
             "--faults" => cfg.faults = true,
             "--pressure" => cfg.pressure = true,
+            "--auto" => cfg.auto = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if cfg.faults && cfg.pressure {
-        return Err("--faults and --pressure are mutually exclusive".into());
+    if (cfg.faults as u8) + (cfg.pressure as u8) + (cfg.auto as u8) > 1 {
+        return Err("--faults, --pressure and --auto are mutually exclusive".into());
     }
     Ok((seed.ok_or("missing <seed>")?, cfg))
 }
@@ -51,7 +52,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("replay: {e}");
             eprintln!(
-                "usage: replay <seed> [--interleavings K] [--faults] [--pressure] \
+                "usage: replay <seed> [--interleavings K] [--faults] [--pressure] [--auto] \
                  [--inject stencil|reduce|recovery|spill]"
             );
             return ExitCode::from(2);

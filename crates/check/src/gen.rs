@@ -365,6 +365,102 @@ pub fn gen_program_pressure(seed: u64) -> Program {
     }
 }
 
+/// One blocking statement for an adaptive-schedule program: a spread
+/// kernel or reduction under `spread_schedule(auto)`. Auto mode
+/// restricts generation to what the equal-weight oracle stand-in can
+/// predict exactly: placement-independent kernels only (no `Stencil3`,
+/// whose halos encode the §V-B gap rule against the *actual* chunking),
+/// no `nowait` (`spread_schedule(auto)` requires a blocking construct),
+/// and no fault or pressure plans. Keys are drawn from a small
+/// per-program pool so launches share learned weight vectors and the
+/// profile store's damped update actually engages.
+fn gen_auto_stmt(r: &mut Prng, avail: &mut Vec<usize>, n_devices: usize, n_keys: usize) -> Stmt {
+    let devices = gen_devices(r, n_devices);
+    let sched = Sched::Auto {
+        key: r.below(n_keys as u64) as u32,
+    };
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 50 || !two {
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op,
+        }
+    } else if roll < 75 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else {
+        let a = avail.pop().unwrap();
+        let partials = avail.pop().unwrap();
+        Stmt::Reduce {
+            sched,
+            devices,
+            a,
+            partials,
+            alpha: *r.pick(&CONSTS),
+            op: *r.pick(&[ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min]),
+        }
+    }
+}
+
+/// Derive the adaptive-schedule program for `seed`: every statement is
+/// a blocking `spread_schedule(auto)` spread kernel or reduction, keys
+/// repeat across a multi-phase program, and there is no fault or
+/// pressure plan — so the only open question is whether the runtime's
+/// profile-guided resolution stays a valid, semantics-preserving
+/// `StaticWeighted` plan on every launch.
+pub fn gen_program_auto(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    // Adaptation needs at least two devices to have anything to shift.
+    let n_devices = r.range(2, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    let n_keys = r.range(1, 4);
+    // Several phases so repeated keys see several launches.
+    let n_phases = r.range(2, 6);
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_auto_stmt(&mut r, &mut avail, n_devices, n_keys));
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +611,63 @@ mod tests {
         assert!(split > 100, "{split}");
         assert!(spill > 100, "{spill}");
         assert!(windows > 100, "{windows}");
+    }
+
+    #[test]
+    fn auto_programs_respect_the_auto_invariants() {
+        let mut auto_stmts = 0;
+        let mut reduces = 0;
+        let mut repeated_keys = 0;
+        for seed in 0..300u64 {
+            let p = gen_program_auto(seed);
+            assert!(p.n_devices >= 2, "seed {seed}: adaptation needs 2 devices");
+            assert!(p.fault.is_none(), "seed {seed}: auto excludes fault plans");
+            assert!(p.pressure.is_none(), "seed {seed}: auto excludes pressure");
+            assert!(
+                p.phases.len() >= 2,
+                "seed {seed}: keys need repeat launches"
+            );
+            assert!(p.uses_auto(), "seed {seed}");
+            let mut keys = Vec::new();
+            for stmt in p.phases.iter().flatten() {
+                match stmt {
+                    Stmt::Spread {
+                        sched,
+                        nowait,
+                        op,
+                        devices,
+                    } => {
+                        assert!(!nowait, "seed {seed}: auto requires blocking");
+                        assert!(!devices.is_empty(), "seed {seed}");
+                        assert!(
+                            !matches!(op, KernelOp::Stencil3 { .. }),
+                            "seed {seed}: stencils are placement-dependent"
+                        );
+                        let Sched::Auto { key } = sched else {
+                            panic!("seed {seed}: non-auto schedule");
+                        };
+                        keys.push(*key);
+                        auto_stmts += 1;
+                    }
+                    Stmt::Reduce { sched, .. } => {
+                        let Sched::Auto { key } = sched else {
+                            panic!("seed {seed}: non-auto schedule");
+                        };
+                        keys.push(*key);
+                        reduces += 1;
+                        auto_stmts += 1;
+                    }
+                    other => panic!("seed {seed}: auto programs are spread-only, got {other:?}"),
+                }
+            }
+            let distinct: std::collections::BTreeSet<u32> = keys.iter().copied().collect();
+            if distinct.len() < keys.len() {
+                repeated_keys += 1;
+            }
+        }
+        assert!(auto_stmts > 600, "{auto_stmts}");
+        assert!(reduces > 50, "{reduces}");
+        assert!(repeated_keys > 100, "{repeated_keys}");
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //! shrinks, chunk splits, host spills) to equal the oracle's exact
 //! prediction, while results stay bit-identical.
 //!
+//! Auto mode ([`CheckConfig::auto`]) generates `spread_schedule(auto)`
+//! programs — blocking, placement-independent kernels with repeated
+//! construct keys — and checks the final state against an equal-weight
+//! oracle stand-in while requiring every realized adaptive split
+//! (recorded as a [`spread_trace::ConstructProfile`]) to be a valid
+//! `StaticWeighted` plan.
+//!
 //! ```
 //! use spread_check::{check_seed, CheckConfig};
 //! assert!(check_seed(1, &CheckConfig::default()).is_ok());
@@ -107,6 +114,17 @@ pub struct CheckConfig {
     /// splits, host spills) or the exact `Degraded` error, alongside
     /// bit-identical results. Mutually exclusive with `faults`.
     pub pressure: bool,
+    /// Generate `spread_schedule(auto)` programs: spread-only blocking
+    /// constructs over placement-independent kernels with repeated
+    /// construct keys, so the runtime's profile-guided adaptation
+    /// actually kicks in across launches. The oracle predicts the final
+    /// state from an equal-weight stand-in split (valid because the
+    /// kernels are placement-independent), and [`run::Observed`]
+    /// additionally carries the realized per-launch
+    /// [`spread_trace::ConstructProfile`]s, which must form valid
+    /// `StaticWeighted` plans. Mutually exclusive with `faults` and
+    /// `pressure`.
+    pub auto: bool,
 }
 
 impl Default for CheckConfig {
@@ -116,6 +134,7 @@ impl Default for CheckConfig {
             fault: None,
             faults: false,
             pressure: false,
+            auto: false,
         }
     }
 }
@@ -209,6 +228,33 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
             want.mappings, got.mappings
         ));
     }
+    // spread_schedule(auto) programs: whatever split the runtime
+    // realized must have been a *valid* StaticWeighted plan. (Empty for
+    // every other program kind, so the checks are vacuous there.)
+    for prof in &got.profiles {
+        if prof.weights.len() != prof.devices.len() {
+            return Some(format!(
+                "profile `{}` launch {}: {} weight(s) for {} device(s)",
+                prof.key,
+                prof.launch,
+                prof.weights.len(),
+                prof.devices.len()
+            ));
+        }
+        if prof.weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Some(format!(
+                "profile `{}` launch {}: realized weights {:?} are not a \
+                 valid StaticWeighted plan",
+                prof.key, prof.launch, prof.weights
+            ));
+        }
+        if prof.round == 0 {
+            return Some(format!(
+                "profile `{}` launch {}: realized round is zero",
+                prof.key, prof.launch
+            ));
+        }
+    }
     None
 }
 
@@ -225,11 +271,14 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
 }
 
 /// The program a configuration generates for `seed`: a pressure
-/// program under `cfg.pressure`, a faulted program under `cfg.faults`,
-/// a plain program otherwise.
+/// program under `cfg.pressure`, an adaptive-schedule program under
+/// `cfg.auto`, a faulted program under `cfg.faults`, a plain program
+/// otherwise.
 pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
     if cfg.pressure {
         gen::gen_program_pressure(seed)
+    } else if cfg.auto {
+        gen::gen_program_auto(seed)
     } else {
         gen::gen_program_cfg(seed, cfg.faults)
     }
@@ -344,6 +393,20 @@ mod tests {
         for seed in 0..8u64 {
             if let Err(f) = check_seed(seed, &cfg) {
                 panic!("pressure seed {seed}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_seeds_check_clean() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            auto: true,
+            ..CheckConfig::default()
+        };
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("auto seed {seed}: {f}");
             }
         }
     }

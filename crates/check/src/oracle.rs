@@ -404,7 +404,7 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             devices, sched, op, ..
         } => {
             let range = op.range(p.n);
-            let chunks = distribute(range, devices, &sched.to_schedule());
+            let chunks = distribute(range, devices, &sched.oracle_schedule(p.n, devices.len()));
             if let Some(ps) = m.pressure.clone() {
                 // The admission plan decides *where* degradation lands;
                 // the values stay bit-identical to the scheduled
@@ -437,7 +437,11 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             let alpha = *alpha;
             let a = *a;
             let partials_ix = *partials;
-            for chunk in distribute(range.clone(), devices, &sched.to_schedule()) {
+            for chunk in distribute(
+                range.clone(),
+                devices,
+                &sched.oracle_schedule(p.n, devices.len()),
+            ) {
                 let device = chunk.device.unwrap_or(devices[0]);
                 m.spread_chunk_on(device, devices)?;
                 if m.drops_chunk(device) {

@@ -19,6 +19,7 @@ fn sched(s: &Sched) -> String {
             format!("spread_schedule(weighted, {round}; w=[{}])", ws.join(","))
         }
         Sched::Dynamic { chunk } => format!("spread_schedule(dynamic, {chunk})"),
+        Sched::Auto { key } => format!("spread_schedule(auto, key=auto-{key})"),
     }
 }
 

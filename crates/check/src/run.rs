@@ -4,6 +4,7 @@
 //! mapping-table snapshot, race reports, and the first error.
 
 use spread_core::spread_map::SpreadMap;
+use spread_core::testing::TargetSpreadTestingExt;
 use spread_core::{
     spread_from, spread_to, spread_tofrom, PressurePolicy, ResiliencePolicy, SpreadSchedule,
     TargetEnterDataSpread, TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
@@ -14,6 +15,7 @@ use spread_rt::{
     DegradationEvent, HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope,
 };
 use spread_sim::{FaultPlan, SimTime, TieBreak};
+use spread_trace::ConstructProfile;
 
 use crate::ast::{BadKind, FaultSpec, KernelOp, PressureSpec, Program, Stmt};
 use crate::Fault;
@@ -36,6 +38,10 @@ pub struct Observed {
     /// Degradation events in program order, from
     /// [`Runtime::degradations`].
     pub degradations: Vec<DegradationEvent>,
+    /// Per-construct adaptive profiles in launch order, from
+    /// [`Runtime::profiles`] — non-empty only for
+    /// `spread_schedule(auto)` programs (which run with tracing on).
+    pub profiles: Vec<ConstructProfile>,
     /// Number of race reports.
     pub races: usize,
     /// The first error, if any.
@@ -43,16 +49,20 @@ pub struct Observed {
 }
 
 /// Build the harness's machine: uniform devices with ample memory, two
-/// team threads, tracing off (the conformance assertions do not need
-/// span records; `tests/determinism.rs` covers the timeline). The
-/// program's [`FaultSpec`], if any, is lowered to a [`FaultPlan`]: the
-/// loss fires at time zero and transient bursts start failing copies
-/// immediately, so the outcome is the same under every tie-break.
+/// team threads, tracing off unless the program uses
+/// `spread_schedule(auto)` (the conformance assertions do not need span
+/// records — `tests/determinism.rs` covers the timeline — but the
+/// adaptive profile layer learns from spans, so auto programs trace).
+/// The program's [`FaultSpec`], if any, is lowered to a [`FaultPlan`]:
+/// the loss fires at time zero and transient bursts start failing
+/// copies immediately, so the outcome is the same under every
+/// tie-break.
 fn runtime(
     n_devices: usize,
     tie: TieBreak,
     fault: Option<&FaultSpec>,
     pressure: Option<&PressureSpec>,
+    trace: bool,
 ) -> Runtime {
     // Pressure programs run on their spec's tiny capacity; everything
     // else gets ample memory so admission never interferes.
@@ -65,7 +75,7 @@ fn runtime(
     );
     let mut cfg = RuntimeConfig::new(topo)
         .with_team_threads(2)
-        .with_trace(false)
+        .with_trace(trace)
         .with_tie_break(tie);
     // A fixed plan seed: it only feeds retry-backoff jitter, which
     // shifts virtual timing, never results.
@@ -380,7 +390,13 @@ fn issue(
 /// instead and is ignored here.
 pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
     let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
-    let mut rt = runtime(p.n_devices, tie, p.fault.as_ref(), p.pressure.as_ref());
+    let mut rt = runtime(
+        p.n_devices,
+        tie,
+        p.fault.as_ref(),
+        p.pressure.as_ref(),
+        p.uses_auto(),
+    );
     let handles: Vec<HostArray> = (0..p.n_arrays)
         .map(|k| rt.host_array(format!("A{k}"), p.n))
         .collect();
@@ -413,6 +429,7 @@ pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
         reduces,
         mappings,
         degradations: rt.degradations(),
+        profiles: rt.profiles(),
         races: rt.races().len(),
         error: result.err(),
     }
@@ -446,6 +463,35 @@ mod tests {
         }
         assert!(o.mappings.iter().all(|d| d.is_empty()));
         assert!(o.degradations.is_empty());
+    }
+
+    #[test]
+    fn auto_program_records_one_profile_per_launch() {
+        let stmt = |c: f64| Stmt::Spread {
+            devices: vec![0, 1],
+            sched: Sched::Auto { key: 3 },
+            nowait: false,
+            op: KernelOp::AddConst { a: 0, c },
+        };
+        let p = Program {
+            n_devices: 2,
+            n: 24,
+            n_arrays: 1,
+            phases: vec![vec![stmt(1.0)], vec![stmt(0.5)]],
+            fault: None,
+            pressure: None,
+        };
+        let o = execute(&p, TieBreak::Fifo, None);
+        assert!(o.error.is_none(), "{:?}", o.error);
+        assert_eq!(o.races, 0);
+        assert_eq!(o.profiles.len(), 2);
+        assert_eq!(o.profiles[0].key, "auto-3");
+        assert_eq!(o.profiles[0].launch, 0);
+        assert_eq!(o.profiles[1].launch, 1);
+        assert_eq!(o.profiles[0].weights.len(), 2);
+        for i in 0..24 {
+            assert_eq!(o.arrays[0][i], Program::initial(0, i) + 1.5);
+        }
     }
 
     #[test]

@@ -170,6 +170,8 @@ fn simplify_stmt(s: &Stmt, n: usize) -> Vec<Stmt> {
                     Sched::Weighted { round, .. } => *round,
                     Sched::Dynamic { chunk } => *chunk,
                     Sched::Static { chunk } => *chunk,
+                    // Auto resolves to one round over the whole loop.
+                    Sched::Auto { .. } => n,
                 };
                 out.push(Stmt::Spread {
                     devices: devices.clone(),

@@ -8,6 +8,12 @@
 //! unstructured directives support `nowait`; the `depend` clause on them
 //! is this reproduction's implementation of the paper's future work
 //! (§IX, Listing 13) and is disabled unless explicitly used.
+//!
+//! The four builders share one clause core, [`SpreadClauses`] —
+//! devices / range / chunk_size / optional explicit schedule / map list —
+//! so distribution and validation live in exactly one place. The
+//! directive-specific methods are thin forwarding wrappers, keeping the
+//! paper's per-pragma spelling at call sites.
 
 use std::ops::Range;
 
@@ -20,81 +26,33 @@ use crate::schedule::{distribute, Chunk, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
 use crate::target_spread::SpreadDep;
 
-fn spread_chunks(
-    devices: &[u32],
-    range: Option<Range<usize>>,
-    chunk_size: Option<usize>,
-    schedule: Option<&SpreadSchedule>,
-) -> Result<Vec<Chunk>, RtError> {
-    if devices.is_empty() {
-        return Err(RtError::InvalidDirective(
-            "devices(…) must not be empty".into(),
-        ));
-    }
-    let range =
-        range.ok_or_else(|| RtError::InvalidDirective("range clause is required".into()))?;
-    // §IX: "Once [more schedules] are implemented, we will integrate them
-    // into the syntax of the target spread data transfer directives via
-    // the spread_schedule clause." — an explicit static schedule may
-    // replace the default `chunk_size` round-robin. Dynamic schedules
-    // cannot place data (the chunk→device assignment must be known when
-    // the mapping is created).
-    if let Some(s) = schedule {
-        if matches!(s, SpreadSchedule::Dynamic { .. }) {
-            return Err(RtError::InvalidDirective(
-                "data spread directives require a static distribution                  (dynamic placement is undecidable at mapping time)"
-                    .into(),
-            ));
-        }
-        return Ok(distribute(range, devices, s));
-    }
-    let chunk = chunk_size
-        .ok_or_else(|| RtError::InvalidDirective("chunk_size clause is required".into()))?;
-    if chunk == 0 {
-        return Err(RtError::InvalidDirective("chunk_size must be >= 1".into()));
-    }
-    Ok(distribute(
-        range,
-        devices,
-        &SpreadSchedule::Static { chunk },
-    ))
-}
-
-/// `#pragma omp target enter data spread`.
+/// The clause core shared by every spread data-management directive:
+/// `devices(…)`, `range(start:len)`, `chunk_size(c)`, an optional
+/// explicit static `spread_schedule(…)`, and the spread map list.
+///
+/// [`chunks`](SpreadClauses::chunks) performs the shared validation and
+/// distribution; the directive builders embed a `SpreadClauses` and
+/// forward their clause methods to it.
 #[derive(Clone)]
-pub struct TargetEnterDataSpread {
+pub struct SpreadClauses {
     devices: Vec<u32>,
     range: Option<Range<usize>>,
     chunk_size: Option<usize>,
     schedule: Option<SpreadSchedule>,
     maps: Vec<SpreadMap>,
-    nowait: bool,
-    dep_ins: Vec<SpreadDep>,
-    dep_outs: Vec<SpreadDep>,
 }
 
-impl TargetEnterDataSpread {
-    /// Start building with the `devices(…)` clause.
+impl SpreadClauses {
+    /// Start with the `devices(…)` clause. The distribution order is
+    /// the list order, not the device-id order.
     pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
-        TargetEnterDataSpread {
+        SpreadClauses {
             devices: devices.into_iter().collect(),
             range: None,
             chunk_size: None,
             schedule: None,
             maps: Vec::new(),
-            nowait: false,
-            dep_ins: Vec::new(),
-            dep_outs: Vec::new(),
         }
-    }
-
-    /// **Extension** (§IX): an explicit static spread schedule replacing
-    /// the default `chunk_size` round-robin — e.g. weighted chunks for
-    /// heterogeneous devices. Must match the executable directive's
-    /// schedule for coherent placement.
-    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.schedule = Some(s);
-        self
     }
 
     /// `range(start:len)` — the iteration-space range being distributed.
@@ -109,7 +67,16 @@ impl TargetEnterDataSpread {
         self
     }
 
-    /// Add a spread map item (`to`/`alloc`).
+    /// **Extension** (§IX): an explicit static spread schedule replacing
+    /// the default `chunk_size` round-robin — e.g. weighted chunks for
+    /// heterogeneous devices. Must match the executable directive's
+    /// schedule for coherent placement.
+    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
+        self.schedule = Some(s);
+        self
+    }
+
+    /// Add a spread map item.
     pub fn map(mut self, m: SpreadMap) -> Self {
         self.maps.push(m);
         self
@@ -118,6 +85,119 @@ impl TargetEnterDataSpread {
     /// Add several spread map items.
     pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
         self.maps.extend(items);
+        self
+    }
+
+    /// The map list.
+    pub fn map_list(&self) -> &[SpreadMap] {
+        &self.maps
+    }
+
+    /// The `devices(…)` list, in distribution order.
+    pub fn device_list(&self) -> &[u32] {
+        &self.devices
+    }
+
+    /// Validate the clause set and distribute the range into chunks —
+    /// the single distribution path of all four data directives.
+    pub fn chunks(&self) -> Result<Vec<Chunk>, RtError> {
+        if self.devices.is_empty() {
+            return Err(RtError::InvalidDirective(
+                "devices(…) must not be empty".into(),
+            ));
+        }
+        let range = self
+            .range
+            .clone()
+            .ok_or_else(|| RtError::InvalidDirective("range clause is required".into()))?;
+        // §IX: "Once [more schedules] are implemented, we will integrate
+        // them into the syntax of the target spread data transfer
+        // directives via the spread_schedule clause." — an explicit
+        // static schedule may replace the default `chunk_size`
+        // round-robin. Dynamic schedules cannot place data (the
+        // chunk→device assignment must be known when the mapping is
+        // created), and `auto` resolves against a *construct's* profile
+        // history, which a standalone data directive does not have.
+        if let Some(s) = &self.schedule {
+            if matches!(s, SpreadSchedule::Dynamic { .. }) {
+                return Err(RtError::InvalidDirective(
+                    "data spread directives require a static distribution                  (dynamic placement is undecidable at mapping time)"
+                        .into(),
+                ));
+            }
+            if matches!(s, SpreadSchedule::Auto { .. }) {
+                return Err(RtError::InvalidDirective(
+                    "data spread directives require a static distribution \
+                     (spread_schedule(auto) only resolves on executable constructs)"
+                        .into(),
+                ));
+            }
+            return Ok(distribute(range, &self.devices, s));
+        }
+        let chunk = self
+            .chunk_size
+            .ok_or_else(|| RtError::InvalidDirective("chunk_size clause is required".into()))?;
+        if chunk == 0 {
+            return Err(RtError::InvalidDirective("chunk_size must be >= 1".into()));
+        }
+        Ok(distribute(
+            range,
+            &self.devices,
+            &SpreadSchedule::Static { chunk },
+        ))
+    }
+}
+
+/// `#pragma omp target enter data spread`.
+#[derive(Clone)]
+pub struct TargetEnterDataSpread {
+    clauses: SpreadClauses,
+    nowait: bool,
+    dep_ins: Vec<SpreadDep>,
+    dep_outs: Vec<SpreadDep>,
+}
+
+impl TargetEnterDataSpread {
+    /// Start building with the `devices(…)` clause.
+    pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
+        TargetEnterDataSpread {
+            clauses: SpreadClauses::devices(devices),
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
+        }
+    }
+
+    /// **Extension** (§IX): an explicit static spread schedule replacing
+    /// the default `chunk_size` round-robin — e.g. weighted chunks for
+    /// heterogeneous devices. Must match the executable directive's
+    /// schedule for coherent placement.
+    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
+        self.clauses = self.clauses.spread_schedule(s);
+        self
+    }
+
+    /// `range(start:len)` — the iteration-space range being distributed.
+    pub fn range(mut self, start: usize, len: usize) -> Self {
+        self.clauses = self.clauses.range(start, len);
+        self
+    }
+
+    /// `chunk_size(c)`.
+    pub fn chunk_size(mut self, c: usize) -> Self {
+        self.clauses = self.clauses.chunk_size(c);
+        self
+    }
+
+    /// Add a spread map item (`to`/`alloc`).
+    pub fn map(mut self, m: SpreadMap) -> Self {
+        self.clauses = self.clauses.map(m);
+        self
+    }
+
+    /// Add several spread map items.
+    pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
+        self.clauses = self.clauses.maps(items);
         self
     }
 
@@ -157,12 +237,7 @@ impl TargetEnterDataSpread {
 
     /// Issue the directive: one enter-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
-        let chunks = spread_chunks(
-            &self.devices,
-            self.range.clone(),
-            self.chunk_size,
-            self.schedule.as_ref(),
-        )?;
+        let chunks = self.clauses.chunks()?;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -170,7 +245,7 @@ impl TargetEnterDataSpread {
             let mut b = TargetEnterData::device(device)
                 .nowait()
                 .label(format!("enter-spread(dev{device})[{}]", chunk.index));
-            for m in &self.maps {
+            for m in self.clauses.map_list() {
                 b = b.map(m.at(c));
             }
             for d in &self.dep_ins {
@@ -193,11 +268,7 @@ impl TargetEnterDataSpread {
 /// `#pragma omp target exit data spread`.
 #[derive(Clone)]
 pub struct TargetExitDataSpread {
-    devices: Vec<u32>,
-    range: Option<Range<usize>>,
-    chunk_size: Option<usize>,
-    schedule: Option<SpreadSchedule>,
-    maps: Vec<SpreadMap>,
+    clauses: SpreadClauses,
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
     dep_outs: Vec<SpreadDep>,
@@ -207,11 +278,7 @@ impl TargetExitDataSpread {
     /// Start building with the `devices(…)` clause.
     pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
         TargetExitDataSpread {
-            devices: devices.into_iter().collect(),
-            range: None,
-            chunk_size: None,
-            schedule: None,
-            maps: Vec::new(),
+            clauses: SpreadClauses::devices(devices),
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
@@ -223,31 +290,31 @@ impl TargetExitDataSpread {
     /// heterogeneous devices. Must match the executable directive's
     /// schedule for coherent placement.
     pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.schedule = Some(s);
+        self.clauses = self.clauses.spread_schedule(s);
         self
     }
 
     /// `range(start:len)`.
     pub fn range(mut self, start: usize, len: usize) -> Self {
-        self.range = Some(start..start + len);
+        self.clauses = self.clauses.range(start, len);
         self
     }
 
     /// `chunk_size(c)`.
     pub fn chunk_size(mut self, c: usize) -> Self {
-        self.chunk_size = Some(c);
+        self.clauses = self.clauses.chunk_size(c);
         self
     }
 
     /// Add a spread map item (`from`/`release`/`delete`).
     pub fn map(mut self, m: SpreadMap) -> Self {
-        self.maps.push(m);
+        self.clauses = self.clauses.map(m);
         self
     }
 
     /// Add several spread map items.
     pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
-        self.maps.extend(items);
+        self.clauses = self.clauses.maps(items);
         self
     }
 
@@ -286,12 +353,7 @@ impl TargetExitDataSpread {
 
     /// Issue the directive: one exit-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
-        let chunks = spread_chunks(
-            &self.devices,
-            self.range.clone(),
-            self.chunk_size,
-            self.schedule.as_ref(),
-        )?;
+        let chunks = self.clauses.chunks()?;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -299,7 +361,7 @@ impl TargetExitDataSpread {
             let mut b = TargetExitData::device(device)
                 .nowait()
                 .label(format!("exit-spread(dev{device})[{}]", chunk.index));
-            for m in &self.maps {
+            for m in self.clauses.map_list() {
                 b = b.map(m.at(c));
             }
             for d in &self.dep_ins {
@@ -322,9 +384,7 @@ impl TargetExitDataSpread {
 /// `#pragma omp target update spread`.
 #[derive(Clone)]
 pub struct TargetUpdateSpread {
-    devices: Vec<u32>,
-    range: Option<Range<usize>>,
-    chunk_size: Option<usize>,
+    clauses: SpreadClauses,
     to_items: Vec<(HostArray, SectionOf)>,
     from_items: Vec<(HostArray, SectionOf)>,
     nowait: bool,
@@ -334,9 +394,7 @@ impl TargetUpdateSpread {
     /// Start building with the `devices(…)` clause.
     pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
         TargetUpdateSpread {
-            devices: devices.into_iter().collect(),
-            range: None,
-            chunk_size: None,
+            clauses: SpreadClauses::devices(devices),
             to_items: Vec::new(),
             from_items: Vec::new(),
             nowait: false,
@@ -345,13 +403,13 @@ impl TargetUpdateSpread {
 
     /// `range(start:len)`.
     pub fn range(mut self, start: usize, len: usize) -> Self {
-        self.range = Some(start..start + len);
+        self.clauses = self.clauses.range(start, len);
         self
     }
 
     /// `chunk_size(c)`.
     pub fn chunk_size(mut self, c: usize) -> Self {
-        self.chunk_size = Some(c);
+        self.clauses = self.clauses.chunk_size(c);
         self
     }
 
@@ -383,7 +441,7 @@ impl TargetUpdateSpread {
 
     /// Issue the directive: one update task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
-        let chunks = spread_chunks(&self.devices, self.range.clone(), self.chunk_size, None)?;
+        let chunks = self.clauses.chunks()?;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -411,44 +469,38 @@ impl TargetUpdateSpread {
 /// paper, there is no `nowait` and no `depend` (§III-B.3).
 #[derive(Clone)]
 pub struct TargetDataSpread {
-    devices: Vec<u32>,
-    range: Option<Range<usize>>,
-    chunk_size: Option<usize>,
-    maps: Vec<SpreadMap>,
+    clauses: SpreadClauses,
 }
 
 impl TargetDataSpread {
     /// Start building with the `devices(…)` clause.
     pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
         TargetDataSpread {
-            devices: devices.into_iter().collect(),
-            range: None,
-            chunk_size: None,
-            maps: Vec::new(),
+            clauses: SpreadClauses::devices(devices),
         }
     }
 
     /// `range(start:len)`.
     pub fn range(mut self, start: usize, len: usize) -> Self {
-        self.range = Some(start..start + len);
+        self.clauses = self.clauses.range(start, len);
         self
     }
 
     /// `chunk_size(c)`.
     pub fn chunk_size(mut self, c: usize) -> Self {
-        self.chunk_size = Some(c);
+        self.clauses = self.clauses.chunk_size(c);
         self
     }
 
     /// Add a spread map item.
     pub fn map(mut self, m: SpreadMap) -> Self {
-        self.maps.push(m);
+        self.clauses = self.clauses.map(m);
         self
     }
 
     /// Add several spread map items.
     pub fn maps(mut self, items: impl IntoIterator<Item = SpreadMap>) -> Self {
-        self.maps.extend(items);
+        self.clauses = self.clauses.maps(items);
         self
     }
 
@@ -460,7 +512,8 @@ impl TargetDataSpread {
         f: impl FnOnce(&mut Scope<'_>) -> Result<R, RtError>,
     ) -> Result<R, RtError> {
         let enter_maps: Vec<SpreadMap> = self
-            .maps
+            .clauses
+            .map_list()
             .iter()
             .map(|m| SpreadMap {
                 map_type: match m.map_type {
@@ -472,7 +525,8 @@ impl TargetDataSpread {
             })
             .collect();
         let exit_maps: Vec<SpreadMap> = self
-            .maps
+            .clauses
+            .map_list()
             .iter()
             .map(|m| SpreadMap {
                 map_type: match m.map_type {
@@ -484,25 +538,31 @@ impl TargetDataSpread {
                 expr: std::sync::Arc::clone(&m.expr),
             })
             .collect();
-        let range = self.range.clone();
-        let chunk_size = self.chunk_size;
-        {
-            let mut b = TargetEnterDataSpread::devices(self.devices.clone());
-            b.range = range.clone();
-            b.chunk_size = chunk_size;
-            b.schedule = None;
-            b.maps = enter_maps;
-            b.launch(scope)?;
+        let enter_clauses = SpreadClauses {
+            maps: enter_maps,
+            schedule: None,
+            ..self.clauses.clone()
+        };
+        let exit_clauses = SpreadClauses {
+            maps: exit_maps,
+            schedule: None,
+            ..self.clauses
+        };
+        TargetEnterDataSpread {
+            clauses: enter_clauses,
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
         }
+        .launch(scope)?;
         let r = f(scope)?;
-        {
-            let mut b = TargetExitDataSpread::devices(self.devices);
-            b.range = range;
-            b.chunk_size = chunk_size;
-            b.schedule = None;
-            b.maps = exit_maps;
-            b.launch(scope)?;
+        TargetExitDataSpread {
+            clauses: exit_clauses,
+            nowait: false,
+            dep_ins: Vec::new(),
+            dep_outs: Vec::new(),
         }
+        .launch(scope)?;
         Ok(r)
     }
 }

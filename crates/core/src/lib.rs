@@ -81,10 +81,13 @@ pub mod resilience;
 pub mod schedule;
 pub mod spread_map;
 pub mod target_spread;
+#[doc(hidden)]
+pub mod testing;
 
 pub use chunk::ChunkCtx;
 pub use data_spread::{
-    TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
+    SpreadClauses, TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread,
+    TargetUpdateSpread,
 };
 pub use pressure::{degradation_events, plan_admission, Placement, PlannedPiece, PressurePolicy};
 pub use reduction::ReduceOp;
@@ -97,7 +100,8 @@ pub use target_spread::TargetSpread;
 pub mod prelude {
     pub use crate::chunk::ChunkCtx;
     pub use crate::data_spread::{
-        TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
+        SpreadClauses, TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread,
+        TargetUpdateSpread,
     };
     pub use crate::pressure::PressurePolicy;
     pub use crate::reduction::ReduceOp;

@@ -33,6 +33,22 @@ pub enum SpreadSchedule {
         /// Chunk size in iterations.
         chunk: usize,
     },
+    /// Extension (§IX): profile-guided. At `parallel_for` time the
+    /// runtime resolves this into a concrete [`StaticWeighted`] plan
+    /// using the weights learned from previous launches of the same
+    /// `key` (equal split on the first launch), and records a
+    /// per-device profile of the launch to adapt the next one.
+    ///
+    /// `Auto` never reaches [`distribute`] — it must be resolved first,
+    /// so everything downstream (§V-B chunk-gap ordering, resilience,
+    /// pressure, the conformance oracle) sees an ordinary static plan.
+    ///
+    /// [`StaticWeighted`]: SpreadSchedule::StaticWeighted
+    Auto {
+        /// Stable construct key: launches sharing a key share a learned
+        /// weight vector.
+        key: String,
+    },
 }
 
 impl SpreadSchedule {
@@ -44,6 +60,12 @@ impl SpreadSchedule {
     /// The dynamic extension.
     pub fn dynamic(chunk: usize) -> Self {
         SpreadSchedule::Dynamic { chunk }
+    }
+
+    /// The profile-guided extension: `spread_schedule(auto)` keyed by a
+    /// stable construct name.
+    pub fn auto(key: impl Into<String>) -> Self {
+        SpreadSchedule::Auto { key: key.into() }
     }
 }
 
@@ -160,6 +182,12 @@ pub fn distribute(range: Range<usize>, devices: &[u32], schedule: &SpreadSchedul
                 start += len;
                 index += 1;
             }
+        }
+        SpreadSchedule::Auto { key } => {
+            panic!(
+                "spread_schedule(auto) [key `{key}`] must be resolved to a \
+                 concrete StaticWeighted plan before distribution"
+            );
         }
     }
     chunks
@@ -288,6 +316,12 @@ mod tests {
             assert_eq!(c.start, cursor);
             cursor += c.len;
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be resolved")]
+    fn unresolved_auto_rejected() {
+        distribute(0..10, &[0, 1], &SpreadSchedule::auto("k"));
     }
 
     #[test]

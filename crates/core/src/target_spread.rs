@@ -180,13 +180,10 @@ impl TargetSpread {
         self.pressure
     }
 
-    /// Failure-injection hook for the `spread-check` conformance
-    /// harness: silently drop the staged writes of the last slice of
-    /// every spilled piece. Never use outside the harness.
-    #[doc(hidden)]
-    pub fn inject_drop_last_spill_slice(mut self) -> Self {
+    /// Setter behind the `testing` module's injection hook (see
+    /// [`crate::testing`]); the field stays module-private.
+    pub(crate) fn set_drop_last_spill_slice(&mut self) {
         self.drop_last_spill_slice = true;
-        self
     }
 
     /// The mapped-footprint bytes of the piece `[start, start + len)` —
@@ -252,7 +249,7 @@ impl TargetSpread {
     /// Returns the per-chunk construct task ids (for static schedules) —
     /// in chunk order.
     pub fn parallel_for(
-        self,
+        mut self,
         scope: &mut Scope<'_>,
         range: Range<usize>,
         kernel: KernelSpec,
@@ -262,6 +259,43 @@ impl TargetSpread {
                 "target spread: devices(…) must not be empty".into(),
             ));
         }
+        // Resolve `spread_schedule(auto)` into a concrete StaticWeighted
+        // plan before any further validation, so auto composes with
+        // resilience/pressure exactly where StaticWeighted does.
+        let auto = if let SpreadSchedule::Auto { key } = &self.schedule {
+            let key = key.clone();
+            if self.nowait {
+                // The profile window closes at construct completion; a
+                // nowait construct has no such point to observe.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_schedule(auto) requires a blocking construct".into(),
+                ));
+            }
+            let weights = scope.adaptive_weights(&key, self.devices.len());
+            let round = range.len().max(1);
+            self.schedule = SpreadSchedule::StaticWeighted {
+                round,
+                weights: weights.clone(),
+            };
+            Some((key, self.devices.clone(), weights, round, scope.now()))
+        } else {
+            None
+        };
+        let ids = self.dispatch(scope, range, kernel)?;
+        if let Some((key, devices, weights, round, t0)) = auto {
+            scope.record_construct_profile(&key, &devices, &weights, round, t0);
+        }
+        Ok(ids)
+    }
+
+    /// Validation + launch-path selection, on a concrete (never `Auto`)
+    /// schedule.
+    fn dispatch(
+        self,
+        scope: &mut Scope<'_>,
+        range: Range<usize>,
+        kernel: KernelSpec,
+    ) -> Result<Vec<TaskId>, RtError> {
         if self.resilience == ResiliencePolicy::Redistribute
             && matches!(self.schedule, SpreadSchedule::Dynamic { .. })
         {

@@ -1,0 +1,25 @@
+//! Test-only failure-injection hooks.
+//!
+//! These exist solely for the `spread-check` conformance harness's
+//! *canaries* — deliberately broken runtime behaviors that prove the
+//! harness catches real bugs. They are not part of the directive API:
+//! the module is `#[doc(hidden)]` and nothing in this workspace outside
+//! spread-check may use it.
+
+use crate::target_spread::TargetSpread;
+
+/// Injection hooks on [`TargetSpread`], importable only by spelling out
+/// `spread_core::testing::TargetSpreadTestingExt`.
+pub trait TargetSpreadTestingExt {
+    /// Silently drop the staged writes of the last slice of every
+    /// spilled piece — the `--inject spill` canary. Never use outside
+    /// the harness.
+    fn inject_drop_last_spill_slice(self) -> Self;
+}
+
+impl TargetSpreadTestingExt for TargetSpread {
+    fn inject_drop_last_spill_slice(mut self) -> Self {
+        self.set_drop_last_spill_slice();
+        self
+    }
+}

@@ -51,6 +51,7 @@ pub mod host;
 pub mod kernel;
 pub mod map;
 pub mod mapping;
+pub(crate) mod profile;
 pub mod runtime;
 pub mod section;
 pub mod spill;

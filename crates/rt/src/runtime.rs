@@ -81,6 +81,11 @@ pub struct RuntimeConfig {
     /// whose device footprint exceeds this executes in multiple
     /// map→compute→unmap slices.
     pub spill_staging_bytes: u64,
+    /// Damping factor α in `(0, 1]` for the `spread_schedule(auto)`
+    /// weight update: `w' = (1 − α)·w + α·ideal`. Small values adapt
+    /// slowly but smooth noisy observations; `1.0` jumps straight to the
+    /// measured ideal split each launch.
+    pub adaptive_damping: f64,
 }
 
 impl RuntimeConfig {
@@ -99,6 +104,7 @@ impl RuntimeConfig {
             breaker: 8,
             watchdog: None,
             spill_staging_bytes: 1 << 20,
+            adaptive_damping: 0.5,
         }
     }
 
@@ -153,6 +159,13 @@ impl RuntimeConfig {
     /// Set the host spill staging-buffer size.
     pub fn with_spill_staging_bytes(mut self, bytes: u64) -> Self {
         self.spill_staging_bytes = bytes.max(8);
+        self
+    }
+
+    /// Set the `spread_schedule(auto)` damping factor (clamped to
+    /// `(0, 1]`).
+    pub fn with_adaptive_damping(mut self, alpha: f64) -> Self {
+        self.adaptive_damping = alpha.clamp(f64::MIN_POSITIVE, 1.0);
         self
     }
 }
@@ -259,6 +272,8 @@ pub(crate) struct Inner {
     pub(crate) retry: RetryPolicy,
     /// Host staging-buffer bound for the spill executor.
     pub(crate) spill_staging_bytes: u64,
+    /// Keyed adaptive-schedule state (`spread_schedule(auto)`).
+    pub(crate) profiles: crate::profile::ProfileStore,
 }
 
 impl Inner {
@@ -1010,6 +1025,7 @@ impl Runtime {
             degradations: Vec::new(),
             retry: cfg.retry,
             spill_staging_bytes: cfg.spill_staging_bytes,
+            profiles: crate::profile::ProfileStore::new(cfg.adaptive_damping),
         };
         // A fresh runtime starts its peak-memory statistics from zero:
         // `device_mem_peak` must describe *this* instance, even if the
@@ -1216,6 +1232,24 @@ impl Runtime {
     /// The degradation decisions taken so far, in program order.
     pub fn degradations(&self) -> Vec<DegradationEvent> {
         self.inner.borrow().degradations.clone()
+    }
+
+    /// Every `spread_schedule(auto)` launch recorded so far, in
+    /// completion order: the per-construct/per-device metrics layer.
+    /// Empty if no construct used `auto`.
+    pub fn profiles(&self) -> Vec<spread_trace::ConstructProfile> {
+        self.inner.borrow().profiles.history().to_vec()
+    }
+
+    /// The current adaptive weights for a construct key (normalized to
+    /// sum to the device count), or `None` before its first completed
+    /// launch.
+    pub fn adaptive_weights(&self, key: &str) -> Option<Vec<f64>> {
+        self.inner
+            .borrow()
+            .profiles
+            .current(key)
+            .map(<[f64]>::to_vec)
     }
 
     /// Largest contiguous free block on a device (fragmentation probe).
@@ -1579,6 +1613,44 @@ impl Scope<'_> {
     /// The degradation decisions taken so far, in program order.
     pub fn degradations(&self) -> Vec<DegradationEvent> {
         self.inner.borrow().degradations.clone()
+    }
+
+    /// The weights a `spread_schedule(auto)` construct keyed `key`
+    /// should use for its next launch over `k` devices: the adapted
+    /// vector when one exists for this key and device count, an equal
+    /// split otherwise.
+    pub fn adaptive_weights(&self, key: &str, k: usize) -> Vec<f64> {
+        self.inner.borrow().profiles.weights(key, k)
+    }
+
+    /// Aggregate the trace window `[t0, now)` into a
+    /// [`ConstructProfile`](spread_trace::ConstructProfile) for a
+    /// completed `spread_schedule(auto)` launch and feed it to the
+    /// damped weight update. With tracing disabled the profile is still
+    /// recorded (all-zero breakdowns) but the weights stay unchanged —
+    /// `auto` degrades to a plain equal `static` split.
+    pub fn record_construct_profile(
+        &mut self,
+        key: &str,
+        devices: &[u32],
+        weights: &[f64],
+        round: usize,
+        t0: SimTime,
+    ) {
+        let t1 = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        let spans = inner.trace.snapshot();
+        let device_profiles = spread_trace::profile_window(&spans, devices, t0, t1);
+        let launch = inner.profiles.next_launch(key);
+        inner.profiles.record(spread_trace::ConstructProfile {
+            key: key.to_string(),
+            launch,
+            start: t0,
+            end: t1,
+            devices: device_profiles,
+            weights: weights.to_vec(),
+            round,
+        });
     }
 
     /// Register `handler` as the recovery handler of every task in

@@ -113,6 +113,14 @@ pub struct SomierConfig {
     /// capacity and only a `spread_pressure(…)` policy lets the run
     /// complete.
     pub mem_cap_frac: f64,
+    /// Heterogeneous mode: `(device, factor)` multiplies one device's
+    /// per-kernel compute time by `factor` (factor 2.0 ⇒ half-speed
+    /// compute). Transfers are unaffected — links are shared. `None`
+    /// (the default) keeps the machine uniform. This is the machine the
+    /// `spread_schedule(auto)` experiments run on: a static equal split
+    /// waits on the slow device every buffer, while the profile-guided
+    /// schedule learns to shift iterations onto the fast ones.
+    pub slow_device: Option<(usize, f64)>,
 }
 
 impl SomierConfig {
@@ -135,6 +143,7 @@ impl SomierConfig {
             single_queue: true,
             dma_latency_us: 10,
             mem_cap_frac: 1.0,
+            slow_device: None,
         }
     }
 
@@ -152,6 +161,7 @@ impl SomierConfig {
             single_queue: true,
             dma_latency_us: 10,
             mem_cap_frac: 1.0,
+            slow_device: None,
         }
     }
 
@@ -185,6 +195,15 @@ impl SomierConfig {
     /// the `spread_pressure(…)` experiments.
     pub fn with_mem_cap_frac(mut self, frac: f64) -> Self {
         self.mem_cap_frac = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Make one device's compute `factor`× slower (factor 2.0 ⇒ 0.5×
+    /// throughput): the heterogeneous machine for the
+    /// `spread_schedule(auto)` experiments. See
+    /// [`SomierConfig::slow_device`].
+    pub fn with_slow_device(mut self, device: usize, factor: f64) -> Self {
+        self.slow_device = Some((device, factor.max(1.0)));
         self
     }
 
@@ -279,6 +298,11 @@ impl SomierConfig {
             single_queue: self.single_queue,
         };
         topo.devices = vec![spec; n_gpus];
+        if let Some((d, factor)) = self.slow_device {
+            if d < topo.devices.len() {
+                topo.devices[d].compute.time_scale = factor;
+            }
+        }
         topo.with_time_scale(self.time_scale)
     }
 
@@ -370,6 +394,22 @@ mod tests {
         let c = SomierConfig::test_small(24, 2);
         assert!(c.buffer_planes(1) < c.n, "still needs buffering");
         assert!(c.buffer_planes(2) >= 2);
+    }
+
+    #[test]
+    fn slow_device_scales_only_that_device() {
+        let c = SomierConfig::paper().with_slow_device(1, 2.0);
+        let t = c.topology(3);
+        assert_eq!(
+            t.devices[1].compute.time_scale,
+            2.0 * t.devices[0].compute.time_scale
+        );
+        assert_eq!(
+            t.devices[2].compute.time_scale,
+            t.devices[0].compute.time_scale
+        );
+        // Transfers are untouched: links are shared.
+        assert_eq!(t.devices[1].dma_latency, t.devices[0].dma_latency);
     }
 
     #[test]

@@ -501,6 +501,131 @@ pub fn run_spread_resilient(
     ))
 }
 
+/// One Buffer with self-contained per-construct maps and
+/// `spread_schedule(auto)`: the profile-guided variant for
+/// heterogeneous machines
+/// ([`SomierConfig::with_slow_device`](crate::SomierConfig::with_slow_device)).
+///
+/// The program is [`run_spread_resilient`]'s construct-scoped shape,
+/// but every construct's split is resolved by the runtime from the
+/// profiles of previous launches under the same stable key (one key
+/// per kernel: the five kernels have different compute/transfer
+/// ratios, so they learn separate weight vectors). The first launch of
+/// each key splits equally — exactly the static baseline — and later
+/// launches converge toward equal per-device finish times, shifting
+/// planes off a slow device. The runtime must record traces
+/// ([`SomierConfig::trace`](crate::SomierConfig::trace)): profiles are
+/// computed from spans, and without them the split simply stays equal.
+///
+/// Adapted splits change *where* planes are computed, never the
+/// values: kernels are per-element, the halos are recomputed per
+/// launch from each realized chunk, and the centers accumulation stays
+/// element-sequential on the host — so centers remain bit-exact
+/// against [`run_reference`](crate::reference::run_reference).
+pub fn run_spread_auto(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let spread = |key: &'static str| {
+                    TargetSpread::devices(devices.clone())
+                        .spread_schedule(SpreadSchedule::auto(key))
+                };
+                // forces: in X (halo), out F.
+                {
+                    let mut t = spread("somier-forces");
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], x_halo));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.f[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::forces(cfg, &arr))?;
+                }
+                // accelerations: in F, out A.
+                {
+                    let mut t = spread("somier-accelerations");
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.f[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.a[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::accelerations(cfg, &arr))?;
+                }
+                // velocities: in A, inout V.
+                {
+                    let mut t = spread("somier-velocities");
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.a[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.v[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::velocities(cfg, &arr))?;
+                }
+                // positions: in V, inout X (interior writes only).
+                {
+                    let mut t = spread("somier-positions");
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.v[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.x[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                // centers: in X, out the per-plane partials.
+                {
+                    let mut t = spread("somier-centers");
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.partials[c], |ch| ch.range()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        "One Buffer (auto)",
+        n_gpus,
+        rt,
+        centers,
+    ))
+}
+
 /// One Buffer with self-contained per-construct maps and a
 /// `spread_pressure(…)` clause: the graceful-degradation variant for
 /// oversubscribed machines

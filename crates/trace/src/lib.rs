@@ -16,6 +16,8 @@
 //!   [`SpanKind`]) and the thread-safe [`TraceRecorder`].
 //! * [`interval`] — interval-set algebra (union length, intersection,
 //!   complement) used by the analyses.
+//! * [`profile`] — per-construct launch profiles ([`ConstructProfile`],
+//!   [`DeviceProfile`]) feeding `spread_schedule(auto)`.
 //! * [`timeline`] — an immutable, query-friendly view over recorded spans.
 //! * [`analysis`] — busy time, transfer/compute overlap, concurrency
 //!   profiles, interleaving statistics (the quantities behind Figure 4's
@@ -27,6 +29,7 @@
 
 pub mod analysis;
 pub mod interval;
+pub mod profile;
 pub mod render;
 pub mod span;
 pub mod time;
@@ -36,6 +39,7 @@ pub use analysis::{
     BandwidthSample, ConcurrencyProfile, InterleaveStats, LaneStats, OverlapReport,
 };
 pub use interval::IntervalSet;
+pub use profile::{profile_window, ConstructProfile, DeviceProfile};
 pub use render::{render_chrome_trace, render_csv, render_gantt, GanttOptions};
 pub use span::{EngineKind, Lane, Span, SpanId, SpanKind, TraceRecorder};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,231 @@
+//! Per-construct launch profiles aggregated from the span timeline.
+//!
+//! `spread_schedule(auto)` needs a compact answer to "how did the last
+//! launch of this construct go, per device?". A [`ConstructProfile`] is
+//! that answer: for one launch window `[start, end)` of one keyed
+//! construct it carries a [`DeviceProfile`] per participating device —
+//! H2D/D2H copy time, kernel time, transfer/compute overlap, the finish
+//! time of the device's last activity, and the idle tail it spent waiting
+//! for slower peers. All quantities are derived from recorded [`Span`]s
+//! clipped to the window, so they are virtual-time exact and bit-stable
+//! across runs.
+
+use crate::interval::IntervalSet;
+use crate::span::{EngineKind, Lane, Span};
+use crate::time::{SimDuration, SimTime};
+
+/// Per-device breakdown of one construct launch window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Physical device id.
+    pub device: u32,
+    /// Busy time on the H2D copy engine within the window.
+    pub copy_in: SimDuration,
+    /// Busy time on the D2H copy engine within the window.
+    pub copy_out: SimDuration,
+    /// Busy time on the compute engine within the window.
+    pub kernel: SimDuration,
+    /// Time where a transfer engine and the compute engine were busy
+    /// simultaneously (the paper's Figure 4 interleaving effect).
+    pub overlap: SimDuration,
+    /// Offset from the window start to the end of the device's last
+    /// activity — the device's finish time for this launch.
+    pub finish: SimDuration,
+    /// Window length minus [`finish`](Self::finish): how long the device
+    /// sat idle waiting for the slowest peer to complete the construct.
+    pub idle_tail: SimDuration,
+}
+
+/// One recorded launch of a keyed construct: the window plus per-device
+/// breakdowns and the realized static-weighted plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstructProfile {
+    /// The construct key (stable across launches of the same construct).
+    pub key: String,
+    /// Zero-based launch counter for this key.
+    pub launch: u64,
+    /// Window start (construct issue time).
+    pub start: SimTime,
+    /// Window end (construct completion time).
+    pub end: SimTime,
+    /// Per-device breakdowns, in the construct's `devices(…)` list order.
+    pub devices: Vec<DeviceProfile>,
+    /// The normalized `StaticWeighted` weights the launch actually used,
+    /// aligned with [`devices`](Self::devices).
+    pub weights: Vec<f64>,
+    /// The `StaticWeighted` round length the launch actually used.
+    pub round: usize,
+}
+
+impl ConstructProfile {
+    /// Window length (total construct latency).
+    pub fn elapsed(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// The per-device finish times as f64 nanoseconds, in device-list
+    /// order — the quantity the adaptive update equalizes.
+    pub fn finish_ns(&self) -> Vec<f64> {
+        self.devices
+            .iter()
+            .map(|d| d.finish.as_nanos() as f64)
+            .collect()
+    }
+}
+
+/// Aggregate the spans overlapping `[t0, t1)` into per-device profiles
+/// for `devices` (output order follows `devices`).
+///
+/// Every span on a device lane contributes its clipped extent to that
+/// engine's busy set; zero-length markers (faults, degradation events)
+/// contribute nothing by construction. A device with no activity in the
+/// window gets an all-zero profile with `idle_tail == t1 - t0`.
+pub fn profile_window(
+    spans: &[Span],
+    devices: &[u32],
+    t0: SimTime,
+    t1: SimTime,
+) -> Vec<DeviceProfile> {
+    devices
+        .iter()
+        .map(|&device| {
+            let engine_set = |engine: EngineKind| {
+                IntervalSet::from_intervals(
+                    spans
+                        .iter()
+                        .filter(|s| {
+                            s.lane == Lane::Device { device, engine } && s.overlaps_window(t0, t1)
+                        })
+                        .map(|s| (s.start.max(t0), s.end.min(t1))),
+                )
+            };
+            let h2d = engine_set(EngineKind::CopyIn);
+            let d2h = engine_set(EngineKind::CopyOut);
+            let krn = engine_set(EngineKind::Compute);
+            let transfers = h2d.union(&d2h);
+            let overlap = transfers.intersect(&krn).total();
+            let finish_at = transfers
+                .union(&krn)
+                .intervals()
+                .last()
+                .map(|&(_, e)| e)
+                .unwrap_or(t0);
+            let finish = finish_at - t0;
+            DeviceProfile {
+                device,
+                copy_in: h2d.total(),
+                copy_out: d2h.total(),
+                kernel: krn.total(),
+                overlap,
+                finish,
+                idle_tail: (t1 - t0) - finish,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, TraceRecorder};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn aggregates_engines_clipped_to_window() {
+        let rec = TraceRecorder::new();
+        // Device 0: H2D [0,10), kernel [10,30), D2H [30,35).
+        rec.record(
+            Lane::copy_in(0),
+            SpanKind::TransferIn,
+            "in",
+            t(0),
+            t(10),
+            80,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "k", t(10), t(30), 0);
+        rec.record(
+            Lane::copy_out(0),
+            SpanKind::TransferOut,
+            "out",
+            t(30),
+            t(35),
+            40,
+        );
+        // Device 1: overlapping copy+kernel, finishing early.
+        rec.record(Lane::copy_in(1), SpanKind::TransferIn, "in", t(0), t(8), 64);
+        rec.record(Lane::compute(1), SpanKind::Kernel, "k", t(4), t(20), 0);
+        let spans = rec.snapshot();
+        let profiles = profile_window(&spans, &[0, 1], t(0), t(40));
+        assert_eq!(profiles.len(), 2);
+
+        let p0 = &profiles[0];
+        assert_eq!(p0.device, 0);
+        assert_eq!(p0.copy_in, d(10));
+        assert_eq!(p0.kernel, d(20));
+        assert_eq!(p0.copy_out, d(5));
+        assert_eq!(p0.overlap, SimDuration::ZERO);
+        assert_eq!(p0.finish, d(35));
+        assert_eq!(p0.idle_tail, d(5));
+
+        let p1 = &profiles[1];
+        assert_eq!(p1.copy_in, d(8));
+        assert_eq!(p1.kernel, d(16));
+        assert_eq!(p1.overlap, d(4)); // [4,8)
+        assert_eq!(p1.finish, d(20));
+        assert_eq!(p1.idle_tail, d(20));
+    }
+
+    #[test]
+    fn spans_outside_window_are_clipped_or_dropped() {
+        let rec = TraceRecorder::new();
+        rec.record(Lane::compute(0), SpanKind::Kernel, "before", t(0), t(10), 0);
+        rec.record(
+            Lane::compute(0),
+            SpanKind::Kernel,
+            "straddle",
+            t(15),
+            t(25),
+            0,
+        );
+        rec.record(Lane::compute(0), SpanKind::Kernel, "after", t(40), t(50), 0);
+        let spans = rec.snapshot();
+        let profiles = profile_window(&spans, &[0], t(20), t(30));
+        assert_eq!(profiles[0].kernel, d(5)); // [20,25)
+        assert_eq!(profiles[0].finish, d(5));
+        assert_eq!(profiles[0].idle_tail, d(5));
+    }
+
+    #[test]
+    fn idle_device_gets_zero_profile() {
+        let profiles = profile_window(&[], &[3], t(100), t(160));
+        let p = &profiles[0];
+        assert_eq!(p.device, 3);
+        assert_eq!(p.copy_in, SimDuration::ZERO);
+        assert_eq!(p.kernel, SimDuration::ZERO);
+        assert_eq!(p.finish, SimDuration::ZERO);
+        assert_eq!(p.idle_tail, d(60));
+    }
+
+    #[test]
+    fn construct_profile_helpers() {
+        let devices = profile_window(&[], &[0, 1], t(0), t(10));
+        let p = ConstructProfile {
+            key: "k".into(),
+            launch: 0,
+            start: t(0),
+            end: t(10),
+            devices,
+            weights: vec![0.5, 0.5],
+            round: 100,
+        };
+        assert_eq!(p.elapsed(), d(10));
+        assert_eq!(p.finish_ns(), vec![0.0, 0.0]);
+    }
+}

@@ -10,11 +10,8 @@
 //!
 //! Run with: `cargo run --release --example heterogeneous_node`
 
-use target_spread::core::prelude::*;
-use target_spread::core::schedule::SpreadSchedule as S;
-use target_spread::devices::{DeviceSpec, Topology};
-use target_spread::rt::kernel::KernelArg;
-use target_spread::rt::prelude::*;
+use target_spread::prelude::SpreadSchedule as S;
+use target_spread::prelude::*;
 
 const N: usize = 1 << 18;
 

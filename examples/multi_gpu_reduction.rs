@@ -8,10 +8,7 @@
 //!
 //! Run with: `cargo run --release --example multi_gpu_reduction`
 
-use target_spread::core::prelude::*;
-use target_spread::devices::Topology;
-use target_spread::rt::kernel::KernelArg;
-use target_spread::rt::prelude::*;
+use target_spread::prelude::*;
 
 const N: usize = 1 << 16;
 

@@ -7,10 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use target_spread::core::prelude::*;
-use target_spread::devices::Topology;
-use target_spread::rt::kernel::KernelArg;
-use target_spread::rt::prelude::*;
+use target_spread::prelude::*;
 
 fn main() -> Result<(), RtError> {
     // A simulated node with 3 V100-class devices.

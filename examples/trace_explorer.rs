@@ -5,10 +5,7 @@
 //!
 //! Run with: `cargo run --release --example trace_explorer`
 
-use target_spread::core::prelude::*;
-use target_spread::devices::Topology;
-use target_spread::rt::kernel::KernelArg;
-use target_spread::rt::prelude::*;
+use target_spread::prelude::*;
 use target_spread::trace::analysis::{interleave_stats, lane_stats, overlap_report};
 use target_spread::trace::{render_csv, render_gantt, GanttOptions};
 

@@ -37,10 +37,15 @@ pub use spread_somier as somier;
 pub use spread_teams as teams;
 pub use spread_trace as trace;
 
-/// Convenience prelude importing the types most programs need.
+/// Convenience prelude importing the types most programs need: the
+/// spread directive builders and clauses ([`core::prelude`]), the
+/// runtime/kernel surface ([`rt::prelude`]), machine description
+/// ([`devices::Topology`], [`devices::DeviceSpec`]), virtual time, and
+/// the per-construct adaptive profiles. Every example in `examples/`
+/// starts from this single import.
 pub mod prelude {
     pub use spread_core::prelude::*;
-    pub use spread_devices::topology::Topology;
+    pub use spread_devices::{DeviceSpec, Topology};
     pub use spread_rt::prelude::*;
-    pub use spread_trace::{SimDuration, SimTime};
+    pub use spread_trace::{ConstructProfile, DeviceProfile, SimDuration, SimTime};
 }

@@ -1,0 +1,115 @@
+//! Export the peer halo-exchange benchmark as machine-readable JSON.
+//!
+//! Runs the Somier `exchange(…)` variant on the 4-device CTE-POWER
+//! machine twice — halos forced through the host (`exchange(host)`,
+//! the paper's round-trip) and routed by the planner
+//! (`exchange(auto)`, device-to-device where a sibling holds the
+//! bytes) — then writes `BENCH_peer.json`: the halo-phase and
+//! end-to-end virtual times, the peer-copy accounting, and the
+//! bit-identity witness. Everything is virtual time, so the file is
+//! bit-reproducible.
+//!
+//! Usage: `cargo run --release -p spread-bench --bin export_peer`
+
+use std::fmt::Write as _;
+use std::fs;
+
+use spread_core::{ExchangeMode, ResiliencePolicy};
+use spread_somier::one_buffer::run_spread_peer;
+use spread_somier::SomierConfig;
+
+const N_GPUS: usize = 4;
+const N: usize = 40;
+const TIMESTEPS: usize = 6;
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let cfg = SomierConfig::test_small(N, TIMESTEPS);
+
+    let mut host_rt = cfg.runtime(N_GPUS);
+    let (host_report, host_halo) = run_spread_peer(
+        &mut host_rt,
+        &cfg,
+        N_GPUS,
+        ExchangeMode::Host,
+        ResiliencePolicy::FailStop,
+    )
+    .expect("host-routed run");
+
+    let mut auto_rt = cfg.runtime(N_GPUS);
+    let (auto_report, auto_halo) = run_spread_peer(
+        &mut auto_rt,
+        &cfg,
+        N_GPUS,
+        ExchangeMode::Auto,
+        ResiliencePolicy::FailStop,
+    )
+    .expect("auto run");
+    assert_eq!(
+        auto_report.centers, host_report.centers,
+        "the peer route must not change the physics"
+    );
+
+    let records = auto_rt.peer_copies();
+    assert!(!records.is_empty(), "auto must route halos D2D");
+    assert!(records.iter().all(|r| !r.diverted));
+    let peer_bytes: u64 = records.iter().map(|r| r.bytes).sum();
+
+    let host_halo_s = host_halo.as_secs_f64();
+    let auto_halo_s = auto_halo.as_secs_f64();
+    let host_s = host_report.elapsed.as_secs_f64();
+    let auto_s = auto_report.elapsed.as_secs_f64();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"benchmark\": \"somier-peer-halo-exchange\",\n  \
+         \"description\": \"Somier One Buffer on {N_GPUS}-device CTE-POWER: per-timestep halo \
+         refresh via the host round-trip (exchange(host)) vs device-to-device \
+         (exchange(auto))\",\n  \
+         \"n\": {N},\n  \"timesteps\": {TIMESTEPS},\n  \"n_gpus\": {N_GPUS},"
+    );
+    let _ = writeln!(out, "  \"host_halo_s\": {},", json_f64(host_halo_s));
+    let _ = writeln!(out, "  \"auto_halo_s\": {},", json_f64(auto_halo_s));
+    let _ = writeln!(
+        out,
+        "  \"halo_speedup\": {},",
+        json_f64(host_halo_s / auto_halo_s)
+    );
+    let _ = writeln!(out, "  \"host_elapsed_s\": {},", json_f64(host_s));
+    let _ = writeln!(out, "  \"auto_elapsed_s\": {},", json_f64(auto_s));
+    let _ = writeln!(out, "  \"elapsed_speedup\": {},", json_f64(host_s / auto_s));
+    let _ = writeln!(out, "  \"peer_copies\": {},", records.len());
+    let _ = writeln!(out, "  \"peer_bytes\": {peer_bytes},");
+    let _ = writeln!(out, "  \"diverted\": 0,");
+    let _ = writeln!(out, "  \"bit_identical_to_host_route\": true,");
+    let _ = writeln!(out, "  \"per_device\": [");
+    for d in 0..N_GPUS as u32 {
+        let out_bytes: u64 = records.iter().filter(|r| r.src == d).map(|r| r.bytes).sum();
+        let in_bytes: u64 = records.iter().filter(|r| r.dst == d).map(|r| r.bytes).sum();
+        let comma = if d + 1 < N_GPUS as u32 { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"device\": {d}, \"peer_out_bytes\": {out_bytes}, \
+             \"peer_in_bytes\": {in_bytes}}}{comma}"
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    fs::write("BENCH_peer.json", &out).expect("write BENCH_peer.json");
+    println!(
+        "BENCH_peer.json: halo host {host_halo_s:.6}s vs auto {auto_halo_s:.6}s \
+         (speedup {:.2}x), end-to-end {:.2}x, {} peer copies / {peer_bytes} bytes",
+        host_halo_s / auto_halo_s,
+        host_s / auto_s,
+        records.len()
+    );
+}

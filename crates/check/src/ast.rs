@@ -341,6 +341,39 @@ pub enum Stmt {
         /// Exit with `from` (copy-out) instead of `release` (discard).
         exit_from: bool,
     },
+    /// A peer-mode halo-exchange region over one array (see
+    /// [`crate::CheckConfig::peer`]): enter-spread `to` of halo'd
+    /// chunks `[start−1, end+1)∩[0, n)` (one chunk per device, so the
+    /// overlapping halos land on *sibling* presence tables), an
+    /// optional in-place body bump on the device images (reuse path —
+    /// the host keeps the stale values, so every sibling copy stops
+    /// being bit-identical to the host image), a `target update
+    /// spread` of each chunk's one-element halos whose `exchange(…)`
+    /// mode the executor chooses per run, a clamped 3-point stencil
+    /// reading the refreshed window into `dst` (propagating the halo
+    /// bytes into the final host state), and an exit-spread release.
+    ///
+    /// The must-peer set is closed-form: with `bump: None` every
+    /// interior halo element is held bit-identical by exactly one
+    /// sibling (the neighbouring chunk's device — `chunk ≥ 2` keeps it
+    /// unique), so `exchange(auto)` must pull it device-to-device;
+    /// with `bump: Some(_)` every sibling image is stale and every
+    /// halo must take the host route.
+    Halo {
+        /// `devices(…)`, in distribution order. At least two; the
+        /// generator sizes `chunk` so each gets at most one chunk
+        /// (same-device halo'd chunks would overlap-extend).
+        devices: Vec<u32>,
+        /// `chunk_size(…)` of every leg (`⌈n/k⌉ ≥ 2`).
+        chunk: usize,
+        /// The exchanged array.
+        a: usize,
+        /// Stencil output array.
+        dst: usize,
+        /// Device-side body bump applied after the enter: `Some(c)`
+        /// forces every halo onto the host route.
+        bump: Option<f64>,
+    },
     /// Raw single-chunk `target enter data spread devices(d)
     /// map(spread_to: a[start:len])` — may legally leak a mapping or
     /// produce an `OverlapExtension`/`OutOfMemory` error.
@@ -399,6 +432,7 @@ impl Stmt {
             Stmt::Spread { op, .. } => op.arrays(),
             Stmt::Reduce { a, partials, .. } => vec![*a, *partials],
             Stmt::DataRegion { a, .. } => vec![*a],
+            Stmt::Halo { a, dst, .. } => vec![*a, *dst],
             Stmt::RawEnter { a, .. }
             | Stmt::RawExit { a, .. }
             | Stmt::RawUpdate { a, .. }

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--pressure] [--auto] [--inject stencil|reduce|recovery|spill]
+//!     [--pressure] [--auto] [--peer] \
+//!     [--inject stencil|reduce|recovery|spill|peer]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
@@ -15,9 +16,13 @@
 //! exact degradation-event sequence against the oracle's admission
 //! plan. `--auto` generates `spread_schedule(auto)` programs with
 //! repeated construct keys and additionally requires every realized
-//! adaptive split to be a valid `StaticWeighted` plan. Exits non-zero
-//! on any disagreement or race report, printing the failing seed so
-//! `replay -- <seed>` reproduces it.
+//! adaptive split to be a valid `StaticWeighted` plan. `--peer`
+//! generates halo-exchange programs and checks them differentially:
+//! host-forced runs against one `exchange(auto)` run that must match
+//! the oracle bit-for-bit while performing exactly the predicted
+//! device-to-device route set. Exits non-zero on any disagreement or
+//! race report, printing the failing seed so `replay -- <seed>`
+//! reproduces it.
 
 use std::process::ExitCode;
 
@@ -31,6 +36,7 @@ struct Args {
     faults: bool,
     pressure: bool,
     auto: bool,
+    peer: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         faults: false,
         pressure: false,
         auto: false,
+        peer: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,11 +76,12 @@ fn parse_args() -> Result<Args, String> {
             "--faults" => args.faults = true,
             "--pressure" => args.pressure = true,
             "--auto" => args.auto = true,
+            "--peer" => args.peer = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if (args.faults as u8) + (args.pressure as u8) + (args.auto as u8) > 1 {
-        return Err("--faults, --pressure and --auto are mutually exclusive".into());
+    if (args.faults as u8) + (args.pressure as u8) + (args.auto as u8) + (args.peer as u8) > 1 {
+        return Err("--faults, --pressure, --auto and --peer are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -85,7 +93,8 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--pressure] [--auto] [--inject stencil|reduce|recovery|spill]"
+                 [--pressure] [--auto] [--peer] \
+                 [--inject stencil|reduce|recovery|spill|peer]"
             );
             return ExitCode::from(2);
         }
@@ -96,9 +105,10 @@ fn main() -> ExitCode {
         faults: args.faults,
         pressure: args.pressure,
         auto: args.auto,
+        peer: args.peer,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
@@ -110,6 +120,11 @@ fn main() -> ExitCode {
         },
         if cfg.auto {
             ", with adaptive (auto) schedules"
+        } else {
+            ""
+        },
+        if cfg.peer {
+            ", with differential peer exchanges"
         } else {
             ""
         },
@@ -135,16 +150,18 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
             if cfg.pressure { " --pressure" } else { "" },
             if cfg.auto { " --auto" } else { "" },
+            if cfg.peer { " --peer" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
                 Some(Fault::RecoveryDropsLostChunk) => " --inject recovery",
                 Some(Fault::SpillDropsSlice) => " --inject spill",
+                Some(Fault::PeerCorrupt) => " --inject peer",
                 None => "",
             }
         );

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
-//!     [--interleavings K] [--faults] [--pressure] [--auto] \
-//!     [--inject stencil|reduce|recovery|spill]
+//!     [--interleavings K] [--faults] [--pressure] [--auto] [--peer] \
+//!     [--inject stencil|reduce|recovery|spill|peer]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -34,14 +34,15 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
             "--faults" => cfg.faults = true,
             "--pressure" => cfg.pressure = true,
             "--auto" => cfg.auto = true,
+            "--peer" => cfg.peer = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if (cfg.faults as u8) + (cfg.pressure as u8) + (cfg.auto as u8) > 1 {
-        return Err("--faults, --pressure and --auto are mutually exclusive".into());
+    if (cfg.faults as u8) + (cfg.pressure as u8) + (cfg.auto as u8) + (cfg.peer as u8) > 1 {
+        return Err("--faults, --pressure, --auto and --peer are mutually exclusive".into());
     }
     Ok((seed.ok_or("missing <seed>")?, cfg))
 }
@@ -53,7 +54,7 @@ fn main() -> ExitCode {
             eprintln!("replay: {e}");
             eprintln!(
                 "usage: replay <seed> [--interleavings K] [--faults] [--pressure] [--auto] \
-                 [--inject stencil|reduce|recovery|spill]"
+                 [--peer] [--inject stencil|reduce|recovery|spill|peer]"
             );
             return ExitCode::from(2);
         }

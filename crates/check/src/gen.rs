@@ -365,6 +365,89 @@ pub fn gen_program_pressure(seed: u64) -> Program {
     }
 }
 
+/// One halo-exchange region for a peer program: at least two devices,
+/// sized so every device gets at most one chunk (same-device halo'd
+/// chunks would overlap-extend) and every chunk spans at least two
+/// elements (so each interior halo element is held by exactly one
+/// sibling and the must-peer prediction is unique).
+fn gen_halo_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    let k = r.range(2, n_devices + 1);
+    let mut devices: Vec<u32> = (0..n_devices as u32).collect();
+    r.shuffle(&mut devices);
+    devices.truncate(k);
+    Stmt::Halo {
+        chunk: n.div_ceil(k),
+        a: avail.pop().expect("caller checks avail"),
+        dst: avail.pop().expect("caller checks avail"),
+        bump: if r.chance(0.4) {
+            Some(*r.pick(&CONSTS))
+        } else {
+            None
+        },
+        devices,
+    }
+}
+
+/// Derive the peer program for `seed`: every phase is built around
+/// halo-exchange regions ([`Stmt::Halo`]), padded with simple blocking
+/// elementwise spreads. The first statement is always a halo region, so
+/// every peer program actually exercises the `exchange(…)` route; its
+/// `bump` (and every later one) stays seeded, so the corpus covers both
+/// the must-peer and the must-host band. No fault or pressure plans —
+/// the differential executor runs the same program under forced
+/// `exchange(host)` and under `exchange(auto)`, and the somier suite
+/// covers loss × peer.
+pub fn gen_program_peer(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    // Peer routing needs a sibling to pull from.
+    let n_devices = r.range(2, 5);
+    let n = r.range(10, 49);
+    // Halo regions consume two arrays (exchange + stencil output).
+    let n_arrays = r.range(3, 6);
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases);
+    for pi in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 3);
+        let mut phase = Vec::new();
+        for si in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            let halo = (pi == 0 && si == 0) || (avail.len() >= 2 && r.chance(0.7));
+            if halo {
+                phase.push(gen_halo_stmt(&mut r, &mut avail, n, n_devices));
+            } else {
+                let a = avail.pop().expect("checked non-empty");
+                let c = *r.pick(&CONSTS);
+                let op = if r.chance(0.5) {
+                    KernelOp::AddConst { a, c }
+                } else {
+                    KernelOp::Scale { a, c }
+                };
+                phase.push(Stmt::Spread {
+                    devices: gen_devices(&mut r, n_devices),
+                    sched: Sched::Static {
+                        chunk: r.range(1, n + 1),
+                    },
+                    nowait: false,
+                    op,
+                });
+            }
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: None,
+    }
+}
+
 /// One blocking statement for an adaptive-schedule program: a spread
 /// kernel or reduction under `spread_schedule(auto)`. Auto mode
 /// restricts generation to what the equal-weight oracle stand-in can
@@ -668,6 +751,70 @@ mod tests {
         assert!(auto_stmts > 600, "{auto_stmts}");
         assert!(reduces > 50, "{reduces}");
         assert!(repeated_keys > 100, "{repeated_keys}");
+    }
+
+    #[test]
+    fn peer_programs_respect_the_halo_invariants() {
+        let mut peer_routed = 0;
+        let mut host_routed = 0;
+        for seed in 0..300u64 {
+            let p = gen_program_peer(seed);
+            assert!(p.n_devices >= 2, "seed {seed}: peer needs a sibling");
+            assert!(p.fault.is_none(), "seed {seed}: peer excludes fault plans");
+            assert!(p.pressure.is_none(), "seed {seed}: peer excludes pressure");
+            assert!(
+                matches!(p.phases[0][0], Stmt::Halo { .. }),
+                "seed {seed}: every peer program opens with a halo region"
+            );
+            for stmt in p.phases.iter().flatten() {
+                match stmt {
+                    Stmt::Halo {
+                        devices,
+                        chunk,
+                        a,
+                        dst,
+                        bump,
+                    } => {
+                        assert!(devices.len() >= 2, "seed {seed}");
+                        assert!(*chunk >= 2, "seed {seed}: sibling uniqueness");
+                        // One chunk per device at most: halo'd chunks on
+                        // one device would overlap-extend.
+                        assert!(
+                            p.n.div_ceil(*chunk) <= devices.len(),
+                            "seed {seed}: {} chunks for {} devices",
+                            p.n.div_ceil(*chunk),
+                            devices.len()
+                        );
+                        assert_ne!(a, dst, "seed {seed}");
+                        if bump.is_some() {
+                            host_routed += 1;
+                        } else {
+                            peer_routed += 1;
+                        }
+                    }
+                    Stmt::Spread {
+                        sched,
+                        nowait,
+                        op,
+                        devices,
+                    } => {
+                        assert!(!nowait, "seed {seed}: peer programs are blocking");
+                        assert!(!devices.is_empty(), "seed {seed}");
+                        assert!(
+                            matches!(sched, Sched::Static { .. }),
+                            "seed {seed}: static padding only"
+                        );
+                        assert!(
+                            matches!(op, KernelOp::AddConst { .. } | KernelOp::Scale { .. }),
+                            "seed {seed}"
+                        );
+                    }
+                    other => panic!("seed {seed}: unexpected {other:?} in peer program"),
+                }
+            }
+        }
+        assert!(peer_routed > 150, "{peer_routed}");
+        assert!(host_routed > 80, "{host_routed}");
     }
 
     #[test]

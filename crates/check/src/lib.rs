@@ -41,6 +41,16 @@
 //! (recorded as a [`spread_trace::ConstructProfile`]) to be a valid
 //! `StaticWeighted` plan.
 //!
+//! Peer mode ([`CheckConfig::peer`]) generates halo-exchange programs
+//! ([`ast::Stmt::Halo`]) and checks them *differentially*: every
+//! interleaving first runs with the exchange forced through the host
+//! (the paper's round-trip — it must match the oracle and perform zero
+//! peer copies), then one `exchange(auto)` run must reproduce the same
+//! bits end to end while performing **exactly** the closed-form
+//! device-to-device route set [`oracle::predict_peer_copies`] derives
+//! from the generator's halo invariants — no diverted copy, none
+//! missing, none extra.
+//!
 //! ```
 //! use spread_check::{check_seed, CheckConfig};
 //! assert!(check_seed(1, &CheckConfig::default()).is_ok());
@@ -80,6 +90,12 @@ pub enum Fault {
     /// every host-spilled piece — the canary proving the harness
     /// catches a truncated spill (pressure mode).
     SpillDropsSlice,
+    /// The *runtime* perturbs one element of the first device-to-device
+    /// copy it completes — the canary proving the differential peer
+    /// harness really watches the peer route: the host-forced runs stay
+    /// bit-clean and only the `exchange(auto)` run diverges (peer
+    /// mode).
+    PeerCorrupt,
 }
 
 impl Fault {
@@ -90,6 +106,7 @@ impl Fault {
             "reduce" => Some(Fault::ReduceSkipsLast),
             "recovery" => Some(Fault::RecoveryDropsLostChunk),
             "spill" => Some(Fault::SpillDropsSlice),
+            "peer" => Some(Fault::PeerCorrupt),
             _ => None,
         }
     }
@@ -125,6 +142,14 @@ pub struct CheckConfig {
     /// `StaticWeighted` plans. Mutually exclusive with `faults` and
     /// `pressure`.
     pub auto: bool,
+    /// Generate halo-exchange programs ([`ast::Stmt::Halo`]) and check
+    /// them differentially: host-forced runs (which must match the
+    /// oracle with zero peer copies) against one `exchange(auto)` run
+    /// that must match the same oracle bits while performing exactly
+    /// the closed-form D2D route set
+    /// ([`oracle::predict_peer_copies`]), with no diverted copy.
+    /// Mutually exclusive with `faults`, `pressure` and `auto`.
+    pub peer: bool,
 }
 
 impl Default for CheckConfig {
@@ -135,6 +160,7 @@ impl Default for CheckConfig {
             faults: false,
             pressure: false,
             auto: false,
+            peer: false,
         }
     }
 }
@@ -259,6 +285,12 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
 }
 
 /// Check one program under every tie-break policy for `seed`.
+///
+/// Under [`CheckConfig::peer`] the check is differential: the per-tie
+/// runs force every halo exchange through the host (zero peer copies
+/// allowed), then one extra FIFO `exchange(auto)` run must reproduce
+/// the same oracle bits while performing exactly the predicted
+/// device-to-device route set, with nothing diverted.
 pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), CheckFailure> {
     let want = oracle::predict(p, cfg.fault);
     for tie in tie_breaks(seed, cfg.interleavings) {
@@ -266,19 +298,74 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
         if let Some(detail) = compare(&want, &got) {
             return Err(CheckFailure { tie, detail });
         }
+        if !got.peer_copies.is_empty() {
+            return Err(CheckFailure {
+                tie,
+                detail: format!(
+                    "exchange(host) run performed {} peer copies",
+                    got.peer_copies.len()
+                ),
+            });
+        }
+    }
+    if cfg.peer {
+        let tie = TieBreak::Fifo;
+        let got = run::execute_ex(p, tie, cfg.fault, spread_core::ExchangeMode::Auto);
+        if let Some(detail) = compare(&want, &got) {
+            return Err(CheckFailure {
+                tie,
+                detail: format!("exchange(auto): {detail}"),
+            });
+        }
+        // The route set is only pinned down for a legal program — after
+        // a predicted error, what ran before the poison is unspecified.
+        if want.error.is_none() {
+            if let Some(r) = got.peer_copies.iter().find(|r| r.5) {
+                return Err(CheckFailure {
+                    tie,
+                    detail: format!(
+                        "exchange(auto): peer copy {}→{} of A{}[{}..{}] diverted to the \
+                         host on a fault-free program",
+                        r.0,
+                        r.1,
+                        r.2,
+                        r.3,
+                        r.3 + r.4
+                    ),
+                });
+            }
+            let mut routed: Vec<(u32, u32, u32, usize, usize)> = got
+                .peer_copies
+                .iter()
+                .map(|r| (r.0, r.1, r.2, r.3, r.4))
+                .collect();
+            routed.sort_unstable();
+            let predicted = oracle::predict_peer_copies(p);
+            if routed != predicted {
+                return Err(CheckFailure {
+                    tie,
+                    detail: format!(
+                        "exchange(auto) route set: predicted {predicted:?}, runtime \
+                         performed {routed:?}"
+                    ),
+                });
+            }
+        }
     }
     Ok(())
 }
 
 /// The program a configuration generates for `seed`: a pressure
 /// program under `cfg.pressure`, an adaptive-schedule program under
-/// `cfg.auto`, a faulted program under `cfg.faults`, a plain program
-/// otherwise.
+/// `cfg.auto`, a halo-exchange program under `cfg.peer`, a faulted
+/// program under `cfg.faults`, a plain program otherwise.
 pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
     if cfg.pressure {
         gen::gen_program_pressure(seed)
     } else if cfg.auto {
         gen::gen_program_auto(seed)
+    } else if cfg.peer {
+        gen::gen_program_peer(seed)
     } else {
         gen::gen_program_cfg(seed, cfg.faults)
     }
@@ -370,6 +457,7 @@ mod tests {
             Some(Fault::RecoveryDropsLostChunk)
         );
         assert_eq!(Fault::parse("spill"), Some(Fault::SpillDropsSlice));
+        assert_eq!(Fault::parse("peer"), Some(Fault::PeerCorrupt));
         assert_eq!(Fault::parse("nope"), None);
     }
 
@@ -409,6 +497,49 @@ mod tests {
                 panic!("auto seed {seed}: {f}");
             }
         }
+    }
+
+    #[test]
+    fn peer_seeds_check_clean() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            peer: true,
+            ..CheckConfig::default()
+        };
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("peer seed {seed}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_canary_is_caught_and_shrinks() {
+        let cfg = CheckConfig {
+            interleavings: 1,
+            fault: Some(Fault::PeerCorrupt),
+            peer: true,
+            ..CheckConfig::default()
+        };
+        // Find a seed whose `exchange(auto)` run actually routes a halo
+        // device-to-device (a `bump`-free Halo with interior chunks),
+        // so the corrupted byte reaches the final host state. The
+        // host-forced runs must stay clean — the canary is inert there
+        // — which is exactly what proves the differential leg watches
+        // the peer route.
+        let seed = (0..50u64)
+            .find(|&s| check_seed(s, &cfg).is_err())
+            .expect("some peer seed must route D2D and catch the corruption");
+        let (minimal, failure) = shrink_seed(seed, &cfg).expect("canary failure shrinks");
+        assert!(failure.detail.contains("array"), "{failure}");
+        assert!(
+            minimal
+                .phases
+                .iter()
+                .flatten()
+                .any(|s| matches!(s, ast::Stmt::Halo { .. })),
+            "the halo exchange is load-bearing for the divergence"
+        );
     }
 
     #[test]

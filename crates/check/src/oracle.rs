@@ -512,6 +512,65 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             }
             Ok(())
         }
+        Stmt::Halo {
+            devices,
+            chunk,
+            a,
+            dst,
+            bump,
+        } => {
+            let n = p.n;
+            let sched = Sched::Static { chunk: *chunk };
+            let chunks = distribute(0..n, devices, &sched.to_schedule());
+            let halo = |r: &Range<usize>| r.start.saturating_sub(1)..(r.end + 1).min(n);
+            // Enter-spread `to` of the halo'd chunks.
+            for c in &chunks {
+                m.enter(c.device.unwrap(), MapType::To, *a, halo(&c.range()))?;
+            }
+            // Optional body bump on the device images: the reuse path —
+            // refcount 2, no copies — so the host keeps the old values
+            // and every sibling copy goes stale.
+            if let Some(cv) = bump {
+                let op = KernelOp::AddConst { a: *a, c: *cv };
+                for c in &chunks {
+                    m.construct(c.device.unwrap(), &op_maps(&op, &c.range()), &op, c.range())?;
+                }
+            }
+            // The halo refresh. The `exchange(…)` route is semantically
+            // invisible — a peer pull is only legal when the sibling's
+            // bytes equal the host image — so the oracle models both
+            // one-element halos as plain host→device updates.
+            for c in &chunks {
+                let r = c.range();
+                let d = c.device.unwrap();
+                m.update(d, false, *a, r.start.saturating_sub(1)..r.start)?;
+                m.update(d, false, *a, r.end..(r.end + 1).min(n))?;
+            }
+            // Clamped 3-point stencil over the refreshed window: reuses
+            // the halo'd `a` mapping, allocates `dst`, copies the body
+            // out on exit — halo bytes land in the final host state.
+            for c in &chunks {
+                let d = c.device.unwrap();
+                let r = c.range();
+                let hr = halo(&r);
+                m.enter(d, MapType::To, *a, hr.clone())?;
+                m.enter(d, MapType::From, *dst, r.clone())?;
+                let xs = m.read_dev(d, *a, hr.clone());
+                let base = hr.start;
+                m.write_dev(d, *dst, r.clone(), |i, _| {
+                    let l = if i == 0 { i } else { i - 1 };
+                    let rr = if i == n - 1 { i } else { i + 1 };
+                    xs[l - base] + xs[i - base] + xs[rr - base]
+                });
+                m.exit(d, MapType::Release, *a, hr)?;
+                m.exit(d, MapType::From, *dst, r)?;
+            }
+            // Exit-spread release of the halo'd region.
+            for c in &chunks {
+                m.exit(c.device.unwrap(), MapType::Release, *a, halo(&c.range()))?;
+            }
+            Ok(())
+        }
         Stmt::RawEnter {
             device,
             a,
@@ -586,6 +645,52 @@ pub fn predict(p: &Program, fault: Option<Fault>) -> Expectation {
         degradations: m.degradations,
         error,
     }
+}
+
+/// The exact multiset of peer copies an `exchange(auto)` execution of
+/// `p` must perform, as sorted `(src, dst, array, start, len)` tuples.
+///
+/// Closed-form because the generator's halo invariants make the route
+/// deterministic: `chunk = ⌈n/k⌉ ≥ 2` gives each device at most one
+/// chunk, so a one-element halo is valid on exactly one sibling — the
+/// neighbouring chunk's device — and the planner has no choice to make.
+/// With a `bump`, every sibling body byte diverges from the host image,
+/// so *no* halo may route peer; without one, *every* non-empty halo
+/// must.
+pub fn predict_peer_copies(p: &Program) -> Vec<(u32, u32, u32, usize, usize)> {
+    let mut want = Vec::new();
+    for stmt in p.phases.iter().flatten() {
+        let Stmt::Halo {
+            devices,
+            chunk,
+            a,
+            bump: None,
+            ..
+        } = stmt
+        else {
+            continue;
+        };
+        let sched = Sched::Static { chunk: *chunk };
+        let chunks = distribute(0..p.n, devices, &sched.to_schedule());
+        for (i, c) in chunks.iter().enumerate() {
+            let r = c.range();
+            let dst = c.device.unwrap();
+            if r.start > 0 {
+                want.push((
+                    chunks[i - 1].device.unwrap(),
+                    dst,
+                    *a as u32,
+                    r.start - 1,
+                    1,
+                ));
+            }
+            if r.end < p.n {
+                want.push((chunks[i + 1].device.unwrap(), dst, *a as u32, r.end, 1));
+            }
+        }
+    }
+    want.sort_unstable();
+    want
 }
 
 #[cfg(test)]

@@ -139,6 +139,49 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
                 devices(d)
             );
         }
+        Stmt::Halo {
+            devices: d,
+            chunk,
+            a,
+            dst,
+            bump,
+        } => {
+            let _ = writeln!(
+                out,
+                "#pragma omp target enter data spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                 map(spread_to: A{a}[ss-1:sz+2])",
+                devices(d)
+            );
+            if let Some(c) = bump {
+                let _ = writeln!(
+                    out,
+                    "#pragma omp target spread {} spread_schedule(static, {chunk}) \
+                     map(spread_tofrom: A{a}[ss:sz])\n    for (i in 0..{n}) A{a}[i] += {c};  \
+                     // siblings go stale: every halo must take the host route",
+                    devices(d)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "#pragma omp target update spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                 to(A{a}[ss-1:1]) to(A{a}[ss+sz:1]) exchange(auto)",
+                devices(d)
+            );
+            let _ = writeln!(
+                out,
+                "#pragma omp target spread {} spread_schedule(static, {chunk}) \
+                 map(spread_to: A{a}[ss-1:sz+2]) map(spread_from: A{dst}[ss:sz])\n    \
+                 for (i in 0..{n}) A{dst}[i] = A{a}[max(i-1,0)] + A{a}[i] + A{a}[min(i+1,{})];",
+                devices(d),
+                n - 1
+            );
+            let _ = writeln!(
+                out,
+                "#pragma omp target exit data spread {} range(A{a}[0:{n}]) chunk_size({chunk}) \
+                 map(release: A{a}[ss-1:sz+2])",
+                devices(d)
+            );
+        }
         Stmt::RawEnter {
             device,
             a,

@@ -3,11 +3,14 @@
 //! the oracle predicts — final host arrays, reduction values, the
 //! mapping-table snapshot, race reports, and the first error.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use spread_core::spread_map::SpreadMap;
 use spread_core::testing::TargetSpreadTestingExt;
 use spread_core::{
-    spread_from, spread_to, spread_tofrom, PressurePolicy, ResiliencePolicy, SpreadSchedule,
-    TargetEnterDataSpread, TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
+    spread_from, spread_to, spread_tofrom, ExchangeMode, PressurePolicy, ResiliencePolicy,
+    SpreadSchedule, TargetEnterDataSpread, TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
 };
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
@@ -44,6 +47,11 @@ pub struct Observed {
     pub profiles: Vec<ConstructProfile>,
     /// Number of race reports.
     pub races: usize,
+    /// Every peer copy the runtime performed, in enqueue order:
+    /// `(src, dst, array, start, len, diverted)` — from
+    /// [`Runtime::peer_copies`]. Empty unless the program carries
+    /// [`Stmt::Halo`] statements executed under `exchange(auto)`.
+    pub peer_copies: Vec<(u32, u32, u32, usize, usize, bool)>,
     /// The first error, if any.
     pub error: Option<RtError>,
 }
@@ -195,12 +203,15 @@ fn issue_spread(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn issue(
     s: &mut Scope<'_>,
     p: &Program,
     handles: &[HostArray],
     reduces: &mut Vec<f64>,
     drop_spill: bool,
+    exchange: ExchangeMode,
+    corrupt: Option<&Rc<Cell<bool>>>,
     stmt: &Stmt,
 ) -> Result<(), RtError> {
     let resilience = if p.resilient() {
@@ -304,6 +315,82 @@ fn issue(
                 .launch(s)?;
             Ok(())
         }
+        Stmt::Halo {
+            devices,
+            chunk,
+            a,
+            dst,
+            bump,
+        } => {
+            let n = p.n;
+            let h = handles[*a];
+            let hd = handles[*dst];
+            let halo =
+                move |c: spread_core::ChunkCtx| c.start().saturating_sub(1)..(c.end() + 1).min(n);
+            TargetEnterDataSpread::devices(devices.iter().copied())
+                .range(0, n)
+                .chunk_size(*chunk)
+                .map(spread_to(h, halo))
+                .launch(s)?;
+            if let Some(cv) = *bump {
+                // Reuses the persistent mapping (exact-body containment)
+                // so the bumped bytes never reach the host: every
+                // sibling image goes stale and the exchange planner must
+                // route each halo through the host.
+                issue_spread(
+                    s,
+                    handles,
+                    n,
+                    devices,
+                    SpreadSchedule::static_chunk(*chunk),
+                    false,
+                    resilience,
+                    None,
+                    false,
+                    &KernelOp::AddConst { a: *a, c: cv },
+                )?;
+            }
+            let mut b = TargetUpdateSpread::devices(devices.iter().copied())
+                .range(0, n)
+                .chunk_size(*chunk)
+                .to(h, |c| c.start().saturating_sub(1)..c.start())
+                .to(h, move |c| c.end()..(c.end() + 1).min(n))
+                .exchange(exchange);
+            if let Some(flag) = corrupt {
+                b = b.with_peer_corruption(Rc::clone(flag));
+            }
+            b.launch(s)?;
+            // Clamped 3-point stencil over the refreshed window: the
+            // `to` map is the exact halo'd section (pure reuse, no
+            // copy), and the `from` map carries the freshly exchanged
+            // halo bytes into the final host state of `dst`.
+            let n1 = n - 1;
+            TargetSpread::devices(devices.iter().copied())
+                .spread_schedule(SpreadSchedule::static_chunk(*chunk))
+                .map(spread_to(h, halo))
+                .map(spread_from(hd, |c| c.range()))
+                .parallel_for(
+                    s,
+                    0..n,
+                    KernelSpec::new("halo-stencil", 2.0, move |r, v| {
+                        for i in r {
+                            let l = if i == 0 { i } else { i - 1 };
+                            let rr = if i == n1 { i } else { i + 1 };
+                            v.set(1, i, v.get(0, l) + v.get(0, i) + v.get(0, rr));
+                        }
+                    })
+                    .arg(KernelArg::read(h, move |r| {
+                        r.start.saturating_sub(1)..(r.end + 1).min(n)
+                    }))
+                    .arg(KernelArg::write(hd, |r| r)),
+                )?;
+            TargetExitDataSpread::devices(devices.iter().copied())
+                .range(0, n)
+                .chunk_size(*chunk)
+                .map(SpreadMap::new(MapType::Release, h, halo))
+                .launch(s)?;
+            Ok(())
+        }
         Stmt::RawEnter {
             device,
             a,
@@ -387,9 +474,26 @@ fn issue(
 /// Execute `p` under `tie` and report what the runtime observed.
 /// `inject` perturbs the *runtime* when it is the spill canary
 /// ([`Fault::SpillDropsSlice`]); every other fault perturbs the oracle
-/// instead and is ignored here.
+/// instead and is ignored here. [`Stmt::Halo`] exchanges run through
+/// the host — see [`execute_ex`] for the peer route.
 pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
+    execute_ex(p, tie, inject, ExchangeMode::Host)
+}
+
+/// [`execute`] with an explicit `exchange(…)` route for every
+/// [`Stmt::Halo`] refresh in the program (other statements never
+/// exchange). Under [`Fault::PeerCorrupt`] the *runtime* perturbs one
+/// element of the first peer copy it completes — inert when `exchange`
+/// forces the host path, which is exactly what makes the canary a proof
+/// that the differential harness watches the peer route.
+pub fn execute_ex(
+    p: &Program,
+    tie: TieBreak,
+    inject: Option<Fault>,
+    exchange: ExchangeMode,
+) -> Observed {
     let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
+    let corrupt = (inject == Some(Fault::PeerCorrupt)).then(|| Rc::new(Cell::new(false)));
     let mut rt = runtime(
         p.n_devices,
         tie,
@@ -407,7 +511,16 @@ pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
     let result = rt.run(|s| {
         for phase in &p.phases {
             for stmt in phase {
-                issue(s, p, &handles, &mut reduces, drop_spill, stmt)?;
+                issue(
+                    s,
+                    p,
+                    &handles,
+                    &mut reduces,
+                    drop_spill,
+                    exchange,
+                    corrupt.as_ref(),
+                    stmt,
+                )?;
             }
             // Phase barrier: everything `nowait` drains here.
             s.drain_all()?;
@@ -431,6 +544,20 @@ pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
         degradations: rt.degradations(),
         profiles: rt.profiles(),
         races: rt.races().len(),
+        peer_copies: rt
+            .peer_copies()
+            .iter()
+            .map(|r| {
+                (
+                    r.src,
+                    r.dst,
+                    r.section.array.0,
+                    r.section.start,
+                    r.section.len,
+                    r.diverted,
+                )
+            })
+            .collect(),
         error: result.err(),
     }
 }

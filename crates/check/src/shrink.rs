@@ -115,7 +115,8 @@ fn stmt_devices(s: &Stmt) -> Vec<u32> {
     match s {
         Stmt::Spread { devices, .. }
         | Stmt::Reduce { devices, .. }
-        | Stmt::DataRegion { devices, .. } => devices.clone(),
+        | Stmt::DataRegion { devices, .. }
+        | Stmt::Halo { devices, .. } => devices.clone(),
         Stmt::RawEnter { device, .. }
         | Stmt::RawExit { device, .. }
         | Stmt::RawUpdate { device, .. } => vec![*device],
@@ -209,6 +210,25 @@ fn simplify_stmt(s: &Stmt, n: usize) -> Vec<Stmt> {
                 partials: *partials,
                 alpha: *alpha,
                 op: *op,
+            });
+        }
+        // A Halo's device list never shrinks: `chunk = ⌈n/k⌉` is what
+        // keeps halo'd chunks off the same device, and dropping devices
+        // without recomputing it would manufacture an overlap error
+        // unrelated to the original failure. Only the bump simplifies.
+        Stmt::Halo {
+            devices,
+            chunk,
+            a,
+            dst,
+            bump: Some(_),
+        } => {
+            out.push(Stmt::Halo {
+                devices: devices.clone(),
+                chunk: *chunk,
+                a: *a,
+                dst: *dst,
+                bump: None,
             });
         }
         Stmt::DataRegion {

@@ -17,14 +17,28 @@
 
 use std::ops::Range;
 
-use spread_rt::directives::{TargetEnterData, TargetExitData, TargetUpdate};
+use spread_rt::directives::{ExchangeMode, TargetEnterData, TargetExitData, TargetUpdate};
 use spread_rt::map::MapType;
 use spread_rt::{HostArray, MapClause, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
+use crate::resilience::ResiliencePolicy;
 use crate::schedule::{distribute, Chunk, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
 use crate::target_spread::SpreadDep;
+
+/// Under `spread_resilience(redistribute)`, absorb a chunk task's
+/// device-loss failure: the staged-write discipline left the host image
+/// untouched, so the task is dropped (footprints forgiven, dependents
+/// released) and the program continues from the host copy. Data-spread
+/// directives need no replacement construct — a later resilient spread
+/// re-maps what it needs from the host.
+fn guard_chunk_task(scope: &mut Scope<'_>, id: TaskId, device: u32) {
+    scope.on_task_fault(&[id], device, move |s, faulted, _err| {
+        s.forgive_task_footprints(faulted);
+        s.force_complete(faulted);
+    });
+}
 
 /// The clause core shared by every spread data-management directive:
 /// `devices(…)`, `range(start:len)`, `chunk_size(c)`, an optional
@@ -155,6 +169,7 @@ pub struct TargetEnterDataSpread {
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
     dep_outs: Vec<SpreadDep>,
+    resilience: ResiliencePolicy,
 }
 
 impl TargetEnterDataSpread {
@@ -165,7 +180,17 @@ impl TargetEnterDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
+            resilience: ResiliencePolicy::default(),
         }
+    }
+
+    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
+    /// is already lost are skipped and a chunk task killed by device
+    /// loss is absorbed (the host image stays authoritative) instead of
+    /// poisoning the runtime.
+    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
     }
 
     /// **Extension** (§IX): an explicit static spread schedule replacing
@@ -238,10 +263,14 @@ impl TargetEnterDataSpread {
     /// Issue the directive: one enter-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
         let chunks = self.clauses.chunks()?;
+        let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
             let device = chunk.device.expect("static chunks are assigned");
+            if resilient && scope.is_device_lost(device) {
+                continue;
+            }
             let mut b = TargetEnterData::device(device)
                 .nowait()
                 .label(format!("enter-spread(dev{device})[{}]", chunk.index));
@@ -254,7 +283,11 @@ impl TargetEnterDataSpread {
             for d in &self.dep_outs {
                 b = b.depend_out(d.at(c));
             }
-            ids.push(b.launch(scope)?);
+            let id = b.launch(scope)?;
+            if resilient {
+                guard_chunk_task(scope, id, device);
+            }
+            ids.push(id);
         }
         if !self.nowait {
             for &id in &ids {
@@ -272,6 +305,7 @@ pub struct TargetExitDataSpread {
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
     dep_outs: Vec<SpreadDep>,
+    resilience: ResiliencePolicy,
 }
 
 impl TargetExitDataSpread {
@@ -282,7 +316,17 @@ impl TargetExitDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
+            resilience: ResiliencePolicy::default(),
         }
+    }
+
+    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
+    /// is already lost are skipped (their mappings died with the device;
+    /// the host keeps its pre-construct data) and a chunk task killed by
+    /// device loss is absorbed instead of poisoning the runtime.
+    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
     }
 
     /// **Extension** (§IX): an explicit static spread schedule replacing
@@ -354,10 +398,14 @@ impl TargetExitDataSpread {
     /// Issue the directive: one exit-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
         let chunks = self.clauses.chunks()?;
+        let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
             let device = chunk.device.expect("static chunks are assigned");
+            if resilient && scope.is_device_lost(device) {
+                continue;
+            }
             let mut b = TargetExitData::device(device)
                 .nowait()
                 .label(format!("exit-spread(dev{device})[{}]", chunk.index));
@@ -370,7 +418,11 @@ impl TargetExitDataSpread {
             for d in &self.dep_outs {
                 b = b.depend_out(d.at(c));
             }
-            ids.push(b.launch(scope)?);
+            let id = b.launch(scope)?;
+            if resilient {
+                guard_chunk_task(scope, id, device);
+            }
+            ids.push(id);
         }
         if !self.nowait {
             for &id in &ids {
@@ -388,6 +440,9 @@ pub struct TargetUpdateSpread {
     to_items: Vec<(HostArray, SectionOf)>,
     from_items: Vec<(HostArray, SectionOf)>,
     nowait: bool,
+    exchange: ExchangeMode,
+    resilience: ResiliencePolicy,
+    corrupt_peer: Option<std::rc::Rc<std::cell::Cell<bool>>>,
 }
 
 impl TargetUpdateSpread {
@@ -398,7 +453,43 @@ impl TargetUpdateSpread {
             to_items: Vec::new(),
             from_items: Vec::new(),
             nowait: false,
+            // The spread-level default: a `to(…)` section already valid
+            // on a sibling device goes device-to-device, host path
+            // otherwise — the paper's host round-trip is recovered with
+            // `exchange(host)`.
+            exchange: ExchangeMode::Auto,
+            resilience: ResiliencePolicy::default(),
+            corrupt_peer: None,
         }
+    }
+
+    /// `exchange(peer|host|auto)` — how `to(…)` refreshes reach the
+    /// devices. `auto` (the default) pulls from a sibling device that
+    /// already holds the bytes bit-identical to the host image and
+    /// falls back to the host path otherwise; `peer` demands the direct
+    /// route and fails with `InvalidDirective` where it cannot hold.
+    pub fn exchange(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = mode;
+        self
+    }
+
+    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
+    /// is already lost are skipped and a chunk task killed by device
+    /// loss is absorbed (a lost peer *source* already falls back to a
+    /// host replay on its own). Composes with every `exchange` mode
+    /// except `peer`, whose no-fallback contract a loss would violate.
+    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// Test-only canary hook: the first peer copy the directive
+    /// completes perturbs one element. See
+    /// [`TargetUpdate::with_peer_corruption`].
+    #[doc(hidden)]
+    pub fn with_peer_corruption(mut self, flag: std::rc::Rc<std::cell::Cell<bool>>) -> Self {
+        self.corrupt_peer = Some(flag);
+        self
     }
 
     /// `range(start:len)`.
@@ -441,19 +532,42 @@ impl TargetUpdateSpread {
 
     /// Issue the directive: one update task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        if self.exchange == ExchangeMode::Peer && self.resilience == ResiliencePolicy::Redistribute
+        {
+            // `peer` forbids the host fallback that redistribution's
+            // "replay from the staged host image" contract relies on.
+            return Err(RtError::InvalidDirective(
+                "exchange(peer) cannot compose with spread_resilience(redistribute): \
+                 a lost peer leaves no permitted route"
+                    .into(),
+            ));
+        }
         let chunks = self.clauses.chunks()?;
+        let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
             let device = chunk.device.expect("static chunks are assigned");
-            let mut b = TargetUpdate::device(device).nowait();
+            if resilient && scope.is_device_lost(device) {
+                continue;
+            }
+            let mut b = TargetUpdate::device(device)
+                .nowait()
+                .exchange(self.exchange);
+            if let Some(flag) = &self.corrupt_peer {
+                b = b.with_peer_corruption(std::rc::Rc::clone(flag));
+            }
             for (a, expr) in &self.to_items {
                 b = b.to(Section::from_range(a.id(), expr(c)));
             }
             for (a, expr) in &self.from_items {
                 b = b.from(Section::from_range(a.id(), expr(c)));
             }
-            ids.push(b.launch(scope)?);
+            let id = b.launch(scope)?;
+            if resilient {
+                guard_chunk_task(scope, id, device);
+            }
+            ids.push(id);
         }
         if !self.nowait {
             for &id in &ids {
@@ -553,6 +667,7 @@ impl TargetDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
+            resilience: ResiliencePolicy::default(),
         }
         .launch(scope)?;
         let r = f(scope)?;
@@ -561,6 +676,7 @@ impl TargetDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
+            resilience: ResiliencePolicy::default(),
         }
         .launch(scope)?;
         Ok(r)

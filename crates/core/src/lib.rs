@@ -94,6 +94,7 @@ pub use reduction::ReduceOp;
 pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};
 pub use spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom, SectionOf, SpreadMap};
+pub use spread_rt::ExchangeMode;
 pub use target_spread::TargetSpread;
 
 /// Convenience re-exports for writing spread programs.
@@ -109,4 +110,5 @@ pub mod prelude {
     pub use crate::schedule::SpreadSchedule;
     pub use crate::spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom};
     pub use crate::target_spread::TargetSpread;
+    pub use spread_rt::ExchangeMode;
 }

@@ -33,6 +33,8 @@ pub enum Direction {
     In,
     /// Device to host.
     Out,
+    /// Device to device, pulled by the destination's peer engine.
+    Peer,
 }
 
 impl Direction {
@@ -40,6 +42,7 @@ impl Direction {
         match self {
             Direction::In => Lane::copy_in(device),
             Direction::Out => Lane::copy_out(device),
+            Direction::Peer => Lane::peer(device),
         }
     }
 
@@ -47,6 +50,7 @@ impl Direction {
         match self {
             Direction::In => SpanKind::TransferIn,
             Direction::Out => SpanKind::TransferOut,
+            Direction::Peer => SpanKind::PeerCopy,
         }
     }
 }
@@ -66,6 +70,12 @@ pub struct DmaOp {
     /// fault context is attached to the engine; without one a surfaced
     /// fault panics rather than being silently dropped.
     pub on_fault: Option<crate::health::OnFault>,
+    /// Capacities this particular operation streams through in addition
+    /// to the engine's fixed set. A peer engine's fixed caps cover the
+    /// destination side; the source device's peer-out link (and the
+    /// inter-switch hop, when the endpoints straddle switches) vary per
+    /// operation and ride here.
+    pub extra_caps: Vec<CapacityId>,
 }
 
 struct Inner {
@@ -278,7 +288,7 @@ impl DmaEngine {
         sim.schedule_after(
             latency,
             Box::new(move |sim| {
-                let (flownet, caps, device, fault) = {
+                let (flownet, mut caps, device, fault) = {
                     let inner = this.inner.borrow();
                     (
                         inner.flownet.clone(),
@@ -287,6 +297,7 @@ impl DmaEngine {
                         inner.fault.clone(),
                     )
                 };
+                caps.extend(std::mem::take(&mut op.extra_caps));
                 let this2 = this.clone();
                 let bytes = op.bytes;
                 // Link degradation inflates the *modeled* bytes (a pure
@@ -393,6 +404,7 @@ mod tests {
             effect: None,
             on_complete: Box::new(move |s| done.borrow_mut().push(s.now().as_secs_f64())),
             on_fault: None,
+            extra_caps: Vec::new(),
         }
     }
 
@@ -448,6 +460,7 @@ mod tests {
                     effect: Some(Box::new(move || order2.borrow_mut().push(i))),
                     on_complete: Box::new(|_| {}),
                     on_fault: None,
+                    extra_caps: Vec::new(),
                 },
             );
         }
@@ -605,6 +618,34 @@ mod tests {
         let done = Rc::new(RefCell::new(Vec::new()));
         eng.enqueue(&mut sim, op(1, done));
         sim.run_until_idle();
+    }
+
+    #[test]
+    fn peer_direction_records_on_the_peer_lane_and_extra_caps_bind() {
+        let trace = TraceRecorder::new();
+        let mut sim = Simulator::new(trace.clone());
+        let net = SharedFlowNet::new();
+        let wide = net.add_capacity("peer-in", 1000.0);
+        let narrow = net.add_capacity("peer-out", 100.0);
+        let eng = DmaEngine::new(
+            0,
+            Direction::Peer,
+            SimDuration::ZERO,
+            vec![wide],
+            net,
+            trace.clone(),
+        );
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let mut o = op(100, done.clone());
+        o.extra_caps = vec![narrow];
+        eng.enqueue(&mut sim, o);
+        sim.run_until_idle();
+        // The per-op extra capacity (100 B/s) is the bottleneck: 1 s,
+        // not the engine's fixed 1000 B/s.
+        assert!((done.borrow()[0] - 1.0).abs() < 1e-6, "{:?}", done.borrow());
+        let s = &trace.snapshot()[0];
+        assert_eq!(s.kind, SpanKind::PeerCopy);
+        assert_eq!(s.lane, Lane::peer(0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use spread_sim::SharedFlowNet;
+use spread_sim::{CapacityId, SharedFlowNet};
 use spread_trace::TraceRecorder;
 
 use crate::compute::ComputeEngine;
@@ -27,8 +27,35 @@ pub struct DeviceHandle {
     pub dma_in: DmaEngine,
     /// Device→host copy engine.
     pub dma_out: DmaEngine,
+    /// Peer copy engine: pulls data from sibling devices over the peer
+    /// fabric. A separate NVLink-style engine, so it is never gated
+    /// behind the default-stream serialization of the host-side
+    /// engines.
+    pub dma_peer: DmaEngine,
     /// Kernel queue.
     pub compute: ComputeEngine,
+    /// Switch this device hangs off (from the topology).
+    pub switch_id: usize,
+    /// This device's peer-fabric egress capacity; a sibling pulling
+    /// from us streams through it.
+    pub peer_out_cap: CapacityId,
+    /// The shared inter-switch hop every cross-switch peer copy
+    /// streams through.
+    pub peer_xswitch_cap: CapacityId,
+}
+
+impl DeviceHandle {
+    /// The per-operation capacities a peer pull from `src` must stream
+    /// through, in addition to our peer engine's fixed ingress cap:
+    /// the source's egress link, plus the inter-switch hop when the
+    /// endpoints sit on different switches.
+    pub fn peer_route_caps(&self, src: &DeviceHandle) -> Vec<CapacityId> {
+        let mut caps = vec![src.peer_out_cap];
+        if src.switch_id != self.switch_id {
+            caps.push(self.peer_xswitch_cap);
+        }
+        caps
+    }
 }
 
 /// The machine: every device plus the shared interconnect model.
@@ -52,9 +79,13 @@ impl Node {
         // aggregate bandwidth ("transfers from different buffers did
         // not overlap", Figure 4) — the buffered Somier versions would
         // otherwise win by direction-mixing.
-        let switch_caps: Vec<spread_sim::CapacityId> = (0..topo.n_switches)
+        let switch_caps: Vec<CapacityId> = (0..topo.n_switches)
             .map(|s| flownet.add_capacity(format!("switch{s}"), topo.switch_bw))
             .collect();
+        // The peer fabric: per-device ingress/egress links plus one
+        // shared inter-switch hop. Peer copies never touch the host
+        // bus or the host-side switch caps.
+        let peer_xswitch = flownet.add_capacity("peer-xswitch", topo.peer_bw_cross_switch);
         let devices = topo
             .devices
             .iter()
@@ -64,6 +95,10 @@ impl Node {
                 assert!(sw < topo.n_switches, "device {i} on unknown switch {sw}");
                 let link_in = flownet.add_capacity(format!("gpu{i}-link-in"), topo.link_bw);
                 let link_out = flownet.add_capacity(format!("gpu{i}-link-out"), topo.link_bw);
+                let peer_in =
+                    flownet.add_capacity(format!("gpu{i}-peer-in"), topo.peer_bw_same_switch);
+                let peer_out =
+                    flownet.add_capacity(format!("gpu{i}-peer-out"), topo.peer_bw_same_switch);
                 let id = i as u32;
                 let gate = spec.single_queue.then(SerialGate::new);
                 let with_gate_dma = |e: DmaEngine| match &gate {
@@ -95,7 +130,18 @@ impl Node {
                         flownet.clone(),
                         trace.clone(),
                     )),
+                    dma_peer: DmaEngine::new(
+                        id,
+                        Direction::Peer,
+                        spec.dma_latency,
+                        vec![peer_in],
+                        flownet.clone(),
+                        trace.clone(),
+                    ),
                     compute,
+                    switch_id: sw,
+                    peer_out_cap: peer_out,
+                    peer_xswitch_cap: peer_xswitch,
                 }
             })
             .collect();
@@ -132,6 +178,7 @@ impl Node {
         for d in &self.devices {
             d.dma_in.set_fault_ctx(ctx.clone());
             d.dma_out.set_fault_ctx(ctx.clone());
+            d.dma_peer.set_fault_ctx(ctx.clone());
             d.compute.set_fault_ctx(ctx.clone());
         }
     }
@@ -188,6 +235,7 @@ mod tests {
                         done.borrow_mut().push((id, s.now().as_secs_f64()));
                     }),
                     on_fault: None,
+                    extra_caps: Vec::new(),
                 },
             );
         }
@@ -221,6 +269,7 @@ mod tests {
                 effect: None,
                 on_complete: Box::new(move |s| *t2.borrow_mut() = s.now().as_secs_f64()),
                 on_fault: None,
+                extra_caps: Vec::new(),
             },
         );
         sim.run_until_idle();
@@ -244,6 +293,7 @@ mod tests {
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
+                    extra_caps: Vec::new(),
                 },
             );
         }
@@ -251,6 +301,80 @@ mod tests {
         // Each gets 14/2 = 7 GB/s → 1 s for 7 GB.
         for &t in times.borrow().iter() {
             assert!((t - 1.0).abs() < 1e-3, "same-switch pair: {t}");
+        }
+    }
+
+    fn timed_op(bytes: u64, times: &Rc<RefCell<Vec<f64>>>) -> crate::dma::DmaOp {
+        let times = times.clone();
+        crate::dma::DmaOp {
+            bytes,
+            label: String::new(),
+            effect: None,
+            on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
+            on_fault: None,
+            extra_caps: Vec::new(),
+        }
+    }
+
+    /// Same-switch peer pulls run at the 24 GB/s peer tier; cross-switch
+    /// pulls are bound by the 16 GB/s inter-switch hop.
+    #[test]
+    fn peer_tiers_same_vs_cross_switch() {
+        let trace = TraceRecorder::disabled();
+
+        let mut sim = Simulator::new(trace.clone());
+        let node = Node::new(&Topology::ctepower(4), &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dst = node.device(1);
+        let caps = dst.peer_route_caps(node.device(0));
+        assert_eq!(caps.len(), 1, "same switch: egress cap only");
+        let mut op = timed_op(24_000_000_000, &times);
+        op.extra_caps = caps;
+        dst.dma_peer.enqueue(&mut sim, op);
+        sim.run_until_idle();
+        assert!(
+            (times.borrow()[0] - 1.0).abs() < 1e-3,
+            "same-switch pull: {}",
+            times.borrow()[0]
+        );
+
+        let mut sim = Simulator::new(trace.clone());
+        let node = Node::new(&Topology::ctepower(4), &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dst = node.device(2);
+        let caps = dst.peer_route_caps(node.device(0));
+        assert_eq!(caps.len(), 2, "cross switch: egress + xswitch hop");
+        let mut op = timed_op(16_000_000_000, &times);
+        op.extra_caps = caps;
+        dst.dma_peer.enqueue(&mut sim, op);
+        sim.run_until_idle();
+        assert!(
+            (times.borrow()[0] - 1.0).abs() < 1e-3,
+            "cross-switch pull: {}",
+            times.borrow()[0]
+        );
+    }
+
+    /// The peer engine is a separate NVLink-style engine: it neither
+    /// shares the host bus nor the default-stream gate, so a peer pull
+    /// overlaps fully with a host-routed H2D on the same device.
+    #[test]
+    fn peer_engine_overlaps_host_traffic_and_skips_the_gate() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        let node = Node::new(&Topology::ctepower(2), &trace);
+        assert!(node.device(1).spec.single_queue);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dst = node.device(1);
+        dst.dma_in
+            .enqueue(&mut sim, timed_op(12_000_000_000, &times));
+        let mut peer = timed_op(24_000_000_000, &times);
+        peer.extra_caps = dst.peer_route_caps(node.device(0));
+        dst.dma_peer.enqueue(&mut sim, peer);
+        sim.run_until_idle();
+        // Both take ~1 s alone; serialization would push one to ~2 s.
+        for &t in times.borrow().iter() {
+            assert!((t - 1.0).abs() < 1e-3, "overlapped transfer took {t}");
         }
     }
 
@@ -283,6 +407,7 @@ mod tests {
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
+                    extra_caps: Vec::new(),
                 },
             );
         }
@@ -320,6 +445,7 @@ mod tests {
                     effect: None,
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
+                    extra_caps: Vec::new(),
                 },
             );
         }

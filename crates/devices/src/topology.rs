@@ -30,6 +30,14 @@ pub struct Topology {
     /// Host-bus aggregate bandwidth shared by *all* transfers in both
     /// directions (bytes/s).
     pub host_bus_bw: f64,
+    /// Per-device peer-link bandwidth for device-to-device copies whose
+    /// endpoints share a switch (bytes/s). Peer transfers never touch
+    /// the host bus.
+    pub peer_bw_same_switch: f64,
+    /// Aggregate bandwidth of the inter-switch hop, shared by every
+    /// device-to-device copy whose endpoints sit on different switches
+    /// (bytes/s).
+    pub peer_bw_cross_switch: f64,
 }
 
 impl Topology {
@@ -42,6 +50,8 @@ impl Topology {
             link_bw,
             switch_bw: host_bus_bw,
             host_bus_bw,
+            peer_bw_same_switch: 2.0 * link_bw,
+            peer_bw_cross_switch: 1.5 * link_bw,
         }
     }
 
@@ -66,7 +76,44 @@ impl Topology {
             link_bw: 12.0 * GBS,
             switch_bw: 14.0 * GBS,
             host_bus_bw: 21.0 * GBS,
+            // NVLink-style peer fabric: a same-switch pair copies at 2×
+            // the host link and bypasses both the switch cap and the
+            // host bus; the inter-switch hop is narrower but still
+            // beats the host round-trip.
+            peer_bw_same_switch: 24.0 * GBS,
+            peer_bw_cross_switch: 16.0 * GBS,
         }
+    }
+
+    /// Check internal consistency: per-device switch assignments exist
+    /// and are in range, and every bandwidth tier is finite and
+    /// positive. `Runtime::new` rejects invalid topologies up front.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.switch_of.len() != self.devices.len() {
+            return Err(format!(
+                "switch_of has {} entries for {} devices",
+                self.switch_of.len(),
+                self.devices.len()
+            ));
+        }
+        if let Some(&s) = self.switch_of.iter().find(|&&s| s >= self.n_switches) {
+            return Err(format!(
+                "switch index {s} out of range (n_switches = {})",
+                self.n_switches
+            ));
+        }
+        for (name, bw) in [
+            ("link_bw", self.link_bw),
+            ("switch_bw", self.switch_bw),
+            ("host_bus_bw", self.host_bus_bw),
+            ("peer_bw_same_switch", self.peer_bw_same_switch),
+            ("peer_bw_cross_switch", self.peer_bw_cross_switch),
+        ] {
+            if !bw.is_finite() || bw <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {bw}"));
+            }
+        }
+        Ok(())
     }
 
     /// Number of devices.
@@ -83,6 +130,8 @@ impl Topology {
         self.link_bw /= scale;
         self.switch_bw /= scale;
         self.host_bus_bw /= scale;
+        self.peer_bw_same_switch /= scale;
+        self.peer_bw_cross_switch /= scale;
         for d in &mut self.devices {
             d.compute.time_scale *= scale;
             d.dma_latency = SimDuration::from_secs_f64(d.dma_latency.as_secs_f64() * scale);
@@ -134,9 +183,68 @@ mod tests {
     }
 
     #[test]
+    fn ctepower_peer_tiers_beat_the_host_path() {
+        let t = Topology::ctepower(4);
+        assert!(t.peer_bw_same_switch > t.host_bus_bw);
+        assert!(t.peer_bw_cross_switch > t.switch_bw);
+        assert!(t.peer_bw_same_switch > t.peer_bw_cross_switch);
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        assert_eq!(Topology::ctepower(4).validate(), Ok(()));
+        assert_eq!(
+            Topology::uniform(3, DeviceSpec::v100(), 10.0, 25.0).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_length_mismatch() {
+        let mut t = Topology::ctepower(4);
+        t.switch_of.pop();
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("3 entries for 4 devices"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_switch_out_of_range() {
+        let mut t = Topology::ctepower(4);
+        t.switch_of[2] = 7;
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("switch index 7 out of range"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_bandwidths() {
+        for field in [
+            "link_bw",
+            "switch_bw",
+            "host_bus_bw",
+            "peer_bw_same_switch",
+            "peer_bw_cross_switch",
+        ] {
+            for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+                let mut t = Topology::ctepower(2);
+                match field {
+                    "link_bw" => t.link_bw = bad,
+                    "switch_bw" => t.switch_bw = bad,
+                    "host_bus_bw" => t.host_bus_bw = bad,
+                    "peer_bw_same_switch" => t.peer_bw_same_switch = bad,
+                    _ => t.peer_bw_cross_switch = bad,
+                }
+                let err = t.validate().unwrap_err();
+                assert!(err.contains(field), "{field} {bad}: {err}");
+            }
+        }
+    }
+
+    #[test]
     fn time_scale_rescales_consistently() {
         let t = Topology::ctepower(2).with_time_scale(1000.0);
         assert!((t.link_bw - 12.0 * GBS / 1000.0).abs() < 1.0);
+        assert!((t.peer_bw_same_switch - 24.0 * GBS / 1000.0).abs() < 1.0);
+        assert!((t.peer_bw_cross_switch - 16.0 * GBS / 1000.0).abs() < 1.0);
         assert!((t.devices[0].compute.time_scale - 1000.0).abs() < 1e-9);
         assert_eq!(
             t.devices[0].dma_latency,

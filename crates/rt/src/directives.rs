@@ -14,11 +14,12 @@
 //! until the construct completes, like the OpenMP originals.
 
 use std::ops::Range;
+use std::rc::Rc;
 
 use crate::error::RtError;
 use crate::kernel::KernelSpec;
 use crate::map::{MapClause, MapType};
-use crate::runtime::{run_kernel, run_transfers, Action, Completion, Scope};
+use crate::runtime::{run_kernel, run_transfers, run_transfers_ex, Action, Completion, Scope};
 use crate::section::Section;
 use crate::task::{FpAccess, TaskId, TaskSpec};
 
@@ -256,6 +257,22 @@ impl TargetExitData {
     }
 }
 
+/// The `exchange(…)` clause of `target update`: how `to(…)` sections
+/// reach the device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Route every copy host→device over the host bus (the classic
+    /// path; the rt-level default).
+    #[default]
+    Host,
+    /// Require a direct device-to-device pull for every `to(…)` copy;
+    /// `InvalidDirective` when no eligible peer source exists.
+    Peer,
+    /// Pull from an eligible sibling device when one holds the section
+    /// bit-identical to the host image; host path otherwise.
+    Auto,
+}
+
 /// `#pragma omp target update`.
 #[derive(Clone)]
 pub struct TargetUpdate {
@@ -264,6 +281,8 @@ pub struct TargetUpdate {
     from_items: Vec<Section>,
     nowait: bool,
     deps: Depends,
+    exchange: ExchangeMode,
+    corrupt_peer: Option<Rc<std::cell::Cell<bool>>>,
 }
 
 impl TargetUpdate {
@@ -275,7 +294,26 @@ impl TargetUpdate {
             from_items: Vec::new(),
             nowait: false,
             deps: Depends::default(),
+            exchange: ExchangeMode::Host,
+            corrupt_peer: None,
         }
+    }
+
+    /// `exchange(peer|host|auto)` — route `to(…)` refreshes
+    /// device-to-device when a sibling already holds the bytes.
+    pub fn exchange(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = mode;
+        self
+    }
+
+    /// Test-only canary hook: the first peer copy this directive
+    /// completes perturbs one element after observing the unarmed flag
+    /// (and arms it). Conformance harnesses use it to prove they would
+    /// notice a broken D2D engine.
+    #[doc(hidden)]
+    pub fn with_peer_corruption(mut self, flag: Rc<std::cell::Cell<bool>>) -> Self {
+        self.corrupt_peer = Some(flag);
+        self
     }
 
     /// `to(section)` — refresh the device image from the host.
@@ -312,6 +350,13 @@ impl TargetUpdate {
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<TaskId, RtError> {
         let device = self.device;
         let (to_items, from_items) = (self.to_items, self.from_items);
+        if self.exchange == ExchangeMode::Peer && to_items.is_empty() {
+            return Err(RtError::InvalidDirective(
+                "exchange(peer) requires at least one to(…) item".into(),
+            ));
+        }
+        let exchange = self.exchange;
+        let corrupt_peer = self.corrupt_peer;
         let mut spec = TaskSpec::new(format!("update(dev{device})"));
         spec.wait_on = self.deps.wait_on();
         spec.publish = spec.wait_on.clone();
@@ -324,18 +369,22 @@ impl TargetUpdate {
             spec.fp_writes.push(FpAccess::host(s));
         }
         let action: Action = Box::new(move |sim, inner_rc, id| {
-            let (to_copies, from_copies) =
-                inner_rc
-                    .borrow_mut()
-                    .plan_update(device, &to_items, &from_items)?;
-            run_transfers(
+            let (to_copies, from_copies, routes) = {
+                let mut inner = inner_rc.borrow_mut();
+                let (to_copies, from_copies) = inner.plan_update(device, &to_items, &from_items)?;
+                let routes = inner.plan_peer_routes(device, exchange, &to_copies)?;
+                (to_copies, from_copies, routes)
+            };
+            run_transfers_ex(
                 sim,
                 inner_rc,
                 id,
                 device,
                 to_copies,
+                routes,
                 from_copies,
                 Vec::new(),
+                corrupt_peer,
             );
             Ok(Completion::Async)
         });

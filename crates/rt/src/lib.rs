@@ -57,12 +57,14 @@ pub mod section;
 pub mod spill;
 pub mod task;
 
-pub use directives::ConstructIds;
+pub use directives::{ConstructIds, ExchangeMode};
 pub use error::RtError;
 pub use host::HostArray;
 pub use kernel::{Access, KernelArg, KernelSpec};
 pub use map::{MapClause, MapType};
-pub use runtime::{DegradationEvent, DegradationKind, Runtime, RuntimeConfig, Scope};
+pub use runtime::{
+    DegradationEvent, DegradationKind, PeerCopyRecord, Runtime, RuntimeConfig, Scope,
+};
 pub use section::{ArrayId, Section};
 pub use spill::{kernel_footprint_bytes, spill_chunk, spill_slices};
 pub use task::{GroupId, TaskId};
@@ -70,7 +72,7 @@ pub use task::{GroupId, TaskId};
 /// Convenience re-exports for building runtime programs.
 pub mod prelude {
     pub use crate::directives::{
-        Target, TargetData, TargetEnterData, TargetExitData, TargetUpdate,
+        ExchangeMode, Target, TargetData, TargetEnterData, TargetExitData, TargetUpdate,
     };
     pub use crate::host::HostArray;
     pub use crate::kernel::{Access, KernelArg, KernelSpec};

@@ -274,6 +274,27 @@ pub(crate) struct Inner {
     pub(crate) spill_staging_bytes: u64,
     /// Keyed adaptive-schedule state (`spread_schedule(auto)`).
     pub(crate) profiles: crate::profile::ProfileStore,
+    /// Every peer (device-to-device) copy planned so far, in plan
+    /// order. `diverted` flips when the effect-time re-check routed the
+    /// copy back through the host.
+    pub(crate) peer_log: Vec<PeerCopyRecord>,
+}
+
+/// One planned device-to-device copy (see [`Runtime::peer_copies`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerCopyRecord {
+    /// Source device the destination pulled from.
+    pub src: u32,
+    /// Destination device.
+    pub dst: u32,
+    /// The host-array section transferred.
+    pub section: Section,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// True when the effect-time re-verification found the source
+    /// gone or stale and the copy was replayed over the host path
+    /// instead.
+    pub diverted: bool,
 }
 
 impl Inner {
@@ -510,6 +531,78 @@ impl Inner {
             Ok(out)
         };
         Ok((plan(to_items, "to")?, plan(from_items, "from")?))
+    }
+
+    /// The eligible peer source for a to-copy of `sec` onto `device`:
+    /// the lowest-numbered sibling that is alive, holds a presence
+    /// entry containing `sec`, and whose device bytes over `sec` are
+    /// bit-equal to the host image. Bit-equality is what makes a peer
+    /// pull observationally identical to the host copy it replaces —
+    /// and what lets the conformance oracle replicate this rule
+    /// exactly (ascending scan, first match wins).
+    pub(crate) fn peer_source_for(&self, device: u32, sec: &Section) -> Option<u32> {
+        let host = self.host.storage(sec.array);
+        let host = host.borrow();
+        for (sd, table) in self.presence.iter().enumerate() {
+            let src = sd as u32;
+            if src == device || self.fault.as_ref().is_some_and(|ctx| ctx.is_lost(src)) {
+                continue;
+            }
+            let Some((_, entry)) = table.lookup_containing(sec) else {
+                continue;
+            };
+            let off = sec.start - entry.section.start;
+            let smem = self.devices[sd].mem.borrow();
+            let sbuf = &smem.buffer(entry.alloc)[off..off + sec.len];
+            if sbuf
+                .iter()
+                .zip(&host[sec.range()])
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            {
+                return Some(src);
+            }
+        }
+        None
+    }
+
+    /// Resolve an `exchange(…)` clause into a per-to-copy route:
+    /// `Some(src)` pulls device-to-device, `None` goes over the host
+    /// bus. `exchange(peer)` demands a source for every copy and
+    /// rejects the directive otherwise.
+    pub(crate) fn plan_peer_routes(
+        &self,
+        device: u32,
+        mode: crate::directives::ExchangeMode,
+        to_copies: &[CopyPlanItem],
+    ) -> Result<Vec<Option<u32>>, RtError> {
+        use crate::directives::ExchangeMode;
+        match mode {
+            ExchangeMode::Host => Ok(vec![None; to_copies.len()]),
+            ExchangeMode::Auto => Ok(to_copies
+                .iter()
+                .map(|c| self.peer_source_for(device, &c.section))
+                .collect()),
+            ExchangeMode::Peer => {
+                if self.devices.len() < 2 {
+                    return Err(RtError::InvalidDirective(
+                        "exchange(peer) requires at least two devices".into(),
+                    ));
+                }
+                to_copies
+                    .iter()
+                    .map(|c| {
+                        self.peer_source_for(device, &c.section)
+                            .map(Some)
+                            .ok_or_else(|| {
+                                RtError::InvalidDirective(format!(
+                                    "exchange(peer): no eligible peer source for {} on device {device}",
+                                    c.section
+                                ))
+                            })
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -777,6 +870,75 @@ pub(crate) fn run_transfers(
     out_copies: Vec<CopyPlanItem>,
     to_free: Vec<EntryKey>,
 ) {
+    run_transfers_ex(
+        sim,
+        inner_rc,
+        task,
+        device,
+        in_copies,
+        Vec::new(),
+        out_copies,
+        to_free,
+        None,
+    );
+}
+
+/// A one-shot transfer-set finalizer, shared by every op's completion
+/// and fault paths.
+type FinishSlot = Rc<RefCell<Option<Box<dyn FnOnce(&mut Simulator)>>>>;
+
+/// Count one op as done; the last one runs the set's finalizer.
+fn finish_one(sim: &mut Simulator, remaining: &Rc<std::cell::Cell<usize>>, finish: &FinishSlot) {
+    remaining.set(remaining.get() - 1);
+    if remaining.get() == 0 {
+        let f = finish.borrow_mut().take().expect("finish once");
+        f(sim);
+    }
+}
+
+/// The shared fault handler of a transfer set: record the first error,
+/// count the op as done.
+fn transfer_fault(
+    what: String,
+    failed: Rc<RefCell<Option<RtError>>>,
+    remaining: Rc<std::cell::Cell<usize>>,
+    finish: FinishSlot,
+) -> spread_devices::health::OnFault {
+    Box::new(move |sim, ev| {
+        let err = match ev.kind {
+            FaultEventKind::TransientExhausted { attempts } => RtError::TransientCopy {
+                device: ev.device,
+                what,
+                attempts,
+            },
+            FaultEventKind::DeviceLost => RtError::DeviceLost {
+                device: ev.device,
+                what,
+            },
+        };
+        failed.borrow_mut().get_or_insert(err);
+        finish_one(sim, &remaining, &finish);
+    })
+}
+
+/// [`run_transfers`] with peer routing: `peer_routes` (when non-empty)
+/// is index-aligned with `in_copies`; a `Some(src)` entry pulls that
+/// copy device-to-device from `src` instead of over the host bus.
+/// `corrupt_peer` is the test-only canary hook — the first successful
+/// peer copy to observe the unarmed flag arms it and perturbs one
+/// element, so a conformance harness can prove it notices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_transfers_ex(
+    sim: &mut Simulator,
+    inner_rc: &Rc<RefCell<Inner>>,
+    task: TaskId,
+    device: u32,
+    in_copies: Vec<CopyPlanItem>,
+    peer_routes: Vec<Option<u32>>,
+    out_copies: Vec<CopyPlanItem>,
+    to_free: Vec<EntryKey>,
+    corrupt_peer: Option<Rc<std::cell::Cell<bool>>>,
+) {
     let total = in_copies.len() + out_copies.len();
     let staged: Rc<RefCell<Vec<StagedWrite>>> = Rc::new(RefCell::new(Vec::new()));
     let failed: Rc<RefCell<Option<RtError>>> = Rc::new(RefCell::new(None));
@@ -816,81 +978,219 @@ pub(crate) fn run_transfers(
         return;
     }
     let remaining = Rc::new(std::cell::Cell::new(total));
-    let finish = Rc::new(RefCell::new(Some(finish)));
+    let finish: FinishSlot = Rc::new(RefCell::new(Some(
+        Box::new(finish) as Box<dyn FnOnce(&mut Simulator)>
+    )));
     let dev = inner_rc.borrow().devices[device as usize].clone();
-    for (dir, copies) in [(Direction::In, in_copies), (Direction::Out, out_copies)] {
-        for c in copies {
-            let (host_store, elem_bytes) = {
-                let inner = inner_rc.borrow();
-                (inner.host.storage(c.section.array), 8u64)
-            };
-            let mem = dev.mem.clone();
-            let (sec, alloc, off) = (c.section, c.alloc, c.offset);
-            let effect: Box<dyn FnOnce()> = match dir {
-                Direction::In => Box::new(move || {
-                    let host = host_store.borrow();
-                    let mut mem = mem.borrow_mut();
-                    let buf = mem.buffer_mut(alloc);
-                    buf[off..off + sec.len].copy_from_slice(&host[sec.range()]);
-                }),
-                Direction::Out => {
-                    let staged = Rc::clone(&staged);
-                    Box::new(move || {
-                        let mem = mem.borrow();
-                        let buf = mem.buffer(alloc);
-                        let data = buf[off..off + sec.len].to_vec();
-                        staged.borrow_mut().push((host_store, sec, data));
-                    })
+    let routes = if peer_routes.is_empty() {
+        vec![None; in_copies.len()]
+    } else {
+        debug_assert_eq!(peer_routes.len(), in_copies.len());
+        peer_routes
+    };
+    let items = in_copies
+        .into_iter()
+        .zip(routes)
+        .map(|(c, r)| (c, Direction::In, r))
+        .chain(out_copies.into_iter().map(|c| (c, Direction::Out, None)));
+    for (c, dir, route) in items {
+        let remaining = Rc::clone(&remaining);
+        let finish = Rc::clone(&finish);
+        let failed = Rc::clone(&failed);
+        if let Some(src) = route {
+            enqueue_peer_copy(
+                sim,
+                inner_rc,
+                &dev,
+                device,
+                src,
+                c,
+                corrupt_peer.clone(),
+                remaining,
+                finish,
+                failed,
+            );
+            continue;
+        }
+        let host_store = inner_rc.borrow().host.storage(c.section.array);
+        let elem_bytes = 8u64;
+        let mem = dev.mem.clone();
+        let (sec, alloc, off) = (c.section, c.alloc, c.offset);
+        let effect: Box<dyn FnOnce()> = match dir {
+            Direction::In => Box::new(move || {
+                let host = host_store.borrow();
+                let mut mem = mem.borrow_mut();
+                let buf = mem.buffer_mut(alloc);
+                buf[off..off + sec.len].copy_from_slice(&host[sec.range()]);
+            }),
+            _ => {
+                let staged = Rc::clone(&staged);
+                Box::new(move || {
+                    let mem = mem.borrow();
+                    let buf = mem.buffer(alloc);
+                    let data = buf[off..off + sec.len].to_vec();
+                    staged.borrow_mut().push((host_store, sec, data));
+                })
+            }
+        };
+        let what = c.label.clone();
+        let engine = match dir {
+            Direction::In => dev.dma_in.clone(),
+            _ => dev.dma_out.clone(),
+        };
+        engine.enqueue(
+            sim,
+            DmaOp {
+                bytes: c.section.len as u64 * elem_bytes,
+                label: c.label,
+                effect: Some(effect),
+                on_complete: {
+                    let remaining = Rc::clone(&remaining);
+                    let finish = Rc::clone(&finish);
+                    Box::new(move |sim| finish_one(sim, &remaining, &finish))
+                },
+                on_fault: Some(transfer_fault(what, failed, remaining, finish)),
+                extra_caps: Vec::new(),
+            },
+        );
+    }
+}
+
+/// Enqueue one device-to-device pull on the destination's peer engine.
+///
+/// The effect re-verifies eligibility at copy start (the engine's FIFO
+/// may reach the op long after it was planned): if the source died,
+/// lost its mapping, or its bytes diverged from the host image, the op
+/// copies nothing and flags itself *diverted*; completion then replays
+/// the section from the host over the ordinary H2D engine, inheriting
+/// this op's slot in the completion set. Either way the destination
+/// ends bit-identical to the host path.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_peer_copy(
+    sim: &mut Simulator,
+    inner_rc: &Rc<RefCell<Inner>>,
+    dev: &DeviceHandle,
+    device: u32,
+    src: u32,
+    c: CopyPlanItem,
+    corrupt: Option<Rc<std::cell::Cell<bool>>>,
+    remaining: Rc<std::cell::Cell<usize>>,
+    finish: FinishSlot,
+    failed: Rc<RefCell<Option<RtError>>>,
+) {
+    let (host_store, src_dev) = {
+        let inner = inner_rc.borrow();
+        (
+            inner.host.storage(c.section.array),
+            inner.devices[src as usize].clone(),
+        )
+    };
+    let (sec, alloc, off) = (c.section, c.alloc, c.offset);
+    let bytes = sec.len as u64 * 8;
+    let idx = {
+        let mut inner = inner_rc.borrow_mut();
+        inner.peer_log.push(PeerCopyRecord {
+            src,
+            dst: device,
+            section: sec,
+            bytes,
+            diverted: false,
+        });
+        inner.peer_log.len() - 1
+    };
+    let diverted = Rc::new(std::cell::Cell::new(false));
+    let label = format!("p2p[{src}->{device}] {}", c.label);
+    let what = label.clone();
+    let effect: Box<dyn FnOnce()> = {
+        let diverted = Rc::clone(&diverted);
+        let weak = Rc::downgrade(inner_rc);
+        let host_store = host_store.clone();
+        let mem = dev.mem.clone();
+        Box::new(move || {
+            let Some(rc) = weak.upgrade() else { return };
+            let data: Option<Vec<f64>> = {
+                let inner = rc.borrow();
+                if inner.fault.as_ref().is_some_and(|ctx| ctx.is_lost(src)) {
+                    None
+                } else {
+                    inner.presence[src as usize]
+                        .lookup_containing(&sec)
+                        .and_then(|(_, entry)| {
+                            let off_s = sec.start - entry.section.start;
+                            let smem = inner.devices[src as usize].mem.borrow();
+                            let sbuf = &smem.buffer(entry.alloc)[off_s..off_s + sec.len];
+                            let host = host_store.borrow();
+                            sbuf.iter()
+                                .zip(&host[sec.range()])
+                                .all(|(a, b)| a.to_bits() == b.to_bits())
+                                .then(|| sbuf.to_vec())
+                        })
                 }
             };
-            let remaining = Rc::clone(&remaining);
-            let finish = Rc::clone(&finish);
-            let fin2 = Rc::clone(&finish);
+            match data {
+                None => {
+                    diverted.set(true);
+                    rc.borrow_mut().peer_log[idx].diverted = true;
+                }
+                Some(data) => {
+                    let mut m = mem.borrow_mut();
+                    let buf = m.buffer_mut(alloc);
+                    buf[off..off + sec.len].copy_from_slice(&data);
+                    if let Some(flag) = &corrupt {
+                        if !flag.get() {
+                            flag.set(true);
+                            buf[off] += 1.0;
+                        }
+                    }
+                }
+            }
+        })
+    };
+    let on_complete: Box<dyn FnOnce(&mut Simulator)> = {
+        let diverted = Rc::clone(&diverted);
+        let remaining = Rc::clone(&remaining);
+        let finish = Rc::clone(&finish);
+        let failed = Rc::clone(&failed);
+        let mem = dev.mem.clone();
+        let dma_in = dev.dma_in.clone();
+        let fb_label = format!("{} (host fallback)", c.label);
+        Box::new(move |sim| {
+            if !diverted.get() {
+                finish_one(sim, &remaining, &finish);
+                return;
+            }
+            let what = fb_label.clone();
             let rem2 = Rc::clone(&remaining);
-            let failed = Rc::clone(&failed);
-            let what = c.label.clone();
-            let engine = match dir {
-                Direction::In => dev.dma_in.clone(),
-                Direction::Out => dev.dma_out.clone(),
-            };
-            engine.enqueue(
+            let fin2 = Rc::clone(&finish);
+            dma_in.enqueue(
                 sim,
                 DmaOp {
-                    bytes: c.section.len as u64 * elem_bytes,
-                    label: c.label,
-                    effect: Some(effect),
-                    on_complete: Box::new(move |sim| {
-                        remaining.set(remaining.get() - 1);
-                        if remaining.get() == 0 {
-                            let f = finish.borrow_mut().take().expect("finish once");
-                            f(sim);
-                        }
-                    }),
-                    on_fault: Some(Box::new(move |sim, ev| {
-                        let err = match ev.kind {
-                            FaultEventKind::TransientExhausted { attempts } => {
-                                RtError::TransientCopy {
-                                    device: ev.device,
-                                    what,
-                                    attempts,
-                                }
-                            }
-                            FaultEventKind::DeviceLost => RtError::DeviceLost {
-                                device: ev.device,
-                                what,
-                            },
-                        };
-                        failed.borrow_mut().get_or_insert(err);
-                        rem2.set(rem2.get() - 1);
-                        if rem2.get() == 0 {
-                            let f = fin2.borrow_mut().take().expect("finish once");
-                            f(sim);
-                        }
+                    bytes,
+                    label: fb_label,
+                    effect: Some(Box::new(move || {
+                        let host = host_store.borrow();
+                        let mut m = mem.borrow_mut();
+                        let buf = m.buffer_mut(alloc);
+                        buf[off..off + sec.len].copy_from_slice(&host[sec.range()]);
                     })),
+                    on_complete: Box::new(move |sim| finish_one(sim, &rem2, &fin2)),
+                    on_fault: Some(transfer_fault(what, failed, remaining, finish)),
+                    extra_caps: Vec::new(),
                 },
             );
-        }
-    }
+        })
+    };
+    dev.dma_peer.enqueue(
+        sim,
+        DmaOp {
+            bytes,
+            label,
+            effect: Some(effect),
+            on_complete,
+            on_fault: Some(transfer_fault(what, failed, remaining, finish)),
+            extra_caps: dev.peer_route_caps(&src_dev),
+        },
+    );
 }
 
 /// Resolve a kernel's arguments and enqueue it on the device's compute
@@ -983,6 +1283,9 @@ impl Runtime {
             TraceRecorder::disabled()
         };
         let mut sim = Simulator::with_tie_break(trace.clone(), cfg.tie_break);
+        if let Err(e) = cfg.topology.validate() {
+            panic!("invalid topology: {e}");
+        }
         let node = Node::new(&cfg.topology, &trace);
         let n = node.n_devices();
         let flownet = node.flownet().clone();
@@ -999,6 +1302,7 @@ impl Runtime {
             for d in node.devices() {
                 debug_assert_eq!(d.dma_in.fault_ctx_ptr(), Some(ctx.ptr_id()));
                 debug_assert_eq!(d.dma_out.fault_ctx_ptr(), Some(ctx.ptr_id()));
+                debug_assert_eq!(d.dma_peer.fault_ctx_ptr(), Some(ctx.ptr_id()));
                 debug_assert_eq!(d.compute.fault_ctx_ptr(), Some(ctx.ptr_id()));
             }
         }
@@ -1026,6 +1330,7 @@ impl Runtime {
             retry: cfg.retry,
             spill_staging_bytes: cfg.spill_staging_bytes,
             profiles: crate::profile::ProfileStore::new(cfg.adaptive_damping),
+            peer_log: Vec::new(),
         };
         // A fresh runtime starts its peak-memory statistics from zero:
         // `device_mem_peak` must describe *this* instance, even if the
@@ -1296,6 +1601,14 @@ impl Runtime {
                 v
             })
             .collect()
+    }
+
+    /// Every device-to-device copy planned so far, in plan order.
+    /// `spread-check --peer` compares this against its closed-form
+    /// prediction of which sections *must* go peer; diverted entries
+    /// were replayed over the host path at copy time.
+    pub fn peer_copies(&self) -> Vec<PeerCopyRecord> {
+        self.inner.borrow().peer_log.clone()
     }
 }
 

@@ -746,6 +746,207 @@ pub fn run_spread_pressure(
     ))
 }
 
+/// One Buffer with a persistent per-buffer position mapping and an
+/// explicit halo-exchange phase: the `exchange(peer|host|auto)`
+/// variant.
+///
+/// The construct-scoped shape of [`run_spread_resilient`] re-maps the
+/// halo'd positions from the host every construct, so neighbor planes
+/// always ride the host bus. This variant restructures one buffer
+/// iteration around a `target enter/exit data spread` pair holding the
+/// positions (halo extent) on-device, and refreshes them with two
+/// `target update spread` directives:
+///
+/// 1. a `to(X[body])` refresh pinned to `exchange(host)` — the bytes
+///    genuinely live only on the host (the previous buffer's images
+///    were released), and it establishes the sibling byte-equality the
+///    peer planner requires;
+/// 2. a `to(X[left halo]) to(X[right halo])` refresh carrying the
+///    caller's [`ExchangeMode`] — under `auto`, every interior halo
+///    plane is valid bit-identical on the neighbouring device's body,
+///    so it travels device-to-device; under `host` the same planes
+///    round-trip through the host exactly like the paper's runtime.
+///
+/// The five kernels then reuse the held mapping (positions map to the
+/// same halo extent → presence reuse, no copy), and the buffer exits
+/// with a `from(X[body])`. Returns the report plus the accumulated
+/// virtual time of phase 2 — the halo phase the peer bench compares
+/// across exchange modes. Results are bit-identical to
+/// [`run_reference`](crate::reference::run_reference) in every mode:
+/// both routes move the same bytes.
+///
+/// `spread_resilience(redistribute)` composes: chunks of a lost device
+/// are skipped by the data directives and rebuilt per construct on the
+/// first live device, and a peer copy whose source dies mid-flight is
+/// silently diverted to the host path by the runtime. One placement
+/// caveat: replacements land on the first surviving device of the
+/// list, whose persistent halo extent must stay disjoint from the
+/// rebuilt chunk's — with `chunk >= 2` planes that holds for any lost
+/// device other than the survivor's immediate neighbour (the
+/// fault-injection tests lose device 2 of 4). `exchange(peer)` refuses
+/// to compose with redistribution (no fallback route is permitted) and
+/// requires every non-empty halo to have a live peer source, which
+/// only holds when the buffer covers the whole grid.
+pub fn run_spread_peer(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+    exchange: ExchangeMode,
+    policy: ResiliencePolicy,
+) -> Result<(SomierReport, spread_trace::SimDuration), RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+    let mut halo_time = spread_trace::SimDuration::ZERO;
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+    // The two single-plane refresh sections of the explicit exchange
+    // (empty at the grid boundary, where the stencil needs no halo).
+    let left_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..c.start() * n2;
+    let right_halo = move |c: ChunkCtx| c.end() * n2..(c.end() + 1).min(n) * n2;
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let chunk = (b1 - b0).div_ceil(n_gpus);
+                let update = || {
+                    TargetUpdateSpread::devices(devices.clone())
+                        .range(b0, b1 - b0)
+                        .chunk_size(chunk)
+                        .spread_resilience(policy)
+                };
+                // Hold the positions (halo extent) for the whole buffer.
+                {
+                    let mut enter = TargetEnterDataSpread::devices(devices.clone())
+                        .range(b0, b1 - b0)
+                        .chunk_size(chunk)
+                        .spread_resilience(policy);
+                    for c in 0..3 {
+                        enter = enter.map(spread_alloc(arr.x[c], x_halo));
+                    }
+                    enter.launch(s)?;
+                }
+                // Body refresh: host-only by construction (no sibling
+                // holds these planes), and it (re)establishes the
+                // byte-equality the peer planner checks.
+                {
+                    let mut up = update().exchange(ExchangeMode::Host);
+                    for c in 0..3 {
+                        up = up.to(arr.x[c], body);
+                    }
+                    up.launch(s)?;
+                }
+                // Halo refresh: the timed exchange phase.
+                {
+                    let t0 = s.now();
+                    let mut up = update().exchange(exchange);
+                    for c in 0..3 {
+                        up = up.to(arr.x[c], left_halo).to(arr.x[c], right_halo);
+                    }
+                    up.launch(s)?;
+                    halo_time += s.now() - t0;
+                }
+                let spread = || {
+                    TargetSpread::devices(devices.clone())
+                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                        .spread_resilience(policy)
+                };
+                // forces: in X (halo, held mapping), out F.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], x_halo));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.f[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::forces(cfg, &arr))?;
+                }
+                // accelerations: in F, out A.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.f[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.a[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::accelerations(cfg, &arr))?;
+                }
+                // velocities: in A, inout V.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.a[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.v[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::velocities(cfg, &arr))?;
+                }
+                // positions: in V, inout X (held mapping: reuse on
+                // entry, the host refresh is the explicit from below).
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.v[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.x[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                // centers: in X (held mapping), out per-plane partials.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.partials[c], |ch| ch.range()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+                // Land the stepped positions and drop the mapping.
+                {
+                    let mut exit = TargetExitDataSpread::devices(devices.clone())
+                        .range(b0, b1 - b0)
+                        .chunk_size(chunk)
+                        .spread_resilience(policy);
+                    for c in 0..3 {
+                        exit = exit.map(spread_from(arr.x[c], body));
+                    }
+                    exit.launch(s)?;
+                }
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok((
+        SomierReport::collect("One Buffer (peer)", n_gpus, rt, centers),
+        halo_time,
+    ))
+}
+
 /// Paper Listing 10: One Buffer with `target spread` on `n_gpus`
 /// devices.
 pub fn run_spread(

@@ -3,13 +3,13 @@
 //! dying mid-run, and the fail-stop default must report the loss
 //! deterministically.
 
-use spread_core::ResiliencePolicy;
+use spread_core::{ExchangeMode, ResiliencePolicy};
 use spread_rt::RtError;
 use spread_sim::FaultPlan;
-use spread_somier::one_buffer::run_spread_resilient;
+use spread_somier::one_buffer::{run_spread_peer, run_spread_resilient};
 use spread_somier::reference::run_reference;
 use spread_somier::SomierConfig;
-use spread_trace::{SimTime, SpanKind};
+use spread_trace::{peer_span_source, SimTime, SpanKind};
 
 const N_GPUS: usize = 4;
 
@@ -91,6 +91,94 @@ fn fail_stop_reports_the_loss_deterministically() {
         err.to_string(),
         "identical plan => identical fail-stop error"
     );
+}
+
+/// Virtual midpoint of the first peer copy sourced from `device` in a
+/// fault-free `exchange(auto)` run — a loss there lands squarely inside
+/// the halo-exchange window, with later copies off the same source
+/// still queued.
+fn first_peer_window_from(cfg: &SomierConfig, device: u32) -> SimTime {
+    let mut rt = cfg.runtime(N_GPUS);
+    run_spread_peer(
+        &mut rt,
+        cfg,
+        N_GPUS,
+        ExchangeMode::Auto,
+        ResiliencePolicy::FailStop,
+    )
+    .unwrap();
+    let tl = rt.timeline();
+    let span = tl
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::PeerCopy && peer_span_source(&s.label) == Some(device))
+        .min_by_key(|s| s.start)
+        .cloned()
+        .expect("a clean auto run routes halos off every interior device");
+    span.start + (span.end - span.start) / 2
+}
+
+#[test]
+fn peer_run_survives_losing_a_source_mid_copy_via_host_fallback() {
+    // Device 2: an interior peer source, and (chunk >= 2) far enough
+    // from the replacement survivor (device 0) that rebuilt chunks
+    // stay disjoint from its held halo mapping.
+    let cfg = cfg();
+    let at = first_peer_window_from(&cfg, 2);
+    let plan = FaultPlan::new(42).lose_device(2, at);
+    let mut rt = cfg.runtime_with_faults(N_GPUS, plan);
+    let (report, _halo) = run_spread_peer(
+        &mut rt,
+        &cfg,
+        N_GPUS,
+        ExchangeMode::Auto,
+        ResiliencePolicy::Redistribute,
+    )
+    .unwrap();
+    let reference = run_reference(&cfg, cfg.buffer_planes(N_GPUS));
+    assert_eq!(
+        report.centers, reference.centers,
+        "loss mid-peer-copy must stay bit-identical via the host fallback"
+    );
+    // Copies still queued against the dead source really diverted…
+    let diverted = rt.peer_copies().iter().filter(|r| r.diverted).count();
+    assert!(
+        diverted > 0,
+        "queued copies off the dead source must divert"
+    );
+    // …and the dead device's compute chunks moved to survivors.
+    let redists = rt
+        .timeline()
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::Redistribute)
+        .count();
+    assert!(redists > 0, "lost chunks must be rebuilt on survivors");
+    assert_eq!(rt.device_mem_used(2), 0);
+}
+
+#[test]
+fn peer_fail_stop_surfaces_a_source_loss_deterministically() {
+    let cfg = cfg();
+    let at = first_peer_window_from(&cfg, 2);
+    let run = || {
+        let plan = FaultPlan::new(42).lose_device(2, at);
+        let mut rt = cfg.runtime_with_faults(N_GPUS, plan);
+        run_spread_peer(
+            &mut rt,
+            &cfg,
+            N_GPUS,
+            ExchangeMode::Auto,
+            ResiliencePolicy::FailStop,
+        )
+        .unwrap_err()
+    };
+    let err = run();
+    assert!(
+        matches!(err, RtError::DeviceLost { device: 2, .. }),
+        "fail-stop must surface the loss, got: {err}"
+    );
+    assert_eq!(run().to_string(), err.to_string());
 }
 
 #[test]

@@ -1,0 +1,101 @@
+//! The `exchange(peer|host|auto)` halo variant of One Buffer: the
+//! device-to-device route must change *where* halo planes travel,
+//! never their bytes — centers stay bit-exact against the CPU
+//! reference in every mode, and `auto`'s halo phase is faster than the
+//! host round-trip on the CTE-POWER machine.
+
+use spread_core::{ExchangeMode, ResiliencePolicy};
+use spread_somier::one_buffer::run_spread_peer;
+use spread_somier::reference::run_reference;
+use spread_somier::SomierConfig;
+use spread_trace::SpanKind;
+
+const N_GPUS: usize = 4;
+
+fn cfg() -> SomierConfig {
+    SomierConfig::test_small(20, 2)
+}
+
+#[test]
+fn auto_matches_host_mode_and_the_reference_bit_exact() {
+    let cfg = cfg();
+    let reference = run_reference(&cfg, cfg.buffer_planes(N_GPUS));
+
+    let mut host_rt = cfg.runtime(N_GPUS);
+    let (host_report, host_halo) = run_spread_peer(
+        &mut host_rt,
+        &cfg,
+        N_GPUS,
+        ExchangeMode::Host,
+        ResiliencePolicy::FailStop,
+    )
+    .unwrap();
+    let mut auto_rt = cfg.runtime(N_GPUS);
+    let (auto_report, auto_halo) = run_spread_peer(
+        &mut auto_rt,
+        &cfg,
+        N_GPUS,
+        ExchangeMode::Auto,
+        ResiliencePolicy::FailStop,
+    )
+    .unwrap();
+
+    assert_eq!(host_report.centers, reference.centers, "host route");
+    assert_eq!(auto_report.centers, reference.centers, "peer route");
+    assert_eq!(host_report.races, 0);
+    assert_eq!(auto_report.races, 0);
+
+    // The routes really differ: host mode never uses the peer engines,
+    // auto moves every interior halo plane device-to-device.
+    let peer_spans = |rt: &spread_rt::Runtime| {
+        rt.timeline()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::PeerCopy)
+            .count()
+    };
+    assert_eq!(peer_spans(&host_rt), 0);
+    assert!(peer_spans(&auto_rt) > 0, "auto must route halos D2D");
+    assert!(auto_rt.peer_copies().iter().all(|r| !r.diverted));
+
+    // The point of the exercise: the halo phase gets faster.
+    assert!(
+        auto_halo < host_halo,
+        "peer halo phase {auto_halo} must beat host {host_halo}"
+    );
+}
+
+#[test]
+fn peer_runs_are_deterministic() {
+    let cfg = cfg();
+    let run = || {
+        let mut rt = cfg.runtime(N_GPUS);
+        let (report, halo) = run_spread_peer(
+            &mut rt,
+            &cfg,
+            N_GPUS,
+            ExchangeMode::Auto,
+            ResiliencePolicy::FailStop,
+        )
+        .unwrap();
+        (report.centers, report.elapsed, halo, rt.peer_copies().len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn single_device_auto_degrades_to_host_route() {
+    let cfg = cfg();
+    let mut rt = cfg.runtime(1);
+    let (report, _halo) = run_spread_peer(
+        &mut rt,
+        &cfg,
+        1,
+        ExchangeMode::Auto,
+        ResiliencePolicy::FailStop,
+    )
+    .unwrap();
+    let reference = run_reference(&cfg, cfg.buffer_planes(1));
+    assert_eq!(report.centers, reference.centers);
+    assert!(rt.peer_copies().is_empty());
+}

@@ -39,7 +39,7 @@ pub use analysis::{
     BandwidthSample, ConcurrencyProfile, InterleaveStats, LaneStats, OverlapReport,
 };
 pub use interval::IntervalSet;
-pub use profile::{profile_window, ConstructProfile, DeviceProfile};
+pub use profile::{peer_span_source, profile_window, ConstructProfile, DeviceProfile};
 pub use render::{render_chrome_trace, render_csv, render_gantt, GanttOptions};
 pub use span::{EngineKind, Lane, Span, SpanId, SpanKind, TraceRecorder};
 pub use time::{SimDuration, SimTime};

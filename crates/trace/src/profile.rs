@@ -25,6 +25,16 @@ pub struct DeviceProfile {
     pub copy_out: SimDuration,
     /// Busy time on the compute engine within the window.
     pub kernel: SimDuration,
+    /// Busy time on the peer-copy engine within the window (this device
+    /// as the *destination* of device-to-device transfers).
+    pub peer: SimDuration,
+    /// Bytes received over the peer fabric within the window (spans on
+    /// this device's peer lane).
+    pub peer_in_bytes: u64,
+    /// Bytes sent over the peer fabric within the window (peer spans on
+    /// other devices whose `p2p[src->dst]` label names this device as
+    /// the source).
+    pub peer_out_bytes: u64,
     /// Time where a transfer engine and the compute engine were busy
     /// simultaneously (the paper's Figure 4 interleaving effect).
     pub overlap: SimDuration,
@@ -73,6 +83,14 @@ impl ConstructProfile {
     }
 }
 
+/// The source device of a peer-copy span, parsed from its
+/// `p2p[src->dst] …` label. `None` for anything else.
+pub fn peer_span_source(label: &str) -> Option<u32> {
+    let rest = label.strip_prefix("p2p[")?;
+    let arrow = rest.find("->")?;
+    rest[..arrow].parse().ok()
+}
+
 /// Aggregate the spans overlapping `[t0, t1)` into per-device profiles
 /// for `devices` (output order follows `devices`).
 ///
@@ -101,8 +119,9 @@ pub fn profile_window(
             };
             let h2d = engine_set(EngineKind::CopyIn);
             let d2h = engine_set(EngineKind::CopyOut);
+            let p2p = engine_set(EngineKind::PeerCopy);
             let krn = engine_set(EngineKind::Compute);
-            let transfers = h2d.union(&d2h);
+            let transfers = h2d.union(&d2h).union(&p2p);
             let overlap = transfers.intersect(&krn).total();
             let finish_at = transfers
                 .union(&krn)
@@ -111,11 +130,27 @@ pub fn profile_window(
                 .map(|&(_, e)| e)
                 .unwrap_or(t0);
             let finish = finish_at - t0;
+            let peer_spans = || {
+                spans.iter().filter(|s| {
+                    s.lane.engine() == Some(EngineKind::PeerCopy) && s.overlaps_window(t0, t1)
+                })
+            };
+            let peer_in_bytes = peer_spans()
+                .filter(|s| s.lane.device() == Some(device))
+                .map(|s| s.bytes)
+                .sum();
+            let peer_out_bytes = peer_spans()
+                .filter(|s| peer_span_source(&s.label) == Some(device))
+                .map(|s| s.bytes)
+                .sum();
             DeviceProfile {
                 device,
                 copy_in: h2d.total(),
                 copy_out: d2h.total(),
                 kernel: krn.total(),
+                peer: p2p.total(),
+                peer_in_bytes,
+                peer_out_bytes,
                 overlap,
                 finish,
                 idle_tail: (t1 - t0) - finish,
@@ -211,6 +246,60 @@ mod tests {
         assert_eq!(p.kernel, SimDuration::ZERO);
         assert_eq!(p.finish, SimDuration::ZERO);
         assert_eq!(p.idle_tail, d(60));
+    }
+
+    #[test]
+    fn peer_spans_attribute_bytes_to_both_endpoints() {
+        let rec = TraceRecorder::new();
+        // GPU1 pulls 64 bytes from GPU0, then GPU0 pulls 32 from GPU1.
+        rec.record(
+            Lane::peer(1),
+            SpanKind::PeerCopy,
+            "p2p[0->1] upd-to A[0:8]",
+            t(0),
+            t(10),
+            64,
+        );
+        rec.record(
+            Lane::peer(0),
+            SpanKind::PeerCopy,
+            "p2p[1->0] upd-to B[0:4]",
+            t(10),
+            t(14),
+            32,
+        );
+        rec.record(Lane::compute(1), SpanKind::Kernel, "k", t(5), t(12), 0);
+        let spans = rec.snapshot();
+        let profiles = profile_window(&spans, &[0, 1], t(0), t(20));
+        let p0 = &profiles[0];
+        let p1 = &profiles[1];
+        assert_eq!(p0.peer, d(4));
+        assert_eq!(p0.peer_in_bytes, 32);
+        assert_eq!(p0.peer_out_bytes, 64);
+        assert_eq!(p1.peer, d(10));
+        assert_eq!(p1.peer_in_bytes, 64);
+        assert_eq!(p1.peer_out_bytes, 32);
+        // Peer transfers count toward transfer/compute overlap: [5,10).
+        assert_eq!(p1.overlap, d(5));
+        // Sum of per-device in+out bytes is twice the total peer bytes.
+        let total: u64 = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::PeerCopy)
+            .map(|s| s.bytes)
+            .sum();
+        let accounted: u64 = profiles
+            .iter()
+            .map(|p| p.peer_in_bytes + p.peer_out_bytes)
+            .sum();
+        assert_eq!(accounted, 2 * total);
+    }
+
+    #[test]
+    fn peer_span_source_parses_labels() {
+        assert_eq!(peer_span_source("p2p[2->3] upd-to A[0:8]"), Some(2));
+        assert_eq!(peer_span_source("p2p[10->0] x"), Some(10));
+        assert_eq!(peer_span_source("A upd-to [0:8]"), None);
+        assert_eq!(peer_span_source("p2p[x->3]"), None);
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum EngineKind {
     CopyOut,
     /// Kernel execution engine.
     Compute,
+    /// Peer (device-to-device) copy engine — pulls data from a sibling
+    /// device over the NVLink/switch fabric. Spans live on the
+    /// *destination* device's peer lane.
+    PeerCopy,
 }
 
 impl EngineKind {
@@ -35,6 +39,7 @@ impl EngineKind {
             EngineKind::CopyIn => "H2D",
             EngineKind::CopyOut => "D2H",
             EngineKind::Compute => "KRN",
+            EngineKind::PeerCopy => "P2P",
         }
     }
 }
@@ -78,6 +83,15 @@ impl Lane {
         }
     }
 
+    /// Convenience constructor for a device peer-copy lane (the
+    /// *destination* side of a device-to-device transfer).
+    pub fn peer(device: u32) -> Lane {
+        Lane::Device {
+            device,
+            engine: EngineKind::PeerCopy,
+        }
+    }
+
     /// The device id, if this is a device lane.
     pub fn device(self) -> Option<u32> {
         match self {
@@ -110,6 +124,9 @@ pub enum SpanKind {
     TransferIn,
     /// Device-to-host memory transfer.
     TransferOut,
+    /// Device-to-device peer transfer (recorded on the destination
+    /// device's peer lane; the label carries the source).
+    PeerCopy,
     /// Kernel execution.
     Kernel,
     /// Host-side task body.
@@ -141,6 +158,7 @@ impl SpanKind {
         match self {
             SpanKind::TransferIn => '>',
             SpanKind::TransferOut => '<',
+            SpanKind::PeerCopy => '^',
             SpanKind::Kernel => '#',
             SpanKind::HostTask => '~',
             SpanKind::Sync => '|',
@@ -154,9 +172,12 @@ impl SpanKind {
         }
     }
 
-    /// True for either transfer direction.
+    /// True for any memory transfer (host-routed or peer).
     pub fn is_transfer(self) -> bool {
-        matches!(self, SpanKind::TransferIn | SpanKind::TransferOut)
+        matches!(
+            self,
+            SpanKind::TransferIn | SpanKind::TransferOut | SpanKind::PeerCopy
+        )
     }
 }
 
@@ -352,6 +373,7 @@ mod tests {
         assert_eq!(Lane::copy_in(2).header(), "GPU2 H2D");
         assert_eq!(Lane::copy_out(0).header(), "GPU0 D2H");
         assert_eq!(Lane::compute(3).header(), "GPU3 KRN");
+        assert_eq!(Lane::peer(1).header(), "GPU1 P2P");
     }
 
     #[test]
@@ -359,8 +381,11 @@ mod tests {
         assert_eq!(Lane::Host.device(), None);
         assert_eq!(Lane::compute(1).device(), Some(1));
         assert_eq!(Lane::compute(1).engine(), Some(EngineKind::Compute));
+        assert_eq!(Lane::peer(2).device(), Some(2));
+        assert_eq!(Lane::peer(2).engine(), Some(EngineKind::PeerCopy));
         assert!(SpanKind::TransferIn.is_transfer());
         assert!(SpanKind::TransferOut.is_transfer());
+        assert!(SpanKind::PeerCopy.is_transfer());
         assert!(!SpanKind::Kernel.is_transfer());
         assert!(!SpanKind::Fault.is_transfer());
     }
@@ -375,6 +400,9 @@ mod tests {
             SpanKind::ChunkSplit.glyph(),
             SpanKind::Spill.glyph(),
             SpanKind::Kernel.glyph(),
+            SpanKind::PeerCopy.glyph(),
+            SpanKind::TransferIn.glyph(),
+            SpanKind::TransferOut.glyph(),
         ];
         let set: std::collections::BTreeSet<char> = glyphs.into_iter().collect();
         assert_eq!(set.len(), glyphs.len());

@@ -234,6 +234,81 @@ fn spill_canary_is_caught() {
 }
 
 #[test]
+fn fuzz_with_peer_agrees_with_oracle() {
+    // Halo-exchange programs checked differentially: host-forced runs
+    // (zero peer copies) and one exchange(auto) run that must match the
+    // same oracle bits while performing exactly the closed-form D2D
+    // route set.
+    let cfg = CheckConfig {
+        interleavings: 2,
+        peer: true,
+        ..CheckConfig::default()
+    };
+    let report = fuzz(0xD2D, 30, &cfg, |_, _| {});
+    assert_eq!(report.programs, 30);
+    let seeds: Vec<u64> = report.failures.iter().map(|f| f.seed).collect();
+    assert!(seeds.is_empty(), "failing seeds: {seeds:?}");
+}
+
+/// A handcrafted three-device halo exchange whose `exchange(auto)` run
+/// must route all four one-element halos device-to-device, and the
+/// `--inject peer` canary — a runtime ordered to corrupt the first peer
+/// copy it completes — must be caught as value divergence *only* on the
+/// auto run (the host-forced runs never reach the corruption). This is
+/// the proof that a runtime whose peer DMA silently delivered wrong
+/// bytes would not slip past the harness.
+#[test]
+fn peer_canary_is_caught() {
+    let p = Program {
+        n_devices: 3,
+        n: 12,
+        n_arrays: 2,
+        phases: vec![vec![Stmt::Halo {
+            devices: vec![0, 1, 2],
+            chunk: 4,
+            a: 0,
+            dst: 1,
+            bump: None,
+        }]],
+        fault: None,
+        pressure: None,
+    };
+    // Chunks [0,4) d0 / [4,8) d1 / [8,12) d2 ⇒ four one-element halos,
+    // each valid on exactly one sibling.
+    assert_eq!(
+        oracle::predict_peer_copies(&p),
+        vec![
+            (0, 1, 0, 3, 1),
+            (1, 0, 0, 4, 1),
+            (1, 2, 0, 7, 1),
+            (2, 1, 0, 8, 1),
+        ]
+    );
+    let clean = CheckConfig {
+        interleavings: 2,
+        peer: true,
+        ..CheckConfig::default()
+    };
+    check_program(&p, 23, &clean).expect("the peer-routed run matches the oracle bit-for-bit");
+    let canary = CheckConfig {
+        interleavings: 2,
+        fault: Some(Fault::PeerCorrupt),
+        peer: true,
+        ..CheckConfig::default()
+    };
+    let failure = check_program(&p, 23, &canary)
+        .expect_err("a corrupted peer copy must be flagged on the auto run");
+    assert!(
+        failure.detail.contains("array"),
+        "divergence shows in host arrays: {failure}"
+    );
+    assert!(
+        failure.detail.contains("exchange(auto)"),
+        "only the peer-routed run diverges: {failure}"
+    );
+}
+
+#[test]
 fn shrinking_is_deterministic_and_minimal() {
     // Find a generated seed whose program contains a stencil, so the
     // injected stencil fault fires.

@@ -13,8 +13,12 @@
 //!   (optionally with a seeded fault plan: a device dead on arrival
 //!   under fail-stop or `spread_resilience(redistribute)`, plus
 //!   retry-absorbable transient copy bursts);
-//! * [`oracle`] — a pure sequential interpreter that predicts the final
-//!   host state (or the exact `RtError`) from the paper's mapping rules;
+//! * [`oracle`] — a thin lowering from programs onto the
+//!   `spread-semantics` small-step machine, predicting the final host
+//!   state (or the exact `RtError`) from the paper's mapping rules;
+//! * [`enumerate`] — bounded model checking: every program up to a
+//!   small statement bound over a fixed alphabet, checked exhaustively
+//!   instead of sampled;
 //! * [`run`] — the executor lowering a program onto the real
 //!   [`spread_rt::Runtime`] under a chosen [`TieBreak`] policy;
 //! * [`shrink`] — deterministic greedy minimization of failures;
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod enumerate;
 pub mod gen;
 pub mod oracle;
 pub mod pretty;
@@ -194,11 +199,19 @@ pub fn tie_breaks(seed: u64, interleavings: usize) -> Vec<TieBreak> {
 /// `InvalidDirective` carries a free-form message the oracle does not
 /// reproduce, and `DeviceLost`'s `what` names whichever task happened
 /// to surface the loss first (interleaving-dependent) — both compare
-/// structurally. Every other error must match exactly.
+/// structurally. `OverlapExtension` likewise: when several pieces of
+/// one construct each trip the §V-B rule (bounded model checking
+/// reaches this by sequencing a raw enter *before* a multi-piece
+/// spread), the named window is whichever faulting piece won the race,
+/// so it compares by device. Every other error must match exactly.
 fn errors_match(want: &RtError, got: &RtError) -> bool {
     match (want, got) {
         (RtError::InvalidDirective(_), RtError::InvalidDirective(_)) => true,
         (RtError::DeviceLost { device: w, .. }, RtError::DeviceLost { device: g, .. }) => w == g,
+        (
+            RtError::OverlapExtension { device: w, .. },
+            RtError::OverlapExtension { device: g, .. },
+        ) => w == g,
         _ => want == got,
     }
 }
@@ -510,6 +523,43 @@ mod tests {
             if let Err(f) = check_seed(seed, &cfg) {
                 panic!("peer seed {seed}: {f}");
             }
+        }
+    }
+
+    #[test]
+    fn oracle_canaries_are_caught_and_shrink() {
+        // The three oracle-side canaries, re-run against the
+        // semantics-backed oracle: each perturbs one rule of the
+        // `spread-semantics` machine (stencil halo, host fold,
+        // redistribute recovery), and some seed in a bounded scan must
+        // expose the divergence and keep failing through shrinking.
+        // (The runtime-side canaries — spill and peer — have their own
+        // mode-specific tests below.)
+        for (fault, faults_mode, seeds) in [
+            (Fault::StencilDropsLeftHalo, false, 0..40u64),
+            (Fault::ReduceSkipsLast, false, 0..40u64),
+            (Fault::RecoveryDropsLostChunk, true, 0..80u64),
+        ] {
+            let cfg = CheckConfig {
+                interleavings: 1,
+                fault: Some(fault),
+                faults: faults_mode,
+                ..CheckConfig::default()
+            };
+            let seed = seeds
+                .clone()
+                .find(|&s| check_seed(s, &cfg).is_err())
+                .unwrap_or_else(|| panic!("{fault:?}: no seed in {seeds:?} trips the canary"));
+            let (minimal, failure) =
+                shrink_seed(seed, &cfg).unwrap_or_else(|| panic!("{fault:?}: failure must shrink"));
+            assert!(
+                !minimal.phases.is_empty(),
+                "{fault:?}: shrank to an empty program"
+            );
+            assert!(
+                check_program(&minimal, seed, &cfg).is_err(),
+                "{fault:?}: minimal program stopped failing: {failure}"
+            );
         }
     }
 

@@ -1,30 +1,26 @@
-//! The sequential oracle: a pure interpreter that predicts what the
-//! runtime must produce for a [`Program`] — final host arrays, reduction
-//! values, leaked mappings — or the exact [`RtError`] it must raise.
+//! The sequential oracle, as a thin driver over the `spread-semantics`
+//! small-step machine: each statement is *lowered* to the spec's
+//! [`Directive`] alphabet and [`spread_semantics::step`] predicts what
+//! the runtime must produce for a [`Program`] — final host arrays,
+//! reduction values, leaked mappings, degradation events, peer routes —
+//! or the exact [`RtError`] it must raise.
 //!
-//! The oracle re-implements the paper's mapping rules over plain `Vec`s,
-//! independently of the runtime's task graph, DMA engines and simulator:
-//!
-//! * enter of a section **contained** in a live entry reuses it
-//!   (refcount + 1, **no copy** — OpenMP copies only on the
-//!   absent→present transition);
-//! * enter of a section that overlaps without containment is the §V-B
-//!   *array extension* error;
-//! * exit decrements (or, for `delete`, zeroes) the refcount; only the
-//!   last release copies out (`from`/`tofrom`) and frees;
-//! * `update` requires a containing live entry and copies through it;
-//! * the first error poisons the program: nothing after it is
-//!   interpreted.
+//! The prediction rules themselves (presence reuse vs the §V-B
+//! extension error, last-release copy-out, fail-stop vs redistribution,
+//! peer-route eligibility, …) live in `spread-semantics`, one named
+//! transition rule each; this module owns only the *lowering* — how the
+//! fuzzer's surface statements decompose into enter/construct/update/
+//! exit directives — and the vocabulary conversions back to `RtError`
+//! and [`DegradationEvent`] at the boundary. The first error poisons
+//! the program: nothing after it is interpreted.
 //!
 //! When the program carries a [`crate::ast::FaultSpec`], the lost
-//! device is dead on arrival, which keeps the prediction closed-form:
-//! a resilient spread construct with a survivor redistributes and
-//! yields exactly the fault-free state (so the oracle interprets it as
-//! if nothing happened); any other work landing on the corpse — a
-//! fail-stop chunk, a data directive, a construct whose device list
-//! holds no survivor — poisons the program with `DeviceLost` naming
-//! that device. Transient copy bursts are absorbed by retry and
-//! ignored entirely.
+//! device is dead on arrival in the machine's initial [`State`], which
+//! keeps the prediction closed-form: a resilient spread construct with
+//! a survivor redistributes bit-invisibly (rule `S-Redistribute`); any
+//! other work landing on the corpse poisons the program with
+//! `DeviceLost` naming that device (`S-FailStop` / `S-Lost`).
+//! Transient copy bursts are absorbed by retry and ignored entirely.
 //!
 //! Statements are interpreted in program order, chunks in chunk order.
 //! That is sound because the generator guarantees statements inside one
@@ -36,12 +32,15 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use spread_core::schedule::distribute;
-use spread_core::{degradation_events, plan_admission};
-use spread_rt::map::MapType;
+use spread_core::spec_admission;
 use spread_rt::section::ArrayId;
-use spread_rt::{DegradationEvent, RtError, Section};
+use spread_rt::{DegradationEvent, DegradationKind, RtError, Section};
+use spread_semantics::{
+    step, AbsSection, DegKind, Degradation, Directive, FoldOp, KernelSem, Leg, MapKind, Perturb,
+    Piece, SemError, State, UpdateLeg,
+};
 
-use crate::ast::{KernelOp, PressureSpec, Program, Sched, Stmt};
+use crate::ast::{KernelOp, Program, Sched, Stmt};
 use crate::Fault;
 
 /// What the runtime must observe at the end of the program.
@@ -62,56 +61,6 @@ pub struct Expectation {
     pub error: Option<RtError>,
 }
 
-/// One modeled device-side buffer.
-struct Entry {
-    array: usize,
-    start: usize,
-    len: usize,
-    refcount: u32,
-    data: Vec<f64>,
-}
-
-impl Entry {
-    fn contains(&self, a: usize, start: usize, len: usize) -> bool {
-        self.array == a && start >= self.start && start + len <= self.start + self.len
-    }
-
-    fn overlaps(&self, a: usize, start: usize, len: usize) -> bool {
-        self.array == a
-            && len > 0
-            && self.len > 0
-            && start < self.start + self.len
-            && self.start < start + len
-    }
-
-    fn section(&self) -> Section {
-        Section::new(ArrayId(self.array as u32), self.start, self.len)
-    }
-}
-
-/// The oracle's machine state.
-struct Model {
-    host: Vec<Vec<f64>>,
-    /// Per-device entries in insertion order (mirrors the runtime's
-    /// monotonically keyed `BTreeMap`, whose iteration order is
-    /// insertion order).
-    dev: Vec<Vec<Entry>>,
-    reduces: Vec<f64>,
-    fault: Option<Fault>,
-    /// Device dead on arrival, from the program's `FaultSpec`.
-    lost: Option<u32>,
-    /// Spread constructs carry `spread_resilience(redistribute)`.
-    resilient: bool,
-    /// The memory-pressure scenario, when the program carries one.
-    pressure: Option<PressureSpec>,
-    /// Predicted degradation events, in program order.
-    degradations: Vec<DegradationEvent>,
-}
-
-fn section(a: usize, r: &Range<usize>) -> Section {
-    Section::new(ArrayId(a as u32), r.start, r.end - r.start)
-}
-
 /// The loss error, compared by `device` only (`what` names whichever
 /// task happened to surface the loss first).
 fn lost_err(device: u32) -> RtError {
@@ -121,309 +70,168 @@ fn lost_err(device: u32) -> RtError {
     }
 }
 
-impl Model {
-    fn new(p: &Program, fault: Option<Fault>) -> Self {
-        Model {
-            host: (0..p.n_arrays)
-                .map(|k| (0..p.n).map(|i| Program::initial(k, i)).collect())
-                .collect(),
-            dev: (0..p.n_devices).map(|_| Vec::new()).collect(),
-            reduces: Vec::new(),
-            fault,
-            lost: p.lost_device(),
-            resilient: p.resilient(),
-            pressure: p.pressure.clone(),
-            degradations: Vec::new(),
-        }
-    }
+/// The spec's section for `array[r]`.
+fn sec(a: usize, r: Range<usize>) -> AbsSection {
+    AbsSection::from_range(a as u32, r)
+}
 
-    /// A spread/reduce chunk lands on `device`: poison when the
-    /// construct cannot route around the corpse — fail-stop mode, or no
-    /// survivor in its `devices(…)` list.
-    fn spread_chunk_on(&self, device: u32, devices: &[u32]) -> Result<(), RtError> {
-        match self.lost {
-            Some(l) if l == device && (!self.resilient || devices.iter().all(|&d| d == l)) => {
-                Err(lost_err(l))
-            }
-            _ => Ok(()),
-        }
-    }
+/// The spec's section back in the runtime's vocabulary.
+fn rt_section(s: AbsSection) -> Section {
+    Section::new(ArrayId(s.array), s.start, s.len)
+}
 
-    /// Data directives have no resilience clause: any leg on the corpse
-    /// poisons the program, resilient or not.
-    fn data_on(&self, device: u32) -> Result<(), RtError> {
-        match self.lost {
-            Some(l) if l == device => Err(lost_err(l)),
-            _ => Ok(()),
-        }
+/// Lift the machine's predicted error into the exact [`RtError`] the
+/// executor compares (`InvalidDirective` by variant, `DeviceLost` by
+/// device — see `errors_match`).
+fn rt_err(e: SemError) -> RtError {
+    match e {
+        SemError::OverlapExtension {
+            device,
+            requested,
+            present,
+        } => RtError::OverlapExtension {
+            device,
+            requested: rt_section(requested),
+            present: rt_section(present),
+        },
+        SemError::NotMapped { device, requested } => RtError::NotMapped {
+            device,
+            requested: rt_section(requested),
+        },
+        SemError::DeviceLost { device } => lost_err(device),
+        SemError::Invalid => RtError::InvalidDirective(String::new()),
+        SemError::Degraded {
+            device,
+            what,
+            bytes,
+        } => RtError::Degraded {
+            device,
+            what,
+            bytes,
+        },
     }
+}
 
-    /// The `--inject recovery` canary: pretend recovery silently drops
-    /// the lost device's chunks instead of replaying them, so the
-    /// harness must flag the (correct) runtime's recovered values as a
-    /// disagreement.
-    fn drops_chunk(&self, device: u32) -> bool {
-        self.fault == Some(Fault::RecoveryDropsLostChunk)
-            && self.resilient
-            && self.lost == Some(device)
+/// The spec's degradation record in the runtime's event vocabulary.
+fn deg_event(d: &Degradation) -> DegradationEvent {
+    DegradationEvent {
+        kind: match d.kind {
+            DegKind::AdmissionShrunk => DegradationKind::AdmissionShrunk,
+            DegKind::ChunkSplit => DegradationKind::ChunkSplit,
+            DegKind::Spilled => DegradationKind::Spilled,
+        },
+        device: d.device,
+        start: d.start,
+        len: d.len,
+        bytes: d.bytes,
     }
+}
 
-    /// Enter one map item on `device`. Mirrors `plan_enter` for a single
-    /// clause (the per-clause transactionality is irrelevant to the
-    /// predicted error value).
-    fn enter(
-        &mut self,
-        device: u32,
-        mt: MapType,
-        a: usize,
-        r: Range<usize>,
-    ) -> Result<(), RtError> {
-        if r.is_empty() {
-            return Ok(());
-        }
-        let d = device as usize;
-        if let Some(e) = self.dev[d]
-            .iter_mut()
-            .find(|e| e.contains(a, r.start, r.end - r.start))
-        {
-            e.refcount += 1;
-            return Ok(());
-        }
-        if let Some(e) = self.dev[d]
-            .iter()
-            .find(|e| e.overlaps(a, r.start, r.end - r.start))
-        {
-            return Err(RtError::OverlapExtension {
-                device,
-                requested: section(a, &r),
-                present: e.section(),
-            });
-        }
-        let data = if mt.copies_in() {
-            self.host[a][r.clone()].to_vec()
-        } else {
-            vec![0.0; r.len()]
-        };
-        self.dev[d].push(Entry {
-            array: a,
-            start: r.start,
-            len: r.len(),
-            refcount: 1,
-            data,
-        });
-        Ok(())
+/// The machine perturbation of an injected oracle canary.
+/// `SpillDropsSlice` and `PeerCorrupt` perturb the *runtime*, not the
+/// oracle, so they map to `None` and leave the spec honest.
+fn perturb_of(fault: Option<Fault>) -> Option<Perturb> {
+    match fault? {
+        Fault::StencilDropsLeftHalo => Some(Perturb::StencilDropsLeftHalo),
+        Fault::ReduceSkipsLast => Some(Perturb::ReduceSkipsLast),
+        Fault::RecoveryDropsLostChunk => Some(Perturb::RecoveryDropsLostChunk),
+        Fault::SpillDropsSlice | Fault::PeerCorrupt => None,
     }
+}
 
-    /// Exit one map item on `device`. Mirrors `plan_exit` for a single
-    /// clause.
-    fn exit(&mut self, device: u32, mt: MapType, a: usize, r: Range<usize>) -> Result<(), RtError> {
-        if r.is_empty() {
-            return Ok(());
-        }
-        let d = device as usize;
-        let Some(pos) = self.dev[d]
-            .iter()
-            .position(|e| e.contains(a, r.start, r.end - r.start))
-        else {
-            return Err(RtError::NotMapped {
-                device,
-                requested: section(a, &r),
-            });
-        };
-        let e = &mut self.dev[d][pos];
-        if mt == MapType::Delete {
-            e.refcount = 0;
-        } else {
-            e.refcount -= 1;
-        }
-        if e.refcount == 0 {
-            if mt.copies_out() {
-                let off = r.start - e.start;
-                let vals = e.data[off..off + r.len()].to_vec();
-                self.host[a][r].copy_from_slice(&vals);
-            }
-            self.dev[d].remove(pos);
-        }
-        Ok(())
+/// The spec kernel of a spread statement's [`KernelOp`].
+fn kernel_of(op: &KernelOp) -> KernelSem {
+    match *op {
+        KernelOp::AddConst { a, c } => KernelSem::AddConst { a: a as u32, c },
+        KernelOp::Scale { a, c } => KernelSem::Scale { a: a as u32, c },
+        KernelOp::Saxpy { x, y, alpha } => KernelSem::Saxpy {
+            x: x as u32,
+            y: y as u32,
+            alpha,
+        },
+        KernelOp::Stencil3 { src, dst } => KernelSem::Stencil3 {
+            src: src as u32,
+            dst: dst as u32,
+        },
     }
+}
 
-    /// `target update` one direction. Mirrors `plan_update`.
-    fn update(
-        &mut self,
-        device: u32,
-        from: bool,
-        a: usize,
-        r: Range<usize>,
-    ) -> Result<(), RtError> {
-        if r.is_empty() {
-            return Ok(());
+/// The map clauses of a spread kernel for one chunk range — the same
+/// shapes `build_target` derives from the statement (halo arithmetic
+/// included).
+fn op_maps(op: &KernelOp, r: &Range<usize>) -> Vec<(MapKind, AbsSection)> {
+    match *op {
+        KernelOp::AddConst { a, .. } | KernelOp::Scale { a, .. } => {
+            vec![(MapKind::ToFrom, sec(a, r.clone()))]
         }
-        let d = device as usize;
-        let Some(e) = self.dev[d]
-            .iter_mut()
-            .find(|e| e.contains(a, r.start, r.end - r.start))
-        else {
-            return Err(RtError::NotMapped {
-                device,
-                requested: section(a, &r),
-            });
-        };
-        let off = r.start - e.start;
-        if from {
-            let vals = e.data[off..off + r.len()].to_vec();
-            self.host[a][r].copy_from_slice(&vals);
-        } else {
-            e.data[off..off + r.len()].copy_from_slice(&self.host[a][r]);
-        }
-        Ok(())
-    }
-
-    /// Read a device-resident slice (kernel argument resolution).
-    fn read_dev(&self, device: u32, a: usize, r: Range<usize>) -> Vec<f64> {
-        let e = self.dev[device as usize]
-            .iter()
-            .find(|e| e.contains(a, r.start, r.end - r.start))
-            .expect("oracle kernel reads an unmapped section");
-        let off = r.start - e.start;
-        e.data[off..off + r.len()].to_vec()
-    }
-
-    /// Mutate a device-resident slice.
-    fn write_dev(&mut self, device: u32, a: usize, r: Range<usize>, f: impl Fn(usize, f64) -> f64) {
-        let e = self.dev[device as usize]
-            .iter_mut()
-            .find(|e| e.contains(a, r.start, r.end - r.start))
-            .expect("oracle kernel writes an unmapped section");
-        let off = r.start - e.start;
-        for (j, i) in r.clone().enumerate() {
-            e.data[off + j] = f(i, e.data[off + j]);
-        }
-    }
-
-    /// Run `op`'s kernel for one chunk on `device` — against the mapped
-    /// device buffers, exactly like `run_kernel`.
-    fn kernel(&mut self, device: u32, op: &KernelOp, r: Range<usize>) {
-        match *op {
-            KernelOp::AddConst { a, c } => self.write_dev(device, a, r, |_, v| v + c),
-            KernelOp::Scale { a, c } => self.write_dev(device, a, r, |_, v| v * c),
-            KernelOp::Saxpy { x, y, alpha } => {
-                let xs = self.read_dev(device, x, r.clone());
-                let base = r.start;
-                self.write_dev(device, y, r, |i, v| v + alpha * xs[i - base]);
-            }
-            KernelOp::Stencil3 { src, dst } => {
-                let halo = r.start - 1..r.end + 1;
-                let xs = self.read_dev(device, src, halo.clone());
-                let base = halo.start;
-                let drop_left = self.fault == Some(Fault::StencilDropsLeftHalo);
-                self.write_dev(device, dst, r, |i, _| {
-                    let left = if drop_left { 0.0 } else { xs[i - 1 - base] };
-                    left + xs[i - base] + xs[i + 1 - base]
-                });
-            }
-        }
-    }
-
-    /// The three phases of one `target` construct chunk: enter maps in
-    /// clause order, kernel, exit with each map's exit-equivalent type.
-    fn construct(
-        &mut self,
-        device: u32,
-        maps: &[(MapType, usize, Range<usize>)],
-        op: &KernelOp,
-        r: Range<usize>,
-    ) -> Result<(), RtError> {
-        for (mt, a, mr) in maps {
-            self.enter(device, *mt, *a, mr.clone())?;
-        }
-        self.kernel(device, op, r);
-        for (mt, a, mr) in maps {
-            let emt = match mt {
-                MapType::From | MapType::ToFrom => MapType::From,
-                MapType::To | MapType::Alloc => MapType::Release,
-                t => *t,
-            };
-            self.exit(device, emt, *a, mr.clone())?;
-        }
-        Ok(())
+        KernelOp::Saxpy { x, y, .. } => vec![
+            (MapKind::To, sec(x, r.clone())),
+            (MapKind::ToFrom, sec(y, r.clone())),
+        ],
+        KernelOp::Stencil3 { src, dst } => vec![
+            (MapKind::To, sec(src, r.start - 1..r.end + 1)),
+            (MapKind::From, sec(dst, r.clone())),
+        ],
     }
 }
 
 /// The device-footprint of one piece of a spread kernel: the mapped
 /// section lengths (halo arithmetic included) in bytes — exactly what
 /// `TargetSpread::footprint_bytes` computes from its map clauses, so
-/// the oracle's [`plan_admission`] call sees the same numbers as the
-/// runtime's.
+/// the oracle's admission call sees the same numbers as the runtime's.
 fn op_footprint(op: &KernelOp, start: usize, len: usize) -> u64 {
     op_maps(op, &(start..start + len))
         .iter()
-        .map(|(_, _, mr)| (mr.end - mr.start) as u64 * 8)
+        .map(|(_, s)| s.len as u64 * 8)
         .sum()
 }
 
-/// Replay the runtime's launch-time admission planning for one spread
-/// statement: same planner ([`plan_admission`]), same headroom (the
-/// [`PressureSpec`]'s closed form — blocking constructs release every
-/// mapping before the next launch, so program-used memory is zero and
-/// headroom is `cap − sustained` at every construct), same footprint
-/// arithmetic. Returns the predicted degradation events, or the exact
-/// [`RtError::Degraded`] the construct must raise.
-fn plan_pressure(
-    m: &mut Model,
-    ps: &PressureSpec,
-    devices: &[u32],
-    chunks: &[spread_core::schedule::Chunk],
-    op: &KernelOp,
-) -> Result<(), RtError> {
-    let headroom: HashMap<u32, u64> = devices.iter().map(|&d| (d, ps.headroom(d))).collect();
-    let footprint = |start: usize, len: usize| op_footprint(op, start, len);
-    let pieces = plan_admission(chunks, devices, &headroom, &footprint, ps.policy)?;
-    m.degradations.extend(degradation_events(&pieces));
-    Ok(())
-}
-
-/// The map clauses of a spread kernel for one chunk range.
-fn op_maps(op: &KernelOp, r: &Range<usize>) -> Vec<(MapType, usize, Range<usize>)> {
-    match *op {
-        KernelOp::AddConst { a, .. } | KernelOp::Scale { a, .. } => {
-            vec![(MapType::ToFrom, a, r.clone())]
-        }
-        KernelOp::Saxpy { x, y, .. } => {
-            vec![(MapType::To, x, r.clone()), (MapType::ToFrom, y, r.clone())]
-        }
-        KernelOp::Stencil3 { src, dst } => vec![
-            (MapType::To, src, r.start - 1..r.end + 1),
-            (MapType::From, dst, r.clone()),
-        ],
-    }
-}
-
-fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError> {
+/// Lower one statement to the machine's directive sequence.
+///
+/// This is the whole surface-syntax-to-spec translation: every
+/// prediction the old per-mode oracle code computed ad hoc now falls
+/// out of stepping these directives through `spread-semantics`.
+fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
     match stmt {
         Stmt::Spread {
             devices, sched, op, ..
         } => {
-            let range = op.range(p.n);
-            let chunks = distribute(range, devices, &sched.oracle_schedule(p.n, devices.len()));
-            if let Some(ps) = m.pressure.clone() {
-                // The admission plan decides *where* degradation lands;
-                // the values stay bit-identical to the scheduled
-                // placement (fresh-in, fresh-out, disjoint sections),
-                // so the interpretation below is unchanged.
-                plan_pressure(m, &ps, devices, &chunks, op)?;
-            }
-            for chunk in chunks {
-                // Dynamic chunks carry no device; any placement yields
-                // the same host state (fresh-in, fresh-out, disjoint
-                // sections), so model them on the list head.
-                let device = chunk.device.unwrap_or(devices[0]);
-                m.spread_chunk_on(device, devices)?;
-                if m.drops_chunk(device) {
-                    continue;
-                }
-                m.construct(device, &op_maps(op, &chunk.range()), op, chunk.range())?;
-            }
-            Ok(())
+            let chunks = distribute(
+                op.range(p.n),
+                devices,
+                &sched.oracle_schedule(p.n, devices.len()),
+            );
+            // The launch-time admission verdict under `spread_pressure`:
+            // same planner, same closed-form headroom (blocking
+            // constructs release every mapping before the next launch,
+            // so headroom is `cap − sustained` at every construct),
+            // same footprint arithmetic as the runtime.
+            let admission = p.pressure.as_ref().map(|ps| {
+                let headroom: HashMap<u32, u64> =
+                    devices.iter().map(|&d| (d, ps.headroom(d))).collect();
+                let footprint = |start: usize, len: usize| op_footprint(op, start, len);
+                spec_admission(&chunks, devices, &headroom, &footprint, ps.policy)
+            });
+            let pieces = chunks
+                .iter()
+                .map(|c| Piece {
+                    // Dynamic chunks carry no device; any placement
+                    // yields the same host state (fresh-in, fresh-out,
+                    // disjoint sections), so model them on the list
+                    // head.
+                    device: c.device.unwrap_or(devices[0]),
+                    start: c.start,
+                    len: c.len,
+                    maps: op_maps(op, &c.range()),
+                    kernel: kernel_of(op),
+                })
+                .collect();
+            vec![Directive::SpreadConstruct {
+                devices: devices.clone(),
+                resilient: p.resilient(),
+                admission,
+                pieces,
+            }]
         }
         Stmt::Reduce {
             devices,
@@ -433,48 +241,42 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             alpha,
             op,
         } => {
-            let range = 0..p.n;
-            let alpha = *alpha;
-            let a = *a;
-            let partials_ix = *partials;
-            for chunk in distribute(
-                range.clone(),
-                devices,
-                &sched.oracle_schedule(p.n, devices.len()),
-            ) {
-                let device = chunk.device.unwrap_or(devices[0]);
-                m.spread_chunk_on(device, devices)?;
-                if m.drops_chunk(device) {
-                    continue;
-                }
-                let r = chunk.range();
-                let maps = vec![
-                    (MapType::To, a, r.clone()),
-                    (MapType::From, partials_ix, r.clone()),
-                ];
-                for (mt, arr, mr) in &maps {
-                    m.enter(device, *mt, *arr, mr.clone())?;
-                }
-                let xs = m.read_dev(device, a, r.clone());
-                let base = r.start;
-                m.write_dev(device, partials_ix, r.clone(), |i, _| alpha * xs[i - base]);
-                for (mt, arr, mr) in &maps {
-                    let emt = match mt {
-                        MapType::From => MapType::From,
-                        _ => MapType::Release,
-                    };
-                    m.exit(device, emt, *arr, mr.clone())?;
-                }
-            }
-            let mut fold = range.clone();
-            if m.fault == Some(Fault::ReduceSkipsLast) {
-                fold.end -= 1;
-            }
-            let value = fold
-                .map(|i| m.host[partials_ix][i])
-                .fold(op.identity(), |acc, v| op.combine(acc, v));
-            m.reduces.push(value);
-            Ok(())
+            let chunks = distribute(0..p.n, devices, &sched.oracle_schedule(p.n, devices.len()));
+            let pieces = chunks
+                .iter()
+                .map(|c| Piece {
+                    device: c.device.unwrap_or(devices[0]),
+                    start: c.start,
+                    len: c.len,
+                    maps: vec![
+                        (MapKind::To, sec(*a, c.range())),
+                        (MapKind::From, sec(*partials, c.range())),
+                    ],
+                    kernel: KernelSem::Partials {
+                        a: *a as u32,
+                        partials: *partials as u32,
+                        alpha: *alpha,
+                    },
+                })
+                .collect();
+            vec![
+                Directive::SpreadConstruct {
+                    devices: devices.clone(),
+                    resilient: p.resilient(),
+                    admission: None,
+                    pieces,
+                },
+                Directive::HostFold {
+                    partials: *partials as u32,
+                    start: 0,
+                    end: p.n,
+                    op: match op {
+                        spread_core::reduction::ReduceOp::Sum => FoldOp::Sum,
+                        spread_core::reduction::ReduceOp::Max => FoldOp::Max,
+                        spread_core::reduction::ReduceOp::Min => FoldOp::Min,
+                    },
+                },
+            ]
         }
         Stmt::DataRegion {
             devices,
@@ -486,31 +288,63 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
         } => {
             let sched = Sched::Static { chunk: *chunk };
             let chunks = distribute(0..p.n, devices, &sched.to_schedule());
-            for c in &chunks {
-                m.data_on(c.device.unwrap())?;
-                m.enter(c.device.unwrap(), MapType::To, *a, c.range())?;
-            }
+            let mut out = vec![Directive::EnterData(
+                chunks
+                    .iter()
+                    .map(|c| Leg {
+                        device: c.device.unwrap(),
+                        kind: MapKind::To,
+                        section: sec(*a, c.range()),
+                    })
+                    .collect(),
+            )];
             if let Some(cv) = body_add {
                 let op = KernelOp::AddConst { a: *a, c: *cv };
-                for c in &chunks {
-                    let r = c.range();
-                    m.construct(c.device.unwrap(), &op_maps(&op, &r), &op, r)?;
-                }
+                out.push(Directive::SpreadConstruct {
+                    devices: devices.clone(),
+                    resilient: false,
+                    admission: None,
+                    pieces: chunks
+                        .iter()
+                        .map(|c| Piece {
+                            device: c.device.unwrap(),
+                            start: c.start,
+                            len: c.len,
+                            maps: op_maps(&op, &c.range()),
+                            kernel: kernel_of(&op),
+                        })
+                        .collect(),
+                });
             }
             if *update_from {
-                for c in &chunks {
-                    m.update(c.device.unwrap(), true, *a, c.range())?;
-                }
+                out.push(Directive::UpdateData(
+                    chunks
+                        .iter()
+                        .map(|c| UpdateLeg {
+                            device: c.device.unwrap(),
+                            from_device: true,
+                            exchange: false,
+                            section: sec(*a, c.range()),
+                        })
+                        .collect(),
+                ));
             }
             let emt = if *exit_from {
-                MapType::From
+                MapKind::From
             } else {
-                MapType::Release
+                MapKind::Release
             };
-            for c in &chunks {
-                m.exit(c.device.unwrap(), emt, *a, c.range())?;
-            }
-            Ok(())
+            out.push(Directive::ExitData(
+                chunks
+                    .iter()
+                    .map(|c| Leg {
+                        device: c.device.unwrap(),
+                        kind: emt,
+                        section: sec(*a, c.range()),
+                    })
+                    .collect(),
+            ));
+            out
         }
         Stmt::Halo {
             devices,
@@ -524,171 +358,200 @@ fn interpret_stmt(m: &mut Model, p: &Program, stmt: &Stmt) -> Result<(), RtError
             let chunks = distribute(0..n, devices, &sched.to_schedule());
             let halo = |r: &Range<usize>| r.start.saturating_sub(1)..(r.end + 1).min(n);
             // Enter-spread `to` of the halo'd chunks.
-            for c in &chunks {
-                m.enter(c.device.unwrap(), MapType::To, *a, halo(&c.range()))?;
-            }
+            let mut out = vec![Directive::EnterData(
+                chunks
+                    .iter()
+                    .map(|c| Leg {
+                        device: c.device.unwrap(),
+                        kind: MapKind::To,
+                        section: sec(*a, halo(&c.range())),
+                    })
+                    .collect(),
+            )];
             // Optional body bump on the device images: the reuse path —
             // refcount 2, no copies — so the host keeps the old values
-            // and every sibling copy goes stale.
+            // and every sibling copy goes stale (which is what makes
+            // every halo ineligible for a peer route below).
             if let Some(cv) = bump {
                 let op = KernelOp::AddConst { a: *a, c: *cv };
-                for c in &chunks {
-                    m.construct(c.device.unwrap(), &op_maps(&op, &c.range()), &op, c.range())?;
-                }
+                out.push(Directive::SpreadConstruct {
+                    devices: devices.clone(),
+                    resilient: false,
+                    admission: None,
+                    pieces: chunks
+                        .iter()
+                        .map(|c| Piece {
+                            device: c.device.unwrap(),
+                            start: c.start,
+                            len: c.len,
+                            maps: op_maps(&op, &c.range()),
+                            kernel: kernel_of(&op),
+                        })
+                        .collect(),
+                });
             }
-            // The halo refresh. The `exchange(…)` route is semantically
-            // invisible — a peer pull is only legal when the sibling's
-            // bytes equal the host image — so the oracle models both
-            // one-element halos as plain host→device updates.
-            for c in &chunks {
-                let r = c.range();
-                let d = c.device.unwrap();
-                m.update(d, false, *a, r.start.saturating_sub(1)..r.start)?;
-                m.update(d, false, *a, r.end..(r.end + 1).min(n))?;
-            }
+            // The halo refresh under `exchange(…)`: rule `S-Exchange`
+            // records a peer route exactly when the sibling's bytes
+            // equal the host image — so the copied *values* are
+            // host-identical either way, and [`predict_peer_copies`]
+            // reads the recorded route set for the differential peer
+            // harness.
+            out.push(Directive::UpdateData(
+                chunks
+                    .iter()
+                    .flat_map(|c| {
+                        let r = c.range();
+                        let d = c.device.unwrap();
+                        [
+                            UpdateLeg {
+                                device: d,
+                                from_device: false,
+                                exchange: true,
+                                section: sec(*a, r.start.saturating_sub(1)..r.start),
+                            },
+                            UpdateLeg {
+                                device: d,
+                                from_device: false,
+                                exchange: true,
+                                section: sec(*a, r.end..(r.end + 1).min(n)),
+                            },
+                        ]
+                    })
+                    .collect(),
+            ));
             // Clamped 3-point stencil over the refreshed window: reuses
             // the halo'd `a` mapping, allocates `dst`, copies the body
             // out on exit — halo bytes land in the final host state.
-            for c in &chunks {
-                let d = c.device.unwrap();
-                let r = c.range();
-                let hr = halo(&r);
-                m.enter(d, MapType::To, *a, hr.clone())?;
-                m.enter(d, MapType::From, *dst, r.clone())?;
-                let xs = m.read_dev(d, *a, hr.clone());
-                let base = hr.start;
-                m.write_dev(d, *dst, r.clone(), |i, _| {
-                    let l = if i == 0 { i } else { i - 1 };
-                    let rr = if i == n - 1 { i } else { i + 1 };
-                    xs[l - base] + xs[i - base] + xs[rr - base]
-                });
-                m.exit(d, MapType::Release, *a, hr)?;
-                m.exit(d, MapType::From, *dst, r)?;
-            }
+            out.push(Directive::SpreadConstruct {
+                devices: devices.clone(),
+                resilient: false,
+                admission: None,
+                pieces: chunks
+                    .iter()
+                    .map(|c| {
+                        let r = c.range();
+                        Piece {
+                            device: c.device.unwrap(),
+                            start: c.start,
+                            len: c.len,
+                            maps: vec![
+                                (MapKind::To, sec(*a, halo(&r))),
+                                (MapKind::From, sec(*dst, r)),
+                            ],
+                            kernel: KernelSem::Stencil3Clamped {
+                                src: *a as u32,
+                                dst: *dst as u32,
+                                n,
+                            },
+                        }
+                    })
+                    .collect(),
+            });
             // Exit-spread release of the halo'd region.
-            for c in &chunks {
-                m.exit(c.device.unwrap(), MapType::Release, *a, halo(&c.range()))?;
-            }
-            Ok(())
+            out.push(Directive::ExitData(
+                chunks
+                    .iter()
+                    .map(|c| Leg {
+                        device: c.device.unwrap(),
+                        kind: MapKind::Release,
+                        section: sec(*a, halo(&c.range())),
+                    })
+                    .collect(),
+            ));
+            out
         }
         Stmt::RawEnter {
             device,
             a,
             start,
             len,
-        } => {
-            m.data_on(*device)?;
-            m.enter(*device, MapType::To, *a, *start..start + len)
-        }
+        } => vec![Directive::EnterData(vec![Leg {
+            device: *device,
+            kind: MapKind::To,
+            section: sec(*a, *start..start + len),
+        }])],
         Stmt::RawExit {
             device,
             a,
             start,
             len,
             delete,
-        } => {
-            m.data_on(*device)?;
-            let mt = if *delete {
-                MapType::Delete
+        } => vec![Directive::ExitData(vec![Leg {
+            device: *device,
+            kind: if *delete {
+                MapKind::Delete
             } else {
-                MapType::From
-            };
-            m.exit(*device, mt, *a, *start..start + len)
-        }
+                MapKind::From
+            },
+            section: sec(*a, *start..start + len),
+        }])],
         Stmt::RawUpdate {
             device,
             a,
             start,
             len,
             from,
-        } => {
-            m.data_on(*device)?;
-            m.update(*device, *from, *a, *start..start + len)
-        }
+        } => vec![Directive::UpdateData(vec![UpdateLeg {
+            device: *device,
+            from_device: *from,
+            exchange: false,
+            section: sec(*a, *start..start + len),
+        }])],
         // The executor compares `InvalidDirective` by variant only, so
-        // the oracle does not reproduce the message.
-        Stmt::Bad { .. } => Err(RtError::InvalidDirective(String::new())),
+        // the spec does not reproduce the message.
+        Stmt::Bad { .. } => vec![Directive::Invalid],
     }
 }
 
-/// Interpret `p` sequentially and predict the runtime-observable
-/// outcome. `fault` perturbs the model deliberately (see [`Fault`]) so
-/// the harness can prove to itself that disagreements are detected,
-/// shrunk and replayed.
-pub fn predict(p: &Program, fault: Option<Fault>) -> Expectation {
-    let mut m = Model::new(p, fault);
+/// Lower `p` statement by statement and fold [`step`] over the
+/// directive sequence. Returns the final (possibly poisoned-mid-
+/// directive) machine state and the first error.
+fn interpret(p: &Program, fault: Option<Fault>) -> (State, Option<SemError>) {
+    let host = (0..p.n_arrays)
+        .map(|k| (0..p.n).map(|i| Program::initial(k, i)).collect())
+        .collect();
+    let mut st = State::new(host, p.n_devices, p.lost_device());
+    st.perturb = perturb_of(fault);
     let mut error = None;
-    'outer: for phase in &p.phases {
-        for stmt in phase {
-            if let Err(e) = interpret_stmt(&mut m, p, stmt) {
+    'outer: for stmt in p.phases.iter().flatten() {
+        for d in lower_stmt(p, stmt) {
+            if let Err(e) = step(&mut st, &d) {
                 error = Some(e);
                 break 'outer;
             }
         }
     }
-    let mappings = m
-        .dev
-        .iter()
-        .map(|entries| {
-            let mut v: Vec<(u32, usize, usize, u32)> = entries
-                .iter()
-                .map(|e| (e.array as u32, e.start, e.len, e.refcount))
-                .collect();
-            v.sort_unstable();
-            v
-        })
-        .collect();
+    (st, error)
+}
+
+/// Interpret `p` through the `spread-semantics` machine and predict the
+/// runtime-observable outcome. `fault` perturbs the spec deliberately
+/// (see [`Fault`]) so the harness can prove to itself that
+/// disagreements are detected, shrunk and replayed.
+pub fn predict(p: &Program, fault: Option<Fault>) -> Expectation {
+    let (st, error) = interpret(p, fault);
     Expectation {
-        arrays: m.host,
-        reduces: m.reduces,
-        mappings,
-        degradations: m.degradations,
-        error,
+        arrays: st.host,
+        reduces: st.reduces,
+        mappings: st.devices.iter().map(|d| d.snapshot()).collect(),
+        degradations: st.degradations.iter().map(deg_event).collect(),
+        error: error.map(rt_err),
     }
 }
 
 /// The exact multiset of peer copies an `exchange(auto)` execution of
-/// `p` must perform, as sorted `(src, dst, array, start, len)` tuples.
+/// `p` must perform, as sorted `(src, dst, array, start, len)` tuples —
+/// the route set rule `S-Exchange` records while interpreting `p`.
 ///
-/// Closed-form because the generator's halo invariants make the route
-/// deterministic: `chunk = ⌈n/k⌉ ≥ 2` gives each device at most one
-/// chunk, so a one-element halo is valid on exactly one sibling — the
-/// neighbouring chunk's device — and the planner has no choice to make.
-/// With a `bump`, every sibling body byte diverges from the host image,
-/// so *no* halo may route peer; without one, *every* non-empty halo
-/// must.
+/// Deterministic because the generator's halo invariants leave the
+/// planner no choice: `chunk = ⌈n/k⌉ ≥ 2` gives each device at most one
+/// chunk, so a one-element halo is bit-equal to the host image on
+/// exactly one sibling — the neighbouring chunk's device. With a
+/// `bump`, every sibling body byte diverges from the host image, so
+/// *no* halo may route peer; without one, *every* non-empty halo must.
 pub fn predict_peer_copies(p: &Program) -> Vec<(u32, u32, u32, usize, usize)> {
-    let mut want = Vec::new();
-    for stmt in p.phases.iter().flatten() {
-        let Stmt::Halo {
-            devices,
-            chunk,
-            a,
-            bump: None,
-            ..
-        } = stmt
-        else {
-            continue;
-        };
-        let sched = Sched::Static { chunk: *chunk };
-        let chunks = distribute(0..p.n, devices, &sched.to_schedule());
-        for (i, c) in chunks.iter().enumerate() {
-            let r = c.range();
-            let dst = c.device.unwrap();
-            if r.start > 0 {
-                want.push((
-                    chunks[i - 1].device.unwrap(),
-                    dst,
-                    *a as u32,
-                    r.start - 1,
-                    1,
-                ));
-            }
-            if r.end < p.n {
-                want.push((chunks[i + 1].device.unwrap(), dst, *a as u32, r.end, 1));
-            }
-        }
-    }
+    let (st, _) = interpret(p, None);
+    let mut want = st.routes;
     want.sort_unstable();
     want
 }

@@ -295,6 +295,15 @@ pub fn shrink(p: &Program, fails: &mut dyn FnMut(&Program) -> bool) -> Program {
 mod tests {
     use super::*;
     use crate::ast::KernelOp;
+    use crate::gen;
+
+    /// The size metric the invariant tests bound: total statements plus
+    /// the three structural dimensions. Every candidate in
+    /// [`candidates`] leaves each term equal or smaller, so shrinking
+    /// must never grow it.
+    fn size(p: &Program) -> usize {
+        p.phases.iter().map(Vec::len).sum::<usize>() + p.n + p.n_devices + p.n_arrays
+    }
 
     fn program_with_stencil() -> Program {
         Program {
@@ -342,5 +351,72 @@ mod tests {
                                  // Deterministic: same input, same minimum.
         let m2 = shrink(&p, &mut fails);
         assert_eq!(format!("{m:?}"), format!("{m2:?}"));
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failure() {
+        // Over generated programs of every flavour and a predicate that
+        // the original satisfies, the minimum must still satisfy it —
+        // `shrink` only ever commits candidates the predicate accepts.
+        for seed in 0..12u64 {
+            let p = match seed % 4 {
+                0 => gen::gen_program_cfg(seed, false),
+                1 => gen::gen_program_cfg(seed, true),
+                2 => gen::gen_program_pressure(seed),
+                _ => gen::gen_program_peer(seed),
+            };
+            let mut fails = |q: &Program| !q.phases.is_empty();
+            assert!(fails(&p));
+            let m = shrink(&p, &mut fails);
+            assert!(fails(&m), "seed {seed}: shrinking lost the failure");
+        }
+    }
+
+    #[test]
+    fn shrinking_is_idempotent() {
+        // A minimum is a fixed point: re-shrinking it changes nothing.
+        for seed in 0..12u64 {
+            let p = gen::gen_program_cfg(seed, seed % 2 == 1);
+            // "Fails whenever array A0 is touched" — true of every
+            // generated program's first statement or vacuously skipped.
+            let mut fails =
+                |q: &Program| q.phases.iter().flatten().any(|s| s.arrays().contains(&0));
+            if !fails(&p) {
+                continue;
+            }
+            let once = shrink(&p, &mut fails);
+            let twice = shrink(&once, &mut fails);
+            assert_eq!(
+                format!("{once:?}"),
+                format!("{twice:?}"),
+                "seed {seed}: shrinking a minimum changed it"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_never_grows_the_program() {
+        // Every candidate the shrinker ever proposes — not just the one
+        // it commits — is bounded by the original program's size, and
+        // so is the final minimum.
+        for seed in 0..12u64 {
+            let p = match seed % 3 {
+                0 => gen::gen_program_cfg(seed, true),
+                1 => gen::gen_program_pressure(seed),
+                _ => gen::gen_program_peer(seed),
+            };
+            let bound = size(&p);
+            let mut worst = 0usize;
+            let mut fails = |q: &Program| {
+                worst = worst.max(size(q));
+                !q.phases.is_empty()
+            };
+            let m = shrink(&p, &mut fails);
+            assert!(
+                worst <= bound,
+                "seed {seed}: a candidate grew to {worst} from {bound}"
+            );
+            assert!(size(&m) <= bound, "seed {seed}: the minimum grew");
+        }
     }
 }

@@ -89,7 +89,9 @@ pub use data_spread::{
     SpreadClauses, TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread,
     TargetUpdateSpread,
 };
-pub use pressure::{degradation_events, plan_admission, Placement, PlannedPiece, PressurePolicy};
+pub use pressure::{
+    degradation_events, plan_admission, spec_admission, Placement, PlannedPiece, PressurePolicy,
+};
 pub use reduction::ReduceOp;
 pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};

@@ -272,6 +272,50 @@ pub fn degradation_events(pieces: &[PlannedPiece]) -> Vec<DegradationEvent> {
         .collect()
 }
 
+/// [`plan_admission`] + [`degradation_events`] with the verdict lifted
+/// into the `spread-semantics` vocabulary: the `S-Admit` event list, or
+/// the `S-Degrade` error, ready to slot into a
+/// `spread_semantics::Directive::SpreadConstruct`'s `admission` field.
+///
+/// This is the one boundary where the spec consumes the planner: the
+/// admission computation (budgets, round-robin wrap, recursive halving)
+/// is runtime scheduling policy and lives here; the semantics crate
+/// only defines what its verdict *means*.
+pub fn spec_admission(
+    chunks: &[Chunk],
+    devices: &[u32],
+    headroom: &HashMap<u32, u64>,
+    footprint: &dyn Fn(usize, usize) -> u64,
+    policy: PressurePolicy,
+) -> Result<Vec<spread_semantics::Degradation>, spread_semantics::SemError> {
+    match plan_admission(chunks, devices, headroom, footprint, policy) {
+        Ok(pieces) => Ok(degradation_events(&pieces)
+            .into_iter()
+            .map(|e| spread_semantics::Degradation {
+                kind: match e.kind {
+                    DegradationKind::AdmissionShrunk => spread_semantics::DegKind::AdmissionShrunk,
+                    DegradationKind::ChunkSplit => spread_semantics::DegKind::ChunkSplit,
+                    DegradationKind::Spilled => spread_semantics::DegKind::Spilled,
+                },
+                device: e.device,
+                start: e.start,
+                len: e.len,
+                bytes: e.bytes,
+            })
+            .collect()),
+        Err(RtError::Degraded {
+            device,
+            what,
+            bytes,
+        }) => Err(spread_semantics::SemError::Degraded {
+            device,
+            what,
+            bytes,
+        }),
+        Err(other) => unreachable!("plan_admission only fails with Degraded: {other:?}"),
+    }
+}
+
 /// Shared state of one pressure-managed spread launch: what the
 /// reactive recovery handlers need to rebuild a piece.
 pub(crate) struct PressureCoordinator {

@@ -17,12 +17,26 @@
 //!   unavailable for new mappings but its storage survives until the
 //!   release transfer completes, when [`PresenceTable::finish_exit`]
 //!   frees it.
+//!
+//! Under `debug_assertions` every table carries a **spec mirror**: a
+//! `spread_semantics::DeviceMap` stepped through the same micro-rules
+//! (`M-Reuse`/`M-Extend`/`M-Fresh`/`M-Keep`/`M-Dying`/`M-Free`/`M-Wipe`)
+//! on every mutation, with the decisions asserted identical, plus a
+//! [`PresenceTable::debug_validate`] full-state comparison the runtime
+//! runs at every quiescence point. Release builds compile all of it
+//! out.
 
 use std::collections::BTreeMap;
 
 use spread_devices::AllocId;
 
 use crate::section::Section;
+
+/// The spec's view of a runtime section.
+#[cfg(debug_assertions)]
+fn abs(s: &Section) -> spread_semantics::AbsSection {
+    spread_semantics::AbsSection::new(s.array.0, s.start, s.len)
+}
 
 /// Stable key of a presence entry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,6 +96,12 @@ pub enum MapConflict {
 pub struct PresenceTable {
     entries: BTreeMap<EntryKey, MappedEntry>,
     next_key: u64,
+    /// The `spread-semantics` twin of this table, mutated in lockstep.
+    #[cfg(debug_assertions)]
+    spec: spread_semantics::DeviceMap,
+    /// Runtime entry key → spec entry id.
+    #[cfg(debug_assertions)]
+    spec_ids: std::collections::HashMap<EntryKey, u64>,
 }
 
 impl PresenceTable {
@@ -120,6 +140,32 @@ impl PresenceTable {
 
     /// Begin mapping `s` on enter. See [`EnterDecision`].
     pub fn begin_enter(&mut self, s: Section) -> Result<EnterDecision, MapConflict> {
+        let decision = self.enter_impl(s);
+        #[cfg(debug_assertions)]
+        {
+            use spread_semantics::{Conflict, EnterOutcome};
+            match (&decision, self.spec.begin_enter(&abs(&s))) {
+                (Ok(EnterDecision::Reuse(key)), Ok(EnterOutcome::Reuse(id))) => debug_assert_eq!(
+                    self.spec_ids.get(key),
+                    Some(&id),
+                    "spec mirror: reuse of a different entry for {s}"
+                ),
+                (Ok(EnterDecision::Fresh), Ok(EnterOutcome::Fresh)) => {}
+                (
+                    Err(MapConflict::Extension { present }),
+                    Err(Conflict::Extension { present: sp }),
+                ) => debug_assert_eq!(
+                    abs(present),
+                    sp,
+                    "spec mirror: extension blamed a different entry for {s}"
+                ),
+                (got, spec) => panic!("enter of {s} diverges from the spec: {got:?} vs {spec:?}"),
+            }
+        }
+        decision
+    }
+
+    fn enter_impl(&mut self, s: Section) -> Result<EnterDecision, MapConflict> {
         if let Some((key, _)) = self.lookup_containing(&s) {
             let e = self.entries.get_mut(&key).expect("just found");
             e.refcount += 1;
@@ -148,6 +194,11 @@ impl PresenceTable {
                 dying: false,
             },
         );
+        #[cfg(debug_assertions)]
+        {
+            let id = self.spec.insert_fresh(abs(&section), None);
+            self.spec_ids.insert(key, id);
+        }
         key
     }
 
@@ -157,6 +208,27 @@ impl PresenceTable {
         s: &Section,
         force_delete: bool,
     ) -> Result<ExitDecision, MapConflict> {
+        let decision = self.exit_impl(s, force_delete);
+        #[cfg(debug_assertions)]
+        {
+            use spread_semantics::{Conflict, ExitOutcome};
+            match (&decision, self.spec.begin_exit(&abs(s), force_delete)) {
+                (Ok(ExitDecision::Keep(key)), Ok(ExitOutcome::Keep(id)))
+                | (Ok(ExitDecision::LastRef(key)), Ok(ExitOutcome::LastRef(id))) => {
+                    debug_assert_eq!(
+                        self.spec_ids.get(key),
+                        Some(&id),
+                        "spec mirror: exit of a different entry for {s}"
+                    )
+                }
+                (Err(MapConflict::NotMapped), Err(Conflict::NotMapped)) => {}
+                (got, spec) => panic!("exit of {s} diverges from the spec: {got:?} vs {spec:?}"),
+            }
+        }
+        decision
+    }
+
+    fn exit_impl(&mut self, s: &Section, force_delete: bool) -> Result<ExitDecision, MapConflict> {
         let Some((key, _)) = self.lookup_containing(s) else {
             return Err(MapConflict::NotMapped);
         };
@@ -179,8 +251,21 @@ impl PresenceTable {
     /// wipe may race with an in-flight release transfer, and the late
     /// completion must not be fatal.
     pub fn finish_exit(&mut self, key: EntryKey) -> Option<AllocId> {
-        let e = self.entries.remove(&key)?;
+        let Some(e) = self.entries.remove(&key) else {
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                !self.spec_ids.contains_key(&key),
+                "spec mirror: runtime entry gone but spec entry survives"
+            );
+            return None;
+        };
         debug_assert!(e.dying, "finish_exit of a live entry");
+        #[cfg(debug_assertions)]
+        {
+            let id = self.spec_ids.remove(&key).expect("spec id for every entry");
+            let se = self.spec.commit_exit(id);
+            debug_assert!(se.is_some(), "spec mirror: free of an absent spec entry");
+        }
         Some(e.alloc)
     }
 
@@ -189,11 +274,53 @@ impl PresenceTable {
     /// is gone wholesale anyway.
     pub fn clear(&mut self) {
         self.entries.clear();
+        #[cfg(debug_assertions)]
+        {
+            self.spec.clear();
+            self.spec_ids.clear();
+        }
     }
 
     /// Total elements currently mapped (incl. dying).
     pub fn mapped_elems(&self) -> usize {
         self.entries.values().map(|e| e.section.len).sum()
+    }
+
+    /// Assert the whole table equals its `spread-semantics` mirror —
+    /// every entry's section, reference count and dying phase. The
+    /// runtime calls this at every quiescence point, so every test run
+    /// validates the live mapping state against the spec; release
+    /// builds compile it to a no-op.
+    pub fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.entries.len(),
+                self.spec.iter().count(),
+                "spec mirror: entry count diverges"
+            );
+            for (key, e) in &self.entries {
+                let id = self
+                    .spec_ids
+                    .get(key)
+                    .unwrap_or_else(|| panic!("spec mirror: no spec id for {key:?}"));
+                let se = self
+                    .spec
+                    .entry(*id)
+                    .unwrap_or_else(|| panic!("spec mirror: no spec entry for {key:?}"));
+                assert_eq!(abs(&e.section), se.section, "spec mirror: section diverges");
+                assert_eq!(
+                    e.refcount, se.refcount,
+                    "spec mirror: refcount diverges for {}",
+                    e.section
+                );
+                assert_eq!(
+                    e.dying, se.dying,
+                    "spec mirror: dying phase diverges for {}",
+                    e.section
+                );
+            }
+        }
     }
 }
 

@@ -1687,6 +1687,12 @@ impl Scope<'_> {
                     return Err(e.clone());
                 }
                 if cond(&inner) {
+                    // Quiescence reached: validate every device's live
+                    // mapping state against its `spread-semantics`
+                    // mirror (no-op in release builds).
+                    for table in &inner.presence {
+                        table.debug_validate();
+                    }
                     return Ok(());
                 }
             }

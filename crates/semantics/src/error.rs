@@ -1,0 +1,78 @@
+//! The spec's error and degradation-event vocabulary.
+//!
+//! These shadow the runtime's `RtError` variants that a directive
+//! program can provoke, expressed over [`AbsSection`]s so the crate
+//! stays dependency-free; `spread-check` converts them to real
+//! `RtError`s at its boundary.
+
+use crate::section::AbsSection;
+
+/// The predicted failure of a directive program, raised by a transition
+/// rule instead of producing a successor state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SemError {
+    /// `M-Extend`: an enter overlapped a present entry without being
+    /// contained in it (the §V-B array-extension error).
+    OverlapExtension {
+        /// Device the enter targeted.
+        device: u32,
+        /// The requested section.
+        requested: AbsSection,
+        /// The already-present entry it collided with.
+        present: AbsSection,
+    },
+    /// `M-NotMapped`: an exit or update named a section no live entry
+    /// contains.
+    NotMapped {
+        /// Device the operation targeted.
+        device: u32,
+        /// The requested section.
+        requested: AbsSection,
+    },
+    /// `S-FailStop` / `S-Lost`: work landed on a permanently lost
+    /// device and nothing allowed recovery.
+    DeviceLost {
+        /// The dead device.
+        device: u32,
+    },
+    /// `S-Invalid`: the directive was malformed (empty device list,
+    /// bad clause combination, …) and rejected before any effect.
+    Invalid,
+    /// `S-Degrade`: under `spread_pressure(fail)` (or an unsplittable /
+    /// unspillable piece), admission could not place a chunk piece.
+    Degraded {
+        /// Device the piece was scheduled on.
+        device: u32,
+        /// Human-readable description of the piece, matching the
+        /// runtime's wording.
+        what: String,
+        /// The piece's footprint in bytes.
+        bytes: u64,
+    },
+}
+
+/// What kind of graceful degradation the admission planner applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegKind {
+    /// The piece ran whole but on a different device than scheduled.
+    AdmissionShrunk,
+    /// The chunk was split into smaller pieces to fit.
+    ChunkSplit,
+    /// The piece was spilled to host execution.
+    Spilled,
+}
+
+/// One recorded degradation event, in the order admission planned it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Degradation {
+    /// The kind of degradation.
+    pub kind: DegKind,
+    /// The device involved (`None` for host spills).
+    pub device: Option<u32>,
+    /// First iteration of the affected piece.
+    pub start: usize,
+    /// Iteration count of the affected piece.
+    pub len: usize,
+    /// The piece's footprint in bytes.
+    pub bytes: u64,
+}

@@ -1,0 +1,81 @@
+//! # spread-semantics
+//!
+//! The executable small-step semantics of the paper's `target spread`
+//! directive set — the *specification* that the rest of the workspace
+//! consumes instead of re-deriving:
+//!
+//! * the `spread-check` oracle lowers its directive programs to
+//!   [`machine::Directive`]s and steps [`machine::step`] to predict the
+//!   final host state, mapping tables, degradation events, peer routes
+//!   or the exact error;
+//! * `spread-rt` mirrors every presence-table mutation against a
+//!   [`state::DeviceMap`] under `debug_assertions`, so every test run
+//!   of the runtime validates the live state against the spec;
+//! * the bounded model checker enumerates *all* directive programs up
+//!   to a size bound and checks runtime-vs-spec agreement exhaustively.
+//!
+//! The crate is dependency-free on purpose: `spread-rt` sits *below*
+//! everything else in the workspace and must be able to depend on the
+//! spec without a cycle, so the spec speaks its own small vocabulary
+//! ([`section::AbsSection`], [`map::MapKind`], [`error::SemError`]) and
+//! the consumers convert at their boundary.
+//!
+//! ## The abstract state
+//!
+//! [`state::State`] is the explicit machine state: host array images,
+//! one [`state::DeviceMap`] (presence entries with reference counts and
+//! a dying phase) per device, device health, the recorded
+//! degradation-event and peer-route sequences, and the reduction
+//! results — everything the conformance harness observes at quiescence.
+//!
+//! ## Rule index
+//!
+//! Mapping micro-rules (one per [`state::DeviceMap`] transition — the
+//! granularity `spread-rt`'s presence tables mirror):
+//!
+//! | rule | method | meaning |
+//! |------|--------|---------|
+//! | `M-Reuse` | [`state::DeviceMap::begin_enter`] | enter of a section contained in a live entry: refcount + 1, **no copy** |
+//! | `M-Extend` | [`state::DeviceMap::begin_enter`] | enter overlapping without containment: the §V-B array-extension error |
+//! | `M-Fresh` | [`state::DeviceMap::begin_enter`] | enter of an absent section: caller allocates and [`state::DeviceMap::insert_fresh`] (`M-Alloc`) |
+//! | `M-Keep` | [`state::DeviceMap::begin_exit`] | exit with references remaining: refcount − 1, nothing else |
+//! | `M-Dying` | [`state::DeviceMap::begin_exit`] | last release: the entry dies — unavailable for reuse, storage live until `M-Free` |
+//! | `M-NotMapped` | [`state::DeviceMap::begin_exit`] | exit/update of something no live entry contains |
+//! | `M-Free` | [`state::DeviceMap::commit_exit`] | the release transfer completed: the dying entry is removed |
+//! | `M-Wipe` | [`state::DeviceMap::clear`] | permanent device loss: every entry (live and dying) vanishes wholesale |
+//!
+//! Directive rules (one per [`machine::Directive`] arm of
+//! [`machine::step`]):
+//!
+//! | rule | directive / clause | meaning |
+//! |------|--------------------|---------|
+//! | `S-Invalid` | malformed directive | rejected with [`error::SemError::Invalid`] before any effect |
+//! | `S-Admit` | `spread_pressure(…)` | the admission plan's degradation events are recorded before any piece runs |
+//! | `S-Degrade` | `spread_pressure(…)` | an unplaceable piece poisons the construct with [`error::SemError::Degraded`] |
+//! | `S-FailStop` | `target spread` | a piece on a dead device without `spread_resilience` (or without a surviving device) raises [`error::SemError::DeviceLost`] |
+//! | `S-Redistribute` | `spread_resilience(redistribute)` | a piece on a dead device with a survivor redistributes — bit-invisibly, so the rule interprets it in place |
+//! | `S-Enter` | `map(spread_to/…)` enter | per map clause: `M-Reuse` or `M-Fresh` + copy-in iff the kind copies in |
+//! | `S-Kernel` | construct body | the kernel runs against the mapped device images |
+//! | `S-Exit` | construct end / exit data | per clause with its exit-equivalent kind; the last release copies out (`from`) and frees |
+//! | `S-Update` | `target update spread` | copies through the containing live entry, host→device or device→host |
+//! | `S-Exchange` | `exchange(auto/peer)` | an update leg routes device-to-device from the lowest-numbered alive sibling holding the section bit-equal to the host image |
+//! | `S-Lost` | data directives | any leg on a dead device poisons the program (data directives carry no resilience clause) |
+//! | `S-Fold` | `reduction(…)` | the host folds the partials array with the reduction operator |
+//!
+//! Perturbations ([`machine::Perturb`]) are the harness's canaries: a
+//! deliberately wrong rule variant, used to prove the comparison
+//! pipeline detects disagreements.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod machine;
+pub mod map;
+pub mod section;
+pub mod state;
+
+pub use error::{DegKind, Degradation, SemError};
+pub use machine::{step, Directive, FoldOp, KernelSem, Leg, Perturb, Piece, UpdateLeg};
+pub use map::MapKind;
+pub use section::AbsSection;
+pub use state::{Conflict, DeviceMap, EnterOutcome, ExitOutcome, State};

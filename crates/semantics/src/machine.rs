@@ -1,0 +1,569 @@
+//! The small-step machine: the directive alphabet and the one
+//! [`step`] function that applies a directive's named transition rule
+//! to a [`State`], yielding the successor state or the exact predicted
+//! error.
+//!
+//! Consumers lower their surface syntax (the fuzzer's AST, the
+//! enumerator's alphabet) to [`Directive`]s and fold [`step`] over the
+//! sequence; the first error poisons the program — nothing after it is
+//! interpreted, matching the runtime's fail-stop task graph.
+
+use crate::error::{Degradation, SemError};
+use crate::map::MapKind;
+use crate::section::AbsSection;
+use crate::state::{Conflict, State};
+
+/// A deliberately wrong rule variant — the harness's canaries, used to
+/// prove the comparison pipeline detects spec/runtime disagreement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Perturb {
+    /// `S-Kernel` for the 3-point stencil zeroes the left neighbour.
+    StencilDropsLeftHalo,
+    /// `S-Fold` stops one element early.
+    ReduceSkipsLast,
+    /// `S-Redistribute` silently drops the lost device's pieces
+    /// instead of replaying them.
+    RecoveryDropsLostChunk,
+}
+
+/// The reduction operator of `S-Fold`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldOp {
+    /// `reduction(+: …)`.
+    Sum,
+    /// `reduction(max: …)`.
+    Max,
+    /// `reduction(min: …)`.
+    Min,
+}
+
+impl FoldOp {
+    /// The fold's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            FoldOp::Sum => 0.0,
+            FoldOp::Max => f64::NEG_INFINITY,
+            FoldOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combine an accumulator with one element.
+    pub fn combine(self, acc: f64, v: f64) -> f64 {
+        match self {
+            FoldOp::Sum => acc + v,
+            FoldOp::Max => acc.max(v),
+            FoldOp::Min => acc.min(v),
+        }
+    }
+}
+
+/// The kernel a construct piece runs (`S-Kernel`), over the piece's
+/// iteration range against the mapped device images.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelSem {
+    /// `a[i] += c`.
+    AddConst {
+        /// Target array.
+        a: u32,
+        /// The constant.
+        c: f64,
+    },
+    /// `a[i] *= c`.
+    Scale {
+        /// Target array.
+        a: u32,
+        /// The factor.
+        c: f64,
+    },
+    /// `y[i] += alpha * x[i]`.
+    Saxpy {
+        /// Read-only input array.
+        x: u32,
+        /// Accumulated output array.
+        y: u32,
+        /// The scale factor.
+        alpha: f64,
+    },
+    /// `dst[i] = src[i-1] + src[i] + src[i+1]` — the piece's maps must
+    /// cover the one-element halo.
+    Stencil3 {
+        /// Input array (mapped with halo).
+        src: u32,
+        /// Output array.
+        dst: u32,
+    },
+    /// The boundary-clamped 3-point stencil over an `n`-element array:
+    /// neighbours clamp to `0` and `n − 1` at the array edges.
+    Stencil3Clamped {
+        /// Input array (mapped with the clamped halo).
+        src: u32,
+        /// Output array.
+        dst: u32,
+        /// Array length the neighbours clamp to.
+        n: usize,
+    },
+    /// `partials[i] = alpha * a[i]` — the per-device phase of a
+    /// reduction, folded later by [`Directive::HostFold`].
+    Partials {
+        /// Input array.
+        a: u32,
+        /// Partials output array.
+        partials: u32,
+        /// The scale factor.
+        alpha: f64,
+    },
+}
+
+/// One map leg of an enter/exit data directive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Leg {
+    /// Target device.
+    pub device: u32,
+    /// The map clause kind.
+    pub kind: MapKind,
+    /// The mapped section.
+    pub section: AbsSection,
+}
+
+/// One leg of a `target update spread` directive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateLeg {
+    /// Target device.
+    pub device: u32,
+    /// Copy direction: device→host when true, host→device otherwise.
+    pub from_device: bool,
+    /// True when the leg runs under `exchange(auto/peer)`: an eligible
+    /// host→device leg records a peer route (`S-Exchange`). The copy's
+    /// *values* are unchanged either way — peer pulls are only legal
+    /// when the source equals the host image bit for bit.
+    pub exchange: bool,
+    /// The updated section.
+    pub section: AbsSection,
+}
+
+/// One piece (chunk placed on a device) of a spread construct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Piece {
+    /// The device the schedule placed this piece on.
+    pub device: u32,
+    /// First iteration.
+    pub start: usize,
+    /// Iteration count.
+    pub len: usize,
+    /// The construct's map clauses for this piece, in clause order.
+    pub maps: Vec<(MapKind, AbsSection)>,
+    /// The kernel to run over `start..start + len`.
+    pub kernel: KernelSem,
+}
+
+impl Piece {
+    /// The piece's iteration range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// One directive — the machine's instruction set. Consumers lower each
+/// surface statement to one or more of these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Directive {
+    /// A `target spread` construct: admission first (`S-Admit` /
+    /// `S-Degrade`), then per piece the loss rules (`S-FailStop` /
+    /// `S-Redistribute`), enters (`S-Enter`), kernel (`S-Kernel`) and
+    /// exit-equivalent exits (`S-Exit`).
+    SpreadConstruct {
+        /// The construct's `devices(…)` list.
+        devices: Vec<u32>,
+        /// True under `spread_resilience(redistribute)`.
+        resilient: bool,
+        /// The pre-computed admission plan under `spread_pressure(…)`:
+        /// `Some(Ok(events))` records the degradations, `Some(Err(e))`
+        /// poisons the construct, `None` means no pressure clause.
+        /// (The planner itself lives with the runtime's scheduling
+        /// code; the rule consumes its verdict.)
+        admission: Option<Result<Vec<Degradation>, SemError>>,
+        /// The scheduled pieces in chunk order.
+        pieces: Vec<Piece>,
+    },
+    /// `target enter data spread`: each leg checks `S-Lost` then
+    /// applies `S-Enter`.
+    EnterData(Vec<Leg>),
+    /// `target exit data spread`: each leg checks `S-Lost` then applies
+    /// `S-Exit`.
+    ExitData(Vec<Leg>),
+    /// `target update spread`: each leg checks `S-Lost` then applies
+    /// `S-Update`, recording an `S-Exchange` route when eligible.
+    UpdateData(Vec<UpdateLeg>),
+    /// The host-side fold of a reduction (`S-Fold`).
+    HostFold {
+        /// The partials array to fold.
+        partials: u32,
+        /// First element.
+        start: usize,
+        /// One past the last element.
+        end: usize,
+        /// The reduction operator.
+        op: FoldOp,
+    },
+    /// A malformed directive, rejected before any effect (`S-Invalid`).
+    Invalid,
+}
+
+/// Lift a mapping conflict into the spec error naming the device and
+/// the requested section.
+fn conflict_err(device: u32, requested: AbsSection, c: Conflict) -> SemError {
+    match c {
+        Conflict::Extension { present } => SemError::OverlapExtension {
+            device,
+            requested,
+            present,
+        },
+        Conflict::NotMapped => SemError::NotMapped { device, requested },
+    }
+}
+
+/// Rule `S-Lost` for data-directive legs: any leg on a dead device
+/// poisons the program (data directives carry no resilience clause).
+fn data_alive(st: &State, device: u32) -> Result<(), SemError> {
+    if st.alive[device as usize] {
+        Ok(())
+    } else {
+        Err(SemError::DeviceLost { device })
+    }
+}
+
+/// Rule `S-Exchange` eligibility: the lowest-numbered alive sibling of
+/// `dst` holding a live entry that contains `s` with bytes bit-equal to
+/// the host image over `s`. `None` routes over the host bus.
+fn peer_route(st: &State, dst: u32, s: &AbsSection) -> Option<u32> {
+    let want = &st.host[s.array as usize][s.range()];
+    for src in 0..st.devices.len() as u32 {
+        if src == dst || !st.alive[src as usize] {
+            continue;
+        }
+        let map = &st.devices[src as usize];
+        let Some(id) = map.lookup_containing(s) else {
+            continue;
+        };
+        let e = map.entry(id).unwrap();
+        let Some(data) = &e.data else { continue };
+        let off = s.start - e.section.start;
+        let bytes_equal = data[off..off + s.len]
+            .iter()
+            .zip(want.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if bytes_equal {
+            return Some(src);
+        }
+    }
+    None
+}
+
+/// Rule `S-Kernel`: run one piece's kernel against the device images.
+fn run_kernel(st: &mut State, device: u32, kernel: &KernelSem, r: std::ops::Range<usize>) {
+    match *kernel {
+        KernelSem::AddConst { a, c } => {
+            for i in r {
+                let v = st.read_dev(device, a, i);
+                st.write_dev(device, a, i, v + c);
+            }
+        }
+        KernelSem::Scale { a, c } => {
+            for i in r {
+                let v = st.read_dev(device, a, i);
+                st.write_dev(device, a, i, v * c);
+            }
+        }
+        KernelSem::Saxpy { x, y, alpha } => {
+            for i in r {
+                let xv = st.read_dev(device, x, i);
+                let yv = st.read_dev(device, y, i);
+                st.write_dev(device, y, i, yv + alpha * xv);
+            }
+        }
+        KernelSem::Stencil3 { src, dst } => {
+            let drop_left = st.perturb == Some(Perturb::StencilDropsLeftHalo);
+            for i in r {
+                let left = if drop_left {
+                    0.0
+                } else {
+                    st.read_dev(device, src, i - 1)
+                };
+                let v = left + st.read_dev(device, src, i) + st.read_dev(device, src, i + 1);
+                st.write_dev(device, dst, i, v);
+            }
+        }
+        KernelSem::Stencil3Clamped { src, dst, n } => {
+            for i in r {
+                let l = if i == 0 { i } else { i - 1 };
+                let rr = if i == n - 1 { i } else { i + 1 };
+                let v = st.read_dev(device, src, l)
+                    + st.read_dev(device, src, i)
+                    + st.read_dev(device, src, rr);
+                st.write_dev(device, dst, i, v);
+            }
+        }
+        KernelSem::Partials { a, partials, alpha } => {
+            for i in r {
+                let v = alpha * st.read_dev(device, a, i);
+                st.write_dev(device, partials, i, v);
+            }
+        }
+    }
+}
+
+/// Run one construct piece: `S-Enter` per map clause, `S-Kernel`, then
+/// `S-Exit` with each clause's exit-equivalent kind.
+fn run_piece(st: &mut State, piece: &Piece) -> Result<(), SemError> {
+    for (kind, s) in &piece.maps {
+        st.enter(piece.device, *kind, *s)
+            .map_err(|c| conflict_err(piece.device, *s, c))?;
+    }
+    run_kernel(st, piece.device, &piece.kernel, piece.range());
+    for (kind, s) in &piece.maps {
+        st.exit(piece.device, kind.exit_equivalent(), *s)
+            .map_err(|c| conflict_err(piece.device, *s, c))?;
+    }
+    Ok(())
+}
+
+/// Apply one directive's transition rule to `st`. The successor state
+/// is written in place; an `Err` is the exact predicted failure and
+/// leaves the state poisoned mid-directive — callers stop at the first
+/// error, like the runtime's task graph does.
+pub fn step(st: &mut State, d: &Directive) -> Result<(), SemError> {
+    match d {
+        // S-Invalid: rejected before any effect.
+        Directive::Invalid => Err(SemError::Invalid),
+        Directive::SpreadConstruct {
+            devices,
+            resilient,
+            admission,
+            pieces,
+        } => {
+            // S-Admit / S-Degrade: the admission verdict lands before
+            // any piece runs.
+            if let Some(adm) = admission {
+                match adm {
+                    Ok(events) => st.degradations.extend(events.iter().cloned()),
+                    Err(e) => return Err(e.clone()),
+                }
+            }
+            for piece in pieces {
+                if !st.alive[piece.device as usize] {
+                    // S-FailStop: no resilience clause, or no survivor
+                    // in the construct's device list.
+                    let survivor = devices.iter().any(|&d| st.alive[d as usize]);
+                    if !resilient || !survivor {
+                        return Err(SemError::DeviceLost {
+                            device: piece.device,
+                        });
+                    }
+                    // The RecoveryDropsLostChunk canary: pretend the
+                    // replay silently drops the piece.
+                    if st.perturb == Some(Perturb::RecoveryDropsLostChunk) {
+                        continue;
+                    }
+                    // S-Redistribute: the replay is bit-invisible
+                    // (fresh-in, fresh-out, disjoint sections), so the
+                    // rule interprets the piece in place.
+                }
+                run_piece(st, piece)?;
+            }
+            Ok(())
+        }
+        Directive::EnterData(legs) => {
+            for leg in legs {
+                data_alive(st, leg.device)?;
+                st.enter(leg.device, leg.kind, leg.section)
+                    .map_err(|c| conflict_err(leg.device, leg.section, c))?;
+            }
+            Ok(())
+        }
+        Directive::ExitData(legs) => {
+            for leg in legs {
+                data_alive(st, leg.device)?;
+                st.exit(leg.device, leg.kind, leg.section)
+                    .map_err(|c| conflict_err(leg.device, leg.section, c))?;
+            }
+            Ok(())
+        }
+        Directive::UpdateData(legs) => {
+            for leg in legs {
+                data_alive(st, leg.device)?;
+                // S-Exchange: route eligibility is judged against the
+                // state *before* this leg's copy lands.
+                if leg.exchange && !leg.from_device && !leg.section.is_empty() {
+                    if let Some(src) = peer_route(st, leg.device, &leg.section) {
+                        let s = leg.section;
+                        st.routes.push((src, leg.device, s.array, s.start, s.len));
+                    }
+                }
+                st.update(leg.device, leg.from_device, leg.section)
+                    .map_err(|c| conflict_err(leg.device, leg.section, c))?;
+            }
+            Ok(())
+        }
+        Directive::HostFold {
+            partials,
+            start,
+            end,
+            op,
+        } => {
+            // S-Fold (with the ReduceSkipsLast canary stopping early).
+            let end = if st.perturb == Some(Perturb::ReduceSkipsLast) {
+                end.saturating_sub(1)
+            } else {
+                *end
+            };
+            let value = (*start..end)
+                .map(|i| st.host[*partials as usize][i])
+                .fold(op.identity(), |acc, v| op.combine(acc, v));
+            st.reduces.push(value);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(a: u32, start: usize, len: usize) -> AbsSection {
+        AbsSection::new(a, start, len)
+    }
+
+    fn addconst_piece(device: u32, start: usize, len: usize, c: f64) -> Piece {
+        Piece {
+            device,
+            start,
+            len,
+            maps: vec![(MapKind::ToFrom, sec(0, start, len))],
+            kernel: KernelSem::AddConst { a: 0, c },
+        }
+    }
+
+    #[test]
+    fn spread_construct_maps_runs_and_unmaps() {
+        let mut st = State::new(vec![vec![1.0; 8]], 2, None);
+        let d = Directive::SpreadConstruct {
+            devices: vec![0, 1],
+            resilient: false,
+            admission: None,
+            pieces: vec![addconst_piece(0, 0, 4, 2.0), addconst_piece(1, 4, 4, 2.0)],
+        };
+        step(&mut st, &d).unwrap();
+        assert_eq!(st.host[0], vec![3.0; 8]);
+        assert!(st.devices[0].snapshot().is_empty(), "construct releases");
+        assert!(st.devices[1].snapshot().is_empty());
+    }
+
+    #[test]
+    fn fail_stop_on_a_dead_device_raises_device_lost() {
+        let mut st = State::new(vec![vec![0.0; 4]], 2, Some(1));
+        let d = Directive::SpreadConstruct {
+            devices: vec![0, 1],
+            resilient: false,
+            admission: None,
+            pieces: vec![addconst_piece(0, 0, 2, 1.0), addconst_piece(1, 2, 2, 1.0)],
+        };
+        assert_eq!(step(&mut st, &d), Err(SemError::DeviceLost { device: 1 }));
+    }
+
+    #[test]
+    fn redistribution_is_value_invisible_and_the_canary_is_not() {
+        let resilient = |st: &mut State| {
+            step(
+                st,
+                &Directive::SpreadConstruct {
+                    devices: vec![0, 1],
+                    resilient: true,
+                    admission: None,
+                    pieces: vec![addconst_piece(0, 0, 2, 1.0), addconst_piece(1, 2, 2, 1.0)],
+                },
+            )
+        };
+        let mut st = State::new(vec![vec![0.0; 4]], 2, Some(1));
+        resilient(&mut st).unwrap();
+        assert_eq!(st.host[0], vec![1.0; 4], "redistribute == fault-free");
+
+        let mut st = State::new(vec![vec![0.0; 4]], 2, Some(1));
+        st.perturb = Some(Perturb::RecoveryDropsLostChunk);
+        resilient(&mut st).unwrap();
+        assert_eq!(
+            st.host[0],
+            vec![1.0, 1.0, 0.0, 0.0],
+            "canary drops the piece"
+        );
+    }
+
+    #[test]
+    fn data_directive_on_a_corpse_is_lost_even_with_resilience() {
+        let mut st = State::new(vec![vec![0.0; 4]], 2, Some(0));
+        let d = Directive::EnterData(vec![Leg {
+            device: 0,
+            kind: MapKind::To,
+            section: sec(0, 0, 4),
+        }]);
+        assert_eq!(step(&mut st, &d), Err(SemError::DeviceLost { device: 0 }));
+    }
+
+    #[test]
+    fn degraded_admission_poisons_before_any_piece() {
+        let mut st = State::new(vec![vec![0.0; 4]], 1, None);
+        let e = SemError::Degraded {
+            device: 0,
+            what: "chunk piece [0..4)".into(),
+            bytes: 32,
+        };
+        let d = Directive::SpreadConstruct {
+            devices: vec![0],
+            resilient: false,
+            admission: Some(Err(e.clone())),
+            pieces: vec![addconst_piece(0, 0, 4, 1.0)],
+        };
+        assert_eq!(step(&mut st, &d), Err(e));
+        assert_eq!(st.host[0], vec![0.0; 4], "no piece ran");
+    }
+
+    #[test]
+    fn fold_sums_partials_and_the_canary_skips_the_last() {
+        let fold = Directive::HostFold {
+            partials: 0,
+            start: 0,
+            end: 4,
+            op: FoldOp::Sum,
+        };
+        let mut st = State::new(vec![vec![1.0, 2.0, 3.0, 4.0]], 1, None);
+        step(&mut st, &fold).unwrap();
+        assert_eq!(st.reduces, vec![10.0]);
+
+        st.perturb = Some(Perturb::ReduceSkipsLast);
+        step(&mut st, &fold).unwrap();
+        assert_eq!(st.reduces, vec![10.0, 6.0]);
+    }
+
+    #[test]
+    fn exchange_routes_from_the_lowest_bit_equal_sibling() {
+        let mut st = State::new(vec![(0..8).map(f64::from).collect()], 3, None);
+        // Device 2 holds [0:4] bit-equal to the host; device 1 holds a
+        // stale copy; device 0 is the destination.
+        st.enter(1, MapKind::To, sec(0, 0, 4)).unwrap();
+        st.write_dev(1, 0, 1, -9.0);
+        st.enter(2, MapKind::To, sec(0, 0, 4)).unwrap();
+        st.enter(0, MapKind::To, sec(0, 0, 4)).unwrap();
+        let d = Directive::UpdateData(vec![UpdateLeg {
+            device: 0,
+            from_device: false,
+            exchange: true,
+            section: sec(0, 1, 2),
+        }]);
+        step(&mut st, &d).unwrap();
+        assert_eq!(st.routes, vec![(2, 0, 0, 1, 2)], "stale sibling skipped");
+
+        // A dead sibling is never a source.
+        st.alive[2] = false;
+        step(&mut st, &d).unwrap();
+        assert_eq!(st.routes.len(), 1, "no eligible source -> host bus");
+    }
+}

@@ -1,0 +1,63 @@
+//! The spec's map-clause kinds, mirroring the runtime's `MapType` with
+//! the same copy directions and the construct-end exit equivalence.
+
+/// A `map(…)` clause kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapKind {
+    /// `map(to: …)` / `map(spread_to: …)` — copy in on the
+    /// absent→present transition.
+    To,
+    /// `map(from: …)` / `map(spread_from: …)` — copy out on the last
+    /// release.
+    From,
+    /// `map(tofrom: …)` — both.
+    ToFrom,
+    /// `map(alloc: …)` — allocate only.
+    Alloc,
+    /// `map(release: …)` — decrement without copy-out.
+    Release,
+    /// `map(delete: …)` — force the reference count to zero.
+    Delete,
+}
+
+impl MapKind {
+    /// True if entering with this kind copies host→device on the
+    /// absent→present transition.
+    pub fn copies_in(self) -> bool {
+        matches!(self, MapKind::To | MapKind::ToFrom)
+    }
+
+    /// True if the last release with this kind copies device→host.
+    pub fn copies_out(self) -> bool {
+        matches!(self, MapKind::From | MapKind::ToFrom)
+    }
+
+    /// The exit kind a `target` construct applies at its end for a map
+    /// entered with `self`: `from`/`tofrom` copy out, everything else
+    /// releases without a copy.
+    pub fn exit_equivalent(self) -> MapKind {
+        match self {
+            MapKind::From | MapKind::ToFrom => MapKind::From,
+            MapKind::To | MapKind::Alloc => MapKind::Release,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_directions_and_exit_equivalents() {
+        assert!(MapKind::To.copies_in() && !MapKind::To.copies_out());
+        assert!(!MapKind::From.copies_in() && MapKind::From.copies_out());
+        assert!(MapKind::ToFrom.copies_in() && MapKind::ToFrom.copies_out());
+        assert!(!MapKind::Alloc.copies_in() && !MapKind::Release.copies_out());
+        assert_eq!(MapKind::ToFrom.exit_equivalent(), MapKind::From);
+        assert_eq!(MapKind::From.exit_equivalent(), MapKind::From);
+        assert_eq!(MapKind::To.exit_equivalent(), MapKind::Release);
+        assert_eq!(MapKind::Alloc.exit_equivalent(), MapKind::Release);
+        assert_eq!(MapKind::Delete.exit_equivalent(), MapKind::Delete);
+    }
+}

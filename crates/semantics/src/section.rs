@@ -1,0 +1,97 @@
+//! The spec's array sections — `A[start:len]` over numbered arrays,
+//! with the same overlap algebra as the runtime's `Section` (which the
+//! consumers convert to and from at their boundary).
+
+use std::fmt;
+use std::ops::Range;
+
+/// A contiguous element range of one numbered host array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbsSection {
+    /// The array number.
+    pub array: u32,
+    /// First element.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl AbsSection {
+    /// `array[start:len]`.
+    pub fn new(array: u32, start: usize, len: usize) -> Self {
+        AbsSection { array, start, len }
+    }
+
+    /// Build from a `Range` of element indexes.
+    pub fn from_range(array: u32, range: Range<usize>) -> Self {
+        AbsSection {
+            array,
+            start: range.start,
+            len: range.end.saturating_sub(range.start),
+        }
+    }
+
+    /// One-past-the-end element.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// The element range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end()
+    }
+
+    /// True if the section has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if both sections are on the same array and share at least
+    /// one element.
+    pub fn overlaps(&self, other: &AbsSection) -> bool {
+        self.array == other.array
+            && !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
+    }
+
+    /// True if `other` lies entirely within `self` (same array).
+    pub fn contains(&self, other: &AbsSection) -> bool {
+        self.array == other.array && other.start >= self.start && other.end() <= self.end()
+    }
+}
+
+impl fmt::Display for AbsSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}[{}:{}]", self.array, self.start, self.len)
+    }
+}
+
+impl fmt::Debug for AbsSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AbsSection({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(start: usize, len: usize) -> AbsSection {
+        AbsSection::new(0, start, len)
+    }
+
+    #[test]
+    fn overlap_and_containment_match_the_runtime_algebra() {
+        assert!(s(0, 10).overlaps(&s(9, 5)));
+        assert!(!s(0, 10).overlaps(&s(10, 5)), "adjacent is not overlap");
+        assert!(!s(0, 0).overlaps(&s(0, 10)), "empty never overlaps");
+        assert!(!s(0, 10).overlaps(&AbsSection::new(1, 0, 10)));
+        assert!(s(0, 10).contains(&s(2, 5)));
+        assert!(s(0, 10).contains(&s(0, 10)));
+        assert!(!s(0, 10).contains(&s(5, 10)));
+        assert_eq!(AbsSection::from_range(0, 4..9), s(4, 5));
+        assert_eq!(s(3, 7).to_string(), "arr0[3:7]");
+    }
+}

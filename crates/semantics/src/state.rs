@@ -1,0 +1,415 @@
+//! The explicit abstract machine state: host images, per-device
+//! presence maps with refcounts and data images, device health, and the
+//! recorded degradation / peer-route / reduction observations.
+//!
+//! [`DeviceMap`] is the spec twin of `spread-rt`'s presence table — the
+//! runtime mirrors every mutation against one of these under
+//! `debug_assertions` and asserts the decisions agree (rules `M-*` in
+//! the crate docs).
+
+use crate::error::Degradation;
+use crate::machine::Perturb;
+use crate::map::MapKind;
+use crate::section::AbsSection;
+
+/// One present (or dying) mapping on a device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecEntry {
+    /// The mapped section.
+    pub section: AbsSection,
+    /// Structured-region reference count.
+    pub refcount: u32,
+    /// True between `M-Dying` and `M-Free`: the entry no longer
+    /// satisfies lookups but its storage is still live.
+    pub dying: bool,
+    /// The device-side image of the section. `None` when the map is
+    /// used purely structurally (the runtime mirror tracks shape only,
+    /// not bytes — it has the real buffers).
+    pub data: Option<Vec<f64>>,
+}
+
+/// What [`DeviceMap::begin_enter`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnterOutcome {
+    /// `M-Reuse`: the section is contained in this live entry; its
+    /// refcount was incremented and **no copy** happens.
+    Reuse(u64),
+    /// `M-Fresh`: nothing overlaps; the caller allocates and calls
+    /// [`DeviceMap::insert_fresh`].
+    Fresh,
+}
+
+/// What [`DeviceMap::begin_exit`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitOutcome {
+    /// `M-Keep`: references remain; only the refcount dropped.
+    Keep(u64),
+    /// `M-Dying`: that was the last reference — the entry is dying;
+    /// copy out if the exit kind copies out, then
+    /// [`DeviceMap::commit_exit`].
+    LastRef(u64),
+}
+
+/// Why a mapping operation was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Conflict {
+    /// `M-Extend`: the request overlaps `present` without being
+    /// contained in it.
+    Extension {
+        /// The live entry the request collided with.
+        present: AbsSection,
+    },
+    /// `M-NotMapped`: no live entry contains the request.
+    NotMapped,
+}
+
+/// The presence map of one device: entries in creation order, each with
+/// a stable id so the runtime mirror can correlate its own keys.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeviceMap {
+    entries: Vec<(u64, SpecEntry)>,
+    next_id: u64,
+}
+
+impl DeviceMap {
+    /// The id of the live (non-dying) entry containing `s`, if any.
+    pub fn lookup_containing(&self, s: &AbsSection) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(_, e)| !e.dying && e.section.contains(s))
+            .map(|(id, _)| *id)
+    }
+
+    /// Rules `M-Reuse` / `M-Extend` / `M-Fresh`: decide how an enter of
+    /// `s` proceeds. Reuse increments the refcount here; fresh entries
+    /// are the caller's to build ([`DeviceMap::insert_fresh`]).
+    pub fn begin_enter(&mut self, s: &AbsSection) -> Result<EnterOutcome, Conflict> {
+        if let Some(id) = self.lookup_containing(s) {
+            self.entry_mut(id).unwrap().refcount += 1;
+            return Ok(EnterOutcome::Reuse(id));
+        }
+        if let Some((_, e)) = self.entries.iter().find(|(_, e)| e.section.overlaps(s)) {
+            return Err(Conflict::Extension { present: e.section });
+        }
+        Ok(EnterOutcome::Fresh)
+    }
+
+    /// Rule `M-Alloc`: insert a fresh entry for `s` with refcount 1.
+    pub fn insert_fresh(&mut self, section: AbsSection, data: Option<Vec<f64>>) -> u64 {
+        debug_assert!(
+            !self
+                .entries
+                .iter()
+                .any(|(_, e)| e.section.overlaps(&section)),
+            "insert_fresh over an overlapping entry"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push((
+            id,
+            SpecEntry {
+                section,
+                refcount: 1,
+                dying: false,
+                data,
+            },
+        ));
+        id
+    }
+
+    /// Rules `M-Keep` / `M-Dying` / `M-NotMapped`: decide how an exit of
+    /// `s` proceeds. `force_delete` (`map(delete: …)`) zeroes the
+    /// refcount instead of decrementing it.
+    pub fn begin_exit(
+        &mut self,
+        s: &AbsSection,
+        force_delete: bool,
+    ) -> Result<ExitOutcome, Conflict> {
+        let Some(id) = self.lookup_containing(s) else {
+            return Err(Conflict::NotMapped);
+        };
+        let e = self.entry_mut(id).unwrap();
+        if force_delete {
+            e.refcount = 0;
+        } else {
+            e.refcount -= 1;
+        }
+        if e.refcount == 0 {
+            e.dying = true;
+            Ok(ExitOutcome::LastRef(id))
+        } else {
+            Ok(ExitOutcome::Keep(id))
+        }
+    }
+
+    /// Rule `M-Free`: the release transfer completed — remove the dying
+    /// entry and return it (its data is the copy-out source). `None` if
+    /// the entry is already gone (e.g. wiped by `M-Wipe`).
+    pub fn commit_exit(&mut self, id: u64) -> Option<SpecEntry> {
+        let pos = self.entries.iter().position(|(k, _)| *k == id)?;
+        let (_, e) = self.entries.remove(pos);
+        debug_assert!(e.dying, "commit_exit of a live entry");
+        Some(e)
+    }
+
+    /// Rule `M-Wipe`: permanent device loss — every entry vanishes.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The live entry with id `id`.
+    pub fn entry(&self, id: u64) -> Option<&SpecEntry> {
+        self.entries.iter().find(|(k, _)| *k == id).map(|(_, e)| e)
+    }
+
+    /// Mutable access to the entry with id `id`.
+    pub fn entry_mut(&mut self, id: u64) -> Option<&mut SpecEntry> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| *k == id)
+            .map(|(_, e)| e)
+    }
+
+    /// All entries (live and dying) in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &SpecEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// The observable mapping snapshot: `(array, start, len, refcount)`
+    /// for every non-dying entry, fully sorted — the shape the
+    /// conformance harness compares.
+    pub fn snapshot(&self) -> Vec<(u32, usize, usize, u32)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.dying)
+            .map(|(_, e)| (e.section.array, e.section.start, e.section.len, e.refcount))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The whole abstract machine state at one point of a program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct State {
+    /// Host image of every array.
+    pub host: Vec<Vec<f64>>,
+    /// Per-device presence maps.
+    pub devices: Vec<DeviceMap>,
+    /// Per-device health; a permanently lost device is dead from time
+    /// zero (its map stays empty and rules `S-FailStop`/`S-Lost` fire).
+    pub alive: Vec<bool>,
+    /// Reduction results in program order (`S-Fold`).
+    pub reduces: Vec<f64>,
+    /// Degradation events in admission-plan order (`S-Admit`).
+    pub degradations: Vec<Degradation>,
+    /// Peer routes in plan order as `(src, dst, array, start, len)`
+    /// (`S-Exchange`).
+    pub routes: Vec<(u32, u32, u32, usize, usize)>,
+    /// The active canary perturbation, if any — a deliberately wrong
+    /// rule variant used to prove the harness detects disagreement.
+    pub perturb: Option<Perturb>,
+}
+
+impl State {
+    /// The initial state: `host` images as given, `n_devices` empty
+    /// healthy maps except `lost`, which is dead at time zero.
+    pub fn new(host: Vec<Vec<f64>>, n_devices: usize, lost: Option<u32>) -> Self {
+        State {
+            host,
+            devices: vec![DeviceMap::default(); n_devices],
+            alive: (0..n_devices).map(|d| Some(d as u32) != lost).collect(),
+            reduces: Vec::new(),
+            degradations: Vec::new(),
+            routes: Vec::new(),
+            perturb: None,
+        }
+    }
+
+    /// Rule `S-Enter` for one map clause: reuse keeps the existing
+    /// image (no copy); a fresh entry materialises with the host image
+    /// iff the kind copies in, zeros otherwise.
+    pub fn enter(&mut self, device: u32, kind: MapKind, s: AbsSection) -> Result<(), Conflict> {
+        if s.is_empty() {
+            return Ok(());
+        }
+        match self.devices[device as usize].begin_enter(&s)? {
+            EnterOutcome::Reuse(_) => Ok(()),
+            EnterOutcome::Fresh => {
+                let data = if kind.copies_in() {
+                    self.host[s.array as usize][s.range()].to_vec()
+                } else {
+                    vec![0.0; s.len]
+                };
+                self.devices[device as usize].insert_fresh(s, Some(data));
+                Ok(())
+            }
+        }
+    }
+
+    /// Rule `S-Exit` for one map clause: the last release copies the
+    /// requested window back to the host iff the kind copies out, then
+    /// frees (`M-Free`).
+    pub fn exit(&mut self, device: u32, kind: MapKind, s: AbsSection) -> Result<(), Conflict> {
+        if s.is_empty() {
+            return Ok(());
+        }
+        let force_delete = kind == MapKind::Delete;
+        match self.devices[device as usize].begin_exit(&s, force_delete)? {
+            ExitOutcome::Keep(_) => Ok(()),
+            ExitOutcome::LastRef(id) => {
+                let e = self.devices[device as usize].commit_exit(id).unwrap();
+                if kind.copies_out() {
+                    if let Some(data) = &e.data {
+                        let off = s.start - e.section.start;
+                        self.host[s.array as usize][s.range()]
+                            .copy_from_slice(&data[off..off + s.len]);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rule `S-Update`: copy `s` through its containing live entry,
+    /// host→device (`from_device == false`) or device→host.
+    pub fn update(
+        &mut self,
+        device: u32,
+        from_device: bool,
+        s: AbsSection,
+    ) -> Result<(), Conflict> {
+        if s.is_empty() {
+            return Ok(());
+        }
+        let map = &mut self.devices[device as usize];
+        let Some(id) = map.lookup_containing(&s) else {
+            return Err(Conflict::NotMapped);
+        };
+        let e = map.entry_mut(id).unwrap();
+        let off = s.start - e.section.start;
+        let data = e
+            .data
+            .as_mut()
+            .expect("spec update through a shape-only entry");
+        if from_device {
+            self.host[s.array as usize][s.range()].copy_from_slice(&data[off..off + s.len]);
+        } else {
+            data[off..off + s.len].copy_from_slice(&self.host[s.array as usize][s.range()]);
+        }
+        Ok(())
+    }
+
+    /// Read one element of `array` from the entry mapping it on
+    /// `device`. Panics if unmapped — kernels only run over sections
+    /// their construct mapped, so this is an internal invariant.
+    pub fn read_dev(&self, device: u32, array: u32, i: usize) -> f64 {
+        let s = AbsSection::new(array, i, 1);
+        let map = &self.devices[device as usize];
+        let id = map
+            .lookup_containing(&s)
+            .unwrap_or_else(|| panic!("spec read of unmapped {s} on device {device}"));
+        let e = map.entry(id).unwrap();
+        e.data.as_ref().expect("shape-only entry")[i - e.section.start]
+    }
+
+    /// Write one element of `array` on `device` (see
+    /// [`State::read_dev`] for the mapping invariant).
+    pub fn write_dev(&mut self, device: u32, array: u32, i: usize, v: f64) {
+        let s = AbsSection::new(array, i, 1);
+        let map = &mut self.devices[device as usize];
+        let id = map
+            .lookup_containing(&s)
+            .unwrap_or_else(|| panic!("spec write of unmapped {s} on device {device}"));
+        let e = map.entry_mut(id).unwrap();
+        let off = e.section.start;
+        e.data.as_mut().expect("shape-only entry")[i - off] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(start: usize, len: usize) -> AbsSection {
+        AbsSection::new(0, start, len)
+    }
+
+    #[test]
+    fn reuse_increments_and_never_copies() {
+        let mut st = State::new(vec![vec![1.0; 8]], 1, None);
+        st.enter(0, MapKind::To, s(0, 8)).unwrap();
+        st.write_dev(0, 0, 3, 42.0);
+        st.enter(0, MapKind::To, s(2, 4)).unwrap();
+        assert_eq!(st.read_dev(0, 0, 3), 42.0, "reuse must not refresh bytes");
+        assert_eq!(st.devices[0].snapshot(), vec![(0, 0, 8, 2)]);
+    }
+
+    #[test]
+    fn extension_is_rejected_with_the_present_entry() {
+        let mut map = DeviceMap::default();
+        assert_eq!(map.begin_enter(&s(0, 4)), Ok(EnterOutcome::Fresh));
+        map.insert_fresh(s(0, 4), None);
+        assert_eq!(
+            map.begin_enter(&s(2, 4)),
+            Err(Conflict::Extension { present: s(0, 4) })
+        );
+    }
+
+    #[test]
+    fn dying_entries_block_reuse_and_extension_until_freed() {
+        let mut map = DeviceMap::default();
+        map.insert_fresh(s(0, 8), None);
+        let ExitOutcome::LastRef(id) = map.begin_exit(&s(0, 8), false).unwrap() else {
+            panic!("sole reference must be the last");
+        };
+        assert_eq!(map.lookup_containing(&s(0, 4)), None, "dying blocks reuse");
+        assert_eq!(
+            map.begin_enter(&s(4, 8)),
+            Err(Conflict::Extension { present: s(0, 8) }),
+            "dying storage still blocks extension"
+        );
+        assert!(map.commit_exit(id).is_some());
+        assert_eq!(map.begin_enter(&s(4, 8)), Ok(EnterOutcome::Fresh));
+    }
+
+    #[test]
+    fn delete_zeroes_the_refcount_and_last_ref_copies_out() {
+        let mut st = State::new(vec![vec![0.0; 4]], 1, None);
+        st.enter(0, MapKind::ToFrom, s(0, 4)).unwrap();
+        st.enter(0, MapKind::ToFrom, s(0, 4)).unwrap();
+        st.write_dev(0, 0, 1, 7.0);
+        st.exit(0, MapKind::Delete, s(0, 4)).unwrap();
+        assert_eq!(st.host[0][1], 0.0, "delete never copies out");
+        assert!(st.devices[0].snapshot().is_empty());
+
+        st.enter(0, MapKind::ToFrom, s(0, 4)).unwrap();
+        st.write_dev(0, 0, 1, 9.0);
+        st.exit(0, MapKind::From, s(0, 4)).unwrap();
+        assert_eq!(st.host[0][1], 9.0, "last from-release copies out");
+    }
+
+    #[test]
+    fn exit_of_unmapped_is_not_mapped() {
+        let mut st = State::new(vec![vec![0.0; 4]], 1, None);
+        assert_eq!(
+            st.exit(0, MapKind::Release, s(0, 4)),
+            Err(Conflict::NotMapped)
+        );
+        assert_eq!(st.update(0, false, s(0, 4)), Err(Conflict::NotMapped));
+    }
+
+    #[test]
+    fn update_windows_copy_through_the_containing_entry() {
+        let mut st = State::new(vec![(0..8).map(|i| i as f64).collect()], 1, None);
+        st.enter(0, MapKind::To, s(0, 8)).unwrap();
+        st.write_dev(0, 0, 5, -1.0);
+        st.update(0, true, s(4, 2)).unwrap();
+        assert_eq!(st.host[0][5], -1.0);
+        assert_eq!(st.host[0][6], 6.0, "outside the window is untouched");
+        st.host[0][5] = 50.0;
+        st.update(0, false, s(5, 1)).unwrap();
+        assert_eq!(st.read_dev(0, 0, 5), 50.0);
+    }
+}

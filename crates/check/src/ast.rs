@@ -21,7 +21,7 @@
 
 use spread_core::reduction::ReduceOp;
 use spread_core::schedule::SpreadSchedule;
-use spread_core::PressurePolicy;
+use spread_core::{PressurePolicy, StragglerPolicy};
 
 /// A complete directive program.
 #[derive(Clone, Debug)]
@@ -38,6 +38,8 @@ pub struct Program {
     pub fault: Option<FaultSpec>,
     /// Memory-pressure scenario, if the program runs in pressure mode.
     pub pressure: Option<PressureSpec>,
+    /// Straggler scenario, if the program runs in straggler mode.
+    pub straggler: Option<StragglerSpec>,
 }
 
 impl Program {
@@ -64,6 +66,12 @@ impl Program {
     /// when the program runs in pressure mode.
     pub fn pressure_policy(&self) -> Option<PressurePolicy> {
         self.pressure.as_ref().map(|ps| ps.policy)
+    }
+
+    /// The `spread_straggler(…)` policy every spread construct carries,
+    /// when the program runs in straggler mode.
+    pub fn straggler_policy(&self) -> Option<StragglerPolicy> {
+        self.straggler.as_ref().map(|ss| ss.policy)
     }
 
     /// True when any statement uses `spread_schedule(auto)` — the
@@ -123,6 +131,26 @@ impl PressureSpec {
             .sum();
         self.cap_bytes.saturating_sub(held)
     }
+}
+
+/// The straggler scenario attached to a [`Program`].
+///
+/// Every slowed device's compute-slowdown window opens at virtual time
+/// **zero** and never closes, so whether a piece straggles depends only
+/// on the program (which device its chunk lands on), never on event
+/// timing — the same dead-on-arrival discipline as [`FaultSpec`].
+/// Slowdowns stretch modeled kernel *durations* only; the slowed
+/// kernels still compute the same bits, so the oracle's prediction is
+/// unchanged and the rescue machinery must be value-invisible: results
+/// bit-identical, exactly one commit per rescued piece.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StragglerSpec {
+    /// `spread_straggler(steal)` or `spread_straggler(replicate)`.
+    pub policy: StragglerPolicy,
+    /// Slowed devices `(device, factor)`; factors are large enough
+    /// (≥ 8) that a straggling piece always blows the default
+    /// 4× progress deadline.
+    pub slow: Vec<(u32, u32)>,
 }
 
 /// How the program's spread constructs respond to permanent device

@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--pressure] [--auto] [--peer] \
-//!     [--inject stencil|reduce|recovery|spill|peer]
+//!     [--pressure] [--auto] [--peer] [--stragglers] \
+//!     [--inject stencil|reduce|recovery|spill|peer|rescue]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
@@ -20,7 +20,12 @@
 //! generates halo-exchange programs and checks them differentially:
 //! host-forced runs against one `exchange(auto)` run that must match
 //! the oracle bit-for-bit while performing exactly the predicted
-//! device-to-device route set. Exits non-zero on any disagreement or
+//! device-to-device route set. `--stragglers` generates programs with
+//! one device's compute slowed 10-16x under
+//! `spread_straggler(steal|replicate)`: results must stay bit-identical
+//! to the fault-free oracle and every recorded rescue must be
+//! structurally sound (exactly one commit, healthy target). Exits
+//! non-zero on any disagreement or
 //! race report, printing the failing seed so `replay -- <seed>`
 //! reproduces it.
 
@@ -37,6 +42,7 @@ struct Args {
     pressure: bool,
     auto: bool,
     peer: bool,
+    stragglers: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         pressure: false,
         auto: false,
         peer: false,
+        stragglers: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,11 +84,20 @@ fn parse_args() -> Result<Args, String> {
             "--pressure" => args.pressure = true,
             "--auto" => args.auto = true,
             "--peer" => args.peer = true,
+            "--stragglers" => args.stragglers = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if (args.faults as u8) + (args.pressure as u8) + (args.auto as u8) + (args.peer as u8) > 1 {
-        return Err("--faults, --pressure, --auto and --peer are mutually exclusive".into());
+    if (args.faults as u8)
+        + (args.pressure as u8)
+        + (args.auto as u8)
+        + (args.peer as u8)
+        + (args.stragglers as u8)
+        > 1
+    {
+        return Err(
+            "--faults, --pressure, --auto, --peer and --stragglers are mutually exclusive".into(),
+        );
     }
     Ok(args)
 }
@@ -93,8 +109,8 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--pressure] [--auto] [--peer] \
-                 [--inject stencil|reduce|recovery|spill|peer]"
+                 [--pressure] [--auto] [--peer] [--stragglers] \
+                 [--inject stencil|reduce|recovery|spill|peer|rescue]"
             );
             return ExitCode::from(2);
         }
@@ -106,9 +122,10 @@ fn main() -> ExitCode {
         pressure: args.pressure,
         auto: args.auto,
         peer: args.peer,
+        stragglers: args.stragglers,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
@@ -125,6 +142,11 @@ fn main() -> ExitCode {
         },
         if cfg.peer {
             ", with differential peer exchanges"
+        } else {
+            ""
+        },
+        if cfg.stragglers {
+            ", with straggler rescues"
         } else {
             ""
         },
@@ -150,18 +172,20 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
             if cfg.pressure { " --pressure" } else { "" },
             if cfg.auto { " --auto" } else { "" },
             if cfg.peer { " --peer" } else { "" },
+            if cfg.stragglers { " --stragglers" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
                 Some(Fault::RecoveryDropsLostChunk) => " --inject recovery",
                 Some(Fault::SpillDropsSlice) => " --inject spill",
                 Some(Fault::PeerCorrupt) => " --inject peer",
+                Some(Fault::RescueDoubleCommit) => " --inject rescue",
                 None => "",
             }
         );

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
 //!     [--interleavings K] [--faults] [--pressure] [--auto] [--peer] \
-//!     [--inject stencil|reduce|recovery|spill|peer]
+//!     [--stragglers] [--inject stencil|reduce|recovery|spill|peer|rescue]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -35,14 +35,23 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
             "--pressure" => cfg.pressure = true,
             "--auto" => cfg.auto = true,
             "--peer" => cfg.peer = true,
+            "--stragglers" => cfg.stragglers = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if (cfg.faults as u8) + (cfg.pressure as u8) + (cfg.auto as u8) + (cfg.peer as u8) > 1 {
-        return Err("--faults, --pressure, --auto and --peer are mutually exclusive".into());
+    if (cfg.faults as u8)
+        + (cfg.pressure as u8)
+        + (cfg.auto as u8)
+        + (cfg.peer as u8)
+        + (cfg.stragglers as u8)
+        > 1
+    {
+        return Err(
+            "--faults, --pressure, --auto, --peer and --stragglers are mutually exclusive".into(),
+        );
     }
     Ok((seed.ok_or("missing <seed>")?, cfg))
 }
@@ -54,7 +63,7 @@ fn main() -> ExitCode {
             eprintln!("replay: {e}");
             eprintln!(
                 "usage: replay <seed> [--interleavings K] [--faults] [--pressure] [--auto] \
-                 [--peer] [--inject stencil|reduce|recovery|spill|peer]"
+                 [--peer] [--stragglers] [--inject stencil|reduce|recovery|spill|peer|rescue]"
             );
             return ExitCode::from(2);
         }

@@ -142,6 +142,7 @@ fn build(n_devices: usize, ab: &[Stmt], digits: &[usize]) -> Program {
         phases: digits.iter().map(|&i| vec![ab[i].clone()]).collect(),
         fault: None,
         pressure: None,
+        straggler: None,
     }
 }
 

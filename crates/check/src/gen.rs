@@ -16,10 +16,12 @@
 //!   first error is the same under every legal interleaving.
 
 use spread_core::reduction::ReduceOp;
-use spread_core::PressurePolicy;
+use spread_core::{PressurePolicy, StragglerPolicy};
 use spread_prng::Prng;
 
-use crate::ast::{BadKind, FaultMode, FaultSpec, KernelOp, PressureSpec, Program, Sched, Stmt};
+use crate::ast::{
+    BadKind, FaultMode, FaultSpec, KernelOp, PressureSpec, Program, Sched, Stmt, StragglerSpec,
+};
 
 const CONSTS: [f64; 6] = [-2.0, -1.0, 0.5, 1.0, 2.0, 3.0];
 
@@ -255,6 +257,7 @@ pub fn gen_program_cfg(seed: u64, faults: bool) -> Program {
         phases,
         fault,
         pressure: None,
+        straggler: None,
     }
 }
 
@@ -362,6 +365,7 @@ pub fn gen_program_pressure(seed: u64) -> Program {
             cap_bytes,
             sustained,
         }),
+        straggler: None,
     }
 }
 
@@ -445,6 +449,117 @@ pub fn gen_program_peer(seed: u64) -> Program {
         phases,
         fault: None,
         pressure: None,
+        straggler: None,
+    }
+}
+
+/// One blocking spread statement for a straggler program.
+/// `spread_straggler(steal|replicate)` requires a blocking construct
+/// with a static distribution, so generation mirrors pressure mode's
+/// restrictions: spread kernels only, static or weighted schedules, no
+/// `nowait`. The schedules are chunked so every statement splits into
+/// at least two pieces — a single-piece construct has no healthy
+/// sibling to rescue onto and silently degrades to `wait`.
+fn gen_straggler_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    // All devices, shuffled: the slowed device must actually get work.
+    let mut devices: Vec<u32> = (0..n_devices as u32).collect();
+    r.shuffle(&mut devices);
+    let k = devices.len();
+    let sched = if r.chance(0.6) {
+        Sched::Static {
+            chunk: r.range(1, n / 2 + 1),
+        }
+    } else {
+        Sched::Weighted {
+            round: r.range(k.max(2), n / 2 + 2),
+            weights: (0..k).map(|_| r.range(1, 5) as u32).collect(),
+        }
+    };
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 45 || !two {
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op,
+        }
+    } else if roll < 75 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else {
+        let src = avail.pop().unwrap();
+        let dst = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: Sched::Static {
+                chunk: stencil_chunk(r, n, k).max(2),
+            },
+            nowait: false,
+            devices,
+            op: KernelOp::Stencil3 { src, dst },
+        }
+    }
+}
+
+/// Derive the straggler program for `seed`: blocking spread-only phases
+/// over every device, plus a seeded [`StragglerSpec`] — one device
+/// slowed by a factor large enough (10–16×) that its pieces always blow
+/// the default 4× progress deadline once the executor makes kernels
+/// dominate the construct (serial lanes, heavy per-iteration cost).
+/// Results must stay bit-identical to the fault-free oracle: slowdowns
+/// stretch durations, rescues are first-commit-wins value-invisible.
+pub fn gen_program_straggler(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    // A rescue needs a healthy sibling to land on.
+    let n_devices = r.range(2, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    let policy = if r.chance(0.5) {
+        StragglerPolicy::Steal
+    } else {
+        StragglerPolicy::Replicate
+    };
+    let slow = vec![(r.below(n_devices as u64) as u32, *r.pick(&[10u32, 12, 16]))];
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_straggler_stmt(&mut r, &mut avail, n, n_devices));
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: None,
+        straggler: Some(StragglerSpec { policy, slow }),
     }
 }
 
@@ -541,6 +656,7 @@ pub fn gen_program_auto(seed: u64) -> Program {
         phases,
         fault: None,
         pressure: None,
+        straggler: None,
     }
 }
 

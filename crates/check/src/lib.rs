@@ -101,6 +101,11 @@ pub enum Fault {
     /// bit-clean and only the `exchange(auto)` run diverges (peer
     /// mode).
     PeerCorrupt,
+    /// The *runtime* lets the losing copy of every straggler rescue
+    /// commit its staged writes anyway, first element perturbed — the
+    /// canary proving the harness catches a broken first-commit-wins
+    /// gate (straggler mode).
+    RescueDoubleCommit,
 }
 
 impl Fault {
@@ -112,6 +117,7 @@ impl Fault {
             "recovery" => Some(Fault::RecoveryDropsLostChunk),
             "spill" => Some(Fault::SpillDropsSlice),
             "peer" => Some(Fault::PeerCorrupt),
+            "rescue" => Some(Fault::RescueDoubleCommit),
             _ => None,
         }
     }
@@ -155,6 +161,17 @@ pub struct CheckConfig {
     /// ([`oracle::predict_peer_copies`]), with no diverted copy.
     /// Mutually exclusive with `faults`, `pressure` and `auto`.
     pub peer: bool,
+    /// Generate straggler programs ([`ast::StragglerSpec`]): blocking
+    /// spread-only statements under `spread_straggler(steal|replicate)`
+    /// with one device's compute slowed 10–16× from time zero. The
+    /// oracle's prediction is the *fault-free* one — slowdowns stretch
+    /// durations only, and rescues are first-commit-wins
+    /// value-invisible — so results must stay bit-identical while every
+    /// recorded [`spread_rt::RescueRecord`] is structurally sound
+    /// (exactly one commit, healthy in-range target, never rescuing
+    /// onto the straggler itself). Mutually exclusive with `faults`,
+    /// `pressure`, `auto` and `peer`.
+    pub stragglers: bool,
 }
 
 impl Default for CheckConfig {
@@ -166,6 +183,7 @@ impl Default for CheckConfig {
             pressure: false,
             auto: false,
             peer: false,
+            stragglers: false,
         }
     }
 }
@@ -235,10 +253,19 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
             got.races
         ));
     }
-    if want.degradations != got.degradations {
+    // Straggler rescues are timing-dependent runtime events the oracle
+    // never predicts (slowdowns are value-invisible); they are checked
+    // structurally in `check_program` instead.
+    let got_degradations: Vec<_> = got
+        .degradations
+        .iter()
+        .filter(|e| e.kind != spread_rt::DegradationKind::StragglerRescued)
+        .cloned()
+        .collect();
+    if want.degradations != got_degradations {
         return Some(format!(
             "degradation events: oracle predicted {:?}, runtime recorded {:?}",
-            want.degradations, got.degradations
+            want.degradations, got_degradations
         ));
     }
     for (k, (w, g)) in want.arrays.iter().zip(&got.arrays).enumerate() {
@@ -297,6 +324,53 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
     None
 }
 
+/// Structural soundness of the rescues a run performed: the bits are
+/// already pinned by [`compare`], so this checks the first-commit-wins
+/// bookkeeping — exactly one commit per rescued piece, a recorded
+/// winner, and an in-range rescue target distinct from the straggler.
+/// Which pieces straggle is *not* pinned: a healthy device whose chunk
+/// is several times longer than the first finisher's legitimately blows
+/// the relative deadline too, and such speculative duplicates must be
+/// just as value-invisible as rescues of genuinely slowed devices.
+/// Rescues outside straggler mode are themselves a violation.
+fn validate_rescues(p: &Program, got: &run::Observed) -> Option<String> {
+    if p.straggler.is_none() {
+        return (!got.rescues.is_empty()).then(|| {
+            format!(
+                "{} rescue(s) recorded without a straggler spec",
+                got.rescues.len()
+            )
+        });
+    }
+    for r in &got.rescues {
+        if r.commits != 1 {
+            return Some(format!(
+                "rescued piece [{}..{}): {} commits (first-commit-wins demands exactly one)",
+                r.start,
+                r.start + r.len,
+                r.commits
+            ));
+        }
+        if r.winner.is_none() {
+            return Some(format!(
+                "rescued piece [{}..{}): no winner recorded at quiescence",
+                r.start,
+                r.start + r.len
+            ));
+        }
+        if r.to == r.from || (r.to as usize) >= p.n_devices {
+            return Some(format!(
+                "rescued piece [{}..{}): straggler {} rescued onto device {}",
+                r.start,
+                r.start + r.len,
+                r.from,
+                r.to
+            ));
+        }
+    }
+    None
+}
+
 /// Check one program under every tie-break policy for `seed`.
 ///
 /// Under [`CheckConfig::peer`] the check is differential: the per-tie
@@ -310,6 +384,11 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
         let got = run::execute(p, tie, cfg.fault);
         if let Some(detail) = compare(&want, &got) {
             return Err(CheckFailure { tie, detail });
+        }
+        if want.error.is_none() {
+            if let Some(detail) = validate_rescues(p, &got) {
+                return Err(CheckFailure { tie, detail });
+            }
         }
         if !got.peer_copies.is_empty() {
             return Err(CheckFailure {
@@ -370,8 +449,9 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
 
 /// The program a configuration generates for `seed`: a pressure
 /// program under `cfg.pressure`, an adaptive-schedule program under
-/// `cfg.auto`, a halo-exchange program under `cfg.peer`, a faulted
-/// program under `cfg.faults`, a plain program otherwise.
+/// `cfg.auto`, a halo-exchange program under `cfg.peer`, a straggler
+/// program under `cfg.stragglers`, a faulted program under
+/// `cfg.faults`, a plain program otherwise.
 pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
     if cfg.pressure {
         gen::gen_program_pressure(seed)
@@ -379,6 +459,8 @@ pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
         gen::gen_program_auto(seed)
     } else if cfg.peer {
         gen::gen_program_peer(seed)
+    } else if cfg.stragglers {
+        gen::gen_program_straggler(seed)
     } else {
         gen::gen_program_cfg(seed, cfg.faults)
     }
@@ -471,6 +553,7 @@ mod tests {
         );
         assert_eq!(Fault::parse("spill"), Some(Fault::SpillDropsSlice));
         assert_eq!(Fault::parse("peer"), Some(Fault::PeerCorrupt));
+        assert_eq!(Fault::parse("rescue"), Some(Fault::RescueDoubleCommit));
         assert_eq!(Fault::parse("nope"), None);
     }
 
@@ -510,6 +593,24 @@ mod tests {
                 panic!("auto seed {seed}: {f}");
             }
         }
+    }
+
+    #[test]
+    fn straggler_seeds_check_clean_and_some_rescue() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            stragglers: true,
+            ..CheckConfig::default()
+        };
+        let mut rescued = 0;
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("straggler seed {seed}: {f}");
+            }
+            let got = run::execute(&gen_for(seed, &cfg), TieBreak::Fifo, None);
+            rescued += got.rescues.len();
+        }
+        assert!(rescued > 0, "no straggler seed in 0..8 ever rescued");
     }
 
     #[test]
@@ -590,6 +691,37 @@ mod tests {
                 .any(|s| matches!(s, ast::Stmt::Halo { .. })),
             "the halo exchange is load-bearing for the divergence"
         );
+    }
+
+    #[test]
+    fn rescue_canary_is_caught_and_shrinks() {
+        let cfg = CheckConfig {
+            interleavings: 1,
+            fault: Some(Fault::RescueDoubleCommit),
+            stragglers: true,
+            ..CheckConfig::default()
+        };
+        // Find a seed whose run actually rescues a piece: the forced
+        // duplicate commit perturbs the losing copy's first staged
+        // element, and the harness must flag the divergence from
+        // first-commit-wins and keep it failing through shrinking.
+        let seed = (0..50u64)
+            .find(|&s| check_seed(s, &cfg).is_err())
+            .expect("some straggler seed must rescue and catch the double commit");
+        let (minimal, failure) = shrink_seed(seed, &cfg).expect("canary failure shrinks");
+        // Replicate programs surface as bit divergence (the loser
+        // drains last, perturbed); steal programs surface as a
+        // commit-count violation (the perturbed drain lands first and
+        // the winner overwrites it, but the gate counted two commits).
+        assert!(
+            failure.detail.contains("array") || failure.detail.contains("commit"),
+            "{failure}"
+        );
+        assert!(
+            minimal.straggler.is_some(),
+            "the straggler spec is load-bearing for the divergence"
+        );
+        assert!(!minimal.phases.is_empty());
     }
 
     #[test]

@@ -128,14 +128,15 @@ fn deg_event(d: &Degradation) -> DegradationEvent {
 }
 
 /// The machine perturbation of an injected oracle canary.
-/// `SpillDropsSlice` and `PeerCorrupt` perturb the *runtime*, not the
-/// oracle, so they map to `None` and leave the spec honest.
+/// `SpillDropsSlice`, `PeerCorrupt` and `RescueDoubleCommit` perturb
+/// the *runtime*, not the oracle, so they map to `None` and leave the
+/// spec honest.
 fn perturb_of(fault: Option<Fault>) -> Option<Perturb> {
     match fault? {
         Fault::StencilDropsLeftHalo => Some(Perturb::StencilDropsLeftHalo),
         Fault::ReduceSkipsLast => Some(Perturb::ReduceSkipsLast),
         Fault::RecoveryDropsLostChunk => Some(Perturb::RecoveryDropsLostChunk),
-        Fault::SpillDropsSlice | Fault::PeerCorrupt => None,
+        Fault::SpillDropsSlice | Fault::PeerCorrupt | Fault::RescueDoubleCommit => None,
     }
 }
 
@@ -513,6 +514,22 @@ fn interpret(p: &Program, fault: Option<Fault>) -> (State, Option<SemError>) {
     let mut st = State::new(host, p.n_devices, p.lost_device());
     st.perturb = perturb_of(fault);
     let mut error = None;
+    // A straggler program's slowdowns land before any statement runs
+    // (the windows open at time zero). `S-Slow` is state-invisible —
+    // stepping it here asserts exactly that: the prediction for a
+    // slowed machine IS the fault-free prediction.
+    if let Some(ss) = &p.straggler {
+        for &(device, factor) in &ss.slow {
+            step(
+                &mut st,
+                &Directive::Slowdown {
+                    device,
+                    factor: factor as f64,
+                },
+            )
+            .expect("generated slowdowns are well-formed");
+        }
+    }
     'outer: for stmt in p.phases.iter().flatten() {
         for d in lower_stmt(p, stmt) {
             if let Err(e) = step(&mut st, &d) {
@@ -569,6 +586,7 @@ mod tests {
             phases,
             fault: None,
             pressure: None,
+            straggler: None,
         }
     }
 

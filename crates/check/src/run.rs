@@ -20,8 +20,10 @@ use spread_rt::{
 use spread_sim::{FaultPlan, SimTime, TieBreak};
 use spread_trace::ConstructProfile;
 
-use crate::ast::{BadKind, FaultSpec, KernelOp, PressureSpec, Program, Stmt};
+use crate::ast::{BadKind, FaultSpec, KernelOp, PressureSpec, Program, Stmt, StragglerSpec};
 use crate::Fault;
+use spread_core::StragglerPolicy;
+use spread_rt::RescueRecord;
 
 /// The host staging-buffer bound the executor configures for pressure
 /// programs: 8 pool elements, small enough that most spilled pieces
@@ -52,6 +54,10 @@ pub struct Observed {
     /// [`Runtime::peer_copies`]. Empty unless the program carries
     /// [`Stmt::Halo`] statements executed under `exchange(auto)`.
     pub peer_copies: Vec<(u32, u32, u32, usize, usize, bool)>,
+    /// Every straggler rescue the runtime performed, in detection
+    /// order — from [`Runtime::rescues`]. Empty unless the program
+    /// carries a [`StragglerSpec`].
+    pub rescues: Vec<RescueRecord>,
     /// The first error, if any.
     pub error: Option<RtError>,
 }
@@ -70,6 +76,7 @@ fn runtime(
     tie: TieBreak,
     fault: Option<&FaultSpec>,
     pressure: Option<&PressureSpec>,
+    straggler: Option<&StragglerSpec>,
     trace: bool,
 ) -> Runtime {
     // Pressure programs run on their spec's tiny capacity; everything
@@ -102,6 +109,11 @@ fn runtime(
             plan = plan.sustain_pressure(d, SimTime::ZERO, bytes);
         }
     }
+    if let Some(ss) = straggler {
+        for &(d, factor) in &ss.slow {
+            plan = plan.slow_compute(d, SimTime::ZERO, SimTime::MAX, factor as f64);
+        }
+    }
     if !plan.is_empty() {
         cfg = cfg.with_fault_plan(plan);
     }
@@ -119,6 +131,8 @@ fn issue_spread(
     resilience: ResiliencePolicy,
     pressure: Option<PressurePolicy>,
     drop_spill: bool,
+    straggler: Option<StragglerPolicy>,
+    force_rescue: bool,
     op: &KernelOp,
 ) -> Result<(), RtError> {
     let range = op.range(n);
@@ -134,6 +148,21 @@ fn issue_spread(
             b = b.inject_drop_last_spill_slice();
         }
     }
+    // Straggler programs run serial lanes with a 2000× per-iteration
+    // cost, so kernel work dominates the progress window and a slowed
+    // piece reliably blows the 4× deadline (launch latency and the
+    // enter copies would otherwise hide the slowdown).
+    let cost = if straggler.is_some() { 2000.0 } else { 1.0 };
+    if let Some(policy) = straggler {
+        b = b.spread_straggler(policy).num_teams(1).num_threads(1);
+        if force_rescue {
+            // The `--inject rescue` canary: the *runtime* lets the
+            // losing copy of every rescue commit its staged writes
+            // anyway (first element perturbed), and the harness must
+            // catch the divergence from first-commit-wins.
+            b = b.inject_rescue_double_commit();
+        }
+    }
     if nowait {
         b = b.nowait();
     }
@@ -143,7 +172,7 @@ fn issue_spread(
             b.map(spread_tofrom(h, |c| c.range())).parallel_for(
                 s,
                 range,
-                KernelSpec::new("addc", 1.0, move |r, v| {
+                KernelSpec::new("addc", cost, move |r, v| {
                     for i in r {
                         v.set(0, i, v.get(0, i) + c);
                     }
@@ -156,7 +185,7 @@ fn issue_spread(
             b.map(spread_tofrom(h, |c| c.range())).parallel_for(
                 s,
                 range,
-                KernelSpec::new("scale", 1.0, move |r, v| {
+                KernelSpec::new("scale", cost, move |r, v| {
                     for i in r {
                         v.set(0, i, v.get(0, i) * c);
                     }
@@ -172,7 +201,7 @@ fn issue_spread(
                 .parallel_for(
                     s,
                     range,
-                    KernelSpec::new("saxpy", 1.0, move |r, v| {
+                    KernelSpec::new("saxpy", cost, move |r, v| {
                         for i in r {
                             v.set(1, i, v.get(1, i) + alpha * v.get(0, i));
                         }
@@ -189,7 +218,7 @@ fn issue_spread(
                 .parallel_for(
                     s,
                     range,
-                    KernelSpec::new("stencil", 2.0, move |r, v| {
+                    KernelSpec::new("stencil", 2.0 * cost, move |r, v| {
                         for i in r {
                             let sum = v.get(0, i - 1) + v.get(0, i) + v.get(0, i + 1);
                             v.set(1, i, sum);
@@ -210,6 +239,7 @@ fn issue(
     handles: &[HostArray],
     reduces: &mut Vec<f64>,
     drop_spill: bool,
+    force_rescue: bool,
     exchange: ExchangeMode,
     corrupt: Option<&Rc<Cell<bool>>>,
     stmt: &Stmt,
@@ -235,6 +265,8 @@ fn issue(
             resilience,
             p.pressure_policy(),
             drop_spill,
+            p.straggler_policy(),
+            force_rescue,
             op,
         ),
         Stmt::Reduce {
@@ -293,6 +325,8 @@ fn issue(
                     resilience,
                     None,
                     false,
+                    None,
+                    false,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -345,6 +379,8 @@ fn issue(
                     SpreadSchedule::static_chunk(*chunk),
                     false,
                     resilience,
+                    None,
+                    false,
                     None,
                     false,
                     &KernelOp::AddConst { a: *a, c: cv },
@@ -493,12 +529,14 @@ pub fn execute_ex(
     exchange: ExchangeMode,
 ) -> Observed {
     let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
+    let force_rescue = inject == Some(Fault::RescueDoubleCommit) && p.straggler.is_some();
     let corrupt = (inject == Some(Fault::PeerCorrupt)).then(|| Rc::new(Cell::new(false)));
     let mut rt = runtime(
         p.n_devices,
         tie,
         p.fault.as_ref(),
         p.pressure.as_ref(),
+        p.straggler.as_ref(),
         p.uses_auto(),
     );
     let handles: Vec<HostArray> = (0..p.n_arrays)
@@ -517,6 +555,7 @@ pub fn execute_ex(
                     &handles,
                     &mut reduces,
                     drop_spill,
+                    force_rescue,
                     exchange,
                     corrupt.as_ref(),
                     stmt,
@@ -544,6 +583,7 @@ pub fn execute_ex(
         degradations: rt.degradations(),
         profiles: rt.profiles(),
         races: rt.races().len(),
+        rescues: rt.rescues(),
         peer_copies: rt
             .peer_copies()
             .iter()
@@ -581,6 +621,7 @@ mod tests {
             }]],
             fault: None,
             pressure: None,
+            straggler: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -607,6 +648,7 @@ mod tests {
             phases: vec![vec![stmt(1.0)], vec![stmt(0.5)]],
             fault: None,
             pressure: None,
+            straggler: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -635,6 +677,7 @@ mod tests {
             }]],
             fault: None,
             pressure: None,
+            straggler: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -660,6 +703,7 @@ mod tests {
                 transients: vec![],
             }),
             pressure: None,
+            straggler: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(
@@ -698,6 +742,7 @@ mod tests {
                 cap_bytes: 64,
                 sustained: vec![(0, 64)],
             }),
+            straggler: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);

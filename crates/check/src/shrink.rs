@@ -40,6 +40,22 @@ fn candidates(p: &Program) -> Vec<Program> {
             .clear();
         out.push(q);
     }
+    // 0c. Drop the straggler scenario, or shrink it to one policy step
+    // weaker (replicate keeps the original running — closer to wait).
+    if p.straggler.is_some() {
+        let mut q = p.clone();
+        q.straggler = None;
+        out.push(q);
+    }
+    if p.straggler
+        .as_ref()
+        .is_some_and(|ss| ss.policy == spread_core::StragglerPolicy::Steal)
+    {
+        let mut q = p.clone();
+        q.straggler.as_mut().expect("checked above").policy =
+            spread_core::StragglerPolicy::Replicate;
+        out.push(q);
+    }
     // 1. Drop a whole phase.
     for i in 0..p.phases.len() {
         if p.phases.len() > 1 {
@@ -326,6 +342,7 @@ mod tests {
             ],
             fault: None,
             pressure: None,
+            straggler: None,
         }
     }
 

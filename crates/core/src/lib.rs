@@ -80,6 +80,7 @@ pub mod reduction;
 pub mod resilience;
 pub mod schedule;
 pub mod spread_map;
+pub mod straggler;
 pub mod target_spread;
 #[doc(hidden)]
 pub mod testing;
@@ -97,6 +98,7 @@ pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};
 pub use spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom, SectionOf, SpreadMap};
 pub use spread_rt::ExchangeMode;
+pub use straggler::StragglerPolicy;
 pub use target_spread::TargetSpread;
 
 /// Convenience re-exports for writing spread programs.
@@ -111,6 +113,7 @@ pub mod prelude {
     pub use crate::resilience::ResiliencePolicy;
     pub use crate::schedule::SpreadSchedule;
     pub use crate::spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom};
+    pub use crate::straggler::StragglerPolicy;
     pub use crate::target_spread::TargetSpread;
     pub use spread_rt::ExchangeMode;
 }

@@ -296,6 +296,9 @@ pub fn spec_admission(
                     DegradationKind::AdmissionShrunk => spread_semantics::DegKind::AdmissionShrunk,
                     DegradationKind::ChunkSplit => spread_semantics::DegKind::ChunkSplit,
                     DegradationKind::Spilled => spread_semantics::DegKind::Spilled,
+                    DegradationKind::StragglerRescued => {
+                        unreachable!("the admission planner never emits rescue events")
+                    }
                 },
                 device: e.device,
                 start: e.start,

@@ -30,6 +30,7 @@ use crate::pressure::{self, Placement, PressureCoordinator, PressurePolicy};
 use crate::resilience::{Coordinator, ResiliencePolicy};
 use crate::schedule::{distribute, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
+use crate::straggler::StragglerPolicy;
 
 /// A `depend` clause item over the spread placeholders.
 #[derive(Clone)]
@@ -59,7 +60,10 @@ pub struct TargetSpread {
     serial: bool,
     resilience: ResiliencePolicy,
     pressure: PressurePolicy,
+    straggler: StragglerPolicy,
+    straggler_beta: f64,
     drop_last_spill_slice: bool,
+    force_rescue_double_commit: bool,
 }
 
 impl TargetSpread {
@@ -78,7 +82,10 @@ impl TargetSpread {
             serial: false,
             resilience: ResiliencePolicy::FailStop,
             pressure: PressurePolicy::Fail,
+            straggler: StragglerPolicy::Wait,
+            straggler_beta: 4.0,
             drop_last_spill_slice: false,
+            force_rescue_double_commit: false,
         }
     }
 
@@ -180,6 +187,46 @@ impl TargetSpread {
         self.pressure
     }
 
+    /// The `spread_straggler(…)` clause: what the construct does about
+    /// a piece that lags far behind its siblings (default:
+    /// [`StragglerPolicy::Wait`] — the pre-existing behavior). See the
+    /// [`straggler`](crate::straggler) module for the detection rule
+    /// and the first-commit-wins rescue protocol. Requires a static
+    /// schedule and a blocking construct.
+    pub fn spread_straggler(mut self, policy: StragglerPolicy) -> Self {
+        self.straggler = policy;
+        self
+    }
+
+    /// The active straggler policy.
+    pub fn straggler(&self) -> StragglerPolicy {
+        self.straggler
+    }
+
+    /// Override the straggler detection threshold β (default 4): a
+    /// piece is a straggler if its kernel is still running β× past the
+    /// construct's first kernel completion. Clamped to ≥ 1.
+    pub fn spread_straggler_beta(mut self, beta: f64) -> Self {
+        self.straggler_beta = if beta.is_finite() { beta.max(1.0) } else { 4.0 };
+        self
+    }
+
+    /// The active straggler detection threshold β.
+    pub(crate) fn straggler_beta(&self) -> f64 {
+        self.straggler_beta
+    }
+
+    /// Whether the rescue double-commit canary is armed.
+    pub(crate) fn force_rescue_double_commit(&self) -> bool {
+        self.force_rescue_double_commit
+    }
+
+    /// Setter behind the `testing` module's injection hook (see
+    /// [`crate::testing`]); the field stays module-private.
+    pub(crate) fn set_force_rescue_double_commit(&mut self) {
+        self.force_rescue_double_commit = true;
+    }
+
     /// Setter behind the `testing` module's injection hook (see
     /// [`crate::testing`]); the field stays module-private.
     pub(crate) fn set_drop_last_spill_slice(&mut self) {
@@ -245,6 +292,28 @@ impl TargetSpread {
         t
     }
 
+    /// Like [`Self::build_target`] but *without* the construct's
+    /// `depend` clauses: a speculative rescue must race the original
+    /// piece, not queue behind the dependences it publishes. Downstream
+    /// synchronization still flows through the original's exit.
+    pub(crate) fn build_rescue_target(&self, device: u32, c: ChunkCtx) -> Target {
+        let mut t = Target::device(device).nowait();
+        if self.serial {
+            t = t.serial();
+        } else {
+            if let Some(n) = self.num_teams {
+                t = t.num_teams(n);
+            }
+            if let Some(n) = self.num_threads {
+                t = t.num_threads(n);
+            }
+        }
+        for m in &self.maps {
+            t = t.map(m.at(c));
+        }
+        t
+    }
+
     /// Offload `kernel` over `range`, distributed across the devices.
     /// Returns the per-chunk construct task ids (for static schedules) —
     /// in chunk order.
@@ -304,6 +373,26 @@ impl TargetSpread {
             return Err(RtError::InvalidDirective(
                 "target spread: spread_resilience(redistribute) requires a static schedule".into(),
             ));
+        }
+        if self.straggler != StragglerPolicy::Wait {
+            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+                // The deadline sweep and the least-loaded pick both work
+                // off the static chunk → device assignment; dynamic
+                // chunks already absorb imbalance through claim order.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_straggler(steal|replicate) requires a static schedule"
+                        .into(),
+                ));
+            }
+            if self.nowait {
+                // The construct's blocking drain owns the rescue exits;
+                // a nowait construct has no drain to hand them to.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_straggler(steal|replicate) requires a blocking \
+                     construct"
+                        .into(),
+                ));
+            }
         }
         if self.pressure != PressurePolicy::Fail {
             if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
@@ -368,20 +457,53 @@ impl TargetSpread {
             scope.record_degradation(ev);
         }
         let drop_last = self.drop_last_spill_slice;
+        // Straggler watch composes with pressure management over the
+        // *device* pieces of the admission plan (host spills have no
+        // kernel task to watch, and no commit to arbitrate).
+        let distinct = {
+            let mut ds: Vec<u32> = pieces
+                .iter()
+                .filter_map(|p| match p.placement {
+                    Placement::Device(d) => Some(d),
+                    Placement::Host => None,
+                })
+                .collect();
+            ds.sort_unstable();
+            ds.dedup();
+            ds.len()
+        };
+        let device_pieces = pieces
+            .iter()
+            .filter(|p| matches!(p.placement, Placement::Device(_)))
+            .count();
+        let straggle =
+            self.straggler != StragglerPolicy::Wait && device_pieces >= 2 && distinct >= 2;
         let this = Rc::new(self);
         let coord = PressureCoordinator::new(Rc::clone(&this), kernel.clone(), policy, drop_last);
+        let monitor = straggle
+            .then(|| crate::straggler::Monitor::new(Rc::clone(&this), kernel.clone(), scope.now()));
         let mut tail: HashMap<u32, TaskId> = HashMap::new();
         let mut ids = Vec::with_capacity(pieces.len());
         for piece in &pieces {
             match piece.placement {
                 Placement::Device(d) => {
                     let c = ChunkCtx::new(piece.start, piece.len);
-                    let t = this
+                    let mut t = this
                         .build_target(d, c)
                         .pressure_managed()
                         .after(tail.get(&d).copied());
+                    let gate = if monitor.is_some() {
+                        let g = spread_rt::CommitGate::new();
+                        t = t.commit_gate(g.clone(), 0);
+                        Some(g)
+                    } else {
+                        None
+                    };
                     let phases = t.parallel_for_phases(scope, piece.range(), kernel.clone())?;
                     pressure::guard(scope, &coord, d, piece.start, piece.len, phases);
+                    if let (Some(m), Some(g)) = (&monitor, gate) {
+                        crate::straggler::watch(scope, m, d, piece.start, piece.len, phases, g);
+                    }
                     tail.insert(d, phases.exit);
                     ids.push(phases.exit);
                 }
@@ -401,6 +523,17 @@ impl TargetSpread {
         for &id in &ids {
             scope.drain_task(id)?;
         }
+        if let Some(m) = &monitor {
+            loop {
+                let pending = m.take_rescue_exits();
+                if pending.is_empty() {
+                    break;
+                }
+                for id in pending {
+                    scope.drain_task(id)?;
+                }
+            }
+        }
         Ok(ids)
     }
 
@@ -413,25 +546,64 @@ impl TargetSpread {
         let nowait = self.nowait;
         let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let chunks = distribute(range, &self.devices, &self.schedule);
+        // Straggler rescue needs somewhere to rescue *to*: at least two
+        // chunks spread over at least two distinct devices. Smaller
+        // launches silently degrade to `wait`.
+        let distinct = {
+            let mut ds: Vec<u32> = chunks.iter().filter_map(|c| c.device).collect();
+            ds.sort_unstable();
+            ds.dedup();
+            ds.len()
+        };
+        let straggle =
+            self.straggler != StragglerPolicy::Wait && chunks.len() >= 2 && distinct >= 2;
         let this = Rc::new(self);
         let coord = resilient.then(|| Coordinator::new(Rc::clone(&this), kernel.clone()));
+        let monitor = straggle
+            .then(|| crate::straggler::Monitor::new(Rc::clone(&this), kernel.clone(), scope.now()));
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
             let device = chunk.device.expect("static chunks are assigned");
-            let t = this.build_target(device, c);
-            match &coord {
-                Some(coord) => {
-                    let phases = t.parallel_for_phases(scope, chunk.range(), kernel.clone())?;
+            let mut t = this.build_target(device, c);
+            let gate = if monitor.is_some() {
+                let g = spread_rt::CommitGate::new();
+                t = t.commit_gate(g.clone(), 0);
+                Some(g)
+            } else {
+                None
+            };
+            if coord.is_some() || monitor.is_some() {
+                let phases = t.parallel_for_phases(scope, chunk.range(), kernel.clone())?;
+                if let Some(coord) = &coord {
                     crate::resilience::guard(scope, coord, device, chunk.start, chunk.len, phases);
-                    ids.push(phases.exit);
                 }
-                None => ids.push(t.parallel_for(scope, chunk.range(), kernel.clone())?),
+                if let (Some(m), Some(g)) = (&monitor, gate) {
+                    crate::straggler::watch(scope, m, device, chunk.start, chunk.len, phases, g);
+                }
+                ids.push(phases.exit);
+            } else {
+                ids.push(t.parallel_for(scope, chunk.range(), kernel.clone())?);
             }
         }
         if !nowait {
             for &id in &ids {
                 scope.drain_task(id)?;
+            }
+            if let Some(m) = &monitor {
+                // Rescues launch from the deadline callback *during* the
+                // drains above; wait for every one of them too (a rescue
+                // cannot spawn further rescues, so one extra sweep per
+                // batch converges).
+                loop {
+                    let pending = m.take_rescue_exits();
+                    if pending.is_empty() {
+                        break;
+                    }
+                    for id in pending {
+                        scope.drain_task(id)?;
+                    }
+                }
             }
         }
         Ok(ids)

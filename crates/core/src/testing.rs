@@ -15,11 +15,22 @@ pub trait TargetSpreadTestingExt {
     /// spilled piece — the `--inject spill` canary. Never use outside
     /// the harness.
     fn inject_drop_last_spill_slice(self) -> Self;
+
+    /// Let the *losing* copy of every straggler rescue commit its
+    /// staged writes anyway (first element perturbed) — the
+    /// `--inject rescue` canary proving the harness catches a broken
+    /// first-commit-wins gate. Never use outside the harness.
+    fn inject_rescue_double_commit(self) -> Self;
 }
 
 impl TargetSpreadTestingExt for TargetSpread {
     fn inject_drop_last_spill_slice(mut self) -> Self {
         self.set_drop_last_spill_slice();
+        self
+    }
+
+    fn inject_rescue_double_commit(mut self) -> Self {
+        self.set_force_rescue_double_commit();
         self
     }
 }

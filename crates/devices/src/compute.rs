@@ -24,6 +24,9 @@ use crate::spec::ComputeModel;
 
 /// One queued kernel launch.
 pub struct KernelOp {
+    /// Caller-chosen identity for cancellation (the runtime uses the
+    /// kernel task id; 0 = anonymous, never cancellable).
+    pub tag: u64,
     /// Kernel name (trace label).
     pub name: String,
     /// Number of loop iterations in this launch.
@@ -55,6 +58,12 @@ struct Inner {
     busy: bool,
     queue: VecDeque<KernelOp>,
     completed: u64,
+    /// The running kernel, for cancellation:
+    /// `(tag, label, start, held gate)`.
+    running: Option<(u64, String, spread_sim::SimTime, Option<SerialGate>)>,
+    /// Bumped by every cancel; a completion closure whose captured epoch
+    /// is stale belongs to a cancelled kernel and must do nothing.
+    epoch: u64,
 }
 
 /// FIFO kernel queue for one device. Clone freely.
@@ -76,6 +85,8 @@ impl ComputeEngine {
                 busy: false,
                 queue: VecDeque::new(),
                 completed: 0,
+                running: None,
+                epoch: 0,
             })),
         }
     }
@@ -139,12 +150,49 @@ impl ComputeEngine {
         }
     }
 
+    /// Cancel the *running* kernel if its tag matches: the modeled
+    /// remainder of its duration is abandoned (the body already ran at
+    /// start, so the device bytes are complete and correct), a truncated
+    /// span marks the cancellation, and the kernel's `on_complete` never
+    /// fires — the caller owns completing whatever task was waiting on
+    /// it. Queued, not-yet-started kernels are deliberately left alone
+    /// (their bodies have not run; cancelling them would lose work).
+    /// Returns whether a running kernel was cancelled.
+    pub fn cancel_running(&self, sim: &mut Simulator, tag: u64) -> bool {
+        let gate = {
+            let mut inner = self.inner.borrow_mut();
+            match &inner.running {
+                Some((t, ..)) if *t == tag && tag != 0 => {}
+                _ => return false,
+            }
+            let (_, label, start, gate) = inner.running.take().unwrap();
+            inner.epoch += 1;
+            inner.busy = false;
+            let now = sim.now();
+            let lane = Lane::compute(inner.device);
+            inner.trace.record(
+                lane,
+                SpanKind::Kernel,
+                format!("{label}: cancelled"),
+                start,
+                now,
+                0,
+            );
+            gate
+        };
+        if let Some(g) = gate {
+            g.release(sim);
+        }
+        self.maybe_start(sim);
+        true
+    }
+
     fn start_op(&self, sim: &mut Simulator, mut op: KernelOp, held_gate: Option<SerialGate>) {
         // A kernel on a lost device never launches; check BEFORE the body
         // so no computation happens on a dead device.
         let fault = self.inner.borrow().fault.clone();
-        if let Some(ctx) = fault {
-            let device = self.inner.borrow().device;
+        let device = self.inner.borrow().device;
+        if let Some(ctx) = &fault {
             if ctx.is_lost(device) {
                 let at = sim.now();
                 {
@@ -184,6 +232,14 @@ impl ComputeEngine {
         if let Some(body) = op.body.take() {
             body();
         }
+        let start_t = sim.now();
+        // A compute-slowdown window stretches the modeled duration only;
+        // the body above already ran, so results are unaffected — exactly
+        // the LinkDegrade discipline, on the compute side.
+        let factor = fault
+            .as_ref()
+            .map(|c| c.compute_factor(device, start_t))
+            .unwrap_or(1.0);
         let duration = {
             let inner = self.inner.borrow();
             inner.model.kernel_duration(
@@ -192,16 +248,27 @@ impl ComputeEngine {
                 op.teams,
                 op.threads_per_team,
             )
-        };
-        let start_t = sim.now();
+        } * factor;
         let this = self.clone();
         let name = std::mem::take(&mut op.name);
         let on_complete = op.on_complete;
+        let epoch = {
+            let mut inner = self.inner.borrow_mut();
+            inner.running = Some((op.tag, name.clone(), start_t, held_gate.clone()));
+            inner.epoch
+        };
         sim.schedule_after(
             duration,
             Box::new(move |sim| {
                 {
                     let mut inner = this.inner.borrow_mut();
+                    if inner.epoch != epoch {
+                        // Cancelled while in flight: the canceller
+                        // already released the gate, freed the engine
+                        // and restarted the queue.
+                        return;
+                    }
+                    inner.running = None;
                     let lane = Lane::compute(inner.device);
                     inner
                         .trace
@@ -241,6 +308,7 @@ mod tests {
     fn kernel(name: &str, iters: u64, done: Rc<RefCell<Vec<(String, u64)>>>) -> KernelOp {
         let n = name.to_string();
         KernelOp {
+            tag: 0,
             name: name.to_string(),
             iters,
             work_per_iter_ns: 10.0,
@@ -285,6 +353,7 @@ mod tests {
         eng.enqueue(
             &mut sim,
             KernelOp {
+                tag: 0,
                 name: "fill".into(),
                 iters: 8,
                 work_per_iter_ns: 1.0,
@@ -337,6 +406,7 @@ mod tests {
         eng.enqueue(
             &mut sim,
             KernelOp {
+                tag: 0,
                 name: "dead".into(),
                 iters: 10,
                 work_per_iter_ns: 1.0,
@@ -353,6 +423,74 @@ mod tests {
         assert_eq!(faults.borrow()[0].device, 3);
         assert_eq!(eng.backlog(), 0);
         assert_eq!(eng.completed(), 0);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_duration_not_results() {
+        let (mut sim, eng, trace) = engine(1);
+        let ctx = crate::health::FaultCtx::new(
+            &spread_sim::FaultPlan::new(0).slow_compute(
+                3,
+                spread_sim::SimTime::ZERO,
+                spread_sim::SimTime::from_nanos(700),
+                8.0,
+            ),
+            4,
+            spread_sim::RetryPolicy::default(),
+            8,
+            trace.clone(),
+        );
+        eng.set_fault_ctx(ctx);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let data = Rc::new(RefCell::new(0.0f64));
+        let d2 = data.clone();
+        let mut op = kernel("slow", 50, done.clone());
+        op.body = Some(Box::new(move || *d2.borrow_mut() = 42.0));
+        eng.enqueue(&mut sim, op);
+        // A second kernel launching after the window runs at full speed.
+        eng.enqueue(&mut sim, kernel("fast", 50, done.clone()));
+        sim.run_until_idle();
+        let d = done.borrow();
+        // 8 × (100 launch + 50·10) = 4800 ns; results intact regardless.
+        assert_eq!(d[0], ("slow".to_string(), 4800));
+        assert_eq!(*data.borrow(), 42.0);
+        // Second kernel starts at 4800, outside the window: +600 ns.
+        assert_eq!(d[1], ("fast".to_string(), 5400));
+    }
+
+    #[test]
+    fn cancel_running_frees_engine_and_skips_on_complete() {
+        let (mut sim, eng, trace) = engine(1);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let data = Rc::new(RefCell::new(0.0f64));
+        let d2 = data.clone();
+        let mut victim = kernel("victim", 1000, done.clone());
+        victim.tag = 7;
+        victim.body = Some(Box::new(move || *d2.borrow_mut() = 1.0));
+        victim.on_complete = Box::new(|_| panic!("cancelled kernel must not complete"));
+        eng.enqueue(&mut sim, victim);
+        eng.enqueue(&mut sim, kernel("next", 50, done.clone()));
+        // The victim started eagerly at enqueue (its body already ran);
+        // cancel it before its modeled completion fires.
+        assert_eq!(*data.borrow(), 1.0);
+        assert!(!eng.cancel_running(&mut sim, 99), "wrong tag must miss");
+        assert!(!eng.cancel_running(&mut sim, 0), "tag 0 is anonymous");
+        assert!(eng.cancel_running(&mut sim, 7));
+        assert!(!eng.cancel_running(&mut sim, 7), "already cancelled");
+        sim.run_until_idle();
+        // The body's effects survive; the queued kernel ran next and the
+        // engine is free again.
+        assert_eq!(*data.borrow(), 1.0);
+        assert_eq!(done.borrow().len(), 1);
+        assert_eq!(done.borrow()[0].0, "next");
+        assert_eq!(eng.backlog(), 0);
+        assert_eq!(eng.completed(), 1);
+        // A truncated span marks the cancellation.
+        let tl = Timeline::from_recorder(&trace);
+        assert!(tl
+            .spans()
+            .iter()
+            .any(|s| s.label == "victim: cancelled" && s.kind == SpanKind::Kernel));
     }
 
     #[test]

@@ -41,6 +41,8 @@ struct DeviceState {
     transients: Vec<(SimTime, u32)>,
     /// Link-degradation windows: `(from, until, factor)`.
     degrades: Vec<(SimTime, SimTime, f64)>,
+    /// Compute-slowdown windows: `(from, until, factor)`.
+    slowdowns: Vec<(SimTime, SimTime, f64)>,
     /// Memory-pressure windows: `(from, until, bytes)`, `until = None`
     /// for sustained pressure (never released).
     pressure: Vec<(SimTime, Option<SimTime>, u64)>,
@@ -82,6 +84,7 @@ impl FaultCtx {
             .map(|_| DeviceState {
                 transients: Vec::new(),
                 degrades: Vec::new(),
+                slowdowns: Vec::new(),
                 pressure: Vec::new(),
                 lost: false,
                 consecutive: 0,
@@ -124,6 +127,16 @@ impl FaultCtx {
                 PlannedFault::OomSustained { device, at, bytes } => {
                     if let Some(d) = devices.get_mut(device as usize) {
                         d.pressure.push((at, None, bytes));
+                    }
+                }
+                PlannedFault::ComputeSlowdown {
+                    device,
+                    from,
+                    until,
+                    factor,
+                } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.slowdowns.push((from, until, factor));
                     }
                 }
                 // Scheduled by the runtime at their virtual instants.
@@ -278,6 +291,25 @@ impl FaultCtx {
             .unwrap_or(1.0)
     }
 
+    /// The compute slowdown factor for `device` at `now` (product of all
+    /// active slowdown windows; 1.0 when healthy). The compute-side twin
+    /// of [`FaultCtx::link_factor`] — it scales modeled kernel duration
+    /// only, never results.
+    pub fn compute_factor(&self, device: u32, now: SimTime) -> f64 {
+        self.inner
+            .borrow()
+            .devices
+            .get(device as usize)
+            .map(|d| {
+                d.slowdowns
+                    .iter()
+                    .filter(|(from, until, _)| *from <= now && now < *until)
+                    .map(|(_, _, f)| *f)
+                    .product()
+            })
+            .unwrap_or(1.0)
+    }
+
     /// Mark `device` permanently lost: record a fault span, then fire
     /// the registered hooks (runtime-side cleanup: presence-table wipe,
     /// waiter fail-over, construct recovery). Idempotent.
@@ -374,6 +406,25 @@ mod tests {
         assert_eq!(c.link_factor(0, t(17)), 6.0);
         assert_eq!(c.link_factor(0, t(25)), 3.0);
         assert_eq!(c.link_factor(1, t(17)), 1.0);
+    }
+
+    #[test]
+    fn slowdown_windows_multiply_and_stay_per_device() {
+        let plan = FaultPlan::new(0)
+            .slow_compute(1, t(10), t(20), 8.0)
+            .slow_compute(1, t(15), t(30), 2.0)
+            .degrade_link(1, t(0), t(100), 4.0);
+        let c = ctx(&plan, 100);
+        assert_eq!(c.compute_factor(1, t(5)), 1.0);
+        assert_eq!(c.compute_factor(1, t(12)), 8.0);
+        assert_eq!(c.compute_factor(1, t(17)), 16.0);
+        assert_eq!(c.compute_factor(1, t(25)), 2.0);
+        assert_eq!(c.compute_factor(1, t(30)), 1.0);
+        // Compute slowdowns are independent of link degradation and of
+        // other devices.
+        assert_eq!(c.link_factor(1, t(12)), 4.0);
+        assert_eq!(c.compute_factor(0, t(12)), 1.0);
+        assert_eq!(c.compute_factor(99, t(12)), 1.0);
     }
 
     #[test]

@@ -385,6 +385,7 @@ impl TargetUpdate {
                 from_copies,
                 Vec::new(),
                 corrupt_peer,
+                None,
             );
             Ok(Completion::Async)
         });
@@ -509,6 +510,7 @@ pub struct Target {
     threads_per_team: Option<u32>,
     extra_preds: Vec<TaskId>,
     pressure_managed: bool,
+    commit_gate: Option<(crate::commit::CommitGate, u32)>,
 }
 
 impl Target {
@@ -523,7 +525,20 @@ impl Target {
             threads_per_team: None,
             extra_preds: Vec::new(),
             pressure_managed: false,
+            commit_gate: None,
         }
+    }
+
+    /// Route this construct's staged D2H exit through a shared
+    /// first-commit-wins [`CommitGate`](crate::commit::CommitGate) as
+    /// copy index `copy`. The straggler layer attaches the same gate to
+    /// a piece's original construct (copy 0) and its speculative rescue
+    /// (copy 1): whichever exit finishes first writes host memory, the
+    /// loser discards its staged snapshot but still cleans up its
+    /// device-side mappings.
+    pub fn commit_gate(mut self, gate: crate::commit::CommitGate, copy: u32) -> Self {
+        self.commit_gate = Some((gate, copy));
+        self
     }
 
     /// Mark this construct as pressure-managed: its enter phase retries
@@ -706,16 +721,20 @@ impl Target {
             spec.publish = self.deps.wait_on();
             spec.fp_reads = fp_reads;
             spec.fp_writes = fp_writes;
+            let gate = self.commit_gate.clone();
             let action: Action = Box::new(move |sim, inner_rc, id| {
                 let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
-                run_transfers(
+                run_transfers_ex(
                     sim,
                     inner_rc,
                     id,
                     device,
                     Vec::new(),
+                    Vec::new(),
                     plan.copies,
                     plan.to_free,
+                    None,
+                    gate,
                 );
                 Ok(Completion::Async)
             });

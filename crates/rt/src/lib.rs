@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod directives;
 pub mod error;
 pub mod host;
@@ -57,13 +58,14 @@ pub mod section;
 pub mod spill;
 pub mod task;
 
+pub use commit::CommitGate;
 pub use directives::{ConstructIds, ExchangeMode};
 pub use error::RtError;
 pub use host::HostArray;
 pub use kernel::{Access, KernelArg, KernelSpec};
 pub use map::{MapClause, MapType};
 pub use runtime::{
-    DegradationEvent, DegradationKind, PeerCopyRecord, Runtime, RuntimeConfig, Scope,
+    DegradationEvent, DegradationKind, PeerCopyRecord, RescueRecord, Runtime, RuntimeConfig, Scope,
 };
 pub use section::{ArrayId, Section};
 pub use spill::{kernel_footprint_bytes, spill_chunk, spill_slices};

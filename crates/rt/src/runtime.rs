@@ -182,6 +182,9 @@ pub enum DegradationKind {
     /// A chunk (or piece) executed through the bounded host staging
     /// buffer (`spilled_bytes`).
     Spilled,
+    /// A straggling piece was speculatively re-executed on a healthy
+    /// sibling device (`spread_straggler(steal|replicate)`).
+    StragglerRescued,
 }
 
 /// One degradation decision, recorded in program order. `spread-check`
@@ -278,6 +281,36 @@ pub(crate) struct Inner {
     /// order. `diverted` flips when the effect-time re-check routed the
     /// copy back through the host.
     pub(crate) peer_log: Vec<PeerCopyRecord>,
+    /// Every straggler rescue launched so far, in launch order (see
+    /// [`Runtime::rescues`]). `winner`/`commits` are filled in by the
+    /// commit gate as the racing exits arrive.
+    pub(crate) rescue_log: Vec<RescueRecord>,
+}
+
+/// One straggler rescue: a lagging piece speculatively re-executed on a
+/// healthy sibling device (see [`Runtime::rescues`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RescueRecord {
+    /// First loop iteration of the rescued piece.
+    pub start: usize,
+    /// Iteration count of the rescued piece.
+    pub len: usize,
+    /// The straggling device the piece was originally placed on.
+    pub from: u32,
+    /// The healthy sibling the speculative copy ran on.
+    pub to: u32,
+    /// Which copy's staged writes landed: `Some(0)` = the original
+    /// straggler still won, `Some(1)` = the rescue won, `None` = neither
+    /// exit has committed yet.
+    pub winner: Option<u32>,
+    /// Staged-write sets drained to host memory for this piece. Exactly
+    /// 1 in any correct completed run.
+    pub commits: u32,
+    /// True when the straggler's in-flight kernel was cancelled
+    /// (`spread_straggler(steal)`); false when both copies ran to
+    /// completion (`replicate`, or a steal whose cancel arrived too
+    /// late).
+    pub stolen: bool,
 }
 
 /// One planned device-to-device copy (see [`Runtime::peer_copies`]).
@@ -706,7 +739,7 @@ pub(crate) fn pressure_enter(
                     Some(ctx) => ctx.backoff(attempt),
                     // Without one there is nothing to race against:
                     // a jitter-free exponential is fully deterministic.
-                    None => (retry.base * 2u64.saturating_pow(attempt.min(32))).min(retry.cap),
+                    None => retry.backoff_unjittered(attempt),
                 };
                 (retry.max_retries, backoff)
             };
@@ -880,6 +913,7 @@ pub(crate) fn run_transfers(
         out_copies,
         to_free,
         None,
+        None,
     );
 }
 
@@ -927,6 +961,12 @@ fn transfer_fault(
 /// `corrupt_peer` is the test-only canary hook — the first successful
 /// peer copy to observe the unarmed flag arms it and perturbs one
 /// element, so a conformance harness can prove it notices.
+///
+/// `gate` is the speculative-execution hook: `Some((gate, copy))` makes
+/// the staged D2H drain conditional on winning the gate's
+/// first-commit-wins arbitration as copy index `copy`. A losing copy
+/// discards its staged snapshot but still runs presence cleanup and
+/// completes its task — only host memory is arbitrated.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_transfers_ex(
     sim: &mut Simulator,
@@ -938,6 +978,7 @@ pub(crate) fn run_transfers_ex(
     out_copies: Vec<CopyPlanItem>,
     to_free: Vec<EntryKey>,
     corrupt_peer: Option<Rc<std::cell::Cell<bool>>>,
+    gate: Option<(crate::commit::CommitGate, u32)>,
 ) {
     let total = in_copies.len() + out_copies.len();
     let staged: Rc<RefCell<Vec<StagedWrite>>> = Rc::new(RefCell::new(Vec::new()));
@@ -954,8 +995,40 @@ pub(crate) fn run_transfers_ex(
                 task_failed(sim, &inner_rc, task, err);
                 return;
             }
-            for (store, sec, data) in staged.borrow_mut().drain(..) {
-                store.borrow_mut()[sec.range()].copy_from_slice(&data);
+            let committed = match &gate {
+                None => true,
+                Some((g, copy)) => g.try_commit(sim.now(), *copy),
+            };
+            if committed {
+                for (store, sec, data) in staged.borrow_mut().drain(..) {
+                    store.borrow_mut()[sec.range()].copy_from_slice(&data);
+                }
+            } else if gate.as_ref().is_some_and(|(g, _)| g.duplicates_forced()) {
+                // Canary path: the losing copy commits anyway, with its
+                // first staged element perturbed so the double commit is
+                // value-visible to a differential harness.
+                let mut perturb = true;
+                for (store, sec, mut data) in staged.borrow_mut().drain(..) {
+                    if perturb && !data.is_empty() {
+                        data[0] += 1.0;
+                        perturb = false;
+                    }
+                    store.borrow_mut()[sec.range()].copy_from_slice(&data);
+                }
+                if let Some((g, _)) = &gate {
+                    g.count_forced_commit();
+                }
+            } else {
+                staged.borrow_mut().clear();
+            }
+            if let Some((g, _)) = &gate {
+                if let Some(ix) = g.log_idx() {
+                    let mut inner = inner_rc.borrow_mut();
+                    if let Some(rec) = inner.rescue_log.get_mut(ix) {
+                        rec.winner = g.winner();
+                        rec.commits = g.commits();
+                    }
+                }
             }
             let freed = {
                 let mut inner = inner_rc.borrow_mut();
@@ -1245,6 +1318,7 @@ pub(crate) fn run_kernel(
     dev.compute.enqueue(
         sim,
         spread_devices::compute::KernelOp {
+            tag: task.0,
             name: spec.name.clone(),
             iters: range.len() as u64,
             work_per_iter_ns: spec.work_per_iter_ns,
@@ -1331,6 +1405,7 @@ impl Runtime {
             spill_staging_bytes: cfg.spill_staging_bytes,
             profiles: crate::profile::ProfileStore::new(cfg.adaptive_damping),
             peer_log: Vec::new(),
+            rescue_log: Vec::new(),
         };
         // A fresh runtime starts its peak-memory statistics from zero:
         // `device_mem_peak` must describe *this* instance, even if the
@@ -1610,6 +1685,14 @@ impl Runtime {
     pub fn peer_copies(&self) -> Vec<PeerCopyRecord> {
         self.inner.borrow().peer_log.clone()
     }
+
+    /// Every straggler rescue launched so far, in launch order. In a
+    /// completed run each record has `commits == 1` and a recorded
+    /// winner — the first-commit-wins gate guarantees exactly one of
+    /// the racing exits wrote host memory.
+    pub fn rescues(&self) -> Vec<RescueRecord> {
+        self.inner.borrow().rescue_log.clone()
+    }
 }
 
 /// The directive-issuing handle. Obtained from [`Runtime::scope`] or
@@ -1673,13 +1756,22 @@ impl Scope<'_> {
     /// [`RtError::Deadlock`] if the simulator goes idle first, or with
     /// [`RtError::Timeout`] if a configured watchdog expires in virtual
     /// time before the condition holds.
+    ///
+    /// The watchdog is *progress-aware*: its window measures time since
+    /// the last task completion, not since the drain began. A run that
+    /// is slow but still finishing tasks (a straggling device, a long
+    /// retry ladder) never trips it; a wedged run — nothing completing
+    /// for a full window — still does.
     pub(crate) fn drain_until(
         &mut self,
         cond: impl Fn(&Inner) -> bool,
         what: &str,
     ) -> Result<(), RtError> {
-        let started = self.sim.now();
-        let watchdog = self.inner.borrow().watchdog;
+        let mut window_start = self.sim.now();
+        let (watchdog, mut last_finished) = {
+            let inner = self.inner.borrow();
+            (inner.watchdog, inner.graph.finished_total())
+        };
         loop {
             {
                 let inner = self.inner.borrow();
@@ -1695,9 +1787,14 @@ impl Scope<'_> {
                     }
                     return Ok(());
                 }
+                let finished = inner.graph.finished_total();
+                if finished != last_finished {
+                    last_finished = finished;
+                    window_start = self.sim.now();
+                }
             }
             if let Some(limit) = watchdog {
-                let waited = self.sim.now() - started;
+                let waited = self.sim.now() - window_start;
                 if waited > limit {
                     let err = RtError::Timeout {
                         waiting_for: what.to_string(),
@@ -2057,6 +2154,75 @@ impl Scope<'_> {
     pub fn force_complete(&mut self, id: TaskId) {
         complete_task(self.sim, self.inner, id);
     }
+
+    /// Whether a task has finished.
+    pub fn is_task_finished(&self, id: TaskId) -> bool {
+        self.inner.borrow().graph.is_finished(id)
+    }
+
+    /// Schedule `f` to run with a fresh [`Scope`] at virtual time `at`
+    /// (clamped to now). The straggler monitor uses this for its
+    /// progress deadline; the callback is skipped if the runtime was
+    /// dropped or poisoned in the meantime.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut Scope<'_>) + 'static) {
+        let weak = Rc::downgrade(self.inner);
+        let at = at.max(self.sim.now());
+        self.sim.schedule_at(
+            at,
+            Box::new(move |sim| {
+                if let Some(rc) = weak.upgrade() {
+                    if rc.borrow().error.is_some() {
+                        return;
+                    }
+                    let mut scope = Scope { sim, inner: &rc };
+                    f(&mut scope);
+                }
+            }),
+        );
+    }
+
+    /// Try to cancel the kernel of `task` while it is *running* on
+    /// `device`'s compute engine. Returns true on a hit: the engine slot
+    /// is freed and the op's completion callback will never fire — the
+    /// caller owns finishing the task (the kernel body's device-side
+    /// effects already ran at op start, so the device bytes are whole).
+    /// Queued or already-completed kernels are not touched (false).
+    pub fn cancel_kernel(&mut self, device: u32, task: TaskId) -> bool {
+        let d = device as usize;
+        let engine = {
+            let inner = self.inner.borrow();
+            if d >= inner.devices.len() {
+                return false;
+            }
+            inner.devices[d].compute.clone()
+        };
+        engine.cancel_running(self.sim, task.0)
+    }
+
+    /// Append a rescue record (and its `StragglerRescued` degradation
+    /// marker), returning the record's index in the rescue log so the
+    /// commit gate can fill in `winner`/`commits` later.
+    pub fn record_rescue(&mut self, rec: RescueRecord) -> usize {
+        let ev = DegradationEvent {
+            kind: DegradationKind::StragglerRescued,
+            device: Some(rec.to),
+            start: rec.start,
+            len: rec.len,
+            bytes: 0,
+        };
+        let idx = {
+            let mut inner = self.inner.borrow_mut();
+            inner.rescue_log.push(rec);
+            inner.rescue_log.len() - 1
+        };
+        record_degradation_inner(self.sim.now(), &mut self.inner.borrow_mut(), ev);
+        idx
+    }
+
+    /// Every straggler rescue launched so far, in launch order.
+    pub fn rescues(&self) -> Vec<RescueRecord> {
+        self.inner.borrow().rescue_log.clone()
+    }
 }
 
 /// Append a degradation event and mirror it as a zero-length marker
@@ -2080,6 +2246,12 @@ pub(crate) fn record_degradation_inner(now: SimTime, inner: &mut Inner, ev: Degr
             spread_trace::Lane::Host,
             spread_trace::SpanKind::Spill,
             ev.bytes,
+        ),
+        DegradationKind::StragglerRescued => (
+            ev.device
+                .map_or(spread_trace::Lane::Host, spread_trace::Lane::compute),
+            spread_trace::SpanKind::Rescue,
+            0,
         ),
     };
     let label = format!("{:?} [{}..{})", ev.kind, ev.start, ev.start + ev.len);

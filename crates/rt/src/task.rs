@@ -175,6 +175,10 @@ pub struct TaskGraph {
     unfinished: usize,
     /// Unfinished children per parent context (None = main program).
     children: HashMap<Option<TaskId>, usize>,
+    /// Monotone count of tasks ever finished — the progress signal the
+    /// blocking-drain watchdog watches (a drain that keeps completing
+    /// tasks is slow, not wedged).
+    finished_total: u64,
 }
 
 impl TaskGraph {
@@ -186,6 +190,11 @@ impl TaskGraph {
     /// Total unfinished tasks.
     pub fn unfinished(&self) -> usize {
         self.unfinished
+    }
+
+    /// Monotone count of tasks finished since construction.
+    pub fn finished_total(&self) -> u64 {
+        self.finished_total
     }
 
     /// Unfinished children of a parent context.
@@ -377,6 +386,7 @@ impl TaskGraph {
         };
         self.running.retain(|&r| r != id);
         self.unfinished -= 1;
+        self.finished_total += 1;
         *self.children.get_mut(&parent).expect("counted at create") -= 1;
 
         let mut ready = Vec::new();

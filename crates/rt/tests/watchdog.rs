@@ -1,0 +1,120 @@
+//! Regression tests for the progress-aware blocking-drain watchdog.
+//!
+//! The watchdog window measures virtual time since the *last task
+//! completion*, not since the drain began: a run that is slow but still
+//! finishing tasks must never trip it, while a wedged run — events
+//! still firing, nothing completing — must still fail with
+//! [`RtError::Timeout`].
+
+use spread_devices::{DeviceSpec, Topology};
+use spread_rt::kernel::KernelArg;
+use spread_rt::prelude::*;
+use spread_trace::{SimDuration, SimTime};
+
+fn inc_kernel(a: HostArray) -> KernelSpec {
+    KernelSpec::new("inc", 1.0, |chunk, v| {
+        for i in chunk {
+            let x = v.get(0, i);
+            v.set(0, i, x + 1.0);
+        }
+    })
+    .arg(KernelArg::read_write(a, |r| r))
+}
+
+/// Run `rounds` serialized constructs under one blocking drain; return
+/// the drain result, the final host image, and total elapsed time.
+fn chained_run(
+    rounds: usize,
+    watchdog: Option<SimDuration>,
+) -> (Result<(), RtError>, Vec<f64>, SimDuration) {
+    let topo = Topology::uniform(1, DeviceSpec::v100().with_mem_bytes(1 << 22), 1e9, 1.5e9);
+    let mut cfg = RuntimeConfig::new(topo).with_team_threads(2);
+    if let Some(w) = watchdog {
+        cfg = cfg.with_watchdog(w);
+    }
+    let mut rt = Runtime::new(cfg);
+    let n = 1 << 14;
+    let a = rt.host_array("A", n);
+    rt.fill_host(a, |_| 0.0);
+    let res = rt.run(|s| {
+        // nowait + depend(out) chaining: the constructs serialize among
+        // themselves and a single drain at scope end waits for all of
+        // them — one watchdog window spans the whole chain.
+        for _ in 0..rounds {
+            Target::device(0)
+                .nowait()
+                .depend_out(a.section(0..n))
+                .map(tofrom(a, 0..n))
+                .parallel_for(s, 0..n, inc_kernel(a))?;
+        }
+        Ok(())
+    });
+    let out = rt.snapshot_host(a);
+    (res, out, rt.elapsed())
+}
+
+#[test]
+fn slow_but_progressing_drain_survives_the_watchdog() {
+    let rounds = 8;
+    // Calibrate against the fault-free run: the whole chain takes
+    // `total`; each construct therefore finishes tasks every ~total/8.
+    let (res, out, total) = chained_run(rounds, None);
+    res.unwrap();
+    assert!(out.iter().all(|&x| x == rounds as f64));
+    assert!(total > SimDuration::ZERO);
+
+    // A window of total/2 is far longer than the gap between
+    // consecutive task completions but much shorter than the drain as
+    // a whole: only a progress-aware watchdog lets this run finish.
+    let window = SimDuration::from_nanos(total.as_nanos() / 2);
+    let (res, out, elapsed) = chained_run(rounds, Some(window));
+    res.unwrap();
+    assert!(out.iter().all(|&x| x == rounds as f64));
+    assert!(
+        elapsed > window,
+        "the drain outlived one watchdog window ({elapsed:?} <= {window:?})"
+    );
+}
+
+/// Keep the simulator's event queue non-empty without ever finishing a
+/// task, so a wedged drain cannot hide behind [`RtError::Deadlock`].
+fn tick(s: &mut Scope<'_>, step: SimDuration, until: SimTime) {
+    if s.now() >= until {
+        return;
+    }
+    let at = s.now() + step;
+    s.at(at, move |s| tick(s, step, until));
+}
+
+#[test]
+fn wedged_drain_still_times_out() {
+    let topo = Topology::uniform(1, DeviceSpec::v100().with_mem_bytes(1 << 12), 1e9, 1.5e9);
+    let cfg = RuntimeConfig::new(topo)
+        .with_team_threads(2)
+        .with_alloc_backpressure(true)
+        .with_watchdog(SimDuration::from_micros(500));
+    let mut rt = Runtime::new(cfg);
+    let n = 1 << 12; // 32 KiB of f64 — never fits a 4 KiB device.
+    let a = rt.host_array("A", n);
+    let res = rt.run(|s| {
+        // Background ticks every 100 µs: the sim always has a next
+        // event, but none of them completes a task.
+        tick(
+            s,
+            SimDuration::from_micros(100),
+            SimTime::from_nanos(50_000_000),
+        );
+        // The enter phase parks on backpressure forever: the map can
+        // never fit and nothing ever releases memory.
+        Target::device(0)
+            .map(tofrom(a, 0..n))
+            .parallel_for(s, 0..n, inc_kernel(a))?;
+        Ok(())
+    });
+    match res {
+        Err(RtError::Timeout { waited, .. }) => {
+            assert!(waited > SimDuration::from_micros(500));
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}

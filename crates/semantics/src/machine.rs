@@ -194,6 +194,27 @@ pub enum Directive {
     /// `target update spread`: each leg checks `S-Lost` then applies
     /// `S-Update`, recording an `S-Exchange` route when eligible.
     UpdateData(Vec<UpdateLeg>),
+    /// A planned compute slowdown lands on a device (`S-Slow`): purely
+    /// a timing fault, so the rule validates its parameters and leaves
+    /// the state untouched — slowed kernels still compute the same
+    /// bits, only later.
+    Slowdown {
+        /// The slowed device.
+        device: u32,
+        /// Duration multiplier; must be finite and ≥ 1.
+        factor: f64,
+    },
+    /// A straggler rescue (`S-Rescue`): the piece is speculatively
+    /// re-executed on device `to`. The first-commit-wins gate makes
+    /// the duplicate value-invisible, so the rule interprets the piece
+    /// once, re-placed on the rescue target — exactly the bits the
+    /// winning copy publishes, whichever copy that is.
+    Rescue {
+        /// The straggling piece, as originally scheduled.
+        piece: Piece,
+        /// The rescue target device.
+        to: u32,
+    },
     /// The host-side fold of a reduction (`S-Fold`).
     HostFold {
         /// The partials array to fold.
@@ -404,6 +425,31 @@ pub fn step(st: &mut State, d: &Directive) -> Result<(), SemError> {
             }
             Ok(())
         }
+        Directive::Slowdown { device, factor } => {
+            // S-Slow: a timing-only fault. Malformed parameters are
+            // rejected (S-Invalid); a well-formed slowdown is a no-op
+            // on the abstract state.
+            if *device as usize >= st.alive.len() || !factor.is_finite() || *factor < 1.0 {
+                return Err(SemError::Invalid);
+            }
+            Ok(())
+        }
+        Directive::Rescue { piece, to } => {
+            // S-Rescue: the rescue target must exist and be alive —
+            // the monitor only picks healthy siblings, so a dead
+            // target is the predicted failure, not a silent skip.
+            if *to as usize >= st.alive.len() {
+                return Err(SemError::Invalid);
+            }
+            if !st.alive[*to as usize] {
+                return Err(SemError::DeviceLost { device: *to });
+            }
+            let replaced = Piece {
+                device: *to,
+                ..piece.clone()
+            };
+            run_piece(st, &replaced)
+        }
         Directive::HostFold {
             partials,
             start,
@@ -541,6 +587,72 @@ mod tests {
         st.perturb = Some(Perturb::ReduceSkipsLast);
         step(&mut st, &fold).unwrap();
         assert_eq!(st.reduces, vec![10.0, 6.0]);
+    }
+
+    #[test]
+    fn slowdown_is_state_invisible_but_validated() {
+        let mut st = State::new(vec![vec![1.0; 4]], 2, None);
+        let before = st.host.clone();
+        step(
+            &mut st,
+            &Directive::Slowdown {
+                device: 1,
+                factor: 8.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(st.host, before, "S-Slow changes timing, not values");
+
+        for (device, factor) in [(2, 8.0), (0, 0.5), (0, f64::NAN), (0, f64::INFINITY)] {
+            assert_eq!(
+                step(&mut st, &Directive::Slowdown { device, factor }),
+                Err(SemError::Invalid),
+                "device {device} factor {factor} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rescue_replays_the_piece_on_the_target() {
+        // The original piece on device 1 straggles; the rescue runs it
+        // on device 0 — the host ends up exactly as if the piece had
+        // run where it was scheduled.
+        let mut st = State::new(vec![vec![1.0; 8]], 2, None);
+        step(
+            &mut st,
+            &Directive::Rescue {
+                piece: addconst_piece(1, 4, 4, 2.0),
+                to: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(st.host[0], [1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0]);
+        assert!(st.devices[0].snapshot().is_empty(), "rescue releases");
+    }
+
+    #[test]
+    fn rescue_onto_a_corpse_or_out_of_range_fails() {
+        let mut st = State::new(vec![vec![0.0; 4]], 2, Some(0));
+        assert_eq!(
+            step(
+                &mut st,
+                &Directive::Rescue {
+                    piece: addconst_piece(1, 0, 4, 1.0),
+                    to: 0,
+                }
+            ),
+            Err(SemError::DeviceLost { device: 0 })
+        );
+        assert_eq!(
+            step(
+                &mut st,
+                &Directive::Rescue {
+                    piece: addconst_piece(1, 0, 4, 1.0),
+                    to: 7,
+                }
+            ),
+            Err(SemError::Invalid)
+        );
     }
 
     #[test]

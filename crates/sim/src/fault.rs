@@ -88,6 +88,21 @@ pub enum PlannedFault {
         /// Bytes reserved for the rest of the run.
         bytes: u64,
     },
+    /// Between `from` and `until`, kernels on `device` take `factor`×
+    /// their modeled duration (factor ≥ 1: a compute straggler — thermal
+    /// throttling, a noisy co-tenant on the SMs). The compute-side
+    /// analogue of [`PlannedFault::LinkDegrade`]: results are still
+    /// correct, only timing suffers.
+    ComputeSlowdown {
+        /// Target device.
+        device: u32,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// Slowdown factor (≥ 1).
+        factor: f64,
+    },
 }
 
 impl PlannedFault {
@@ -98,7 +113,8 @@ impl PlannedFault {
             | PlannedFault::LinkDegrade { device, .. }
             | PlannedFault::OomSpike { device, .. }
             | PlannedFault::DeviceLoss { device, .. }
-            | PlannedFault::OomSustained { device, .. } => device,
+            | PlannedFault::OomSustained { device, .. }
+            | PlannedFault::ComputeSlowdown { device, .. } => device,
         }
     }
 }
@@ -173,6 +189,19 @@ impl FaultPlan {
     pub fn sustain_pressure(mut self, device: u32, at: SimTime, bytes: u64) -> Self {
         self.faults
             .push(PlannedFault::OomSustained { device, at, bytes });
+        self
+    }
+
+    /// Add a compute-slowdown window: kernels on `device` between `from`
+    /// and `until` take `factor`× their modeled duration.
+    pub fn slow_compute(mut self, device: u32, from: SimTime, until: SimTime, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.faults.push(PlannedFault::ComputeSlowdown {
+            device,
+            from,
+            until,
+            factor,
+        });
         self
     }
 
@@ -274,13 +303,23 @@ impl RetryPolicy {
         }
     }
 
+    /// The backoff before retry number `attempt` (0-based), without
+    /// jitter: `base · 2^attempt`, capped at `cap`. Both the
+    /// exponentiation and the multiplication saturate instead of
+    /// overflowing, so the cap applies to the mathematically intended
+    /// value for every `attempt` up to `u32::MAX`.
+    pub fn backoff_unjittered(&self, attempt: u32) -> SimDuration {
+        let pow = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let ns = self.base.as_nanos().saturating_mul(pow);
+        SimDuration::from_nanos(ns).min(self.cap)
+    }
+
     /// The backoff before retry number `attempt` (0-based): exponential
     /// in `attempt`, capped, jittered. The jitter draw comes from the
     /// caller's run-scoped PRNG — the *only* legal randomness source, so
     /// two runs with the same plan seed back off identically.
     pub fn backoff(&self, attempt: u32, prng: &mut Prng) -> SimDuration {
-        let exp = self.base * 2u64.saturating_pow(attempt.min(32));
-        let capped = exp.min(self.cap);
+        let capped = self.backoff_unjittered(attempt);
         let j = self.jitter.clamp(0.0, 1.0);
         let scale = 1.0 - j / 2.0 + j * prng.f64();
         capped * scale
@@ -402,5 +441,79 @@ mod tests {
     #[test]
     fn retry_policy_none_fails_fast() {
         assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn slow_compute_accumulates_and_targets_device() {
+        let p = FaultPlan::new(3).slow_compute(2, us(10), us(90), 8.0);
+        assert_eq!(p.faults.len(), 1);
+        assert_eq!(p.faults[0].device(), 2);
+        assert!(matches!(
+            p.faults[0],
+            PlannedFault::ComputeSlowdown { factor, .. } if factor == 8.0
+        ));
+        // Slowdowns carry no memory-pressure windows and no losses.
+        assert!(p.pressure_windows().is_empty());
+        assert!(p.losses().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor must be >= 1")]
+    fn compute_speedup_rejected() {
+        let _ = FaultPlan::new(0).slow_compute(0, us(0), us(1), 0.5);
+    }
+
+    #[test]
+    fn backoff_never_overflows_before_the_cap() {
+        // A base large enough that base · 2^attempt overflows u64
+        // nanoseconds long before attempt 63. The cap must still apply
+        // to the intended (saturated) value, not to a wrapped one.
+        let pol = RetryPolicy {
+            max_retries: u32::MAX,
+            base: SimDuration::from_millis(10),
+            cap: SimDuration::from_millis(25),
+            jitter: 0.0,
+        };
+        let mut r = Prng::new(0);
+        for attempt in [0, 1, 2, 32, 63, 64, 1000, u32::MAX] {
+            let d = pol.backoff(attempt, &mut r);
+            assert!(d <= pol.cap, "attempt {attempt} exceeded cap: {d:?}");
+        }
+        assert_eq!(pol.backoff(u32::MAX, &mut r), pol.cap);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_capped_and_monotone() {
+        let pol = RetryPolicy {
+            max_retries: 16,
+            base: SimDuration::from_micros(5),
+            cap: SimDuration::from_micros(200),
+            jitter: 0.8,
+        };
+        // Deterministic per seed: same seed → same sequence, different
+        // seed → (here) a different one.
+        let seq = |seed| {
+            let mut r = Prng::new(seed);
+            (0..16).map(|a| pol.backoff(a, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+        // Capped: jitter can push at most cap · (1 + j/2) past the cap.
+        let ceiling = pol.cap * (1.0 + pol.jitter / 2.0);
+        for d in seq(9) {
+            assert!(d <= ceiling, "{d:?} above jittered ceiling");
+        }
+        // Non-decreasing up to the cap (jitter off so the exponential
+        // shape is visible directly).
+        let flat = RetryPolicy { jitter: 0.0, ..pol };
+        let mut r = Prng::new(0);
+        let mut prev = SimDuration::ZERO;
+        for a in 0..64 {
+            let d = flat.backoff(a, &mut r);
+            assert!(d >= prev, "backoff decreased at attempt {a}");
+            assert!(d <= flat.cap);
+            prev = d;
+        }
+        assert_eq!(prev, flat.cap);
     }
 }

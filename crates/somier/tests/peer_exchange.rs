@@ -5,10 +5,11 @@
 //! host round-trip on the CTE-POWER machine.
 
 use spread_core::{ExchangeMode, ResiliencePolicy};
+use spread_sim::FaultPlan;
 use spread_somier::one_buffer::run_spread_peer;
 use spread_somier::reference::run_reference;
 use spread_somier::SomierConfig;
-use spread_trace::SpanKind;
+use spread_trace::{SimTime, SpanKind};
 
 const N_GPUS: usize = 4;
 
@@ -81,6 +82,56 @@ fn peer_runs_are_deterministic() {
         (report.centers, report.elapsed, halo, rt.peer_copies().len())
     };
     assert_eq!(run(), run());
+}
+
+/// PR 2 × PR 5 interaction: a degraded peer link slows the halo phase
+/// but must not change the routing decision — `auto` keeps the copies
+/// device-to-device (diversion is for *dead* sources only, never a
+/// timing call), and slower links never change bytes.
+#[test]
+fn degraded_link_still_routes_peer_and_stays_bit_identical() {
+    let cfg = cfg();
+    let halo_of = |rt: &mut spread_rt::Runtime| {
+        run_spread_peer(
+            rt,
+            &cfg,
+            N_GPUS,
+            ExchangeMode::Auto,
+            ResiliencePolicy::FailStop,
+        )
+        .unwrap()
+    };
+
+    let mut clean_rt = cfg.runtime(N_GPUS);
+    let (_, clean_halo) = halo_of(&mut clean_rt);
+
+    // Device 1 is an interior peer source; throttle its link 8x for the
+    // whole run.
+    let plan = FaultPlan::new(11).degrade_link(1, SimTime::ZERO, SimTime::MAX, 8.0);
+    let mut rt = cfg.runtime_with_faults(N_GPUS, plan);
+    let (report, degraded_halo) = halo_of(&mut rt);
+
+    let reference = run_reference(&cfg, cfg.buffer_planes(N_GPUS));
+    assert_eq!(
+        report.centers, reference.centers,
+        "a slow link changes timing, never bytes"
+    );
+    assert_eq!(report.races, 0);
+    let peer_spans = rt
+        .timeline()
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::PeerCopy)
+        .count();
+    assert!(peer_spans > 0, "auto must still route halos D2D");
+    assert!(
+        rt.peer_copies().iter().all(|r| !r.diverted),
+        "diversion is a liveness decision, not a timing one"
+    );
+    assert!(
+        degraded_halo > clean_halo,
+        "the degradation must actually bite: degraded {degraded_halo} vs clean {clean_halo}"
+    );
 }
 
 #[test]

@@ -148,6 +148,9 @@ pub enum SpanKind {
     /// A chunk executed through the host staging path (`spilled_bytes`
     /// in the span's `bytes` field).
     Spill,
+    /// A straggling chunk speculatively re-executed on a healthy
+    /// sibling (straggler rescue).
+    Rescue,
     /// Anything else (allocation bookkeeping, …).
     Other,
 }
@@ -168,6 +171,7 @@ impl SpanKind {
             SpanKind::AdmissionShrink => 'a',
             SpanKind::ChunkSplit => '/',
             SpanKind::Spill => 's',
+            SpanKind::Rescue => '!',
             SpanKind::Other => '.',
         }
     }
@@ -399,6 +403,7 @@ mod tests {
             SpanKind::AdmissionShrink.glyph(),
             SpanKind::ChunkSplit.glyph(),
             SpanKind::Spill.glyph(),
+            SpanKind::Rescue.glyph(),
             SpanKind::Kernel.glyph(),
             SpanKind::PeerCopy.glyph(),
             SpanKind::TransferIn.glyph(),

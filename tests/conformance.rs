@@ -67,6 +67,7 @@ fn fault_sensitive_program() -> Program {
         ]],
         fault: None,
         pressure: None,
+        straggler: None,
     }
 }
 
@@ -113,6 +114,7 @@ fn recovery_canary_is_caught() {
             transients: vec![],
         }),
         pressure: None,
+        straggler: None,
     };
     let clean = CheckConfig {
         interleavings: 2,
@@ -150,6 +152,7 @@ fn fail_stop_loss_is_predicted_and_matched() {
             transients: vec![],
         }),
         pressure: None,
+        straggler: None,
     };
     let want = oracle::predict(&p, None);
     assert!(
@@ -207,6 +210,7 @@ fn spill_canary_is_caught() {
         fault: None,
         // Sustained pressure equal to the cap: zero headroom, the whole
         // 96-byte chunk is hopeless on-device and spills.
+        straggler: None,
         pressure: Some(PressureSpec {
             policy: PressurePolicy::Spill,
             cap_bytes: 64,
@@ -272,6 +276,7 @@ fn peer_canary_is_caught() {
         }]],
         fault: None,
         pressure: None,
+        straggler: None,
     };
     // Chunks [0,4) d0 / [4,8) d1 / [8,12) d2 ⇒ four one-element halos,
     // each valid on exactly one sibling.
@@ -353,6 +358,7 @@ fn oracle_predicts_exact_mapping_errors() {
         ]],
         fault: None,
         pressure: None,
+        straggler: None,
     };
     let want = oracle::predict(&extension, None);
     match &want.error {
@@ -384,6 +390,7 @@ fn oracle_predicts_exact_mapping_errors() {
         }]],
         fault: None,
         pressure: None,
+        straggler: None,
     };
     let want = oracle::predict(&not_mapped, None);
     assert!(

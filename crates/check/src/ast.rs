@@ -21,7 +21,7 @@
 
 use spread_core::reduction::ReduceOp;
 use spread_core::schedule::SpreadSchedule;
-use spread_core::{PressurePolicy, StragglerPolicy};
+use spread_core::{IntegrityMode, PressurePolicy, StragglerPolicy};
 
 /// A complete directive program.
 #[derive(Clone, Debug)]
@@ -40,6 +40,9 @@ pub struct Program {
     pub pressure: Option<PressureSpec>,
     /// Straggler scenario, if the program runs in straggler mode.
     pub straggler: Option<StragglerSpec>,
+    /// Silent-corruption scenario, if the program runs in integrity
+    /// mode.
+    pub integrity: Option<IntegritySpec>,
 }
 
 impl Program {
@@ -72,6 +75,12 @@ impl Program {
     /// when the program runs in straggler mode.
     pub fn straggler_policy(&self) -> Option<StragglerPolicy> {
         self.straggler.as_ref().map(|ss| ss.policy)
+    }
+
+    /// The `spread_integrity(…)` mode every spread construct carries,
+    /// when the program runs in integrity mode.
+    pub fn integrity_mode(&self) -> Option<IntegrityMode> {
+        self.integrity.as_ref().map(|is| is.mode)
     }
 
     /// True when any statement uses `spread_schedule(auto)` — the
@@ -151,6 +160,28 @@ pub struct StragglerSpec {
     /// (≥ 8) that a straggling piece always blows the default
     /// 4× progress deadline.
     pub slow: Vec<(u32, u32)>,
+}
+
+/// The silent-corruption scenario attached to a [`Program`].
+///
+/// Every flip burst arms at virtual time **zero** — the same
+/// dead-on-arrival discipline as [`FaultSpec`] — so which drains rot
+/// depends only on the program (how many committing drains each device
+/// performs, in what per-device order), never on event timing. Counts
+/// stay under the runtime's default mismatch breaker (8), so healing
+/// never escalates to quarantine and the oracle's prediction is purely
+/// the flip-blind fault-free state: under
+/// [`IntegrityMode::Heal`](spread_core::IntegrityMode::Heal) results
+/// must be bit-identical with exactly `count` healed commits per
+/// flipped device that drains at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntegritySpec {
+    /// `spread_integrity(heal)` (the fuzz mode; `verify` is covered by
+    /// directed tests since it poisons at the first drain).
+    pub mode: IntegrityMode,
+    /// Flip bursts `(device, count)`, `1 ≤ count ≤ 3` — far below the
+    /// default breaker streak of 8.
+    pub flips: Vec<(u32, u32)>,
 }
 
 /// How the program's spread constructs respond to permanent device

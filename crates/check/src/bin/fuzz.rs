@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--pressure] [--auto] [--peer] [--stragglers] \
-//!     [--inject stencil|reduce|recovery|spill|peer|rescue]
+//!     [--pressure] [--auto] [--peer] [--stragglers] [--integrity] \
+//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
@@ -24,7 +24,11 @@
 //! one device's compute slowed 10-16x under
 //! `spread_straggler(steal|replicate)`: results must stay bit-identical
 //! to the fault-free oracle and every recorded rescue must be
-//! structurally sound (exactly one commit, healthy target). Exits
+//! structurally sound (exactly one commit, healthy target).
+//! `--integrity` generates programs whose devices are armed with silent
+//! bit-flip tokens under `spread_integrity(heal)`: results must stay
+//! bit-identical to the fault-free oracle and the healed-commit ledger
+//! must match the armed token count per device. Exits
 //! non-zero on any disagreement or
 //! race report, printing the failing seed so `replay -- <seed>`
 //! reproduces it.
@@ -43,6 +47,7 @@ struct Args {
     auto: bool,
     peer: bool,
     stragglers: bool,
+    integrity: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         auto: false,
         peer: false,
         stragglers: false,
+        integrity: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             "--auto" => args.auto = true,
             "--peer" => args.peer = true,
             "--stragglers" => args.stragglers = true,
+            "--integrity" => args.integrity = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -93,10 +100,13 @@ fn parse_args() -> Result<Args, String> {
         + (args.auto as u8)
         + (args.peer as u8)
         + (args.stragglers as u8)
+        + (args.integrity as u8)
         > 1
     {
         return Err(
-            "--faults, --pressure, --auto, --peer and --stragglers are mutually exclusive".into(),
+            "--faults, --pressure, --auto, --peer, --stragglers and --integrity are mutually \
+             exclusive"
+                .into(),
         );
     }
     Ok(args)
@@ -109,8 +119,8 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--pressure] [--auto] [--peer] [--stragglers] \
-                 [--inject stencil|reduce|recovery|spill|peer|rescue]"
+                 [--pressure] [--auto] [--peer] [--stragglers] [--integrity] \
+                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]"
             );
             return ExitCode::from(2);
         }
@@ -123,9 +133,10 @@ fn main() -> ExitCode {
         auto: args.auto,
         peer: args.peer,
         stragglers: args.stragglers,
+        integrity: args.integrity,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
@@ -147,6 +158,11 @@ fn main() -> ExitCode {
         },
         if cfg.stragglers {
             ", with straggler rescues"
+        } else {
+            ""
+        },
+        if cfg.integrity {
+            ", with silent-corruption healing"
         } else {
             ""
         },
@@ -172,13 +188,14 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
             if cfg.pressure { " --pressure" } else { "" },
             if cfg.auto { " --auto" } else { "" },
             if cfg.peer { " --peer" } else { "" },
             if cfg.stragglers { " --stragglers" } else { "" },
+            if cfg.integrity { " --integrity" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
@@ -186,6 +203,7 @@ fn main() -> ExitCode {
                 Some(Fault::SpillDropsSlice) => " --inject spill",
                 Some(Fault::PeerCorrupt) => " --inject peer",
                 Some(Fault::RescueDoubleCommit) => " --inject rescue",
+                Some(Fault::IntegrityCorrupt) => " --inject integrity",
                 None => "",
             }
         );

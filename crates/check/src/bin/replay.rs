@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
 //!     [--interleavings K] [--faults] [--pressure] [--auto] [--peer] \
-//!     [--stragglers] [--inject stencil|reduce|recovery|spill|peer|rescue]
+//!     [--stragglers] [--integrity] \
+//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -36,6 +37,7 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
             "--auto" => cfg.auto = true,
             "--peer" => cfg.peer = true,
             "--stragglers" => cfg.stragglers = true,
+            "--integrity" => cfg.integrity = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
@@ -47,10 +49,13 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
         + (cfg.auto as u8)
         + (cfg.peer as u8)
         + (cfg.stragglers as u8)
+        + (cfg.integrity as u8)
         > 1
     {
         return Err(
-            "--faults, --pressure, --auto, --peer and --stragglers are mutually exclusive".into(),
+            "--faults, --pressure, --auto, --peer, --stragglers and --integrity are mutually \
+             exclusive"
+                .into(),
         );
     }
     Ok((seed.ok_or("missing <seed>")?, cfg))
@@ -63,7 +68,8 @@ fn main() -> ExitCode {
             eprintln!("replay: {e}");
             eprintln!(
                 "usage: replay <seed> [--interleavings K] [--faults] [--pressure] [--auto] \
-                 [--peer] [--stragglers] [--inject stencil|reduce|recovery|spill|peer|rescue]"
+                 [--peer] [--stragglers] [--integrity] \
+                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]"
             );
             return ExitCode::from(2);
         }

@@ -143,6 +143,7 @@ fn build(n_devices: usize, ab: &[Stmt], digits: &[usize]) -> Program {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     }
 }
 

@@ -20,8 +20,10 @@ use spread_core::{PressurePolicy, StragglerPolicy};
 use spread_prng::Prng;
 
 use crate::ast::{
-    BadKind, FaultMode, FaultSpec, KernelOp, PressureSpec, Program, Sched, Stmt, StragglerSpec,
+    BadKind, FaultMode, FaultSpec, IntegritySpec, KernelOp, PressureSpec, Program, Sched, Stmt,
+    StragglerSpec,
 };
+use spread_core::IntegrityMode;
 
 const CONSTS: [f64; 6] = [-2.0, -1.0, 0.5, 1.0, 2.0, 3.0];
 
@@ -258,6 +260,7 @@ pub fn gen_program_cfg(seed: u64, faults: bool) -> Program {
         fault,
         pressure: None,
         straggler: None,
+        integrity: None,
     }
 }
 
@@ -366,6 +369,7 @@ pub fn gen_program_pressure(seed: u64) -> Program {
             sustained,
         }),
         straggler: None,
+        integrity: None,
     }
 }
 
@@ -450,6 +454,7 @@ pub fn gen_program_peer(seed: u64) -> Program {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     }
 }
 
@@ -560,6 +565,120 @@ pub fn gen_program_straggler(seed: u64) -> Program {
         fault: None,
         pressure: None,
         straggler: Some(StragglerSpec { policy, slow }),
+        integrity: None,
+    }
+}
+
+/// One blocking spread statement for an integrity program.
+/// `spread_integrity(heal)` rejects `nowait`, dynamic schedules, and
+/// the straggler/pressure clauses, so generation mirrors the straggler
+/// template: spread kernels only over every device (flipped devices
+/// must actually commit work), static or weighted schedules, blocking.
+fn gen_integrity_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    let mut devices: Vec<u32> = (0..n_devices as u32).collect();
+    r.shuffle(&mut devices);
+    let k = devices.len();
+    let sched = if r.chance(0.6) {
+        Sched::Static {
+            chunk: r.range(1, n / 2 + 1),
+        }
+    } else {
+        Sched::Weighted {
+            round: r.range(k.max(2), n / 2 + 2),
+            weights: (0..k).map(|_| r.range(1, 5) as u32).collect(),
+        }
+    };
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 45 || !two {
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op,
+        }
+    } else if roll < 75 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else {
+        let src = avail.pop().unwrap();
+        let dst = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: Sched::Static {
+                chunk: stencil_chunk(r, n, k).max(2),
+            },
+            nowait: false,
+            devices,
+            op: KernelOp::Stencil3 { src, dst },
+        }
+    }
+}
+
+/// Derive the integrity program for `seed`: blocking spread-only
+/// phases over every device, plus a seeded [`IntegritySpec`] — one or
+/// two devices armed with 1–3 silent-flip tokens each (well below the
+/// default mismatch breaker of 8, so healing never tips a device into
+/// quarantine). The clause is always `heal`: results must stay
+/// bit-identical to the fault-free oracle, with the healed-commit
+/// ledger validated against the closed-form token count per device.
+pub fn gen_program_integrity(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    let n_devices = r.range(2, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    // Flip bursts land on distinct devices so the per-device ledger in
+    // `validate_integrity` exercises more than one breaker streak.
+    let mut flip_devices: Vec<u32> = (0..n_devices as u32).collect();
+    r.shuffle(&mut flip_devices);
+    flip_devices.truncate(r.range(1, 3));
+    let flips: Vec<(u32, u32)> = flip_devices
+        .into_iter()
+        .map(|d| (d, r.range(1, 4) as u32))
+        .collect();
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_integrity_stmt(&mut r, &mut avail, n, n_devices));
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: None,
+        straggler: None,
+        integrity: Some(IntegritySpec {
+            mode: IntegrityMode::Heal,
+            flips,
+        }),
     }
 }
 
@@ -657,6 +776,7 @@ pub fn gen_program_auto(seed: u64) -> Program {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     }
 }
 
@@ -751,6 +871,60 @@ mod tests {
         assert!(lost > 100, "{lost}");
         assert!(resilient > 50, "{resilient}");
         assert!(transient > 30, "{transient}");
+    }
+
+    #[test]
+    fn integrity_programs_respect_the_integrity_invariants() {
+        let mut bursts = 0;
+        let mut two_device = 0;
+        for seed in 0..300u64 {
+            let p = gen_program_integrity(seed);
+            let is = p
+                .integrity
+                .as_ref()
+                .expect("integrity mode attaches a spec");
+            assert_eq!(is.mode, IntegrityMode::Heal, "seed {seed}");
+            assert!(p.fault.is_none(), "seed {seed}: integrity excludes loss");
+            assert!(p.pressure.is_none(), "seed {seed}: heal rejects pressure");
+            assert!(
+                p.straggler.is_none(),
+                "seed {seed}: heal rejects straggler rescue"
+            );
+            assert!(!is.flips.is_empty(), "seed {seed}: at least one burst");
+            let mut seen = std::collections::BTreeSet::new();
+            for &(d, count) in &is.flips {
+                assert!((d as usize) < p.n_devices, "seed {seed}");
+                assert!((1..=3).contains(&count), "seed {seed}: {count} flips");
+                assert!(seen.insert(d), "seed {seed}: distinct flip devices");
+                bursts += 1;
+            }
+            if is.flips.len() > 1 {
+                two_device += 1;
+            }
+            for stmt in p.phases.iter().flatten() {
+                let Stmt::Spread {
+                    sched,
+                    nowait,
+                    devices,
+                    op,
+                    ..
+                } = stmt
+                else {
+                    panic!("seed {seed}: integrity programs are spread-only");
+                };
+                assert!(!nowait, "seed {seed}: heal requires blocking constructs");
+                assert!(
+                    !matches!(sched, Sched::Dynamic { .. }),
+                    "seed {seed}: heal requires a static distribution"
+                );
+                assert_eq!(devices.len(), p.n_devices, "seed {seed}: all devices");
+                if matches!(op, KernelOp::Stencil3 { .. }) {
+                    assert!(stencil_gap_ok(devices, sched, p.n), "seed {seed}");
+                }
+            }
+        }
+        assert!(bursts > 300, "{bursts}");
+        assert!(two_device > 100, "{two_device}");
     }
 
     #[test]

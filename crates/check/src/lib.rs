@@ -55,6 +55,14 @@
 //! from the generator's halo invariants — no diverted copy, none
 //! missing, none extra.
 //!
+//! Integrity mode ([`CheckConfig::integrity`]) generates
+//! `spread_integrity(heal)` programs with seeded silent-flip bursts
+//! armed from time zero ([`ast::IntegritySpec`]): results must match
+//! the flip-blind oracle bit-for-bit while the runtime's recorded
+//! [`spread_rt::IntegrityEvent`]s equal the closed-form healed-commit
+//! ledger — exactly `count` healed commits per flipped device that
+//! performs a committing drain.
+//!
 //! ```
 //! use spread_check::{check_seed, CheckConfig};
 //! assert!(check_seed(1, &CheckConfig::default()).is_ok());
@@ -106,6 +114,13 @@ pub enum Fault {
     /// canary proving the harness catches a broken first-commit-wins
     /// gate (straggler mode).
     RescueDoubleCommit,
+    /// The *runtime* downgrades every construct's `spread_integrity(…)`
+    /// clause to `off` while the program's silent flips stay armed —
+    /// the corruption reaches the host unnoticed, and the flip-blind
+    /// oracle comparison must catch the bit divergence. The canary
+    /// proving the harness would flag a checksum layer that silently
+    /// stopped checking (integrity mode).
+    IntegrityCorrupt,
 }
 
 impl Fault {
@@ -118,6 +133,7 @@ impl Fault {
             "spill" => Some(Fault::SpillDropsSlice),
             "peer" => Some(Fault::PeerCorrupt),
             "rescue" => Some(Fault::RescueDoubleCommit),
+            "integrity" => Some(Fault::IntegrityCorrupt),
             _ => None,
         }
     }
@@ -172,6 +188,17 @@ pub struct CheckConfig {
     /// onto the straggler itself). Mutually exclusive with `faults`,
     /// `pressure`, `auto` and `peer`.
     pub stragglers: bool,
+    /// Generate integrity programs ([`ast::IntegritySpec`]): blocking
+    /// spread-only statements under `spread_integrity(heal)` with
+    /// seeded silent-flip bursts armed from time zero (counts far below
+    /// the mismatch breaker, so healing never escalates to quarantine).
+    /// The oracle's prediction is the *flip-blind* fault-free one
+    /// (`S-Flip`/`S-Heal`: detect→discard→redo rounds are
+    /// value-invisible), so results must stay bit-identical while the
+    /// recorded [`spread_rt::IntegrityEvent`]s match the closed-form
+    /// expectation — exactly `count` healed commits per flipped device
+    /// that drains at all. Mutually exclusive with every other mode.
+    pub integrity: bool,
 }
 
 impl Default for CheckConfig {
@@ -184,6 +211,7 @@ impl Default for CheckConfig {
             auto: false,
             peer: false,
             stragglers: false,
+            integrity: false,
         }
     }
 }
@@ -230,6 +258,12 @@ fn errors_match(want: &RtError, got: &RtError) -> bool {
             RtError::OverlapExtension { device: w, .. },
             RtError::OverlapExtension { device: g, .. },
         ) => w == g,
+        // The section names whichever tainted drain surfaced first
+        // (interleaving-dependent); the offending device is pinned.
+        (
+            RtError::IntegrityViolation { device: w, .. },
+            RtError::IntegrityViolation { device: g, .. },
+        ) => w == g,
         _ => want == got,
     }
 }
@@ -253,13 +287,17 @@ fn compare(want: &oracle::Expectation, got: &run::Observed) -> Option<String> {
             got.races
         ));
     }
-    // Straggler rescues are timing-dependent runtime events the oracle
-    // never predicts (slowdowns are value-invisible); they are checked
-    // structurally in `check_program` instead.
+    // Straggler rescues and healed corruptions are timing-dependent
+    // runtime events the oracle never predicts (slowdowns and heal
+    // redos are value-invisible); they are checked structurally in
+    // `check_program` instead.
     let got_degradations: Vec<_> = got
         .degradations
         .iter()
-        .filter(|e| e.kind != spread_rt::DegradationKind::StragglerRescued)
+        .filter(|e| {
+            e.kind != spread_rt::DegradationKind::StragglerRescued
+                && e.kind != spread_rt::DegradationKind::CorruptionHealed
+        })
         .cloned()
         .collect();
     if want.degradations != got_degradations {
@@ -371,6 +409,72 @@ fn validate_rescues(p: &Program, got: &run::Observed) -> Option<String> {
     None
 }
 
+/// The closed-form integrity-event expectation. Flip bursts arm at
+/// time zero and a device's tokens are all burned by detect→discard→
+/// redo rounds at its *first* committing drain, so a flipped device
+/// that receives at least one chunk of any spread statement records
+/// exactly `count` healed commits — and one that never drains records
+/// none. Failed/quarantined actions never appear (burst counts stay
+/// far below the mismatch breaker), and integrity events outside
+/// integrity mode are themselves a violation.
+fn validate_integrity(p: &Program, got: &run::Observed) -> Option<String> {
+    let Some(is) = &p.integrity else {
+        return (!got.integrity_events.is_empty()).then(|| {
+            format!(
+                "{} integrity event(s) recorded without an integrity spec",
+                got.integrity_events.len()
+            )
+        });
+    };
+    if let Some(e) = got.integrity_events.iter().find(|e| {
+        e.action != spread_rt::IntegrityAction::Healed
+            || e.boundary != spread_rt::IntegrityBoundary::Commit
+    }) {
+        return Some(format!(
+            "unexpected integrity event {:?}/{:?} on device {} (healed commits only)",
+            e.action, e.boundary, e.device
+        ));
+    }
+    // Devices that perform at least one committing drain: every
+    // generated spread kernel commits (tofrom/from maps), so any
+    // device the static distribution hands a non-empty chunk drains.
+    let mut drains = std::collections::BTreeSet::new();
+    for stmt in p.phases.iter().flatten() {
+        if let ast::Stmt::Spread {
+            devices, sched, op, ..
+        } = stmt
+        {
+            for c in spread_core::schedule::distribute(
+                op.range(p.n),
+                devices,
+                &sched.oracle_schedule(p.n, devices.len()),
+            ) {
+                if c.len > 0 {
+                    if let Some(d) = c.device {
+                        drains.insert(d);
+                    }
+                }
+            }
+        }
+    }
+    let mut want: Vec<u32> = is
+        .flips
+        .iter()
+        .filter(|(d, _)| drains.contains(d))
+        .flat_map(|&(d, count)| std::iter::repeat_n(d, count as usize))
+        .collect();
+    want.sort_unstable();
+    let mut got_devs: Vec<u32> = got.integrity_events.iter().map(|e| e.device).collect();
+    got_devs.sort_unstable();
+    if want != got_devs {
+        return Some(format!(
+            "healed commits per device: flips {:?} predict {want:?}, runtime recorded {got_devs:?}",
+            is.flips
+        ));
+    }
+    None
+}
+
 /// Check one program under every tie-break policy for `seed`.
 ///
 /// Under [`CheckConfig::peer`] the check is differential: the per-tie
@@ -387,6 +491,9 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
         }
         if want.error.is_none() {
             if let Some(detail) = validate_rescues(p, &got) {
+                return Err(CheckFailure { tie, detail });
+            }
+            if let Some(detail) = validate_integrity(p, &got) {
                 return Err(CheckFailure { tie, detail });
             }
         }
@@ -450,8 +557,9 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
 /// The program a configuration generates for `seed`: a pressure
 /// program under `cfg.pressure`, an adaptive-schedule program under
 /// `cfg.auto`, a halo-exchange program under `cfg.peer`, a straggler
-/// program under `cfg.stragglers`, a faulted program under
-/// `cfg.faults`, a plain program otherwise.
+/// program under `cfg.stragglers`, an integrity program under
+/// `cfg.integrity`, a faulted program under `cfg.faults`, a plain
+/// program otherwise.
 pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
     if cfg.pressure {
         gen::gen_program_pressure(seed)
@@ -461,6 +569,8 @@ pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
         gen::gen_program_peer(seed)
     } else if cfg.stragglers {
         gen::gen_program_straggler(seed)
+    } else if cfg.integrity {
+        gen::gen_program_integrity(seed)
     } else {
         gen::gen_program_cfg(seed, cfg.faults)
     }
@@ -554,6 +664,7 @@ mod tests {
         assert_eq!(Fault::parse("spill"), Some(Fault::SpillDropsSlice));
         assert_eq!(Fault::parse("peer"), Some(Fault::PeerCorrupt));
         assert_eq!(Fault::parse("rescue"), Some(Fault::RescueDoubleCommit));
+        assert_eq!(Fault::parse("integrity"), Some(Fault::IntegrityCorrupt));
         assert_eq!(Fault::parse("nope"), None);
     }
 
@@ -611,6 +722,24 @@ mod tests {
             rescued += got.rescues.len();
         }
         assert!(rescued > 0, "no straggler seed in 0..8 ever rescued");
+    }
+
+    #[test]
+    fn integrity_seeds_check_clean_and_some_heal() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            integrity: true,
+            ..CheckConfig::default()
+        };
+        let mut healed = 0;
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("integrity seed {seed}: {f}");
+            }
+            let got = run::execute(&gen_for(seed, &cfg), TieBreak::Fifo, None);
+            healed += got.integrity_events.len();
+        }
+        assert!(healed > 0, "no integrity seed in 0..8 ever healed");
     }
 
     #[test]
@@ -720,6 +849,35 @@ mod tests {
         assert!(
             minimal.straggler.is_some(),
             "the straggler spec is load-bearing for the divergence"
+        );
+        assert!(!minimal.phases.is_empty());
+    }
+
+    #[test]
+    fn integrity_canary_is_caught_and_shrinks() {
+        let cfg = CheckConfig {
+            interleavings: 1,
+            fault: Some(Fault::IntegrityCorrupt),
+            integrity: true,
+            ..CheckConfig::default()
+        };
+        // With the checks silently disabled, the armed flips either rot
+        // the final host state (bit divergence from the flip-blind
+        // oracle) or — when a later statement overwrites the rotten
+        // element — leave the predicted healed-commit ledger empty.
+        // Some seed in a bounded scan must be caught either way and
+        // keep failing through shrinking.
+        let seed = (0..50u64)
+            .find(|&s| check_seed(s, &cfg).is_err())
+            .expect("some integrity seed must surface the disabled checks");
+        let (minimal, failure) = shrink_seed(seed, &cfg).expect("canary failure shrinks");
+        assert!(
+            failure.detail.contains("array") || failure.detail.contains("healed"),
+            "{failure}"
+        );
+        assert!(
+            minimal.integrity.is_some(),
+            "the integrity spec is load-bearing for the divergence"
         );
         assert!(!minimal.phases.is_empty());
     }

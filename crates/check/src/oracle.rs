@@ -32,12 +32,12 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use spread_core::schedule::distribute;
-use spread_core::spec_admission;
+use spread_core::{spec_admission, IntegrityMode};
 use spread_rt::section::ArrayId;
 use spread_rt::{DegradationEvent, DegradationKind, RtError, Section};
 use spread_semantics::{
-    step, AbsSection, DegKind, Degradation, Directive, FoldOp, KernelSem, Leg, MapKind, Perturb,
-    Piece, SemError, State, UpdateLeg,
+    step, AbsSection, DegKind, Degradation, Directive, FoldOp, IntegritySem, KernelSem, Leg,
+    MapKind, Perturb, Piece, SemError, State, UpdateLeg,
 };
 
 use crate::ast::{KernelOp, Program, Sched, Stmt};
@@ -100,6 +100,12 @@ fn rt_err(e: SemError) -> RtError {
         },
         SemError::DeviceLost { device } => lost_err(device),
         SemError::Invalid => RtError::InvalidDirective(String::new()),
+        // Compared by device only (`errors_match`): the runtime's
+        // section names whichever tainted drain surfaced first.
+        SemError::IntegrityViolation { device } => RtError::IntegrityViolation {
+            device,
+            section: Section::new(ArrayId(0), 0, 0),
+        },
         SemError::Degraded {
             device,
             what,
@@ -128,15 +134,29 @@ fn deg_event(d: &Degradation) -> DegradationEvent {
 }
 
 /// The machine perturbation of an injected oracle canary.
-/// `SpillDropsSlice`, `PeerCorrupt` and `RescueDoubleCommit` perturb
-/// the *runtime*, not the oracle, so they map to `None` and leave the
-/// spec honest.
+/// `SpillDropsSlice`, `PeerCorrupt`, `RescueDoubleCommit` and
+/// `IntegrityCorrupt` perturb the *runtime*, not the oracle, so they
+/// map to `None` and leave the spec honest.
 fn perturb_of(fault: Option<Fault>) -> Option<Perturb> {
     match fault? {
         Fault::StencilDropsLeftHalo => Some(Perturb::StencilDropsLeftHalo),
         Fault::ReduceSkipsLast => Some(Perturb::ReduceSkipsLast),
         Fault::RecoveryDropsLostChunk => Some(Perturb::RecoveryDropsLostChunk),
-        Fault::SpillDropsSlice | Fault::PeerCorrupt | Fault::RescueDoubleCommit => None,
+        Fault::SpillDropsSlice
+        | Fault::PeerCorrupt
+        | Fault::RescueDoubleCommit
+        | Fault::IntegrityCorrupt => None,
+    }
+}
+
+/// The spec's `spread_integrity(…)` clause for the program's spread
+/// statements (data-region and halo helper constructs never carry the
+/// clause, matching the executor).
+fn integrity_sem(p: &Program) -> IntegritySem {
+    match p.integrity_mode() {
+        None | Some(IntegrityMode::Off) => IntegritySem::Off,
+        Some(IntegrityMode::Verify) => IntegritySem::Verify,
+        Some(IntegrityMode::Heal) => IntegritySem::Heal,
     }
 }
 
@@ -231,6 +251,7 @@ fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
                 devices: devices.clone(),
                 resilient: p.resilient(),
                 admission,
+                integrity: integrity_sem(p),
                 pieces,
             }]
         }
@@ -265,6 +286,7 @@ fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
                     devices: devices.clone(),
                     resilient: p.resilient(),
                     admission: None,
+                    integrity: IntegritySem::Off,
                     pieces,
                 },
                 Directive::HostFold {
@@ -305,6 +327,7 @@ fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
                     devices: devices.clone(),
                     resilient: false,
                     admission: None,
+                    integrity: IntegritySem::Off,
                     pieces: chunks
                         .iter()
                         .map(|c| Piece {
@@ -379,6 +402,7 @@ fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
                     devices: devices.clone(),
                     resilient: false,
                     admission: None,
+                    integrity: IntegritySem::Off,
                     pieces: chunks
                         .iter()
                         .map(|c| Piece {
@@ -427,6 +451,7 @@ fn lower_stmt(p: &Program, stmt: &Stmt) -> Vec<Directive> {
                 devices: devices.clone(),
                 resilient: false,
                 admission: None,
+                integrity: IntegritySem::Off,
                 pieces: chunks
                     .iter()
                     .map(|c| {
@@ -530,6 +555,18 @@ fn interpret(p: &Program, fault: Option<Fault>) -> (State, Option<SemError>) {
             .expect("generated slowdowns are well-formed");
         }
     }
+    // An integrity program's flip bursts likewise arm before any
+    // statement runs (`S-Flip` at time zero). Under `heal` the tokens
+    // are burned value-invisibly at the commit boundary (`S-Heal`), so
+    // the prediction for a flipped machine IS the flip-blind fault-free
+    // prediction — exactly what the runtime's detect→discard→redo
+    // rounds must reproduce bit for bit.
+    if let Some(is) = &p.integrity {
+        for &(device, count) in &is.flips {
+            step(&mut st, &Directive::Flip { device, count })
+                .expect("generated flips are well-formed");
+        }
+    }
     'outer: for stmt in p.phases.iter().flatten() {
         for d in lower_stmt(p, stmt) {
             if let Err(e) = step(&mut st, &d) {
@@ -587,6 +624,7 @@ mod tests {
             fault: None,
             pressure: None,
             straggler: None,
+            integrity: None,
         }
     }
 

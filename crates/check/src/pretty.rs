@@ -33,6 +33,16 @@ fn resilience(p: &Program) -> &'static str {
     }
 }
 
+/// The `spread_integrity(…)` clause every spread construct carries when
+/// the program runs in integrity mode.
+fn integrity(p: &Program) -> &'static str {
+    match p.integrity_mode() {
+        Some(spread_core::IntegrityMode::Verify) => " spread_integrity(verify)",
+        Some(spread_core::IntegrityMode::Heal) => " spread_integrity(heal)",
+        _ => "",
+    }
+}
+
 /// The `spread_pressure(…)` clause every spread construct carries when
 /// the program runs in pressure mode.
 fn pressure(p: &Program) -> &'static str {
@@ -55,6 +65,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             let nw = if *nowait { " nowait" } else { "" };
             let res = resilience(p);
             let pres = pressure(p);
+            let integ = integrity(p);
             let (maps, body) = match *op {
                 KernelOp::AddConst { a, c } => (
                     format!("map(spread_tofrom: A{a}[ss:sz])"),
@@ -78,7 +89,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             };
             let _ = writeln!(
                 out,
-                "#pragma omp target spread {} {}{res}{pres} {maps}{nw}\n    {body}",
+                "#pragma omp target spread {} {}{res}{pres}{integ} {maps}{nw}\n    {body}",
                 devices(d),
                 sched(sc)
             );
@@ -280,6 +291,15 @@ pub fn listing(p: &Program) -> String {
             let _ = writeln!(
                 out,
                 "// pressure: {bytes} bytes of sustained OOM pressure on device {d} from t=0"
+            );
+        }
+    }
+    if let Some(is) = &p.integrity {
+        let _ = writeln!(out, "// integrity: {:?} mode", is.mode);
+        for (d, count) in &is.flips {
+            let _ = writeln!(
+                out,
+                "// integrity: {count} silent bit-flip token(s) armed on device {d} at t=0"
             );
         }
     }

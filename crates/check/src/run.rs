@@ -3,25 +3,26 @@
 //! the oracle predicts — final host arrays, reduction values, the
 //! mapping-table snapshot, race reports, and the first error.
 
-use std::cell::Cell;
-use std::rc::Rc;
-
 use spread_core::spread_map::SpreadMap;
 use spread_core::testing::TargetSpreadTestingExt;
 use spread_core::{
-    spread_from, spread_to, spread_tofrom, ExchangeMode, PressurePolicy, ResiliencePolicy,
-    SpreadSchedule, TargetEnterDataSpread, TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
+    spread_from, spread_to, spread_tofrom, ExchangeMode, IntegrityMode, PressurePolicy,
+    ResiliencePolicy, SpreadSchedule, TargetEnterDataSpread, TargetExitDataSpread, TargetSpread,
+    TargetUpdateSpread,
 };
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
 use spread_rt::{
-    DegradationEvent, HostArray, KernelSpec, MapType, RtError, Runtime, RuntimeConfig, Scope,
+    DegradationEvent, HostArray, IntegrityEvent, KernelSpec, MapType, RtError, Runtime,
+    RuntimeConfig, Scope,
 };
 use spread_sim::{FaultPlan, SimTime, TieBreak};
 use spread_trace::ConstructProfile;
 
-use crate::ast::{BadKind, FaultSpec, KernelOp, PressureSpec, Program, Stmt, StragglerSpec};
-use crate::Fault;
+use crate::ast::{
+    BadKind, FaultSpec, IntegritySpec, KernelOp, PressureSpec, Program, Stmt, StragglerSpec,
+};
+use crate::{oracle, Fault};
 use spread_core::StragglerPolicy;
 use spread_rt::RescueRecord;
 
@@ -58,6 +59,10 @@ pub struct Observed {
     /// order — from [`Runtime::rescues`]. Empty unless the program
     /// carries a [`StragglerSpec`].
     pub rescues: Vec<RescueRecord>,
+    /// Every caught corruption, in detection order — from
+    /// [`Runtime::integrity_events`]. Empty unless the program carries
+    /// an [`IntegritySpec`] (or the peer canary arms a flip).
+    pub integrity_events: Vec<IntegrityEvent>,
     /// The first error, if any.
     pub error: Option<RtError>,
 }
@@ -71,12 +76,15 @@ pub struct Observed {
 /// the loss fires at time zero and transient bursts start failing
 /// copies immediately, so the outcome is the same under every
 /// tie-break.
+#[allow(clippy::too_many_arguments)]
 fn runtime(
     n_devices: usize,
     tie: TieBreak,
     fault: Option<&FaultSpec>,
     pressure: Option<&PressureSpec>,
     straggler: Option<&StragglerSpec>,
+    integrity: Option<&IntegritySpec>,
+    peer_flip: Option<u32>,
     trace: bool,
 ) -> Runtime {
     // Pressure programs run on their spec's tiny capacity; everything
@@ -114,6 +122,19 @@ fn runtime(
             plan = plan.slow_compute(d, SimTime::ZERO, SimTime::MAX, factor as f64);
         }
     }
+    if let Some(is) = integrity {
+        // Flip bursts arm at time zero — like every other spec fault —
+        // so which committing drains rot is a pure function of the
+        // program, not of event timing.
+        for &(d, count) in &is.flips {
+            plan = plan.silent_flips(d, SimTime::ZERO, count);
+        }
+    }
+    if let Some(d) = peer_flip {
+        // The `--inject peer` canary: one in-flight flip armed against
+        // the destination device of the first predicted peer route.
+        plan = plan.silent_flips(d, SimTime::ZERO, 1);
+    }
     if !plan.is_empty() {
         cfg = cfg.with_fault_plan(plan);
     }
@@ -133,12 +154,16 @@ fn issue_spread(
     drop_spill: bool,
     straggler: Option<StragglerPolicy>,
     force_rescue: bool,
+    integrity: Option<IntegrityMode>,
     op: &KernelOp,
 ) -> Result<(), RtError> {
     let range = op.range(n);
     let mut b = TargetSpread::devices(devices.iter().copied())
         .spread_schedule(sched)
         .spread_resilience(resilience);
+    if let Some(mode) = integrity {
+        b = b.spread_integrity(mode);
+    }
     if let Some(policy) = pressure {
         b = b.spread_pressure(policy);
         if drop_spill {
@@ -241,7 +266,7 @@ fn issue(
     drop_spill: bool,
     force_rescue: bool,
     exchange: ExchangeMode,
-    corrupt: Option<&Rc<Cell<bool>>>,
+    integrity: Option<IntegrityMode>,
     stmt: &Stmt,
 ) -> Result<(), RtError> {
     let resilience = if p.resilient() {
@@ -267,6 +292,7 @@ fn issue(
             drop_spill,
             p.straggler_policy(),
             force_rescue,
+            integrity,
             op,
         ),
         Stmt::Reduce {
@@ -327,6 +353,7 @@ fn issue(
                     false,
                     None,
                     false,
+                    None,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -383,19 +410,17 @@ fn issue(
                     false,
                     None,
                     false,
+                    None,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
-            let mut b = TargetUpdateSpread::devices(devices.iter().copied())
+            TargetUpdateSpread::devices(devices.iter().copied())
                 .range(0, n)
                 .chunk_size(*chunk)
                 .to(h, |c| c.start().saturating_sub(1)..c.start())
                 .to(h, move |c| c.end()..(c.end() + 1).min(n))
-                .exchange(exchange);
-            if let Some(flag) = corrupt {
-                b = b.with_peer_corruption(Rc::clone(flag));
-            }
-            b.launch(s)?;
+                .exchange(exchange)
+                .launch(s)?;
             // Clamped 3-point stencil over the refreshed window: the
             // `to` map is the exact halo'd section (pure reuse, no
             // copy), and the `from` map carries the freshly exchanged
@@ -518,10 +543,16 @@ pub fn execute(p: &Program, tie: TieBreak, inject: Option<Fault>) -> Observed {
 
 /// [`execute`] with an explicit `exchange(…)` route for every
 /// [`Stmt::Halo`] refresh in the program (other statements never
-/// exchange). Under [`Fault::PeerCorrupt`] the *runtime* perturbs one
-/// element of the first peer copy it completes — inert when `exchange`
-/// forces the host path, which is exactly what makes the canary a proof
-/// that the differential harness watches the peer route.
+/// exchange). Under [`Fault::PeerCorrupt`] the fault plan arms one
+/// in-flight [`spread_sim::PlannedFault::SilentFlip`] against the
+/// destination device of the first predicted peer route — and only
+/// when `exchange` takes the peer path, so the host-forced legs stay
+/// bit-clean. That asymmetry is exactly what makes the canary a proof
+/// that the differential harness watches the peer route. Under
+/// [`Fault::IntegrityCorrupt`] the program's flip bursts stay armed but
+/// every construct's `spread_integrity(…)` clause is downgraded to
+/// `off`, so the rot reaches the host silently and the flip-blind
+/// oracle comparison must catch it.
 pub fn execute_ex(
     p: &Program,
     tie: TieBreak,
@@ -530,13 +561,19 @@ pub fn execute_ex(
 ) -> Observed {
     let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
     let force_rescue = inject == Some(Fault::RescueDoubleCommit) && p.straggler.is_some();
-    let corrupt = (inject == Some(Fault::PeerCorrupt)).then(|| Rc::new(Cell::new(false)));
+    let peer_flip = (inject == Some(Fault::PeerCorrupt) && exchange != ExchangeMode::Host)
+        .then(|| oracle::predict_peer_copies(p).first().map(|r| r.1))
+        .flatten();
+    let blind = inject == Some(Fault::IntegrityCorrupt) && p.integrity.is_some();
+    let integrity = if blind { None } else { p.integrity_mode() };
     let mut rt = runtime(
         p.n_devices,
         tie,
         p.fault.as_ref(),
         p.pressure.as_ref(),
         p.straggler.as_ref(),
+        p.integrity.as_ref(),
+        peer_flip,
         p.uses_auto(),
     );
     let handles: Vec<HostArray> = (0..p.n_arrays)
@@ -557,7 +594,7 @@ pub fn execute_ex(
                     drop_spill,
                     force_rescue,
                     exchange,
-                    corrupt.as_ref(),
+                    integrity,
                     stmt,
                 )?;
             }
@@ -584,6 +621,7 @@ pub fn execute_ex(
         profiles: rt.profiles(),
         races: rt.races().len(),
         rescues: rt.rescues(),
+        integrity_events: rt.integrity_events(),
         peer_copies: rt
             .peer_copies()
             .iter()
@@ -622,6 +660,7 @@ mod tests {
             fault: None,
             pressure: None,
             straggler: None,
+            integrity: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -649,6 +688,7 @@ mod tests {
             fault: None,
             pressure: None,
             straggler: None,
+            integrity: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -678,6 +718,7 @@ mod tests {
             fault: None,
             pressure: None,
             straggler: None,
+            integrity: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -704,6 +745,7 @@ mod tests {
             }),
             pressure: None,
             straggler: None,
+            integrity: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(
@@ -743,6 +785,7 @@ mod tests {
                 sustained: vec![(0, 64)],
             }),
             straggler: None,
+            integrity: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);

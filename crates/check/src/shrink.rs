@@ -56,6 +56,27 @@ fn candidates(p: &Program) -> Vec<Program> {
             spread_core::StragglerPolicy::Replicate;
         out.push(q);
     }
+    // 0d. Drop the integrity scenario, or drop one flip burst, or
+    // reduce a burst to a single token.
+    if p.integrity.is_some() {
+        let mut q = p.clone();
+        q.integrity = None;
+        out.push(q);
+    }
+    if let Some(is) = &p.integrity {
+        for i in 0..is.flips.len() {
+            if is.flips.len() > 1 {
+                let mut q = p.clone();
+                q.integrity.as_mut().expect("checked above").flips.remove(i);
+                out.push(q);
+            }
+            if is.flips[i].1 > 1 {
+                let mut q = p.clone();
+                q.integrity.as_mut().expect("checked above").flips[i].1 = 1;
+                out.push(q);
+            }
+        }
+    }
     // 1. Drop a whole phase.
     for i in 0..p.phases.len() {
         if p.phases.len() > 1 {
@@ -95,18 +116,23 @@ fn candidates(p: &Program) -> Vec<Program> {
         }
     }
     // 5. Drop the machine down to the devices actually named (the
-    // fault plan's devices count as named).
+    // fault plan's and integrity spec's devices count as named).
     let fault_devices = p.fault.iter().flat_map(|f| {
         f.lost
             .into_iter()
             .chain(f.transients.iter().map(|&(d, _)| d))
     });
+    let flip_devices = p
+        .integrity
+        .iter()
+        .flat_map(|is| is.flips.iter().map(|&(d, _)| d));
     let used = p
         .phases
         .iter()
         .flatten()
         .flat_map(stmt_devices)
         .chain(fault_devices)
+        .chain(flip_devices)
         .max()
         .map(|d| d as usize + 1)
         .unwrap_or(1);
@@ -343,6 +369,7 @@ mod tests {
             fault: None,
             pressure: None,
             straggler: None,
+            integrity: None,
         }
     }
 
@@ -376,10 +403,11 @@ mod tests {
         // the original satisfies, the minimum must still satisfy it —
         // `shrink` only ever commits candidates the predicate accepts.
         for seed in 0..12u64 {
-            let p = match seed % 4 {
+            let p = match seed % 5 {
                 0 => gen::gen_program_cfg(seed, false),
                 1 => gen::gen_program_cfg(seed, true),
                 2 => gen::gen_program_pressure(seed),
+                3 => gen::gen_program_integrity(seed),
                 _ => gen::gen_program_peer(seed),
             };
             let mut fails = |q: &Program| !q.phases.is_empty();

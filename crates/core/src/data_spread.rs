@@ -19,7 +19,7 @@ use std::ops::Range;
 
 use spread_rt::directives::{ExchangeMode, TargetEnterData, TargetExitData, TargetUpdate};
 use spread_rt::map::MapType;
-use spread_rt::{HostArray, MapClause, RtError, Scope, Section, TaskId};
+use spread_rt::{HostArray, IntegrityMode, MapClause, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
 use crate::resilience::ResiliencePolicy;
@@ -442,7 +442,7 @@ pub struct TargetUpdateSpread {
     nowait: bool,
     exchange: ExchangeMode,
     resilience: ResiliencePolicy,
-    corrupt_peer: Option<std::rc::Rc<std::cell::Cell<bool>>>,
+    integrity: IntegrityMode,
 }
 
 impl TargetUpdateSpread {
@@ -459,7 +459,7 @@ impl TargetUpdateSpread {
             // `exchange(host)`.
             exchange: ExchangeMode::Auto,
             resilience: ResiliencePolicy::default(),
-            corrupt_peer: None,
+            integrity: IntegrityMode::default(),
         }
     }
 
@@ -483,12 +483,15 @@ impl TargetUpdateSpread {
         self
     }
 
-    /// Test-only canary hook: the first peer copy the directive
-    /// completes perturbs one element. See
-    /// [`TargetUpdate::with_peer_corruption`].
-    #[doc(hidden)]
-    pub fn with_peer_corruption(mut self, flag: std::rc::Rc<std::cell::Cell<bool>>) -> Self {
-        self.corrupt_peer = Some(flag);
+    /// `spread_integrity(off|verify|heal)`: digest every `from(…)` drain
+    /// and every peer-route `to(…)` payload with CRC32C and re-verify at
+    /// the trust boundary. `verify` fails the directive on a mismatch;
+    /// `heal` discards tainted peer bytes and re-fetches over the host
+    /// path. `heal` cannot compose with `from(…)` items: the host is the
+    /// *destination* of a `from` drain, so there is no unharmed host
+    /// image left to heal from — use `verify` there.
+    pub fn spread_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
         self
     }
 
@@ -542,6 +545,16 @@ impl TargetUpdateSpread {
                     .into(),
             ));
         }
+        if self.integrity == IntegrityMode::Heal && !self.from_items.is_empty() {
+            // A `from(…)` drain makes the host the destination; healing
+            // re-reads the very device bytes that failed verification.
+            return Err(RtError::InvalidDirective(
+                "target update spread: spread_integrity(heal) cannot compose with from(…) \
+                 items (the host image is being overwritten — nothing unharmed to heal \
+                 from); use spread_integrity(verify)"
+                    .into(),
+            ));
+        }
         let chunks = self.clauses.chunks()?;
         let resilient = self.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
@@ -553,10 +566,8 @@ impl TargetUpdateSpread {
             }
             let mut b = TargetUpdate::device(device)
                 .nowait()
-                .exchange(self.exchange);
-            if let Some(flag) = &self.corrupt_peer {
-                b = b.with_peer_corruption(std::rc::Rc::clone(flag));
-            }
+                .exchange(self.exchange)
+                .integrity(self.integrity);
             for (a, expr) in &self.to_items {
                 b = b.to(Section::from_range(a.id(), expr(c)));
             }

@@ -30,12 +30,17 @@
 //! Extensions implemented from the paper's future-work section (§IX):
 //! `depend` on the data-spread directives (Listing 13), a `dynamic`
 //! spread schedule, weighted static chunking, and a cross-device
-//! reduction helper. Beyond §IX, two robustness extensions:
+//! reduction helper. Beyond §IX, robustness extensions:
 //! [`TargetSpread::spread_resilience`] ([`ResiliencePolicy`]) rebuilds
-//! a permanently lost device's chunks on the surviving devices, and
+//! a permanently lost device's chunks on the surviving devices,
 //! [`TargetSpread::spread_pressure`] ([`PressurePolicy`]) degrades
 //! gracefully under device memory pressure — capacity-aware admission,
-//! adaptive chunk splitting, and host spill (see [`pressure`]).
+//! adaptive chunk splitting, and host spill (see [`pressure`]) — and
+//! [`TargetSpread::spread_integrity`] ([`IntegrityMode`]) digests
+//! device payloads end to end, catching silent corruption at the
+//! staged-commit and peer-receive trust boundaries and (under `heal`)
+//! re-executing tainted pieces from the unharmed host image (see
+//! [`integrity`]).
 //!
 //! # Example
 //!
@@ -75,6 +80,7 @@
 
 pub mod chunk;
 pub mod data_spread;
+pub mod integrity;
 pub mod pressure;
 pub mod reduction;
 pub mod resilience;
@@ -97,7 +103,7 @@ pub use reduction::ReduceOp;
 pub use resilience::ResiliencePolicy;
 pub use schedule::{distribute, Chunk, SpreadSchedule};
 pub use spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom, SectionOf, SpreadMap};
-pub use spread_rt::ExchangeMode;
+pub use spread_rt::{ExchangeMode, IntegrityMode};
 pub use straggler::StragglerPolicy;
 pub use target_spread::TargetSpread;
 
@@ -115,5 +121,5 @@ pub mod prelude {
     pub use crate::spread_map::{spread_alloc, spread_from, spread_to, spread_tofrom};
     pub use crate::straggler::StragglerPolicy;
     pub use crate::target_spread::TargetSpread;
-    pub use spread_rt::ExchangeMode;
+    pub use spread_rt::{ExchangeMode, IntegrityMode};
 }

@@ -296,8 +296,8 @@ pub fn spec_admission(
                     DegradationKind::AdmissionShrunk => spread_semantics::DegKind::AdmissionShrunk,
                     DegradationKind::ChunkSplit => spread_semantics::DegKind::ChunkSplit,
                     DegradationKind::Spilled => spread_semantics::DegKind::Spilled,
-                    DegradationKind::StragglerRescued => {
-                        unreachable!("the admission planner never emits rescue events")
+                    DegradationKind::StragglerRescued | DegradationKind::CorruptionHealed => {
+                        unreachable!("the admission planner never emits rescue or heal events")
                     }
                 },
                 device: e.device,

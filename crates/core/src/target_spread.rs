@@ -23,7 +23,7 @@ use std::ops::Range;
 use std::rc::Rc;
 
 use spread_rt::directives::Target;
-use spread_rt::{KernelSpec, RtError, Scope, Section, TaskId};
+use spread_rt::{IntegrityMode, KernelSpec, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
 use crate::pressure::{self, Placement, PressureCoordinator, PressurePolicy};
@@ -61,6 +61,7 @@ pub struct TargetSpread {
     resilience: ResiliencePolicy,
     pressure: PressurePolicy,
     straggler: StragglerPolicy,
+    integrity: IntegrityMode,
     straggler_beta: f64,
     drop_last_spill_slice: bool,
     force_rescue_double_commit: bool,
@@ -83,6 +84,7 @@ impl TargetSpread {
             resilience: ResiliencePolicy::FailStop,
             pressure: PressurePolicy::Fail,
             straggler: StragglerPolicy::Wait,
+            integrity: IntegrityMode::Off,
             straggler_beta: 4.0,
             drop_last_spill_slice: false,
             force_rescue_double_commit: false,
@@ -203,6 +205,27 @@ impl TargetSpread {
         self.straggler
     }
 
+    /// The `spread_integrity(…)` clause: whether device payloads are
+    /// CRC32C-digested at their source and re-verified where device
+    /// bytes become authoritative — the staged-commit drain and the
+    /// peer-copy receive (default: [`IntegrityMode::Off`], the
+    /// pre-existing trust-the-wire behavior). `verify` fails the
+    /// construct on a mismatch; `heal` re-executes the tainted piece
+    /// from the unharmed host image (see the
+    /// [`integrity`](crate::integrity) module) and quarantines repeat
+    /// offenders. `heal` requires a static schedule and a blocking
+    /// construct, and composes with `spread_resilience(redistribute)`
+    /// but not with `spread_straggler` or `spread_pressure` degradation.
+    pub fn spread_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
+
+    /// The active integrity mode.
+    pub fn integrity(&self) -> IntegrityMode {
+        self.integrity
+    }
+
     /// Override the straggler detection threshold β (default 4): a
     /// piece is a straggler if its kernel is still running β× past the
     /// construct's first kernel completion. Clamped to ≥ 1.
@@ -269,7 +292,7 @@ impl TargetSpread {
     }
 
     pub(crate) fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
-        let mut t = Target::device(device).nowait();
+        let mut t = Target::device(device).nowait().integrity(self.integrity);
         if self.serial {
             t = t.serial();
         } else {
@@ -297,7 +320,7 @@ impl TargetSpread {
     /// piece, not queue behind the dependences it publishes. Downstream
     /// synchronization still flows through the original's exit.
     pub(crate) fn build_rescue_target(&self, device: u32, c: ChunkCtx) -> Target {
-        let mut t = Target::device(device).nowait();
+        let mut t = Target::device(device).nowait().integrity(self.integrity);
         if self.serial {
             t = t.serial();
         } else {
@@ -390,6 +413,44 @@ impl TargetSpread {
                 return Err(RtError::InvalidDirective(
                     "target spread: spread_straggler(steal|replicate) requires a blocking \
                      construct"
+                        .into(),
+                ));
+            }
+        }
+        if self.integrity == IntegrityMode::Heal {
+            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+                // Healing rebuilds the *same* piece on a known device;
+                // dynamic chunks have no stable piece → device identity
+                // to rebuild against.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_integrity(heal) requires a static schedule".into(),
+                ));
+            }
+            if self.nowait {
+                // The blocking drain owns the redo exits; a nowait
+                // construct has no drain to absorb them into.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_integrity(heal) requires a blocking construct".into(),
+                ));
+            }
+            if self.straggler != StragglerPolicy::Wait {
+                // A rescue's first-commit-wins arbitration assumes every
+                // commit is trustworthy; a healing redo racing a rescue
+                // of the same piece would double-arbitrate it. `verify`
+                // composes (a mismatch just fails the construct).
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_integrity(heal) is incompatible with \
+                     spread_straggler(steal|replicate); use spread_integrity(verify)"
+                        .into(),
+                ));
+            }
+            if self.pressure != PressurePolicy::Fail {
+                // Both clauses register recovery handlers on the same
+                // construct phases; composing the two degradation
+                // ladders is future work. `verify` composes.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_integrity(heal) is incompatible with \
+                     spread_pressure(split|spill); use spread_integrity(verify)"
                         .into(),
                 ));
             }
@@ -557,8 +618,16 @@ impl TargetSpread {
         };
         let straggle =
             self.straggler != StragglerPolicy::Wait && chunks.len() >= 2 && distinct >= 2;
+        let heal = self.integrity == IntegrityMode::Heal;
         let this = Rc::new(self);
-        let coord = resilient.then(|| Coordinator::new(Rc::clone(&this), kernel.clone()));
+        // Under `spread_integrity(heal)` the healer subsumes the
+        // resilience coordinator: its handler covers device loss (real
+        // or quarantine) *and* integrity violations, because the runtime
+        // keeps a single recovery registration per task.
+        let coord =
+            (resilient && !heal).then(|| Coordinator::new(Rc::clone(&this), kernel.clone()));
+        let healer = heal
+            .then(|| crate::integrity::Healer::new(Rc::clone(&this), kernel.clone(), resilient));
         let monitor = straggle
             .then(|| crate::straggler::Monitor::new(Rc::clone(&this), kernel.clone(), scope.now()));
         let mut ids = Vec::with_capacity(chunks.len());
@@ -573,10 +642,13 @@ impl TargetSpread {
             } else {
                 None
             };
-            if coord.is_some() || monitor.is_some() {
+            if coord.is_some() || monitor.is_some() || healer.is_some() {
                 let phases = t.parallel_for_phases(scope, chunk.range(), kernel.clone())?;
                 if let Some(coord) = &coord {
                     crate::resilience::guard(scope, coord, device, chunk.start, chunk.len, phases);
+                }
+                if let Some(h) = &healer {
+                    crate::integrity::guard(scope, h, device, chunk.start, chunk.len, phases);
                 }
                 if let (Some(m), Some(g)) = (&monitor, gate) {
                     crate::straggler::watch(scope, m, device, chunk.start, chunk.len, phases, g);

@@ -46,9 +46,13 @@ struct DeviceState {
     /// Memory-pressure windows: `(from, until, bytes)`, `until = None`
     /// for sustained pressure (never released).
     pressure: Vec<(SimTime, Option<SimTime>, u64)>,
+    /// Armed silent-flip windows: `(armed_from, remaining_tokens)`.
+    flips: Vec<(SimTime, u32)>,
     lost: bool,
     /// Streak of transient faults with no intervening success.
     consecutive: u32,
+    /// Streak of integrity mismatches with no intervening clean verify.
+    mismatches: u32,
 }
 
 struct Inner {
@@ -86,8 +90,10 @@ impl FaultCtx {
                 degrades: Vec::new(),
                 slowdowns: Vec::new(),
                 pressure: Vec::new(),
+                flips: Vec::new(),
                 lost: false,
                 consecutive: 0,
+                mismatches: 0,
             })
             .collect();
         for f in &plan.faults {
@@ -139,8 +145,17 @@ impl FaultCtx {
                         d.slowdowns.push((from, until, factor));
                     }
                 }
+                PlannedFault::SilentFlip {
+                    device,
+                    after,
+                    count,
+                } => {
+                    if let Some(d) = devices.get_mut(device as usize) {
+                        d.flips.push((after, count));
+                    }
+                }
                 // Scheduled by the runtime at their virtual instants.
-                PlannedFault::DeviceLoss { .. } => {}
+                PlannedFault::DeviceLoss { .. } | PlannedFault::MemoryScribble { .. } => {}
             }
         }
         FaultCtx {
@@ -231,6 +246,68 @@ impl FaultCtx {
         }
         d.consecutive = 0;
         Attempt::Ok
+    }
+
+    /// Consume one silent-flip token armed on `device` at `now`, if any:
+    /// the caller (a transfer effect reading the device's bytes) must
+    /// then flip one bit of its payload *after* digesting the pristine
+    /// bytes — the corruption happens downstream of the DMA engine's
+    /// checksum, which is what makes it catchable. Never touches the
+    /// transient streak and never raises an error: the whole point is
+    /// that the operation reports success.
+    pub fn take_flip(&self, device: u32, now: SimTime) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let Some(d) = inner.devices.get_mut(device as usize) else {
+            return false;
+        };
+        let armed = d
+            .flips
+            .iter_mut()
+            .find(|(after, remaining)| *after <= now && *remaining > 0);
+        if let Some((_, remaining)) = armed {
+            *remaining -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Record a digest mismatch attributed to `device` and run the
+    /// integrity circuit-breaker: returns `true` when the mismatch
+    /// streak reaches the breaker threshold — the device's data path can
+    /// no longer be trusted and the caller must quarantine it via
+    /// [`FaultCtx::mark_lost`] (after which redistribution composes
+    /// exactly as for any other loss). The integrity streak is tracked
+    /// separately from the transient streak: a device can corrupt
+    /// silently while never failing a copy.
+    pub fn record_integrity_mismatch(&self, device: u32) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let breaker = inner.breaker;
+        let Some(d) = inner.devices.get_mut(device as usize) else {
+            return false;
+        };
+        if d.lost {
+            return false;
+        }
+        d.mismatches += 1;
+        d.mismatches >= breaker
+    }
+
+    /// Record a clean digest verification on `device`: resets the
+    /// integrity-mismatch streak (the breaker demands *consecutive*
+    /// mismatches, mirroring the transient streak).
+    pub fn record_integrity_ok(&self, device: u32) {
+        if let Some(d) = self.inner.borrow_mut().devices.get_mut(device as usize) {
+            d.mismatches = 0;
+        }
+    }
+
+    /// The current integrity-mismatch streak on `device`.
+    pub fn integrity_streak(&self, device: u32) -> u32 {
+        self.inner
+            .borrow()
+            .devices
+            .get(device as usize)
+            .map_or(0, |d| d.mismatches)
     }
 
     /// True if the transient streak on `device` has reached the breaker
@@ -393,6 +470,75 @@ mod tests {
         // Tokens spent: this succeeds and resets the streak.
         assert_eq!(c.attempt(0, t(2)), Attempt::Ok);
         assert!(!c.breaker_tripped(0));
+    }
+
+    #[test]
+    fn streak_reset_prevents_breaker_trip_across_bursts() {
+        // Two separate two-token bursts with a success in between must
+        // never trip a breaker of 3: the reset applies mid-streak, not
+        // just after all tokens are spent.
+        let plan = FaultPlan::new(0)
+            .transient_copies(1, t(0), 2)
+            .transient_copies(1, t(100), 2);
+        let c = ctx(&plan, 3);
+        assert_eq!(c.attempt(1, t(0)), Attempt::Transient);
+        assert_eq!(c.attempt(1, t(1)), Attempt::Transient);
+        assert_eq!(c.attempt(1, t(2)), Attempt::Ok); // streak → 0
+        assert_eq!(c.attempt(1, t(100)), Attempt::Transient);
+        assert_eq!(c.attempt(1, t(101)), Attempt::Transient);
+        assert!(!c.breaker_tripped(1), "reset streak must not accumulate");
+        assert_eq!(c.attempt(1, t(102)), Attempt::Ok);
+    }
+
+    #[test]
+    fn flip_tokens_consume_in_window_only() {
+        let c = ctx(&FaultPlan::new(0).silent_flips(2, t(10), 2), 100);
+        // Before the window: no flip.
+        assert!(!c.take_flip(2, t(5)));
+        // Inside: two tokens, then clean again.
+        assert!(c.take_flip(2, t(10)));
+        assert!(c.take_flip(2, t(11)));
+        assert!(!c.take_flip(2, t(12)));
+        // Other devices (and out-of-range ids) unaffected.
+        assert!(!c.take_flip(0, t(11)));
+        assert!(!c.take_flip(99, t(11)));
+    }
+
+    #[test]
+    fn flips_never_touch_the_transient_streak() {
+        let c = ctx(&FaultPlan::new(0).silent_flips(0, t(0), 10), 2);
+        assert!(c.take_flip(0, t(0)));
+        assert!(c.take_flip(0, t(1)));
+        assert!(!c.breaker_tripped(0));
+        assert_eq!(c.attempt(0, t(2)), Attempt::Ok);
+    }
+
+    #[test]
+    fn integrity_streak_trips_the_breaker_into_quarantine() {
+        let c = ctx(&FaultPlan::new(0), 3);
+        assert!(!c.record_integrity_mismatch(1));
+        assert!(!c.record_integrity_mismatch(1));
+        assert_eq!(c.integrity_streak(1), 2);
+        assert!(c.record_integrity_mismatch(1), "third strike quarantines");
+        // Other devices keep their own streaks.
+        assert_eq!(c.integrity_streak(0), 0);
+        let mut sim = Simulator::without_trace();
+        c.mark_lost(&mut sim, 1);
+        assert!(c.is_lost(1));
+        // A lost device no longer accumulates (or re-trips).
+        assert!(!c.record_integrity_mismatch(1));
+    }
+
+    #[test]
+    fn clean_verify_resets_the_integrity_streak() {
+        let c = ctx(&FaultPlan::new(0), 3);
+        assert!(!c.record_integrity_mismatch(2));
+        assert!(!c.record_integrity_mismatch(2));
+        c.record_integrity_ok(2);
+        assert_eq!(c.integrity_streak(2), 0);
+        assert!(!c.record_integrity_mismatch(2));
+        assert!(!c.record_integrity_mismatch(2));
+        assert!(!c.is_lost(2));
     }
 
     #[test]

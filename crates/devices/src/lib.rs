@@ -39,6 +39,7 @@ pub mod compute;
 pub mod dma;
 pub mod gate;
 pub mod health;
+pub mod integrity;
 pub mod memory;
 pub mod node;
 pub mod spec;
@@ -48,6 +49,7 @@ pub use compute::ComputeEngine;
 pub use dma::{Direction, DmaEngine};
 pub use gate::SerialGate;
 pub use health::{Attempt, FaultCtx, OnFault};
+pub use integrity::{crc32c, digest_f64};
 pub use memory::{AllocId, DeviceMemory, MemoryPool, OutOfMemory};
 pub use node::{DeviceHandle, Node};
 pub use spec::{ComputeModel, DeviceSpec};

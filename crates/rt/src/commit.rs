@@ -28,8 +28,11 @@ struct GateState {
     /// Staged-write sets actually drained to host memory. Exactly 1 in
     /// any correct run that reached its exit(s).
     commits: u32,
-    /// A copy barred from committing (the cancelled half of a steal).
-    disqualified: Option<u32>,
+    /// Copies barred from committing: the cancelled half of a steal,
+    /// and/or any copy whose staged bytes failed digest verification
+    /// (`spread_integrity`). A set, because both can happen to the same
+    /// gate — a stolen original *and* a corrupted rescue.
+    disqualified: Vec<u32>,
     /// Canary: losers commit too (with a perturbed first element) so a
     /// conformance harness can prove double commits are caught.
     force_duplicate: bool,
@@ -60,7 +63,7 @@ impl CommitGate {
     /// are identical, so no second write is needed.
     pub fn try_commit(&self, now: SimTime, copy: u32) -> bool {
         let mut st = self.inner.borrow_mut();
-        if st.disqualified == Some(copy) {
+        if st.disqualified.contains(&copy) {
             return false;
         }
         match st.winner {
@@ -78,9 +81,19 @@ impl CommitGate {
         }
     }
 
-    /// Bar `copy` from ever committing (its work was cancelled).
+    /// Bar `copy` from ever committing (its work was cancelled, or its
+    /// staged bytes failed digest verification). Cumulative: each call
+    /// adds to the barred set.
     pub fn disqualify(&self, copy: u32) {
-        self.inner.borrow_mut().disqualified = Some(copy);
+        let mut st = self.inner.borrow_mut();
+        if !st.disqualified.contains(&copy) {
+            st.disqualified.push(copy);
+        }
+    }
+
+    /// Whether `copy` is barred from committing.
+    pub fn is_disqualified(&self, copy: u32) -> bool {
+        self.inner.borrow().disqualified.contains(&copy)
     }
 
     /// The recorded winner's copy index, if a commit has happened.
@@ -163,6 +176,66 @@ mod tests {
         g.disqualify(0);
         assert!(!g.try_commit(t(5), 0));
         assert!(g.try_commit(t(9), 1));
+        assert_eq!(g.winner(), Some(1));
+    }
+
+    #[test]
+    fn same_instant_tie_break_is_transitive_over_three_copies() {
+        // Three speculative copies landing at one instant: the lowest
+        // index is recorded winner whatever the arrival permutation,
+        // and exactly one write happens.
+        for order in [[2, 1, 0], [1, 0, 2], [0, 2, 1], [2, 0, 1]] {
+            let g = CommitGate::new();
+            let mut writes = 0;
+            for copy in order {
+                if g.try_commit(t(7), copy) {
+                    writes += 1;
+                }
+            }
+            assert_eq!(g.winner(), Some(0), "order {order:?}");
+            assert_eq!(g.commits(), 1, "order {order:?}");
+            assert_eq!(writes, 1, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn later_instant_never_steals_the_win() {
+        // The tie-break applies only to same-instant arrivals: a lower
+        // copy index arriving *later* does not rewrite history.
+        let g = CommitGate::new();
+        assert!(g.try_commit(t(10), 3));
+        assert!(!g.try_commit(t(11), 0));
+        assert_eq!(g.winner(), Some(3));
+        assert_eq!(g.commits(), 1);
+    }
+
+    #[test]
+    fn disqualification_accumulates_across_copies() {
+        // A stolen original (copy 0) and a corrupted rescue (copy 1) on
+        // the same gate: both stay barred, a clean third copy commits.
+        let g = CommitGate::new();
+        g.disqualify(0);
+        g.disqualify(1);
+        g.disqualify(1); // idempotent
+        assert!(g.is_disqualified(0));
+        assert!(g.is_disqualified(1));
+        assert!(!g.try_commit(t(5), 0));
+        assert!(!g.try_commit(t(5), 1));
+        assert_eq!(g.winner(), None);
+        assert_eq!(g.commits(), 0);
+        assert!(g.try_commit(t(6), 2));
+        assert_eq!(g.winner(), Some(2));
+        assert_eq!(g.commits(), 1);
+    }
+
+    #[test]
+    fn disqualified_copy_cannot_claim_a_tie() {
+        // Copy 0 is barred; at a shared instant the tie-break must not
+        // hand it the recorded win either.
+        let g = CommitGate::new();
+        g.disqualify(0);
+        assert!(g.try_commit(t(9), 1));
+        assert!(!g.try_commit(t(9), 0));
         assert_eq!(g.winner(), Some(1));
     }
 

@@ -14,7 +14,6 @@
 //! until the construct completes, like the OpenMP originals.
 
 use std::ops::Range;
-use std::rc::Rc;
 
 use crate::error::RtError;
 use crate::kernel::KernelSpec;
@@ -282,7 +281,7 @@ pub struct TargetUpdate {
     nowait: bool,
     deps: Depends,
     exchange: ExchangeMode,
-    corrupt_peer: Option<Rc<std::cell::Cell<bool>>>,
+    integrity: crate::integrity::IntegrityMode,
 }
 
 impl TargetUpdate {
@@ -295,7 +294,7 @@ impl TargetUpdate {
             nowait: false,
             deps: Depends::default(),
             exchange: ExchangeMode::Host,
-            corrupt_peer: None,
+            integrity: crate::integrity::IntegrityMode::default(),
         }
     }
 
@@ -306,13 +305,15 @@ impl TargetUpdate {
         self
     }
 
-    /// Test-only canary hook: the first peer copy this directive
-    /// completes perturbs one element after observing the unarmed flag
-    /// (and arms it). Conformance harnesses use it to prove they would
-    /// notice a broken D2D engine.
-    #[doc(hidden)]
-    pub fn with_peer_corruption(mut self, flag: Rc<std::cell::Cell<bool>>) -> Self {
-        self.corrupt_peer = Some(flag);
+    /// `spread_integrity(off|verify|heal)` — checksum every payload at
+    /// its source and re-verify at the trust boundary. For an update,
+    /// `heal` re-fetches a tainted peer pull over the host path; a
+    /// tainted `from(…)` drain fails either way (the host is the
+    /// destination — there is no unharmed image to heal a `from` item
+    /// from, so reject `heal` with `from` items at a higher layer or
+    /// accept fail-stop here).
+    pub fn integrity(mut self, mode: crate::integrity::IntegrityMode) -> Self {
+        self.integrity = mode;
         self
     }
 
@@ -356,7 +357,7 @@ impl TargetUpdate {
             ));
         }
         let exchange = self.exchange;
-        let corrupt_peer = self.corrupt_peer;
+        let integrity = self.integrity;
         let mut spec = TaskSpec::new(format!("update(dev{device})"));
         spec.wait_on = self.deps.wait_on();
         spec.publish = spec.wait_on.clone();
@@ -384,7 +385,7 @@ impl TargetUpdate {
                 routes,
                 from_copies,
                 Vec::new(),
-                corrupt_peer,
+                integrity,
                 None,
             );
             Ok(Completion::Async)
@@ -511,6 +512,7 @@ pub struct Target {
     extra_preds: Vec<TaskId>,
     pressure_managed: bool,
     commit_gate: Option<(crate::commit::CommitGate, u32)>,
+    integrity: crate::integrity::IntegrityMode,
 }
 
 impl Target {
@@ -526,7 +528,19 @@ impl Target {
             extra_preds: Vec::new(),
             pressure_managed: false,
             commit_gate: None,
+            integrity: crate::integrity::IntegrityMode::default(),
         }
+    }
+
+    /// `spread_integrity(off|verify|heal)` — checksum this construct's
+    /// staged D2H exit at its source and re-verify at the commit drain.
+    /// Under `verify` a mismatch fails the construct with
+    /// [`RtError::IntegrityViolation`]; under `heal` it routes to the
+    /// construct's registered [`Scope::on_task_integrity`] recoverer,
+    /// which re-executes the piece from the unharmed host image.
+    pub fn integrity(mut self, mode: crate::integrity::IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
     }
 
     /// Route this construct's staged D2H exit through a shared
@@ -722,6 +736,7 @@ impl Target {
             spec.fp_reads = fp_reads;
             spec.fp_writes = fp_writes;
             let gate = self.commit_gate.clone();
+            let integrity = self.integrity;
             let action: Action = Box::new(move |sim, inner_rc, id| {
                 let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
                 run_transfers_ex(
@@ -733,7 +748,7 @@ impl Target {
                     Vec::new(),
                     plan.copies,
                     plan.to_free,
-                    None,
+                    integrity,
                     gate,
                 );
                 Ok(Completion::Async)

@@ -104,6 +104,18 @@ pub enum RtError {
         /// Bytes the smallest piece still needed.
         bytes: u64,
     },
+    /// An end-to-end digest verification failed at a trust boundary: the
+    /// payload that arrived is not the payload the source digested. The
+    /// transfer itself reported success — only the checksum knows.
+    /// Raised under `spread_integrity(verify)`; under `heal` the piece
+    /// is re-executed instead and the error only surfaces if healing is
+    /// impossible.
+    IntegrityViolation {
+        /// Device whose data path corrupted the payload.
+        device: u32,
+        /// The section whose bytes failed verification.
+        section: Section,
+    },
 }
 
 impl RtError {
@@ -138,6 +150,10 @@ impl RtError {
             // Degradation already *was* the retry ladder: by
             // construction every transient avenue has been exhausted.
             RtError::Degraded { .. } => false,
+            // A data path that corrupts silently cannot be trusted to
+            // behave on a blind retry; healing is an explicit policy
+            // (re-execute from the host image), not a retry.
+            RtError::IntegrityViolation { .. } => false,
         }
     }
 }
@@ -209,6 +225,11 @@ impl fmt::Display for RtError {
                 f,
                 "degradation exhausted placing {what}: no device can hold {bytes} B \
                  (last tried device {device})"
+            ),
+            RtError::IntegrityViolation { device, section } => write!(
+                f,
+                "integrity violation: digest mismatch on {section} from device {device} \
+                 (silent corruption caught at a trust boundary)"
             ),
         }
     }
@@ -409,6 +430,13 @@ mod tests {
                 },
                 false,
             ),
+            (
+                RtError::IntegrityViolation {
+                    device: 0,
+                    section: s,
+                },
+                false,
+            ),
         ];
         for (err, want) in &every {
             assert_eq!(err.is_transient(), *want, "{err}");
@@ -425,7 +453,8 @@ mod tests {
                 | RtError::TransientCopy { .. }
                 | RtError::DeviceLost { .. }
                 | RtError::Timeout { .. }
-                | RtError::Degraded { .. } => {}
+                | RtError::Degraded { .. }
+                | RtError::IntegrityViolation { .. } => {}
             }
         }
         let variants: std::collections::BTreeSet<&'static str> = every
@@ -441,9 +470,23 @@ mod tests {
                 RtError::DeviceLost { .. } => "DeviceLost",
                 RtError::Timeout { .. } => "Timeout",
                 RtError::Degraded { .. } => "Degraded",
+                RtError::IntegrityViolation { .. } => "IntegrityViolation",
             })
             .collect();
         assert_eq!(variants.len(), every.len(), "a variant is listed twice");
+    }
+
+    #[test]
+    fn integrity_violation_display_and_classification() {
+        let s = Section::new(ArrayId(2), 4, 8);
+        let e = RtError::IntegrityViolation {
+            device: 3,
+            section: s,
+        };
+        assert!(e.to_string().contains("integrity violation"));
+        assert!(e.to_string().contains("device 3"));
+        assert!(e.to_string().contains(&s.to_string()));
+        assert!(!e.is_transient());
     }
 
     #[test]

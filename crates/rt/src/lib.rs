@@ -49,6 +49,7 @@ pub mod commit;
 pub mod directives;
 pub mod error;
 pub mod host;
+pub mod integrity;
 pub mod kernel;
 pub mod map;
 pub mod mapping;
@@ -62,6 +63,7 @@ pub use commit::CommitGate;
 pub use directives::{ConstructIds, ExchangeMode};
 pub use error::RtError;
 pub use host::HostArray;
+pub use integrity::{IntegrityAction, IntegrityBoundary, IntegrityEvent, IntegrityMode};
 pub use kernel::{Access, KernelArg, KernelSpec};
 pub use map::{MapClause, MapType};
 pub use runtime::{
@@ -77,6 +79,7 @@ pub mod prelude {
         ExchangeMode, Target, TargetData, TargetEnterData, TargetExitData, TargetUpdate,
     };
     pub use crate::host::HostArray;
+    pub use crate::integrity::{IntegrityAction, IntegrityBoundary, IntegrityEvent, IntegrityMode};
     pub use crate::kernel::{Access, KernelArg, KernelSpec};
     pub use crate::map::{alloc, from, to, tofrom, MapClause, MapType};
     pub use crate::runtime::{Runtime, RuntimeConfig, Scope};

@@ -34,6 +34,7 @@ use spread_trace::{SimDuration, SimTime, Timeline, TraceRecorder};
 
 use crate::error::RtError;
 use crate::host::{HostArray, HostRegistry};
+use crate::integrity::{IntegrityAction, IntegrityBoundary, IntegrityEvent, IntegrityMode};
 use crate::kernel::{self, KernelSpec, ResolvedArg};
 use crate::map::{MapClause, MapType};
 use crate::mapping::{EnterDecision, EntryKey, ExitDecision, MapConflict, PresenceTable};
@@ -185,6 +186,10 @@ pub enum DegradationKind {
     /// A straggling piece was speculatively re-executed on a healthy
     /// sibling device (`spread_straggler(steal|replicate)`).
     StragglerRescued,
+    /// A digest mismatch at a trust boundary was healed from the
+    /// unharmed host image (`spread_integrity(heal)`): the tainted
+    /// bytes were discarded and the piece re-executed or re-fetched.
+    CorruptionHealed,
 }
 
 /// One degradation decision, recorded in program order. `spread-check`
@@ -236,6 +241,14 @@ pub(crate) struct Recoverer {
     /// runtime). Unlike the loss arm, this does not require a fault
     /// context — fragmentation can exhaust a healthy device.
     pub(crate) on_oom: bool,
+    /// When true, the handler additionally covers
+    /// [`RtError::IntegrityViolation`] on the registered tasks
+    /// (`spread_integrity(heal)`): a digest mismatch at a trust
+    /// boundary hands the piece back for re-execution from the unharmed
+    /// host image instead of poisoning the runtime. Like the OOM arm,
+    /// this does not require the device to be lost — the whole point is
+    /// that the device is still up and lying.
+    pub(crate) on_integrity: bool,
     pub(crate) handler: RecoveryHandler,
 }
 
@@ -285,6 +298,16 @@ pub(crate) struct Inner {
     /// [`Runtime::rescues`]). `winner`/`commits` are filled in by the
     /// commit gate as the racing exits arrive.
     pub(crate) rescue_log: Vec<RescueRecord>,
+    /// Every digest mismatch caught at a trust boundary, in detection
+    /// order (see [`Runtime::integrity_events`]).
+    pub(crate) integrity_log: Vec<IntegrityEvent>,
+    /// Live staged-commit buffers, keyed by the construct's device: the
+    /// at-rest corruption surface. A
+    /// [`MemoryScribble`](PlannedFault::MemoryScribble) flips one bit in
+    /// the first non-empty staged snapshot it finds here — the window
+    /// between a D2H's eager device read and its commit into host
+    /// memory. Dead weak handles are pruned on insert.
+    pub(crate) staged_registry: Vec<(u32, std::rc::Weak<RefCell<Vec<StagedWrite>>>)>,
 }
 
 /// One straggler rescue: a lagging piece speculatively re-executed on a
@@ -812,7 +835,11 @@ pub(crate) fn task_failed(
                 // context: a healthy device can still run out of
                 // contiguous memory (fragmentation).
                 let oom = r.on_oom && matches!(err, RtError::OutOfMemory { .. });
-                if lost || oom {
+                // The integrity arm does not require the device to be
+                // lost either: a healing construct re-executes on a
+                // device that is alive but produced rotten bytes.
+                let corrupt = r.on_integrity && matches!(err, RtError::IntegrityViolation { .. });
+                if lost || oom || corrupt {
                     r.handler.borrow_mut().take()
                 } else {
                     None
@@ -878,8 +905,67 @@ pub(crate) fn complete_task(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, 
 }
 
 /// A device→host copy captured at its virtual start, committed to host
-/// memory only when the whole transfer set succeeds.
-type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>);
+/// memory only when the whole transfer set succeeds. The final field is
+/// the source-side CRC32C of the snapshot (computed over the bytes the
+/// DMA engine actually read, before anything can rot in flight or at
+/// rest), `None` under `spread_integrity(off)`.
+type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>, Option<u32>);
+
+/// Flip the lowest mantissa bit of `data[0]` — the canonical injected
+/// single-bit corruption. Chosen so the damage is value-visible but
+/// tiny: exactly what end-to-end checksums exist to catch and what
+/// value-level sanity checks miss.
+/// Flip the top exponent bit of the payload's first element. A single
+/// low-mantissa flip of a near-zero value washes out as a sub-ulp
+/// wobble the next accumulation absorbs; rescaling the exponent makes
+/// the rot orders of magnitude wrong (even 0.0 becomes 2.0), so
+/// unchecked corruption stays visible all the way to a reduced result —
+/// the worst case an end-to-end checksum has to catch.
+fn flip_one_bit(data: &mut [f64]) {
+    if let Some(v) = data.first_mut() {
+        *v = f64::from_bits(v.to_bits() ^ (1u64 << 62));
+    }
+}
+
+/// Append an integrity event and mirror it as a zero-length `Verify`
+/// marker span on the offending device's compute lane (like fault and
+/// degradation markers).
+fn record_integrity_inner(now: SimTime, inner: &mut Inner, ev: IntegrityEvent) {
+    let label = format!(
+        "{:?} {:?} {} dev{}",
+        ev.action, ev.boundary, ev.section, ev.device
+    );
+    inner.trace.record(
+        spread_trace::Lane::compute(ev.device),
+        spread_trace::SpanKind::Verify,
+        label,
+        now,
+        now,
+        0,
+    );
+    inner.integrity_log.push(ev);
+}
+
+/// Apply a planned [`MemoryScribble`](PlannedFault::MemoryScribble):
+/// flip one bit in the first non-empty staged D2H snapshot currently
+/// pending commit for `device`. Inert when nothing is staged at the
+/// planned instant — at-rest corruption needs bytes at rest.
+pub(crate) fn scribble_staged(inner_rc: &Rc<RefCell<Inner>>, device: u32) {
+    let inner = inner_rc.borrow();
+    for (d, weak) in &inner.staged_registry {
+        if *d != device {
+            continue;
+        }
+        let Some(staged) = weak.upgrade() else {
+            continue;
+        };
+        let mut staged = staged.borrow_mut();
+        if let Some((_, _, data, _)) = staged.iter_mut().find(|(_, _, data, _)| !data.is_empty()) {
+            flip_one_bit(data);
+            return;
+        }
+    }
+}
 
 /// Enqueue a set of planned copies as DMA operations; when all complete,
 /// run the cleanup (presence removal + dealloc for exits) and complete
@@ -912,7 +998,7 @@ pub(crate) fn run_transfers(
         Vec::new(),
         out_copies,
         to_free,
-        None,
+        IntegrityMode::Off,
         None,
     );
 }
@@ -958,15 +1044,24 @@ fn transfer_fault(
 /// [`run_transfers`] with peer routing: `peer_routes` (when non-empty)
 /// is index-aligned with `in_copies`; a `Some(src)` entry pulls that
 /// copy device-to-device from `src` instead of over the host bus.
-/// `corrupt_peer` is the test-only canary hook — the first successful
-/// peer copy to observe the unarmed flag arms it and perturbs one
-/// element, so a conformance harness can prove it notices.
+///
+/// `integrity` is the `spread_integrity(…)` policy: under `verify` or
+/// `heal`, every staged D2H snapshot and every peer payload carries a
+/// source-side CRC32C that is re-checked at the trust boundary (the
+/// staged-commit drain here, the peer receive in
+/// [`enqueue_peer_copy`]). A mismatch fails the task with
+/// [`RtError::IntegrityViolation`] — under `heal` the construct's
+/// registered integrity recoverer then re-executes the piece from the
+/// unharmed host image; repeat offenders are quarantined through the
+/// circuit breaker.
 ///
 /// `gate` is the speculative-execution hook: `Some((gate, copy))` makes
 /// the staged D2H drain conditional on winning the gate's
 /// first-commit-wins arbitration as copy index `copy`. A losing copy
 /// discards its staged snapshot but still runs presence cleanup and
-/// completes its task — only host memory is arbitrated.
+/// completes its task — only host memory is arbitrated. A copy whose
+/// digests fail is disqualified before arbitration, so a clean racing
+/// sibling can still win.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_transfers_ex(
     sim: &mut Simulator,
@@ -977,11 +1072,18 @@ pub(crate) fn run_transfers_ex(
     peer_routes: Vec<Option<u32>>,
     out_copies: Vec<CopyPlanItem>,
     to_free: Vec<EntryKey>,
-    corrupt_peer: Option<Rc<std::cell::Cell<bool>>>,
+    integrity: IntegrityMode,
     gate: Option<(crate::commit::CommitGate, u32)>,
 ) {
     let total = in_copies.len() + out_copies.len();
     let staged: Rc<RefCell<Vec<StagedWrite>>> = Rc::new(RefCell::new(Vec::new()));
+    if !out_copies.is_empty() {
+        // Expose the staging buffer to the at-rest corruption surface
+        // (MemoryScribble) for as long as it is live.
+        let mut inner = inner_rc.borrow_mut();
+        inner.staged_registry.retain(|(_, w)| w.strong_count() > 0);
+        inner.staged_registry.push((device, Rc::downgrade(&staged)));
+    }
     let failed: Rc<RefCell<Option<RtError>>> = Rc::new(RefCell::new(None));
     let finish = {
         let inner_rc = Rc::clone(inner_rc);
@@ -995,12 +1097,119 @@ pub(crate) fn run_transfers_ex(
                 task_failed(sim, &inner_rc, task, err);
                 return;
             }
+            // Trust boundary 1 — staged-commit drain: re-digest every
+            // snapshot that carries a source CRC before it may touch
+            // host memory. The digest was taken over the device bytes
+            // at the copy's virtual start; anything that rotted since —
+            // in flight (SilentFlip) or at rest (MemoryScribble) — shows
+            // up here.
+            let tainted: Vec<Section> = staged
+                .borrow()
+                .iter()
+                .filter_map(|(_, sec, data, crc)| {
+                    crc.and_then(|c| (spread_devices::digest_f64(data) != c).then_some(*sec))
+                })
+                .collect();
+            if !tainted.is_empty() {
+                if let Some((g, copy)) = &gate {
+                    // Never arbitrate with rotten bytes: a clean racing
+                    // sibling (if any) takes the win.
+                    g.disqualify(*copy);
+                }
+                staged.borrow_mut().clear();
+                let now = sim.now();
+                let quarantined = {
+                    let inner = inner_rc.borrow();
+                    integrity == IntegrityMode::Heal
+                        && inner
+                            .fault
+                            .as_ref()
+                            .is_some_and(|ctx| ctx.record_integrity_mismatch(device))
+                };
+                let action = match (integrity, quarantined) {
+                    (_, true) => IntegrityAction::Quarantined,
+                    (IntegrityMode::Heal, _) => IntegrityAction::Healed,
+                    _ => IntegrityAction::Failed,
+                };
+                {
+                    let mut inner = inner_rc.borrow_mut();
+                    for &sec in &tainted {
+                        record_integrity_inner(
+                            now,
+                            &mut inner,
+                            IntegrityEvent {
+                                device,
+                                section: sec,
+                                at: now,
+                                boundary: IntegrityBoundary::Commit,
+                                action,
+                            },
+                        );
+                        if action == IntegrityAction::Healed {
+                            record_degradation_inner(
+                                now,
+                                &mut inner,
+                                DegradationEvent {
+                                    kind: DegradationKind::CorruptionHealed,
+                                    device: Some(device),
+                                    start: sec.start,
+                                    len: sec.len,
+                                    bytes: sec.len as u64 * 8,
+                                },
+                            );
+                        }
+                    }
+                }
+                let err = RtError::IntegrityViolation {
+                    device,
+                    section: tainted[0],
+                };
+                if quarantined {
+                    // Streak tripped the breaker: the device's data path
+                    // cannot be trusted at all — treat it as lost. The
+                    // loss hook wipes its presence table and allocator,
+                    // so the dying entries need no cleanup here.
+                    let ctx = inner_rc.borrow().fault.clone();
+                    if let Some(ctx) = ctx {
+                        ctx.mark_lost(sim, device);
+                    }
+                    task_failed(sim, &inner_rc, task, err);
+                    return;
+                }
+                if integrity == IntegrityMode::Heal {
+                    // The device is alive: release its mapping normally
+                    // so the recoverer's fresh enter→kernel→exit starts
+                    // from a clean table.
+                    let freed = {
+                        let mut inner = inner_rc.borrow_mut();
+                        let d = device as usize;
+                        for key in &to_free {
+                            if let Some(alloc) = inner.presence[d].finish_exit(*key) {
+                                inner.devices[d].mem.borrow_mut().dealloc(alloc);
+                            }
+                        }
+                        !to_free.is_empty()
+                    };
+                    if freed {
+                        retry_mem_waiters(sim, &inner_rc, device);
+                    }
+                }
+                task_failed(sim, &inner_rc, task, err);
+                return;
+            }
+            if integrity.checks() && staged.borrow().iter().any(|(_, _, _, crc)| crc.is_some()) {
+                // A fully clean checked drain resets the mismatch
+                // streak: the breaker counts *consecutive* offences.
+                if let Some(ctx) = &inner_rc.borrow().fault {
+                    ctx.record_integrity_ok(device);
+                }
+            }
             let committed = match &gate {
                 None => true,
                 Some((g, copy)) => g.try_commit(sim.now(), *copy),
             };
             if committed {
-                for (store, sec, data) in staged.borrow_mut().drain(..) {
+                for (store, sec, data, _) in staged.borrow_mut().drain(..) {
                     store.borrow_mut()[sec.range()].copy_from_slice(&data);
                 }
             } else if gate.as_ref().is_some_and(|(g, _)| g.duplicates_forced()) {
@@ -1008,7 +1217,7 @@ pub(crate) fn run_transfers_ex(
                 // first staged element perturbed so the double commit is
                 // value-visible to a differential harness.
                 let mut perturb = true;
-                for (store, sec, mut data) in staged.borrow_mut().drain(..) {
+                for (store, sec, mut data, _) in staged.borrow_mut().drain(..) {
                     if perturb && !data.is_empty() {
                         data[0] += 1.0;
                         perturb = false;
@@ -1072,16 +1281,7 @@ pub(crate) fn run_transfers_ex(
         let failed = Rc::clone(&failed);
         if let Some(src) = route {
             enqueue_peer_copy(
-                sim,
-                inner_rc,
-                &dev,
-                device,
-                src,
-                c,
-                corrupt_peer.clone(),
-                remaining,
-                finish,
-                failed,
+                sim, inner_rc, &dev, device, src, c, integrity, remaining, finish, failed,
             );
             continue;
         }
@@ -1102,7 +1302,12 @@ pub(crate) fn run_transfers_ex(
                     let mem = mem.borrow();
                     let buf = mem.buffer(alloc);
                     let data = buf[off..off + sec.len].to_vec();
-                    staged.borrow_mut().push((host_store, sec, data));
+                    // Source-side digest: over the bytes the DMA engine
+                    // actually read, before the payload can rot.
+                    let crc = integrity
+                        .checks()
+                        .then(|| spread_devices::digest_f64(&data));
+                    staged.borrow_mut().push((host_store, sec, data, crc));
                 })
             }
         };
@@ -1117,10 +1322,42 @@ pub(crate) fn run_transfers_ex(
                 bytes: c.section.len as u64 * elem_bytes,
                 label: c.label,
                 effect: Some(effect),
-                on_complete: {
-                    let remaining = Rc::clone(&remaining);
-                    let finish = Rc::clone(&finish);
-                    Box::new(move |sim| finish_one(sim, &remaining, &finish))
+                on_complete: match dir {
+                    Direction::In => {
+                        let remaining = Rc::clone(&remaining);
+                        let finish = Rc::clone(&finish);
+                        Box::new(move |sim| finish_one(sim, &remaining, &finish))
+                    }
+                    _ => {
+                        // In-flight silent corruption: a SilentFlip
+                        // token flips one bit in the staged payload
+                        // *after* the source digest was taken, raising
+                        // no fault. Applied regardless of the integrity
+                        // mode — under `off` the rot flows through to
+                        // host memory exactly as it would on a real
+                        // machine without end-to-end checksums.
+                        let remaining = Rc::clone(&remaining);
+                        let finish = Rc::clone(&finish);
+                        let staged = Rc::clone(&staged);
+                        let weak = Rc::downgrade(inner_rc);
+                        Box::new(move |sim| {
+                            let flip = weak.upgrade().is_some_and(|rc| {
+                                rc.borrow()
+                                    .fault
+                                    .as_ref()
+                                    .is_some_and(|ctx| ctx.take_flip(device, sim.now()))
+                            });
+                            if flip {
+                                let mut st = staged.borrow_mut();
+                                if let Some((_, _, data, _)) =
+                                    st.iter_mut().find(|(_, s, _, _)| *s == sec)
+                                {
+                                    flip_one_bit(data);
+                                }
+                            }
+                            finish_one(sim, &remaining, &finish)
+                        })
+                    }
                 },
                 on_fault: Some(transfer_fault(what, failed, remaining, finish)),
                 extra_caps: Vec::new(),
@@ -1138,6 +1375,13 @@ pub(crate) fn run_transfers_ex(
 /// the section from the host over the ordinary H2D engine, inheriting
 /// this op's slot in the completion set. Either way the destination
 /// ends bit-identical to the host path.
+///
+/// This is trust boundary 2 of `spread_integrity`: the effect digests
+/// the payload at its source, and completion (the receive instant)
+/// re-digests the destination bytes. A mismatch — a `SilentFlip` token
+/// consumed on this pull — fails the task under `verify`, or under
+/// `heal` discards the tainted bytes and re-fetches the section from
+/// the unharmed host image over the same fallback path a divert uses.
 #[allow(clippy::too_many_arguments)]
 fn enqueue_peer_copy(
     sim: &mut Simulator,
@@ -1146,7 +1390,7 @@ fn enqueue_peer_copy(
     device: u32,
     src: u32,
     c: CopyPlanItem,
-    corrupt: Option<Rc<std::cell::Cell<bool>>>,
+    integrity: IntegrityMode,
     remaining: Rc<std::cell::Cell<usize>>,
     finish: FinishSlot,
     failed: Rc<RefCell<Option<RtError>>>,
@@ -1172,10 +1416,14 @@ fn enqueue_peer_copy(
         inner.peer_log.len() - 1
     };
     let diverted = Rc::new(std::cell::Cell::new(false));
+    // Source-side digest of the payload, set by the effect when the
+    // pull goes ahead under verify/heal; the receive re-checks it.
+    let src_crc: Rc<std::cell::Cell<Option<u32>>> = Rc::new(std::cell::Cell::new(None));
     let label = format!("p2p[{src}->{device}] {}", c.label);
     let what = label.clone();
     let effect: Box<dyn FnOnce()> = {
         let diverted = Rc::clone(&diverted);
+        let src_crc = Rc::clone(&src_crc);
         let weak = Rc::downgrade(inner_rc);
         let host_store = host_store.clone();
         let mem = dev.mem.clone();
@@ -1206,29 +1454,122 @@ fn enqueue_peer_copy(
                     rc.borrow_mut().peer_log[idx].diverted = true;
                 }
                 Some(data) => {
+                    if integrity.checks() {
+                        src_crc.set(Some(spread_devices::digest_f64(&data)));
+                    }
                     let mut m = mem.borrow_mut();
                     let buf = m.buffer_mut(alloc);
                     buf[off..off + sec.len].copy_from_slice(&data);
-                    if let Some(flag) = &corrupt {
-                        if !flag.get() {
-                            flag.set(true);
-                            buf[off] += 1.0;
-                        }
-                    }
                 }
             }
         })
     };
     let on_complete: Box<dyn FnOnce(&mut Simulator)> = {
         let diverted = Rc::clone(&diverted);
+        let src_crc = Rc::clone(&src_crc);
         let remaining = Rc::clone(&remaining);
         let finish = Rc::clone(&finish);
         let failed = Rc::clone(&failed);
         let mem = dev.mem.clone();
         let dma_in = dev.dma_in.clone();
+        let weak = Rc::downgrade(inner_rc);
         let fb_label = format!("{} (host fallback)", c.label);
         Box::new(move |sim| {
-            if !diverted.get() {
+            let mut refetch = diverted.get();
+            if !refetch {
+                if let Some(rc) = weak.upgrade() {
+                    // In-flight silent corruption: a SilentFlip token
+                    // consumed on this pull flips one bit in the
+                    // received payload, raising no fault (mode-blind —
+                    // under `off` the rot stays).
+                    let flip = rc
+                        .borrow()
+                        .fault
+                        .as_ref()
+                        .is_some_and(|ctx| ctx.take_flip(device, sim.now()));
+                    if flip {
+                        let mut m = mem.borrow_mut();
+                        flip_one_bit(&mut m.buffer_mut(alloc)[off..off + sec.len]);
+                    }
+                    // Trust boundary 2 — peer receive: re-digest the
+                    // destination bytes against the source digest.
+                    if let Some(want) = src_crc.get() {
+                        let got = {
+                            let m = mem.borrow();
+                            spread_devices::digest_f64(&m.buffer(alloc)[off..off + sec.len])
+                        };
+                        if got == want {
+                            if let Some(ctx) = &rc.borrow().fault {
+                                ctx.record_integrity_ok(device);
+                            }
+                        } else {
+                            let now = sim.now();
+                            let quarantined = integrity == IntegrityMode::Heal
+                                && rc
+                                    .borrow()
+                                    .fault
+                                    .as_ref()
+                                    .is_some_and(|ctx| ctx.record_integrity_mismatch(device));
+                            let action = match (integrity, quarantined) {
+                                (_, true) => IntegrityAction::Quarantined,
+                                (IntegrityMode::Heal, _) => IntegrityAction::Healed,
+                                _ => IntegrityAction::Failed,
+                            };
+                            {
+                                let mut inner = rc.borrow_mut();
+                                record_integrity_inner(
+                                    now,
+                                    &mut inner,
+                                    IntegrityEvent {
+                                        device,
+                                        section: sec,
+                                        at: now,
+                                        boundary: IntegrityBoundary::Peer,
+                                        action,
+                                    },
+                                );
+                                if action == IntegrityAction::Healed {
+                                    record_degradation_inner(
+                                        now,
+                                        &mut inner,
+                                        DegradationEvent {
+                                            kind: DegradationKind::CorruptionHealed,
+                                            device: Some(device),
+                                            start: sec.start,
+                                            len: sec.len,
+                                            bytes,
+                                        },
+                                    );
+                                    // The heal *is* a divert: the tainted
+                                    // bytes are discarded and the section
+                                    // replayed from the host image.
+                                    inner.peer_log[idx].diverted = true;
+                                }
+                            }
+                            match action {
+                                IntegrityAction::Healed => refetch = true,
+                                _ => {
+                                    if quarantined {
+                                        let ctx = rc.borrow().fault.clone();
+                                        if let Some(ctx) = ctx {
+                                            ctx.mark_lost(sim, device);
+                                        }
+                                    }
+                                    failed.borrow_mut().get_or_insert(
+                                        RtError::IntegrityViolation {
+                                            device,
+                                            section: sec,
+                                        },
+                                    );
+                                    finish_one(sim, &remaining, &finish);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !refetch {
                 finish_one(sim, &remaining, &finish);
                 return;
             }
@@ -1362,6 +1703,13 @@ impl Runtime {
         }
         let node = Node::new(&cfg.topology, &trace);
         let n = node.n_devices();
+        if let Some(plan) = &cfg.fault_plan {
+            // Malformed plans are construction bugs, not runtime faults:
+            // reject them here like an invalid topology.
+            if let Err(e) = plan.validate(n) {
+                panic!("invalid fault plan: {e}");
+            }
+        }
         let flownet = node.flownet().clone();
         let fault = cfg.fault_plan.as_ref().map(|plan| {
             let ctx = FaultCtx::new(plan, n, cfg.retry, cfg.breaker, trace.clone());
@@ -1406,6 +1754,8 @@ impl Runtime {
             profiles: crate::profile::ProfileStore::new(cfg.adaptive_damping),
             peer_log: Vec::new(),
             rescue_log: Vec::new(),
+            integrity_log: Vec::new(),
+            staged_registry: Vec::new(),
         };
         // A fresh runtime starts its peak-memory statistics from zero:
         // `device_mem_peak` must describe *this* instance, even if the
@@ -1430,6 +1780,20 @@ impl Runtime {
                     let ctx = ctx.clone();
                     sim.schedule_at(at, Box::new(move |sim| ctx.mark_lost(sim, d)));
                 }
+            }
+            for (device, at) in plan.scribbles() {
+                if (device as usize) >= n {
+                    continue;
+                }
+                let weak = Rc::downgrade(&inner);
+                sim.schedule_at(
+                    at,
+                    Box::new(move |_| {
+                        if let Some(rc) = weak.upgrade() {
+                            scribble_staged(&rc, device);
+                        }
+                    }),
+                );
             }
             for f in &plan.faults {
                 let (device, at, bytes, release) = match *f {
@@ -1692,6 +2056,27 @@ impl Runtime {
     /// the racing exits wrote host memory.
     pub fn rescues(&self) -> Vec<RescueRecord> {
         self.inner.borrow().rescue_log.clone()
+    }
+
+    /// Every digest mismatch caught at a trust boundary so far, in
+    /// detection order. Empty under `spread_integrity(off)` — with no
+    /// digests there is nothing to catch, which is the point of the
+    /// conformance canary that runs a flip under `off` and watches the
+    /// corruption reach host memory.
+    pub fn integrity_events(&self) -> Vec<IntegrityEvent> {
+        self.inner.borrow().integrity_log.clone()
+    }
+
+    /// Devices permanently lost so far — by a planned loss, an
+    /// escalated transient streak, or an integrity-mismatch quarantine.
+    /// Empty without a fault plan.
+    pub fn lost_devices(&self) -> Vec<u32> {
+        self.inner
+            .borrow()
+            .fault
+            .as_ref()
+            .map(|c| c.lost_devices())
+            .unwrap_or_default()
     }
 }
 
@@ -2094,6 +2479,7 @@ impl Scope<'_> {
                 Recoverer {
                     device,
                     on_oom: false,
+                    on_integrity: false,
                     handler: Rc::clone(&handler),
                 },
             );
@@ -2119,10 +2505,46 @@ impl Scope<'_> {
                 Recoverer {
                     device,
                     on_oom: true,
+                    on_integrity: false,
                     handler: Rc::clone(&handler),
                 },
             );
         }
+    }
+
+    /// Like [`Scope::on_task_fault`], but the handler additionally
+    /// fires if a registered task fails with
+    /// [`RtError::IntegrityViolation`] — the hook of
+    /// `spread_integrity(heal)`: a digest mismatch at a trust boundary
+    /// hands the chunk back for re-execution from the unharmed host
+    /// image instead of poisoning the runtime. (The loss arm stays
+    /// active too, so a quarantined device — its mismatch streak
+    /// tripped the circuit breaker — routes through the same handler.)
+    pub fn on_task_integrity(
+        &mut self,
+        ids: &[TaskId],
+        device: u32,
+        handler: impl FnOnce(&mut Scope<'_>, TaskId, RtError) + 'static,
+    ) {
+        let handler: RecoveryHandler = Rc::new(RefCell::new(Some(Box::new(handler))));
+        let mut inner = self.inner.borrow_mut();
+        for &id in ids {
+            inner.recoverers.insert(
+                id,
+                Recoverer {
+                    device,
+                    on_oom: false,
+                    on_integrity: true,
+                    handler: Rc::clone(&handler),
+                },
+            );
+        }
+    }
+
+    /// Every digest mismatch caught at a trust boundary so far, in
+    /// detection order (see [`Runtime::integrity_events`]).
+    pub fn integrity_events(&self) -> Vec<IntegrityEvent> {
+        self.inner.borrow().integrity_log.clone()
     }
 
     /// Turn a not-yet-started task into a no-op: its action is replaced
@@ -2252,6 +2674,12 @@ pub(crate) fn record_degradation_inner(now: SimTime, inner: &mut Inner, ev: Degr
                 .map_or(spread_trace::Lane::Host, spread_trace::Lane::compute),
             spread_trace::SpanKind::Rescue,
             0,
+        ),
+        DegradationKind::CorruptionHealed => (
+            ev.device
+                .map_or(spread_trace::Lane::Host, spread_trace::Lane::compute),
+            spread_trace::SpanKind::Heal,
+            ev.bytes,
         ),
     };
     let label = format!("{:?} [{}..{})", ev.kind, ev.start, ev.start + ev.len);

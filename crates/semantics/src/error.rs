@@ -38,6 +38,13 @@ pub enum SemError {
     /// `S-Invalid`: the directive was malformed (empty device list,
     /// bad clause combination, …) and rejected before any effect.
     Invalid,
+    /// `S-Verify`: a checked commit boundary re-digested a payload that
+    /// no longer matched its source digest — silent corruption caught
+    /// under `spread_integrity(verify)`, poisoning the program.
+    IntegrityViolation {
+        /// The device whose payload failed verification.
+        device: u32,
+    },
     /// `S-Degrade`: under `spread_pressure(fail)` (or an unsplittable /
     /// unspillable piece), admission could not place a chunk piece.
     Degraded {

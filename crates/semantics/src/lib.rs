@@ -75,7 +75,9 @@ pub mod section;
 pub mod state;
 
 pub use error::{DegKind, Degradation, SemError};
-pub use machine::{step, Directive, FoldOp, KernelSem, Leg, Perturb, Piece, UpdateLeg};
+pub use machine::{
+    step, Directive, FoldOp, IntegritySem, KernelSem, Leg, Perturb, Piece, UpdateLeg,
+};
 pub use map::MapKind;
 pub use section::AbsSection;
 pub use state::{Conflict, DeviceMap, EnterOutcome, ExitOutcome, State};

@@ -26,6 +26,27 @@ pub enum Perturb {
     RecoveryDropsLostChunk,
 }
 
+/// The `spread_integrity(…)` clause of a spread construct — what the
+/// commit-boundary verification rules do with a pending corruption
+/// token on the committing device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IntegritySem {
+    /// No digests: a pending flip rots the payload *below* this
+    /// machine's abstraction (the abstract values are unchanged; the
+    /// differential harness's bit-level comparison is what catches it),
+    /// so the rule leaves the token armed and the state untouched.
+    #[default]
+    Off,
+    /// `S-Verify`: the first committing drain on a device with a
+    /// pending token consumes it and poisons the program with
+    /// [`SemError::IntegrityViolation`].
+    Verify,
+    /// `S-Heal`: every pending token on the committing device is
+    /// consumed by detect→discard→re-execute rounds that end in the
+    /// uncorrupted bits — value-invisible, like `S-Rescue`.
+    Heal,
+}
+
 /// The reduction operator of `S-Fold`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FoldOp {
@@ -182,6 +203,9 @@ pub enum Directive {
         /// (The planner itself lives with the runtime's scheduling
         /// code; the rule consumes its verdict.)
         admission: Option<Result<Vec<Degradation>, SemError>>,
+        /// The `spread_integrity(…)` clause: how the commit boundary
+        /// treats pending corruption tokens (`S-Verify` / `S-Heal`).
+        integrity: IntegritySem,
         /// The scheduled pieces in chunk order.
         pieces: Vec<Piece>,
     },
@@ -203,6 +227,17 @@ pub enum Directive {
         device: u32,
         /// Duration multiplier; must be finite and ≥ 1.
         factor: f64,
+    },
+    /// Planned silent corruption armed against a device (`S-Flip`):
+    /// each token taints one committing device→host drain on that
+    /// device, without any error being raised. The rule validates its
+    /// parameters and arms the tokens; what happens when one fires is
+    /// the committing construct's [`IntegritySem`] rule's business.
+    Flip {
+        /// The device whose outbound payloads rot.
+        device: u32,
+        /// How many drains to taint; must be ≥ 1.
+        count: u32,
     },
     /// A straggler rescue (`S-Rescue`): the piece is speculatively
     /// re-executed on device `to`. The first-commit-wins gate makes
@@ -360,6 +395,7 @@ pub fn step(st: &mut State, d: &Directive) -> Result<(), SemError> {
             devices,
             resilient,
             admission,
+            integrity,
             pieces,
         } => {
             // S-Admit / S-Degrade: the admission verdict lands before
@@ -390,6 +426,36 @@ pub fn step(st: &mut State, d: &Directive) -> Result<(), SemError> {
                     // rule interprets the piece in place.
                 }
                 run_piece(st, piece)?;
+                // S-Verify / S-Heal: the first committing drain on a
+                // device with pending flip tokens hits the digest
+                // check. A piece with no committing (from/tofrom) map
+                // drains nothing, so it cannot consume a token.
+                let d = piece.device as usize;
+                let commits = piece
+                    .maps
+                    .iter()
+                    .any(|(k, s)| k.copies_out() && !s.is_empty());
+                if commits && st.flips[d] > 0 {
+                    match integrity {
+                        // Below the abstraction: the rotten bytes land
+                        // on the host unnoticed. The abstract values
+                        // stay clean — the harness's bit-level
+                        // comparison against the runtime is what
+                        // surfaces the divergence.
+                        IntegritySem::Off => {}
+                        // One token, one caught mismatch, fail-stop.
+                        IntegritySem::Verify => {
+                            st.flips[d] -= 1;
+                            return Err(SemError::IntegrityViolation {
+                                device: piece.device,
+                            });
+                        }
+                        // Detect→discard→redo rounds burn every token
+                        // on the device and end in the clean bits the
+                        // piece already produced — value-invisible.
+                        IntegritySem::Heal => st.flips[d] = 0,
+                    }
+                }
             }
             Ok(())
         }
@@ -432,6 +498,16 @@ pub fn step(st: &mut State, d: &Directive) -> Result<(), SemError> {
             if *device as usize >= st.alive.len() || !factor.is_finite() || *factor < 1.0 {
                 return Err(SemError::Invalid);
             }
+            Ok(())
+        }
+        Directive::Flip { device, count } => {
+            // S-Flip: arming corruption is not itself an effect on the
+            // data — it taints *future* committing drains. Malformed
+            // parameters are rejected (S-Invalid).
+            if *device as usize >= st.alive.len() || *count == 0 {
+                return Err(SemError::Invalid);
+            }
+            st.flips[*device as usize] += count;
             Ok(())
         }
         Directive::Rescue { piece, to } => {
@@ -496,6 +572,7 @@ mod tests {
             devices: vec![0, 1],
             resilient: false,
             admission: None,
+            integrity: IntegritySem::Off,
             pieces: vec![addconst_piece(0, 0, 4, 2.0), addconst_piece(1, 4, 4, 2.0)],
         };
         step(&mut st, &d).unwrap();
@@ -511,6 +588,7 @@ mod tests {
             devices: vec![0, 1],
             resilient: false,
             admission: None,
+            integrity: IntegritySem::Off,
             pieces: vec![addconst_piece(0, 0, 2, 1.0), addconst_piece(1, 2, 2, 1.0)],
         };
         assert_eq!(step(&mut st, &d), Err(SemError::DeviceLost { device: 1 }));
@@ -525,6 +603,7 @@ mod tests {
                     devices: vec![0, 1],
                     resilient: true,
                     admission: None,
+                    integrity: IntegritySem::Off,
                     pieces: vec![addconst_piece(0, 0, 2, 1.0), addconst_piece(1, 2, 2, 1.0)],
                 },
             )
@@ -566,6 +645,7 @@ mod tests {
             devices: vec![0],
             resilient: false,
             admission: Some(Err(e.clone())),
+            integrity: IntegritySem::Off,
             pieces: vec![addconst_piece(0, 0, 4, 1.0)],
         };
         assert_eq!(step(&mut st, &d), Err(e));
@@ -610,6 +690,124 @@ mod tests {
                 "device {device} factor {factor} must be rejected"
             );
         }
+    }
+
+    fn flipped_construct(integrity: IntegritySem) -> Directive {
+        Directive::SpreadConstruct {
+            devices: vec![0, 1],
+            resilient: false,
+            admission: None,
+            integrity,
+            pieces: vec![addconst_piece(0, 0, 4, 2.0), addconst_piece(1, 4, 4, 2.0)],
+        }
+    }
+
+    #[test]
+    fn flip_arms_tokens_and_validates_its_parameters() {
+        let mut st = State::new(vec![vec![0.0; 4]], 2, None);
+        let before = st.host.clone();
+        step(
+            &mut st,
+            &Directive::Flip {
+                device: 1,
+                count: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(st.flips, vec![0, 2], "S-Flip arms, it does not corrupt");
+        assert_eq!(st.host, before);
+
+        for (device, count) in [(2, 1), (0, 0)] {
+            assert_eq!(
+                step(&mut st, &Directive::Flip { device, count }),
+                Err(SemError::Invalid),
+                "device {device} count {count} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_consumes_one_token_and_poisons_on_the_committing_device() {
+        let mut st = State::new(vec![vec![1.0; 8]], 2, None);
+        step(
+            &mut st,
+            &Directive::Flip {
+                device: 1,
+                count: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            step(&mut st, &flipped_construct(IntegritySem::Verify)),
+            Err(SemError::IntegrityViolation { device: 1 })
+        );
+        assert_eq!(st.flips, vec![0, 1], "one drain, one consumed token");
+    }
+
+    #[test]
+    fn heal_burns_every_token_on_the_device_and_is_value_invisible() {
+        let mut clean = State::new(vec![vec![1.0; 8]], 2, None);
+        step(&mut clean, &flipped_construct(IntegritySem::Heal)).unwrap();
+
+        let mut st = State::new(vec![vec![1.0; 8]], 2, None);
+        step(
+            &mut st,
+            &Directive::Flip {
+                device: 1,
+                count: 3,
+            },
+        )
+        .unwrap();
+        step(&mut st, &flipped_construct(IntegritySem::Heal)).unwrap();
+        assert_eq!(st.flips, vec![0, 0], "heal rounds drain the streak");
+        st.flips = clean.flips.clone();
+        assert_eq!(st, clean, "S-Heal == fault-free, bit for bit");
+    }
+
+    #[test]
+    fn off_leaves_tokens_armed_and_the_abstract_values_clean() {
+        let mut st = State::new(vec![vec![1.0; 8]], 2, None);
+        step(
+            &mut st,
+            &Directive::Flip {
+                device: 0,
+                count: 1,
+            },
+        )
+        .unwrap();
+        step(&mut st, &flipped_construct(IntegritySem::Off)).unwrap();
+        assert_eq!(st.flips, vec![1, 0], "off computes no digests");
+        assert_eq!(st.host[0], vec![3.0; 8], "rot is below the abstraction");
+    }
+
+    #[test]
+    fn a_non_committing_piece_cannot_consume_a_token() {
+        // map(to:) only — nothing drains device→host, so the token
+        // survives the whole construct even under verify.
+        let mut st = State::new(vec![vec![1.0; 4]], 1, None);
+        step(
+            &mut st,
+            &Directive::Flip {
+                device: 0,
+                count: 1,
+            },
+        )
+        .unwrap();
+        let d = Directive::SpreadConstruct {
+            devices: vec![0],
+            resilient: false,
+            admission: None,
+            integrity: IntegritySem::Verify,
+            pieces: vec![Piece {
+                device: 0,
+                start: 0,
+                len: 4,
+                maps: vec![(MapKind::To, sec(0, 0, 4))],
+                kernel: KernelSem::Scale { a: 0, c: 2.0 },
+            }],
+        };
+        step(&mut st, &d).unwrap();
+        assert_eq!(st.flips, vec![1], "no committing drain, no check");
     }
 
     #[test]

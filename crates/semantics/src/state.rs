@@ -210,6 +210,10 @@ pub struct State {
     /// The active canary perturbation, if any — a deliberately wrong
     /// rule variant used to prove the harness detects disagreement.
     pub perturb: Option<Perturb>,
+    /// Pending silent-corruption tokens per device (`S-Flip`): each
+    /// token taints one committing drain on that device, consumed by
+    /// `S-Verify`/`S-Heal` at the construct's commit boundary.
+    pub flips: Vec<u32>,
 }
 
 impl State {
@@ -224,6 +228,7 @@ impl State {
             degradations: Vec::new(),
             routes: Vec::new(),
             perturb: None,
+            flips: vec![0; n_devices],
         }
     }
 

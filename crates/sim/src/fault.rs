@@ -103,6 +103,34 @@ pub enum PlannedFault {
         /// Slowdown factor (≥ 1).
         factor: f64,
     },
+    /// Arm `count` *silent* payload corruptions on `device` from `after`
+    /// onward: the next `count` outbound transfers sourced from that
+    /// device (a staged D2H snapshot or a peer-copy payload) each have
+    /// one bit flipped in flight, *without* any error being raised. The
+    /// transfer status stays green — only an end-to-end digest (or the
+    /// conformance oracle) can tell. Token-based like
+    /// [`PlannedFault::TransientCopies`] so the semantic outcome stays
+    /// schedule-independent.
+    SilentFlip {
+        /// Device whose outbound payloads are corrupted.
+        device: u32,
+        /// Tokens are armed from this instant.
+        after: SimTime,
+        /// Number of payloads that will be corrupted.
+        count: u32,
+    },
+    /// At `at`, one bit flips in data *at rest*: a pending staged D2H
+    /// commit buffer belonging to a construct on `device` is scribbled
+    /// while it waits for its transfer to complete (host-DRAM rot in the
+    /// commit staging area — the at-rest complement to the in-flight
+    /// [`PlannedFault::SilentFlip`]). Inert if nothing is staged at
+    /// `at`, exactly like a loss scheduled after the program ends.
+    MemoryScribble {
+        /// Device whose staged commits are scribbled.
+        device: u32,
+        /// Instant of the scribble.
+        at: SimTime,
+    },
 }
 
 impl PlannedFault {
@@ -114,10 +142,68 @@ impl PlannedFault {
             | PlannedFault::OomSpike { device, .. }
             | PlannedFault::DeviceLoss { device, .. }
             | PlannedFault::OomSustained { device, .. }
-            | PlannedFault::ComputeSlowdown { device, .. } => device,
+            | PlannedFault::ComputeSlowdown { device, .. }
+            | PlannedFault::SilentFlip { device, .. }
+            | PlannedFault::MemoryScribble { device, .. } => device,
         }
     }
 }
+
+/// Why a [`FaultPlan`] failed validation. Malformed plans used to be
+/// silently inert (an inverted window never matches, a zero-token burst
+/// never fires); [`FaultPlan::validate`] rejects them at build time so a
+/// typo'd experiment fails loudly instead of quietly testing nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A windowed fault closes before it opens (`until < from`).
+    WindowInverted {
+        /// Target device of the offending fault.
+        device: u32,
+        /// Index of the offending fault in [`FaultPlan::faults`].
+        index: usize,
+    },
+    /// A token-based fault arms zero tokens and can never fire.
+    ZeroCount {
+        /// Target device of the offending fault.
+        device: u32,
+        /// Index of the offending fault in [`FaultPlan::faults`].
+        index: usize,
+    },
+    /// A fault targets a device id the machine does not have.
+    DeviceOutOfRange {
+        /// The out-of-range device id.
+        device: u32,
+        /// Number of devices in the machine.
+        n_devices: usize,
+        /// Index of the offending fault in [`FaultPlan::faults`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::WindowInverted { device, index } => write!(
+                f,
+                "fault plan: fault #{index} on device {device} has an inverted window (until < from)"
+            ),
+            FaultPlanError::ZeroCount { device, index } => write!(
+                f,
+                "fault plan: fault #{index} on device {device} arms zero tokens and can never fire"
+            ),
+            FaultPlanError::DeviceOutOfRange {
+                device,
+                n_devices,
+                index,
+            } => write!(
+                f,
+                "fault plan: fault #{index} targets device {device} but the machine has {n_devices}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A seeded, fully deterministic fault schedule.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -203,6 +289,88 @@ impl FaultPlan {
             factor,
         });
         self
+    }
+
+    /// Add armed silent payload corruptions: the next `count` outbound
+    /// payloads sourced from `device` after `after` each have one bit
+    /// flipped in flight, with no error raised.
+    pub fn silent_flips(mut self, device: u32, after: SimTime, count: u32) -> Self {
+        self.faults.push(PlannedFault::SilentFlip {
+            device,
+            after,
+            count,
+        });
+        self
+    }
+
+    /// Add an at-rest scribble: at `at`, one bit flips in a pending
+    /// staged commit buffer belonging to a construct on `device`.
+    pub fn scribble(mut self, device: u32, at: SimTime) -> Self {
+        self.faults
+            .push(PlannedFault::MemoryScribble { device, at });
+        self
+    }
+
+    /// Check the plan against an `n_devices` machine: every fault must
+    /// target an existing device, windowed faults must close no earlier
+    /// than they open, and token-based faults must arm at least one
+    /// token. Returns the first offence found, in fault order.
+    pub fn validate(&self, n_devices: usize) -> Result<(), FaultPlanError> {
+        for (index, fault) in self.faults.iter().enumerate() {
+            let device = fault.device();
+            if device as usize >= n_devices {
+                return Err(FaultPlanError::DeviceOutOfRange {
+                    device,
+                    n_devices,
+                    index,
+                });
+            }
+            match *fault {
+                PlannedFault::LinkDegrade { from, until, .. }
+                | PlannedFault::ComputeSlowdown { from, until, .. } => {
+                    if until < from {
+                        return Err(FaultPlanError::WindowInverted { device, index });
+                    }
+                }
+                PlannedFault::TransientCopies { count, .. }
+                | PlannedFault::SilentFlip { count, .. } => {
+                    if count == 0 {
+                        return Err(FaultPlanError::ZeroCount { device, index });
+                    }
+                }
+                PlannedFault::OomSpike { .. }
+                | PlannedFault::DeviceLoss { .. }
+                | PlannedFault::OomSustained { .. }
+                | PlannedFault::MemoryScribble { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The silent-flip bursts of this plan as `(device, after, count)`.
+    pub fn flips(&self) -> Vec<(u32, SimTime, u32)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                PlannedFault::SilentFlip {
+                    device,
+                    after,
+                    count,
+                } => Some((device, after, count)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The at-rest scribbles of this plan as `(device, at)`.
+    pub fn scribbles(&self) -> Vec<(u32, SimTime)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                PlannedFault::MemoryScribble { device, at } => Some((device, at)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// The memory-pressure windows of this plan as
@@ -480,6 +648,122 @@ mod tests {
             assert!(d <= pol.cap, "attempt {attempt} exceeded cap: {d:?}");
         }
         assert_eq!(pol.backoff(u32::MAX, &mut r), pol.cap);
+    }
+
+    #[test]
+    fn flip_and_scribble_builders_accumulate_and_report() {
+        let p = FaultPlan::new(5)
+            .silent_flips(2, us(10), 3)
+            .scribble(1, us(25))
+            .transient_copies(0, us(0), 1);
+        assert_eq!(p.flips(), vec![(2, us(10), 3)]);
+        assert_eq!(p.scribbles(), vec![(1, us(25))]);
+        assert_eq!(p.faults[0].device(), 2);
+        assert_eq!(p.faults[1].device(), 1);
+        // Flips and scribbles carry no pressure windows and no losses.
+        assert!(p.pressure_windows().is_empty());
+        assert!(p.losses().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let p = FaultPlan::new(1)
+            .transient_copies(0, us(1), 2)
+            .degrade_link(1, us(0), us(50), 2.0)
+            .slow_compute(2, us(5), us(5), 4.0) // empty-but-not-inverted window is fine
+            .oom_spike(3, us(2), 4096, SimDuration::from_micros(3))
+            .silent_flips(0, us(0), 1)
+            .scribble(1, us(9))
+            .lose_device(3, us(40));
+        assert_eq!(p.validate(4), Ok(()));
+        assert_eq!(FaultPlan::new(0).validate(0), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_windows() {
+        let p = FaultPlan::new(0)
+            .transient_copies(0, us(0), 1)
+            .degrade_link(1, us(50), us(10), 2.0);
+        assert_eq!(
+            p.validate(4),
+            Err(FaultPlanError::WindowInverted {
+                device: 1,
+                index: 1
+            })
+        );
+        let p = FaultPlan::new(0).slow_compute(2, us(9), us(3), 8.0);
+        assert_eq!(
+            p.validate(4),
+            Err(FaultPlanError::WindowInverted {
+                device: 2,
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_token_bursts() {
+        let p = FaultPlan::new(0).transient_copies(1, us(0), 0);
+        assert_eq!(
+            p.validate(2),
+            Err(FaultPlanError::ZeroCount {
+                device: 1,
+                index: 0
+            })
+        );
+        let p = FaultPlan::new(0).silent_flips(0, us(0), 0);
+        assert_eq!(
+            p.validate(2),
+            Err(FaultPlanError::ZeroCount {
+                device: 0,
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_devices() {
+        let p = FaultPlan::new(0).lose_device(4, us(1));
+        assert_eq!(
+            p.validate(4),
+            Err(FaultPlanError::DeviceOutOfRange {
+                device: 4,
+                n_devices: 4,
+                index: 0
+            })
+        );
+        // The first offence wins, in fault order.
+        let p = FaultPlan::new(0)
+            .scribble(9, us(0))
+            .silent_flips(0, us(0), 0);
+        assert!(matches!(
+            p.validate(2),
+            Err(FaultPlanError::DeviceOutOfRange { device: 9, .. })
+        ));
+        assert_eq!(
+            p.validate(10),
+            Err(FaultPlanError::ZeroCount {
+                device: 0,
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn fault_plan_errors_display_the_offence() {
+        let msg = FaultPlanError::WindowInverted {
+            device: 1,
+            index: 3,
+        }
+        .to_string();
+        assert!(msg.contains("inverted window"), "{msg}");
+        let msg = FaultPlanError::DeviceOutOfRange {
+            device: 7,
+            n_devices: 4,
+            index: 0,
+        }
+        .to_string();
+        assert!(msg.contains("device 7") && msg.contains('4'), "{msg}");
     }
 
     #[test]

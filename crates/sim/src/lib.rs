@@ -31,6 +31,6 @@ pub mod fault;
 pub mod flow;
 
 pub use engine::{EventId, Simulator, TieBreak};
-pub use fault::{FaultEvent, FaultEventKind, FaultPlan, PlannedFault, RetryPolicy};
+pub use fault::{FaultEvent, FaultEventKind, FaultPlan, FaultPlanError, PlannedFault, RetryPolicy};
 pub use flow::{CapacityId, FlowId, FlowNet, SharedFlowNet};
 pub use spread_trace::{SimDuration, SimTime};

@@ -502,6 +502,128 @@ pub fn run_spread_resilient(
 }
 
 /// One Buffer with self-contained per-construct maps and a
+/// `spread_integrity(…)` clause: the data-integrity variant for
+/// machines where a device silently corrupts payloads in flight.
+///
+/// The program is [`run_spread_resilient`]'s construct-scoped shape —
+/// every construct maps its own inputs in and results out and blocks
+/// before the next stage — so each per-chunk construct is also a
+/// self-contained unit of *healing*: every staged device→host commit
+/// is re-digested against its source CRC32C at the trust boundary, and
+/// under [`IntegrityMode::Heal`] a mismatch discards the tainted
+/// payload and re-executes the construct from the unharmed host image
+/// (device→host writes commit only after verification). Healing is
+/// value-invisible, so the run stays bit-identical to the reference no
+/// matter how many flips land; under [`IntegrityMode::Verify`] the
+/// same program instead reports the first corruption deterministically.
+pub fn run_spread_integrity(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+    mode: IntegrityMode,
+) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let chunk = (b1 - b0).div_ceil(n_gpus);
+                let spread = || {
+                    TargetSpread::devices(devices.clone())
+                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                        .spread_integrity(mode)
+                };
+                // forces: in X (halo), out F.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], x_halo));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.f[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::forces(cfg, &arr))?;
+                }
+                // accelerations: in F, out A.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.f[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.a[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::accelerations(cfg, &arr))?;
+                }
+                // velocities: in A, inout V.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.a[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.v[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::velocities(cfg, &arr))?;
+                }
+                // positions: in V, inout X (interior writes only).
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.v[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.x[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                // centers: in X, out the per-plane partials.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.partials[c], |ch| ch.range()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        "One Buffer (integrity)",
+        n_gpus,
+        rt,
+        centers,
+    ))
+}
+
+/// One Buffer with self-contained per-construct maps and a
 /// `spread_straggler(…)` clause: the latency-robustness variant for
 /// machines where a device runs slow without failing.
 ///

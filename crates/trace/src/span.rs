@@ -151,6 +151,12 @@ pub enum SpanKind {
     /// A straggling chunk speculatively re-executed on a healthy
     /// sibling (straggler rescue).
     Rescue,
+    /// An end-to-end digest verification failing at a trust boundary
+    /// (zero-length marker: a silent corruption was caught).
+    Verify,
+    /// Corruption healed: the affected piece re-executed from the
+    /// unharmed host image (or re-fetched over the host path).
+    Heal,
     /// Anything else (allocation bookkeeping, …).
     Other,
 }
@@ -172,6 +178,8 @@ impl SpanKind {
             SpanKind::ChunkSplit => '/',
             SpanKind::Spill => 's',
             SpanKind::Rescue => '!',
+            SpanKind::Verify => '?',
+            SpanKind::Heal => 'H',
             SpanKind::Other => '.',
         }
     }
@@ -404,6 +412,8 @@ mod tests {
             SpanKind::ChunkSplit.glyph(),
             SpanKind::Spill.glyph(),
             SpanKind::Rescue.glyph(),
+            SpanKind::Verify.glyph(),
+            SpanKind::Heal.glyph(),
             SpanKind::Kernel.glyph(),
             SpanKind::PeerCopy.glyph(),
             SpanKind::TransferIn.glyph(),

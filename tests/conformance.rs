@@ -68,6 +68,7 @@ fn fault_sensitive_program() -> Program {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     }
 }
 
@@ -115,6 +116,7 @@ fn recovery_canary_is_caught() {
         }),
         pressure: None,
         straggler: None,
+        integrity: None,
     };
     let clean = CheckConfig {
         interleavings: 2,
@@ -153,6 +155,7 @@ fn fail_stop_loss_is_predicted_and_matched() {
         }),
         pressure: None,
         straggler: None,
+        integrity: None,
     };
     let want = oracle::predict(&p, None);
     assert!(
@@ -211,6 +214,7 @@ fn spill_canary_is_caught() {
         // Sustained pressure equal to the cap: zero headroom, the whole
         // 96-byte chunk is hopeless on-device and spills.
         straggler: None,
+        integrity: None,
         pressure: Some(PressureSpec {
             policy: PressurePolicy::Spill,
             cap_bytes: 64,
@@ -277,6 +281,7 @@ fn peer_canary_is_caught() {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     };
     // Chunks [0,4) d0 / [4,8) d1 / [8,12) d2 ⇒ four one-element halos,
     // each valid on exactly one sibling.
@@ -359,6 +364,7 @@ fn oracle_predicts_exact_mapping_errors() {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     };
     let want = oracle::predict(&extension, None);
     match &want.error {
@@ -391,6 +397,7 @@ fn oracle_predicts_exact_mapping_errors() {
         fault: None,
         pressure: None,
         straggler: None,
+        integrity: None,
     };
     let want = oracle::predict(&not_mapped, None);
     assert!(

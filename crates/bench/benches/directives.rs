@@ -59,7 +59,7 @@ fn main() {
                 let devices: Vec<u32> = (0..n_dev as u32).collect();
                 rt.run(|s| {
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+                        .with_schedule(SpreadSchedule::static_chunk(N / 16))
                         .map(spread_tofrom(a, |c| c.range()))
                         .parallel_for(s, 0..N, kernel(a))?;
                     Ok(())

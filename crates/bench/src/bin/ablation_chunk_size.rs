@@ -41,7 +41,7 @@ fn main() {
         rt.fill_host(a, |i| i as f64);
         rt.run(|s| {
             TargetSpread::devices([0, 1, 2, 3])
-                .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                .with_schedule(SpreadSchedule::static_chunk(chunk))
                 .map(spread_to(a, |c| c.halo(1, 1)))
                 .map(spread_from(a, |c| c.range()))
                 .parallel_for(

@@ -56,7 +56,7 @@ fn with_taskgroups() -> (Runtime, f64) {
         })?;
         s.taskgroup(|s| {
             TargetSpread::devices([0, 1, 2, 3])
-                .spread_schedule(SpreadSchedule::static_chunk(CHUNK))
+                .with_schedule(SpreadSchedule::static_chunk(CHUNK))
                 .nowait()
                 .map(spread_to(a, |c| c.range()))
                 .parallel_for(s, 0..N, kernel(a))
@@ -92,7 +92,7 @@ fn with_depends() -> (Runtime, f64) {
             .depend_out(a, |c| c.range())
             .launch(s)?;
         TargetSpread::devices([0, 1, 2, 3])
-            .spread_schedule(SpreadSchedule::static_chunk(CHUNK))
+            .with_schedule(SpreadSchedule::static_chunk(CHUNK))
             .nowait()
             .map(spread_to(a, |c| c.range()))
             .depend_in(a, |c| c.range())

@@ -39,7 +39,7 @@ fn run_schedule(label: &str, schedule: SpreadSchedule) -> Vec<String> {
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices([0, 1])
-            .spread_schedule(schedule.clone())
+            .with_schedule(schedule.clone())
             .map(spread_tofrom(a, |c| c.range()))
             .parallel_for(
                 s,

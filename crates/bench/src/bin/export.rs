@@ -2,20 +2,18 @@
 //!
 //! Runs the heterogeneous Somier experiment (one device at reduced
 //! compute speed) under the static equal split and under
-//! `spread_schedule(auto)`, then writes `BENCH_adaptive.json`: the
-//! virtual-time comparison plus the full per-construct, per-device
-//! profile record the adaptive scheduler learned from. Everything is
-//! virtual time, so the file is bit-reproducible.
+//! `spread_schedule(auto)`, then writes `BENCH_adaptive.json` in the
+//! shared [`spread_bench::report`] schema: the virtual-time comparison
+//! plus the full per-construct, per-device profile record the adaptive
+//! scheduler learned from (one `cells[]` entry per profile). Everything
+//! is virtual time, so the file is bit-reproducible.
 //!
 //! Usage: `cargo run --release -p spread-bench --bin export`
 
-use std::fmt::Write as _;
-use std::fs;
-
+use spread_bench::report::{centers_checksum, profile_obj, Report};
 use spread_core::ResiliencePolicy;
 use spread_somier::one_buffer::{run_spread_auto, run_spread_resilient};
 use spread_somier::SomierConfig;
-use spread_trace::ConstructProfile;
 
 const N_GPUS: usize = 2;
 const SLOW_DEVICE: usize = 0;
@@ -33,48 +31,6 @@ fn config() -> SomierConfig {
     cfg.costs.position *= 150.0;
     cfg.costs.centers *= 150.0;
     cfg.with_slow_device(SLOW_DEVICE, SLOW_FACTOR)
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-fn profile_json(p: &ConstructProfile, indent: &str) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "{indent}{{");
-    let _ = writeln!(s, "{indent}  \"key\": \"{}\",", p.key);
-    let _ = writeln!(s, "{indent}  \"launch\": {},", p.launch);
-    let _ = writeln!(
-        s,
-        "{indent}  \"elapsed_s\": {},",
-        json_f64(p.elapsed().as_secs_f64())
-    );
-    let _ = writeln!(s, "{indent}  \"round\": {},", p.round);
-    let weights: Vec<String> = p.weights.iter().map(|w| json_f64(*w)).collect();
-    let _ = writeln!(s, "{indent}  \"weights\": [{}],", weights.join(", "));
-    let _ = writeln!(s, "{indent}  \"devices\": [");
-    for (i, d) in p.devices.iter().enumerate() {
-        let comma = if i + 1 < p.devices.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "{indent}    {{\"device\": {}, \"copy_in_s\": {}, \"copy_out_s\": {}, \
-             \"kernel_s\": {}, \"overlap_s\": {}, \"finish_s\": {}, \"idle_tail_s\": {}}}{comma}",
-            d.device,
-            json_f64(d.copy_in.as_secs_f64()),
-            json_f64(d.copy_out.as_secs_f64()),
-            json_f64(d.kernel.as_secs_f64()),
-            json_f64(d.overlap.as_secs_f64()),
-            json_f64(d.finish.as_secs_f64()),
-            json_f64(d.idle_tail.as_secs_f64()),
-        );
-    }
-    let _ = writeln!(s, "{indent}  ]");
-    let _ = write!(s, "{indent}}}");
-    s
 }
 
 fn main() {
@@ -96,29 +52,29 @@ fn main() {
     let auto_s = auto_report.elapsed.as_secs_f64();
     let profiles = auto_rt.profiles();
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"benchmark\": \"somier-heterogeneous-adaptive\",\n  \
-         \"description\": \"Somier One Buffer on {N_GPUS} GPUs with device {SLOW_DEVICE} at \
-         1/{SLOW_FACTOR} compute speed: static equal split vs spread_schedule(auto)\",\n  \
-         \"n\": {},\n  \"timesteps\": {TIMESTEPS},\n  \"n_gpus\": {N_GPUS},\n  \
-         \"slow_device\": {SLOW_DEVICE},\n  \"slow_factor\": {SLOW_FACTOR},",
-        cfg.n
-    );
-    let _ = writeln!(out, "  \"static_elapsed_s\": {},", json_f64(static_s));
-    let _ = writeln!(out, "  \"auto_elapsed_s\": {},", json_f64(auto_s));
-    let _ = writeln!(out, "  \"speedup\": {},", json_f64(static_s / auto_s));
-    let _ = writeln!(out, "  \"bit_identical_to_static\": true,");
-    let _ = writeln!(out, "  \"profiles\": [");
-    for (i, p) in profiles.iter().enumerate() {
-        let comma = if i + 1 < profiles.len() { "," } else { "" };
-        let _ = writeln!(out, "{}{comma}", profile_json(p, "    "));
+    let mut report = Report::new(
+        "somier-heterogeneous-adaptive",
+        &format!(
+            "Somier One Buffer on {N_GPUS} GPUs with device {SLOW_DEVICE} at \
+             1/{SLOW_FACTOR} compute speed: static equal split vs spread_schedule(auto)"
+        ),
+    )
+    .topology("machine", "ctepower")
+    .topology("n_gpus", N_GPUS)
+    .topology("n", cfg.n)
+    .topology("timesteps", TIMESTEPS)
+    .topology("slow_device", SLOW_DEVICE)
+    .topology("slow_factor", SLOW_FACTOR)
+    .field("static_elapsed_s", static_s)
+    .field("auto_elapsed_s", auto_s)
+    .field("speedup", static_s / auto_s)
+    .field("bit_identical_to_static", true);
+    for p in &profiles {
+        report = report.cell(profile_obj(p));
     }
-    out.push_str("  ]\n}\n");
-
-    fs::write("BENCH_adaptive.json", &out).expect("write BENCH_adaptive.json");
+    report
+        .checksum(centers_checksum(&auto_report.centers))
+        .write("BENCH_adaptive.json");
     println!(
         "BENCH_adaptive.json: static {static_s:.4}s, auto {auto_s:.4}s, speedup {:.2}x, \
          {} profiles",

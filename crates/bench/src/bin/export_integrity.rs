@@ -6,18 +6,17 @@
 //! (pure digest overhead — source CRC32C per staged D2H payload plus
 //! the boundary re-digest), and `heal` with three silent bit-flip
 //! tokens armed (detection plus construct re-execution from the host
-//! image), then writes `BENCH_integrity.json`: end-to-end virtual
-//! times, the verify tax relative to `off`, heal accounting, and the
-//! bit-identity witness per cell. The headline number is the verify
-//! overhead — the price of trusting every byte a device commits —
-//! which must stay under 10% across the sweep. Everything is virtual
-//! time, so the file is bit-reproducible.
+//! image), then writes `BENCH_integrity.json` in the shared
+//! [`spread_bench::report`] schema: end-to-end virtual times, the
+//! verify tax relative to `off`, heal accounting, and the bit-identity
+//! witness, one `cells[]` entry per problem size. The headline number
+//! is the verify overhead — the price of trusting every byte a device
+//! commits — which must stay under 10% across the sweep. Everything is
+//! virtual time, so the file is bit-reproducible.
 //!
 //! Usage: `cargo run --release -p spread-bench --bin export_integrity`
 
-use std::fmt::Write as _;
-use std::fs;
-
+use spread_bench::report::{centers_checksum, Obj, Report};
 use spread_core::IntegrityMode;
 use spread_rt::IntegrityAction;
 use spread_sim::FaultPlan;
@@ -30,14 +29,6 @@ const N_GPUS: usize = 4;
 const TIMESTEPS: usize = 6;
 const SIZES: [usize; 4] = [20, 32, 40, 56];
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
 /// One single-token burst on each of three devices, armed from t=0.
 fn flip_plan() -> FaultPlan {
     FaultPlan::new(11)
@@ -47,26 +38,29 @@ fn flip_plan() -> FaultPlan {
 }
 
 fn main() {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"benchmark\": \"somier-integrity\",\n  \
-         \"description\": \"Somier One Buffer on {N_GPUS}-device CTE-POWER across problem \
-         sizes: spread_integrity(off) vs verify (CRC32C source digest + commit-boundary \
-         re-digest, clean machine; digests are computed inline at DMA line rate, so the \
-         tax is commit-path serialization only) vs heal (3 silent bit-flips injected, \
-         detect + re-execute from the host image), healing keeping every cell \
-         bit-identical\",\n  \
-         \"timesteps\": {TIMESTEPS},\n  \"n_gpus\": {N_GPUS},\n  \
-         \"flips_injected_under_heal\": 3,\n  \"bit_identical_all_cells\": true,\n  \
-         \"sweep\": ["
-    );
+    let mut report = Report::new(
+        "somier-integrity",
+        &format!(
+            "Somier One Buffer on {N_GPUS}-device CTE-POWER across problem \
+             sizes: spread_integrity(off) vs verify (CRC32C source digest + commit-boundary \
+             re-digest, clean machine; digests are computed inline at DMA line rate, so the \
+             tax is commit-path serialization only) vs heal (3 silent bit-flips injected, \
+             detect + re-execute from the host image), healing keeping every cell \
+             bit-identical"
+        ),
+    )
+    .topology("machine", "ctepower")
+    .topology("n_gpus", N_GPUS)
+    .topology("timesteps", TIMESTEPS)
+    .field("flips_injected_under_heal", 3usize)
+    .field("bit_identical_all_cells", true);
     let mut worst_verify_overhead = 0.0f64;
     let mut worst_n = SIZES[0];
-    for (i, &n) in SIZES.iter().enumerate() {
+    let mut witness = [0.0f64; 3];
+    for &n in SIZES.iter() {
         let cfg = SomierConfig::test_small(n, TIMESTEPS);
         let reference = run_reference(&cfg, cfg.buffer_planes(N_GPUS));
+        witness = reference.centers;
         let run = |mode: IntegrityMode, plan: Option<FaultPlan>| {
             let mut rt = match plan {
                 Some(p) => cfg.runtime_with_faults(N_GPUS, p),
@@ -94,36 +88,29 @@ fn main() {
             worst_verify_overhead = verify_overhead;
             worst_n = n;
         }
-        let comma = if i + 1 < SIZES.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"n\": {n}, \"grid_bytes\": {}, \"off_s\": {}, \"verify_s\": {}, \
-             \"heal_s\": {}, \"verify_overhead\": {}, \"heal_overhead\": {}, \
-             \"heals\": {heals}}}{comma}",
-            cfg.total_bytes(),
-            json_f64(off_s),
-            json_f64(verify_s),
-            json_f64(heal_s),
-            json_f64(verify_overhead),
-            json_f64(heal_overhead),
+        report = report.cell(
+            Obj::new()
+                .field("n", n)
+                .field("grid_bytes", cfg.total_bytes())
+                .field("off_s", off_s)
+                .field("verify_s", verify_s)
+                .field("heal_s", heal_s)
+                .field("verify_overhead", verify_overhead)
+                .field("heal_overhead", heal_overhead)
+                .field("heals", heals),
         );
     }
-    out.push_str("  ],\n");
     assert!(
         worst_verify_overhead <= 0.10,
         "verify must cost at most 10% end-to-end everywhere in the sweep \
          (worst {:.1}% at n={worst_n})",
         worst_verify_overhead * 100.0
     );
-    let _ = writeln!(
-        out,
-        "  \"worst_verify_overhead\": {},",
-        json_f64(worst_verify_overhead)
-    );
-    let _ = writeln!(out, "  \"worst_verify_overhead_at_n\": {worst_n}");
-    out.push_str("}\n");
-
-    fs::write("BENCH_integrity.json", &out).expect("write BENCH_integrity.json");
+    report
+        .field("worst_verify_overhead", worst_verify_overhead)
+        .field("worst_verify_overhead_at_n", worst_n)
+        .checksum(centers_checksum(&witness))
+        .write("BENCH_integrity.json");
     println!(
         "BENCH_integrity.json: worst verify overhead {:.2}% at n={worst_n} \
          ({} sizes swept, 3 flips healed per heal cell)",

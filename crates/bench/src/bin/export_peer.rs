@@ -4,16 +4,15 @@
 //! machine twice — halos forced through the host (`exchange(host)`,
 //! the paper's round-trip) and routed by the planner
 //! (`exchange(auto)`, device-to-device where a sibling holds the
-//! bytes) — then writes `BENCH_peer.json`: the halo-phase and
-//! end-to-end virtual times, the peer-copy accounting, and the
-//! bit-identity witness. Everything is virtual time, so the file is
-//! bit-reproducible.
+//! bytes) — then writes `BENCH_peer.json` in the shared
+//! [`spread_bench::report`] schema: the halo-phase and end-to-end
+//! virtual times, the peer-copy accounting (one `cells[]` entry per
+//! device), and the bit-identity witness. Everything is virtual time,
+//! so the file is bit-reproducible.
 //!
 //! Usage: `cargo run --release -p spread-bench --bin export_peer`
 
-use std::fmt::Write as _;
-use std::fs;
-
+use spread_bench::report::{centers_checksum, Obj, Report};
 use spread_core::{ExchangeMode, ResiliencePolicy};
 use spread_somier::one_buffer::run_spread_peer;
 use spread_somier::SomierConfig;
@@ -21,14 +20,6 @@ use spread_somier::SomierConfig;
 const N_GPUS: usize = 4;
 const N: usize = 40;
 const TIMESTEPS: usize = 6;
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
 
 fn main() {
     let cfg = SomierConfig::test_small(N, TIMESTEPS);
@@ -67,44 +58,41 @@ fn main() {
     let host_s = host_report.elapsed.as_secs_f64();
     let auto_s = auto_report.elapsed.as_secs_f64();
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"benchmark\": \"somier-peer-halo-exchange\",\n  \
-         \"description\": \"Somier One Buffer on {N_GPUS}-device CTE-POWER: per-timestep halo \
-         refresh via the host round-trip (exchange(host)) vs device-to-device \
-         (exchange(auto))\",\n  \
-         \"n\": {N},\n  \"timesteps\": {TIMESTEPS},\n  \"n_gpus\": {N_GPUS},"
-    );
-    let _ = writeln!(out, "  \"host_halo_s\": {},", json_f64(host_halo_s));
-    let _ = writeln!(out, "  \"auto_halo_s\": {},", json_f64(auto_halo_s));
-    let _ = writeln!(
-        out,
-        "  \"halo_speedup\": {},",
-        json_f64(host_halo_s / auto_halo_s)
-    );
-    let _ = writeln!(out, "  \"host_elapsed_s\": {},", json_f64(host_s));
-    let _ = writeln!(out, "  \"auto_elapsed_s\": {},", json_f64(auto_s));
-    let _ = writeln!(out, "  \"elapsed_speedup\": {},", json_f64(host_s / auto_s));
-    let _ = writeln!(out, "  \"peer_copies\": {},", records.len());
-    let _ = writeln!(out, "  \"peer_bytes\": {peer_bytes},");
-    let _ = writeln!(out, "  \"diverted\": 0,");
-    let _ = writeln!(out, "  \"bit_identical_to_host_route\": true,");
-    let _ = writeln!(out, "  \"per_device\": [");
+    let mut report = Report::new(
+        "somier-peer-halo-exchange",
+        &format!(
+            "Somier One Buffer on {N_GPUS}-device CTE-POWER: per-timestep halo \
+             refresh via the host round-trip (exchange(host)) vs device-to-device \
+             (exchange(auto))"
+        ),
+    )
+    .topology("machine", "ctepower")
+    .topology("n_gpus", N_GPUS)
+    .topology("n", N)
+    .topology("timesteps", TIMESTEPS)
+    .field("host_halo_s", host_halo_s)
+    .field("auto_halo_s", auto_halo_s)
+    .field("halo_speedup", host_halo_s / auto_halo_s)
+    .field("host_elapsed_s", host_s)
+    .field("auto_elapsed_s", auto_s)
+    .field("elapsed_speedup", host_s / auto_s)
+    .field("peer_copies", records.len())
+    .field("peer_bytes", peer_bytes)
+    .field("diverted", 0usize)
+    .field("bit_identical_to_host_route", true);
     for d in 0..N_GPUS as u32 {
         let out_bytes: u64 = records.iter().filter(|r| r.src == d).map(|r| r.bytes).sum();
         let in_bytes: u64 = records.iter().filter(|r| r.dst == d).map(|r| r.bytes).sum();
-        let comma = if d + 1 < N_GPUS as u32 { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"device\": {d}, \"peer_out_bytes\": {out_bytes}, \
-             \"peer_in_bytes\": {in_bytes}}}{comma}"
+        report = report.cell(
+            Obj::new()
+                .field("device", d)
+                .field("peer_out_bytes", out_bytes)
+                .field("peer_in_bytes", in_bytes),
         );
     }
-    out.push_str("  ]\n}\n");
-
-    fs::write("BENCH_peer.json", &out).expect("write BENCH_peer.json");
+    report
+        .checksum(centers_checksum(&auto_report.centers))
+        .write("BENCH_peer.json");
     println!(
         "BENCH_peer.json: halo host {host_halo_s:.6}s vs auto {auto_halo_s:.6}s \
          (speedup {:.2}x), end-to-end {:.2}x, {} peer copies / {peer_bytes} bytes",

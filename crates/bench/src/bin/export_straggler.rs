@@ -4,18 +4,18 @@
 //! CTE-POWER machine with device 1 slowed by a sweep of compute
 //! factors, once per policy — `wait` (monitor only), `steal` (cancel
 //! the straggler and re-execute on the least-loaded sibling), and
-//! `replicate` (race both copies) — then writes `BENCH_straggler.json`:
-//! end-to-end virtual times, rescue accounting, and the bit-identity
-//! witness per cell. The interesting shape is the crossover: the rescue
-//! path pays its own enter + H2D on the sibling, so `steal` loses
-//! slightly at mild slowdowns and wins decisively at heavy ones.
-//! Everything is virtual time, so the file is bit-reproducible.
+//! `replicate` (race both copies) — then writes `BENCH_straggler.json`
+//! in the shared [`spread_bench::report`] schema: end-to-end virtual
+//! times, rescue accounting, and the bit-identity witness, one
+//! `cells[]` entry per slowdown factor. The interesting shape is the
+//! crossover: the rescue path pays its own enter + H2D on the sibling,
+//! so `steal` loses slightly at mild slowdowns and wins decisively at
+//! heavy ones. Everything is virtual time, so the file is
+//! bit-reproducible.
 //!
 //! Usage: `cargo run --release -p spread-bench --bin export_straggler`
 
-use std::fmt::Write as _;
-use std::fs;
-
+use spread_bench::report::{centers_checksum, Obj, Report};
 use spread_core::StragglerPolicy;
 use spread_sim::FaultPlan;
 use spread_somier::one_buffer::run_spread_straggler;
@@ -28,14 +28,6 @@ const N: usize = 40;
 const TIMESTEPS: usize = 6;
 const SLOW_DEVICE: u32 = 1;
 const FACTORS: [f64; 4] = [4.0, 8.0, 16.0, 32.0];
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
 
 fn main() {
     let cfg = SomierConfig::test_small(N, TIMESTEPS);
@@ -57,22 +49,24 @@ fn main() {
         (rt.elapsed().as_secs_f64(), rescues.len())
     };
 
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"benchmark\": \"somier-straggler-rescue\",\n  \
-         \"description\": \"Somier One Buffer on {N_GPUS}-device CTE-POWER with device \
-         {SLOW_DEVICE} compute-slowed by a sweep of factors: spread_straggler(wait) vs \
-         steal (cancel + re-execute on a sibling) vs replicate (race both copies), \
-         first-commit-wins keeping every cell bit-identical\",\n  \
-         \"n\": {N},\n  \"timesteps\": {TIMESTEPS},\n  \"n_gpus\": {N_GPUS},\n  \
-         \"slow_device\": {SLOW_DEVICE},\n  \"bit_identical_all_cells\": true,\n  \
-         \"sweep\": ["
-    );
+    let mut report = Report::new(
+        "somier-straggler-rescue",
+        &format!(
+            "Somier One Buffer on {N_GPUS}-device CTE-POWER with device \
+             {SLOW_DEVICE} compute-slowed by a sweep of factors: spread_straggler(wait) vs \
+             steal (cancel + re-execute on a sibling) vs replicate (race both copies), \
+             first-commit-wins keeping every cell bit-identical"
+        ),
+    )
+    .topology("machine", "ctepower")
+    .topology("n_gpus", N_GPUS)
+    .topology("n", N)
+    .topology("timesteps", TIMESTEPS)
+    .topology("slow_device", SLOW_DEVICE)
+    .field("bit_identical_all_cells", true);
     let mut best_speedup = 0.0f64;
     let mut best_factor = FACTORS[0];
-    for (i, &factor) in FACTORS.iter().enumerate() {
+    for &factor in FACTORS.iter() {
         let (wait_s, _) = run(factor, StragglerPolicy::Wait);
         let (steal_s, steal_rescues) = run(factor, StragglerPolicy::Steal);
         let (replicate_s, replicate_rescues) = run(factor, StragglerPolicy::Replicate);
@@ -81,33 +75,27 @@ fn main() {
             best_speedup = speedup;
             best_factor = factor;
         }
-        let comma = if i + 1 < FACTORS.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"slowdown\": {factor}, \"wait_s\": {}, \"steal_s\": {}, \
-             \"replicate_s\": {}, \"steal_speedup_vs_wait\": {}, \
-             \"steal_rescues\": {steal_rescues}, \"replicate_rescues\": {replicate_rescues}}}{comma}",
-            json_f64(wait_s),
-            json_f64(steal_s),
-            json_f64(replicate_s),
-            json_f64(speedup),
+        report = report.cell(
+            Obj::new()
+                .field("slowdown", factor)
+                .field("wait_s", wait_s)
+                .field("steal_s", steal_s)
+                .field("replicate_s", replicate_s)
+                .field("steal_speedup_vs_wait", speedup)
+                .field("steal_rescues", steal_rescues)
+                .field("replicate_rescues", replicate_rescues),
         );
     }
-    out.push_str("  ],\n");
     assert!(
         best_speedup > 1.0,
         "steal must show an end-to-end improvement over wait somewhere in the sweep \
          (best {best_speedup:.3}x at {best_factor}x)"
     );
-    let _ = writeln!(
-        out,
-        "  \"best_steal_speedup_vs_wait\": {},",
-        json_f64(best_speedup)
-    );
-    let _ = writeln!(out, "  \"best_steal_speedup_at_slowdown\": {best_factor}");
-    out.push_str("}\n");
-
-    fs::write("BENCH_straggler.json", &out).expect("write BENCH_straggler.json");
+    report
+        .field("best_steal_speedup_vs_wait", best_speedup)
+        .field("best_steal_speedup_at_slowdown", best_factor)
+        .checksum(centers_checksum(&reference.centers))
+        .write("BENCH_straggler.json");
     println!(
         "BENCH_straggler.json: best steal speedup vs wait {best_speedup:.2}x at {best_factor}x \
          slowdown of device {SLOW_DEVICE} ({} factors swept)",

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod report;
 pub mod table;
 
+pub use report::{centers_checksum, json_f64, Obj, Report, Value};
 pub use table::{markdown_table, speedup};

@@ -1,0 +1,369 @@
+//! Shared JSON writer for the `BENCH_*.json` machine-readable exports.
+//!
+//! Every export binary (`export`, `export_peer`, `export_straggler`,
+//! `export_integrity`, `export_overlap`) used to hand-roll its own JSON
+//! with `std::fmt::Write`; this module is the one copy of that code and
+//! the one place the common schema lives:
+//!
+//! ```json
+//! {
+//!   "name": "somier-…",             // which benchmark
+//!   "description": "…",             // prose: what was measured and how
+//!   "topology": { … },              // the simulated machine + problem size
+//!   …headline scalars…,             // benchmark-specific top-level fields
+//!   "cells": [ { … }, … ],          // one object per measured configuration
+//!   "checksum": "…"                 // bit-identity witness (see below)
+//! }
+//! ```
+//!
+//! The `checksum` is a 64-bit hex digest folded from the exact bit
+//! patterns of the run's correctness witness (the Somier centers of
+//! mass): two exports agree on the checksum iff the physics agreed to
+//! the last bit, so diffing two `BENCH_*.json` files from different
+//! machines answers "same results?" without shipping the arrays.
+//!
+//! Everything is virtual time and the writer is deterministic (fields
+//! render in insertion order, floats via Rust's shortest-roundtrip
+//! formatter), so the files are bit-reproducible.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use spread_trace::ConstructProfile;
+
+/// A JSON value the report writer knows how to render.
+///
+/// Only the shapes the bench exports need — no parsing, no escaping of
+/// exotic strings (labels here are ASCII identifiers and prose).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (bytes, counts).
+    U64(u64),
+    /// Float; non-finite values render as `null` (JSON has no NaN).
+    F64(f64),
+    /// String (rendered with minimal `"`/`\` escaping).
+    Str(String),
+    /// Array of values.
+    Arr(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Obj(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An insertion-ordered JSON object under construction — one `cells[]`
+/// entry, the `topology`, or any nested object.
+#[derive(Clone, Debug, Default)]
+pub struct Obj(Vec<(String, Value)>);
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a field (builder style; fields render in insertion order).
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+impl From<Obj> for Value {
+    fn from(o: Obj) -> Self {
+        Value::Obj(o.0)
+    }
+}
+
+/// One benchmark report: the common schema plus benchmark-specific
+/// headline fields, built top to bottom and written once.
+#[derive(Clone, Debug)]
+pub struct Report {
+    name: String,
+    description: String,
+    topology: Obj,
+    fields: Vec<(String, Value)>,
+    cells: Vec<Obj>,
+    checksum: Option<String>,
+}
+
+impl Report {
+    /// Start a report. `name` identifies the benchmark
+    /// (e.g. `"somier-overlap"`), `description` says in prose what was
+    /// measured and how.
+    pub fn new(name: &str, description: &str) -> Self {
+        Report {
+            name: name.to_string(),
+            description: description.to_string(),
+            topology: Obj::new(),
+            fields: Vec::new(),
+            cells: Vec::new(),
+            checksum: None,
+        }
+    }
+
+    /// Add a field to the `topology` object (the simulated machine and
+    /// problem size: `machine`, `n_gpus`, `n`, `timesteps`, …).
+    pub fn topology(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.topology = self.topology.field(key, value);
+        self
+    }
+
+    /// Add a benchmark-specific top-level field (headline scalars like
+    /// `speedup`, accounting totals, witnesses).
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Append one `cells[]` entry — one measured configuration (a sweep
+    /// point, a device, a policy).
+    pub fn cell(mut self, cell: Obj) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Record the bit-identity checksum from the run's correctness
+    /// witness (see [`centers_checksum`]).
+    pub fn checksum(mut self, checksum: String) -> Self {
+        self.checksum = Some(checksum);
+        self
+    }
+
+    /// Render the report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", escape(&self.name));
+        let _ = writeln!(out, "  \"description\": {},", escape(&self.description));
+        out.push_str("  \"topology\": ");
+        write_value(&mut out, &Value::Obj(self.topology.0.clone()), 1);
+        out.push_str(",\n");
+        for (k, v) in &self.fields {
+            let _ = write!(out, "  {}: ", escape(k));
+            write_value(&mut out, v, 1);
+            out.push_str(",\n");
+        }
+        out.push_str("  \"cells\": ");
+        let cells = Value::Arr(self.cells.iter().map(|c| Value::Obj(c.0.clone())).collect());
+        write_value(&mut out, &cells, 1);
+        match &self.checksum {
+            Some(c) => {
+                out.push_str(",\n");
+                let _ = writeln!(out, "  \"checksum\": {}", escape(c));
+            }
+            None => out.push('\n'),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render and write the report to `path`, then return the rendered
+    /// JSON (for the caller's summary line or further asserts).
+    pub fn write(&self, path: &str) -> String {
+        let out = self.render();
+        fs::write(path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        out
+    }
+}
+
+/// Fold the exact bit patterns of a correctness witness (e.g. the Somier
+/// centers of mass) into a 64-bit hex digest. Position-dependent (a
+/// rotate-xor fold), so reordered values change the digest; two runs
+/// share a digest iff their witnesses are bit-identical.
+pub fn centers_checksum(centers: &[f64]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in centers {
+        h = h.rotate_left(17) ^ c.to_bits();
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Serialize one learned [`ConstructProfile`] — the per-construct,
+/// per-device record `spread_schedule(auto)` adapts from — as a
+/// `cells[]`-ready object, including the per-device phase split
+/// (`copy_in_s`/`copy_out_s`/`kernel_s`/`overlap_s`/`finish_s`/
+/// `idle_tail_s`).
+pub fn profile_obj(p: &ConstructProfile) -> Obj {
+    let devices: Vec<Value> = p
+        .devices
+        .iter()
+        .map(|d| {
+            Value::from(
+                Obj::new()
+                    .field("device", d.device)
+                    .field("copy_in_s", d.copy_in.as_secs_f64())
+                    .field("copy_out_s", d.copy_out.as_secs_f64())
+                    .field("kernel_s", d.kernel.as_secs_f64())
+                    .field("overlap_s", d.overlap.as_secs_f64())
+                    .field("finish_s", d.finish.as_secs_f64())
+                    .field("idle_tail_s", d.idle_tail.as_secs_f64()),
+            )
+        })
+        .collect();
+    Obj::new()
+        .field("key", p.key.as_str())
+        .field("launch", p.launch)
+        .field("elapsed_s", p.elapsed().as_secs_f64())
+        .field("round", p.round)
+        .field("weights", p.weights.clone())
+        .field("devices", Value::Arr(devices))
+}
+
+/// Render a float the way every export always has: shortest roundtrip
+/// for finite values, `null` for NaN/inf (JSON has no non-finite
+/// numbers).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(f) => out.push_str(&json_f64(*f)),
+        Value::Str(s) => out.push_str(&escape(s)),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&inner);
+                write_value(out, item, indent + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&inner);
+                let _ = write!(out, "{}: ", escape(k));
+                write_value(out, val, indent + 1);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_the_common_schema_in_order() {
+        let r = Report::new("demo", "a demo")
+            .topology("machine", "ctepower")
+            .topology("n_gpus", 4usize)
+            .field("speedup", 1.5f64)
+            .cell(Obj::new().field("device", 0usize).field("time_s", 0.25f64))
+            .cell(Obj::new().field("device", 1usize).field("time_s", f64::NAN))
+            .checksum(centers_checksum(&[1.0, 2.0, 3.0]));
+        let out = r.render();
+        let name_at = out.find("\"name\"").unwrap();
+        let topo_at = out.find("\"topology\"").unwrap();
+        let cells_at = out.find("\"cells\"").unwrap();
+        let sum_at = out.find("\"checksum\"").unwrap();
+        assert!(name_at < topo_at && topo_at < cells_at && cells_at < sum_at);
+        assert!(out.contains("\"machine\": \"ctepower\""));
+        assert!(out.contains("\"speedup\": 1.5"));
+        // NaN must degrade to null, never to a non-JSON token.
+        assert!(out.contains("\"time_s\": null"));
+        assert!(!out.contains("NaN"));
+    }
+
+    #[test]
+    fn checksum_is_bit_and_order_sensitive() {
+        let a = centers_checksum(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, centers_checksum(&[1.0, 2.0, 3.0]));
+        assert_ne!(a, centers_checksum(&[2.0, 1.0, 3.0]));
+        // One ULP on the first element (3.0 + EPSILON would round back).
+        assert_ne!(a, centers_checksum(&[1.0 + f64::EPSILON, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let out = Report::new("q\"x", "line\nbreak \\ slash").render();
+        assert!(out.contains("\"q\\\"x\""));
+        assert!(out.contains("line\\nbreak \\\\ slash"));
+    }
+}

@@ -43,6 +43,8 @@ pub struct Program {
     /// Silent-corruption scenario, if the program runs in integrity
     /// mode.
     pub integrity: Option<IntegritySpec>,
+    /// Pipelined-overlap scenario, if the program runs in overlap mode.
+    pub overlap: Option<OverlapSpec>,
 }
 
 impl Program {
@@ -81,6 +83,12 @@ impl Program {
     /// when the program runs in integrity mode.
     pub fn integrity_mode(&self) -> Option<IntegrityMode> {
         self.integrity.as_ref().map(|is| is.mode)
+    }
+
+    /// The `spread_overlap(…)` depth every spread construct carries,
+    /// when the program runs in overlap mode.
+    pub fn overlap_depth(&self) -> Option<u32> {
+        self.overlap.as_ref().map(|os| os.depth)
     }
 
     /// True when any statement uses `spread_schedule(auto)` — the
@@ -182,6 +190,25 @@ pub struct IntegritySpec {
     /// Flip bursts `(device, count)`, `1 ≤ count ≤ 3` — far below the
     /// default breaker streak of 8.
     pub flips: Vec<(u32, u32)>,
+}
+
+/// The pipelined-overlap scenario attached to a [`Program`].
+///
+/// Every spread statement carries `spread_overlap(depth)`: the runtime
+/// splits each device's chunk into up to `depth` balanced sub-slices
+/// and pipelines copy-in → sub-kernel → staged copy-out. The pipeline
+/// is a pure latency optimization — the oracle stays *overlap-blind*
+/// and predicts the same host state as the un-pipelined run — so the
+/// harness requires bit-identical results plus a structurally sound
+/// [`spread_rt::OverlapRecord`] ledger: one record per piece of two or
+/// more iterations, stage count `min(depth, len)`, every staged
+/// sub-slice committed exactly at the whole-piece boundary, nothing
+/// leaked early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverlapSpec {
+    /// The pipeline depth every spread construct requests (`2 ≤ depth
+    /// ≤ 4`; the runtime clamps per piece to the piece length).
+    pub depth: u32,
 }
 
 /// How the program's spread constructs respond to permanent device

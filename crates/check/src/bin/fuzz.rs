@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run --release -p spread-check --bin fuzz -- \
 //!     [--programs N] [--interleavings K] [--seed S] [--faults] \
-//!     [--pressure] [--auto] [--peer] [--stragglers] [--integrity] \
-//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]
+//!     [--pressure] [--auto] [--peer] [--stragglers] [--integrity] [--overlap] \
+//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity|overlap]
 //! ```
 //!
 //! Checks `N` generated programs (seeds `mix(S, 0..N)`), each under the
@@ -28,7 +28,11 @@
 //! `--integrity` generates programs whose devices are armed with silent
 //! bit-flip tokens under `spread_integrity(heal)`: results must stay
 //! bit-identical to the fault-free oracle and the healed-commit ledger
-//! must match the armed token count per device. Exits
+//! must match the armed token count per device. `--overlap` generates
+//! programs whose spread constructs all carry `spread_overlap(depth)`:
+//! results must stay bit-identical to the overlap-blind oracle and the
+//! recorded pipeline ledger must match the closed-form piece count with
+//! every staged sub-slice committing at the whole-piece boundary. Exits
 //! non-zero on any disagreement or
 //! race report, printing the failing seed so `replay -- <seed>`
 //! reproduces it.
@@ -48,6 +52,7 @@ struct Args {
     peer: bool,
     stragglers: bool,
     integrity: bool,
+    overlap: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         peer: false,
         stragglers: false,
         integrity: false,
+        overlap: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
             "--peer" => args.peer = true,
             "--stragglers" => args.stragglers = true,
             "--integrity" => args.integrity = true,
+            "--overlap" => args.overlap = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -101,11 +108,12 @@ fn parse_args() -> Result<Args, String> {
         + (args.peer as u8)
         + (args.stragglers as u8)
         + (args.integrity as u8)
+        + (args.overlap as u8)
         > 1
     {
         return Err(
-            "--faults, --pressure, --auto, --peer, --stragglers and --integrity are mutually \
-             exclusive"
+            "--faults, --pressure, --auto, --peer, --stragglers, --integrity and --overlap \
+             are mutually exclusive"
                 .into(),
         );
     }
@@ -119,8 +127,8 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--programs N] [--interleavings K] [--seed S] [--faults] \
-                 [--pressure] [--auto] [--peer] [--stragglers] [--integrity] \
-                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]"
+                 [--pressure] [--auto] [--peer] [--stragglers] [--integrity] [--overlap] \
+                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity|overlap]"
             );
             return ExitCode::from(2);
         }
@@ -134,9 +142,10 @@ fn main() -> ExitCode {
         peer: args.peer,
         stragglers: args.stragglers,
         integrity: args.integrity,
+        overlap: args.overlap,
     };
     println!(
-        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}{}{}",
+        "spread-check fuzz: {} program(s) x {} interleaving(s), seed {}{}{}{}{}{}{}{}{}",
         args.programs,
         cfg.interleavings,
         args.seed,
@@ -166,6 +175,11 @@ fn main() -> ExitCode {
         } else {
             ""
         },
+        if cfg.overlap {
+            ", with pipelined transfer/compute overlap"
+        } else {
+            ""
+        },
         match cfg.fault {
             Some(f) => format!(", injected fault {f:?}"),
             None => String::new(),
@@ -188,7 +202,7 @@ fn main() -> ExitCode {
         println!("\nFAIL seed {}: {}", f.seed, f.failure);
         println!("{}", pretty::listing(&spread_check::gen_for(f.seed, &cfg)));
         println!(
-            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}{}{}",
+            "reproduce: cargo run -p spread-check --bin replay -- {}{}{}{}{}{}{}{}{}",
             f.seed,
             if cfg.faults { " --faults" } else { "" },
             if cfg.pressure { " --pressure" } else { "" },
@@ -196,6 +210,7 @@ fn main() -> ExitCode {
             if cfg.peer { " --peer" } else { "" },
             if cfg.stragglers { " --stragglers" } else { "" },
             if cfg.integrity { " --integrity" } else { "" },
+            if cfg.overlap { " --overlap" } else { "" },
             match cfg.fault {
                 Some(Fault::StencilDropsLeftHalo) => " --inject stencil",
                 Some(Fault::ReduceSkipsLast) => " --inject reduce",
@@ -204,6 +219,7 @@ fn main() -> ExitCode {
                 Some(Fault::PeerCorrupt) => " --inject peer",
                 Some(Fault::RescueDoubleCommit) => " --inject rescue",
                 Some(Fault::IntegrityCorrupt) => " --inject integrity",
+                Some(Fault::OverlapLeak) => " --inject overlap",
                 None => "",
             }
         );

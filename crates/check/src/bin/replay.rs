@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run -p spread-check --bin replay -- <seed> \
 //!     [--interleavings K] [--faults] [--pressure] [--auto] [--peer] \
-//!     [--stragglers] [--integrity] \
-//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]
+//!     [--stragglers] [--integrity] [--overlap] \
+//!     [--inject stencil|reduce|recovery|spill|peer|rescue|integrity|overlap]
 //! ```
 //!
 //! Regenerates the program for `<seed>`, prints it as a paper-style
@@ -38,6 +38,7 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
             "--peer" => cfg.peer = true,
             "--stragglers" => cfg.stragglers = true,
             "--integrity" => cfg.integrity = true,
+            "--overlap" => cfg.overlap = true,
             s if seed.is_none() && !s.starts_with('-') => {
                 seed = Some(s.parse().map_err(|e| format!("seed: {e}"))?)
             }
@@ -50,11 +51,12 @@ fn parse_args() -> Result<(u64, CheckConfig), String> {
         + (cfg.peer as u8)
         + (cfg.stragglers as u8)
         + (cfg.integrity as u8)
+        + (cfg.overlap as u8)
         > 1
     {
         return Err(
-            "--faults, --pressure, --auto, --peer, --stragglers and --integrity are mutually \
-             exclusive"
+            "--faults, --pressure, --auto, --peer, --stragglers, --integrity and --overlap \
+             are mutually exclusive"
                 .into(),
         );
     }
@@ -68,8 +70,8 @@ fn main() -> ExitCode {
             eprintln!("replay: {e}");
             eprintln!(
                 "usage: replay <seed> [--interleavings K] [--faults] [--pressure] [--auto] \
-                 [--peer] [--stragglers] [--integrity] \
-                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity]"
+                 [--peer] [--stragglers] [--integrity] [--overlap] \
+                 [--inject stencil|reduce|recovery|spill|peer|rescue|integrity|overlap]"
             );
             return ExitCode::from(2);
         }

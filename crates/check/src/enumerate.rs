@@ -144,6 +144,7 @@ fn build(n_devices: usize, ab: &[Stmt], digits: &[usize]) -> Program {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 

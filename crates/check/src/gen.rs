@@ -20,8 +20,8 @@ use spread_core::{PressurePolicy, StragglerPolicy};
 use spread_prng::Prng;
 
 use crate::ast::{
-    BadKind, FaultMode, FaultSpec, IntegritySpec, KernelOp, PressureSpec, Program, Sched, Stmt,
-    StragglerSpec,
+    BadKind, FaultMode, FaultSpec, IntegritySpec, KernelOp, OverlapSpec, PressureSpec, Program,
+    Sched, Stmt, StragglerSpec,
 };
 use spread_core::IntegrityMode;
 
@@ -261,6 +261,7 @@ pub fn gen_program_cfg(seed: u64, faults: bool) -> Program {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 
@@ -370,6 +371,7 @@ pub fn gen_program_pressure(seed: u64) -> Program {
         }),
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 
@@ -455,6 +457,7 @@ pub fn gen_program_peer(seed: u64) -> Program {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 
@@ -566,6 +569,7 @@ pub fn gen_program_straggler(seed: u64) -> Program {
         pressure: None,
         straggler: Some(StragglerSpec { policy, slow }),
         integrity: None,
+        overlap: None,
     }
 }
 
@@ -679,6 +683,116 @@ pub fn gen_program_integrity(seed: u64) -> Program {
             mode: IntegrityMode::Heal,
             flips,
         }),
+        overlap: None,
+    }
+}
+
+/// One blocking spread statement for an overlap program.
+/// `spread_overlap(depth)` rejects `nowait`, dynamic schedules and
+/// degrading pressure policies, so generation mirrors the integrity
+/// template: spread kernels only, static or weighted schedules,
+/// blocking. Static chunks lean large (≥ 2 iterations) so most pieces
+/// really pipeline; pieces a weighted round splits down to a single
+/// iteration fall back to the classic path, and the validator's
+/// closed-form record count accounts for them.
+fn gen_overlap_stmt(r: &mut Prng, avail: &mut Vec<usize>, n: usize, n_devices: usize) -> Stmt {
+    let devices = gen_devices(r, n_devices);
+    let k = devices.len();
+    let sched = if r.chance(0.6) {
+        Sched::Static {
+            chunk: r.range(2, n / 2 + 2),
+        }
+    } else {
+        Sched::Weighted {
+            round: r.range(k.max(2), n / 2 + 2),
+            weights: (0..k).map(|_| r.range(1, 5) as u32).collect(),
+        }
+    };
+    let roll = r.below(100);
+    let two = avail.len() >= 2;
+    if roll < 45 || !two {
+        let a = avail.pop().expect("caller checks avail");
+        let c = *r.pick(&CONSTS);
+        let op = if r.chance(0.5) {
+            KernelOp::AddConst { a, c }
+        } else {
+            KernelOp::Scale { a, c }
+        };
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op,
+        }
+    } else if roll < 75 {
+        let x = avail.pop().unwrap();
+        let y = avail.pop().unwrap();
+        Stmt::Spread {
+            sched,
+            nowait: false,
+            devices,
+            op: KernelOp::Saxpy {
+                x,
+                y,
+                alpha: *r.pick(&CONSTS),
+            },
+        }
+    } else {
+        let src = avail.pop().unwrap();
+        let dst = avail.pop().unwrap();
+        Stmt::Spread {
+            sched: Sched::Static {
+                chunk: stencil_chunk(r, n, k).max(2),
+            },
+            nowait: false,
+            devices,
+            op: KernelOp::Stencil3 { src, dst },
+        }
+    }
+}
+
+/// Derive the overlap program for `seed`: blocking spread-only phases
+/// plus a seeded [`OverlapSpec`] — every construct carries
+/// `spread_overlap(depth)` with `2 ≤ depth ≤ 4`. The pipeline is a pure
+/// latency optimization, so the oracle stays overlap-blind: results
+/// must be bit-identical to the un-pipelined prediction while the
+/// recorded [`spread_rt::OverlapRecord`] ledger matches the closed-form
+/// piece count (one record per multi-iteration chunk of the static
+/// distribution) with every staged sub-slice committing exactly at the
+/// whole-piece boundary.
+pub fn gen_program_overlap(seed: u64) -> Program {
+    let mut r = Prng::new(seed);
+    // Overlap pipelines each device's piece independently — a
+    // single-device machine is as interesting as a full one.
+    let n_devices = r.range(1, 5);
+    let n = r.range(10, 49);
+    let n_arrays = r.range(2, 5);
+    let depth = r.range(2, 5) as u32;
+    let n_phases = r.range(1, 4);
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let mut avail: Vec<usize> = (0..n_arrays).collect();
+        r.shuffle(&mut avail);
+        let budget = r.range(1, 4);
+        let mut phase = Vec::new();
+        for _ in 0..budget {
+            if avail.is_empty() {
+                break;
+            }
+            phase.push(gen_overlap_stmt(&mut r, &mut avail, n, n_devices));
+        }
+        phases.push(phase);
+    }
+    Program {
+        n_devices,
+        n,
+        n_arrays,
+        phases,
+        fault: None,
+        pressure: None,
+        straggler: None,
+        integrity: None,
+        overlap: Some(OverlapSpec { depth }),
     }
 }
 
@@ -777,6 +891,7 @@ pub fn gen_program_auto(seed: u64) -> Program {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 

@@ -63,6 +63,14 @@
 //! ledger — exactly `count` healed commits per flipped device that
 //! performs a committing drain.
 //!
+//! Overlap mode ([`CheckConfig::overlap`]) generates
+//! `spread_overlap(depth)` programs ([`ast::OverlapSpec`]): the
+//! pipeline is a pure latency optimization, so the oracle stays
+//! overlap-blind and results must match the un-pipelined prediction
+//! bit-for-bit, while the recorded [`spread_rt::OverlapRecord`]s match
+//! the closed-form piece count with every staged sub-slice committing
+//! exactly at the whole-piece boundary and nothing escaping early.
+//!
 //! ```
 //! use spread_check::{check_seed, CheckConfig};
 //! assert!(check_seed(1, &CheckConfig::default()).is_ok());
@@ -121,6 +129,12 @@ pub enum Fault {
     /// proving the harness would flag a checksum layer that silently
     /// stopped checking (integrity mode).
     IntegrityCorrupt,
+    /// The *runtime* commits one staged sub-slice of every pipelined
+    /// piece to host memory *before* the whole-piece commit point,
+    /// first element perturbed — the canary proving the harness catches
+    /// a pipeline whose staged writes become externally visible early
+    /// (overlap mode).
+    OverlapLeak,
 }
 
 impl Fault {
@@ -134,6 +148,7 @@ impl Fault {
             "peer" => Some(Fault::PeerCorrupt),
             "rescue" => Some(Fault::RescueDoubleCommit),
             "integrity" => Some(Fault::IntegrityCorrupt),
+            "overlap" => Some(Fault::OverlapLeak),
             _ => None,
         }
     }
@@ -199,6 +214,17 @@ pub struct CheckConfig {
     /// expectation — exactly `count` healed commits per flipped device
     /// that drains at all. Mutually exclusive with every other mode.
     pub integrity: bool,
+    /// Generate pipelined-overlap programs ([`ast::OverlapSpec`]):
+    /// blocking spread-only statements under `spread_overlap(depth)`
+    /// with `2 ≤ depth ≤ 4`. The pipeline is a pure latency
+    /// optimization, so the oracle stays *overlap-blind*: results must
+    /// match the un-pipelined prediction bit-for-bit while the recorded
+    /// [`spread_rt::OverlapRecord`]s match the closed-form piece count
+    /// (one per multi-iteration chunk of the static distribution) with
+    /// `staged == committed` on every record and nothing leaked before
+    /// the whole-piece commit point. Mutually exclusive with every
+    /// other mode.
+    pub overlap: bool,
 }
 
 impl Default for CheckConfig {
@@ -212,6 +238,7 @@ impl Default for CheckConfig {
             peer: false,
             stragglers: false,
             integrity: false,
+            overlap: false,
         }
     }
 }
@@ -475,6 +502,84 @@ fn validate_integrity(p: &Program, got: &run::Observed) -> Option<String> {
     None
 }
 
+/// Structural soundness of the pipelined pieces a run recorded: the
+/// bits are already pinned by [`compare`] (the oracle is
+/// overlap-blind), so this checks the pipeline's ledger — nothing
+/// leaked before the whole-piece commit point, every staged sub-slice
+/// of a non-bypassed piece committed exactly once at the boundary, the
+/// per-piece stage count equals `min(depth, len)`, and the record count
+/// equals the closed-form piece count of the program's static
+/// distributions (pieces of a single iteration take the classic path
+/// and record nothing). Overlap records outside overlap mode are
+/// themselves a violation.
+fn validate_overlap(p: &Program, got: &run::Observed) -> Option<String> {
+    let Some(os) = &p.overlap else {
+        return (!got.overlap.is_empty()).then(|| {
+            format!(
+                "{} overlap record(s) without an overlap spec",
+                got.overlap.len()
+            )
+        });
+    };
+    for r in &got.overlap {
+        if r.leaked {
+            return Some(format!(
+                "device {}: a staged sub-slice of piece [{}..{}) was committed before \
+                 the whole-piece boundary",
+                r.device,
+                r.start,
+                r.start + r.len
+            ));
+        }
+        if !r.bypassed {
+            if r.staged != r.committed {
+                return Some(format!(
+                    "device {} piece [{}..{}): {} staged sub-slice(s) but {} commit(s)",
+                    r.device,
+                    r.start,
+                    r.start + r.len,
+                    r.staged,
+                    r.committed
+                ));
+            }
+            let want_depth = os.depth.min(r.len as u32);
+            if r.depth != want_depth {
+                return Some(format!(
+                    "device {} piece [{}..{}): {} pipeline stage(s), expected {}",
+                    r.device,
+                    r.start,
+                    r.start + r.len,
+                    r.depth,
+                    want_depth
+                ));
+            }
+        }
+    }
+    // Closed form: the runtime pipelines exactly the multi-iteration
+    // pieces of each spread statement's static distribution (depth ≥ 2
+    // always holds for generated specs).
+    let mut want = 0usize;
+    for stmt in p.phases.iter().flatten() {
+        if let ast::Stmt::Spread {
+            devices, sched, op, ..
+        } = stmt
+        {
+            want += spread_core::schedule::distribute(op.range(p.n), devices, &sched.to_schedule())
+                .iter()
+                .filter(|c| c.len >= 2 && c.device.is_some())
+                .count();
+        }
+    }
+    if got.overlap.len() != want {
+        return Some(format!(
+            "overlap ledger: the static distributions predict {want} pipelined piece(s), \
+             runtime recorded {}",
+            got.overlap.len()
+        ));
+    }
+    None
+}
+
 /// Check one program under every tie-break policy for `seed`.
 ///
 /// Under [`CheckConfig::peer`] the check is differential: the per-tie
@@ -494,6 +599,9 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
                 return Err(CheckFailure { tie, detail });
             }
             if let Some(detail) = validate_integrity(p, &got) {
+                return Err(CheckFailure { tie, detail });
+            }
+            if let Some(detail) = validate_overlap(p, &got) {
                 return Err(CheckFailure { tie, detail });
             }
         }
@@ -558,8 +666,8 @@ pub fn check_program(p: &Program, seed: u64, cfg: &CheckConfig) -> Result<(), Ch
 /// program under `cfg.pressure`, an adaptive-schedule program under
 /// `cfg.auto`, a halo-exchange program under `cfg.peer`, a straggler
 /// program under `cfg.stragglers`, an integrity program under
-/// `cfg.integrity`, a faulted program under `cfg.faults`, a plain
-/// program otherwise.
+/// `cfg.integrity`, a pipelined-overlap program under `cfg.overlap`, a
+/// faulted program under `cfg.faults`, a plain program otherwise.
 pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
     if cfg.pressure {
         gen::gen_program_pressure(seed)
@@ -571,6 +679,8 @@ pub fn gen_for(seed: u64, cfg: &CheckConfig) -> Program {
         gen::gen_program_straggler(seed)
     } else if cfg.integrity {
         gen::gen_program_integrity(seed)
+    } else if cfg.overlap {
+        gen::gen_program_overlap(seed)
     } else {
         gen::gen_program_cfg(seed, cfg.faults)
     }
@@ -665,6 +775,7 @@ mod tests {
         assert_eq!(Fault::parse("peer"), Some(Fault::PeerCorrupt));
         assert_eq!(Fault::parse("rescue"), Some(Fault::RescueDoubleCommit));
         assert_eq!(Fault::parse("integrity"), Some(Fault::IntegrityCorrupt));
+        assert_eq!(Fault::parse("overlap"), Some(Fault::OverlapLeak));
         assert_eq!(Fault::parse("nope"), None);
     }
 
@@ -740,6 +851,24 @@ mod tests {
             healed += got.integrity_events.len();
         }
         assert!(healed > 0, "no integrity seed in 0..8 ever healed");
+    }
+
+    #[test]
+    fn overlap_seeds_check_clean_and_some_pipeline() {
+        let cfg = CheckConfig {
+            interleavings: 2,
+            overlap: true,
+            ..CheckConfig::default()
+        };
+        let mut piped = 0;
+        for seed in 0..8u64 {
+            if let Err(f) = check_seed(seed, &cfg) {
+                panic!("overlap seed {seed}: {f}");
+            }
+            let got = run::execute(&gen_for(seed, &cfg), TieBreak::Fifo, None);
+            piped += got.overlap.len();
+        }
+        assert!(piped > 0, "no overlap seed in 0..8 ever pipelined");
     }
 
     #[test]
@@ -878,6 +1007,33 @@ mod tests {
         assert!(
             minimal.integrity.is_some(),
             "the integrity spec is load-bearing for the divergence"
+        );
+        assert!(!minimal.phases.is_empty());
+    }
+
+    #[test]
+    fn overlap_canary_is_caught_and_shrinks() {
+        let cfg = CheckConfig {
+            interleavings: 1,
+            fault: Some(Fault::OverlapLeak),
+            overlap: true,
+            ..CheckConfig::default()
+        };
+        // The leaked sub-slice is value-visible (first element
+        // perturbed before the early commit), so the harness flags it
+        // as a bit divergence — or, when a later statement overwrites
+        // the rotten element, as a `leaked` record in the ledger.
+        let seed = (0..50u64)
+            .find(|&s| check_seed(s, &cfg).is_err())
+            .expect("some overlap seed must leak and be caught");
+        let (minimal, failure) = shrink_seed(seed, &cfg).expect("canary failure shrinks");
+        assert!(
+            failure.detail.contains("array") || failure.detail.contains("boundary"),
+            "{failure}"
+        );
+        assert!(
+            minimal.overlap.is_some(),
+            "the overlap spec is load-bearing for the divergence"
         );
         assert!(!minimal.phases.is_empty());
     }

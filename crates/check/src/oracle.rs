@@ -134,9 +134,9 @@ fn deg_event(d: &Degradation) -> DegradationEvent {
 }
 
 /// The machine perturbation of an injected oracle canary.
-/// `SpillDropsSlice`, `PeerCorrupt`, `RescueDoubleCommit` and
-/// `IntegrityCorrupt` perturb the *runtime*, not the oracle, so they
-/// map to `None` and leave the spec honest.
+/// `SpillDropsSlice`, `PeerCorrupt`, `RescueDoubleCommit`,
+/// `IntegrityCorrupt` and `OverlapLeak` perturb the *runtime*, not the
+/// oracle, so they map to `None` and leave the spec honest.
 fn perturb_of(fault: Option<Fault>) -> Option<Perturb> {
     match fault? {
         Fault::StencilDropsLeftHalo => Some(Perturb::StencilDropsLeftHalo),
@@ -145,7 +145,8 @@ fn perturb_of(fault: Option<Fault>) -> Option<Perturb> {
         Fault::SpillDropsSlice
         | Fault::PeerCorrupt
         | Fault::RescueDoubleCommit
-        | Fault::IntegrityCorrupt => None,
+        | Fault::IntegrityCorrupt
+        | Fault::OverlapLeak => None,
     }
 }
 
@@ -625,6 +626,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         }
     }
 

@@ -43,6 +43,15 @@ fn integrity(p: &Program) -> &'static str {
     }
 }
 
+/// The `spread_overlap(…)` clause every spread construct carries when
+/// the program runs in overlap mode.
+fn overlap(p: &Program) -> String {
+    match p.overlap_depth() {
+        Some(d) => format!(" spread_overlap({d})"),
+        None => String::new(),
+    }
+}
+
 /// The `spread_pressure(…)` clause every spread construct carries when
 /// the program runs in pressure mode.
 fn pressure(p: &Program) -> &'static str {
@@ -66,6 +75,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             let res = resilience(p);
             let pres = pressure(p);
             let integ = integrity(p);
+            let ov = overlap(p);
             let (maps, body) = match *op {
                 KernelOp::AddConst { a, c } => (
                     format!("map(spread_tofrom: A{a}[ss:sz])"),
@@ -89,7 +99,7 @@ fn push_stmt(out: &mut String, p: &Program, stmt: &Stmt) {
             };
             let _ = writeln!(
                 out,
-                "#pragma omp target spread {} {}{res}{pres}{integ} {maps}{nw}\n    {body}",
+                "#pragma omp target spread {} {}{res}{pres}{integ}{ov} {maps}{nw}\n    {body}",
                 devices(d),
                 sched(sc)
             );
@@ -302,6 +312,13 @@ pub fn listing(p: &Program) -> String {
                 "// integrity: {count} silent bit-flip token(s) armed on device {d} at t=0"
             );
         }
+    }
+    if let Some(os) = &p.overlap {
+        let _ = writeln!(
+            out,
+            "// overlap: every spread construct pipelines its pieces at depth {}",
+            os.depth
+        );
     }
     for (i, phase) in p.phases.iter().enumerate() {
         let _ = writeln!(out, "// ---- phase {i} ----");

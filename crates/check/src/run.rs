@@ -6,9 +6,9 @@
 use spread_core::spread_map::SpreadMap;
 use spread_core::testing::TargetSpreadTestingExt;
 use spread_core::{
-    spread_from, spread_to, spread_tofrom, ExchangeMode, IntegrityMode, PressurePolicy,
-    ResiliencePolicy, SpreadSchedule, TargetEnterDataSpread, TargetExitDataSpread, TargetSpread,
-    TargetUpdateSpread,
+    spread_from, spread_to, spread_tofrom, ExchangeMode, IntegrityMode, OverlapPolicy,
+    PressurePolicy, ResiliencePolicy, SpreadClausesExt, SpreadSchedule, TargetEnterDataSpread,
+    TargetExitDataSpread, TargetSpread, TargetUpdateSpread,
 };
 use spread_devices::{DeviceSpec, Topology};
 use spread_rt::kernel::KernelArg;
@@ -24,7 +24,7 @@ use crate::ast::{
 };
 use crate::{oracle, Fault};
 use spread_core::StragglerPolicy;
-use spread_rt::RescueRecord;
+use spread_rt::{OverlapRecord, RescueRecord};
 
 /// The host staging-buffer bound the executor configures for pressure
 /// programs: 8 pool elements, small enough that most spilled pieces
@@ -63,6 +63,10 @@ pub struct Observed {
     /// [`Runtime::integrity_events`]. Empty unless the program carries
     /// an [`IntegritySpec`] (or the peer canary arms a flip).
     pub integrity_events: Vec<IntegrityEvent>,
+    /// Every pipelined piece the runtime ran, in completion order —
+    /// from [`Runtime::overlap_records`]. Empty unless the program
+    /// carries an [`crate::ast::OverlapSpec`].
+    pub overlap: Vec<OverlapRecord>,
     /// The first error, if any.
     pub error: Option<RtError>,
 }
@@ -155,17 +159,30 @@ fn issue_spread(
     straggler: Option<StragglerPolicy>,
     force_rescue: bool,
     integrity: Option<IntegrityMode>,
+    overlap: Option<u32>,
+    leak_overlap: bool,
     op: &KernelOp,
 ) -> Result<(), RtError> {
     let range = op.range(n);
     let mut b = TargetSpread::devices(devices.iter().copied())
-        .spread_schedule(sched)
-        .spread_resilience(resilience);
+        .with_schedule(sched)
+        .with_resilience(resilience);
     if let Some(mode) = integrity {
-        b = b.spread_integrity(mode);
+        b = b.with_integrity(mode);
+    }
+    if let Some(depth) = overlap {
+        b = b.with_overlap(OverlapPolicy::Depth(depth));
+        if leak_overlap {
+            // The `--inject overlap` canary: the *runtime* commits one
+            // staged sub-slice to host memory before the whole-piece
+            // commit point, first element perturbed, and the harness
+            // must catch the escape (bit divergence or a `leaked`
+            // record).
+            b = b.inject_overlap_leak();
+        }
     }
     if let Some(policy) = pressure {
-        b = b.spread_pressure(policy);
+        b = b.with_pressure(policy);
         if drop_spill {
             // The `--inject spill` canary: the *runtime* silently drops
             // the last slice of every spilled piece, and the harness
@@ -179,7 +196,7 @@ fn issue_spread(
     // enter copies would otherwise hide the slowdown).
     let cost = if straggler.is_some() { 2000.0 } else { 1.0 };
     if let Some(policy) = straggler {
-        b = b.spread_straggler(policy).num_teams(1).num_threads(1);
+        b = b.with_straggler(policy).num_teams(1).num_threads(1);
         if force_rescue {
             // The `--inject rescue` canary: the *runtime* lets the
             // losing copy of every rescue commit its staged writes
@@ -267,6 +284,7 @@ fn issue(
     force_rescue: bool,
     exchange: ExchangeMode,
     integrity: Option<IntegrityMode>,
+    leak_overlap: bool,
     stmt: &Stmt,
 ) -> Result<(), RtError> {
     let resilience = if p.resilient() {
@@ -293,6 +311,8 @@ fn issue(
             p.straggler_policy(),
             force_rescue,
             integrity,
+            p.overlap_depth(),
+            leak_overlap,
             op,
         ),
         Stmt::Reduce {
@@ -307,8 +327,8 @@ fn issue(
             let hp = handles[*partials];
             let alpha = *alpha;
             let value = TargetSpread::devices(devices.iter().copied())
-                .spread_schedule(sched.to_schedule())
-                .spread_resilience(resilience)
+                .with_schedule(sched.to_schedule())
+                .with_resilience(resilience)
                 .map(spread_to(ha, |c| c.range()))
                 .parallel_for_reduce(
                     s,
@@ -354,6 +374,8 @@ fn issue(
                     None,
                     false,
                     None,
+                    None,
+                    false,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -411,6 +433,8 @@ fn issue(
                     None,
                     false,
                     None,
+                    None,
+                    false,
                     &KernelOp::AddConst { a: *a, c: cv },
                 )?;
             }
@@ -427,7 +451,7 @@ fn issue(
             // halo bytes into the final host state of `dst`.
             let n1 = n - 1;
             TargetSpread::devices(devices.iter().copied())
-                .spread_schedule(SpreadSchedule::static_chunk(*chunk))
+                .with_schedule(SpreadSchedule::static_chunk(*chunk))
                 .map(spread_to(h, halo))
                 .map(spread_from(hd, |c| c.range()))
                 .parallel_for(
@@ -507,7 +531,7 @@ fn issue(
             match kind {
                 BadKind::DynamicDataSchedule => {
                     TargetEnterDataSpread::devices([0])
-                        .spread_schedule(SpreadSchedule::dynamic(4))
+                        .with_schedule(SpreadSchedule::dynamic(4))
                         .range(0, p.n)
                         .chunk_size(4)
                         .map(spread_to(h, |c| c.range()))
@@ -561,6 +585,7 @@ pub fn execute_ex(
 ) -> Observed {
     let drop_spill = inject == Some(Fault::SpillDropsSlice) && p.pressure.is_some();
     let force_rescue = inject == Some(Fault::RescueDoubleCommit) && p.straggler.is_some();
+    let leak_overlap = inject == Some(Fault::OverlapLeak) && p.overlap.is_some();
     let peer_flip = (inject == Some(Fault::PeerCorrupt) && exchange != ExchangeMode::Host)
         .then(|| oracle::predict_peer_copies(p).first().map(|r| r.1))
         .flatten();
@@ -595,6 +620,7 @@ pub fn execute_ex(
                     force_rescue,
                     exchange,
                     integrity,
+                    leak_overlap,
                     stmt,
                 )?;
             }
@@ -622,6 +648,7 @@ pub fn execute_ex(
         races: rt.races().len(),
         rescues: rt.rescues(),
         integrity_events: rt.integrity_events(),
+        overlap: rt.overlap_records(),
         peer_copies: rt
             .peer_copies()
             .iter()
@@ -661,6 +688,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -689,6 +717,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -719,6 +748,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);
@@ -746,6 +776,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(
@@ -786,6 +817,7 @@ mod tests {
             }),
             straggler: None,
             integrity: None,
+            overlap: None,
         };
         let o = execute(&p, TieBreak::Fifo, None);
         assert!(o.error.is_none(), "{:?}", o.error);

@@ -77,6 +77,17 @@ fn candidates(p: &Program) -> Vec<Program> {
             }
         }
     }
+    // 0e. Drop the overlap scenario, or shrink its depth to 2.
+    if p.overlap.is_some() {
+        let mut q = p.clone();
+        q.overlap = None;
+        out.push(q);
+    }
+    if p.overlap.as_ref().is_some_and(|os| os.depth > 2) {
+        let mut q = p.clone();
+        q.overlap.as_mut().expect("checked above").depth = 2;
+        out.push(q);
+    }
     // 1. Drop a whole phase.
     for i in 0..p.phases.len() {
         if p.phases.len() > 1 {
@@ -370,6 +381,7 @@ mod tests {
             pressure: None,
             straggler: None,
             integrity: None,
+            overlap: None,
         }
     }
 
@@ -403,11 +415,12 @@ mod tests {
         // the original satisfies, the minimum must still satisfy it —
         // `shrink` only ever commits candidates the predicate accepts.
         for seed in 0..12u64 {
-            let p = match seed % 5 {
+            let p = match seed % 6 {
                 0 => gen::gen_program_cfg(seed, false),
                 1 => gen::gen_program_cfg(seed, true),
                 2 => gen::gen_program_pressure(seed),
                 3 => gen::gen_program_integrity(seed),
+                4 => gen::gen_program_overlap(seed),
                 _ => gen::gen_program_peer(seed),
             };
             let mut fails = |q: &Program| !q.phases.is_empty();

@@ -22,6 +22,7 @@ use spread_rt::map::MapType;
 use spread_rt::{HostArray, IntegrityMode, MapClause, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
+use crate::clauses::{ClauseSet, SpreadClausesExt, Supports};
 use crate::resilience::ResiliencePolicy;
 use crate::schedule::{distribute, Chunk, SpreadSchedule};
 use crate::spread_map::{SectionOf, SpreadMap};
@@ -52,8 +53,14 @@ pub struct SpreadClauses {
     devices: Vec<u32>,
     range: Option<Range<usize>>,
     chunk_size: Option<usize>,
-    schedule: Option<SpreadSchedule>,
+    set: ClauseSet,
     maps: Vec<SpreadMap>,
+}
+
+impl SpreadClausesExt for SpreadClauses {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.set
+    }
 }
 
 impl SpreadClauses {
@@ -64,7 +71,7 @@ impl SpreadClauses {
             devices: devices.into_iter().collect(),
             range: None,
             chunk_size: None,
-            schedule: None,
+            set: ClauseSet::default(),
             maps: Vec::new(),
         }
     }
@@ -85,9 +92,9 @@ impl SpreadClauses {
     /// the default `chunk_size` round-robin — e.g. weighted chunks for
     /// heterogeneous devices. Must match the executable directive's
     /// schedule for coherent placement.
-    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.schedule = Some(s);
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
+    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
+        self.with_schedule(s)
     }
 
     /// Add a spread map item.
@@ -132,7 +139,7 @@ impl SpreadClauses {
         // chunk→device assignment must be known when the mapping is
         // created), and `auto` resolves against a *construct's* profile
         // history, which a standalone data directive does not have.
-        if let Some(s) = &self.schedule {
+        if let Some(s) = &self.set.schedule {
             if matches!(s, SpreadSchedule::Dynamic { .. }) {
                 return Err(RtError::InvalidDirective(
                     "data spread directives require a static distribution                  (dynamic placement is undecidable at mapping time)"
@@ -169,7 +176,12 @@ pub struct TargetEnterDataSpread {
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
     dep_outs: Vec<SpreadDep>,
-    resilience: ResiliencePolicy,
+}
+
+impl SpreadClausesExt for TargetEnterDataSpread {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.clauses.set
+    }
 }
 
 impl TargetEnterDataSpread {
@@ -180,7 +192,6 @@ impl TargetEnterDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
-            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -188,18 +199,18 @@ impl TargetEnterDataSpread {
     /// is already lost are skipped and a chunk task killed by device
     /// loss is absorbed (the host image stays authoritative) instead of
     /// poisoning the runtime.
-    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
-        self.resilience = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
+    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
+        self.with_resilience(policy)
     }
 
     /// **Extension** (§IX): an explicit static spread schedule replacing
     /// the default `chunk_size` round-robin — e.g. weighted chunks for
     /// heterogeneous devices. Must match the executable directive's
     /// schedule for coherent placement.
-    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.clauses = self.clauses.spread_schedule(s);
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
+    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
+        self.with_schedule(s)
     }
 
     /// `range(start:len)` — the iteration-space range being distributed.
@@ -262,8 +273,16 @@ impl TargetEnterDataSpread {
 
     /// Issue the directive: one enter-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        self.clauses.set.reject_unsupported(
+            "target enter data spread",
+            Supports {
+                schedule: true,
+                resilience: true,
+                ..Supports::default()
+            },
+        )?;
         let chunks = self.clauses.chunks()?;
-        let resilient = self.resilience == ResiliencePolicy::Redistribute;
+        let resilient = self.clauses.set.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -305,7 +324,12 @@ pub struct TargetExitDataSpread {
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
     dep_outs: Vec<SpreadDep>,
-    resilience: ResiliencePolicy,
+}
+
+impl SpreadClausesExt for TargetExitDataSpread {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.clauses.set
+    }
 }
 
 impl TargetExitDataSpread {
@@ -316,7 +340,6 @@ impl TargetExitDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
-            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -324,18 +347,18 @@ impl TargetExitDataSpread {
     /// is already lost are skipped (their mappings died with the device;
     /// the host keeps its pre-construct data) and a chunk task killed by
     /// device loss is absorbed instead of poisoning the runtime.
-    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
-        self.resilience = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
+    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
+        self.with_resilience(policy)
     }
 
     /// **Extension** (§IX): an explicit static spread schedule replacing
     /// the default `chunk_size` round-robin — e.g. weighted chunks for
     /// heterogeneous devices. Must match the executable directive's
     /// schedule for coherent placement.
-    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.clauses = self.clauses.spread_schedule(s);
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
+    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
+        self.with_schedule(s)
     }
 
     /// `range(start:len)`.
@@ -397,8 +420,16 @@ impl TargetExitDataSpread {
 
     /// Issue the directive: one exit-data task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
+        self.clauses.set.reject_unsupported(
+            "target exit data spread",
+            Supports {
+                schedule: true,
+                resilience: true,
+                ..Supports::default()
+            },
+        )?;
         let chunks = self.clauses.chunks()?;
-        let resilient = self.resilience == ResiliencePolicy::Redistribute;
+        let resilient = self.clauses.set.resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -441,8 +472,12 @@ pub struct TargetUpdateSpread {
     from_items: Vec<(HostArray, SectionOf)>,
     nowait: bool,
     exchange: ExchangeMode,
-    resilience: ResiliencePolicy,
-    integrity: IntegrityMode,
+}
+
+impl SpreadClausesExt for TargetUpdateSpread {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.clauses.set
+    }
 }
 
 impl TargetUpdateSpread {
@@ -458,8 +493,6 @@ impl TargetUpdateSpread {
             // otherwise — the paper's host round-trip is recovered with
             // `exchange(host)`.
             exchange: ExchangeMode::Auto,
-            resilience: ResiliencePolicy::default(),
-            integrity: IntegrityMode::default(),
         }
     }
 
@@ -478,9 +511,9 @@ impl TargetUpdateSpread {
     /// loss is absorbed (a lost peer *source* already falls back to a
     /// host replay on its own). Composes with every `exchange` mode
     /// except `peer`, whose no-fallback contract a loss would violate.
-    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
-        self.resilience = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
+    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
+        self.with_resilience(policy)
     }
 
     /// `spread_integrity(off|verify|heal)`: digest every `from(…)` drain
@@ -490,9 +523,9 @@ impl TargetUpdateSpread {
     /// path. `heal` cannot compose with `from(…)` items: the host is the
     /// *destination* of a `from` drain, so there is no unharmed host
     /// image left to heal from — use `verify` there.
-    pub fn spread_integrity(mut self, mode: IntegrityMode) -> Self {
-        self.integrity = mode;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_integrity")]
+    pub fn spread_integrity(self, mode: IntegrityMode) -> Self {
+        self.with_integrity(mode)
     }
 
     /// `range(start:len)`.
@@ -535,8 +568,18 @@ impl TargetUpdateSpread {
 
     /// Issue the directive: one update task per chunk.
     pub fn launch(self, scope: &mut Scope<'_>) -> Result<Vec<TaskId>, RtError> {
-        if self.exchange == ExchangeMode::Peer && self.resilience == ResiliencePolicy::Redistribute
-        {
+        self.clauses.set.reject_unsupported(
+            "target update spread",
+            Supports {
+                schedule: true,
+                resilience: true,
+                integrity: true,
+                ..Supports::default()
+            },
+        )?;
+        let resilience = self.clauses.set.resilience;
+        let integrity = self.clauses.set.integrity;
+        if self.exchange == ExchangeMode::Peer && resilience == ResiliencePolicy::Redistribute {
             // `peer` forbids the host fallback that redistribution's
             // "replay from the staged host image" contract relies on.
             return Err(RtError::InvalidDirective(
@@ -545,7 +588,7 @@ impl TargetUpdateSpread {
                     .into(),
             ));
         }
-        if self.integrity == IntegrityMode::Heal && !self.from_items.is_empty() {
+        if integrity == IntegrityMode::Heal && !self.from_items.is_empty() {
             // A `from(…)` drain makes the host the destination; healing
             // re-reads the very device bytes that failed verification.
             return Err(RtError::InvalidDirective(
@@ -556,7 +599,7 @@ impl TargetUpdateSpread {
             ));
         }
         let chunks = self.clauses.chunks()?;
-        let resilient = self.resilience == ResiliencePolicy::Redistribute;
+        let resilient = resilience == ResiliencePolicy::Redistribute;
         let mut ids = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             let c = ChunkCtx::new(chunk.start, chunk.len);
@@ -567,7 +610,7 @@ impl TargetUpdateSpread {
             let mut b = TargetUpdate::device(device)
                 .nowait()
                 .exchange(self.exchange)
-                .integrity(self.integrity);
+                .integrity(integrity);
             for (a, expr) in &self.to_items {
                 b = b.to(Section::from_range(a.id(), expr(c)));
             }
@@ -595,6 +638,12 @@ impl TargetUpdateSpread {
 #[derive(Clone)]
 pub struct TargetDataSpread {
     clauses: SpreadClauses,
+}
+
+impl SpreadClausesExt for TargetDataSpread {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.clauses.set
+    }
 }
 
 impl TargetDataSpread {
@@ -636,6 +685,14 @@ impl TargetDataSpread {
         scope: &mut Scope<'_>,
         f: impl FnOnce(&mut Scope<'_>) -> Result<R, RtError>,
     ) -> Result<R, RtError> {
+        self.clauses.set.reject_unsupported(
+            "target data spread",
+            Supports {
+                schedule: true,
+                resilience: true,
+                ..Supports::default()
+            },
+        )?;
         let enter_maps: Vec<SpreadMap> = self
             .clauses
             .map_list()
@@ -663,14 +720,14 @@ impl TargetDataSpread {
                 expr: std::sync::Arc::clone(&m.expr),
             })
             .collect();
+        // The structured region forwards its clause set (schedule and
+        // resilience) to both halves, keeping placement coherent.
         let enter_clauses = SpreadClauses {
             maps: enter_maps,
-            schedule: None,
             ..self.clauses.clone()
         };
         let exit_clauses = SpreadClauses {
             maps: exit_maps,
-            schedule: None,
             ..self.clauses
         };
         TargetEnterDataSpread {
@@ -678,7 +735,6 @@ impl TargetDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
-            resilience: ResiliencePolicy::default(),
         }
         .launch(scope)?;
         let r = f(scope)?;
@@ -687,7 +743,6 @@ impl TargetDataSpread {
             nowait: false,
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
-            resilience: ResiliencePolicy::default(),
         }
         .launch(scope)?;
         Ok(r)

@@ -31,12 +31,12 @@
 //! `depend` on the data-spread directives (Listing 13), a `dynamic`
 //! spread schedule, weighted static chunking, and a cross-device
 //! reduction helper. Beyond §IX, robustness extensions:
-//! [`TargetSpread::spread_resilience`] ([`ResiliencePolicy`]) rebuilds
+//! [`SpreadClausesExt::with_resilience`] ([`ResiliencePolicy`]) rebuilds
 //! a permanently lost device's chunks on the surviving devices,
-//! [`TargetSpread::spread_pressure`] ([`PressurePolicy`]) degrades
+//! [`SpreadClausesExt::with_pressure`] ([`PressurePolicy`]) degrades
 //! gracefully under device memory pressure — capacity-aware admission,
 //! adaptive chunk splitting, and host spill (see [`pressure`]) — and
-//! [`TargetSpread::spread_integrity`] ([`IntegrityMode`]) digests
+//! [`SpreadClausesExt::with_integrity`] ([`IntegrityMode`]) digests
 //! device payloads end to end, catching silent corruption at the
 //! staged-commit and peer-receive trust boundaries and (under `heal`)
 //! re-executing tainted pieces from the unharmed host image (see
@@ -60,7 +60,7 @@
 //!
 //! rt.run(|s| {
 //!     TargetSpread::devices([2, 0, 1])
-//!         .spread_schedule(SpreadSchedule::static_chunk(4))
+//!         .with_schedule(SpreadSchedule::static_chunk(4))
 //!         .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
 //!         .map(spread_from(b, |c| c.range()))
 //!         .parallel_for(s, 1..n - 1, KernelSpec::new("stencil", 2.0, |chunk, v| {
@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+pub mod clauses;
 pub mod data_spread;
 pub mod integrity;
 pub mod pressure;
@@ -92,6 +93,7 @@ pub mod target_spread;
 pub mod testing;
 
 pub use chunk::ChunkCtx;
+pub use clauses::{ClauseSet, OverlapPolicy, SpreadClausesExt};
 pub use data_spread::{
     SpreadClauses, TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread,
     TargetUpdateSpread,
@@ -110,6 +112,7 @@ pub use target_spread::TargetSpread;
 /// Convenience re-exports for writing spread programs.
 pub mod prelude {
     pub use crate::chunk::ChunkCtx;
+    pub use crate::clauses::{ClauseSet, OverlapPolicy, SpreadClausesExt};
     pub use crate::data_spread::{
         SpreadClauses, TargetDataSpread, TargetEnterDataSpread, TargetExitDataSpread,
         TargetUpdateSpread,

@@ -26,6 +26,7 @@ use spread_rt::directives::Target;
 use spread_rt::{IntegrityMode, KernelSpec, RtError, Scope, Section, TaskId};
 
 use crate::chunk::ChunkCtx;
+use crate::clauses::{ClauseSet, OverlapPolicy, SpreadClausesExt};
 use crate::pressure::{self, Placement, PressureCoordinator, PressurePolicy};
 use crate::resilience::{Coordinator, ResiliencePolicy};
 use crate::schedule::{distribute, SpreadSchedule};
@@ -50,7 +51,7 @@ impl SpreadDep {
 #[derive(Clone)]
 pub struct TargetSpread {
     devices: Vec<u32>,
-    schedule: SpreadSchedule,
+    clauses: ClauseSet,
     maps: Vec<SpreadMap>,
     nowait: bool,
     dep_ins: Vec<SpreadDep>,
@@ -58,13 +59,15 @@ pub struct TargetSpread {
     num_teams: Option<u32>,
     num_threads: Option<u32>,
     serial: bool,
-    resilience: ResiliencePolicy,
-    pressure: PressurePolicy,
-    straggler: StragglerPolicy,
-    integrity: IntegrityMode,
-    straggler_beta: f64,
     drop_last_spill_slice: bool,
     force_rescue_double_commit: bool,
+    force_overlap_leak: bool,
+}
+
+impl SpreadClausesExt for TargetSpread {
+    fn clause_set_mut(&mut self) -> &mut ClauseSet {
+        &mut self.clauses
+    }
 }
 
 impl TargetSpread {
@@ -73,7 +76,10 @@ impl TargetSpread {
     pub fn devices(devices: impl IntoIterator<Item = u32>) -> Self {
         TargetSpread {
             devices: devices.into_iter().collect(),
-            schedule: SpreadSchedule::static_chunk(1),
+            clauses: ClauseSet {
+                schedule: Some(SpreadSchedule::static_chunk(1)),
+                ..ClauseSet::default()
+            },
             maps: Vec::new(),
             nowait: false,
             dep_ins: Vec::new(),
@@ -81,20 +87,16 @@ impl TargetSpread {
             num_teams: None,
             num_threads: None,
             serial: false,
-            resilience: ResiliencePolicy::FailStop,
-            pressure: PressurePolicy::Fail,
-            straggler: StragglerPolicy::Wait,
-            integrity: IntegrityMode::Off,
-            straggler_beta: 4.0,
             drop_last_spill_slice: false,
             force_rescue_double_commit: false,
+            force_overlap_leak: false,
         }
     }
 
     /// The `spread_schedule(…)` clause.
-    pub fn spread_schedule(mut self, s: SpreadSchedule) -> Self {
-        self.schedule = s;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
+    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
+        self.with_schedule(s)
     }
 
     /// Add a spread map item.
@@ -164,14 +166,14 @@ impl TargetSpread {
     /// The `spread_resilience(…)` clause: what the construct does when
     /// one of its devices is permanently lost mid-run (default:
     /// [`ResiliencePolicy::FailStop`]).
-    pub fn spread_resilience(mut self, policy: ResiliencePolicy) -> Self {
-        self.resilience = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
+    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
+        self.with_resilience(policy)
     }
 
     /// The active resilience policy.
     pub fn resilience(&self) -> ResiliencePolicy {
-        self.resilience
+        self.clauses.resilience
     }
 
     /// The `spread_pressure(…)` clause: what the construct does when a
@@ -179,14 +181,14 @@ impl TargetSpread {
     /// (default: [`PressurePolicy::Fail`] — the pre-existing behavior).
     /// See the [`pressure`](crate::pressure) module for the degradation
     /// ladder.
-    pub fn spread_pressure(mut self, policy: PressurePolicy) -> Self {
-        self.pressure = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_pressure")]
+    pub fn spread_pressure(self, policy: PressurePolicy) -> Self {
+        self.with_pressure(policy)
     }
 
     /// The active pressure policy.
     pub fn pressure(&self) -> PressurePolicy {
-        self.pressure
+        self.clauses.pressure
     }
 
     /// The `spread_straggler(…)` clause: what the construct does about
@@ -195,14 +197,14 @@ impl TargetSpread {
     /// [`straggler`](crate::straggler) module for the detection rule
     /// and the first-commit-wins rescue protocol. Requires a static
     /// schedule and a blocking construct.
-    pub fn spread_straggler(mut self, policy: StragglerPolicy) -> Self {
-        self.straggler = policy;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_straggler")]
+    pub fn spread_straggler(self, policy: StragglerPolicy) -> Self {
+        self.with_straggler(policy)
     }
 
     /// The active straggler policy.
     pub fn straggler(&self) -> StragglerPolicy {
-        self.straggler
+        self.clauses.straggler
     }
 
     /// The `spread_integrity(…)` clause: whether device payloads are
@@ -216,27 +218,33 @@ impl TargetSpread {
     /// offenders. `heal` requires a static schedule and a blocking
     /// construct, and composes with `spread_resilience(redistribute)`
     /// but not with `spread_straggler` or `spread_pressure` degradation.
-    pub fn spread_integrity(mut self, mode: IntegrityMode) -> Self {
-        self.integrity = mode;
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_integrity")]
+    pub fn spread_integrity(self, mode: IntegrityMode) -> Self {
+        self.with_integrity(mode)
     }
 
     /// The active integrity mode.
     pub fn integrity(&self) -> IntegrityMode {
-        self.integrity
+        self.clauses.integrity
+    }
+
+    /// The active overlap policy (`spread_overlap(…)`; see
+    /// [`OverlapPolicy`]).
+    pub fn overlap(&self) -> OverlapPolicy {
+        self.clauses.overlap
     }
 
     /// Override the straggler detection threshold β (default 4): a
     /// piece is a straggler if its kernel is still running β× past the
     /// construct's first kernel completion. Clamped to ≥ 1.
-    pub fn spread_straggler_beta(mut self, beta: f64) -> Self {
-        self.straggler_beta = if beta.is_finite() { beta.max(1.0) } else { 4.0 };
-        self
+    #[deprecated(note = "use SpreadClausesExt::with_straggler_beta")]
+    pub fn spread_straggler_beta(self, beta: f64) -> Self {
+        self.with_straggler_beta(beta)
     }
 
     /// The active straggler detection threshold β.
     pub(crate) fn straggler_beta(&self) -> f64 {
-        self.straggler_beta
+        self.clauses.straggler_beta
     }
 
     /// Whether the rescue double-commit canary is armed.
@@ -254,6 +262,14 @@ impl TargetSpread {
     /// [`crate::testing`]); the field stays module-private.
     pub(crate) fn set_drop_last_spill_slice(&mut self) {
         self.drop_last_spill_slice = true;
+    }
+
+    /// Setter behind the `testing` module's injection hook (see
+    /// [`crate::testing`]): arm the overlap sub-slice leak canary, which
+    /// makes pipelined pieces commit one staged sub-slice *early* (a
+    /// deliberate bug the `--overlap` fuzz mode must catch).
+    pub(crate) fn set_force_overlap_leak(&mut self) {
+        self.force_overlap_leak = true;
     }
 
     /// The mapped-footprint bytes of the piece `[start, start + len)` —
@@ -274,7 +290,10 @@ impl TargetSpread {
 
     /// The active `spread_schedule(…)` clause.
     pub fn schedule(&self) -> &SpreadSchedule {
-        &self.schedule
+        self.clauses
+            .schedule
+            .as_ref()
+            .expect("TargetSpread always carries a schedule")
     }
 
     /// Whether `nowait` was requested.
@@ -288,11 +307,21 @@ impl TargetSpread {
     /// without launching anything. Dynamic schedules return chunks with
     /// `device == None` (assignment happens at claim time).
     pub fn plan_chunks(&self, range: Range<usize>) -> Vec<crate::schedule::Chunk> {
-        distribute(range, &self.devices, &self.schedule)
+        distribute(range, &self.devices, self.schedule())
     }
 
     pub(crate) fn build_target(&self, device: u32, c: ChunkCtx) -> Target {
-        let mut t = Target::device(device).nowait().integrity(self.integrity);
+        let mut t = Target::device(device)
+            .nowait()
+            .integrity(self.clauses.integrity);
+        if let Some(depth) = self.clauses.overlap.depth() {
+            if depth > 1 {
+                t = t.overlap(depth);
+                if self.force_overlap_leak {
+                    t = t.overlap_leak();
+                }
+            }
+        }
         if self.serial {
             t = t.serial();
         } else {
@@ -318,9 +347,14 @@ impl TargetSpread {
     /// Like [`Self::build_target`] but *without* the construct's
     /// `depend` clauses: a speculative rescue must race the original
     /// piece, not queue behind the dependences it publishes. Downstream
-    /// synchronization still flows through the original's exit.
+    /// synchronization still flows through the original's exit. The
+    /// `spread_overlap` clause is also stripped: a rescue re-executes
+    /// the **whole piece** un-pipelined, so first-commit-wins
+    /// arbitration only ever sees whole-piece commits.
     pub(crate) fn build_rescue_target(&self, device: u32, c: ChunkCtx) -> Target {
-        let mut t = Target::device(device).nowait().integrity(self.integrity);
+        let mut t = Target::device(device)
+            .nowait()
+            .integrity(self.clauses.integrity);
         if self.serial {
             t = t.serial();
         } else {
@@ -354,7 +388,7 @@ impl TargetSpread {
         // Resolve `spread_schedule(auto)` into a concrete StaticWeighted
         // plan before any further validation, so auto composes with
         // resilience/pressure exactly where StaticWeighted does.
-        let auto = if let SpreadSchedule::Auto { key } = &self.schedule {
+        let auto = if let Some(SpreadSchedule::Auto { key }) = &self.clauses.schedule {
             let key = key.clone();
             if self.nowait {
                 // The profile window closes at construct completion; a
@@ -365,17 +399,37 @@ impl TargetSpread {
             }
             let weights = scope.adaptive_weights(&key, self.devices.len());
             let round = range.len().max(1);
-            self.schedule = SpreadSchedule::StaticWeighted {
+            self.clauses.schedule = Some(SpreadSchedule::StaticWeighted {
                 round,
                 weights: weights.clone(),
-            };
+            });
             Some((key, self.devices.clone(), weights, round, scope.now()))
+        } else {
+            None
+        };
+        // Resolve `spread_overlap(auto)` against the same construct key:
+        // the ProfileStore explores depths {1, 2, 4} first, then keeps
+        // the exponentially-weighted argmin of construct duration.
+        let auto_depth = if self.clauses.overlap == OverlapPolicy::Auto {
+            let Some((key, ..)) = &auto else {
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_overlap(auto) requires spread_schedule(auto) \
+                     on the same construct"
+                        .into(),
+                ));
+            };
+            let depth = scope.adaptive_depth(key);
+            self.clauses.overlap = OverlapPolicy::Depth(depth);
+            Some((key.clone(), depth, scope.now()))
         } else {
             None
         };
         let ids = self.dispatch(scope, range, kernel)?;
         if let Some((key, devices, weights, round, t0)) = auto {
             scope.record_construct_profile(&key, &devices, &weights, round, t0);
+        }
+        if let Some((key, depth, t0)) = auto_depth {
+            scope.record_overlap_depth(&key, depth, t0);
         }
         Ok(ids)
     }
@@ -388,8 +442,8 @@ impl TargetSpread {
         range: Range<usize>,
         kernel: KernelSpec,
     ) -> Result<Vec<TaskId>, RtError> {
-        if self.resilience == ResiliencePolicy::Redistribute
-            && matches!(self.schedule, SpreadSchedule::Dynamic { .. })
+        if self.clauses.resilience == ResiliencePolicy::Redistribute
+            && matches!(self.schedule(), SpreadSchedule::Dynamic { .. })
         {
             // Dynamic chunks have no pre-assigned device to route off;
             // the claim chains already absorb loss-shaped imbalance.
@@ -397,8 +451,53 @@ impl TargetSpread {
                 "target spread: spread_resilience(redistribute) requires a static schedule".into(),
             ));
         }
-        if self.straggler != StragglerPolicy::Wait {
-            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+        match self.clauses.overlap {
+            OverlapPolicy::Off => {}
+            OverlapPolicy::Auto => {
+                // `parallel_for` resolves Auto against the construct's
+                // profile key before dispatch; reaching here means the
+                // schedule was not `auto`.
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_overlap(auto) requires spread_schedule(auto) \
+                     on the same construct"
+                        .into(),
+                ));
+            }
+            OverlapPolicy::Depth(0) => {
+                return Err(RtError::InvalidDirective(
+                    "target spread: spread_overlap(0) is invalid (depth must be ≥ 1)".into(),
+                ));
+            }
+            OverlapPolicy::Depth(_) => {
+                if matches!(self.schedule(), SpreadSchedule::Dynamic { .. }) {
+                    // Sub-slice planning works off the static chunk →
+                    // device assignment.
+                    return Err(RtError::InvalidDirective(
+                        "target spread: spread_overlap(…) requires a static schedule".into(),
+                    ));
+                }
+                if self.nowait {
+                    // The pipeline's staged commits drain at the
+                    // construct's blocking completion; a nowait
+                    // construct has no such point.
+                    return Err(RtError::InvalidDirective(
+                        "target spread: spread_overlap(…) requires a blocking construct".into(),
+                    ));
+                }
+                if self.clauses.pressure != PressurePolicy::Fail {
+                    // Admission budgets whole pieces against headroom;
+                    // splitting/spilling pieces mid-pipeline would
+                    // invalidate both plans.
+                    return Err(RtError::InvalidDirective(
+                        "target spread: spread_overlap(…) is incompatible with \
+                         spread_pressure(split|spill)"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        if self.clauses.straggler != StragglerPolicy::Wait {
+            if matches!(self.schedule(), SpreadSchedule::Dynamic { .. }) {
                 // The deadline sweep and the least-loaded pick both work
                 // off the static chunk → device assignment; dynamic
                 // chunks already absorb imbalance through claim order.
@@ -417,8 +516,8 @@ impl TargetSpread {
                 ));
             }
         }
-        if self.integrity == IntegrityMode::Heal {
-            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+        if self.clauses.integrity == IntegrityMode::Heal {
+            if matches!(self.schedule(), SpreadSchedule::Dynamic { .. }) {
                 // Healing rebuilds the *same* piece on a known device;
                 // dynamic chunks have no stable piece → device identity
                 // to rebuild against.
@@ -433,7 +532,7 @@ impl TargetSpread {
                     "target spread: spread_integrity(heal) requires a blocking construct".into(),
                 ));
             }
-            if self.straggler != StragglerPolicy::Wait {
+            if self.clauses.straggler != StragglerPolicy::Wait {
                 // A rescue's first-commit-wins arbitration assumes every
                 // commit is trustworthy; a healing redo racing a rescue
                 // of the same piece would double-arbitrate it. `verify`
@@ -444,7 +543,7 @@ impl TargetSpread {
                         .into(),
                 ));
             }
-            if self.pressure != PressurePolicy::Fail {
+            if self.clauses.pressure != PressurePolicy::Fail {
                 // Both clauses register recovery handlers on the same
                 // construct phases; composing the two degradation
                 // ladders is future work. `verify` composes.
@@ -455,15 +554,15 @@ impl TargetSpread {
                 ));
             }
         }
-        if self.pressure != PressurePolicy::Fail {
-            if matches!(self.schedule, SpreadSchedule::Dynamic { .. }) {
+        if self.clauses.pressure != PressurePolicy::Fail {
+            if matches!(self.schedule(), SpreadSchedule::Dynamic { .. }) {
                 // Admission plans against the static chunk → device
                 // assignment; dynamic chunks have none until claim time.
                 return Err(RtError::InvalidDirective(
                     "target spread: spread_pressure(split|spill) requires a static schedule".into(),
                 ));
             }
-            if self.resilience == ResiliencePolicy::Redistribute {
+            if self.clauses.resilience == ResiliencePolicy::Redistribute {
                 // Both clauses re-place chunks through their own
                 // recovery coordinators; composing them is future work.
                 return Err(RtError::InvalidDirective(
@@ -483,9 +582,10 @@ impl TargetSpread {
             }
             return self.launch_pressure(scope, range, kernel);
         }
-        match self.schedule {
-            SpreadSchedule::Dynamic { .. } => self.launch_dynamic(scope, range, kernel),
-            _ => self.launch_static(scope, range, kernel),
+        if matches!(self.schedule(), SpreadSchedule::Dynamic { .. }) {
+            self.launch_dynamic(scope, range, kernel)
+        } else {
+            self.launch_static(scope, range, kernel)
         }
     }
 
@@ -503,8 +603,8 @@ impl TargetSpread {
         range: Range<usize>,
         kernel: KernelSpec,
     ) -> Result<Vec<TaskId>, RtError> {
-        let policy = self.pressure;
-        let chunks = distribute(range, &self.devices, &self.schedule);
+        let policy = self.clauses.pressure;
+        let chunks = distribute(range, &self.devices, self.schedule());
         let headroom: HashMap<u32, u64> = self
             .devices
             .iter()
@@ -538,7 +638,7 @@ impl TargetSpread {
             .filter(|p| matches!(p.placement, Placement::Device(_)))
             .count();
         let straggle =
-            self.straggler != StragglerPolicy::Wait && device_pieces >= 2 && distinct >= 2;
+            self.clauses.straggler != StragglerPolicy::Wait && device_pieces >= 2 && distinct >= 2;
         let this = Rc::new(self);
         let coord = PressureCoordinator::new(Rc::clone(&this), kernel.clone(), policy, drop_last);
         let monitor = straggle
@@ -605,8 +705,8 @@ impl TargetSpread {
         kernel: KernelSpec,
     ) -> Result<Vec<TaskId>, RtError> {
         let nowait = self.nowait;
-        let resilient = self.resilience == ResiliencePolicy::Redistribute;
-        let chunks = distribute(range, &self.devices, &self.schedule);
+        let resilient = self.clauses.resilience == ResiliencePolicy::Redistribute;
+        let chunks = distribute(range, &self.devices, self.schedule());
         // Straggler rescue needs somewhere to rescue *to*: at least two
         // chunks spread over at least two distinct devices. Smaller
         // launches silently degrade to `wait`.
@@ -617,8 +717,8 @@ impl TargetSpread {
             ds.len()
         };
         let straggle =
-            self.straggler != StragglerPolicy::Wait && chunks.len() >= 2 && distinct >= 2;
-        let heal = self.integrity == IntegrityMode::Heal;
+            self.clauses.straggler != StragglerPolicy::Wait && chunks.len() >= 2 && distinct >= 2;
+        let heal = self.clauses.integrity == IntegrityMode::Heal;
         let this = Rc::new(self);
         // Under `spread_integrity(heal)` the healer subsumes the
         // resilience coordinator: its handler covers device loss (real
@@ -693,7 +793,7 @@ impl TargetSpread {
         range: Range<usize>,
         kernel: KernelSpec,
     ) -> Result<Vec<TaskId>, RtError> {
-        let chunks = distribute(range, &self.devices, &self.schedule);
+        let chunks = distribute(range, &self.devices, self.schedule());
         let queue: Rc<RefCell<VecDeque<crate::schedule::Chunk>>> =
             Rc::new(RefCell::new(chunks.into_iter().collect()));
         let this = Rc::new(self);

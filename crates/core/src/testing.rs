@@ -21,6 +21,13 @@ pub trait TargetSpreadTestingExt {
     /// `--inject rescue` canary proving the harness catches a broken
     /// first-commit-wins gate. Never use outside the harness.
     fn inject_rescue_double_commit(self) -> Self;
+
+    /// Commit one staged sub-slice of every pipelined piece *early*
+    /// (first element perturbed), before the whole-piece commit point —
+    /// the `--inject overlap` canary proving the harness catches a
+    /// pipeline that leaks partial results. Never use outside the
+    /// harness.
+    fn inject_overlap_leak(self) -> Self;
 }
 
 impl TargetSpreadTestingExt for TargetSpread {
@@ -31,6 +38,11 @@ impl TargetSpreadTestingExt for TargetSpread {
 
     fn inject_rescue_double_commit(mut self) -> Self {
         self.set_force_rescue_double_commit();
+        self
+    }
+
+    fn inject_overlap_leak(mut self) -> Self {
+        self.set_force_overlap_leak();
         self
     }
 }

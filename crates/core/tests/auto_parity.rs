@@ -61,9 +61,9 @@ fn run_scale(
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         let mut t = TargetSpread::devices(0..N_DEV as u32)
-            .spread_schedule(schedule.clone())
-            .spread_resilience(resilience)
-            .spread_pressure(pressure)
+            .with_schedule(schedule.clone())
+            .with_resilience(resilience)
+            .with_pressure(pressure)
             .map(spread_to(a, |c| c.range()))
             .map(spread_from(b, |c| c.range()));
         if nowait {
@@ -202,7 +202,7 @@ fn auto_rejects_the_same_invalid_combos_as_static() {
         let err = rt
             .run(|s| {
                 TargetSpread::devices([])
-                    .spread_schedule(schedule.clone())
+                    .with_schedule(schedule.clone())
                     .map(spread_tofrom(a, |c| c.range()))
                     .parallel_for(
                         s,
@@ -322,7 +322,7 @@ fn data_directives_reject_auto_with_invalid_directive() {
             TargetEnterDataSpread::devices(0..N_DEV as u32)
                 .range(0, N)
                 .chunk_size(32)
-                .spread_schedule(SpreadSchedule::auto("data"))
+                .with_schedule(SpreadSchedule::auto("data"))
                 .map(spread_to(a, |c| c.range()))
                 .launch(s)?;
             Ok(())
@@ -340,7 +340,7 @@ fn data_directives_reject_auto_with_invalid_directive() {
             TargetExitDataSpread::devices(0..N_DEV as u32)
                 .range(0, N)
                 .chunk_size(32)
-                .spread_schedule(SpreadSchedule::auto("data"))
+                .with_schedule(SpreadSchedule::auto("data"))
                 .map(spread_from(a, |c| c.range()))
                 .launch(s)?;
             Ok(())
@@ -355,12 +355,12 @@ fn data_directives_reject_auto_with_invalid_directive() {
     rt.run(|s| {
         TargetEnterDataSpread::devices(0..N_DEV as u32)
             .range(0, N)
-            .spread_schedule(equal_static())
+            .with_schedule(equal_static())
             .map(spread_to(a, |c| c.range()))
             .launch(s)?;
         TargetExitDataSpread::devices(0..N_DEV as u32)
             .range(0, N)
-            .spread_schedule(equal_static())
+            .with_schedule(equal_static())
             .map(spread_from(a, |c| c.range()))
             .launch(s)?;
         Ok(())

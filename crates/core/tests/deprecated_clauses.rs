@@ -1,0 +1,107 @@
+//! The one place the deprecated inherent clause forwarders are still
+//! exercised. Every directive builder keeps its pre-trait
+//! `spread_*(…)` methods for one release as `#[deprecated]` forwarders
+//! onto [`SpreadClausesExt`]; this test pins two things about them:
+//!
+//! 1. they still **compile** (with deprecation warnings only — hence
+//!    the file-level `allow`, which also keeps `clippy -D warnings`
+//!    green), and
+//! 2. they are **pure forwarders**: a builder configured through the
+//!    old spelling is indistinguishable from one configured through
+//!    the trait.
+//!
+//! Every other test and in-repo caller uses the trait spelling; when
+//! the forwarders are removed, this file is deleted with them.
+
+#![allow(deprecated)]
+
+use spread_core::data_spread::{
+    SpreadClauses, TargetEnterDataSpread, TargetExitDataSpread, TargetUpdateSpread,
+};
+use spread_core::prelude::*;
+
+const DEVICES: [u32; 2] = [0, 1];
+
+/// `TargetSpread` has the full clause surface, and getters for most of
+/// it — assert forwarder/trait equivalence clause by clause.
+#[test]
+fn target_spread_forwarders_match_the_trait_spelling() {
+    let old = TargetSpread::devices(DEVICES)
+        .spread_schedule(SpreadSchedule::static_chunk(8))
+        .spread_resilience(ResiliencePolicy::Redistribute)
+        .spread_pressure(PressurePolicy::Spill)
+        .spread_straggler(StragglerPolicy::Steal)
+        .spread_straggler_beta(6.5)
+        .spread_integrity(IntegrityMode::Heal);
+    let new = TargetSpread::devices(DEVICES)
+        .with_schedule(SpreadSchedule::static_chunk(8))
+        .with_resilience(ResiliencePolicy::Redistribute)
+        .with_pressure(PressurePolicy::Spill)
+        .with_straggler(StragglerPolicy::Steal)
+        .with_straggler_beta(6.5)
+        .with_integrity(IntegrityMode::Heal);
+
+    assert_eq!(old.schedule(), new.schedule());
+    assert_eq!(old.resilience(), new.resilience());
+    assert_eq!(old.resilience(), ResiliencePolicy::Redistribute);
+    assert_eq!(old.pressure(), new.pressure());
+    assert_eq!(old.pressure(), PressurePolicy::Spill);
+    assert_eq!(old.straggler(), new.straggler());
+    assert_eq!(old.straggler(), StragglerPolicy::Steal);
+    assert_eq!(old.integrity(), new.integrity());
+    assert_eq!(old.integrity(), IntegrityMode::Heal);
+}
+
+/// The β forwarder inherits the trait's sanitization (non-finite → 4.0,
+/// clamp to ≥ 1) because it *is* the trait method. No public getter
+/// exposes β, so pin the forwarding itself: both spellings accept the
+/// same garbage without panicking and stay chainable.
+#[test]
+fn straggler_beta_forwarder_sanitizes_like_the_trait() {
+    for beta in [f64::NAN, f64::INFINITY, -3.0, 0.0, 1.0, 9.25] {
+        let old = TargetSpread::devices(DEVICES).spread_straggler_beta(beta);
+        let new = TargetSpread::devices(DEVICES).with_straggler_beta(beta);
+        assert_eq!(old.straggler(), new.straggler());
+    }
+}
+
+/// `SpreadClauses` (the shared data-directive clause bag) still takes
+/// the old schedule spelling; the distribution it produces must be the
+/// one the trait spelling produces.
+#[test]
+fn spread_clauses_schedule_forwarder_distributes_identically() {
+    let old = SpreadClauses::devices(DEVICES)
+        .range(0, 24)
+        .spread_schedule(SpreadSchedule::static_chunk(6))
+        .chunks()
+        .expect("old spelling distributes");
+    let new = SpreadClauses::devices(DEVICES)
+        .range(0, 24)
+        .with_schedule(SpreadSchedule::static_chunk(6))
+        .chunks()
+        .expect("trait spelling distributes");
+    assert!(!old.is_empty());
+    assert_eq!(old, new);
+}
+
+/// The data-movement builders have no clause getters, so the contract
+/// this pins is the forwarders' continued existence and chainability —
+/// each deprecated method accepts the same argument as its trait twin
+/// and returns the builder. (Their bodies are one-line calls into the
+/// trait, so compiling here plus the `TargetSpread` equivalence above
+/// covers their behavior.)
+#[test]
+fn data_builders_still_accept_the_deprecated_spellings() {
+    let _enter = TargetEnterDataSpread::devices(DEVICES)
+        .range(0, 16)
+        .spread_resilience(ResiliencePolicy::FailStop)
+        .spread_schedule(SpreadSchedule::static_chunk(4));
+    let _exit = TargetExitDataSpread::devices(DEVICES)
+        .range(0, 16)
+        .spread_resilience(ResiliencePolicy::FailStop)
+        .spread_schedule(SpreadSchedule::static_chunk(4));
+    let _update = TargetUpdateSpread::devices(DEVICES)
+        .range(0, 16)
+        .spread_resilience(ResiliencePolicy::FailStop)
+        .spread_integrity(IntegrityMode::Verify);
+}

@@ -41,9 +41,9 @@ fn run_scale(
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices(devices.clone())
-            .spread_schedule(SpreadSchedule::static_chunk(64))
-            .spread_integrity(mode)
-            .spread_resilience(resilience)
+            .with_schedule(SpreadSchedule::static_chunk(64))
+            .with_integrity(mode)
+            .with_resilience(resilience)
             .map(spread_to(a, |c| c.range()))
             .map(spread_from(b, |c| c.range()))
             .parallel_for(
@@ -277,7 +277,7 @@ fn reject_case(build: impl FnOnce(TargetSpread) -> TargetSpread) -> RtError {
     let mut rt = runtime(2, None, 8);
     let a = rt.host_array("A", 64);
     rt.run(|s| {
-        build(TargetSpread::devices([0, 1]).spread_integrity(IntegrityMode::Heal))
+        build(TargetSpread::devices([0, 1]).with_integrity(IntegrityMode::Heal))
             .map(spread_tofrom(a, |c| c.range()))
             .parallel_for(
                 s,
@@ -292,10 +292,10 @@ fn reject_case(build: impl FnOnce(TargetSpread) -> TargetSpread) -> RtError {
 #[test]
 fn heal_rejects_incompatible_clauses() {
     for err in [
-        reject_case(|t| t.spread_schedule(SpreadSchedule::dynamic(16))),
+        reject_case(|t| t.with_schedule(SpreadSchedule::dynamic(16))),
         reject_case(|t| t.nowait()),
-        reject_case(|t| t.spread_straggler(StragglerPolicy::Steal)),
-        reject_case(|t| t.spread_pressure(PressurePolicy::Split)),
+        reject_case(|t| t.with_straggler(StragglerPolicy::Steal)),
+        reject_case(|t| t.with_pressure(PressurePolicy::Split)),
     ] {
         assert!(matches!(err, RtError::InvalidDirective(_)), "{err:?}");
     }
@@ -310,7 +310,7 @@ fn update_spread_rejects_heal_with_from_items() {
             TargetUpdateSpread::devices([0, 1])
                 .range(0, 64)
                 .chunk_size(32)
-                .spread_integrity(IntegrityMode::Heal)
+                .with_integrity(IntegrityMode::Heal)
                 .from(a, |c| c.range())
                 .launch(s)?;
             Ok(())
@@ -336,7 +336,7 @@ fn update_spread_verify_catches_a_flipped_drain() {
             TargetUpdateSpread::devices([0, 1])
                 .range(0, n)
                 .chunk_size(64)
-                .spread_integrity(IntegrityMode::Verify)
+                .with_integrity(IntegrityMode::Verify)
                 .from(a, |c| c.range())
                 .launch(s)?;
             Ok(())

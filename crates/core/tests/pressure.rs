@@ -38,8 +38,8 @@ fn run_scale(
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices(devices.clone())
-            .spread_schedule(SpreadSchedule::static_chunk(64))
-            .spread_pressure(policy)
+            .with_schedule(SpreadSchedule::static_chunk(64))
+            .with_pressure(policy)
             .map(spread_to(a, |c| c.range()))
             .map(spread_from(b, |c| c.range()))
             .parallel_for(
@@ -184,8 +184,8 @@ fn reactive_split_recovers_from_fragmentation() {
     .unwrap();
     rt.run(|s| {
         TargetSpread::devices([0])
-            .spread_schedule(SpreadSchedule::static_chunk(n))
-            .spread_pressure(PressurePolicy::Split)
+            .with_schedule(SpreadSchedule::static_chunk(n))
+            .with_pressure(PressurePolicy::Split)
             .map(spread_tofrom(x, |c| c.range()))
             .parallel_for(
                 s,
@@ -239,13 +239,13 @@ fn pressure_rejects_dynamic_nowait_and_redistribute() {
     let kernel = || KernelSpec::new("id", 1.0, |_, _| {}).arg(KernelArg::read(a, |r| r));
     let build = || {
         TargetSpread::devices([0, 1])
-            .spread_pressure(PressurePolicy::Split)
+            .with_pressure(PressurePolicy::Split)
             .map(spread_to(a, |c| c.range()))
     };
     let err = rt
         .run(|s| {
             build()
-                .spread_schedule(SpreadSchedule::dynamic(16))
+                .with_schedule(SpreadSchedule::dynamic(16))
                 .parallel_for(s, 0..64, kernel())?;
             Ok(())
         })
@@ -261,7 +261,7 @@ fn pressure_rejects_dynamic_nowait_and_redistribute() {
     let err = rt
         .run(|s| {
             build()
-                .spread_resilience(ResiliencePolicy::Redistribute)
+                .with_resilience(ResiliencePolicy::Redistribute)
                 .parallel_for(s, 0..64, kernel())?;
             Ok(())
         })

@@ -35,8 +35,8 @@ fn run_scale(
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices(devices.clone())
-            .spread_schedule(SpreadSchedule::static_chunk(64))
-            .spread_resilience(policy)
+            .with_schedule(SpreadSchedule::static_chunk(64))
+            .with_resilience(policy)
             .map(spread_to(a, |c| c.range()))
             .map(spread_from(b, |c| c.range()))
             .parallel_for(
@@ -174,8 +174,8 @@ fn dynamic_schedule_rejects_redistribute() {
     let err = rt
         .run(|s| {
             TargetSpread::devices([0, 1])
-                .spread_schedule(SpreadSchedule::dynamic(16))
-                .spread_resilience(ResiliencePolicy::Redistribute)
+                .with_schedule(SpreadSchedule::dynamic(16))
+                .with_resilience(ResiliencePolicy::Redistribute)
                 .map(spread_tofrom(a, |c| c.range()))
                 .parallel_for(
                     s,

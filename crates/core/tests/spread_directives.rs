@@ -31,7 +31,7 @@ fn listing3_stencil_spread_over_three_devices() {
     rt.fill_host(a, |i| (i * i) as f64);
     rt.run(|s| {
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .with_schedule(SpreadSchedule::static_chunk(4))
             .num_teams(2)
             .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
             .map(spread_from(b, |c| c.range()))
@@ -101,7 +101,7 @@ fn spread_matches_sequential_for_any_device_count() {
         let chunk = if n_dev == 1 { n } else { 37 };
         rt.run(|s| {
             TargetSpread::devices(devices.clone())
-                .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                .with_schedule(SpreadSchedule::static_chunk(chunk))
                 .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
                 .map(spread_from(b, |c| c.range()))
                 .parallel_for(
@@ -141,7 +141,7 @@ fn enter_exit_data_spread_roundtrip() {
             .map(spread_to(a, |c| c.range()))
             .launch(s)?;
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(10))
+            .with_schedule(SpreadSchedule::static_chunk(10))
             .map(spread_tofrom(a, |c| c.range()))
             .parallel_for(
                 s,
@@ -185,7 +185,7 @@ fn target_data_spread_region() {
             .map(spread_tofrom(a, |c| c.range()))
             .region(s, |s| {
                 TargetSpread::devices([1, 0])
-                    .spread_schedule(SpreadSchedule::static_chunk(8))
+                    .with_schedule(SpreadSchedule::static_chunk(8))
                     .map(spread_tofrom(a, |c| c.range()))
                     .parallel_for(
                         s,
@@ -232,7 +232,7 @@ fn target_update_spread() {
             .launch(s)?;
         // Device doubles them.
         TargetSpread::devices([0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(5))
+            .with_schedule(SpreadSchedule::static_chunk(5))
             .map(spread_alloc(a, |c| c.range()))
             .parallel_for(
                 s,
@@ -358,7 +358,7 @@ fn dynamic_schedule_balances_load() {
         // whichever device claimed it (pre-distributing with enter data
         // spread would require knowing the assignment up front).
         TargetSpread::devices([0, 1])
-            .spread_schedule(SpreadSchedule::dynamic(40))
+            .with_schedule(SpreadSchedule::dynamic(40))
             .map(spread_tofrom(a, |c| c.range()))
             .parallel_for(
                 s,
@@ -400,7 +400,7 @@ fn cross_device_reduction() {
     let total = rt
         .run(|s| {
             TargetSpread::devices([0, 1, 2])
-                .spread_schedule(SpreadSchedule::static_chunk(25))
+                .with_schedule(SpreadSchedule::static_chunk(25))
                 .map(spread_to(a, |c| c.range()))
                 .parallel_for_reduce(
                     s,
@@ -442,7 +442,7 @@ fn listing13_depend_on_data_spread() {
                 .launch(s)
                 .unwrap();
             TargetSpread::devices([0, 1])
-                .spread_schedule(SpreadSchedule::static_chunk(10))
+                .with_schedule(SpreadSchedule::static_chunk(10))
                 .nowait()
                 .map(spread_alloc(b, |c| c.range()))
                 .depend_in(b, |c| c.range())

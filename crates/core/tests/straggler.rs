@@ -38,8 +38,8 @@ fn run_scale(
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices(devices.clone())
-            .spread_schedule(SpreadSchedule::static_chunk(128))
-            .spread_straggler(policy)
+            .with_schedule(SpreadSchedule::static_chunk(128))
+            .with_straggler(policy)
             .num_teams(1)
             .num_threads(1)
             .map(spread_to(a, |c| c.range()))
@@ -170,8 +170,8 @@ fn straggler_rejects_dynamic_and_nowait() {
         .run(|s| {
             let a = s.host_array("A", 64);
             TargetSpread::devices([0, 1])
-                .spread_schedule(SpreadSchedule::dynamic(16))
-                .spread_straggler(StragglerPolicy::Steal)
+                .with_schedule(SpreadSchedule::dynamic(16))
+                .with_straggler(StragglerPolicy::Steal)
                 .map(spread_tofrom(a, |c| c.range()))
                 .parallel_for(
                     s,
@@ -188,8 +188,8 @@ fn straggler_rejects_dynamic_and_nowait() {
         .run(|s| {
             let a = s.host_array("A", 64);
             TargetSpread::devices([0, 1])
-                .spread_schedule(SpreadSchedule::static_chunk(16))
-                .spread_straggler(StragglerPolicy::Replicate)
+                .with_schedule(SpreadSchedule::static_chunk(16))
+                .with_straggler(StragglerPolicy::Replicate)
                 .nowait()
                 .map(spread_tofrom(a, |c| c.range()))
                 .parallel_for(
@@ -220,9 +220,9 @@ fn straggler_composes_with_resilience() {
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices([0, 1, 2, 3])
-            .spread_schedule(SpreadSchedule::static_chunk(128))
-            .spread_straggler(StragglerPolicy::Steal)
-            .spread_resilience(ResiliencePolicy::Redistribute)
+            .with_schedule(SpreadSchedule::static_chunk(128))
+            .with_straggler(StragglerPolicy::Steal)
+            .with_resilience(ResiliencePolicy::Redistribute)
             .map(spread_to(a, |c| c.range()))
             .map(spread_from(b, |c| c.range()))
             .parallel_for(
@@ -257,9 +257,9 @@ fn beta_scales_the_deadline() {
         rt.fill_host(a, |i| i as f64);
         rt.run(|s| {
             TargetSpread::devices([0, 1, 2, 3])
-                .spread_schedule(SpreadSchedule::static_chunk(128))
-                .spread_straggler(StragglerPolicy::Replicate)
-                .spread_straggler_beta(beta)
+                .with_schedule(SpreadSchedule::static_chunk(128))
+                .with_straggler(StragglerPolicy::Replicate)
+                .with_straggler_beta(beta)
                 .map(spread_to(a, |c| c.range()))
                 .map(spread_from(b, |c| c.range()))
                 .parallel_for(

@@ -45,6 +45,11 @@ pub struct KernelOp {
     /// its device is lost. Required whenever a fault context is attached
     /// to the engine; without one a surfaced fault panics.
     pub on_fault: Option<crate::health::OnFault>,
+    /// Launch on a runtime-allocated stream: skip the device's
+    /// default-stream [`SerialGate`] so the kernel can run concurrently
+    /// with the device's copy engines. Kernels on the compute queue
+    /// still serialize among themselves (one queue per device).
+    pub streamed: bool,
 }
 
 struct Inner {
@@ -142,11 +147,14 @@ impl ComputeEngine {
         };
         let this = self.clone();
         match gate {
-            None => this.start_op(sim, op, None),
-            Some(g) => {
+            // Streamed kernels bypass default-stream serialization so
+            // the overlap engine can run copy-in/kernel/copy-out of
+            // different pipeline stages concurrently on one device.
+            Some(g) if !op.streamed => {
                 let g2 = g.clone();
                 g.acquire(sim, Box::new(move |sim| this.start_op(sim, op, Some(g2))));
             }
+            _ => this.start_op(sim, op, None),
         }
     }
 
@@ -319,6 +327,7 @@ mod tests {
                 done.borrow_mut().push((n, s.now().as_nanos()));
             }),
             on_fault: None,
+            streamed: false,
         }
     }
 
@@ -366,6 +375,7 @@ mod tests {
                 })),
                 on_complete: Box::new(|_| {}),
                 on_fault: None,
+                streamed: false,
             },
         );
         sim.run_until_idle();
@@ -415,6 +425,7 @@ mod tests {
                 body: Some(Box::new(move || *ran2.borrow_mut() = true)),
                 on_complete: Box::new(|_| panic!("must not complete")),
                 on_fault: Some(Box::new(move |_, ev| f2.borrow_mut().push(ev))),
+                streamed: false,
             },
         );
         sim.run_until_idle();

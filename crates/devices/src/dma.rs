@@ -76,6 +76,11 @@ pub struct DmaOp {
     /// inter-switch hop, when the endpoints straddle switches) vary per
     /// operation and ride here.
     pub extra_caps: Vec<CapacityId>,
+    /// Run this operation on a runtime-allocated stream: skip the
+    /// device's default-stream [`SerialGate`] so the copy can proceed
+    /// concurrently with the device's other engines. Engine-level FIFO
+    /// order within one direction still holds (one stream per engine).
+    pub streamed: bool,
 }
 
 struct Inner {
@@ -187,14 +192,18 @@ impl DmaEngine {
         };
         let this = self.clone();
         match gate {
-            None => this.start_op(sim, op, None, 0),
-            Some(g) => {
+            // Streamed ops bypass default-stream serialization: the
+            // pipelined overlap engine issues its sub-slice copies on
+            // runtime-allocated streams, so they never contend with the
+            // device's compute engine for the gate.
+            Some(g) if !op.streamed => {
                 let g2 = g.clone();
                 g.acquire(
                     sim,
                     Box::new(move |sim| this.start_op(sim, op, Some(g2), 0)),
                 );
             }
+            _ => this.start_op(sim, op, None, 0),
         }
     }
 
@@ -405,6 +414,7 @@ mod tests {
             on_complete: Box::new(move |s| done.borrow_mut().push(s.now().as_secs_f64())),
             on_fault: None,
             extra_caps: Vec::new(),
+            streamed: false,
         }
     }
 
@@ -461,6 +471,7 @@ mod tests {
                     on_complete: Box::new(|_| {}),
                     on_fault: None,
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         }

@@ -236,6 +236,7 @@ mod tests {
                     }),
                     on_fault: None,
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         }
@@ -270,6 +271,7 @@ mod tests {
                 on_complete: Box::new(move |s| *t2.borrow_mut() = s.now().as_secs_f64()),
                 on_fault: None,
                 extra_caps: Vec::new(),
+                streamed: false,
             },
         );
         sim.run_until_idle();
@@ -294,6 +296,7 @@ mod tests {
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         }
@@ -313,6 +316,7 @@ mod tests {
             on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
             on_fault: None,
             extra_caps: Vec::new(),
+            streamed: false,
         }
     }
 
@@ -408,6 +412,7 @@ mod tests {
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         }
@@ -446,6 +451,7 @@ mod tests {
                     on_complete: Box::new(move |s| times.borrow_mut().push(s.now().as_secs_f64())),
                     on_fault: None,
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         }
@@ -454,5 +460,37 @@ mod tests {
         let t = times.borrow();
         assert!((t[0] - 6.0).abs() < 1e-6, "first: {}", t[0]);
         assert!((t[1] - 12.0).abs() < 1e-6, "second serialized: {}", t[1]);
+    }
+
+    /// Streamed operations (runtime-allocated streams) bypass the
+    /// default-stream gate even on a single_queue device: an H2D + D2H
+    /// pair overlaps instead of serializing — the mechanism behind the
+    /// `spread_overlap(depth)` pipelined engine.
+    #[test]
+    fn streamed_ops_bypass_the_default_stream_gate() {
+        let trace = TraceRecorder::disabled();
+        let mut sim = Simulator::new(trace.clone());
+        let mut topo = Topology::ctepower(1);
+        topo.link_bw = 10.0;
+        topo.switch_bw = 12.0;
+        topo.host_bus_bw = 12.0;
+        for d in &mut topo.devices {
+            d.dma_latency = SimDuration::ZERO;
+            assert!(d.single_queue, "ctepower defaults to default-stream");
+        }
+        let node = Node::new(&topo, &trace);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let dev = node.device(0);
+        for eng in [&dev.dma_in, &dev.dma_out] {
+            let mut op = timed_op(60, &times);
+            op.streamed = true;
+            eng.enqueue(&mut sim, op);
+        }
+        sim.run_until_idle();
+        // Bus-bound at 6 B/s each → both land at 10 s; the gate would
+        // have pushed the second to 12 s.
+        for &t in times.borrow().iter() {
+            assert!((t - 10.0).abs() < 1e-6, "streamed pair overlapped: {t}");
+        }
     }
 }

@@ -513,6 +513,8 @@ pub struct Target {
     pressure_managed: bool,
     commit_gate: Option<(crate::commit::CommitGate, u32)>,
     integrity: crate::integrity::IntegrityMode,
+    overlap_depth: u32,
+    overlap_leak: bool,
 }
 
 impl Target {
@@ -529,7 +531,32 @@ impl Target {
             pressure_managed: false,
             commit_gate: None,
             integrity: crate::integrity::IntegrityMode::default(),
+            overlap_depth: 1,
+            overlap_leak: false,
         }
+    }
+
+    /// `spread_overlap(depth)` — software-pipeline this construct:
+    /// split its iteration range into `depth` contiguous stages and
+    /// overlap copy-in, kernel and copy-out across stages on
+    /// runtime-allocated streams (see [`crate::overlap`]). `depth <= 1`
+    /// is the classic un-pipelined path; depths beyond the range length
+    /// are clamped. The construct's external contract — three phase
+    /// tasks, whole-piece staged commit, gate/integrity semantics — is
+    /// unchanged.
+    pub fn overlap(mut self, depth: u32) -> Self {
+        self.overlap_depth = depth.max(1);
+        self
+    }
+
+    /// Fault-injection canary: make the pipelined exit leak one staged
+    /// sub-slice to host memory before the commit point (value-visibly
+    /// perturbed). Used by the conformance harness to prove its
+    /// whole-piece commit check has teeth.
+    #[doc(hidden)]
+    pub fn overlap_leak(mut self) -> Self {
+        self.overlap_leak = true;
+        self
     }
 
     /// `spread_integrity(off|verify|heal)` — checksum this construct's
@@ -676,6 +703,19 @@ impl Target {
                     .unwrap_or(inner.default_threads_per_team),
             )
         };
+        // The pipelined path: shared state threaded through the three
+        // phase actions. The task shapes (footprints, dependences,
+        // labels) are identical to the classic path — the pipeline is
+        // an internal reorganization only.
+        let pipe =
+            (self.overlap_depth >= 2 && range.len() >= 2 && !self.pressure_managed).then(|| {
+                crate::overlap::PipeState::new(
+                    device,
+                    range.clone(),
+                    self.overlap_depth,
+                    self.overlap_leak,
+                )
+            });
 
         // Phase 1: enter mappings. Waits on the user's depends.
         let enter_id = {
@@ -687,16 +727,42 @@ impl Target {
             spec.fp_reads = fp_reads;
             spec.fp_writes = fp_writes;
             let pressure = self.pressure_managed;
-            let action: Action = Box::new(move |sim, inner_rc, id| {
-                if pressure {
-                    crate::runtime::pressure_enter(sim, inner_rc, id, device, maps, 0);
-                } else {
-                    crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+            let action: Action = match &pipe {
+                Some(p) => {
+                    let pipe = std::rc::Rc::clone(p);
+                    let spec_for_enter = kernel.clone();
+                    Box::new(move |sim, inner_rc, id| {
+                        crate::overlap::pipelined_enter(
+                            sim,
+                            inner_rc,
+                            id,
+                            device,
+                            maps,
+                            &spec_for_enter,
+                            &pipe,
+                        )
+                    })
                 }
-                Ok(Completion::Async)
-            });
+                None => Box::new(move |sim, inner_rc, id| {
+                    if pressure {
+                        crate::runtime::pressure_enter(sim, inner_rc, id, device, maps, 0);
+                    } else {
+                        crate::runtime::enter_with_backpressure(sim, inner_rc, id, device, maps)?;
+                    }
+                    Ok(Completion::Async)
+                }),
+            };
             scope.submit(spec, action)
         };
+
+        let exit_maps: Vec<MapClause> = self
+            .maps
+            .iter()
+            .map(|m| MapClause {
+                map_type: exit_equivalent(m.map_type),
+                section: m.section,
+            })
+            .collect();
 
         // Phase 2: the kernel.
         let kernel_id = {
@@ -712,23 +778,29 @@ impl Target {
                 }
             }
             let krange = range.clone();
-            let action: Action = Box::new(move |sim, inner_rc, id| {
-                run_kernel(sim, inner_rc, id, device, krange, &kernel, teams, threads)?;
-                Ok(Completion::Async)
-            });
+            let action: Action = match &pipe {
+                Some(p) => {
+                    let pipe = std::rc::Rc::clone(p);
+                    let exit_maps = exit_maps.clone();
+                    let integrity = self.integrity;
+                    Box::new(move |sim, inner_rc, id| {
+                        crate::overlap::pipelined_kernel(
+                            sim, inner_rc, id, device, krange, &kernel, teams, threads, &exit_maps,
+                            integrity, &pipe,
+                        )
+                    })
+                }
+                None => Box::new(move |sim, inner_rc, id| {
+                    run_kernel(sim, inner_rc, id, device, krange, &kernel, teams, threads)?;
+                    Ok(Completion::Async)
+                }),
+            };
             scope.submit(spec, action)
         };
 
         // Phase 3: exit mappings. Publishes the user's depends.
         let exit_id = {
-            let maps: Vec<MapClause> = self
-                .maps
-                .iter()
-                .map(|m| MapClause {
-                    map_type: exit_equivalent(m.map_type),
-                    section: m.section,
-                })
-                .collect();
+            let maps = exit_maps;
             let (fp_reads, fp_writes) = exit_footprints(device, &maps);
             let mut spec = TaskSpec::new(format!("{name}-exit(dev{device})"));
             spec.extra_preds = vec![kernel_id];
@@ -737,25 +809,38 @@ impl Target {
             spec.fp_writes = fp_writes;
             let gate = self.commit_gate.clone();
             let integrity = self.integrity;
-            let action: Action = Box::new(move |sim, inner_rc, id| {
-                let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
-                run_transfers_ex(
-                    sim,
-                    inner_rc,
-                    id,
-                    device,
-                    Vec::new(),
-                    Vec::new(),
-                    plan.copies,
-                    plan.to_free,
-                    integrity,
-                    gate,
-                );
-                Ok(Completion::Async)
-            });
+            let action: Action = match &pipe {
+                Some(p) => {
+                    let pipe = std::rc::Rc::clone(p);
+                    Box::new(move |sim, inner_rc, id| {
+                        crate::overlap::pipelined_exit(
+                            sim, inner_rc, id, device, &maps, integrity, gate, &pipe,
+                        )
+                    })
+                }
+                None => Box::new(move |sim, inner_rc, id| {
+                    let plan = inner_rc.borrow_mut().plan_exit(device, &maps)?;
+                    run_transfers_ex(
+                        sim,
+                        inner_rc,
+                        id,
+                        device,
+                        Vec::new(),
+                        Vec::new(),
+                        plan.copies,
+                        plan.to_free,
+                        integrity,
+                        gate,
+                    );
+                    Ok(Completion::Async)
+                }),
+            };
             scope.submit(spec, action)
         };
 
+        if let Some(p) = &pipe {
+            p.set_kernel_task(kernel_id);
+        }
         Ok(ConstructIds {
             enter: enter_id,
             kernel: kernel_id,

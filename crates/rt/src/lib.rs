@@ -53,6 +53,7 @@ pub mod integrity;
 pub mod kernel;
 pub mod map;
 pub mod mapping;
+pub mod overlap;
 pub(crate) mod profile;
 pub mod runtime;
 pub mod section;
@@ -66,6 +67,7 @@ pub use host::HostArray;
 pub use integrity::{IntegrityAction, IntegrityBoundary, IntegrityEvent, IntegrityMode};
 pub use kernel::{Access, KernelArg, KernelSpec};
 pub use map::{MapClause, MapType};
+pub use overlap::OverlapRecord;
 pub use runtime::{
     DegradationEvent, DegradationKind, PeerCopyRecord, RescueRecord, Runtime, RuntimeConfig, Scope,
 };

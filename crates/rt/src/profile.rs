@@ -27,6 +27,15 @@ use spread_trace::ConstructProfile;
 /// to a zero-weight device).
 const WEIGHT_FLOOR: f64 = 1e-3;
 
+/// The pipeline depths `spread_overlap(auto)` explores, in order, before
+/// settling on the EWMA argmin. 1 (no pipelining) stays a candidate so a
+/// construct that does not benefit from overlap converges back to the
+/// plain path.
+const DEPTH_CANDIDATES: [u32; 3] = [1, 2, 4];
+
+/// Smoothing factor for the per-depth duration EWMA.
+const DEPTH_EWMA_ALPHA: f64 = 0.5;
+
 /// Per-key adaptive state plus the full launch history.
 pub(crate) struct ProfileStore {
     /// Damping factor α in `(0, 1]`.
@@ -37,6 +46,9 @@ pub(crate) struct ProfileStore {
     counts: HashMap<String, u64>,
     /// Every recorded launch, in completion order across all keys.
     history: Vec<ConstructProfile>,
+    /// Per-key `spread_overlap(auto)` observations:
+    /// depth → (duration EWMA in ns, observation count).
+    depths: HashMap<String, Vec<(u32, f64, u64)>>,
 }
 
 impl ProfileStore {
@@ -46,6 +58,48 @@ impl ProfileStore {
             weights: HashMap::new(),
             counts: HashMap::new(),
             history: Vec::new(),
+            depths: HashMap::new(),
+        }
+    }
+
+    /// The pipeline depth `spread_overlap(auto)` should use for the
+    /// next launch of `key`: unexplored candidates first (in
+    /// [`DEPTH_CANDIDATES`] order), then the EWMA argmin of construct
+    /// duration (ties break toward the smaller depth).
+    pub(crate) fn next_depth(&self, key: &str) -> u32 {
+        let obs = self.depths.get(key);
+        for &d in &DEPTH_CANDIDATES {
+            let seen = obs
+                .and_then(|v| v.iter().find(|(dd, _, _)| *dd == d))
+                .map_or(0, |&(_, _, n)| n);
+            if seen == 0 {
+                return d;
+            }
+        }
+        let obs = obs.expect("all candidates observed above");
+        let mut best = DEPTH_CANDIDATES[0];
+        let mut best_ewma = f64::INFINITY;
+        for &d in &DEPTH_CANDIDATES {
+            if let Some(&(_, e, _)) = obs.iter().find(|(dd, _, _)| *dd == d) {
+                if e < best_ewma {
+                    best_ewma = e;
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Feed back one completed `spread_overlap(auto)` launch: update
+    /// the duration EWMA of `depth` under `key`.
+    pub(crate) fn record_depth(&mut self, key: &str, depth: u32, duration_ns: f64) {
+        let v = self.depths.entry(key.to_string()).or_default();
+        match v.iter_mut().find(|(d, _, _)| *d == depth) {
+            Some((_, e, n)) => {
+                *e = (1.0 - DEPTH_EWMA_ALPHA) * *e + DEPTH_EWMA_ALPHA * duration_ns;
+                *n += 1;
+            }
+            None => v.push((depth, duration_ns, 1)),
         }
     }
 

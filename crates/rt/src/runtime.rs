@@ -308,6 +308,9 @@ pub(crate) struct Inner {
     /// between a D2H's eager device read and its commit into host
     /// memory. Dead weak handles are pruned on insert.
     pub(crate) staged_registry: Vec<(u32, std::rc::Weak<RefCell<Vec<StagedWrite>>>)>,
+    /// Every pipelined (`spread_overlap`) construct completed so far, in
+    /// completion order (see [`Runtime::overlap_records`]).
+    pub(crate) overlap_log: Vec<crate::overlap::OverlapRecord>,
 }
 
 /// One straggler rescue: a lagging piece speculatively re-executed on a
@@ -909,7 +912,7 @@ pub(crate) fn complete_task(sim: &mut Simulator, inner_rc: &Rc<RefCell<Inner>>, 
 /// the source-side CRC32C of the snapshot (computed over the bytes the
 /// DMA engine actually read, before anything can rot in flight or at
 /// rest), `None` under `spread_integrity(off)`.
-type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>, Option<u32>);
+pub(crate) type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>, Option<u32>);
 
 /// Flip the lowest mantissa bit of `data[0]` — the canonical injected
 /// single-bit corruption. Chosen so the damage is value-visible but
@@ -921,7 +924,7 @@ type StagedWrite = (Rc<RefCell<Vec<f64>>>, Section, Vec<f64>, Option<u32>);
 /// the rot orders of magnitude wrong (even 0.0 becomes 2.0), so
 /// unchecked corruption stays visible all the way to a reduced result —
 /// the worst case an end-to-end checksum has to catch.
-fn flip_one_bit(data: &mut [f64]) {
+pub(crate) fn flip_one_bit(data: &mut [f64]) {
     if let Some(v) = data.first_mut() {
         *v = f64::from_bits(v.to_bits() ^ (1u64 << 62));
     }
@@ -1041,6 +1044,194 @@ fn transfer_fault(
     })
 }
 
+/// The whole-piece commit point shared by the classic exit path
+/// ([`run_transfers_ex`]) and the pipelined overlap exit
+/// ([`crate::overlap`]): verify every staged snapshot's source CRC,
+/// arbitrate the commit gate, drain (or discard) the staged writes
+/// all-or-nothing, release the dying presence entries, and complete or
+/// fail the task. Returns the number of staged snapshots actually
+/// written to host memory.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn staged_commit_finish(
+    sim: &mut Simulator,
+    inner_rc: &Rc<RefCell<Inner>>,
+    task: TaskId,
+    device: u32,
+    staged: &Rc<RefCell<Vec<StagedWrite>>>,
+    failed: &Rc<RefCell<Option<RtError>>>,
+    to_free: &[EntryKey],
+    integrity: IntegrityMode,
+    gate: &Option<(crate::commit::CommitGate, u32)>,
+) -> usize {
+    if let Some(err) = failed.borrow_mut().take() {
+        // No host writes, no presence cleanup: the dying entries
+        // (if any) were wiped by the device-loss hook, and a
+        // poisoned runtime never reuses them.
+        task_failed(sim, inner_rc, task, err);
+        return 0;
+    }
+    // Trust boundary 1 — staged-commit drain: re-digest every
+    // snapshot that carries a source CRC before it may touch
+    // host memory. The digest was taken over the device bytes
+    // at the copy's virtual start; anything that rotted since —
+    // in flight (SilentFlip) or at rest (MemoryScribble) — shows
+    // up here.
+    let tainted: Vec<Section> = staged
+        .borrow()
+        .iter()
+        .filter_map(|(_, sec, data, crc)| {
+            crc.and_then(|c| (spread_devices::digest_f64(data) != c).then_some(*sec))
+        })
+        .collect();
+    if !tainted.is_empty() {
+        if let Some((g, copy)) = gate {
+            // Never arbitrate with rotten bytes: a clean racing
+            // sibling (if any) takes the win.
+            g.disqualify(*copy);
+        }
+        staged.borrow_mut().clear();
+        let now = sim.now();
+        let quarantined = {
+            let inner = inner_rc.borrow();
+            integrity == IntegrityMode::Heal
+                && inner
+                    .fault
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.record_integrity_mismatch(device))
+        };
+        let action = match (integrity, quarantined) {
+            (_, true) => IntegrityAction::Quarantined,
+            (IntegrityMode::Heal, _) => IntegrityAction::Healed,
+            _ => IntegrityAction::Failed,
+        };
+        {
+            let mut inner = inner_rc.borrow_mut();
+            for &sec in &tainted {
+                record_integrity_inner(
+                    now,
+                    &mut inner,
+                    IntegrityEvent {
+                        device,
+                        section: sec,
+                        at: now,
+                        boundary: IntegrityBoundary::Commit,
+                        action,
+                    },
+                );
+                if action == IntegrityAction::Healed {
+                    record_degradation_inner(
+                        now,
+                        &mut inner,
+                        DegradationEvent {
+                            kind: DegradationKind::CorruptionHealed,
+                            device: Some(device),
+                            start: sec.start,
+                            len: sec.len,
+                            bytes: sec.len as u64 * 8,
+                        },
+                    );
+                }
+            }
+        }
+        let err = RtError::IntegrityViolation {
+            device,
+            section: tainted[0],
+        };
+        if quarantined {
+            // Streak tripped the breaker: the device's data path
+            // cannot be trusted at all — treat it as lost. The
+            // loss hook wipes its presence table and allocator,
+            // so the dying entries need no cleanup here.
+            let ctx = inner_rc.borrow().fault.clone();
+            if let Some(ctx) = ctx {
+                ctx.mark_lost(sim, device);
+            }
+            task_failed(sim, inner_rc, task, err);
+            return 0;
+        }
+        if integrity == IntegrityMode::Heal {
+            // The device is alive: release its mapping normally
+            // so the recoverer's fresh enter→kernel→exit starts
+            // from a clean table.
+            let freed = {
+                let mut inner = inner_rc.borrow_mut();
+                let d = device as usize;
+                for key in to_free {
+                    if let Some(alloc) = inner.presence[d].finish_exit(*key) {
+                        inner.devices[d].mem.borrow_mut().dealloc(alloc);
+                    }
+                }
+                !to_free.is_empty()
+            };
+            if freed {
+                retry_mem_waiters(sim, inner_rc, device);
+            }
+        }
+        task_failed(sim, inner_rc, task, err);
+        return 0;
+    }
+    if integrity.checks() && staged.borrow().iter().any(|(_, _, _, crc)| crc.is_some()) {
+        // A fully clean checked drain resets the mismatch
+        // streak: the breaker counts *consecutive* offences.
+        if let Some(ctx) = &inner_rc.borrow().fault {
+            ctx.record_integrity_ok(device);
+        }
+    }
+    let committed = match gate {
+        None => true,
+        Some((g, copy)) => g.try_commit(sim.now(), *copy),
+    };
+    let mut drained = 0usize;
+    if committed {
+        for (store, sec, data, _) in staged.borrow_mut().drain(..) {
+            store.borrow_mut()[sec.range()].copy_from_slice(&data);
+            drained += 1;
+        }
+    } else if gate.as_ref().is_some_and(|(g, _)| g.duplicates_forced()) {
+        // Canary path: the losing copy commits anyway, with its
+        // first staged element perturbed so the double commit is
+        // value-visible to a differential harness.
+        let mut perturb = true;
+        for (store, sec, mut data, _) in staged.borrow_mut().drain(..) {
+            if perturb && !data.is_empty() {
+                data[0] += 1.0;
+                perturb = false;
+            }
+            store.borrow_mut()[sec.range()].copy_from_slice(&data);
+            drained += 1;
+        }
+        if let Some((g, _)) = gate {
+            g.count_forced_commit();
+        }
+    } else {
+        staged.borrow_mut().clear();
+    }
+    if let Some((g, _)) = gate {
+        if let Some(ix) = g.log_idx() {
+            let mut inner = inner_rc.borrow_mut();
+            if let Some(rec) = inner.rescue_log.get_mut(ix) {
+                rec.winner = g.winner();
+                rec.commits = g.commits();
+            }
+        }
+    }
+    let freed = {
+        let mut inner = inner_rc.borrow_mut();
+        let d = device as usize;
+        for key in to_free {
+            if let Some(alloc) = inner.presence[d].finish_exit(*key) {
+                inner.devices[d].mem.borrow_mut().dealloc(alloc);
+            }
+        }
+        !to_free.is_empty()
+    };
+    if freed {
+        retry_mem_waiters(sim, inner_rc, device);
+    }
+    complete_task(sim, inner_rc, task);
+    drained
+}
+
 /// [`run_transfers`] with peer routing: `peer_routes` (when non-empty)
 /// is index-aligned with `in_copies`; a `Some(src)` entry pulls that
 /// copy device-to-device from `src` instead of over the host bus.
@@ -1090,169 +1281,9 @@ pub(crate) fn run_transfers_ex(
         let staged = Rc::clone(&staged);
         let failed = Rc::clone(&failed);
         move |sim: &mut Simulator| {
-            if let Some(err) = failed.borrow_mut().take() {
-                // No host writes, no presence cleanup: the dying entries
-                // (if any) were wiped by the device-loss hook, and a
-                // poisoned runtime never reuses them.
-                task_failed(sim, &inner_rc, task, err);
-                return;
-            }
-            // Trust boundary 1 — staged-commit drain: re-digest every
-            // snapshot that carries a source CRC before it may touch
-            // host memory. The digest was taken over the device bytes
-            // at the copy's virtual start; anything that rotted since —
-            // in flight (SilentFlip) or at rest (MemoryScribble) — shows
-            // up here.
-            let tainted: Vec<Section> = staged
-                .borrow()
-                .iter()
-                .filter_map(|(_, sec, data, crc)| {
-                    crc.and_then(|c| (spread_devices::digest_f64(data) != c).then_some(*sec))
-                })
-                .collect();
-            if !tainted.is_empty() {
-                if let Some((g, copy)) = &gate {
-                    // Never arbitrate with rotten bytes: a clean racing
-                    // sibling (if any) takes the win.
-                    g.disqualify(*copy);
-                }
-                staged.borrow_mut().clear();
-                let now = sim.now();
-                let quarantined = {
-                    let inner = inner_rc.borrow();
-                    integrity == IntegrityMode::Heal
-                        && inner
-                            .fault
-                            .as_ref()
-                            .is_some_and(|ctx| ctx.record_integrity_mismatch(device))
-                };
-                let action = match (integrity, quarantined) {
-                    (_, true) => IntegrityAction::Quarantined,
-                    (IntegrityMode::Heal, _) => IntegrityAction::Healed,
-                    _ => IntegrityAction::Failed,
-                };
-                {
-                    let mut inner = inner_rc.borrow_mut();
-                    for &sec in &tainted {
-                        record_integrity_inner(
-                            now,
-                            &mut inner,
-                            IntegrityEvent {
-                                device,
-                                section: sec,
-                                at: now,
-                                boundary: IntegrityBoundary::Commit,
-                                action,
-                            },
-                        );
-                        if action == IntegrityAction::Healed {
-                            record_degradation_inner(
-                                now,
-                                &mut inner,
-                                DegradationEvent {
-                                    kind: DegradationKind::CorruptionHealed,
-                                    device: Some(device),
-                                    start: sec.start,
-                                    len: sec.len,
-                                    bytes: sec.len as u64 * 8,
-                                },
-                            );
-                        }
-                    }
-                }
-                let err = RtError::IntegrityViolation {
-                    device,
-                    section: tainted[0],
-                };
-                if quarantined {
-                    // Streak tripped the breaker: the device's data path
-                    // cannot be trusted at all — treat it as lost. The
-                    // loss hook wipes its presence table and allocator,
-                    // so the dying entries need no cleanup here.
-                    let ctx = inner_rc.borrow().fault.clone();
-                    if let Some(ctx) = ctx {
-                        ctx.mark_lost(sim, device);
-                    }
-                    task_failed(sim, &inner_rc, task, err);
-                    return;
-                }
-                if integrity == IntegrityMode::Heal {
-                    // The device is alive: release its mapping normally
-                    // so the recoverer's fresh enter→kernel→exit starts
-                    // from a clean table.
-                    let freed = {
-                        let mut inner = inner_rc.borrow_mut();
-                        let d = device as usize;
-                        for key in &to_free {
-                            if let Some(alloc) = inner.presence[d].finish_exit(*key) {
-                                inner.devices[d].mem.borrow_mut().dealloc(alloc);
-                            }
-                        }
-                        !to_free.is_empty()
-                    };
-                    if freed {
-                        retry_mem_waiters(sim, &inner_rc, device);
-                    }
-                }
-                task_failed(sim, &inner_rc, task, err);
-                return;
-            }
-            if integrity.checks() && staged.borrow().iter().any(|(_, _, _, crc)| crc.is_some()) {
-                // A fully clean checked drain resets the mismatch
-                // streak: the breaker counts *consecutive* offences.
-                if let Some(ctx) = &inner_rc.borrow().fault {
-                    ctx.record_integrity_ok(device);
-                }
-            }
-            let committed = match &gate {
-                None => true,
-                Some((g, copy)) => g.try_commit(sim.now(), *copy),
-            };
-            if committed {
-                for (store, sec, data, _) in staged.borrow_mut().drain(..) {
-                    store.borrow_mut()[sec.range()].copy_from_slice(&data);
-                }
-            } else if gate.as_ref().is_some_and(|(g, _)| g.duplicates_forced()) {
-                // Canary path: the losing copy commits anyway, with its
-                // first staged element perturbed so the double commit is
-                // value-visible to a differential harness.
-                let mut perturb = true;
-                for (store, sec, mut data, _) in staged.borrow_mut().drain(..) {
-                    if perturb && !data.is_empty() {
-                        data[0] += 1.0;
-                        perturb = false;
-                    }
-                    store.borrow_mut()[sec.range()].copy_from_slice(&data);
-                }
-                if let Some((g, _)) = &gate {
-                    g.count_forced_commit();
-                }
-            } else {
-                staged.borrow_mut().clear();
-            }
-            if let Some((g, _)) = &gate {
-                if let Some(ix) = g.log_idx() {
-                    let mut inner = inner_rc.borrow_mut();
-                    if let Some(rec) = inner.rescue_log.get_mut(ix) {
-                        rec.winner = g.winner();
-                        rec.commits = g.commits();
-                    }
-                }
-            }
-            let freed = {
-                let mut inner = inner_rc.borrow_mut();
-                let d = device as usize;
-                for key in &to_free {
-                    if let Some(alloc) = inner.presence[d].finish_exit(*key) {
-                        inner.devices[d].mem.borrow_mut().dealloc(alloc);
-                    }
-                }
-                !to_free.is_empty()
-            };
-            if freed {
-                retry_mem_waiters(sim, &inner_rc, device);
-            }
-            complete_task(sim, &inner_rc, task);
+            staged_commit_finish(
+                sim, &inner_rc, task, device, &staged, &failed, &to_free, integrity, &gate,
+            );
         }
     };
     if total == 0 {
@@ -1361,6 +1392,7 @@ pub(crate) fn run_transfers_ex(
                 },
                 on_fault: Some(transfer_fault(what, failed, remaining, finish)),
                 extra_caps: Vec::new(),
+                streamed: false,
             },
         );
     }
@@ -1590,6 +1622,7 @@ fn enqueue_peer_copy(
                     on_complete: Box::new(move |sim| finish_one(sim, &rem2, &fin2)),
                     on_fault: Some(transfer_fault(what, failed, remaining, finish)),
                     extra_caps: Vec::new(),
+                    streamed: false,
                 },
             );
         })
@@ -1603,6 +1636,7 @@ fn enqueue_peer_copy(
             on_complete,
             on_fault: Some(transfer_fault(what, failed, remaining, finish)),
             extra_caps: dev.peer_route_caps(&src_dev),
+            streamed: false,
         },
     );
 }
@@ -1678,6 +1712,7 @@ pub(crate) fn run_kernel(
                     },
                 );
             })),
+            streamed: false,
         },
     );
     Ok(())
@@ -1756,6 +1791,7 @@ impl Runtime {
             rescue_log: Vec::new(),
             integrity_log: Vec::new(),
             staged_registry: Vec::new(),
+            overlap_log: Vec::new(),
         };
         // A fresh runtime starts its peak-memory statistics from zero:
         // `device_mem_peak` must describe *this* instance, even if the
@@ -2065,6 +2101,15 @@ impl Runtime {
     /// corruption reach host memory.
     pub fn integrity_events(&self) -> Vec<IntegrityEvent> {
         self.inner.borrow().integrity_log.clone()
+    }
+
+    /// Every pipelined (`spread_overlap`) construct completed so far,
+    /// in completion order. `spread-check --overlap` asserts the
+    /// whole-piece commit contract on each record (`staged ==
+    /// committed` on every clean winning exit) and that pipelining
+    /// really happened (`depth >= 2` with split descriptors).
+    pub fn overlap_records(&self) -> Vec<crate::overlap::OverlapRecord> {
+        self.inner.borrow().overlap_log.clone()
     }
 
     /// Devices permanently lost so far — by a planned loss, an
@@ -2422,6 +2467,24 @@ impl Scope<'_> {
     /// split otherwise.
     pub fn adaptive_weights(&self, key: &str, k: usize) -> Vec<f64> {
         self.inner.borrow().profiles.weights(key, k)
+    }
+
+    /// The pipeline depth a `spread_overlap(auto)` construct keyed
+    /// `key` should use for its next launch: unexplored candidate
+    /// depths first, then the learned (EWMA argmin) best depth.
+    pub fn adaptive_depth(&self, key: &str) -> u32 {
+        self.inner.borrow().profiles.next_depth(key)
+    }
+
+    /// Feed one completed `spread_overlap(auto)` launch back into the
+    /// per-key depth model: the construct keyed `key` ran with pipeline
+    /// `depth` from `t0` to now.
+    pub fn record_overlap_depth(&mut self, key: &str, depth: u32, t0: SimTime) {
+        let dur = (self.sim.now() - t0).as_nanos() as f64;
+        self.inner
+            .borrow_mut()
+            .profiles
+            .record_depth(key, depth, dur);
     }
 
     /// Aggregate the trace window `[t0, now)` into a

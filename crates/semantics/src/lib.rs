@@ -61,6 +61,7 @@
 //! | `S-Exchange` | `exchange(auto/peer)` | an update leg routes device-to-device from the lowest-numbered alive sibling holding the section bit-equal to the host image |
 //! | `S-Lost` | data directives | any leg on a dead device poisons the program (data directives carry no resilience clause) |
 //! | `S-Fold` | `reduction(…)` | the host folds the partials array with the reduction operator |
+//! | `S-Pipeline` | `spread_overlap(depth)` | a pipelined piece enters whole, runs its kernel over `depth` balanced contiguous sub-ranges in order, exits whole — state-equivalent to `S-Kernel` on the whole range ([`machine::run_piece_pipelined`]) |
 //!
 //! Perturbations ([`machine::Perturb`]) are the harness's canaries: a
 //! deliberately wrong rule variant, used to prove the comparison
@@ -76,7 +77,8 @@ pub mod state;
 
 pub use error::{DegKind, Degradation, SemError};
 pub use machine::{
-    step, Directive, FoldOp, IntegritySem, KernelSem, Leg, Perturb, Piece, UpdateLeg,
+    run_piece_pipelined, split_stages, step, Directive, FoldOp, IntegritySem, KernelSem, Leg,
+    Perturb, Piece, UpdateLeg,
 };
 pub use map::MapKind;
 pub use section::AbsSection;

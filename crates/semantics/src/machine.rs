@@ -383,6 +383,53 @@ fn run_piece(st: &mut State, piece: &Piece) -> Result<(), SemError> {
     Ok(())
 }
 
+/// The balanced contiguous split `spread_overlap(depth)` pipelines a
+/// piece over: `depth` sub-ranges (clamped to the iteration count),
+/// earlier stages absorbing the remainder — the spec twin of the
+/// runtime's stage planner.
+pub fn split_stages(r: std::ops::Range<usize>, depth: u32) -> Vec<std::ops::Range<usize>> {
+    let n = r.len();
+    let k = (depth.max(1) as usize).min(n.max(1));
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut at = r.start;
+    for j in 0..k {
+        let len = base + usize::from(j < rem);
+        out.push(at..at + len);
+        at += len;
+    }
+    out
+}
+
+/// Rule `S-Pipeline`: run one piece the way `spread_overlap(depth)`
+/// does — enters **whole** (per map clause, unchanged), the kernel over
+/// `depth` balanced contiguous sub-ranges **in order**, exits **whole**
+/// with each clause's exit-equivalent kind.
+///
+/// The rule's content is an equivalence claim: because the sub-ranges
+/// partition the piece's range and run in ascending order on one
+/// device, `run_piece_pipelined(st, p, depth)` transitions `st` to
+/// exactly the state `run_piece(st, p)` does, for every depth ≥ 1.
+/// Pipelining changes *when* bytes move, never *what* commits — which
+/// is why the conformance oracle stays overlap-blind and the harness
+/// compares final states bit for bit. The bounded model check in this
+/// crate's tests exercises every kernel form × depths 1..=4.
+pub fn run_piece_pipelined(st: &mut State, piece: &Piece, depth: u32) -> Result<(), SemError> {
+    for (kind, s) in &piece.maps {
+        st.enter(piece.device, *kind, *s)
+            .map_err(|c| conflict_err(piece.device, *s, c))?;
+    }
+    for stage in split_stages(piece.range(), depth) {
+        run_kernel(st, piece.device, &piece.kernel, stage);
+    }
+    for (kind, s) in &piece.maps {
+        st.exit(piece.device, kind.exit_equivalent(), *s)
+            .map_err(|c| conflict_err(piece.device, *s, c))?;
+    }
+    Ok(())
+}
+
 /// Apply one directive's transition rule to `st`. The successor state
 /// is written in place; an `Err` is the exact predicted failure and
 /// leaves the state poisoned mid-directive — callers stop at the first
@@ -689,6 +736,128 @@ mod tests {
                 Err(SemError::Invalid),
                 "device {device} factor {factor} must be rejected"
             );
+        }
+    }
+
+    /// Bounded model check of rule `S-Pipeline`: for every kernel form
+    /// and every depth 1..=4 (including depths that clamp), the
+    /// pipelined interpretation of a piece reaches bit-for-bit the same
+    /// state as the whole-piece rule.
+    #[test]
+    fn pipeline_is_equivalent_to_whole_piece_for_every_kernel() {
+        let n = 11; // odd so balanced splits exercise the remainder path
+        let cases: Vec<(Vec<Vec<f64>>, Piece)> = vec![
+            (
+                vec![(0..n).map(|i| i as f64).collect()],
+                Piece {
+                    device: 0,
+                    start: 0,
+                    len: n,
+                    maps: vec![(MapKind::ToFrom, sec(0, 0, n))],
+                    kernel: KernelSem::AddConst { a: 0, c: 2.5 },
+                },
+            ),
+            (
+                vec![(0..n).map(|i| 1.0 + i as f64).collect()],
+                Piece {
+                    device: 0,
+                    start: 0,
+                    len: n,
+                    maps: vec![(MapKind::ToFrom, sec(0, 0, n))],
+                    kernel: KernelSem::Scale { a: 0, c: -3.0 },
+                },
+            ),
+            (
+                vec![
+                    (0..n).map(|i| i as f64).collect(),
+                    (0..n).map(|i| (i * i) as f64).collect(),
+                ],
+                Piece {
+                    device: 0,
+                    start: 0,
+                    len: n,
+                    maps: vec![(MapKind::To, sec(0, 0, n)), (MapKind::ToFrom, sec(1, 0, n))],
+                    kernel: KernelSem::Saxpy {
+                        x: 0,
+                        y: 1,
+                        alpha: 0.5,
+                    },
+                },
+            ),
+            (
+                vec![(0..n).map(|i| i as f64).collect(), vec![0.0; n]],
+                Piece {
+                    device: 0,
+                    start: 1,
+                    len: n - 2,
+                    maps: vec![
+                        (MapKind::To, sec(0, 0, n)),
+                        (MapKind::From, sec(1, 1, n - 2)),
+                    ],
+                    kernel: KernelSem::Stencil3 { src: 0, dst: 1 },
+                },
+            ),
+            (
+                vec![(0..n).map(|i| (2 * i) as f64).collect(), vec![0.0; n]],
+                Piece {
+                    device: 0,
+                    start: 0,
+                    len: n,
+                    maps: vec![(MapKind::To, sec(0, 0, n)), (MapKind::From, sec(1, 0, n))],
+                    kernel: KernelSem::Stencil3Clamped { src: 0, dst: 1, n },
+                },
+            ),
+            (
+                vec![(0..n).map(|i| i as f64).collect(), vec![0.0; n]],
+                Piece {
+                    device: 0,
+                    start: 0,
+                    len: n,
+                    maps: vec![(MapKind::To, sec(0, 0, n)), (MapKind::From, sec(1, 0, n))],
+                    kernel: KernelSem::Partials {
+                        a: 0,
+                        partials: 1,
+                        alpha: 4.0,
+                    },
+                },
+            ),
+        ];
+        for (host, piece) in &cases {
+            let mut whole = State::new(host.clone(), 1, None);
+            run_piece(&mut whole, piece).unwrap();
+            for depth in 1..=4u32 {
+                let mut piped = State::new(host.clone(), 1, None);
+                run_piece_pipelined(&mut piped, piece, depth).unwrap();
+                let same = whole.host.iter().zip(&piped.host).all(|(a, b)| {
+                    a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+                assert!(
+                    same,
+                    "{:?} depth {depth}: pipelined state diverged",
+                    piece.kernel
+                );
+                assert!(piped.devices[0].snapshot().is_empty(), "exit releases");
+            }
+        }
+    }
+
+    #[test]
+    fn split_stages_partitions_in_order() {
+        for (range, depth) in [(3..14, 4u32), (0..1, 4), (5..5, 2), (0..8, 1), (2..6, 64)] {
+            let stages = split_stages(range.clone(), depth);
+            assert!(stages.len() <= depth.max(1) as usize);
+            assert!(stages.len() <= range.len().max(1));
+            let mut at = range.start;
+            for s in &stages {
+                assert_eq!(s.start, at, "contiguous in order");
+                at = s.end;
+            }
+            assert_eq!(at, range.end.max(range.start), "partitions the range");
+            let max = stages.iter().map(|s| s.len()).max().unwrap_or(0);
+            let min = stages.iter().map(|s| s.len()).min().unwrap_or(0);
+            assert!(max - min <= 1, "balanced: {stages:?}");
         }
     }
 

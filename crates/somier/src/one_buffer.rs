@@ -175,7 +175,7 @@ fn launch_kernels(
     let body = move |c: ChunkCtx| c.scaled(n2).range();
     let spread = || {
         TargetSpread::devices(devices.to_vec())
-            .spread_schedule(SpreadSchedule::static_chunk(chunk))
+            .with_schedule(SpreadSchedule::static_chunk(chunk))
             .nowait()
     };
     // forces: in X (halo), out F.
@@ -418,8 +418,8 @@ pub fn run_spread_resilient(
                 let chunk = (b1 - b0).div_ceil(n_gpus);
                 let spread = || {
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
-                        .spread_resilience(policy)
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_resilience(policy)
                 };
                 // forces: in X (halo), out F.
                 {
@@ -540,8 +540,8 @@ pub fn run_spread_integrity(
                 let chunk = (b1 - b0).div_ceil(n_gpus);
                 let spread = || {
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
-                        .spread_integrity(mode)
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_integrity(mode)
                 };
                 // forces: in X (halo), out F.
                 {
@@ -624,6 +624,127 @@ pub fn run_spread_integrity(
 }
 
 /// One Buffer with self-contained per-construct maps and a
+/// `spread_overlap(…)` clause: the software-pipelined variant that
+/// overlaps each piece's transfers with its compute.
+///
+/// The program is [`run_spread_resilient`]'s construct-scoped shape —
+/// every construct maps its own inputs in and results out and blocks
+/// before the next stage — but each per-device piece is split into
+/// `depth` sub-slices and processed as a copy-in → kernel → copy-out
+/// software pipeline: sub-slice `k`'s kernel runs while `k+1`'s H2D is
+/// in flight and `k-1`'s D2H drains. Device→host writes stay staged
+/// until the *whole piece* finishes, so commit granularity — and with
+/// it resilience, integrity, and straggler semantics — is unchanged;
+/// the pipeline is pure latency hiding and the run is bit-identical to
+/// the unpipelined one.
+pub fn run_spread_overlap(
+    rt: &mut Runtime,
+    cfg: &SomierConfig,
+    n_gpus: usize,
+    depth: u32,
+) -> Result<SomierReport, RtError> {
+    let arr = SomierArrays::create(rt, cfg);
+    let n = cfg.n;
+    let n2 = cfg.plane_elems();
+    let buffer = cfg.buffer_planes(n_gpus);
+    let devices: Vec<u32> = (0..n_gpus as u32).collect();
+    let mut centers = [0.0f64; 3];
+    let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
+    let body = move |c: ChunkCtx| c.scaled(n2).range();
+
+    rt.run(|s| {
+        for _step in 0..cfg.timesteps {
+            let mut sums = [0.0f64; 3];
+            let mut b0 = 0usize;
+            while b0 < n {
+                let b1 = (b0 + buffer).min(n);
+                let chunk = (b1 - b0).div_ceil(n_gpus);
+                let spread = || {
+                    TargetSpread::devices(devices.clone())
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_overlap(OverlapPolicy::Depth(depth))
+                };
+                // forces: in X (halo), out F.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], x_halo));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.f[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::forces(cfg, &arr))?;
+                }
+                // accelerations: in F, out A.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.f[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.a[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::accelerations(cfg, &arr))?;
+                }
+                // velocities: in A, inout V.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.a[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.v[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::velocities(cfg, &arr))?;
+                }
+                // positions: in V, inout X (interior writes only).
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.v[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_tofrom(arr.x[c], body));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::positions(cfg, &arr))?;
+                }
+                // centers: in X, out the per-plane partials.
+                {
+                    let mut t = spread();
+                    for c in 0..3 {
+                        t = t.map(spread_to(arr.x[c], body));
+                    }
+                    for c in 0..3 {
+                        t = t.map(spread_from(arr.partials[c], |ch| ch.range()));
+                    }
+                    t.parallel_for(s, b0..b1, kernels::centers(cfg, &arr))?;
+                }
+                for c in 0..3 {
+                    // Element-sequential accumulation: the same rounding
+                    // order as the reference (bit-exact comparisons).
+                    s.with_host(arr.partials[c], |p| {
+                        for &v in &p[b0..b1] {
+                            sums[c] += v;
+                        }
+                    });
+                }
+                b0 = b1;
+            }
+            for c in 0..3 {
+                centers[c] = sums[c] / (n * n2) as f64;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(SomierReport::collect(
+        "One Buffer (overlap)",
+        n_gpus,
+        rt,
+        centers,
+    ))
+}
+
+/// One Buffer with self-contained per-construct maps and a
 /// `spread_straggler(…)` clause: the latency-robustness variant for
 /// machines where a device runs slow without failing.
 ///
@@ -668,9 +789,9 @@ pub fn run_spread_straggler(
                     // compute-side lag without tripping on the transfer
                     // jitter a static split actually exhibits.
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
-                        .spread_straggler(policy)
-                        .spread_straggler_beta(2.0)
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_straggler(policy)
+                        .with_straggler_beta(2.0)
                 };
                 // forces: in X (halo), out F.
                 {
@@ -794,8 +915,7 @@ pub fn run_spread_auto(
             while b0 < n {
                 let b1 = (b0 + buffer).min(n);
                 let spread = |key: &'static str| {
-                    TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::auto(key))
+                    TargetSpread::devices(devices.clone()).with_schedule(SpreadSchedule::auto(key))
                 };
                 // forces: in X (halo), out F.
                 {
@@ -914,8 +1034,8 @@ pub fn run_spread_pressure(
                 let chunk = (b1 - b0).div_ceil(n_gpus);
                 let spread = || {
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
-                        .spread_pressure(policy)
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_pressure(policy)
                 };
                 // forces: in X (halo), out F.
                 {
@@ -1070,14 +1190,14 @@ pub fn run_spread_peer(
                     TargetUpdateSpread::devices(devices.clone())
                         .range(b0, b1 - b0)
                         .chunk_size(chunk)
-                        .spread_resilience(policy)
+                        .with_resilience(policy)
                 };
                 // Hold the positions (halo extent) for the whole buffer.
                 {
                     let mut enter = TargetEnterDataSpread::devices(devices.clone())
                         .range(b0, b1 - b0)
                         .chunk_size(chunk)
-                        .spread_resilience(policy);
+                        .with_resilience(policy);
                     for c in 0..3 {
                         enter = enter.map(spread_alloc(arr.x[c], x_halo));
                     }
@@ -1105,8 +1225,8 @@ pub fn run_spread_peer(
                 }
                 let spread = || {
                     TargetSpread::devices(devices.clone())
-                        .spread_schedule(SpreadSchedule::static_chunk(chunk))
-                        .spread_resilience(policy)
+                        .with_schedule(SpreadSchedule::static_chunk(chunk))
+                        .with_resilience(policy)
                 };
                 // forces: in X (halo, held mapping), out F.
                 {
@@ -1169,7 +1289,7 @@ pub fn run_spread_peer(
                     let mut exit = TargetExitDataSpread::devices(devices.clone())
                         .range(b0, b1 - b0)
                         .chunk_size(chunk)
-                        .spread_resilience(policy);
+                        .with_resilience(policy);
                     for c in 0..3 {
                         exit = exit.map(spread_from(arr.x[c], body));
                     }

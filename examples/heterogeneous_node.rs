@@ -37,23 +37,23 @@ fn run(label: &str, schedule: S) -> f64 {
         match &schedule {
             S::Dynamic { .. } => {
                 TargetSpread::devices([0, 1])
-                    .spread_schedule(schedule.clone())
+                    .with_schedule(schedule.clone())
                     .map(spread_tofrom(a, |c| c.range()))
                     .parallel_for(s, 0..N, kernel(a))?;
             }
             placed => {
                 TargetEnterDataSpread::devices([0, 1])
                     .range(0, N)
-                    .spread_schedule(placed.clone())
+                    .with_schedule(placed.clone())
                     .map(spread_to(a, |c| c.range()))
                     .launch(s)?;
                 TargetSpread::devices([0, 1])
-                    .spread_schedule(placed.clone())
+                    .with_schedule(placed.clone())
                     .map(spread_to(a, |c| c.range()))
                     .parallel_for(s, 0..N, kernel(a))?;
                 TargetExitDataSpread::devices([0, 1])
                     .range(0, N)
-                    .spread_schedule(placed.clone())
+                    .with_schedule(placed.clone())
                     .map(spread_from(a, |c| c.range()))
                     .launch(s)?;
             }

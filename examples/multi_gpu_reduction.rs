@@ -40,7 +40,7 @@ fn main() -> Result<(), RtError> {
     // 1. Manual reduction (what the paper's Somier centers kernel does).
     let manual = rt.run(|s| {
         TargetSpread::devices([0, 1, 2, 3])
-            .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+            .with_schedule(SpreadSchedule::static_chunk(N / 16))
             .map(spread_to(x, |c| c.range()))
             .map(spread_to(y, |c| c.range()))
             .map(spread_from(partials, |c| c.range()))
@@ -52,7 +52,7 @@ fn main() -> Result<(), RtError> {
     // 2. The reduction-clause extension.
     let clause = rt.run(|s| {
         TargetSpread::devices([0, 1, 2, 3])
-            .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+            .with_schedule(SpreadSchedule::static_chunk(N / 16))
             .map(spread_to(x, |c| c.range()))
             .map(spread_to(y, |c| c.range()))
             .parallel_for_reduce(s, 0..N, dot_kernel(x, y, partials), partials, ReduceOp::Sum)
@@ -62,7 +62,7 @@ fn main() -> Result<(), RtError> {
     // 3. Other operators: the largest per-element product.
     let max = rt.run(|s| {
         TargetSpread::devices([0, 1, 2, 3])
-            .spread_schedule(SpreadSchedule::static_chunk(N / 16))
+            .with_schedule(SpreadSchedule::static_chunk(N / 16))
             .map(spread_to(x, |c| c.range()))
             .map(spread_to(y, |c| c.range()))
             .parallel_for_reduce(s, 0..N, dot_kernel(x, y, partials), partials, ReduceOp::Max)

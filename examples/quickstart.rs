@@ -27,7 +27,7 @@ fn main() -> Result<(), RtError> {
     // for (int i = 1; i < N-1; i++) B[i] = A[i-1] + A[i] + A[i+1];
     rt.run(|s| {
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .with_schedule(SpreadSchedule::static_chunk(4))
             .num_teams(2)
             .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
             .map(spread_from(b, |c| c.range()))

@@ -32,7 +32,7 @@ fn main() -> Result<(), RtError> {
                 .unwrap();
             for round in 0..2 {
                 TargetSpread::devices([0, 1, 2, 3])
-                    .spread_schedule(SpreadSchedule::static_chunk(CHUNK))
+                    .with_schedule(SpreadSchedule::static_chunk(CHUNK))
                     .nowait()
                     .map(spread_alloc(a, |c| c.range()))
                     .depend_in(a, |c| c.range())

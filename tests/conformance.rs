@@ -69,6 +69,7 @@ fn fault_sensitive_program() -> Program {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     }
 }
 
@@ -117,6 +118,7 @@ fn recovery_canary_is_caught() {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     };
     let clean = CheckConfig {
         interleavings: 2,
@@ -156,6 +158,7 @@ fn fail_stop_loss_is_predicted_and_matched() {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     };
     let want = oracle::predict(&p, None);
     assert!(
@@ -215,6 +218,7 @@ fn spill_canary_is_caught() {
         // 96-byte chunk is hopeless on-device and spills.
         straggler: None,
         integrity: None,
+        overlap: None,
         pressure: Some(PressureSpec {
             policy: PressurePolicy::Spill,
             cap_bytes: 64,
@@ -282,6 +286,7 @@ fn peer_canary_is_caught() {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     };
     // Chunks [0,4) d0 / [4,8) d1 / [8,12) d2 ⇒ four one-element halos,
     // each valid on exactly one sibling.
@@ -365,6 +370,7 @@ fn oracle_predicts_exact_mapping_errors() {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     };
     let want = oracle::predict(&extension, None);
     match &want.error {
@@ -398,6 +404,7 @@ fn oracle_predicts_exact_mapping_errors() {
         pressure: None,
         straggler: None,
         integrity: None,
+        overlap: None,
     };
     let want = oracle::predict(&not_mapped, None);
     assert!(

@@ -33,7 +33,7 @@ fn fingerprint_with(tie: TieBreak) -> (u64, f64, Vec<(String, u64, u64)>) {
                 .unwrap();
             for round in 0..3 {
                 TargetSpread::devices([3, 1, 2, 0])
-                    .spread_schedule(SpreadSchedule::static_chunk(n / 16))
+                    .with_schedule(SpreadSchedule::static_chunk(n / 16))
                     .nowait()
                     .map(spread_alloc(a, |c| c.range()))
                     .map(spread_tofrom(b, |c| c.range()))

@@ -221,7 +221,7 @@ fn unknown_devices_rejected_everywhere() {
     let err = rt
         .run(|s| {
             TargetSpread::devices([0, 7])
-                .spread_schedule(SpreadSchedule::static_chunk(2))
+                .with_schedule(SpreadSchedule::static_chunk(2))
                 .map(spread_to(a, |c| c.range()))
                 .parallel_for(
                     s,

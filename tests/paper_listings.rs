@@ -61,7 +61,7 @@ fn listing_3_target_spread_standalone() {
     rt.fill_host(a, |i| i as f64);
     rt.run(|s| {
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .with_schedule(SpreadSchedule::static_chunk(4))
             .serial()
             .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
             .map(spread_from(b, |c| c.range()))
@@ -96,7 +96,7 @@ fn listing_4_combined_spread() {
     };
     rt.run(|s| {
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(17))
+            .with_schedule(SpreadSchedule::static_chunk(17))
             .num_teams(2)
             .num_threads(64)
             .map(spread_to(a, move |c| {
@@ -142,7 +142,7 @@ fn listing_5_target_data_spread() {
             .map(spread_tofrom(b, |c| c.range()))
             .region(s, |s| {
                 TargetSpread::devices([2, 0, 1])
-                    .spread_schedule(SpreadSchedule::static_chunk(4))
+                    .with_schedule(SpreadSchedule::static_chunk(4))
                     .map(spread_to(a, |c| c.halo(1, 1)))
                     .map(spread_to(b, |c| c.range()))
                     .parallel_for(s, 1..n + 1, stencil(a, b))?;
@@ -176,7 +176,7 @@ fn listing_6_enter_exit_data_spread() {
                 .unwrap();
         })?;
         TargetSpread::devices([2, 0, 1])
-            .spread_schedule(SpreadSchedule::static_chunk(4))
+            .with_schedule(SpreadSchedule::static_chunk(4))
             .map(spread_to(a, |c| c.halo(1, 1)))
             .map(spread_to(b, |c| c.range()))
             .parallel_for(s, 1..n + 1, stencil(a, b))?;
@@ -217,7 +217,7 @@ fn listing_7_update_spread() {
             .to(a, |c| c.range())
             .launch(s)?;
         TargetSpread::devices([0, 1, 2])
-            .spread_schedule(SpreadSchedule::static_chunk(3))
+            .with_schedule(SpreadSchedule::static_chunk(3))
             .map(spread_alloc(a, |c| c.range()))
             .parallel_for(
                 s,
@@ -304,7 +304,7 @@ fn listing_13_depend_on_data_spread() {
                 .launch(s)
                 .unwrap();
             TargetSpread::devices([1, 0])
-                .spread_schedule(SpreadSchedule::static_chunk(10))
+                .with_schedule(SpreadSchedule::static_chunk(10))
                 .nowait()
                 .map(spread_alloc(b, |c| c.range()))
                 .depend_in(b, |c| c.range())

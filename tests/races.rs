@@ -90,7 +90,7 @@ fn conflict_free_nowait_spread_reports_no_races() {
     rt.run(|s| {
         for (arr, name, c) in [(a, "bump_a", 1.0), (b, "bump_b", 10.0)] {
             TargetSpread::devices([0, 1, 2])
-                .spread_schedule(SpreadSchedule::static_chunk(n / 8))
+                .with_schedule(SpreadSchedule::static_chunk(n / 8))
                 .nowait()
                 .map(spread_tofrom(arr, |ch| ch.range()))
                 .parallel_for(

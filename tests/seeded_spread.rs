@@ -68,7 +68,7 @@ fn check_stencil(n: usize, chunk: usize, n_dev: usize, rotation: usize, seed: u6
 
     rt.run(|s| {
         TargetSpread::devices(devices.clone())
-            .spread_schedule(SpreadSchedule::static_chunk(chunk))
+            .with_schedule(SpreadSchedule::static_chunk(chunk))
             .map(spread_to(a, |c| c.start() - 1..c.end() + 1))
             .map(spread_from(b, |c| c.range()))
             .parallel_for(
@@ -138,7 +138,7 @@ fn spread_reduce_equals_sequential() {
         let got = rt
             .run(|s| {
                 TargetSpread::devices(devices.clone())
-                    .spread_schedule(SpreadSchedule::static_chunk(chunk))
+                    .with_schedule(SpreadSchedule::static_chunk(chunk))
                     .map(spread_to(a, |c| c.range()))
                     .parallel_for_reduce(
                         s,

@@ -1,0 +1,233 @@
+//! Export the hot-path (launch-plan cache) benchmark as
+//! machine-readable JSON.
+//!
+//! Replays the Somier One Buffer spread program on the 4-device
+//! CTE-POWER machine twice — once with the launch-plan cache disabled
+//! (every construct pays cold admission planning, chunking and section
+//! evaluation) and once enabled (every timestep after the first replays
+//! cached plans) — and measures the *host-side* planning cost per
+//! construct in both regimes from the runtime's own
+//! [`spread_rt::PlanCacheStats`] accounting. The physics must be
+//! bit-identical across both legs and the CPU reference; the warm
+//! per-plan cost must undercut the cold cost by at least 5x. A tight
+//! constructs/sec microbenchmark (one tiny keyed construct relaunched
+//! thousands of times) guards the end-to-end launch overhead with a
+//! floor assertion. Writes `BENCH_hotpath.json` in the shared
+//! [`spread_bench::report`] schema.
+//!
+//! The planning-cost ratio is only asserted in release builds: under
+//! `debug_assertions` every cache hit deliberately re-runs the full
+//! cold planner and asserts byte-equality of the replayed plan, so the
+//! warm path is intentionally as slow as the cold one there.
+//!
+//! Usage: `cargo run --release -p spread-bench --bin export_hotpath`
+
+use std::time::Instant;
+
+use spread_bench::report::{centers_checksum, Obj, Report};
+use spread_core::prelude::*;
+use spread_rt::kernel::{KernelArg, KernelSpec};
+use spread_rt::{PlanCacheStats, Runtime, RuntimeConfig};
+use spread_somier::one_buffer::run_spread;
+use spread_somier::reference::run_reference;
+use spread_somier::SomierConfig;
+
+const N_GPUS: usize = 4;
+const N: usize = 96;
+const TIMESTEPS: usize = 8;
+/// Chunk granularity in planes: 16 chunks per construct (4 per device)
+/// rather than the degenerate one-chunk-per-device split — the
+/// granularity the pipelined implementations run at, and the regime
+/// where per-construct planning cost (chunking + per-chunk map/dep
+/// section evaluation) is representative rather than minimal.
+const CHUNK_PLANES: usize = 6;
+/// Problem bytes / device memory. Roomier than the paper's 9.66 so the
+/// per-chunk halo overhead of the finer granularity fits comfortably.
+const MEM_RATIO: f64 = 2.0;
+/// Required cold-vs-warm per-plan cost ratio (release builds).
+const MIN_PLANNING_REDUCTION: f64 = 5.0;
+/// Keyed launches in the constructs/sec microbenchmark.
+const MICRO_LAUNCHES: usize = 2_000;
+/// Floor for the microbenchmark's end-to-end launch rate (release
+/// builds; deliberately conservative for slow CI machines).
+const MIN_CONSTRUCTS_PER_SEC: f64 = 1_000.0;
+
+fn runtime(cfg: &SomierConfig, plan_cache: bool) -> Runtime {
+    Runtime::new(
+        RuntimeConfig::new(cfg.topology(N_GPUS))
+            .with_team_threads(cfg.team_threads)
+            .with_trace(cfg.trace)
+            .with_alloc_backpressure(true)
+            .with_plan_cache(plan_cache),
+    )
+}
+
+fn leg_cell(label: &str, elapsed_s: f64, wall_s: f64, stats: &PlanCacheStats) -> Obj {
+    Obj::new()
+        .field("leg", label)
+        .field("elapsed_s", elapsed_s)
+        .field("host_wall_s", wall_s)
+        .field("cache_hits", stats.hits)
+        .field("cache_misses", stats.misses)
+        .field("cache_invalidations", stats.invalidations)
+        .field("cold_plans", stats.cold_plans)
+        .field("warm_plans", stats.warm_plans)
+        .field("cold_ns_per_plan", stats.cold_ns_per_plan())
+        .field("warm_ns_per_plan", stats.warm_ns_per_plan())
+}
+
+/// The microbenchmark: one keyed 2-device construct relaunched
+/// `MICRO_LAUNCHES` times inside a single runtime, returning
+/// (constructs/sec of host wall time, the run's cache stats).
+fn micro_constructs_per_sec() -> (f64, PlanCacheStats) {
+    let n = 256;
+    let topo = spread_devices::Topology::uniform(
+        2,
+        spread_devices::DeviceSpec::v100().with_mem_bytes(1 << 22),
+        1e9,
+        1.5e9,
+    );
+    let mut rt = Runtime::new(RuntimeConfig::new(topo).with_team_threads(2));
+    let a = rt.host_array("A", n);
+    rt.fill_host(a, |i| i as f64);
+    let wall = Instant::now();
+    rt.run(|s| {
+        for _ in 0..MICRO_LAUNCHES {
+            TargetSpread::devices([0, 1])
+                .with_schedule(SpreadSchedule::static_chunk(64))
+                .with_plan_cache("micro")
+                .map(spread_tofrom(a, |c| c.range()))
+                .parallel_for(
+                    s,
+                    0..n,
+                    KernelSpec::new("bump", 1.0, |chunk, v| {
+                        for i in chunk {
+                            v.set(0, i, v.get(0, i) + 1.0);
+                        }
+                    })
+                    .arg(KernelArg::read_write(a, |r| r)),
+                )?;
+        }
+        Ok(())
+    })
+    .expect("micro run");
+    let secs = wall.elapsed().as_secs_f64();
+    let out = rt.snapshot_host(a);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f64 + MICRO_LAUNCHES as f64, "micro physics");
+    }
+    (MICRO_LAUNCHES as f64 / secs, rt.plan_stats())
+}
+
+fn main() {
+    let mut cfg = SomierConfig::test_small(N, TIMESTEPS).with_chunk_planes(CHUNK_PLANES);
+    cfg.mem_ratio = MEM_RATIO;
+    let reference = run_reference(&cfg, cfg.buffer_planes(N_GPUS));
+
+    // Cold leg: the pre-cache planner on every construct.
+    let mut cold_rt = runtime(&cfg, false);
+    let cold_wall = Instant::now();
+    let cold = run_spread(&mut cold_rt, &cfg, N_GPUS).expect("cold run");
+    let cold_wall_s = cold_wall.elapsed().as_secs_f64();
+    let cold_stats = cold_rt.plan_stats();
+    assert_eq!(
+        cold.centers, reference.centers,
+        "the cold leg must match the CPU reference"
+    );
+    assert_eq!(
+        (cold_stats.hits, cold_stats.misses),
+        (0, 0),
+        "a disabled cache must not count anything: {cold_stats:?}"
+    );
+
+    // Warm leg: identical program, cache on.
+    let mut warm_rt = runtime(&cfg, true);
+    let warm_wall = Instant::now();
+    let warm = run_spread(&mut warm_rt, &cfg, N_GPUS).expect("warm run");
+    let warm_wall_s = warm_wall.elapsed().as_secs_f64();
+    let warm_stats = warm_rt.plan_stats();
+    assert_eq!(
+        warm.centers, reference.centers,
+        "the warm leg must replay bit-identical physics"
+    );
+    assert!(
+        warm_stats.hits > 0,
+        "the Somier replay must serve cache hits: {warm_stats:?}"
+    );
+    assert_eq!(
+        warm_stats.invalidations, 0,
+        "nothing invalidates on a healthy machine: {warm_stats:?}"
+    );
+    let reduction = warm_stats.cold_ns_per_plan() / warm_stats.warm_ns_per_plan();
+
+    let (constructs_per_sec, micro_stats) = micro_constructs_per_sec();
+    assert!(
+        micro_stats.hits as usize == MICRO_LAUNCHES - 1,
+        "every relaunch after the first must hit: {micro_stats:?}"
+    );
+
+    let release = !cfg!(debug_assertions);
+    Report::new(
+        "somier-hotpath",
+        &format!(
+            "Somier One Buffer spread replay on {N_GPUS}-device CTE-POWER at pipelined \
+             chunk granularity ({CHUNK_PLANES}-plane chunks, 4 per device), launch-plan \
+             cache off vs on: per-construct planning cost (admission, chunking, section \
+             evaluation) measured host-side by the runtime's plan-cache accounting, \
+             physics bit-identical across both legs and the CPU reference, plus a \
+             constructs/sec microbenchmark of one keyed construct relaunched \
+             {MICRO_LAUNCHES} times"
+        ),
+    )
+    .topology("machine", "ctepower")
+    .topology("n_gpus", N_GPUS)
+    .topology("n", N)
+    .topology("timesteps", TIMESTEPS)
+    .topology("chunk_planes", CHUNK_PLANES)
+    .field("cold_ns_per_plan", warm_stats.cold_ns_per_plan())
+    .field("warm_ns_per_plan", warm_stats.warm_ns_per_plan())
+    .field("planning_overhead_reduction", reduction)
+    .field("cache_hits", warm_stats.hits)
+    .field("cache_misses", warm_stats.misses)
+    .field("micro_constructs_per_sec", constructs_per_sec)
+    .field("release_build", release)
+    .field("bit_identical_all_cells", true)
+    .cell(leg_cell(
+        "cold",
+        cold.elapsed.as_secs_f64(),
+        cold_wall_s,
+        &cold_stats,
+    ))
+    .cell(leg_cell(
+        "warm",
+        warm.elapsed.as_secs_f64(),
+        warm_wall_s,
+        &warm_stats,
+    ))
+    .checksum(centers_checksum(&reference.centers))
+    .write("BENCH_hotpath.json");
+
+    if release {
+        assert!(
+            reduction >= MIN_PLANNING_REDUCTION,
+            "the warm path must cut per-construct planning cost by at least \
+             {MIN_PLANNING_REDUCTION}x (got {reduction:.2}x: cold {:.0}ns, warm {:.0}ns)",
+            warm_stats.cold_ns_per_plan(),
+            warm_stats.warm_ns_per_plan()
+        );
+        assert!(
+            constructs_per_sec >= MIN_CONSTRUCTS_PER_SEC,
+            "keyed relaunches must sustain at least {MIN_CONSTRUCTS_PER_SEC} \
+             constructs/sec (got {constructs_per_sec:.0})"
+        );
+    }
+    println!(
+        "BENCH_hotpath.json: planning {:.0}ns -> {:.0}ns per construct \
+         ({reduction:.1}x reduction), {} hits / {} misses on the Somier replay, \
+         micro {constructs_per_sec:.0} constructs/sec",
+        warm_stats.cold_ns_per_plan(),
+        warm_stats.warm_ns_per_plan(),
+        warm_stats.hits,
+        warm_stats.misses,
+    );
+}

@@ -88,15 +88,6 @@ impl SpreadClauses {
         self
     }
 
-    /// **Extension** (§IX): an explicit static spread schedule replacing
-    /// the default `chunk_size` round-robin — e.g. weighted chunks for
-    /// heterogeneous devices. Must match the executable directive's
-    /// schedule for coherent placement.
-    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
-    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
-        self.with_schedule(s)
-    }
-
     /// Add a spread map item.
     pub fn map(mut self, m: SpreadMap) -> Self {
         self.maps.push(m);
@@ -193,24 +184,6 @@ impl TargetEnterDataSpread {
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
         }
-    }
-
-    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
-    /// is already lost are skipped and a chunk task killed by device
-    /// loss is absorbed (the host image stays authoritative) instead of
-    /// poisoning the runtime.
-    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
-    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
-        self.with_resilience(policy)
-    }
-
-    /// **Extension** (§IX): an explicit static spread schedule replacing
-    /// the default `chunk_size` round-robin — e.g. weighted chunks for
-    /// heterogeneous devices. Must match the executable directive's
-    /// schedule for coherent placement.
-    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
-    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
-        self.with_schedule(s)
     }
 
     /// `range(start:len)` — the iteration-space range being distributed.
@@ -341,24 +314,6 @@ impl TargetExitDataSpread {
             dep_ins: Vec::new(),
             dep_outs: Vec::new(),
         }
-    }
-
-    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
-    /// is already lost are skipped (their mappings died with the device;
-    /// the host keeps its pre-construct data) and a chunk task killed by
-    /// device loss is absorbed instead of poisoning the runtime.
-    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
-    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
-        self.with_resilience(policy)
-    }
-
-    /// **Extension** (§IX): an explicit static spread schedule replacing
-    /// the default `chunk_size` round-robin — e.g. weighted chunks for
-    /// heterogeneous devices. Must match the executable directive's
-    /// schedule for coherent placement.
-    #[deprecated(note = "use SpreadClausesExt::with_schedule")]
-    pub fn spread_schedule(self, s: SpreadSchedule) -> Self {
-        self.with_schedule(s)
     }
 
     /// `range(start:len)`.
@@ -504,28 +459,6 @@ impl TargetUpdateSpread {
     pub fn exchange(mut self, mode: ExchangeMode) -> Self {
         self.exchange = mode;
         self
-    }
-
-    /// `spread_resilience(…)`: under `Redistribute`, chunks whose device
-    /// is already lost are skipped and a chunk task killed by device
-    /// loss is absorbed (a lost peer *source* already falls back to a
-    /// host replay on its own). Composes with every `exchange` mode
-    /// except `peer`, whose no-fallback contract a loss would violate.
-    #[deprecated(note = "use SpreadClausesExt::with_resilience")]
-    pub fn spread_resilience(self, policy: ResiliencePolicy) -> Self {
-        self.with_resilience(policy)
-    }
-
-    /// `spread_integrity(off|verify|heal)`: digest every `from(…)` drain
-    /// and every peer-route `to(…)` payload with CRC32C and re-verify at
-    /// the trust boundary. `verify` fails the directive on a mismatch;
-    /// `heal` discards tainted peer bytes and re-fetches over the host
-    /// path. `heal` cannot compose with `from(…)` items: the host is the
-    /// *destination* of a `from` drain, so there is no unharmed host
-    /// image left to heal from — use `verify` there.
-    #[deprecated(note = "use SpreadClausesExt::with_integrity")]
-    pub fn spread_integrity(self, mode: IntegrityMode) -> Self {
-        self.with_integrity(mode)
     }
 
     /// `range(start:len)`.

@@ -565,10 +565,11 @@ pub(crate) fn pipelined_kernel(
         inner.check_device(device)?;
         let d = device as usize;
         let mut resolved = Vec::with_capacity(spec.args.len());
+        let table = inner.presence.read(d);
         for arg in &spec.args {
             let rng = (arg.section_of)(range.clone());
             let sec = Section::from_range(arg.array.id(), rng);
-            let Some((_, entry)) = inner.presence[d].lookup_containing(&sec) else {
+            let Some((_, entry)) = table.lookup_containing(&sec) else {
                 return Err(RtError::KernelSectionMissing {
                     device,
                     kernel: spec.name.clone(),
@@ -593,12 +594,13 @@ pub(crate) fn pipelined_kernel(
     {
         let inner = inner_rc.borrow();
         let d = device as usize;
+        let table = inner.presence.read(d);
         let mut d2h = pipe.d2h_stages.borrow_mut();
         for m in exit_maps {
             if !m.map_type.copies_out() || m.section.is_empty() {
                 continue;
             }
-            let Some((_, entry)) = inner.presence[d].lookup_containing(&m.section) else {
+            let Some((_, entry)) = table.lookup_containing(&m.section) else {
                 continue;
             };
             if entry.refcount != 1 {

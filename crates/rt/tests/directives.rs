@@ -310,6 +310,43 @@ fn oom_is_reported() {
     }
 }
 
+/// Regression: a *partial* enter (some items mapped, a later one OOMs)
+/// must roll back its fresh inserts and dropped reuses and report the
+/// OOM — it once self-deadlocked on the presence shard's lock because
+/// the rollback re-locked the shard inside a `match` whose scrutinee
+/// still held the write guard.
+#[test]
+fn partial_enter_oom_rolls_back_and_reports() {
+    let mut rt = runtime_mem(1024); // 128 elements
+    let a = rt.host_array("A", 100);
+    let b = rt.host_array("B", 1000);
+    let err = rt
+        .run(|s| {
+            // A is resident (refcount 1), so the failing enter below
+            // first *reuses* A, then freshly maps part of B, then OOMs —
+            // exercising both rollback lists.
+            TargetEnterData::device(0).map(to(a, 0..100)).launch(s)?;
+            TargetEnterData::device(0)
+                .map(to(a, 0..100))
+                .map(to(b, 0..20))
+                .map(to(b, 100..1000))
+                .launch(s)?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(matches!(err, RtError::OutOfMemory { device: 0, .. }));
+    // The rollback undid the partial enter: only the original mapping
+    // of A survives, and its refcount is back to 1.
+    let mapped = rt.mapped_sections(0);
+    assert_eq!(
+        mapped.len(),
+        1,
+        "only A's first mapping remains: {mapped:?}"
+    );
+    assert_eq!(mapped[0].1, 1, "A's extra reuse reference was dropped");
+    assert_eq!(rt.device_mem_used(0), 800, "B's fresh chunk was freed");
+}
+
 #[test]
 fn overlap_extension_is_reported() {
     let mut rt = runtime();

@@ -121,6 +121,15 @@ pub struct SomierConfig {
     /// waits on the slow device every buffer, while the profile-guided
     /// schedule learns to shift iterations onto the fast ones.
     pub slow_device: Option<(usize, f64)>,
+    /// Chunk granularity override, in planes. `None` (the default)
+    /// keeps Listing 10's one-chunk-per-device split
+    /// (`chunk = buffer / num_devices`); `Some(p)` carves each buffer
+    /// into `p`-plane chunks round-robined over the devices instead —
+    /// the finer granularity the pipelined implementations run at, and
+    /// the regime the hot-path benchmark measures planning cost in.
+    /// Physics are unaffected (chunking only changes the decomposition;
+    /// halos make every chunk self-contained).
+    pub chunk_planes_override: Option<usize>,
 }
 
 impl SomierConfig {
@@ -144,6 +153,7 @@ impl SomierConfig {
             dma_latency_us: 10,
             mem_cap_frac: 1.0,
             slow_device: None,
+            chunk_planes_override: None,
         }
     }
 
@@ -162,6 +172,7 @@ impl SomierConfig {
             dma_latency_us: 10,
             mem_cap_frac: 1.0,
             slow_device: None,
+            chunk_planes_override: None,
         }
     }
 
@@ -204,6 +215,14 @@ impl SomierConfig {
     /// [`SomierConfig::slow_device`].
     pub fn with_slow_device(mut self, device: usize, factor: f64) -> Self {
         self.slow_device = Some((device, factor.max(1.0)));
+        self
+    }
+
+    /// Carve buffers into `planes`-plane chunks round-robined over the
+    /// devices instead of Listing 10's one chunk per device. See
+    /// [`SomierConfig::chunk_planes_override`].
+    pub fn with_chunk_planes(mut self, planes: usize) -> Self {
+        self.chunk_planes_override = Some(planes.max(1));
         self
     }
 

@@ -173,14 +173,19 @@ fn launch_kernels(
     let n2 = cfg.plane_elems();
     let x_halo = move |c: ChunkCtx| c.start().saturating_sub(1) * n2..(c.end() + 1).min(n) * n2;
     let body = move |c: ChunkCtx| c.scaled(n2).range();
-    let spread = || {
+    // One plan-cache key per (kernel, buffer): every timestep re-launches
+    // the same five constructs over the same plane ranges, so from the
+    // second step on, admission planning, chunking and section
+    // evaluation replay from the cache.
+    let spread = |kernel: &str| {
         TargetSpread::devices(devices.to_vec())
             .with_schedule(SpreadSchedule::static_chunk(chunk))
+            .with_plan_cache(format!("somier:{kernel}:{b0}"))
             .nowait()
     };
     // forces: in X (halo), out F.
     {
-        let mut t = spread();
+        let mut t = spread("forces");
         for c in 0..3 {
             t = t
                 .map(spread_to(arr.x[c], x_halo))
@@ -193,7 +198,7 @@ fn launch_kernels(
     }
     // accelerations: in F, out A.
     {
-        let mut t = spread();
+        let mut t = spread("accel");
         for c in 0..3 {
             t = t.map(spread_to(arr.f[c], body)).depend_in(arr.f[c], body);
         }
@@ -204,7 +209,7 @@ fn launch_kernels(
     }
     // velocities: in A, inout V.
     {
-        let mut t = spread();
+        let mut t = spread("vel");
         for c in 0..3 {
             t = t.map(spread_to(arr.a[c], body)).depend_in(arr.a[c], body);
         }
@@ -218,7 +223,7 @@ fn launch_kernels(
     }
     // positions: in V, inout X.
     {
-        let mut t = spread();
+        let mut t = spread("pos");
         for c in 0..3 {
             t = t.map(spread_to(arr.v[c], body)).depend_in(arr.v[c], body);
         }
@@ -232,7 +237,7 @@ fn launch_kernels(
     }
     // centers: in X, out partials (the manual reduction).
     {
-        let mut t = spread();
+        let mut t = spread("centers");
         for c in 0..3 {
             t = t.map(spread_to(arr.x[c], body)).depend_in(arr.x[c], body);
         }
@@ -1337,8 +1342,12 @@ pub fn run_spread(
             let mut b0 = 0usize;
             while b0 < n {
                 let b1 = (b0 + buffer).min(n);
-                // "each device gets a chunk from a buffer" (Listing 10).
-                let chunk = (b1 - b0).div_ceil(n_gpus);
+                // "each device gets a chunk from a buffer" (Listing 10),
+                // unless the config pins a finer granularity.
+                let chunk = cfg
+                    .chunk_planes_override
+                    .map(|p| p.min(b1 - b0))
+                    .unwrap_or_else(|| (b1 - b0).div_ceil(n_gpus));
                 let done = build_range_pipeline(
                     s,
                     cfg,
